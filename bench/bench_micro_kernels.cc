@@ -1,0 +1,132 @@
+// Micro-benchmarks of the substrate kernels (google-benchmark): tensor
+// ops, attention blocks, prompt tokenization and CLM encoding. These are
+// not paper experiments; they document the cost structure underlying the
+// Table-IV efficiency numbers.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "llm/language_model.h"
+#include "nn/attention.h"
+#include "tensor/ops.h"
+#include "text/prompt.h"
+
+namespace {
+
+using timekd::Rng;
+using timekd::tensor::Tensor;
+
+void BM_MatMul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::RandNormal({n, n}, 0, 1, rng);
+  Tensor b = Tensor::RandNormal({n, n}, 0, 1, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(timekd::tensor::MatMul(a, b).data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_Softmax(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(2);
+  Tensor x = Tensor::RandNormal({n, n}, 0, 1, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(timekd::tensor::Softmax(x, -1).data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_Softmax)->Arg(64)->Arg(256);
+
+void BM_LayerNorm(benchmark::State& state) {
+  const int64_t rows = state.range(0);
+  Rng rng(3);
+  Tensor x = Tensor::RandNormal({rows, 64}, 0, 1, rng);
+  Tensor gamma = Tensor::Ones({64});
+  Tensor beta = Tensor::Zeros({64});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        timekd::tensor::LayerNorm(x, gamma, beta, 1e-5f).data());
+  }
+  state.SetItemsProcessed(state.iterations() * rows * 64);
+}
+BENCHMARK(BM_LayerNorm)->Arg(64)->Arg(512);
+
+void BM_AttentionForward(benchmark::State& state) {
+  const int64_t seq = state.range(0);
+  Rng rng(4);
+  timekd::nn::MultiHeadAttention attn(64, 4, 0.0f, &rng);
+  attn.SetTraining(false);
+  Tensor x = Tensor::RandNormal({1, seq, 64}, 0, 1, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(attn.SelfForward(x, Tensor()).data());
+  }
+  state.SetItemsProcessed(state.iterations() * seq * seq);
+}
+BENCHMARK(BM_AttentionForward)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_TrainingStepBackward(benchmark::State& state) {
+  Rng rng(5);
+  timekd::nn::TransformerEncoder encoder(2, 32, 4, 64, 0.0f,
+                                         timekd::nn::Activation::kGelu, &rng);
+  Tensor x = Tensor::RandNormal({8, 7, 32}, 0, 1, rng);
+  for (auto _ : state) {
+    Tensor loss = timekd::tensor::Mean(encoder.Forward(x, Tensor()));
+    loss.Backward();
+    encoder.ZeroGrad();
+  }
+}
+BENCHMARK(BM_TrainingStepBackward);
+
+void BM_PromptTokenize(benchmark::State& state) {
+  timekd::text::PromptBuilder builder;
+  timekd::text::PromptSpec spec;
+  spec.t_start = 0;
+  spec.t_end = 95;
+  spec.freq_minutes = 15;
+  spec.horizon = 96;
+  Rng rng(6);
+  for (int i = 0; i < 96; ++i) {
+    spec.history.push_back(static_cast<float>(rng.Gaussian()));
+    spec.future.push_back(static_cast<float>(rng.Gaussian()));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(builder.TokenizeGroundTruthPrompt(spec).ids);
+  }
+}
+BENCHMARK(BM_PromptTokenize);
+
+void BM_ClmEncodeLastToken(benchmark::State& state) {
+  timekd::llm::LlmConfig config;
+  config.vocab_size = timekd::text::Vocab::BuildPromptVocab().size();
+  config.d_model = 32;
+  config.num_layers = 2;
+  config.num_heads = 4;
+  config.ffn_hidden = 64;
+  timekd::llm::LanguageModel lm(config);
+  lm.Freeze();
+  lm.SetTraining(false);
+
+  timekd::text::PromptBuilder builder({1, 4});
+  timekd::text::PromptSpec spec;
+  spec.t_start = 0;
+  spec.t_end = 23;
+  spec.freq_minutes = 60;
+  spec.horizon = 24;
+  Rng rng(7);
+  for (int i = 0; i < 24; ++i) {
+    spec.history.push_back(static_cast<float>(rng.Gaussian()));
+    spec.future.push_back(static_cast<float>(rng.Gaussian()));
+  }
+  const auto prompt = builder.TokenizeGroundTruthPrompt(spec);
+  timekd::tensor::NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lm.EncodeLastToken(prompt, true).data());
+  }
+}
+BENCHMARK(BM_ClmEncodeLastToken);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,107 @@
+// Reproduces Table I: long-term forecasting comparison.
+// Paper: 6 datasets (ETTm1/ETTm2/ETTh1/ETTh2/Weather/Exchange) x
+// horizons {24, 36, 48, 96, 192} x 7 models, MSE/MAE, input length 96.
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "data/datasets.h"
+#include "eval/profile.h"
+#include "eval/runner.h"
+#include "eval/table.h"
+
+namespace {
+
+using timekd::data::DatasetId;
+using timekd::data::DatasetName;
+using timekd::eval::AllModels;
+using timekd::eval::BenchProfile;
+using timekd::eval::ModelKind;
+using timekd::eval::ModelName;
+using timekd::eval::RunAveraged;
+using timekd::eval::RunResult;
+using timekd::eval::RunSpec;
+using timekd::eval::ScaledHorizon;
+using timekd::eval::TablePrinter;
+
+constexpr DatasetId kDatasets[] = {
+    DatasetId::kEttm1, DatasetId::kEttm2,   DatasetId::kEtth1,
+    DatasetId::kEtth2, DatasetId::kWeather, DatasetId::kExchange};
+constexpr int64_t kPaperHorizons[] = {24, 36, 48, 96, 192};
+
+}  // namespace
+
+int main() {
+  const BenchProfile profile = timekd::eval::GetBenchProfile();
+  timekd::bench::PrintBanner(
+      "Table I (long-term forecasting, MSE/MAE)",
+      "input 96, FH in {24,36,48,96,192}, 6 datasets, 7 models", profile);
+
+  const std::vector<ModelKind> models = AllModels();
+  int timekd_wins_mse = 0;
+  int timekd_wins_mae = 0;
+  int cells = 0;
+
+  for (DatasetId dataset : kDatasets) {
+    std::vector<std::string> headers = {"FH(paper)", "FH(run)"};
+    for (ModelKind m : models) {
+      headers.push_back(std::string(ModelName(m)) + " MSE");
+      headers.push_back(std::string(ModelName(m)) + " MAE");
+    }
+    TablePrinter table(headers);
+
+    std::map<ModelKind, std::pair<double, double>> sums;
+    for (int64_t paper_h : kPaperHorizons) {
+      const int64_t horizon = ScaledHorizon(profile, paper_h);
+      std::vector<std::string> row = {std::to_string(paper_h),
+                                      std::to_string(horizon)};
+      double best_mse = 1e30;
+      double best_mae = 1e30;
+      double timekd_mse = 0.0;
+      double timekd_mae = 0.0;
+      for (ModelKind model : models) {
+        RunSpec spec;
+        spec.model = model;
+        spec.dataset = dataset;
+        spec.horizon = horizon;
+        spec.profile = profile;
+        RunResult r = RunAveraged(spec);
+        row.push_back(TablePrinter::Num(r.mse));
+        row.push_back(TablePrinter::Num(r.mae));
+        sums[model].first += r.mse;
+        sums[model].second += r.mae;
+        if (model == ModelKind::kTimeKd) {
+          timekd_mse = r.mse;
+          timekd_mae = r.mae;
+        }
+        best_mse = std::min(best_mse, r.mse);
+        best_mae = std::min(best_mae, r.mae);
+      }
+      ++cells;
+      if (timekd_mse <= best_mse + 1e-12) ++timekd_wins_mse;
+      if (timekd_mae <= best_mae + 1e-12) ++timekd_wins_mae;
+      table.AddRow(row);
+    }
+    // Average row, as in the paper.
+    std::vector<std::string> avg_row = {"Avg", ""};
+    const double inv = 1.0 / static_cast<double>(std::size(kPaperHorizons));
+    for (ModelKind model : models) {
+      avg_row.push_back(TablePrinter::Num(sums[model].first * inv));
+      avg_row.push_back(TablePrinter::Num(sums[model].second * inv));
+    }
+    table.AddSeparator();
+    table.AddRow(avg_row);
+
+    std::printf("\n--- %s ---\n", DatasetName(dataset));
+    table.Print();
+    std::fflush(stdout);
+  }
+
+  std::printf(
+      "\nSummary: TimeKD best MSE in %d/%d dataset-horizon cells, best MAE "
+      "in %d/%d (paper: best in all cells).\n",
+      timekd_wins_mse, cells, timekd_wins_mae, cells);
+  return 0;
+}

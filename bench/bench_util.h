@@ -1,0 +1,37 @@
+#ifndef TIMEKD_BENCH_BENCH_UTIL_H_
+#define TIMEKD_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+#include "eval/profile.h"
+
+namespace timekd::bench {
+
+/// Prints the standard banner: which experiment is being reproduced and at
+/// what scale. Every bench binary calls this first so the output files are
+/// self-describing.
+inline void PrintBanner(const std::string& experiment,
+                        const std::string& paper_setting,
+                        const eval::BenchProfile& profile) {
+  std::printf("==============================================================\n");
+  std::printf("TimeKD reproduction — %s\n", experiment.c_str());
+  std::printf("Paper setting : %s\n", paper_setting.c_str());
+  std::printf(
+      "Profile       : %s (set TIMEKD_BENCH_PROFILE=smoke|small|paper)\n",
+      profile.name.c_str());
+  std::printf(
+      "Scale         : series_len=%lld, input_len=%lld, horizon_scale=%.3f, "
+      "epochs=%lld, seeds=%lld, d_model=%lld, llm_layers=%lld\n",
+      static_cast<long long>(profile.dataset_length),
+      static_cast<long long>(profile.input_len), profile.horizon_scale,
+      static_cast<long long>(profile.epochs),
+      static_cast<long long>(profile.seeds),
+      static_cast<long long>(profile.d_model),
+      static_cast<long long>(profile.llm_layers));
+  std::printf("==============================================================\n");
+}
+
+}  // namespace timekd::bench
+
+#endif  // TIMEKD_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,82 @@
+// Electricity-transformer scenario (the workload that motivates the
+// paper's ETT benchmarks): long-term forecasting of oil/load indicators,
+// comparing the distilled TimeKD student against an iTransformer trained
+// from scratch on the same data.
+//
+// Usage: ./build/examples/electricity_forecast [horizon] [epochs]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "baselines/itransformer.h"
+#include "baselines/trainer.h"
+#include "core/timekd.h"
+#include "data/datasets.h"
+#include "data/window_dataset.h"
+
+int main(int argc, char** argv) {
+  using namespace timekd;
+
+  const int64_t horizon = argc > 1 ? std::atol(argv[1]) : 24;
+  const int64_t epochs = argc > 2 ? std::atol(argv[2]) : 8;
+  const int64_t input_len = 24;
+
+  std::printf("ETTm1-style electricity forecasting, input %lld -> horizon "
+              "%lld, %lld epochs\n",
+              static_cast<long long>(input_len),
+              static_cast<long long>(horizon),
+              static_cast<long long>(epochs));
+
+  data::DatasetSpec spec = data::DefaultSpec(data::DatasetId::kEttm1, 800);
+  data::TimeSeries series = data::MakeDataset(spec);
+  data::DataSplits splits = data::ChronologicalSplit(series, {0.7, 0.1});
+  data::StandardScaler scaler;
+  scaler.Fit(splits.train);
+  data::WindowDataset train(scaler.Transform(splits.train), input_len, horizon);
+  data::WindowDataset val(scaler.Transform(splits.val), input_len, horizon);
+  data::WindowDataset test(scaler.Transform(splits.test), input_len, horizon);
+
+  core::TrainConfig tc;
+  tc.epochs = epochs;
+  tc.teacher_epochs = epochs * 2;
+  tc.lr = 2e-3;
+
+  // --- TimeKD -------------------------------------------------------------
+  core::TimeKdConfig config;
+  config.num_variables = series.num_variables();
+  config.input_len = input_len;
+  config.horizon = horizon;
+  config.freq_minutes = series.freq_minutes();
+  config.d_model = 16;
+  config.ffn_hidden = 32;
+  config.llm.d_model = 32;
+  config.prompt.stride = 4;
+  core::TimeKd timekd(config);
+  core::FitStats fit = timekd.Fit(train, &val, tc);
+  core::TimeKd::Metrics timekd_metrics = timekd.Evaluate(test);
+  std::printf("TimeKD        MSE %.4f  MAE %.4f  (cache %.1fs, %zu epochs "
+              "logged)\n",
+              timekd_metrics.mse, timekd_metrics.mae,
+              fit.cache_build_seconds, fit.epochs.size());
+
+  // --- iTransformer baseline ----------------------------------------------
+  baselines::BaselineConfig base;
+  base.num_variables = series.num_variables();
+  base.input_len = input_len;
+  base.horizon = horizon;
+  base.d_model = 16;
+  base.ffn_hidden = 32;
+  baselines::ITransformer itransformer(base);
+  baselines::BaselineTrainer trainer(&itransformer);
+  trainer.Fit(train, &val, tc);
+  baselines::Metrics base_metrics = trainer.Evaluate(test);
+  std::printf("iTransformer  MSE %.4f  MAE %.4f\n", base_metrics.mse,
+              base_metrics.mae);
+
+  const double gain =
+      100.0 * (base_metrics.mse - timekd_metrics.mse) / base_metrics.mse;
+  std::printf("\nTimeKD vs iTransformer: %+.1f%% MSE (positive = TimeKD "
+              "better; the paper reports up to 9.1%%)\n",
+              gain);
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Quickstart: train TimeKD on a synthetic electricity-style dataset and
+// forecast with the distilled student.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/config.h"
+#include "core/timekd.h"
+#include "data/datasets.h"
+#include "data/time_series.h"
+#include "data/window_dataset.h"
+
+int main() {
+  using namespace timekd;
+
+  // 1. Data: a synthetic ETTh1-style series (7 variables, hourly).
+  //    Swap in real data with data::TimeSeries::LoadCsv(path, freq).
+  data::DatasetSpec spec = data::DefaultSpec(data::DatasetId::kEtth1, 600);
+  data::TimeSeries series = data::MakeDataset(spec);
+  std::printf("dataset: %lld steps x %lld variables, every %lld minutes\n",
+              static_cast<long long>(series.num_steps()),
+              static_cast<long long>(series.num_variables()),
+              static_cast<long long>(series.freq_minutes()));
+
+  // 2. Chronological split + standardization (fit on train only).
+  data::DataSplits splits = data::ChronologicalSplit(series, {0.7, 0.1});
+  data::StandardScaler scaler;
+  scaler.Fit(splits.train);
+  const int64_t input_len = 24;
+  const int64_t horizon = 12;
+  data::WindowDataset train(scaler.Transform(splits.train), input_len, horizon);
+  data::WindowDataset val(scaler.Transform(splits.val), input_len, horizon);
+  data::WindowDataset test(scaler.Transform(splits.test), input_len, horizon);
+
+  // 3. Model: frozen calibrated LM teacher + lightweight student.
+  core::TimeKdConfig config;
+  config.num_variables = series.num_variables();
+  config.input_len = input_len;
+  config.horizon = horizon;
+  config.freq_minutes = series.freq_minutes();
+  config.d_model = 16;
+  config.ffn_hidden = 32;
+  config.llm.d_model = 32;
+  config.llm.num_layers = 2;
+  config.prompt.stride = 4;  // strided prompt values keep the CLM fast
+  core::TimeKd model(config);
+
+  // 4. Train: Algorithm 1 (teacher) then Algorithm 2 (distillation).
+  core::TrainConfig tc;
+  tc.epochs = 6;
+  tc.teacher_epochs = 12;
+  tc.lr = 2e-3;
+  tc.verbose = true;
+  core::FitStats stats = model.Fit(train, &val, tc);
+  std::printf("trained %lld steps; CLM cache build %.2fs; best val MSE %.4f\n",
+              static_cast<long long>(stats.steps), stats.cache_build_seconds,
+              stats.best_val_mse);
+
+  // 5. Evaluate on the held-out test split (student-only inference).
+  core::TimeKd::Metrics metrics = model.Evaluate(test);
+  std::printf("test MSE %.4f, MAE %.4f over %lld windows\n", metrics.mse,
+              metrics.mae, static_cast<long long>(test.NumSamples()));
+
+  // 6. Forecast one window and print the first variable's trajectory.
+  data::ForecastBatch batch = test.GetBatch({0});
+  tensor::Tensor forecast = model.Predict(batch.x);
+  std::printf("\nforecast vs truth (variable %s, normalized units):\n",
+              series.variable_names()[0].c_str());
+  for (int64_t t = 0; t < horizon; ++t) {
+    std::printf("  t+%-3lld  pred %+7.3f   truth %+7.3f\n",
+                static_cast<long long>(t + 1),
+                forecast.at(t * series.num_variables()),
+                batch.y.at(t * series.num_variables()));
+  }
+
+  // 7. Persist just the student for deployment.
+  const std::string path = "/tmp/timekd_student.bin";
+  if (Status s = model.SaveStudent(path); !s.ok()) {
+    std::printf("save failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("\nstudent saved to %s (the teacher & LLM stay offline)\n",
+              path.c_str());
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Command-line front end for the TimeKD library: generate synthetic data,
+// train, evaluate and forecast from CSV files. See src/cli/cli.h.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return timekd::cli::RunCli(args, std::cout);
+}

@@ -1,0 +1,91 @@
+// Zero-shot transfer scenario (Table VI): train a TimeKD student on one
+// electricity dataset, deploy it unchanged on another, and round-trip the
+// deployable student through save/load.
+//
+// Usage: ./build/examples/zero_shot_transfer
+
+#include <cstdio>
+
+#include "core/timekd.h"
+#include "data/datasets.h"
+#include "data/window_dataset.h"
+
+namespace {
+
+timekd::data::WindowDataset MakeSplit(timekd::data::DatasetId id,
+                                      int64_t input_len, int64_t horizon,
+                                      bool train_split) {
+  using namespace timekd;
+  data::DatasetSpec spec = data::DefaultSpec(id, 600);
+  data::TimeSeries series = data::MakeDataset(spec);
+  data::DataSplits splits = data::ChronologicalSplit(series, {0.7, 0.1});
+  data::StandardScaler scaler;
+  scaler.Fit(splits.train);
+  return data::WindowDataset(
+      scaler.Transform(train_split ? splits.train : splits.test), input_len,
+      horizon);
+}
+
+}  // namespace
+
+int main() {
+  using namespace timekd;
+  const int64_t input_len = 24;
+  const int64_t horizon = 24;
+
+  data::WindowDataset source_train =
+      MakeSplit(data::DatasetId::kEtth1, input_len, horizon, true);
+  data::WindowDataset source_test =
+      MakeSplit(data::DatasetId::kEtth1, input_len, horizon, false);
+  data::WindowDataset target_test =
+      MakeSplit(data::DatasetId::kEtth2, input_len, horizon, false);
+
+  core::TimeKdConfig config;
+  config.num_variables = 7;
+  config.input_len = input_len;
+  config.horizon = horizon;
+  config.freq_minutes = 60;
+  config.d_model = 16;
+  config.ffn_hidden = 32;
+  config.llm.d_model = 32;
+  config.prompt.stride = 4;
+  core::TimeKd model(config);
+
+  core::TrainConfig tc;
+  tc.epochs = 8;
+  tc.teacher_epochs = 16;
+  tc.lr = 2e-3;
+  std::printf("training on ETTh1...\n");
+  model.Fit(source_train, nullptr, tc);
+
+  core::TimeKd::Metrics in_domain = model.Evaluate(source_test);
+  core::TimeKd::Metrics transfer = model.Evaluate(target_test);
+  std::printf("in-domain  (ETTh1 test): MSE %.4f  MAE %.4f\n", in_domain.mse,
+              in_domain.mae);
+  std::printf("zero-shot  (ETTh2 test): MSE %.4f  MAE %.4f\n", transfer.mse,
+              transfer.mae);
+
+  // Deployability: the student round-trips through a checkpoint and a
+  // fresh process would produce identical forecasts.
+  const std::string path = "/tmp/timekd_transfer_student.bin";
+  if (Status s = model.SaveStudent(path); !s.ok()) {
+    std::printf("save failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  core::TimeKd restored(config);
+  if (Status s = restored.LoadStudent(path); !s.ok()) {
+    std::printf("load failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  data::ForecastBatch batch = target_test.GetBatch({0});
+  tensor::Tensor a = model.Predict(batch.x);
+  tensor::Tensor b = restored.Predict(batch.x);
+  double max_diff = 0.0;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    max_diff = std::max(max_diff,
+                        static_cast<double>(std::abs(a.at(i) - b.at(i))));
+  }
+  std::printf("student round-trip max |Δ| = %.2e (identical forecasts)\n",
+              max_diff);
+  return 0;
+}

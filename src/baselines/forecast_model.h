@@ -1,0 +1,75 @@
+#ifndef TIMEKD_BASELINES_FORECAST_MODEL_H_
+#define TIMEKD_BASELINES_FORECAST_MODEL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "nn/module.h"
+#include "tensor/tensor.h"
+#include "text/prompt.h"
+
+namespace timekd::baselines {
+
+using tensor::Tensor;
+
+/// Shared hyper-parameters for all baseline reimplementations. Per-model
+/// fields are documented at each model; defaults follow the paper's setup
+/// (input 96, hidden 64, 2 encoder layers) scaled for CPU benches.
+struct BaselineConfig {
+  int64_t num_variables = 7;
+  int64_t input_len = 96;
+  int64_t horizon = 96;
+
+  int64_t d_model = 64;
+  int64_t num_heads = 4;
+  int64_t encoder_layers = 2;
+  int64_t ffn_hidden = 128;
+  float dropout = 0.1f;
+
+  /// Channel-independent models: patching of each variable's history.
+  int64_t patch_len = 16;
+  int64_t patch_stride = 8;
+
+  /// LLM-based baselines: width/depth of the (frozen) backbone.
+  int64_t llm_d_model = 64;
+  int64_t llm_layers = 2;
+  int64_t llm_heads = 4;
+  int64_t llm_ffn = 128;
+
+  /// Time-LLM: number of learned text prototypes for reprogramming.
+  int64_t num_prototypes = 16;
+
+  /// Output head of the patch-based LLM baselines: 0 = single linear
+  /// flatten head; otherwise a two-layer GELU head with this hidden width
+  /// (stands in for the very large output projections those methods carry
+  /// on top of 768/4096-wide backbones).
+  int64_t head_hidden = 0;
+
+  /// LLM-backed baselines: pre-train the frozen backbone on the synthetic
+  /// numeric-prompt corpus before freezing (0 = random frozen weights).
+  int64_t llm_pretrain_sequences = 0;
+
+  /// TimeCMA: hidden width of the prompt-branch projection (0 = single
+  /// linear layer). The paper's TimeCMA carries most of its 18M trainable
+  /// parameters in the prompt-side retrieval stack.
+  int64_t prompt_hidden = 0;
+
+  /// TimeCMA: prompt rendering for its cross-modality branch.
+  int64_t freq_minutes = 60;
+  text::PromptOptions prompt;
+
+  uint64_t seed = 42;
+};
+
+/// Interface of every forecasting baseline: history [B, H, N] to forecast
+/// [B, M, N]. Forward participates in autograd; Predict is the inference
+/// entry (caller wraps in NoGradGuard / eval mode via the trainer).
+class ForecastModel : public nn::Module {
+ public:
+  virtual Tensor Forward(const Tensor& x) const = 0;
+  virtual std::string name() const = 0;
+};
+
+}  // namespace timekd::baselines
+
+#endif  // TIMEKD_BASELINES_FORECAST_MODEL_H_

@@ -1,0 +1,34 @@
+#include "baselines/itransformer.h"
+
+#include "common/logging.h"
+#include "tensor/ops.h"
+
+namespace timekd::baselines {
+
+using tensor::Transpose;
+
+ITransformer::ITransformer(const BaselineConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      revin_(config.num_variables),
+      embedding_(config.input_len, config.d_model, /*bias=*/true, rng_),
+      encoder_(config.encoder_layers, config.d_model, config.num_heads,
+               config.ffn_hidden, config.dropout, nn::Activation::kGelu,
+               &rng_),
+      head_(config.d_model, config.horizon, /*bias=*/true, rng_) {
+  RegisterModule("revin", &revin_);
+  RegisterModule("embedding", &embedding_);
+  RegisterModule("encoder", &encoder_);
+  RegisterModule("head", &head_);
+}
+
+Tensor ITransformer::Forward(const Tensor& x) const {
+  TIMEKD_CHECK_EQ(x.dim(), 3);
+  Tensor normalized = revin_.Normalize(x);               // [B, H, N]
+  Tensor tokens = embedding_.Forward(Transpose(normalized, 1, 2));  // [B,N,D]
+  Tensor encoded = encoder_.Forward(tokens, Tensor());   // [B, N, D]
+  Tensor projected = Transpose(head_.Forward(encoded), 1, 2);  // [B, M, N]
+  return revin_.Denormalize(projected);
+}
+
+}  // namespace timekd::baselines

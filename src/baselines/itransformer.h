@@ -1,0 +1,33 @@
+#ifndef TIMEKD_BASELINES_ITRANSFORMER_H_
+#define TIMEKD_BASELINES_ITRANSFORMER_H_
+
+#include "baselines/forecast_model.h"
+#include "nn/attention.h"
+#include "nn/layers.h"
+#include "nn/revin.h"
+
+namespace timekd::baselines {
+
+/// iTransformer (Liu et al., ICLR 2024): variables-as-tokens. Each
+/// variable's whole history is embedded as one token; a plain Transformer
+/// encoder attends across variables; a linear head maps back to the
+/// horizon. RevIN guards against distribution shift.
+class ITransformer : public ForecastModel {
+ public:
+  explicit ITransformer(const BaselineConfig& config);
+
+  Tensor Forward(const Tensor& x) const override;
+  std::string name() const override { return "iTransformer"; }
+
+ private:
+  BaselineConfig config_;
+  mutable Rng rng_;
+  nn::RevIn revin_;
+  nn::Linear embedding_;  // H -> D
+  nn::TransformerEncoder encoder_;
+  nn::Linear head_;  // D -> M
+};
+
+}  // namespace timekd::baselines
+
+#endif  // TIMEKD_BASELINES_ITRANSFORMER_H_

@@ -1,0 +1,193 @@
+#include "baselines/llm_baselines.h"
+
+#include "common/logging.h"
+#include "tensor/ops.h"
+
+namespace timekd::baselines {
+
+using tensor::Add;
+using tensor::Concat;
+using tensor::Reshape;
+using tensor::Slice;
+using tensor::Transpose;
+
+FlattenHead::FlattenHead(int64_t in_features, int64_t hidden, int64_t horizon,
+                         Rng& rng)
+    : in_features_(in_features) {
+  if (hidden > 0) {
+    up_ = std::make_unique<nn::Linear>(in_features, hidden, /*bias=*/true,
+                                       rng);
+    down_ = std::make_unique<nn::Linear>(hidden, horizon, /*bias=*/true, rng);
+    RegisterModule("up", up_.get());
+    RegisterModule("down", down_.get());
+  } else {
+    direct_ = std::make_unique<nn::Linear>(in_features, horizon,
+                                           /*bias=*/true, rng);
+    RegisterModule("direct", direct_.get());
+  }
+}
+
+Tensor FlattenHead::Forward(const Tensor& x) const {
+  TIMEKD_CHECK_EQ(x.dim(), 3);
+  Tensor flat = Reshape(x, {x.size(0), in_features_});
+  if (direct_ != nullptr) return direct_->Forward(flat);
+  return down_->Forward(tensor::Gelu(up_->Forward(flat)));
+}
+
+Ofa::Ofa(const BaselineConfig& config)
+    : config_(config),
+      num_patches_(
+          NumPatches(config.input_len, config.patch_len, config.patch_stride)),
+      rng_(config.seed),
+      revin_(config.num_variables),
+      patch_embedding_(config.patch_len, config.llm_d_model, /*bias=*/true,
+                       rng_),
+      backbone_(config.llm_layers, config.llm_d_model, config.llm_heads,
+                config.llm_ffn, config.dropout, nn::Activation::kGelu, &rng_),
+      head_(num_patches_ * config.llm_d_model, config.head_hidden,
+            config.horizon, rng_) {
+  RegisterModule("revin", &revin_);
+  RegisterModule("patch_embedding", &patch_embedding_);
+  position_embedding_ = RegisterParameter(
+      "position_embedding",
+      Tensor::RandNormal({num_patches_, config.llm_d_model}, 0.0f, 0.02f,
+                         rng_));
+  RegisterModule("backbone", &backbone_);
+  RegisterModule("head", &head_);
+  // OFA recipe: freeze attention + FFN, fine-tune layer norms.
+  for (int64_t i = 0; i < backbone_.num_layers(); ++i) {
+    backbone_.layer(i).FreezeCore();
+  }
+}
+
+Tensor Ofa::Forward(const Tensor& x) const {
+  const int64_t b = x.size(0);
+  const int64_t n = config_.num_variables;
+  Tensor normalized = revin_.Normalize(x);
+  Tensor per_channel = Reshape(Transpose(normalized, 1, 2),
+                               {b * n, config_.input_len});
+  Tensor patches =
+      MakePatches(per_channel, config_.patch_len, config_.patch_stride);
+  Tensor tokens =
+      Add(patch_embedding_.Forward(patches), position_embedding_);
+  Tensor encoded = backbone_.Forward(tokens, Tensor());
+  Tensor forecast = Transpose(
+      Reshape(head_.Forward(encoded), {b, n, config_.horizon}), 1, 2);
+  return revin_.Denormalize(forecast);
+}
+
+TimeLlm::TimeLlm(const BaselineConfig& config)
+    : config_(config),
+      num_patches_(
+          NumPatches(config.input_len, config.patch_len, config.patch_stride)),
+      rng_(config.seed),
+      revin_(config.num_variables),
+      patch_embedding_(config.patch_len, config.llm_d_model, /*bias=*/true,
+                       rng_),
+      reprogramming_(config.llm_d_model, config.llm_heads, config.dropout,
+                     &rng_),
+      backbone_(config.llm_layers, config.llm_d_model, config.llm_heads,
+                config.llm_ffn, config.dropout, nn::Activation::kGelu, &rng_),
+      head_(num_patches_ * config.llm_d_model, config.head_hidden,
+            config.horizon, rng_) {
+  RegisterModule("revin", &revin_);
+  RegisterModule("patch_embedding", &patch_embedding_);
+  prototypes_ = RegisterParameter(
+      "prototypes",
+      Tensor::RandNormal({config.num_prototypes, config.llm_d_model}, 0.0f,
+                         0.5f, rng_));
+  RegisterModule("reprogramming", &reprogramming_);
+  RegisterModule("backbone", &backbone_);
+  RegisterModule("head", &head_);
+  // "The backbone language model remains intact": fully frozen.
+  backbone_.Freeze();
+}
+
+Tensor TimeLlm::Forward(const Tensor& x) const {
+  const int64_t b = x.size(0);
+  const int64_t n = config_.num_variables;
+  Tensor normalized = revin_.Normalize(x);
+  Tensor per_channel = Reshape(Transpose(normalized, 1, 2),
+                               {b * n, config_.input_len});
+  Tensor patches =
+      MakePatches(per_channel, config_.patch_len, config_.patch_stride);
+  Tensor tokens = patch_embedding_.Forward(patches);  // [BN, P, D_llm]
+
+  // Reprogramming: cross-attend patch queries against the text prototypes
+  // so the frozen backbone sees inputs in its own (text) embedding space.
+  Tensor protos = Reshape(prototypes_, {1, config_.num_prototypes,
+                                        config_.llm_d_model});
+  // Broadcast prototypes over the folded batch by concatenating views.
+  std::vector<Tensor> proto_rows(static_cast<size_t>(b * n), protos);
+  Tensor protos_batched = Concat(proto_rows, 0);  // [BN, K, D_llm]
+  Tensor reprogrammed =
+      reprogramming_.Forward(tokens, protos_batched, protos_batched,
+                             Tensor());  // [BN, P, D_llm]
+
+  Tensor encoded = backbone_.Forward(reprogrammed, Tensor());
+  Tensor forecast = Transpose(
+      Reshape(head_.Forward(encoded), {b, n, config_.horizon}), 1, 2);
+  return revin_.Denormalize(forecast);
+}
+
+UniTime::UniTime(const BaselineConfig& config)
+    : config_(config),
+      num_patches_(
+          NumPatches(config.input_len, config.patch_len, config.patch_stride)),
+      rng_(config.seed),
+      revin_(config.num_variables),
+      word_embedding_(tokenizer_.vocab().size(), config.llm_d_model, rng_),
+      patch_embedding_(config.patch_len, config.llm_d_model, /*bias=*/true,
+                       rng_),
+      language_ts_encoder_(config.llm_layers, config.llm_d_model,
+                           config.llm_heads, config.llm_ffn, config.dropout,
+                           nn::Activation::kGelu, &rng_),
+      head_(num_patches_ * config.llm_d_model, config.head_hidden,
+            config.horizon, rng_) {
+  // Domain instruction (pure text) prepended to the patch tokens.
+  instruction_ids_ =
+      tokenizer_
+          .Encode("forecast the next " +
+                  std::to_string(config.horizon * config.freq_minutes) +
+                  " minutes")
+          .ids;
+  RegisterModule("revin", &revin_);
+  RegisterModule("word_embedding", &word_embedding_);
+  RegisterModule("patch_embedding", &patch_embedding_);
+  const int64_t total_len =
+      static_cast<int64_t>(instruction_ids_.size()) + num_patches_;
+  position_embedding_ = RegisterParameter(
+      "position_embedding",
+      Tensor::RandNormal({total_len, config.llm_d_model}, 0.0f, 0.02f, rng_));
+  RegisterModule("language_ts_encoder", &language_ts_encoder_);
+  RegisterModule("head", &head_);
+}
+
+Tensor UniTime::Forward(const Tensor& x) const {
+  const int64_t b = x.size(0);
+  const int64_t n = config_.num_variables;
+  const int64_t instr_len = static_cast<int64_t>(instruction_ids_.size());
+
+  Tensor normalized = revin_.Normalize(x);
+  Tensor per_channel = Reshape(Transpose(normalized, 1, 2),
+                               {b * n, config_.input_len});
+  Tensor patches =
+      MakePatches(per_channel, config_.patch_len, config_.patch_stride);
+  Tensor patch_tokens = patch_embedding_.Forward(patches);  // [BN, P, D]
+
+  Tensor instr = Reshape(word_embedding_.Forward(instruction_ids_),
+                         {1, instr_len, config_.llm_d_model});
+  std::vector<Tensor> instr_rows(static_cast<size_t>(b * n), instr);
+  Tensor instr_batched = Concat(instr_rows, 0);  // [BN, I, D]
+
+  Tensor sequence = Concat({instr_batched, patch_tokens}, 1);
+  sequence = Add(sequence, position_embedding_);
+  Tensor encoded = language_ts_encoder_.Forward(sequence, Tensor());
+  // Only the time-token outputs feed the forecast head.
+  Tensor time_part = Slice(encoded, 1, instr_len, num_patches_);
+  Tensor forecast = Transpose(
+      Reshape(head_.Forward(time_part), {b, n, config_.horizon}), 1, 2);
+  return revin_.Denormalize(forecast);
+}
+
+}  // namespace timekd::baselines

@@ -1,0 +1,101 @@
+#ifndef TIMEKD_BASELINES_LLM_BASELINES_H_
+#define TIMEKD_BASELINES_LLM_BASELINES_H_
+
+#include "baselines/forecast_model.h"
+#include "baselines/patchtst.h"
+#include "nn/attention.h"
+#include "nn/layers.h"
+#include "nn/revin.h"
+#include "text/tokenizer.h"
+
+namespace timekd::baselines {
+
+/// Flatten forecasting head shared by the patch-based LLM baselines:
+/// [R, P, D] -> flatten -> (optional hidden GELU layer) -> [R, horizon].
+class FlattenHead : public nn::Module {
+ public:
+  FlattenHead(int64_t in_features, int64_t hidden, int64_t horizon, Rng& rng);
+
+  /// x: [R, P, D] with P * D == in_features.
+  Tensor Forward(const Tensor& x) const;
+
+ private:
+  int64_t in_features_;
+  std::unique_ptr<nn::Linear> direct_;  // hidden == 0
+  std::unique_ptr<nn::Linear> up_;      // hidden > 0
+  std::unique_ptr<nn::Linear> down_;
+};
+
+/// OFA / GPT4TS (Zhou et al., NeurIPS 2023): patch tokens are pushed
+/// through a pretrained-transformer stack whose attention and feed-forward
+/// weights are FROZEN; only layer norms, the input embedding and the output
+/// head are fine-tuned. Channel-independent.
+class Ofa : public ForecastModel {
+ public:
+  explicit Ofa(const BaselineConfig& config);
+
+  Tensor Forward(const Tensor& x) const override;
+  std::string name() const override { return "OFA"; }
+
+ private:
+  BaselineConfig config_;
+  int64_t num_patches_;
+  mutable Rng rng_;
+  nn::RevIn revin_;
+  nn::Linear patch_embedding_;
+  Tensor position_embedding_;
+  nn::TransformerEncoder backbone_;  // attn/ffn frozen, LN trainable
+  FlattenHead head_;
+};
+
+/// Time-LLM (Jin et al., ICLR 2024): the backbone language model remains
+/// fully intact (frozen); patches are REPROGRAMMED into its input space by
+/// cross-attending against a small set of learned text prototypes, and a
+/// flatten head decodes the frozen backbone's outputs. Channel-independent.
+class TimeLlm : public ForecastModel {
+ public:
+  explicit TimeLlm(const BaselineConfig& config);
+
+  Tensor Forward(const Tensor& x) const override;
+  std::string name() const override { return "Time-LLM"; }
+
+ private:
+  BaselineConfig config_;
+  int64_t num_patches_;
+  mutable Rng rng_;
+  nn::RevIn revin_;
+  nn::Linear patch_embedding_;         // patch_len -> D_llm
+  Tensor prototypes_;                  // [K, D_llm] learned text prototypes
+  nn::MultiHeadAttention reprogramming_;  // Q=patches, K/V=prototypes
+  nn::TransformerEncoder backbone_;    // fully frozen
+  FlattenHead head_;
+};
+
+/// UniTime (Liu et al., WWW 2024): a Language-TS Transformer consumes the
+/// concatenation of embedded text-instruction tokens and patch tokens and
+/// is trained END-TO-END (hence the largest trainable-parameter count in
+/// Table IV). Channel-independent.
+class UniTime : public ForecastModel {
+ public:
+  explicit UniTime(const BaselineConfig& config);
+
+  Tensor Forward(const Tensor& x) const override;
+  std::string name() const override { return "UniTime"; }
+
+ private:
+  BaselineConfig config_;
+  int64_t num_patches_;
+  mutable Rng rng_;
+  text::Tokenizer tokenizer_;
+  std::vector<int64_t> instruction_ids_;
+  nn::RevIn revin_;
+  nn::Embedding word_embedding_;
+  nn::Linear patch_embedding_;
+  Tensor position_embedding_;  // over instruction + patch positions
+  nn::TransformerEncoder language_ts_encoder_;  // fully trainable
+  FlattenHead head_;
+};
+
+}  // namespace timekd::baselines
+
+#endif  // TIMEKD_BASELINES_LLM_BASELINES_H_

@@ -1,0 +1,75 @@
+#include "baselines/patchtst.h"
+
+#include "common/logging.h"
+#include "tensor/ops.h"
+
+namespace timekd::baselines {
+
+using tensor::Concat;
+using tensor::Reshape;
+using tensor::Slice;
+using tensor::Transpose;
+
+int64_t NumPatches(int64_t input_len, int64_t patch_len, int64_t stride) {
+  TIMEKD_CHECK_GE(input_len, patch_len);
+  TIMEKD_CHECK_GT(stride, 0);
+  return (input_len - patch_len) / stride + 1;
+}
+
+Tensor MakePatches(const Tensor& x, int64_t patch_len, int64_t stride) {
+  TIMEKD_CHECK_EQ(x.dim(), 2);
+  const int64_t rows = x.size(0);
+  const int64_t h = x.size(1);
+  const int64_t p = NumPatches(h, patch_len, stride);
+  std::vector<Tensor> patches;
+  patches.reserve(static_cast<size_t>(p));
+  for (int64_t i = 0; i < p; ++i) {
+    patches.push_back(
+        Reshape(Slice(x, 1, i * stride, patch_len), {rows, 1, patch_len}));
+  }
+  return Concat(patches, 1);  // [R, P, patch_len]
+}
+
+PatchTst::PatchTst(const BaselineConfig& config)
+    : config_(config),
+      num_patches_(
+          NumPatches(config.input_len, config.patch_len, config.patch_stride)),
+      rng_(config.seed),
+      revin_(config.num_variables),
+      patch_embedding_(config.patch_len, config.d_model, /*bias=*/true, rng_),
+      encoder_(config.encoder_layers, config.d_model, config.num_heads,
+               config.ffn_hidden, config.dropout, nn::Activation::kGelu,
+               &rng_),
+      head_(num_patches_ * config.d_model, config.horizon, /*bias=*/true,
+            rng_) {
+  RegisterModule("revin", &revin_);
+  RegisterModule("patch_embedding", &patch_embedding_);
+  position_embedding_ = RegisterParameter(
+      "position_embedding",
+      Tensor::RandNormal({num_patches_, config.d_model}, 0.0f, 0.02f, rng_));
+  RegisterModule("encoder", &encoder_);
+  RegisterModule("head", &head_);
+}
+
+Tensor PatchTst::Forward(const Tensor& x) const {
+  TIMEKD_CHECK_EQ(x.dim(), 3);
+  const int64_t b = x.size(0);
+  const int64_t n = config_.num_variables;
+
+  Tensor normalized = revin_.Normalize(x);  // [B, H, N]
+  // Channel independence: fold variables into the batch dimension.
+  Tensor per_channel = Reshape(Transpose(normalized, 1, 2),
+                               {b * n, config_.input_len});  // [BN, H]
+  Tensor patches =
+      MakePatches(per_channel, config_.patch_len, config_.patch_stride);
+  Tensor tokens = tensor::Add(patch_embedding_.Forward(patches),
+                              position_embedding_);  // [BN, P, D]
+  Tensor encoded = encoder_.Forward(tokens, Tensor());
+  Tensor flat = Reshape(encoded, {b * n, num_patches_ * config_.d_model});
+  Tensor horizon = head_.Forward(flat);                 // [BN, M]
+  Tensor forecast = Transpose(
+      Reshape(horizon, {b, n, config_.horizon}), 1, 2);  // [B, M, N]
+  return revin_.Denormalize(forecast);
+}
+
+}  // namespace timekd::baselines

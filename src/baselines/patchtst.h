@@ -1,0 +1,43 @@
+#ifndef TIMEKD_BASELINES_PATCHTST_H_
+#define TIMEKD_BASELINES_PATCHTST_H_
+
+#include "baselines/forecast_model.h"
+#include "nn/attention.h"
+#include "nn/layers.h"
+#include "nn/revin.h"
+
+namespace timekd::baselines {
+
+/// Splits each row of x [R, H] into overlapping patches:
+/// [R, P, patch_len] with P = (H - patch_len) / stride + 1.
+/// Autograd-aware (built from Slice/Concat), shared by the patch-based
+/// baselines (PatchTST, OFA, Time-LLM, UniTime).
+Tensor MakePatches(const Tensor& x, int64_t patch_len, int64_t stride);
+
+/// Number of patches produced by MakePatches for a length-H history.
+int64_t NumPatches(int64_t input_len, int64_t patch_len, int64_t stride);
+
+/// PatchTST (Nie et al., ICLR 2023): channel-independent patching. Every
+/// variable is processed independently by a shared Transformer over patch
+/// tokens; a flatten head maps the encoded patches to the horizon.
+class PatchTst : public ForecastModel {
+ public:
+  explicit PatchTst(const BaselineConfig& config);
+
+  Tensor Forward(const Tensor& x) const override;
+  std::string name() const override { return "PatchTST"; }
+
+ private:
+  BaselineConfig config_;
+  int64_t num_patches_;
+  mutable Rng rng_;
+  nn::RevIn revin_;
+  nn::Linear patch_embedding_;  // patch_len -> D
+  Tensor position_embedding_;   // [P, D]
+  nn::TransformerEncoder encoder_;
+  nn::Linear head_;  // P * D -> M
+};
+
+}  // namespace timekd::baselines
+
+#endif  // TIMEKD_BASELINES_PATCHTST_H_

@@ -1,0 +1,154 @@
+#include "baselines/timecma.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+#include "llm/pretrain.h"
+#include "tensor/ops.h"
+
+namespace timekd::baselines {
+
+using tensor::Add;
+using tensor::Reshape;
+using tensor::Transpose;
+
+namespace {
+
+/// FNV-1a over the raw bytes of a float window; keys the prompt memo.
+uint64_t HashWindow(const float* values, int64_t count) {
+  uint64_t h = 1469598103934665603ULL;
+  const auto* bytes = reinterpret_cast<const unsigned char*>(values);
+  const size_t n = static_cast<size_t>(count) * sizeof(float);
+  for (size_t i = 0; i < n; ++i) {
+    h ^= bytes[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+TimeCma::TimeCma(const BaselineConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      prompt_builder_(config.prompt),
+      revin_(config.num_variables),
+      inverted_embedding_(config.input_len, config.d_model, /*bias=*/true,
+                          rng_),
+      ts_encoder_(config.encoder_layers, config.d_model, config.num_heads,
+                  config.ffn_hidden, config.dropout, nn::Activation::kGelu,
+                  &rng_),
+      cross_attention_(config.d_model, config.num_heads, config.dropout,
+                       &rng_),
+      head_(config.d_model, config.horizon, /*bias=*/true, rng_) {
+  llm::LlmConfig lm_config;
+  lm_config.kind = llm::LlmKind::kGptMini;
+  lm_config.vocab_size = prompt_builder_.vocab().size();
+  lm_config.d_model = config.llm_d_model;
+  lm_config.num_layers = config.llm_layers;
+  lm_config.num_heads = config.llm_heads;
+  lm_config.ffn_hidden = config.llm_ffn;
+  lm_config.seed = config.seed + 31;
+  lm_ = std::make_unique<llm::LanguageModel>(lm_config);
+  if (config.llm_pretrain_sequences > 0) {
+    llm::PretrainConfig pre;
+    pre.num_sequences = config.llm_pretrain_sequences;
+    pre.seed = config.seed + 41;
+    llm::PretrainLm(lm_.get(), pre);
+  }
+  lm_->Freeze();
+  lm_->SetTraining(false);
+
+  if (config.prompt_hidden > 0) {
+    prompt_up_ = std::make_unique<nn::Linear>(config.llm_d_model,
+                                              config.prompt_hidden,
+                                              /*bias=*/true, rng_);
+    prompt_down_ = std::make_unique<nn::Linear>(config.prompt_hidden,
+                                                config.d_model,
+                                                /*bias=*/true, rng_);
+  } else {
+    prompt_projection_ = std::make_unique<nn::Linear>(
+        config.llm_d_model, config.d_model, /*bias=*/true, rng_);
+  }
+
+  RegisterModule("language_model", lm_.get());
+  RegisterModule("revin", &revin_);
+  RegisterModule("inverted_embedding", &inverted_embedding_);
+  RegisterModule("ts_encoder", &ts_encoder_);
+  if (prompt_projection_ != nullptr) {
+    RegisterModule("prompt_projection", prompt_projection_.get());
+  } else {
+    RegisterModule("prompt_up", prompt_up_.get());
+    RegisterModule("prompt_down", prompt_down_.get());
+  }
+  RegisterModule("cross_attention", &cross_attention_);
+  RegisterModule("head", &head_);
+
+  // Zero-init scalar gate on the alignment branch: the model starts as a
+  // pure time-series encoder and blends prompt retrieval in only as far as
+  // training finds it useful (residual-adapter initialization).
+  alignment_gate_ = RegisterParameter("alignment_gate", Tensor::Zeros({1}));
+}
+
+Tensor TimeCma::PromptEmbeddingsFor(const Tensor& x) const {
+  tensor::NoGradGuard no_grad;
+  const int64_t b = x.size(0);
+  const int64_t h = config_.input_len;
+  const int64_t n = config_.num_variables;
+  const int64_t d = config_.llm_d_model;
+  std::vector<float> out(static_cast<size_t>(b * n * d));
+  std::vector<float> window(static_cast<size_t>(h));
+  for (int64_t bi = 0; bi < b; ++bi) {
+    for (int64_t v = 0; v < n; ++v) {
+      for (int64_t t = 0; t < h; ++t) {
+        window[static_cast<size_t>(t)] = x.at((bi * h + t) * n + v);
+      }
+      const uint64_t key = HashWindow(window.data(), h);
+      auto it = prompt_cache_.find(key);
+      if (it == prompt_cache_.end()) {
+        text::PromptSpec spec;
+        spec.t_start = 0;
+        spec.t_end = h - 1;
+        spec.freq_minutes = config_.freq_minutes;
+        spec.horizon = config_.horizon;
+        spec.history = window;
+        Tensor emb = lm_->EncodeLastToken(
+            prompt_builder_.TokenizeHistoricalPrompt(spec),
+            /*calibrated=*/false);
+        std::vector<float> stored(emb.data(), emb.data() + emb.numel());
+        it = prompt_cache_.emplace(key, std::move(stored)).first;
+      }
+      std::copy(it->second.begin(), it->second.end(),
+                out.begin() + (bi * n + v) * d);
+    }
+  }
+  return Tensor::FromVector({b, n, d}, std::move(out));
+}
+
+Tensor TimeCma::Forward(const Tensor& x) const {
+  TIMEKD_CHECK_EQ(x.dim(), 3);
+
+  // Time-series branch (variables as tokens).
+  Tensor normalized = revin_.Normalize(x);
+  Tensor time_tokens =
+      inverted_embedding_.Forward(Transpose(normalized, 1, 2));  // [B, N, D]
+  Tensor encoded = ts_encoder_.Forward(time_tokens, Tensor());
+
+  // Prompt branch: frozen LM last-token embeddings per variable.
+  Tensor prompt_raw = PromptEmbeddingsFor(x);
+  Tensor prompt_tokens =
+      prompt_projection_ != nullptr
+          ? prompt_projection_->Forward(prompt_raw)
+          : prompt_down_->Forward(
+                tensor::Gelu(prompt_up_->Forward(prompt_raw)));  // [B, N, D]
+
+  // Cross-modality alignment: time queries retrieve prompt context.
+  Tensor aligned = cross_attention_.Forward(encoded, prompt_tokens,
+                                            prompt_tokens, Tensor());
+  Tensor fused = Add(encoded, tensor::Mul(aligned, alignment_gate_));
+
+  Tensor forecast = Transpose(head_.Forward(fused), 1, 2);  // [B, M, N]
+  return revin_.Denormalize(forecast);
+}
+
+}  // namespace timekd::baselines

@@ -1,0 +1,63 @@
+#ifndef TIMEKD_BASELINES_TIMECMA_H_
+#define TIMEKD_BASELINES_TIMECMA_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/forecast_model.h"
+#include "llm/language_model.h"
+#include "nn/attention.h"
+#include "nn/layers.h"
+#include "nn/revin.h"
+#include "text/prompt.h"
+
+namespace timekd::baselines {
+
+/// TimeCMA (Liu et al., 2025): channel-dependent dual-branch forecasting
+/// with cross-modality alignment. A time-series branch embeds variables as
+/// tokens (inverted embedding); a prompt branch encodes per-variable
+/// HISTORICAL prompts with a frozen LM and retrieves last-token
+/// embeddings; cross attention aligns the two branches before the
+/// forecasting head.
+///
+/// Unlike TimeKD, the prompt branch runs at inference time too (the LM is
+/// in the serving path) — which is exactly why TimeKD beats it on
+/// inference speed in Table IV. A value-keyed memo cache avoids recomputing
+/// embeddings for windows seen in earlier epochs.
+class TimeCma : public ForecastModel {
+ public:
+  explicit TimeCma(const BaselineConfig& config);
+
+  Tensor Forward(const Tensor& x) const override;
+  std::string name() const override { return "TimeCMA"; }
+
+  /// Number of distinct windows whose prompt embeddings are memoized.
+  int64_t prompt_cache_size() const {
+    return static_cast<int64_t>(prompt_cache_.size());
+  }
+
+ private:
+  /// Frozen-LM last-token embeddings for every variable of every batch
+  /// element: [B, N, D_llm] as a constant (no grad).
+  Tensor PromptEmbeddingsFor(const Tensor& x) const;
+
+  BaselineConfig config_;
+  mutable Rng rng_;
+  text::PromptBuilder prompt_builder_;
+  std::unique_ptr<llm::LanguageModel> lm_;  // frozen
+  nn::RevIn revin_;
+  nn::Linear inverted_embedding_;
+  nn::TransformerEncoder ts_encoder_;
+  std::unique_ptr<nn::Linear> prompt_projection_;   // D_llm -> D (direct)
+  std::unique_ptr<nn::Linear> prompt_up_;           // D_llm -> hidden
+  std::unique_ptr<nn::Linear> prompt_down_;         // hidden -> D
+  nn::MultiHeadAttention cross_attention_;  // alignment
+  Tensor alignment_gate_;  // scalar, zero-init residual gate
+  nn::Linear head_;
+  mutable std::unordered_map<uint64_t, std::vector<float>> prompt_cache_;
+};
+
+}  // namespace timekd::baselines
+
+#endif  // TIMEKD_BASELINES_TIMECMA_H_

@@ -1,0 +1,132 @@
+#include "baselines/trainer.h"
+
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "nn/optimizer.h"
+#include "tensor/ops.h"
+
+namespace timekd::baselines {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+}  // namespace
+
+BaselineTrainer::BaselineTrainer(ForecastModel* model) : model_(model) {
+  TIMEKD_CHECK(model != nullptr);
+}
+
+Metrics EvaluateModel(const ForecastModel& model,
+                      const data::WindowDataset& ds) {
+  tensor::NoGradGuard no_grad;
+  const_cast<ForecastModel&>(model).SetTraining(false);
+  double se = 0.0;
+  double ae = 0.0;
+  int64_t count = 0;
+  for (int64_t i = 0; i < ds.NumSamples(); ++i) {
+    data::ForecastBatch batch = ds.GetBatch({i});
+    Tensor pred = model.Forward(batch.x);
+    const float* p = pred.data();
+    const float* y = batch.y.data();
+    for (int64_t j = 0; j < pred.numel(); ++j) {
+      const double d = static_cast<double>(p[j]) - y[j];
+      se += d * d;
+      ae += std::fabs(d);
+    }
+    count += pred.numel();
+  }
+  Metrics m;
+  if (count > 0) {
+    m.mse = se / count;
+    m.mae = ae / count;
+  }
+  return m;
+}
+
+BaselineFitStats BaselineTrainer::Fit(const data::WindowDataset& train,
+                                      const data::WindowDataset* val,
+                                      const core::TrainConfig& config) {
+  BaselineFitStats stats;
+  nn::AdamWConfig opt_config;
+  opt_config.lr = config.lr;
+  opt_config.weight_decay = config.weight_decay;
+  std::vector<Tensor> params = model_->Parameters();
+  nn::AdamW optimizer(params, opt_config);
+
+  Rng shuffle_rng(config.seed);
+  stats.best_val_mse = std::numeric_limits<double>::infinity();
+  std::vector<float> best_snapshot;
+
+  for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    const auto epoch_start = Clock::now();
+    model_->SetTraining(true);
+    BaselineEpochStats es;
+    int64_t batches = 0;
+    for (const auto& indices :
+         train.EpochBatches(config.batch_size, config.shuffle, &shuffle_rng)) {
+      data::ForecastBatch batch = train.GetBatch(indices);
+      Tensor loss =
+          tensor::SmoothL1Loss(model_->Forward(batch.x), batch.y);
+      optimizer.ZeroGrad();
+      loss.Backward();
+      nn::ClipGradNorm(params, config.clip_norm);
+      optimizer.Step();
+      es.loss += loss.item();
+      ++batches;
+      ++stats.steps;
+    }
+    if (batches > 0) es.loss /= batches;
+
+    if (val != nullptr && val->NumSamples() > 0) {
+      es.val_mse = Evaluate(*val).mse;
+      if (es.val_mse < stats.best_val_mse) {
+        stats.best_val_mse = es.val_mse;
+        stats.best_epoch = epoch;
+        best_snapshot = Snapshot();
+      }
+    } else {
+      es.val_mse = std::numeric_limits<double>::quiet_NaN();
+    }
+    es.seconds = SecondsSince(epoch_start);
+    if (config.verbose) {
+      TIMEKD_LOG(Info) << model_->name() << " epoch " << epoch
+                       << " loss=" << es.loss << " val_mse=" << es.val_mse
+                       << " (" << es.seconds << "s)";
+    }
+    stats.epochs.push_back(es);
+  }
+  if (!best_snapshot.empty()) Restore(best_snapshot);
+  model_->SetTraining(false);
+  return stats;
+}
+
+Metrics BaselineTrainer::Evaluate(const data::WindowDataset& ds) const {
+  return EvaluateModel(*model_, ds);
+}
+
+std::vector<float> BaselineTrainer::Snapshot() const {
+  std::vector<float> snapshot;
+  for (const Tensor& p : model_->Parameters()) {
+    snapshot.insert(snapshot.end(), p.data(), p.data() + p.numel());
+  }
+  return snapshot;
+}
+
+void BaselineTrainer::Restore(const std::vector<float>& snapshot) {
+  size_t offset = 0;
+  for (Tensor p : model_->Parameters()) {
+    TIMEKD_CHECK_LE(offset + p.numel(), snapshot.size());
+    std::copy(snapshot.begin() + offset, snapshot.begin() + offset + p.numel(),
+              p.data());
+    offset += static_cast<size_t>(p.numel());
+  }
+  TIMEKD_CHECK_EQ(offset, snapshot.size());
+}
+
+}  // namespace timekd::baselines

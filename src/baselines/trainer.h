@@ -1,0 +1,60 @@
+#ifndef TIMEKD_BASELINES_TRAINER_H_
+#define TIMEKD_BASELINES_TRAINER_H_
+
+#include <vector>
+
+#include "baselines/forecast_model.h"
+#include "core/config.h"
+#include "data/window_dataset.h"
+
+namespace timekd::baselines {
+
+/// Forecast accuracy over a dataset (Eq. 31–32).
+struct Metrics {
+  double mse = 0.0;
+  double mae = 0.0;
+};
+
+/// Per-epoch record of supervised baseline training.
+struct BaselineEpochStats {
+  double loss = 0.0;
+  double val_mse = 0.0;
+  double seconds = 0.0;
+};
+
+struct BaselineFitStats {
+  std::vector<BaselineEpochStats> epochs;
+  double best_val_mse = 0.0;
+  int64_t best_epoch = -1;
+  int64_t steps = 0;
+};
+
+/// Standard supervised training loop (SmoothL1 forecasting loss, AdamW,
+/// best-validation restore) shared by every baseline. Mirrors the protocol
+/// used for TimeKD so comparisons isolate the modelling differences.
+class BaselineTrainer {
+ public:
+  /// `model` must outlive the trainer.
+  explicit BaselineTrainer(ForecastModel* model);
+
+  BaselineFitStats Fit(const data::WindowDataset& train,
+                       const data::WindowDataset* val,
+                       const core::TrainConfig& config);
+
+  /// Test-protocol evaluation (batch size 1).
+  Metrics Evaluate(const data::WindowDataset& ds) const;
+
+ private:
+  std::vector<float> Snapshot() const;
+  void Restore(const std::vector<float>& snapshot);
+
+  ForecastModel* model_;
+};
+
+/// Free-standing evaluation usable for any predict function.
+Metrics EvaluateModel(const ForecastModel& model,
+                      const data::WindowDataset& ds);
+
+}  // namespace timekd::baselines
+
+#endif  // TIMEKD_BASELINES_TRAINER_H_

@@ -1,0 +1,302 @@
+#include "cli/cli.h"
+
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "core/timekd.h"
+#include "data/datasets.h"
+#include "data/time_series.h"
+#include "data/window_dataset.h"
+#include "eval/metrics.h"
+
+namespace timekd::cli {
+
+namespace {
+
+/// Minimal "--key value" flag parser; everything after the subcommand must
+/// be flag pairs.
+class Flags {
+ public:
+  static StatusOr<Flags> Parse(const std::vector<std::string>& args,
+                               size_t first) {
+    Flags flags;
+    for (size_t i = first; i < args.size(); i += 2) {
+      const std::string& key = args[i];
+      if (key.size() < 3 || key[0] != '-' || key[1] != '-') {
+        return Status::InvalidArgument("expected --flag, got '" + key + "'");
+      }
+      if (i + 1 >= args.size()) {
+        return Status::InvalidArgument("flag " + key + " missing a value");
+      }
+      flags.values_[key.substr(2)] = args[i + 1];
+    }
+    return flags;
+  }
+
+  bool Has(const std::string& key) const {
+    return values_.find(key) != values_.end();
+  }
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  int64_t GetInt(const std::string& key, int64_t fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::strtol(it->second.c_str(),
+                                                        nullptr, 10);
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback
+                               : std::strtod(it->second.c_str(), nullptr);
+  }
+  Status Require(const std::vector<std::string>& keys) const {
+    for (const std::string& key : keys) {
+      if (!Has(key)) {
+        return Status::InvalidArgument("missing required flag --" + key);
+      }
+    }
+    return Status::Ok();
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+StatusOr<data::DatasetId> DatasetByName(const std::string& name) {
+  for (data::DatasetId id :
+       {data::DatasetId::kEttm1, data::DatasetId::kEttm2,
+        data::DatasetId::kEtth1, data::DatasetId::kEtth2,
+        data::DatasetId::kWeather, data::DatasetId::kExchange,
+        data::DatasetId::kPems04, data::DatasetId::kPems08}) {
+    if (name == data::DatasetName(id)) return id;
+  }
+  return Status::InvalidArgument("unknown dataset '" + name +
+                                 "' (use e.g. ETTh1, Weather, PEMS04)");
+}
+
+core::TimeKdConfig ConfigFromFlags(const Flags& flags, int64_t num_variables,
+                                   int64_t freq_minutes) {
+  core::TimeKdConfig config;
+  config.num_variables = num_variables;
+  config.input_len = flags.GetInt("input", 24);
+  config.horizon = flags.GetInt("horizon", 12);
+  config.freq_minutes = freq_minutes;
+  config.d_model = flags.GetInt("dim", 16);
+  config.ffn_hidden = config.d_model * 2;
+  config.num_heads = 4;
+  config.llm.d_model = flags.GetInt("llm-dim", 32);
+  config.llm.num_layers = flags.GetInt("llm-layers", 2);
+  config.llm.ffn_hidden = config.llm.d_model * 2;
+  config.prompt.stride =
+      static_cast<int>(flags.GetInt("prompt-stride", 4));
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  return config;
+}
+
+int CmdGenerateData(const Flags& flags, std::ostream& out) {
+  if (Status s = flags.Require({"dataset", "length", "out"}); !s.ok()) {
+    out << s.ToString() << "\n";
+    return 2;
+  }
+  StatusOr<data::DatasetId> id = DatasetByName(flags.GetString("dataset", ""));
+  if (!id.ok()) {
+    out << id.status().ToString() << "\n";
+    return 2;
+  }
+  data::DatasetSpec spec = data::DefaultSpec(*id, flags.GetInt("length", 600));
+  if (flags.Has("variables")) {
+    spec.num_variables = flags.GetInt("variables", spec.num_variables);
+  }
+  spec.seed = static_cast<uint64_t>(flags.GetInt("seed", spec.seed));
+  data::TimeSeries series = data::MakeDataset(spec);
+  const std::string path = flags.GetString("out", "");
+  if (Status s = series.SaveCsv(path); !s.ok()) {
+    out << s.ToString() << "\n";
+    return 1;
+  }
+  out << "wrote " << series.num_steps() << " x " << series.num_variables()
+      << " series to " << path << "\n";
+  return 0;
+}
+
+/// Loads the CSV and returns standardized train/val/test windows.
+StatusOr<eval::ForecastMetrics> TrainAndReport(const Flags& flags,
+                                               std::ostream& out,
+                                               bool save_student) {
+  StatusOr<data::TimeSeries> series = data::TimeSeries::LoadCsv(
+      flags.GetString("data", ""), flags.GetInt("freq", 60));
+  if (!series.ok()) return series.status();
+
+  data::DataSplits splits = data::ChronologicalSplit(*series, {0.7, 0.1});
+  data::StandardScaler scaler;
+  scaler.Fit(splits.train);
+  const int64_t input_len = flags.GetInt("input", 24);
+  const int64_t horizon = flags.GetInt("horizon", 12);
+  data::WindowDataset train(scaler.Transform(splits.train), input_len,
+                            horizon);
+  data::WindowDataset val(scaler.Transform(splits.val), input_len, horizon);
+  data::WindowDataset test(scaler.Transform(splits.test), input_len, horizon);
+  if (train.NumSamples() <= 0 || test.NumSamples() <= 0) {
+    return Status::InvalidArgument(
+        "series too short for the requested input/horizon");
+  }
+
+  core::TimeKdConfig config =
+      ConfigFromFlags(flags, series->num_variables(), series->freq_minutes());
+  core::TimeKd model(config);
+  core::TrainConfig tc;
+  tc.epochs = flags.GetInt("epochs", 8);
+  tc.teacher_epochs = tc.epochs * 2;
+  tc.lr = flags.GetDouble("lr", 2e-3);
+  tc.seed = config.seed;
+  core::FitStats stats = model.Fit(train, &val, tc);
+  out << "trained " << stats.steps << " steps (CLM cache "
+      << stats.cache_build_seconds << "s)\n";
+
+  eval::ForecastMetrics metrics = eval::EvaluateForecastFn(
+      [&](const tensor::Tensor& x) { return model.Predict(x); }, test);
+  if (save_student && flags.Has("student-out")) {
+    const std::string path = flags.GetString("student-out", "");
+    if (Status s = model.SaveStudent(path); !s.ok()) return s;
+    out << "student saved to " << path << "\n";
+  }
+  return metrics;
+}
+
+int CmdTrain(const Flags& flags, std::ostream& out) {
+  if (Status s = flags.Require({"data"}); !s.ok()) {
+    out << s.ToString() << "\n";
+    return 2;
+  }
+  StatusOr<eval::ForecastMetrics> metrics =
+      TrainAndReport(flags, out, /*save_student=*/true);
+  if (!metrics.ok()) {
+    out << metrics.status().ToString() << "\n";
+    return 1;
+  }
+  out << "test MSE " << metrics->mse << "  MAE " << metrics->mae << "  RMSE "
+      << metrics->rmse << "  sMAPE " << metrics->smape << "%  MASE "
+      << metrics->mase << "\n";
+  return 0;
+}
+
+int CmdEvaluate(const Flags& flags, std::ostream& out) {
+  if (Status s = flags.Require({"data", "student"}); !s.ok()) {
+    out << s.ToString() << "\n";
+    return 2;
+  }
+  StatusOr<data::TimeSeries> series = data::TimeSeries::LoadCsv(
+      flags.GetString("data", ""), flags.GetInt("freq", 60));
+  if (!series.ok()) {
+    out << series.status().ToString() << "\n";
+    return 1;
+  }
+  data::DataSplits splits = data::ChronologicalSplit(*series, {0.7, 0.1});
+  data::StandardScaler scaler;
+  scaler.Fit(splits.train);
+  data::WindowDataset test(scaler.Transform(splits.test),
+                           flags.GetInt("input", 24),
+                           flags.GetInt("horizon", 12));
+  core::TimeKdConfig config =
+      ConfigFromFlags(flags, series->num_variables(), series->freq_minutes());
+  core::TimeKd model(config);
+  if (Status s = model.LoadStudent(flags.GetString("student", "")); !s.ok()) {
+    out << s.ToString() << "\n";
+    return 1;
+  }
+  eval::ForecastMetrics metrics = eval::EvaluateForecastFn(
+      [&](const tensor::Tensor& x) { return model.Predict(x); }, test);
+  out << "test MSE " << metrics.mse << "  MAE " << metrics.mae << " over "
+      << test.NumSamples() << " windows\n";
+  return 0;
+}
+
+int CmdForecast(const Flags& flags, std::ostream& out) {
+  if (Status s = flags.Require({"data", "student", "out"}); !s.ok()) {
+    out << s.ToString() << "\n";
+    return 2;
+  }
+  StatusOr<data::TimeSeries> series = data::TimeSeries::LoadCsv(
+      flags.GetString("data", ""), flags.GetInt("freq", 60));
+  if (!series.ok()) {
+    out << series.status().ToString() << "\n";
+    return 1;
+  }
+  const int64_t input_len = flags.GetInt("input", 24);
+  const int64_t horizon = flags.GetInt("horizon", 12);
+  if (series->num_steps() < input_len) {
+    out << "series shorter than the input window\n";
+    return 1;
+  }
+  data::StandardScaler scaler;
+  scaler.Fit(*series);
+  data::TimeSeries normalized = scaler.Transform(*series);
+
+  core::TimeKdConfig config =
+      ConfigFromFlags(flags, series->num_variables(), series->freq_minutes());
+  core::TimeKd model(config);
+  if (Status s = model.LoadStudent(flags.GetString("student", "")); !s.ok()) {
+    out << s.ToString() << "\n";
+    return 1;
+  }
+
+  const int64_t n = series->num_variables();
+  const int64_t start = series->num_steps() - input_len;
+  std::vector<float> window(static_cast<size_t>(input_len * n));
+  for (int64_t t = 0; t < input_len; ++t) {
+    for (int64_t v = 0; v < n; ++v) {
+      window[static_cast<size_t>(t * n + v)] = normalized.at(start + t, v);
+    }
+  }
+  tensor::Tensor forecast = model.Predict(
+      tensor::Tensor::FromVector({1, input_len, n}, std::move(window)));
+
+  data::TimeSeries result(horizon, n, series->freq_minutes());
+  result.set_variable_names(series->variable_names());
+  for (int64_t t = 0; t < horizon; ++t) {
+    for (int64_t v = 0; v < n; ++v) {
+      result.set(t, v, forecast.at(t * n + v));
+    }
+  }
+  result = scaler.InverseTransform(result);
+  const std::string path = flags.GetString("out", "");
+  if (Status s = result.SaveCsv(path); !s.ok()) {
+    out << s.ToString() << "\n";
+    return 1;
+  }
+  out << "wrote " << horizon << "-step forecast for " << n
+      << " variables to " << path << "\n";
+  return 0;
+}
+
+void PrintUsage(std::ostream& out) {
+  out << "usage: timekd_cli <generate-data|train|evaluate|forecast> "
+         "[--flag value ...]\n"
+         "see src/cli/cli.h for the full flag reference\n";
+}
+
+}  // namespace
+
+int RunCli(const std::vector<std::string>& args, std::ostream& out) {
+  if (args.empty()) {
+    PrintUsage(out);
+    return 2;
+  }
+  StatusOr<Flags> flags = Flags::Parse(args, 1);
+  if (!flags.ok()) {
+    out << flags.status().ToString() << "\n";
+    return 2;
+  }
+  const std::string& command = args[0];
+  if (command == "generate-data") return CmdGenerateData(*flags, out);
+  if (command == "train") return CmdTrain(*flags, out);
+  if (command == "evaluate") return CmdEvaluate(*flags, out);
+  if (command == "forecast") return CmdForecast(*flags, out);
+  PrintUsage(out);
+  return 2;
+}
+
+}  // namespace timekd::cli

@@ -1,0 +1,32 @@
+#ifndef TIMEKD_CLI_CLI_H_
+#define TIMEKD_CLI_CLI_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace timekd::cli {
+
+/// Entry point of the timekd command-line tool. `args` excludes argv[0].
+/// Output goes to `out`; returns a process exit code.
+///
+/// Subcommands:
+///   generate-data --dataset <name> --length <T> --out <csv>
+///                 [--variables N] [--seed S]
+///   train         --data <csv> --freq <minutes> --input <H> --horizon <M>
+///                 [--epochs E] [--lr LR] [--student-out <bin>]
+///                 [--seed S] [--llm-dim D] [--prompt-stride K]
+///   evaluate      --data <csv> --freq <minutes> --input <H> --horizon <M>
+///                 --student <bin> [--llm-dim D]
+///   forecast      --data <csv> --freq <minutes> --input <H> --horizon <M>
+///                 --student <bin> --out <csv> [--llm-dim D]
+///
+/// `train` fits TimeKD on the chronological 70/10/20 split of the CSV and
+/// reports test metrics; `evaluate` scores a saved student on the test
+/// split; `forecast` predicts the M steps following the last H rows and
+/// writes them as CSV.
+int RunCli(const std::vector<std::string>& args, std::ostream& out);
+
+}  // namespace timekd::cli
+
+#endif  // TIMEKD_CLI_CLI_H_

@@ -1,0 +1,38 @@
+#ifndef TIMEKD_COMMON_ENV_CONFIG_H_
+#define TIMEKD_COMMON_ENV_CONFIG_H_
+
+#include <cstdlib>
+#include <string>
+
+namespace timekd {
+
+/// Returns the environment variable `name`, or `fallback` when unset/empty.
+inline std::string GetEnvString(const char* name, const std::string& fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return value;
+}
+
+/// Returns the integer value of environment variable `name`, or `fallback`.
+inline long GetEnvInt(const char* name, long fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  long parsed = std::strtol(value, &end, 10);
+  if (end == value) return fallback;
+  return parsed;
+}
+
+/// Returns the double value of environment variable `name`, or `fallback`.
+inline double GetEnvDouble(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  double parsed = std::strtod(value, &end);
+  if (end == value) return fallback;
+  return parsed;
+}
+
+}  // namespace timekd
+
+#endif  // TIMEKD_COMMON_ENV_CONFIG_H_

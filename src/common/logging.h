@@ -1,0 +1,77 @@
+#ifndef TIMEKD_COMMON_LOGGING_H_
+#define TIMEKD_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace timekd {
+
+/// Log severities. kFatal aborts after printing.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+namespace internal_logging {
+
+/// Minimum severity actually emitted; controlled by TIMEKD_LOG_LEVEL
+/// (0=debug .. 3=error). Defaults to kInfo.
+LogLevel MinLevel();
+
+/// Stream-style log sink that emits one line to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when the severity is below the
+/// threshold, so disabled log statements cost only the level check.
+struct LogMessageVoidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal_logging
+}  // namespace timekd
+
+#define TIMEKD_LOG(level)                                                  \
+  (::timekd::LogLevel::k##level < ::timekd::internal_logging::MinLevel()) \
+      ? (void)0                                                            \
+      : ::timekd::internal_logging::LogMessageVoidify() &                  \
+            ::timekd::internal_logging::LogMessage(                        \
+                ::timekd::LogLevel::k##level, __FILE__, __LINE__)          \
+                .stream()
+
+/// Fatal-on-false invariant check, active in all build types. Use for
+/// internal programming errors (shape mismatches, index bugs); use Status
+/// for recoverable/user-facing failures.
+#define TIMEKD_CHECK(cond)                                                \
+  (cond) ? (void)0                                                        \
+         : ::timekd::internal_logging::LogMessageVoidify() &              \
+               ::timekd::internal_logging::LogMessage(                    \
+                   ::timekd::LogLevel::kFatal, __FILE__, __LINE__)        \
+                   .stream()                                              \
+               << "Check failed: " #cond " "
+
+#define TIMEKD_CHECK_EQ(a, b) \
+  TIMEKD_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define TIMEKD_CHECK_NE(a, b) \
+  TIMEKD_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define TIMEKD_CHECK_LT(a, b) \
+  TIMEKD_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define TIMEKD_CHECK_LE(a, b) \
+  TIMEKD_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define TIMEKD_CHECK_GT(a, b) \
+  TIMEKD_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define TIMEKD_CHECK_GE(a, b) \
+  TIMEKD_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#endif  // TIMEKD_COMMON_LOGGING_H_

@@ -1,0 +1,90 @@
+#ifndef TIMEKD_COMMON_RNG_H_
+#define TIMEKD_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace timekd {
+
+/// Deterministic, seedable pseudo-random generator (xoshiro256** seeded via
+/// splitmix64). Every source of randomness in the library flows through an
+/// explicitly seeded Rng so experiments are reproducible bit-for-bit.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) { Seed(seed); }
+
+  /// Re-seeds the generator; identical seeds yield identical streams.
+  void Seed(uint64_t seed) {
+    // splitmix64 expansion of the seed into the 4-word state.
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+    has_gaussian_ = false;
+  }
+
+  /// Next raw 64-bit value (xoshiro256**).
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double Uniform() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t UniformInt(uint64_t n) { return NextU64() % n; }
+
+  /// Standard normal via Box-Muller (cached pair).
+  double Gaussian() {
+    if (has_gaussian_) {
+      has_gaussian_ = false;
+      return cached_gaussian_;
+    }
+    double u1 = 0.0;
+    while (u1 <= 1e-300) u1 = Uniform();
+    const double u2 = Uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * 3.14159265358979323846 * u2;
+    cached_gaussian_ = r * std::sin(theta);
+    has_gaussian_ = true;
+    return r * std::cos(theta);
+  }
+
+  /// Normal with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * Gaussian();
+  }
+
+  /// Bernoulli draw with probability p of true.
+  bool Bernoulli(double p) { return Uniform() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4] = {};
+  bool has_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace timekd
+
+#endif  // TIMEKD_COMMON_RNG_H_

@@ -1,0 +1,89 @@
+#include "common/serialize.h"
+
+#include <cstring>
+
+namespace timekd {
+
+BinaryWriter::BinaryWriter(const std::string& path)
+    : out_(path, std::ios::binary | std::ios::trunc) {}
+
+void BinaryWriter::WriteU32(uint32_t v) {
+  out_.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void BinaryWriter::WriteU64(uint64_t v) {
+  out_.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void BinaryWriter::WriteF32(float v) {
+  out_.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void BinaryWriter::WriteString(const std::string& s) {
+  WriteU64(s.size());
+  out_.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+void BinaryWriter::WriteFloatVector(const std::vector<float>& v) {
+  WriteU64(v.size());
+  out_.write(reinterpret_cast<const char*>(v.data()),
+             static_cast<std::streamsize>(v.size() * sizeof(float)));
+}
+
+void BinaryWriter::WriteI64Vector(const std::vector<int64_t>& v) {
+  WriteU64(v.size());
+  out_.write(reinterpret_cast<const char*>(v.data()),
+             static_cast<std::streamsize>(v.size() * sizeof(int64_t)));
+}
+
+Status BinaryWriter::Close() {
+  out_.flush();
+  if (!out_.good()) return Status::IoError("write failed");
+  out_.close();
+  return Status::Ok();
+}
+
+BinaryReader::BinaryReader(const std::string& path)
+    : in_(path, std::ios::binary) {}
+
+Status BinaryReader::ReadBytes(void* dst, size_t n) {
+  in_.read(reinterpret_cast<char*>(dst), static_cast<std::streamsize>(n));
+  if (in_.eof()) return Status::OutOfRange("truncated input");
+  if (!in_.good()) return Status::IoError("read failed");
+  return Status::Ok();
+}
+
+Status BinaryReader::ReadU32(uint32_t* v) { return ReadBytes(v, sizeof(*v)); }
+
+Status BinaryReader::ReadU64(uint64_t* v) { return ReadBytes(v, sizeof(*v)); }
+
+Status BinaryReader::ReadF32(float* v) { return ReadBytes(v, sizeof(*v)); }
+
+Status BinaryReader::ReadString(std::string* s) {
+  uint64_t n = 0;
+  TIMEKD_RETURN_IF_ERROR(ReadU64(&n));
+  if (n > (1ULL << 32)) return Status::OutOfRange("string too large");
+  s->resize(n);
+  if (n == 0) return Status::Ok();
+  return ReadBytes(s->data(), n);
+}
+
+Status BinaryReader::ReadFloatVector(std::vector<float>* v) {
+  uint64_t n = 0;
+  TIMEKD_RETURN_IF_ERROR(ReadU64(&n));
+  if (n > (1ULL << 33)) return Status::OutOfRange("vector too large");
+  v->resize(n);
+  if (n == 0) return Status::Ok();
+  return ReadBytes(v->data(), n * sizeof(float));
+}
+
+Status BinaryReader::ReadI64Vector(std::vector<int64_t>* v) {
+  uint64_t n = 0;
+  TIMEKD_RETURN_IF_ERROR(ReadU64(&n));
+  if (n > (1ULL << 32)) return Status::OutOfRange("vector too large");
+  v->resize(n);
+  if (n == 0) return Status::Ok();
+  return ReadBytes(v->data(), n * sizeof(int64_t));
+}
+
+}  // namespace timekd

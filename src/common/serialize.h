@@ -1,0 +1,60 @@
+#ifndef TIMEKD_COMMON_SERIALIZE_H_
+#define TIMEKD_COMMON_SERIALIZE_H_
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace timekd {
+
+/// Little-endian binary writer for model checkpoints and cached embeddings.
+/// Format: each record is a tag byte, then a payload. See BinaryReader.
+class BinaryWriter {
+ public:
+  /// Opens `path` for writing, truncating any existing file.
+  explicit BinaryWriter(const std::string& path);
+
+  /// True if the underlying stream is usable.
+  bool ok() const { return out_.good(); }
+
+  void WriteU32(uint32_t v);
+  void WriteU64(uint64_t v);
+  void WriteF32(float v);
+  void WriteString(const std::string& s);
+  void WriteFloatVector(const std::vector<float>& v);
+  void WriteI64Vector(const std::vector<int64_t>& v);
+
+  /// Flushes and closes; returns IO error if any write failed.
+  Status Close();
+
+ private:
+  std::ofstream out_;
+};
+
+/// Counterpart reader. All Read* methods return OUT_OF_RANGE on truncated
+/// input and IO_ERROR on stream failure.
+class BinaryReader {
+ public:
+  explicit BinaryReader(const std::string& path);
+
+  bool ok() const { return in_.good(); }
+
+  Status ReadU32(uint32_t* v);
+  Status ReadU64(uint64_t* v);
+  Status ReadF32(float* v);
+  Status ReadString(std::string* s);
+  Status ReadFloatVector(std::vector<float>* v);
+  Status ReadI64Vector(std::vector<int64_t>* v);
+
+ private:
+  Status ReadBytes(void* dst, size_t n);
+
+  std::ifstream in_;
+};
+
+}  // namespace timekd
+
+#endif  // TIMEKD_COMMON_SERIALIZE_H_

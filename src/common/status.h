@@ -1,0 +1,114 @@
+#ifndef TIMEKD_COMMON_STATUS_H_
+#define TIMEKD_COMMON_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+
+namespace timekd {
+
+/// Error codes for `Status`. Mirrors the RocksDB convention of a small,
+/// closed set of codes plus a free-form message.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIoError,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+};
+
+/// Result of an operation that can fail. Used on all public API paths that
+/// touch I/O or user-provided configuration; internal invariant violations
+/// use assertions instead. No exceptions cross library boundaries.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "<CODE>: <message>" string (or "OK").
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error holder, analogous to absl::StatusOr. The value is only
+/// accessible when `ok()`; accessing it otherwise aborts in debug builds.
+template <typename T>
+class StatusOr {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): mirrors absl::StatusOr,
+  // which allows implicit construction from both T and Status so that
+  // `return value;` and `return Status::...;` both work in factories.
+  StatusOr(T value) : status_(Status::Ok()), value_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  StatusOr(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "StatusOr constructed from OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return value_;
+  }
+  T& value() & {
+    assert(ok());
+    return value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace timekd
+
+/// Propagates a non-OK Status from an expression; usable in functions that
+/// themselves return Status.
+#define TIMEKD_RETURN_IF_ERROR(expr)        \
+  do {                                      \
+    ::timekd::Status _st = (expr);          \
+    if (!_st.ok()) return _st;              \
+  } while (false)
+
+#endif  // TIMEKD_COMMON_STATUS_H_

@@ -1,0 +1,169 @@
+#include "core/clm.h"
+
+#include "common/logging.h"
+#include "common/serialize.h"
+#include "llm/pretrain.h"
+#include "tensor/ops.h"
+#include "text/vocab.h"
+
+namespace timekd::core {
+
+Clm::Clm(const TimeKdConfig& config)
+    : config_(config), prompt_builder_(config.prompt) {
+  if (config_.use_clm) {
+    llm::LlmConfig llm_config = config_.llm;
+    if (llm_config.vocab_size == 0) {
+      llm_config.vocab_size = prompt_builder_.vocab().size();
+    }
+    if (!config_.use_calibrated_attention) {
+      llm_config.calibration_delta = 0.0f;
+    }
+    lm_ = std::make_unique<llm::LanguageModel>(llm_config);
+    d_llm_ = llm_config.d_model;
+    if (config_.llm_pretrain_sequences > 0) {
+      llm::PretrainConfig pre;
+      pre.num_sequences = config_.llm_pretrain_sequences;
+      pre.seed = config_.seed + 101;
+      llm::PretrainStats stats = llm::PretrainLm(lm_.get(), pre);
+      pretrain_final_loss_ = stats.final_loss;
+    }
+    lm_->Freeze();
+    lm_->SetTraining(false);
+    RegisterModule("language_model", lm_.get());
+  } else {
+    // w/o_CLM: frozen random-projection value encoders keep the teacher
+    // LLM-free while remaining cacheable constants.
+    d_llm_ = config_.llm.d_model;
+    Rng rng(config_.seed + 51);
+    value_encoder_h_ = std::make_unique<nn::Linear>(config_.input_len, d_llm_,
+                                                    /*bias=*/false, rng);
+    value_encoder_g_ = std::make_unique<nn::Linear>(config_.horizon, d_llm_,
+                                                    /*bias=*/false, rng);
+    value_encoder_h_->Freeze();
+    value_encoder_g_->Freeze();
+    RegisterModule("value_encoder_h", value_encoder_h_.get());
+    RegisterModule("value_encoder_g", value_encoder_g_.get());
+  }
+}
+
+Tensor Clm::EncodeWithValueEncoder(const data::WindowDataset& ds, int64_t i,
+                                   bool future) const {
+  const int64_t n = ds.series().num_variables();
+  const int64_t len = future ? ds.horizon() : ds.input_len();
+  std::vector<float> values(static_cast<size_t>(n * len));
+  for (int64_t v = 0; v < n; ++v) {
+    const std::vector<float> window =
+        future ? ds.FutureValues(i, v) : ds.HistoryValues(i, v);
+    std::copy(window.begin(), window.end(), values.begin() + v * len);
+  }
+  Tensor x = Tensor::FromVector({n, len}, std::move(values));
+  const nn::Linear& encoder = future ? *value_encoder_g_ : *value_encoder_h_;
+  return encoder.Forward(x).Detach();
+}
+
+PromptEmbeddings Clm::EncodeSample(const data::WindowDataset& ds,
+                                   int64_t i) const {
+  tensor::NoGradGuard no_grad;
+  PromptEmbeddings out;
+  if (!config_.use_clm) {
+    out.hd = EncodeWithValueEncoder(ds, i, /*future=*/false);
+    out.gt = config_.use_privileged_info
+                 ? EncodeWithValueEncoder(ds, i, /*future=*/true)
+                 : out.hd;
+    return out;
+  }
+
+  const int64_t n = ds.series().num_variables();
+  const bool calibrated = config_.use_calibrated_attention;
+  std::vector<text::TokenizedPrompt> hd_prompts;
+  std::vector<text::TokenizedPrompt> gt_prompts;
+  hd_prompts.reserve(static_cast<size_t>(n));
+  gt_prompts.reserve(static_cast<size_t>(n));
+  for (int64_t v = 0; v < n; ++v) {
+    text::PromptSpec spec;
+    spec.t_start = ds.HistoryStart(i);
+    spec.t_end = spec.t_start + ds.input_len() - 1;
+    spec.freq_minutes = config_.freq_minutes;
+    spec.horizon = ds.horizon();
+    spec.history = ds.HistoryValues(i, v);
+    hd_prompts.push_back(prompt_builder_.TokenizeHistoricalPrompt(spec));
+    if (config_.use_privileged_info) {
+      spec.future = ds.FutureValues(i, v);
+      gt_prompts.push_back(prompt_builder_.TokenizeGroundTruthPrompt(spec));
+    }
+  }
+  out.hd = lm_->EncodeLastTokens(hd_prompts, calibrated).Detach();
+  out.gt = config_.use_privileged_info
+               ? lm_->EncodeLastTokens(gt_prompts, calibrated).Detach()
+               : out.hd;
+  return out;
+}
+
+bool EmbeddingCache::Contains(int64_t sample) const {
+  return entries_.find(sample) != entries_.end();
+}
+
+void EmbeddingCache::Put(int64_t sample, const PromptEmbeddings& embeddings) {
+  TIMEKD_CHECK(embeddings.gt.defined() && embeddings.hd.defined());
+  TIMEKD_CHECK_EQ(embeddings.gt.dim(), 2);
+  Entry entry;
+  entry.n = embeddings.gt.size(0);
+  entry.d = embeddings.gt.size(1);
+  entry.gt.assign(embeddings.gt.data(),
+                  embeddings.gt.data() + embeddings.gt.numel());
+  entry.hd.assign(embeddings.hd.data(),
+                  embeddings.hd.data() + embeddings.hd.numel());
+  entries_[sample] = std::move(entry);
+}
+
+PromptEmbeddings EmbeddingCache::Get(int64_t sample) const {
+  auto it = entries_.find(sample);
+  TIMEKD_CHECK(it != entries_.end()) << "cache miss for sample " << sample;
+  const Entry& entry = it->second;
+  PromptEmbeddings out;
+  out.gt = Tensor::FromVector({entry.n, entry.d}, entry.gt);
+  out.hd = Tensor::FromVector({entry.n, entry.d}, entry.hd);
+  return out;
+}
+
+Status EmbeddingCache::Save(const std::string& path) const {
+  BinaryWriter writer(path);
+  if (!writer.ok()) return Status::IoError("cannot open " + path);
+  writer.WriteU64(entries_.size());
+  for (const auto& [sample, entry] : entries_) {
+    writer.WriteU64(static_cast<uint64_t>(sample));
+    writer.WriteU64(static_cast<uint64_t>(entry.n));
+    writer.WriteU64(static_cast<uint64_t>(entry.d));
+    writer.WriteFloatVector(entry.gt);
+    writer.WriteFloatVector(entry.hd);
+  }
+  return writer.Close();
+}
+
+Status EmbeddingCache::Load(const std::string& path) {
+  BinaryReader reader(path);
+  if (!reader.ok()) return Status::IoError("cannot open " + path);
+  uint64_t count = 0;
+  TIMEKD_RETURN_IF_ERROR(reader.ReadU64(&count));
+  entries_.clear();
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t sample = 0;
+    uint64_t n = 0;
+    uint64_t d = 0;
+    Entry entry;
+    TIMEKD_RETURN_IF_ERROR(reader.ReadU64(&sample));
+    TIMEKD_RETURN_IF_ERROR(reader.ReadU64(&n));
+    TIMEKD_RETURN_IF_ERROR(reader.ReadU64(&d));
+    TIMEKD_RETURN_IF_ERROR(reader.ReadFloatVector(&entry.gt));
+    TIMEKD_RETURN_IF_ERROR(reader.ReadFloatVector(&entry.hd));
+    entry.n = static_cast<int64_t>(n);
+    entry.d = static_cast<int64_t>(d);
+    if (entry.gt.size() != n * d || entry.hd.size() != n * d) {
+      return Status::InvalidArgument("corrupt cache entry");
+    }
+    entries_[static_cast<int64_t>(sample)] = std::move(entry);
+  }
+  return Status::Ok();
+}
+
+}  // namespace timekd::core

@@ -1,0 +1,96 @@
+#ifndef TIMEKD_CORE_CLM_H_
+#define TIMEKD_CORE_CLM_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/config.h"
+#include "data/window_dataset.h"
+#include "llm/language_model.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "text/prompt.h"
+
+namespace timekd::core {
+
+using tensor::Tensor;
+
+/// Last-token prompt embeddings of one training sample: the ground-truth
+/// prompt row and the historical prompt row for each of the N variables.
+struct PromptEmbeddings {
+  Tensor gt;  // L_GT  [N, D_llm]
+  Tensor hd;  // L_HD  [N, D_llm]
+};
+
+/// Calibrated language model (Sec. IV-B1): a frozen backbone encoding the
+/// per-variable Figure-2 prompts with the calibrated attention mask, and
+/// extracting last-token embeddings.
+///
+/// Ablations are honoured here:
+///  * !use_calibrated_attention -> Δ = 0 (plain mask),
+///  * !use_privileged_info     -> the ground-truth prompt is replaced by
+///    the historical prompt (the "traditional teacher" of Figure 1),
+///  * !use_clm                 -> prompts bypass the LLM entirely; a frozen
+///    random-projection value encoder embeds the raw windows instead.
+///
+/// All parameters are frozen, so embeddings are constants — callers cache
+/// them (EmbeddingCache) and pay the LLM cost once per sample, mirroring
+/// the paper's "store the subtracted embeddings" efficiency note.
+class Clm : public nn::Module {
+ public:
+  explicit Clm(const TimeKdConfig& config);
+
+  /// Encodes the prompts of sample `i` of `ds`. Always runs under
+  /// NoGradGuard (the CLM is frozen); results are leaf tensors.
+  PromptEmbeddings EncodeSample(const data::WindowDataset& ds,
+                                int64_t i) const;
+
+  const llm::LanguageModel* language_model() const { return lm_.get(); }
+  int64_t d_llm() const { return d_llm_; }
+  /// Loss trajectory of the synthetic pre-training pass (empty when off).
+  double pretrain_final_loss() const { return pretrain_final_loss_; }
+
+ private:
+  Tensor EncodeWithValueEncoder(const data::WindowDataset& ds, int64_t i,
+                                bool future) const;
+
+  TimeKdConfig config_;
+  int64_t d_llm_;
+  text::PromptBuilder prompt_builder_;
+  std::unique_ptr<llm::LanguageModel> lm_;       // null when !use_clm
+  std::unique_ptr<nn::Linear> value_encoder_h_;  // w/o_CLM: [H] -> D_llm
+  std::unique_ptr<nn::Linear> value_encoder_g_;  // w/o_CLM: [G] -> D_llm
+  double pretrain_final_loss_ = 0.0;
+};
+
+/// Cache of frozen prompt embeddings keyed by sample index. Because the
+/// CLM never updates, a sample's embeddings are computed once and replayed
+/// every epoch; the cache can be persisted next to a dataset.
+class EmbeddingCache {
+ public:
+  bool Contains(int64_t sample) const;
+  void Put(int64_t sample, const PromptEmbeddings& embeddings);
+  /// Returns fresh leaf tensors (no shared autograd state).
+  PromptEmbeddings Get(int64_t sample) const;
+  int64_t size() const { return static_cast<int64_t>(entries_.size()); }
+  void Clear() { entries_.clear(); }
+
+  Status Save(const std::string& path) const;
+  Status Load(const std::string& path);
+
+ private:
+  struct Entry {
+    std::vector<float> gt;
+    std::vector<float> hd;
+    int64_t n = 0;
+    int64_t d = 0;
+  };
+  std::unordered_map<int64_t, Entry> entries_;
+};
+
+}  // namespace timekd::core
+
+#endif  // TIMEKD_CORE_CLM_H_

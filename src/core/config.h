@@ -1,0 +1,84 @@
+#ifndef TIMEKD_CORE_CONFIG_H_
+#define TIMEKD_CORE_CONFIG_H_
+
+#include <cstdint>
+
+#include "llm/language_model.h"
+#include "text/prompt.h"
+
+namespace timekd::core {
+
+/// Full configuration of a TimeKD model (teacher + student + distillation).
+/// The ablation switches correspond one-to-one to the Figure-6 variants.
+struct TimeKdConfig {
+  /// --- Problem dimensions -------------------------------------------------
+  int64_t num_variables = 7;   // N
+  int64_t input_len = 96;      // H (and O at test time)
+  int64_t horizon = 96;        // M == G
+  int64_t freq_minutes = 60;   // <f> rendered into prompts
+
+  /// --- Teacher / student Transformer dims (paper Sec. V-A4: hidden 64,
+  /// 2 encoder layers) ------------------------------------------------------
+  int64_t d_model = 64;
+  int64_t num_heads = 4;
+  int64_t encoder_layers = 2;
+  int64_t ffn_hidden = 128;
+  float dropout = 0.1f;
+
+  /// --- Frozen CLM backbone -----------------------------------------------
+  llm::LlmConfig llm;
+  /// Pre-train the backbone on the synthetic numeric corpus before
+  /// freezing (0 disables; stands in for loading a public checkpoint).
+  int64_t llm_pretrain_sequences = 0;
+
+  /// --- Prompt rendering ---------------------------------------------------
+  text::PromptOptions prompt;
+
+  /// --- Ablation switches (Figure 6) ----------------------------------------
+  bool use_privileged_info = true;        // w/o_PI
+  bool use_calibrated_attention = true;   // w/o_CA
+  bool use_clm = true;                    // w/o_CLM
+  bool use_sca = true;                    // w/o_SCA
+  bool use_correlation_distillation = true;  // w/o_CD
+  /// Feature distillation is implemented as (a) the SmoothL1 embedding
+  /// alignment of Eq. 25 and (b) initializing the student's TSTEncoder and
+  /// projection from the trained teacher's PTEncoder and reconstruction
+  /// head — the weight-inheritance form of aligning the two feature
+  /// spaces. Both are disabled by the w/o_FD ablation.
+  bool use_feature_distillation = true;      // w/o_FD
+
+  /// --- Loss weights (Eq. 26 and Eq. 30) -------------------------------------
+  /// λ_c is large because Eq. 24's SmoothL1 is averaged over all N² entries
+  /// of a row-stochastic attention map whose entries are O(1/N): the raw
+  /// term is O(1/N²) and λ_c restores it to the scale of the other losses.
+  float lambda_cd = 50.0f;  // λ_c
+  /// λ_f is small: with the student encoder initialized from the teacher
+  /// (see use_feature_distillation below), the embedding spaces are aligned
+  /// at the start of distillation and the residual SmoothL1 term only needs
+  /// to keep them from drifting apart.
+  float lambda_fd = 0.01f;  // λ_f (feature)
+  float lambda_recon = 1.0f;  // λ_r
+  float lambda_pkd = 1.0f;    // λ_p
+  float lambda_fcst = 1.0f;   // λ_f (forecast term of Eq. 30)
+
+  uint64_t seed = 42;
+};
+
+/// Training-loop hyper-parameters (paper: AdamW, best-validation model).
+struct TrainConfig {
+  int64_t epochs = 5;
+  /// Teacher-only reconstruction epochs run before distillation
+  /// (Algorithm 1 precedes Algorithm 2). Negative means "same as epochs".
+  int64_t teacher_epochs = -1;
+  int64_t batch_size = 8;
+  double lr = 1e-3;
+  double weight_decay = 1e-4;
+  double clip_norm = 5.0;
+  bool shuffle = true;
+  bool verbose = false;
+  uint64_t seed = 7;
+};
+
+}  // namespace timekd::core
+
+#endif  // TIMEKD_CORE_CONFIG_H_

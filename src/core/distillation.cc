@@ -1,0 +1,45 @@
+#include "core/distillation.h"
+
+#include "common/logging.h"
+#include "tensor/ops.h"
+
+namespace timekd::core {
+
+using tensor::Add;
+using tensor::Scale;
+using tensor::SmoothL1Loss;
+
+Tensor CorrelationDistillationLoss(const Tensor& teacher_attention,
+                                   const Tensor& student_attention) {
+  TIMEKD_CHECK(teacher_attention.shape() == student_attention.shape());
+  return SmoothL1Loss(student_attention, teacher_attention);
+}
+
+Tensor FeatureDistillationLoss(const Tensor& teacher_embeddings,
+                               const Tensor& student_embeddings) {
+  TIMEKD_CHECK(teacher_embeddings.shape() == student_embeddings.shape());
+  return SmoothL1Loss(student_embeddings, teacher_embeddings);
+}
+
+PkdLossTerms ComputePkdLoss(const TimeKdConfig& config,
+                            const Tensor& teacher_attention,
+                            const Tensor& student_attention,
+                            const Tensor& teacher_embeddings,
+                            const Tensor& student_embeddings) {
+  PkdLossTerms terms;
+  terms.total = Tensor::Scalar(0.0f);
+  if (config.use_correlation_distillation) {
+    terms.correlation = CorrelationDistillationLoss(
+        teacher_attention.Detach(), student_attention);
+    terms.total =
+        Add(terms.total, Scale(terms.correlation, config.lambda_cd));
+  }
+  if (config.use_feature_distillation) {
+    terms.feature = FeatureDistillationLoss(teacher_embeddings.Detach(),
+                                            student_embeddings);
+    terms.total = Add(terms.total, Scale(terms.feature, config.lambda_fd));
+  }
+  return terms;
+}
+
+}  // namespace timekd::core

@@ -1,0 +1,40 @@
+#ifndef TIMEKD_CORE_DISTILLATION_H_
+#define TIMEKD_CORE_DISTILLATION_H_
+
+#include "core/config.h"
+#include "tensor/tensor.h"
+
+namespace timekd::core {
+
+using tensor::Tensor;
+
+/// The individual terms of the privileged knowledge distillation loss.
+struct PkdLossTerms {
+  Tensor correlation;  // L_cd (Eq. 24); undefined when disabled
+  Tensor feature;      // L_fd (Eq. 25); undefined when disabled
+  Tensor total;        // L_PKD = λ_c L_cd + λ_f L_fd (Eq. 26)
+};
+
+/// Correlation distillation (Eq. 24): SmoothL1 between the head-averaged
+/// last-layer attention maps of PTEncoder and TSTEncoder ([B, N, N]).
+Tensor CorrelationDistillationLoss(const Tensor& teacher_attention,
+                                   const Tensor& student_attention);
+
+/// Feature distillation (Eq. 25): SmoothL1 between E_GT and T̄_H
+/// ([B, N, D]).
+Tensor FeatureDistillationLoss(const Tensor& teacher_embeddings,
+                               const Tensor& student_embeddings);
+
+/// Combined PKD loss (Eq. 26) honouring the w/o_CD / w/o_FD ablations.
+/// The teacher tensors are detached internally: the student replicates the
+/// teacher, not vice versa (Algorithm 2 updates only the student with
+/// L_PKD; the teacher trains against the reconstruction loss).
+PkdLossTerms ComputePkdLoss(const TimeKdConfig& config,
+                            const Tensor& teacher_attention,
+                            const Tensor& student_attention,
+                            const Tensor& teacher_embeddings,
+                            const Tensor& student_embeddings);
+
+}  // namespace timekd::core
+
+#endif  // TIMEKD_CORE_DISTILLATION_H_

@@ -1,0 +1,38 @@
+#include "core/forecaster.h"
+
+#include "common/logging.h"
+#include "tensor/ops.h"
+
+namespace timekd::core {
+
+Tensor RollForecast(const ForecastFn& forecast_fn, const Tensor& history,
+                    int64_t model_horizon, int64_t total_horizon) {
+  TIMEKD_CHECK(history.defined());
+  TIMEKD_CHECK_EQ(history.dim(), 3);
+  TIMEKD_CHECK_GT(model_horizon, 0);
+  TIMEKD_CHECK_GT(total_horizon, 0);
+  const int64_t input_len = history.size(1);
+
+  tensor::NoGradGuard no_grad;
+  Tensor window = history;
+  std::vector<Tensor> chunks;
+  int64_t produced = 0;
+  while (produced < total_horizon) {
+    Tensor prediction = forecast_fn(window);  // [B, M, N]
+    TIMEKD_CHECK_EQ(prediction.size(1), model_horizon)
+        << "forecast_fn returned an unexpected horizon";
+    const int64_t take = std::min(model_horizon, total_horizon - produced);
+    chunks.push_back(take == model_horizon
+                         ? prediction
+                         : tensor::Slice(prediction, 1, 0, take));
+    produced += take;
+    if (produced >= total_horizon) break;
+    // Slide: drop the oldest `model_horizon` steps, append the forecast.
+    Tensor extended = tensor::Concat({window, prediction}, 1);
+    const int64_t new_len = extended.size(1);
+    window = tensor::Slice(extended, 1, new_len - input_len, input_len);
+  }
+  return chunks.size() == 1 ? chunks[0] : tensor::Concat(chunks, 1);
+}
+
+}  // namespace timekd::core

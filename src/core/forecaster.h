@@ -1,0 +1,29 @@
+#ifndef TIMEKD_CORE_FORECASTER_H_
+#define TIMEKD_CORE_FORECASTER_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "tensor/tensor.h"
+
+namespace timekd::core {
+
+using tensor::Tensor;
+
+/// A one-shot forecast function: history [B, H, N] -> forecast [B, M, N].
+using ForecastFn = std::function<Tensor(const Tensor&)>;
+
+/// Rolls a fixed-horizon forecaster out to an arbitrary total horizon:
+/// predict M steps, append them to the history, slide the window forward,
+/// repeat. The final tensor is [B, total_horizon, N].
+///
+/// This is the standard way to serve horizons longer than the student was
+/// trained for (direct multi-step inside each window, iterated across
+/// windows). Error compounds across rolls, so prefer training at the
+/// target horizon when possible; see bench_fig10 for the direct variant.
+Tensor RollForecast(const ForecastFn& forecast_fn, const Tensor& history,
+                    int64_t model_horizon, int64_t total_horizon);
+
+}  // namespace timekd::core
+
+#endif  // TIMEKD_CORE_FORECASTER_H_

@@ -1,0 +1,75 @@
+#include "core/sca.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "tensor/ops.h"
+
+namespace timekd::core {
+
+using tensor::MatMul;
+using tensor::Scale;
+using tensor::Softmax;
+using tensor::Sub;
+using tensor::Transpose;
+
+SubtractiveCrossAttention::SubtractiveCrossAttention(int64_t d_llm,
+                                                     int64_t d_model,
+                                                     int64_t ffn_hidden,
+                                                     Rng& rng)
+    : phi_q_(d_llm, d_model, /*bias=*/true, rng),
+      phi_k_(d_llm, d_model, /*bias=*/true, rng),
+      phi_v_(d_llm, d_model, /*bias=*/true, rng),
+      psi_gt_(d_llm, d_model, /*bias=*/true, rng),
+      theta_c_(d_model, d_model, /*bias=*/true, rng),
+      ln_q_(d_model),
+      ln_k_(d_model),
+      ln_out_(d_model),
+      ffn_(d_model, ffn_hidden, nn::Activation::kRelu, rng) {
+  RegisterModule("phi_q", &phi_q_);
+  RegisterModule("phi_k", &phi_k_);
+  RegisterModule("phi_v", &phi_v_);
+  RegisterModule("psi_gt", &psi_gt_);
+  RegisterModule("theta_c", &theta_c_);
+  RegisterModule("ln_q", &ln_q_);
+  RegisterModule("ln_k", &ln_k_);
+  RegisterModule("ln_out", &ln_out_);
+  RegisterModule("ffn", &ffn_);
+}
+
+Tensor SubtractiveCrossAttention::Forward(const Tensor& l_gt,
+                                          const Tensor& l_hd) const {
+  TIMEKD_CHECK_EQ(l_gt.dim(), 3);
+  TIMEKD_CHECK(l_gt.shape() == l_hd.shape());
+  const int64_t n = l_gt.size(1);
+
+  Tensor q = ln_q_.Forward(phi_q_.Forward(l_gt));  // [B, N, D]
+  Tensor k = ln_k_.Forward(phi_k_.Forward(l_hd));  // [B, N, D]
+  Tensor v = phi_v_.Forward(l_hd);                 // [B, N, D]
+
+  // Channel-wise similarity over the feature dimension (Eq. 8):
+  // qᵀ k -> [B, D, D], softmax over the last dim. The 1/sqrt(N) scaling
+  // stabilizes the dot products (the paper's Eq. 8 leaves it implicit).
+  Tensor m_c = Softmax(
+      Scale(MatMul(Transpose(q, 1, 2), k),
+            1.0f / std::sqrt(static_cast<float>(n))),
+      -1);
+
+  // Channel-wise aggregation of the shared (textual) component, then
+  // subtraction from the ground-truth path (Eq. 9).
+  Tensor shared = theta_c_.Forward(MatMul(v, m_c));    // [B, N, D]
+  Tensor refined = Sub(psi_gt_.Forward(l_gt), shared);  // ⊖
+  return ffn_.Forward(ln_out_.Forward(refined));
+}
+
+DirectSubtraction::DirectSubtraction(int64_t d_llm, int64_t d_model, Rng& rng)
+    : adapter_(d_llm, d_model, /*bias=*/true, rng) {
+  RegisterModule("adapter", &adapter_);
+}
+
+Tensor DirectSubtraction::Forward(const Tensor& l_gt,
+                                  const Tensor& l_hd) const {
+  return Sub(adapter_.Forward(l_gt), adapter_.Forward(l_hd));
+}
+
+}  // namespace timekd::core

@@ -1,0 +1,65 @@
+#ifndef TIMEKD_CORE_SCA_H_
+#define TIMEKD_CORE_SCA_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace timekd::core {
+
+using tensor::Tensor;
+
+/// Subtractive cross attention (Sec. IV-B2, Eq. 8–9, Figure 5).
+///
+/// Removes the textual information doped into the last-token prompt
+/// embeddings: a channel-wise (feature-dimension) similarity between the
+/// ground-truth and historical prompt embeddings selects the shared — i.e.
+/// textual/template — component, which is then subtracted from the
+/// ground-truth embedding before a feed-forward refinement:
+///
+///   M_C    = softmax( LN(φ_q(L_GT))ᵀ ⊗ LN(φ_k(L_HD)) )        ∈ R^{D×D}
+///   L̄_GT  = FFN( LN( ψ(L_GT) ⊖ θ_c( φ_v(L_HD) ⊗ M_C ) ) )    ∈ R^{N×D}
+///
+/// The projections φ also adapt the LLM width D_llm to the Transformer
+/// width D (GPT-2's 768 → 64 in the paper's setting); ψ is the analogous
+/// adapter on the subtraction path.
+class SubtractiveCrossAttention : public nn::Module {
+ public:
+  SubtractiveCrossAttention(int64_t d_llm, int64_t d_model, int64_t ffn_hidden,
+                            Rng& rng);
+
+  /// l_gt, l_hd: [B, N, D_llm] -> refined ground-truth embedding
+  /// [B, N, D_model].
+  Tensor Forward(const Tensor& l_gt, const Tensor& l_hd) const;
+
+ private:
+  nn::Linear phi_q_;
+  nn::Linear phi_k_;
+  nn::Linear phi_v_;
+  nn::Linear psi_gt_;    // adapter for the subtraction path
+  nn::Linear theta_c_;   // ϑ^c of Eq. 9
+  nn::LayerNorm ln_q_;
+  nn::LayerNorm ln_k_;
+  nn::LayerNorm ln_out_;
+  nn::FeedForward ffn_;
+};
+
+/// The w/o_SCA ablation: "direct subtraction of embeddings replaces the
+/// subtractive cross attention" — a width adapter followed by ψ(L_GT) −
+/// ψ(L_HD).
+class DirectSubtraction : public nn::Module {
+ public:
+  DirectSubtraction(int64_t d_llm, int64_t d_model, Rng& rng);
+
+  Tensor Forward(const Tensor& l_gt, const Tensor& l_hd) const;
+
+ private:
+  nn::Linear adapter_;
+};
+
+}  // namespace timekd::core
+
+#endif  // TIMEKD_CORE_SCA_H_

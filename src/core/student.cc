@@ -1,0 +1,47 @@
+#include "core/student.h"
+
+#include "common/logging.h"
+#include "tensor/ops.h"
+
+namespace timekd::core {
+
+using tensor::Tensor;
+using tensor::Transpose;
+
+StudentModel::StudentModel(const TimeKdConfig& config)
+    : config_(config),
+      rng_(config.seed + 21),
+      revin_(config.num_variables),
+      inverted_embedding_(config.input_len, config.d_model, /*bias=*/true,
+                          rng_),
+      tst_encoder_(config.encoder_layers, config.d_model, config.num_heads,
+                   config.ffn_hidden, config.dropout, nn::Activation::kGelu,
+                   &rng_),
+      projection_(config.d_model, config.horizon, /*bias=*/true, rng_) {
+  RegisterModule("revin", &revin_);
+  RegisterModule("inverted_embedding", &inverted_embedding_);
+  RegisterModule("tst_encoder", &tst_encoder_);
+  RegisterModule("projection", &projection_);
+}
+
+StudentModel::Output StudentModel::Forward(const Tensor& x) const {
+  TIMEKD_CHECK_EQ(x.dim(), 3);
+  TIMEKD_CHECK_EQ(x.size(1), config_.input_len);
+  TIMEKD_CHECK_EQ(x.size(2), config_.num_variables);
+
+  // RevIN against distribution shift, then variables-as-tokens layout.
+  Tensor normalized = revin_.Normalize(x);              // [B, H, N]
+  Tensor inverted = Transpose(normalized, 1, 2);        // [B, N, H]
+  Tensor tokens = inverted_embedding_.Forward(inverted);  // [B, N, D]
+
+  Output out;
+  out.embeddings = tst_encoder_.Forward(tokens, Tensor());  // [B, N, D]
+  out.attention = tst_encoder_.last_layer_attention();      // [B, N, N]
+
+  Tensor projected = projection_.Forward(out.embeddings);  // [B, N, M]
+  Tensor normalized_forecast = Transpose(projected, 1, 2);  // [B, M, N]
+  out.forecast = revin_.Denormalize(normalized_forecast);
+  return out;
+}
+
+}  // namespace timekd::core

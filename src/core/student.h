@@ -1,0 +1,48 @@
+#ifndef TIMEKD_CORE_STUDENT_H_
+#define TIMEKD_CORE_STUDENT_H_
+
+#include "core/config.h"
+#include "nn/attention.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "nn/revin.h"
+
+namespace timekd::core {
+
+using tensor::Tensor;
+
+/// Lightweight student (Sec. IV-C): RevIN -> inverted embedding (each
+/// variable's whole history embedded as one token, Eq. 18) -> Pre-LN
+/// time-series Transformer TSTEncoder (Eq. 19–23) -> projection head
+/// (Eq. 28) -> RevIN de-normalization. At test time this is the entire
+/// deployed model (Eq. 27–28).
+class StudentModel : public nn::Module {
+ public:
+  explicit StudentModel(const TimeKdConfig& config);
+
+  struct Output {
+    Tensor forecast;    // X̂_M  [B, M, N] in the input scale
+    Tensor embeddings;  // T̄_H  [B, N, D] (feature-distillation target)
+    Tensor attention;   // A_TSE [B, N, N]
+  };
+
+  /// x: history [B, H, N].
+  Output Forward(const Tensor& x) const;
+
+  /// Forecast-only convenience for inference.
+  Tensor Predict(const Tensor& x) const { return Forward(x).forecast; }
+
+  const nn::TransformerEncoder& tst_encoder() const { return tst_encoder_; }
+
+ private:
+  TimeKdConfig config_;
+  mutable Rng rng_;
+  nn::RevIn revin_;
+  nn::Linear inverted_embedding_;  // H -> D per variable token
+  nn::TransformerEncoder tst_encoder_;
+  nn::Linear projection_;  // D -> M per variable token
+};
+
+}  // namespace timekd::core
+
+#endif  // TIMEKD_CORE_STUDENT_H_

@@ -1,0 +1,48 @@
+#include "core/teacher.h"
+
+#include "common/logging.h"
+#include "tensor/ops.h"
+
+namespace timekd::core {
+
+using tensor::Tensor;
+using tensor::Transpose;
+
+TimeKdTeacher::TimeKdTeacher(const TimeKdConfig& config)
+    : config_(config),
+      rng_(config.seed + 11),
+      pt_encoder_(config.encoder_layers, config.d_model, config.num_heads,
+                  config.ffn_hidden, config.dropout, nn::Activation::kGelu,
+                  &rng_),
+      recon_head_(config.d_model, config.horizon, /*bias=*/true, rng_) {
+  if (config_.use_sca) {
+    sca_ = std::make_unique<SubtractiveCrossAttention>(
+        config.llm.d_model, config.d_model, config.ffn_hidden, rng_);
+    RegisterModule("sca", sca_.get());
+  } else {
+    direct_sub_ = std::make_unique<DirectSubtraction>(config.llm.d_model,
+                                                      config.d_model, rng_);
+    RegisterModule("direct_sub", direct_sub_.get());
+  }
+  RegisterModule("pt_encoder", &pt_encoder_);
+  RegisterModule("recon_head", &recon_head_);
+}
+
+TimeKdTeacher::Output TimeKdTeacher::Forward(const Tensor& l_gt,
+                                             const Tensor& l_hd) const {
+  TIMEKD_CHECK_EQ(l_gt.dim(), 3);
+
+  // L̄_GT of Eq. 9 (or the w/o_SCA direct subtraction), [B, N, D].
+  Tensor refined = config_.use_sca ? sca_->Forward(l_gt, l_hd)
+                                   : direct_sub_->Forward(l_gt, l_hd);
+
+  Output out;
+  // PTEncoder over variable tokens (Eq. 10–14).
+  out.embeddings = pt_encoder_.Forward(refined, Tensor());  // [B, N, D]
+  out.attention = pt_encoder_.last_layer_attention();        // [B, N, N]
+  // Reconstruction head (Eq. 15): per-variable D -> G, then [B, G, N].
+  out.reconstruction = Transpose(recon_head_.Forward(out.embeddings), 1, 2);
+  return out;
+}
+
+}  // namespace timekd::core

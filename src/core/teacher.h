@@ -1,0 +1,48 @@
+#ifndef TIMEKD_CORE_TEACHER_H_
+#define TIMEKD_CORE_TEACHER_H_
+
+#include <memory>
+
+#include "core/config.h"
+#include "core/sca.h"
+#include "nn/attention.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+
+namespace timekd::core {
+
+using tensor::Tensor;
+
+/// Trainable part of the cross-modality teacher (Algorithm 1): SCA (or the
+/// direct-subtraction ablation) refines the frozen CLM embeddings, the
+/// privileged Pre-LN Transformer PTEncoder contextualizes them over the
+/// variable dimension (tokens = variables, so its attention map is the
+/// N×N A_PE of Eq. 24), and a linear head reconstructs the time-series
+/// ground truth X_G (Eq. 15).
+class TimeKdTeacher : public nn::Module {
+ public:
+  explicit TimeKdTeacher(const TimeKdConfig& config);
+
+  struct Output {
+    Tensor reconstruction;  // X̂_G  [B, G, N]
+    Tensor embeddings;      // E_GT [B, N, D]
+    Tensor attention;       // A_PE [B, N, N]
+  };
+
+  /// l_gt / l_hd: [B, N, D_llm] CLM last-token embeddings.
+  Output Forward(const Tensor& l_gt, const Tensor& l_hd) const;
+
+  const nn::TransformerEncoder& pt_encoder() const { return pt_encoder_; }
+
+ private:
+  TimeKdConfig config_;
+  mutable Rng rng_;
+  std::unique_ptr<SubtractiveCrossAttention> sca_;
+  std::unique_ptr<DirectSubtraction> direct_sub_;  // w/o_SCA ablation
+  nn::TransformerEncoder pt_encoder_;
+  nn::Linear recon_head_;  // D -> G per variable token
+};
+
+}  // namespace timekd::core
+
+#endif  // TIMEKD_CORE_TEACHER_H_

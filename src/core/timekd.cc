@@ -1,0 +1,339 @@
+#include "core/timekd.h"
+
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "nn/optimizer.h"
+#include "tensor/ops.h"
+
+namespace timekd::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Stacks per-sample cached embeddings into [B, N, D_llm].
+Tensor StackEmbeddings(const EmbeddingCache& cache,
+                       const std::vector<int64_t>& indices, bool gt) {
+  std::vector<Tensor> rows;
+  rows.reserve(indices.size());
+  for (int64_t i : indices) {
+    PromptEmbeddings e = cache.Get(i);
+    Tensor t = gt ? e.gt : e.hd;
+    rows.push_back(tensor::Reshape(t, {1, t.size(0), t.size(1)}));
+  }
+  return tensor::Concat(rows, 0);
+}
+
+/// Frozen teacher outputs stored once after Algorithm 1 converges: the
+/// paper's "store the subtracted embeddings ... for efficient
+/// reconstruction" trick, extended to the distillation targets.
+struct TeacherTargets {
+  std::unordered_map<int64_t, std::vector<float>> embeddings;  // [N*D]
+  std::unordered_map<int64_t, std::vector<float>> attention;   // [N*N]
+  int64_t n = 0;
+  int64_t d = 0;
+
+  Tensor StackedEmbeddings(const std::vector<int64_t>& indices) const {
+    const int64_t b = static_cast<int64_t>(indices.size());
+    std::vector<float> out(static_cast<size_t>(b * n * d));
+    for (int64_t bi = 0; bi < b; ++bi) {
+      const auto& src = embeddings.at(indices[static_cast<size_t>(bi)]);
+      std::copy(src.begin(), src.end(), out.begin() + bi * n * d);
+    }
+    return Tensor::FromVector({b, n, d}, std::move(out));
+  }
+
+  Tensor StackedAttention(const std::vector<int64_t>& indices) const {
+    const int64_t b = static_cast<int64_t>(indices.size());
+    std::vector<float> out(static_cast<size_t>(b * n * n));
+    for (int64_t bi = 0; bi < b; ++bi) {
+      const auto& src = attention.at(indices[static_cast<size_t>(bi)]);
+      std::copy(src.begin(), src.end(), out.begin() + bi * n * n);
+    }
+    return Tensor::FromVector({b, n, n}, std::move(out));
+  }
+};
+
+}  // namespace
+
+TimeKd::TimeKd(const TimeKdConfig& config) : config_(config) {
+  clm_ = std::make_unique<Clm>(config_);
+  // Teacher/student need the resolved LLM width for the SCA adapters.
+  TimeKdConfig resolved = config_;
+  resolved.llm.d_model = clm_->d_llm();
+  teacher_ = std::make_unique<TimeKdTeacher>(resolved);
+  student_ = std::make_unique<StudentModel>(resolved);
+}
+
+void TimeKd::WarmCache(const data::WindowDataset& ds) {
+  for (int64_t i = 0; i < ds.NumSamples(); ++i) {
+    if (cache_.Contains(i)) continue;
+    cache_.Put(i, clm_->EncodeSample(ds, i));
+  }
+}
+
+FitStats TimeKd::Fit(const data::WindowDataset& train,
+                     const data::WindowDataset* val,
+                     const TrainConfig& train_config) {
+  FitStats stats;
+
+  const auto cache_start = Clock::now();
+  WarmCache(train);
+  stats.cache_build_seconds = SecondsSince(cache_start);
+
+  Rng shuffle_rng(train_config.seed);
+  const int64_t teacher_epochs = train_config.teacher_epochs >= 0
+                                     ? train_config.teacher_epochs
+                                     : train_config.epochs;
+
+  // ---- Phase A (Algorithm 1): cross-modality teacher training -------------
+  {
+    std::vector<Tensor> teacher_params = teacher_->Parameters();
+    nn::AdamWConfig opt_config;
+    opt_config.lr = train_config.lr;
+    opt_config.weight_decay = train_config.weight_decay;
+    nn::AdamW optimizer(teacher_params, opt_config);
+    teacher_->SetTraining(true);
+    for (int64_t epoch = 0; epoch < teacher_epochs; ++epoch) {
+      const auto epoch_start = Clock::now();
+      EpochStats es;
+      es.val_mse = std::numeric_limits<double>::quiet_NaN();
+      int64_t batches = 0;
+      for (const auto& indices : train.EpochBatches(
+               train_config.batch_size, train_config.shuffle, &shuffle_rng)) {
+        data::ForecastBatch batch = train.GetBatch(indices);
+        Tensor l_gt = StackEmbeddings(cache_, indices, /*gt=*/true);
+        Tensor l_hd = StackEmbeddings(cache_, indices, /*gt=*/false);
+        TimeKdTeacher::Output out = teacher_->Forward(l_gt, l_hd);
+        Tensor recon_loss = tensor::SmoothL1Loss(out.reconstruction, batch.y);
+        optimizer.ZeroGrad();
+        recon_loss.Backward();
+        nn::ClipGradNorm(teacher_params, train_config.clip_norm);
+        optimizer.Step();
+        es.recon_loss += recon_loss.item();
+        es.total_loss += recon_loss.item();
+        ++batches;
+        ++stats.steps;
+      }
+      if (batches > 0) {
+        es.recon_loss /= batches;
+        es.total_loss /= batches;
+      }
+      es.seconds = SecondsSince(epoch_start);
+      if (train_config.verbose) {
+        TIMEKD_LOG(Info) << "teacher epoch " << epoch
+                         << " recon=" << es.recon_loss << " (" << es.seconds
+                         << "s)";
+      }
+      stats.epochs.push_back(es);
+    }
+    teacher_->SetTraining(false);
+  }
+
+  // ---- Feature-space alignment by weight inheritance ----------------------
+  // The student's TSTEncoder/projection start from the trained teacher's
+  // PTEncoder/reconstruction head (same shapes): the feature spaces of
+  // Eq. 25 are aligned before distillation begins.
+  if (config_.use_feature_distillation) {
+    auto teacher_params = teacher_->NamedParameters();
+    auto student_params = student_->NamedParameters();
+    auto copy_by_prefix = [&](const std::string& from,
+                              const std::string& to) {
+      for (auto& [tname, tparam] : teacher_params) {
+        if (tname.rfind(from, 0) != 0) continue;
+        const std::string want = to + tname.substr(from.size());
+        for (auto& [sname, sparam] : student_params) {
+          if (sname == want && sparam.shape() == tparam.shape()) {
+            std::copy(tparam.data(), tparam.data() + tparam.numel(),
+                      sparam.data());
+          }
+        }
+      }
+    };
+    copy_by_prefix("pt_encoder.", "tst_encoder.");
+    copy_by_prefix("recon_head.", "projection.");
+  }
+
+  // ---- Store frozen teacher targets once (embedding/attention cache) ------
+  TeacherTargets targets;
+  targets.n = config_.num_variables;
+  targets.d = config_.d_model;
+  {
+    tensor::NoGradGuard no_grad;
+    std::vector<int64_t> all(static_cast<size_t>(train.NumSamples()));
+    for (int64_t i = 0; i < train.NumSamples(); ++i) all[i] = i;
+    const int64_t chunk = 16;
+    for (size_t pos = 0; pos < all.size(); pos += chunk) {
+      std::vector<int64_t> indices(
+          all.begin() + pos,
+          all.begin() + std::min(all.size(), pos + chunk));
+      Tensor l_gt = StackEmbeddings(cache_, indices, /*gt=*/true);
+      Tensor l_hd = StackEmbeddings(cache_, indices, /*gt=*/false);
+      TimeKdTeacher::Output out = teacher_->Forward(l_gt, l_hd);
+      const int64_t n = targets.n;
+      const int64_t d = targets.d;
+      for (size_t bi = 0; bi < indices.size(); ++bi) {
+        const float* e = out.embeddings.data() + bi * n * d;
+        const float* a = out.attention.data() + bi * n * n;
+        targets.embeddings[indices[bi]].assign(e, e + n * d);
+        targets.attention[indices[bi]].assign(a, a + n * n);
+      }
+    }
+  }
+
+  // ---- Phase B (Algorithm 2): student distillation + forecasting ----------
+  {
+    std::vector<Tensor> student_params = student_->Parameters();
+    nn::AdamWConfig opt_config;
+    opt_config.lr = train_config.lr;
+    opt_config.weight_decay = train_config.weight_decay;
+    nn::AdamW optimizer(student_params, opt_config);
+
+    stats.best_val_mse = std::numeric_limits<double>::infinity();
+    std::vector<float> best_snapshot;
+
+    for (int64_t epoch = 0; epoch < train_config.epochs; ++epoch) {
+      const auto epoch_start = Clock::now();
+      student_->SetTraining(true);
+      EpochStats es;
+      int64_t batches = 0;
+      for (const auto& indices : train.EpochBatches(
+               train_config.batch_size, train_config.shuffle, &shuffle_rng)) {
+        data::ForecastBatch batch = train.GetBatch(indices);
+        StudentModel::Output out = student_->Forward(batch.x);
+        Tensor fcst_loss = tensor::SmoothL1Loss(out.forecast, batch.y);
+
+        PkdLossTerms pkd = ComputePkdLoss(
+            config_, targets.StackedAttention(indices), out.attention,
+            targets.StackedEmbeddings(indices), out.embeddings);
+
+        Tensor total =
+            tensor::Add(tensor::Scale(fcst_loss, config_.lambda_fcst),
+                        tensor::Scale(pkd.total, config_.lambda_pkd));
+        optimizer.ZeroGrad();
+        total.Backward();
+        nn::ClipGradNorm(student_params, train_config.clip_norm);
+        optimizer.Step();
+
+        es.total_loss += total.item();
+        es.fcst_loss += fcst_loss.item();
+        if (pkd.correlation.defined()) es.cd_loss += pkd.correlation.item();
+        if (pkd.feature.defined()) es.fd_loss += pkd.feature.item();
+        ++batches;
+        ++stats.steps;
+      }
+      if (batches > 0) {
+        es.total_loss /= batches;
+        es.fcst_loss /= batches;
+        es.cd_loss /= batches;
+        es.fd_loss /= batches;
+      }
+
+      if (val != nullptr && val->NumSamples() > 0) {
+        es.val_mse = Evaluate(*val).mse;
+        if (es.val_mse < stats.best_val_mse) {
+          stats.best_val_mse = es.val_mse;
+          stats.best_epoch = static_cast<int64_t>(stats.epochs.size());
+          best_snapshot = SnapshotTrainable();
+        }
+      } else {
+        es.val_mse = std::numeric_limits<double>::quiet_NaN();
+      }
+      es.seconds = SecondsSince(epoch_start);
+      if (train_config.verbose) {
+        TIMEKD_LOG(Info) << "student epoch " << epoch
+                         << " fcst=" << es.fcst_loss << " cd=" << es.cd_loss
+                         << " fd=" << es.fd_loss << " val_mse=" << es.val_mse
+                         << " (" << es.seconds << "s)";
+      }
+      stats.epochs.push_back(es);
+    }
+    if (!best_snapshot.empty()) RestoreTrainable(best_snapshot);
+  }
+
+  teacher_->SetTraining(false);
+  student_->SetTraining(false);
+  return stats;
+}
+
+Tensor TimeKd::Predict(const Tensor& x) const {
+  tensor::NoGradGuard no_grad;
+  student_->SetTraining(false);
+  return student_->Predict(x);
+}
+
+TimeKd::Metrics TimeKd::Evaluate(const data::WindowDataset& ds) const {
+  tensor::NoGradGuard no_grad;
+  student_->SetTraining(false);
+  double se = 0.0;
+  double ae = 0.0;
+  int64_t count = 0;
+  // Test batch size 1, as fixed for all methods in the paper (Sec. V-A4).
+  for (int64_t i = 0; i < ds.NumSamples(); ++i) {
+    data::ForecastBatch batch = ds.GetBatch({i});
+    Tensor pred = student_->Predict(batch.x);
+    const float* p = pred.data();
+    const float* y = batch.y.data();
+    const int64_t n = pred.numel();
+    for (int64_t j = 0; j < n; ++j) {
+      const double d = static_cast<double>(p[j]) - y[j];
+      se += d * d;
+      ae += std::fabs(d);
+    }
+    count += n;
+  }
+  Metrics m;
+  if (count > 0) {
+    m.mse = se / count;
+    m.mae = ae / count;
+  }
+  return m;
+}
+
+int64_t TimeKd::TrainableParameters() const {
+  return teacher_->NumParameters() + student_->NumParameters();
+}
+
+Status TimeKd::SaveStudent(const std::string& path) const {
+  return student_->SaveWeights(path);
+}
+
+Status TimeKd::LoadStudent(const std::string& path) {
+  return student_->LoadWeights(path);
+}
+
+std::vector<float> TimeKd::SnapshotTrainable() const {
+  std::vector<float> snapshot;
+  for (const Tensor& p : teacher_->Parameters()) {
+    snapshot.insert(snapshot.end(), p.data(), p.data() + p.numel());
+  }
+  for (const Tensor& p : student_->Parameters()) {
+    snapshot.insert(snapshot.end(), p.data(), p.data() + p.numel());
+  }
+  return snapshot;
+}
+
+void TimeKd::RestoreTrainable(const std::vector<float>& snapshot) {
+  size_t offset = 0;
+  auto restore = [&](std::vector<Tensor> params) {
+    for (Tensor& p : params) {
+      TIMEKD_CHECK_LE(offset + p.numel(), snapshot.size());
+      std::copy(snapshot.begin() + offset,
+                snapshot.begin() + offset + p.numel(), p.data());
+      offset += static_cast<size_t>(p.numel());
+    }
+  };
+  restore(teacher_->Parameters());
+  restore(student_->Parameters());
+  TIMEKD_CHECK_EQ(offset, snapshot.size());
+}
+
+}  // namespace timekd::core

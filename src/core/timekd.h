@@ -1,0 +1,97 @@
+#ifndef TIMEKD_CORE_TIMEKD_H_
+#define TIMEKD_CORE_TIMEKD_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/clm.h"
+#include "core/config.h"
+#include "core/distillation.h"
+#include "core/student.h"
+#include "core/teacher.h"
+#include "data/window_dataset.h"
+
+namespace timekd::core {
+
+/// Per-epoch training record.
+struct EpochStats {
+  double total_loss = 0.0;
+  double recon_loss = 0.0;
+  double cd_loss = 0.0;
+  double fd_loss = 0.0;
+  double fcst_loss = 0.0;
+  double val_mse = 0.0;  // NaN when no validation set
+  double seconds = 0.0;
+};
+
+/// Result of TimeKd::Fit.
+struct FitStats {
+  std::vector<EpochStats> epochs;
+  double cache_build_seconds = 0.0;
+  double best_val_mse = 0.0;
+  int64_t best_epoch = -1;
+  int64_t steps = 0;
+};
+
+/// The TimeKD framework facade: frozen CLM + trainable cross-modality
+/// teacher + lightweight student, trained jointly with the combined loss
+/// of Eq. 30 (reconstruction + privileged distillation + forecasting).
+/// After Fit, only the student participates in Predict — the deployment
+/// story that gives the paper its efficiency numbers (Table IV).
+class TimeKd {
+ public:
+  explicit TimeKd(const TimeKdConfig& config);
+
+  /// Computes (or reuses) the frozen CLM embeddings of every sample in
+  /// `ds` and stores them in the cache. Fit calls this implicitly; exposed
+  /// so callers can persist/restore the cache across runs.
+  void WarmCache(const data::WindowDataset& ds);
+
+  /// Trains teacher+student on `train` (optionally tracking `val` and
+  /// restoring the best-validation weights, as in the paper's protocol).
+  FitStats Fit(const data::WindowDataset& train,
+               const data::WindowDataset* val, const TrainConfig& train_config);
+
+  /// Student-only inference: x [B, H, N] -> forecast [B, M, N]. Runs under
+  /// NoGradGuard in eval mode.
+  Tensor Predict(const Tensor& x) const;
+
+  /// Mean squared / absolute error of student forecasts over `ds`
+  /// (test batch size 1, matching the paper's protocol).
+  struct Metrics {
+    double mse = 0.0;
+    double mae = 0.0;
+  };
+  Metrics Evaluate(const data::WindowDataset& ds) const;
+
+  const TimeKdConfig& config() const { return config_; }
+  StudentModel& student() { return *student_; }
+  const StudentModel& student() const { return *student_; }
+  TimeKdTeacher& teacher() { return *teacher_; }
+  Clm& clm() { return *clm_; }
+  EmbeddingCache& cache() { return cache_; }
+
+  /// Trainable parameters: teacher head-side modules + student (the frozen
+  /// CLM is excluded, as in the paper's Table IV accounting).
+  int64_t TrainableParameters() const;
+
+  /// Persists / restores the deployable student.
+  Status SaveStudent(const std::string& path) const;
+  Status LoadStudent(const std::string& path);
+
+ private:
+  std::vector<float> SnapshotTrainable() const;
+  void RestoreTrainable(const std::vector<float>& snapshot);
+
+  TimeKdConfig config_;
+  std::unique_ptr<Clm> clm_;
+  std::unique_ptr<TimeKdTeacher> teacher_;
+  std::unique_ptr<StudentModel> student_;
+  EmbeddingCache cache_;
+};
+
+}  // namespace timekd::core
+
+#endif  // TIMEKD_CORE_TIMEKD_H_

@@ -1,0 +1,262 @@
+#include "data/datasets.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace timekd::data {
+
+namespace {
+
+constexpr double kTwoPi = 2.0 * 3.14159265358979323846;
+
+/// Internal generation profile shared by all datasets; per-dataset values
+/// are chosen to mirror the qualitative behaviour called out in the paper's
+/// experiment discussion (e.g. ETTm2's finer-grained records, Exchange's
+/// near-random-walk behaviour, PEMS's commuting double peak).
+/// The key structural property shared with the paper's real datasets
+/// (electricity load, weather stations, traffic sensors): every channel is
+/// a NOISY view of a few shared latent factors. A single channel's history
+/// recovers the factor state only weakly (noise_sigma is comparable to the
+/// factor amplitudes); pooling across channels denoises it. That is what
+/// gives channel-dependent models (iTransformer, TimeCMA, TimeKD's
+/// student) their edge over channel-independent ones in Tables I–II.
+struct GenProfile {
+  double daily_amp = 0.8;      // strength of the shared daily cycle
+  double weekly_amp = 0.25;    // strength of the shared weekly cycle
+  double idio_amp = 0.15;      // channel-private periodic component
+  double trend_scale = 0.001;  // slow drift (distribution shift)
+  double ar_sigma = 0.15;      // AR(1) latent innovation scale
+  double noise_sigma = 0.6;    // per-channel observation noise
+  double coupling = 0.8;       // cross-channel factor loading strength
+  double random_walk = 0.0;    // integrated-noise component (Exchange)
+  bool commute_peaks = false;  // PEMS-style double daily peak
+  bool nonnegative = false;    // clamp at zero (traffic flow)
+};
+
+GenProfile ProfileFor(DatasetId id) {
+  GenProfile p;
+  switch (id) {
+    case DatasetId::kEttm1:
+      p.noise_sigma = 0.6;
+      p.trend_scale = 0.002;
+      break;
+    case DatasetId::kEttm2:
+      // Higher sampling frequency, finer-grained records: smoother signal,
+      // lower observation noise.
+      p.daily_amp = 1.0;
+      p.noise_sigma = 0.45;
+      p.trend_scale = 0.002;
+      break;
+    case DatasetId::kEtth1:
+      p.noise_sigma = 0.65;
+      p.trend_scale = 0.004;
+      break;
+    case DatasetId::kEtth2:
+      // Stronger distribution shift / heteroscedasticity than ETTh1.
+      p.daily_amp = 0.7;
+      p.noise_sigma = 0.7;
+      p.trend_scale = 0.008;
+      p.ar_sigma = 0.2;
+      break;
+    case DatasetId::kWeather:
+      p.daily_amp = 0.9;
+      p.weekly_amp = 0.15;
+      p.noise_sigma = 0.5;
+      p.ar_sigma = 0.12;
+      break;
+    case DatasetId::kExchange:
+      // Daily exchange rates: near random walk, almost no seasonality;
+      // every method degenerates toward the naive forecast (Table I shows
+      // tiny gaps on Exchange).
+      p.daily_amp = 0.03;
+      p.weekly_amp = 0.02;
+      p.idio_amp = 0.01;
+      p.noise_sigma = 0.02;
+      p.random_walk = 0.05;
+      p.coupling = 0.3;
+      break;
+    case DatasetId::kPems04:
+    case DatasetId::kPems08:
+      p.weekly_amp = 0.4;
+      p.noise_sigma = 0.6;
+      p.commute_peaks = true;
+      p.nonnegative = true;
+      p.coupling = 0.9;  // nearby sensors are strongly correlated
+      break;
+  }
+  return p;
+}
+
+/// Twin commuting peaks at ~8:00 and ~18:00, as in loop-detector flow.
+double CommuteShape(double day_fraction) {
+  auto bump = [](double x, double center, double width) {
+    const double d = x - center;
+    return std::exp(-0.5 * d * d / (width * width));
+  };
+  return bump(day_fraction, 8.0 / 24.0, 0.05) +
+         0.8 * bump(day_fraction, 18.0 / 24.0, 0.06);
+}
+
+}  // namespace
+
+const char* DatasetName(DatasetId id) {
+  switch (id) {
+    case DatasetId::kEttm1:
+      return "ETTm1";
+    case DatasetId::kEttm2:
+      return "ETTm2";
+    case DatasetId::kEtth1:
+      return "ETTh1";
+    case DatasetId::kEtth2:
+      return "ETTh2";
+    case DatasetId::kWeather:
+      return "Weather";
+    case DatasetId::kExchange:
+      return "Exchange";
+    case DatasetId::kPems04:
+      return "PEMS04";
+    case DatasetId::kPems08:
+      return "PEMS08";
+  }
+  return "?";
+}
+
+int64_t DatasetFreqMinutes(DatasetId id) {
+  switch (id) {
+    case DatasetId::kEttm1:
+    case DatasetId::kEttm2:
+      return 15;
+    case DatasetId::kEtth1:
+    case DatasetId::kEtth2:
+      return 60;
+    case DatasetId::kWeather:
+      return 10;
+    case DatasetId::kExchange:
+      return 1440;
+    case DatasetId::kPems04:
+    case DatasetId::kPems08:
+      return 5;
+  }
+  return 60;
+}
+
+int64_t DatasetNumVariables(DatasetId id) {
+  switch (id) {
+    case DatasetId::kEttm1:
+    case DatasetId::kEttm2:
+    case DatasetId::kEtth1:
+    case DatasetId::kEtth2:
+      return 7;
+    case DatasetId::kWeather:
+      return 21;
+    case DatasetId::kExchange:
+      return 8;
+    case DatasetId::kPems04:
+      return 307;
+    case DatasetId::kPems08:
+      return 170;
+  }
+  return 1;
+}
+
+DatasetSpec DefaultSpec(DatasetId id, int64_t length) {
+  DatasetSpec spec;
+  spec.id = id;
+  spec.length = length;
+  spec.num_variables = DatasetNumVariables(id);
+  // Distinct seeds so "different datasets" are genuinely different draws.
+  spec.seed = 1000 + static_cast<uint64_t>(id) * 37;
+  return spec;
+}
+
+TimeSeries MakeDataset(const DatasetSpec& spec) {
+  TIMEKD_CHECK_GT(spec.length, 0);
+  const int64_t n = spec.num_variables > 0 ? spec.num_variables
+                                           : DatasetNumVariables(spec.id);
+  const int64_t freq = DatasetFreqMinutes(spec.id);
+  const GenProfile p = ProfileFor(spec.id);
+  Rng rng(spec.seed);
+
+  const double steps_per_day = 1440.0 / static_cast<double>(freq);
+  const double steps_per_week = 7.0 * steps_per_day;
+
+  // Latent factors: daily phase-shifted pair, weekly, AR(1) level.
+  constexpr int kFactors = 4;
+  // Per-channel loadings and idiosyncratic params.
+  std::vector<double> loading(static_cast<size_t>(n * kFactors));
+  std::vector<double> channel_phase(static_cast<size_t>(n));
+  std::vector<double> channel_offset(static_cast<size_t>(n));
+  std::vector<double> channel_scale(static_cast<size_t>(n));
+  for (int64_t j = 0; j < n; ++j) {
+    for (int k = 0; k < kFactors; ++k) {
+      loading[static_cast<size_t>(j * kFactors + k)] =
+          p.coupling * rng.Gaussian(0.0, 1.0);
+    }
+    channel_phase[static_cast<size_t>(j)] = rng.Uniform(0.0, kTwoPi);
+    channel_offset[static_cast<size_t>(j)] = rng.Uniform(-2.0, 6.0);
+    channel_scale[static_cast<size_t>(j)] = rng.Uniform(0.5, 2.0);
+  }
+
+  TimeSeries out(spec.length, n, freq);
+  {
+    std::vector<std::string> names;
+    if (n == 7) {
+      // ETT naming (HUFL..OT) used by Figure 10.
+      names = {"HUFL", "HULL", "MUFL", "MULL", "LUFL", "LULL", "OT"};
+    } else {
+      for (int64_t j = 0; j < n; ++j) {
+        names.push_back(std::string(DatasetName(spec.id)) + "_" +
+                        std::to_string(j));
+      }
+    }
+    out.set_variable_names(std::move(names));
+  }
+
+  double ar_level = 0.0;
+  std::vector<double> walk(static_cast<size_t>(n), 0.0);
+  for (int64_t t = 0; t < spec.length; ++t) {
+    const double day_pos = static_cast<double>(t) / steps_per_day;
+    const double week_pos = static_cast<double>(t) / steps_per_week;
+    const double day_fraction = day_pos - std::floor(day_pos);
+    const bool weekend =
+        static_cast<int64_t>(std::floor(day_pos)) % 7 >= 5;
+
+    // Shared latent factors for this step.
+    double factors[kFactors];
+    factors[0] = std::sin(kTwoPi * day_pos);
+    factors[1] = std::cos(kTwoPi * day_pos);
+    factors[2] = std::sin(kTwoPi * week_pos);
+    ar_level = 0.98 * ar_level + rng.Gaussian(0.0, p.ar_sigma);
+    factors[3] = ar_level;
+
+    double commute = 0.0;
+    if (p.commute_peaks) {
+      commute = CommuteShape(day_fraction) * (weekend ? 0.5 : 1.0);
+    }
+
+    for (int64_t j = 0; j < n; ++j) {
+      const size_t sj = static_cast<size_t>(j);
+      double v = channel_offset[sj];
+      v += p.daily_amp * loading[sj * kFactors + 0] * factors[0];
+      v += p.daily_amp * loading[sj * kFactors + 1] * factors[1];
+      v += p.weekly_amp * loading[sj * kFactors + 2] * factors[2];
+      v += loading[sj * kFactors + 3] * factors[3];
+      v += p.idio_amp * std::sin(kTwoPi * day_pos + channel_phase[sj]);
+      v += p.trend_scale * static_cast<double>(t) * channel_scale[sj];
+      if (p.commute_peaks) v += 3.0 * channel_scale[sj] * commute;
+      if (p.random_walk > 0.0) {
+        walk[sj] += rng.Gaussian(0.0, p.random_walk);
+        v += walk[sj];
+      }
+      v += rng.Gaussian(0.0, p.noise_sigma);
+      if (p.nonnegative && v < 0.0) v = 0.0;
+      out.set(t, j, static_cast<float>(v));
+    }
+  }
+  return out;
+}
+
+}  // namespace timekd::data

@@ -1,0 +1,57 @@
+#ifndef TIMEKD_DATA_DATASETS_H_
+#define TIMEKD_DATA_DATASETS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "data/time_series.h"
+
+namespace timekd::data {
+
+/// The eight evaluation datasets of the paper (Sec. V-A1). Real data is not
+/// available offline, so MakeDataset synthesizes series matching each
+/// dataset's channel count, sampling interval and qualitative structure
+/// (periodicities, trend, cross-channel coupling, noise regime) — see the
+/// substitution table in DESIGN.md. A CSV loader in time_series.h lets real
+/// data drop in unchanged.
+enum class DatasetId {
+  kEttm1,
+  kEttm2,
+  kEtth1,
+  kEtth2,
+  kWeather,
+  kExchange,
+  kPems04,
+  kPems08,
+};
+
+const char* DatasetName(DatasetId id);
+
+/// Generation parameters. Defaults come from DefaultSpec.
+struct DatasetSpec {
+  DatasetId id = DatasetId::kEttm1;
+  /// Number of time steps to generate.
+  int64_t length = 2000;
+  /// Number of variables; 0 means the dataset's paper-faithful count
+  /// (7 for ETT, 21 Weather, 8 Exchange, 307/170 PEMS).
+  int64_t num_variables = 0;
+  uint64_t seed = 42;
+};
+
+/// Paper-faithful spec (channel count, sampling interval) for `id`, with
+/// `length` time steps. PEMS sensor counts are kept at the paper's values;
+/// CPU-profile benches override `num_variables` downward.
+DatasetSpec DefaultSpec(DatasetId id, int64_t length);
+
+/// Sampling interval in minutes for `id` (15/60/10/1440/5 per the paper).
+int64_t DatasetFreqMinutes(DatasetId id);
+
+/// Paper-faithful variable count for `id`.
+int64_t DatasetNumVariables(DatasetId id);
+
+/// Synthesizes the series for `spec` (deterministic in spec.seed).
+TimeSeries MakeDataset(const DatasetSpec& spec);
+
+}  // namespace timekd::data
+
+#endif  // TIMEKD_DATA_DATASETS_H_

@@ -1,0 +1,193 @@
+#include "data/time_series.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace timekd::data {
+
+TimeSeries::TimeSeries(int64_t num_steps, int64_t num_variables,
+                       int64_t freq_minutes)
+    : num_steps_(num_steps),
+      num_variables_(num_variables),
+      freq_minutes_(freq_minutes),
+      values_(static_cast<size_t>(num_steps * num_variables), 0.0f) {
+  TIMEKD_CHECK_GE(num_steps, 0);
+  TIMEKD_CHECK_GT(num_variables, 0);
+  names_.reserve(static_cast<size_t>(num_variables));
+  for (int64_t n = 0; n < num_variables; ++n) {
+    names_.push_back("var" + std::to_string(n));
+  }
+}
+
+float TimeSeries::at(int64_t t, int64_t n) const {
+  TIMEKD_CHECK(t >= 0 && t < num_steps_ && n >= 0 && n < num_variables_)
+      << "(" << t << ", " << n << ")";
+  return values_[static_cast<size_t>(t * num_variables_ + n)];
+}
+
+void TimeSeries::set(int64_t t, int64_t n, float value) {
+  TIMEKD_CHECK(t >= 0 && t < num_steps_ && n >= 0 && n < num_variables_);
+  values_[static_cast<size_t>(t * num_variables_ + n)] = value;
+}
+
+void TimeSeries::set_variable_names(std::vector<std::string> names) {
+  TIMEKD_CHECK_EQ(static_cast<int64_t>(names.size()), num_variables_);
+  names_ = std::move(names);
+}
+
+std::vector<float> TimeSeries::VariableSlice(int64_t variable, int64_t t_begin,
+                                             int64_t t_end) const {
+  TIMEKD_CHECK(variable >= 0 && variable < num_variables_);
+  TIMEKD_CHECK(t_begin >= 0 && t_end <= num_steps_ && t_begin <= t_end);
+  std::vector<float> out;
+  out.reserve(static_cast<size_t>(t_end - t_begin));
+  for (int64_t t = t_begin; t < t_end; ++t) {
+    out.push_back(values_[static_cast<size_t>(t * num_variables_ + variable)]);
+  }
+  return out;
+}
+
+TimeSeries TimeSeries::RowRange(int64_t t_begin, int64_t t_end) const {
+  TIMEKD_CHECK(t_begin >= 0 && t_end <= num_steps_ && t_begin <= t_end);
+  TimeSeries out(t_end - t_begin, num_variables_, freq_minutes_);
+  out.names_ = names_;
+  std::copy(values_.begin() + t_begin * num_variables_,
+            values_.begin() + t_end * num_variables_,
+            out.values_.begin());
+  return out;
+}
+
+Status TimeSeries::SaveCsv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out.good()) return Status::IoError("cannot open " + path);
+  out << "step";
+  for (const std::string& name : names_) out << "," << name;
+  out << "\n";
+  for (int64_t t = 0; t < num_steps_; ++t) {
+    out << t;
+    for (int64_t n = 0; n < num_variables_; ++n) {
+      out << "," << at(t, n);
+    }
+    out << "\n";
+  }
+  out.flush();
+  if (!out.good()) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+StatusOr<TimeSeries> TimeSeries::LoadCsv(const std::string& path,
+                                         int64_t freq_minutes) {
+  std::ifstream in(path);
+  if (!in.good()) return Status::IoError("cannot open " + path);
+  std::string header;
+  if (!std::getline(in, header)) return Status::IoError("empty file");
+
+  std::vector<std::string> names;
+  {
+    std::stringstream ss(header);
+    std::string field;
+    bool first = true;
+    while (std::getline(ss, field, ',')) {
+      if (first) {
+        first = false;  // skip the step/date column
+        continue;
+      }
+      names.push_back(field);
+    }
+  }
+  if (names.empty()) return Status::InvalidArgument("no variable columns");
+
+  std::vector<float> values;
+  std::string line;
+  int64_t rows = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::stringstream ss(line);
+    std::string field;
+    bool first = true;
+    int64_t cols = 0;
+    while (std::getline(ss, field, ',')) {
+      if (first) {
+        first = false;
+        continue;
+      }
+      values.push_back(std::strtof(field.c_str(), nullptr));
+      ++cols;
+    }
+    if (cols != static_cast<int64_t>(names.size())) {
+      return Status::InvalidArgument("ragged row " + std::to_string(rows));
+    }
+    ++rows;
+  }
+  TimeSeries out(rows, static_cast<int64_t>(names.size()), freq_minutes);
+  out.values_ = std::move(values);
+  out.set_variable_names(std::move(names));
+  return out;
+}
+
+DataSplits ChronologicalSplit(const TimeSeries& series,
+                              const SplitRatios& ratios) {
+  TIMEKD_CHECK(ratios.train > 0.0 && ratios.val >= 0.0 &&
+               ratios.train + ratios.val < 1.0);
+  const int64_t t = series.num_steps();
+  const int64_t train_end = static_cast<int64_t>(t * ratios.train);
+  const int64_t val_end =
+      train_end + static_cast<int64_t>(t * ratios.val);
+  DataSplits splits;
+  splits.train = series.RowRange(0, train_end);
+  splits.val = series.RowRange(train_end, val_end);
+  splits.test = series.RowRange(val_end, t);
+  return splits;
+}
+
+void StandardScaler::Fit(const TimeSeries& series) {
+  const int64_t t = series.num_steps();
+  const int64_t n = series.num_variables();
+  TIMEKD_CHECK_GT(t, 1);
+  mean_.assign(static_cast<size_t>(n), 0.0f);
+  stddev_.assign(static_cast<size_t>(n), 0.0f);
+  for (int64_t j = 0; j < n; ++j) {
+    double sum = 0.0;
+    for (int64_t i = 0; i < t; ++i) sum += series.at(i, j);
+    const double m = sum / t;
+    double var = 0.0;
+    for (int64_t i = 0; i < t; ++i) {
+      const double d = series.at(i, j) - m;
+      var += d * d;
+    }
+    mean_[static_cast<size_t>(j)] = static_cast<float>(m);
+    stddev_[static_cast<size_t>(j)] =
+        static_cast<float>(std::sqrt(var / t) + 1e-8);
+  }
+}
+
+TimeSeries StandardScaler::Transform(const TimeSeries& series) const {
+  TIMEKD_CHECK_EQ(series.num_variables(),
+                  static_cast<int64_t>(mean_.size()));
+  TimeSeries out = series;
+  for (int64_t i = 0; i < series.num_steps(); ++i) {
+    for (int64_t j = 0; j < series.num_variables(); ++j) {
+      const size_t sj = static_cast<size_t>(j);
+      out.set(i, j, (series.at(i, j) - mean_[sj]) / stddev_[sj]);
+    }
+  }
+  return out;
+}
+
+TimeSeries StandardScaler::InverseTransform(const TimeSeries& series) const {
+  TIMEKD_CHECK_EQ(series.num_variables(),
+                  static_cast<int64_t>(mean_.size()));
+  TimeSeries out = series;
+  for (int64_t i = 0; i < series.num_steps(); ++i) {
+    for (int64_t j = 0; j < series.num_variables(); ++j) {
+      const size_t sj = static_cast<size_t>(j);
+      out.set(i, j, series.at(i, j) * stddev_[sj] + mean_[sj]);
+    }
+  }
+  return out;
+}
+
+}  // namespace timekd::data

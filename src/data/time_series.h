@@ -1,0 +1,91 @@
+#ifndef TIMEKD_DATA_TIME_SERIES_H_
+#define TIMEKD_DATA_TIME_SERIES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace timekd::data {
+
+/// In-memory multivariate time series (Definition 1 of the paper): a
+/// time-ordered sequence of N-dimensional observations stored row-major
+/// [T, N], with variable names and the sampling interval.
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+  TimeSeries(int64_t num_steps, int64_t num_variables, int64_t freq_minutes);
+
+  int64_t num_steps() const { return num_steps_; }
+  int64_t num_variables() const { return num_variables_; }
+  int64_t freq_minutes() const { return freq_minutes_; }
+
+  float at(int64_t t, int64_t n) const;
+  void set(int64_t t, int64_t n, float value);
+
+  /// Raw row-major [T, N] storage.
+  const std::vector<float>& values() const { return values_; }
+  std::vector<float>& mutable_values() { return values_; }
+
+  const std::vector<std::string>& variable_names() const { return names_; }
+  void set_variable_names(std::vector<std::string> names);
+
+  /// Values of one variable over [t_begin, t_end).
+  std::vector<float> VariableSlice(int64_t variable, int64_t t_begin,
+                                   int64_t t_end) const;
+
+  /// Copy of rows [t_begin, t_end).
+  TimeSeries RowRange(int64_t t_begin, int64_t t_end) const;
+
+  /// Writes "step,<name1>,<name2>,..." CSV.
+  Status SaveCsv(const std::string& path) const;
+  /// Reads a CSV produced by SaveCsv (or any numeric CSV whose first
+  /// column is a step index to skip).
+  static StatusOr<TimeSeries> LoadCsv(const std::string& path,
+                                      int64_t freq_minutes);
+
+ private:
+  int64_t num_steps_ = 0;
+  int64_t num_variables_ = 0;
+  int64_t freq_minutes_ = 60;
+  std::vector<float> values_;  // [T, N]
+  std::vector<std::string> names_;
+};
+
+/// Fractions of a chronological split (test gets the remainder).
+struct SplitRatios {
+  double train = 0.7;
+  double val = 0.1;
+};
+
+/// Train/val/test views of a series in time order (no shuffling — the
+/// forecasting protocol of the paper).
+struct DataSplits {
+  TimeSeries train;
+  TimeSeries val;
+  TimeSeries test;
+};
+
+DataSplits ChronologicalSplit(const TimeSeries& series,
+                              const SplitRatios& ratios);
+
+/// Per-variable standardization fitted on training data only, shared with
+/// val/test (the standard leakage-free protocol).
+class StandardScaler {
+ public:
+  void Fit(const TimeSeries& series);
+  TimeSeries Transform(const TimeSeries& series) const;
+  TimeSeries InverseTransform(const TimeSeries& series) const;
+
+  const std::vector<float>& mean() const { return mean_; }
+  const std::vector<float>& stddev() const { return stddev_; }
+
+ private:
+  std::vector<float> mean_;
+  std::vector<float> stddev_;
+};
+
+}  // namespace timekd::data
+
+#endif  // TIMEKD_DATA_TIME_SERIES_H_

@@ -1,0 +1,116 @@
+#include "data/transforms.h"
+
+#include "common/logging.h"
+
+namespace timekd::data {
+
+TimeSeries Resample(const TimeSeries& series, int64_t factor,
+                    ResampleAgg agg) {
+  TIMEKD_CHECK_GT(factor, 0);
+  const int64_t out_steps = series.num_steps() / factor;
+  const int64_t n = series.num_variables();
+  TimeSeries out(out_steps, n, series.freq_minutes() * factor);
+  out.set_variable_names(series.variable_names());
+  for (int64_t t = 0; t < out_steps; ++t) {
+    for (int64_t v = 0; v < n; ++v) {
+      double value = 0.0;
+      switch (agg) {
+        case ResampleAgg::kMean:
+        case ResampleAgg::kSum: {
+          double acc = 0.0;
+          for (int64_t k = 0; k < factor; ++k) {
+            acc += series.at(t * factor + k, v);
+          }
+          value = agg == ResampleAgg::kMean
+                      ? acc / static_cast<double>(factor)
+                      : acc;
+          break;
+        }
+        case ResampleAgg::kLast:
+          value = series.at(t * factor + factor - 1, v);
+          break;
+      }
+      out.set(t, v, static_cast<float>(value));
+    }
+  }
+  return out;
+}
+
+StatusOr<int64_t> LinearImpute(TimeSeries* series, float missing_sentinel) {
+  TIMEKD_CHECK(series != nullptr);
+  const int64_t t_total = series->num_steps();
+  const int64_t n = series->num_variables();
+  int64_t imputed = 0;
+  for (int64_t v = 0; v < n; ++v) {
+    // Collect valid anchor positions for this variable.
+    std::vector<int64_t> valid;
+    for (int64_t t = 0; t < t_total; ++t) {
+      if (series->at(t, v) != missing_sentinel) valid.push_back(t);
+    }
+    if (valid.empty()) {
+      return Status::InvalidArgument(
+          "variable " + std::to_string(v) + " has no valid observations");
+    }
+    size_t anchor = 0;
+    for (int64_t t = 0; t < t_total; ++t) {
+      if (series->at(t, v) != missing_sentinel) continue;
+      ++imputed;
+      // Advance to the anchor pair surrounding t.
+      while (anchor + 1 < valid.size() && valid[anchor + 1] < t) ++anchor;
+      const int64_t left = valid[anchor] < t ? valid[anchor] : -1;
+      int64_t right = -1;
+      for (size_t a = anchor; a < valid.size(); ++a) {
+        if (valid[a] > t) {
+          right = valid[a];
+          break;
+        }
+      }
+      float value = 0.0f;
+      if (left >= 0 && right >= 0) {
+        const float lv = series->at(left, v);
+        const float rv = series->at(right, v);
+        const float alpha = static_cast<float>(t - left) /
+                            static_cast<float>(right - left);
+        value = lv + alpha * (rv - lv);
+      } else if (left >= 0) {
+        value = series->at(left, v);
+      } else {
+        value = series->at(right, v);
+      }
+      series->set(t, v, value);
+    }
+  }
+  return imputed;
+}
+
+TimeSeries Difference(const TimeSeries& series) {
+  TIMEKD_CHECK_GT(series.num_steps(), 1);
+  const int64_t n = series.num_variables();
+  TimeSeries out(series.num_steps() - 1, n, series.freq_minutes());
+  out.set_variable_names(series.variable_names());
+  for (int64_t t = 0; t + 1 < series.num_steps(); ++t) {
+    for (int64_t v = 0; v < n; ++v) {
+      out.set(t, v, series.at(t + 1, v) - series.at(t, v));
+    }
+  }
+  return out;
+}
+
+TimeSeries Integrate(const TimeSeries& deltas,
+                     const std::vector<float>& initial_row) {
+  const int64_t n = deltas.num_variables();
+  TIMEKD_CHECK_EQ(static_cast<int64_t>(initial_row.size()), n);
+  TimeSeries out(deltas.num_steps() + 1, n, deltas.freq_minutes());
+  out.set_variable_names(deltas.variable_names());
+  for (int64_t v = 0; v < n; ++v) {
+    out.set(0, v, initial_row[static_cast<size_t>(v)]);
+  }
+  for (int64_t t = 0; t < deltas.num_steps(); ++t) {
+    for (int64_t v = 0; v < n; ++v) {
+      out.set(t + 1, v, out.at(t, v) + deltas.at(t, v));
+    }
+  }
+  return out;
+}
+
+}  // namespace timekd::data

@@ -1,0 +1,36 @@
+#ifndef TIMEKD_DATA_TRANSFORMS_H_
+#define TIMEKD_DATA_TRANSFORMS_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "data/time_series.h"
+
+namespace timekd::data {
+
+/// Aggregation used by Resample.
+enum class ResampleAgg { kMean, kSum, kLast };
+
+/// Downsamples a series by an integer `factor` (e.g. 15-minute ETTm to
+/// hourly ETTh uses factor 4, kMean/kLast). Trailing steps that do not
+/// fill a complete bucket are dropped. The sampling interval is scaled.
+TimeSeries Resample(const TimeSeries& series, int64_t factor,
+                    ResampleAgg agg);
+
+/// Fills every occurrence of `missing_sentinel` (exact float compare, as
+/// used by sensor feeds that report e.g. -9999) by linear interpolation
+/// between the nearest valid neighbours in the same variable; leading and
+/// trailing gaps take the nearest valid value. Returns the number of
+/// imputed cells, or an error if a variable has no valid observations.
+StatusOr<int64_t> LinearImpute(TimeSeries* series, float missing_sentinel);
+
+/// First differences along time: out[t] = x[t+1] - x[t] (length T-1).
+TimeSeries Difference(const TimeSeries& series);
+
+/// Inverse of Difference given the first row: reconstructs levels.
+TimeSeries Integrate(const TimeSeries& deltas,
+                     const std::vector<float>& initial_row);
+
+}  // namespace timekd::data
+
+#endif  // TIMEKD_DATA_TRANSFORMS_H_

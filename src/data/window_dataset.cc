@@ -1,0 +1,96 @@
+#include "data/window_dataset.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace timekd::data {
+
+WindowDataset::WindowDataset(TimeSeries series, int64_t input_len,
+                             int64_t horizon)
+    : series_(std::move(series)), input_len_(input_len), horizon_(horizon) {
+  TIMEKD_CHECK_GT(input_len, 0);
+  TIMEKD_CHECK_GT(horizon, 0);
+}
+
+int64_t WindowDataset::NumSamples() const {
+  const int64_t n =
+      series_.num_steps() - input_len_ - horizon_ + 1;
+  return n > 0 ? n : 0;
+}
+
+Tensor WindowDataset::History(int64_t i) const {
+  TIMEKD_CHECK(i >= 0 && i < NumSamples());
+  const int64_t n = series_.num_variables();
+  std::vector<float> values(static_cast<size_t>(input_len_ * n));
+  const float* src = series_.values().data() + i * n;
+  std::copy(src, src + input_len_ * n, values.begin());
+  return Tensor::FromVector({input_len_, n}, std::move(values));
+}
+
+Tensor WindowDataset::Future(int64_t i) const {
+  TIMEKD_CHECK(i >= 0 && i < NumSamples());
+  const int64_t n = series_.num_variables();
+  std::vector<float> values(static_cast<size_t>(horizon_ * n));
+  const float* src = series_.values().data() + (i + input_len_) * n;
+  std::copy(src, src + horizon_ * n, values.begin());
+  return Tensor::FromVector({horizon_, n}, std::move(values));
+}
+
+std::vector<float> WindowDataset::HistoryValues(int64_t i,
+                                                int64_t variable) const {
+  TIMEKD_CHECK(i >= 0 && i < NumSamples());
+  return series_.VariableSlice(variable, i, i + input_len_);
+}
+
+std::vector<float> WindowDataset::FutureValues(int64_t i,
+                                               int64_t variable) const {
+  TIMEKD_CHECK(i >= 0 && i < NumSamples());
+  return series_.VariableSlice(variable, i + input_len_,
+                               i + input_len_ + horizon_);
+}
+
+ForecastBatch WindowDataset::GetBatch(
+    const std::vector<int64_t>& indices) const {
+  TIMEKD_CHECK(!indices.empty());
+  const int64_t b = static_cast<int64_t>(indices.size());
+  const int64_t n = series_.num_variables();
+  std::vector<float> x(static_cast<size_t>(b * input_len_ * n));
+  std::vector<float> y(static_cast<size_t>(b * horizon_ * n));
+  for (int64_t bi = 0; bi < b; ++bi) {
+    const int64_t i = indices[static_cast<size_t>(bi)];
+    TIMEKD_CHECK(i >= 0 && i < NumSamples());
+    const float* hist = series_.values().data() + i * n;
+    std::copy(hist, hist + input_len_ * n,
+              x.begin() + bi * input_len_ * n);
+    const float* fut = series_.values().data() + (i + input_len_) * n;
+    std::copy(fut, fut + horizon_ * n, y.begin() + bi * horizon_ * n);
+  }
+  ForecastBatch batch;
+  batch.x = Tensor::FromVector({b, input_len_, n}, std::move(x));
+  batch.y = Tensor::FromVector({b, horizon_, n}, std::move(y));
+  batch.indices = indices;
+  return batch;
+}
+
+std::vector<std::vector<int64_t>> WindowDataset::EpochBatches(
+    int64_t batch_size, bool shuffle, Rng* rng) const {
+  TIMEKD_CHECK_GT(batch_size, 0);
+  std::vector<int64_t> order(static_cast<size_t>(NumSamples()));
+  std::iota(order.begin(), order.end(), 0);
+  if (shuffle) {
+    TIMEKD_CHECK(rng != nullptr) << "shuffle requires an Rng";
+    for (size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng->UniformInt(i)]);
+    }
+  }
+  std::vector<std::vector<int64_t>> batches;
+  for (size_t pos = 0; pos < order.size(); pos += batch_size) {
+    const size_t end = std::min(order.size(), pos + batch_size);
+    batches.emplace_back(order.begin() + pos, order.begin() + end);
+  }
+  return batches;
+}
+
+}  // namespace timekd::data

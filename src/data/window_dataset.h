@@ -1,0 +1,60 @@
+#ifndef TIMEKD_DATA_WINDOW_DATASET_H_
+#define TIMEKD_DATA_WINDOW_DATASET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/time_series.h"
+#include "tensor/tensor.h"
+
+namespace timekd::data {
+
+using tensor::Tensor;
+
+/// One mini-batch of forecasting samples.
+struct ForecastBatch {
+  Tensor x;  // history  [B, H, N]
+  Tensor y;  // future   [B, M, N]
+  std::vector<int64_t> indices;  // sample ids within the dataset
+};
+
+/// Sliding-window view over a series: sample i pairs history
+/// X_H = rows [i, i+H) with ground truth X_G = rows [i+H, i+H+M).
+class WindowDataset {
+ public:
+  WindowDataset(TimeSeries series, int64_t input_len, int64_t horizon);
+
+  int64_t NumSamples() const;
+  int64_t input_len() const { return input_len_; }
+  int64_t horizon() const { return horizon_; }
+  const TimeSeries& series() const { return series_; }
+
+  /// History tensor [H, N] of sample i.
+  Tensor History(int64_t i) const;
+  /// Future tensor [M, N] of sample i.
+  Tensor Future(int64_t i) const;
+
+  /// Per-variable raw values, used to render prompts.
+  std::vector<float> HistoryValues(int64_t i, int64_t variable) const;
+  std::vector<float> FutureValues(int64_t i, int64_t variable) const;
+  /// Absolute time-step index where sample i's history starts.
+  int64_t HistoryStart(int64_t i) const { return i; }
+
+  /// Gathers a batch: x [B, H, N], y [B, M, N].
+  ForecastBatch GetBatch(const std::vector<int64_t>& indices) const;
+
+  /// Splits [0, NumSamples) into batches; optionally shuffled.
+  std::vector<std::vector<int64_t>> EpochBatches(int64_t batch_size,
+                                                 bool shuffle,
+                                                 Rng* rng) const;
+
+ private:
+  TimeSeries series_;
+  int64_t input_len_;
+  int64_t horizon_;
+};
+
+}  // namespace timekd::data
+
+#endif  // TIMEKD_DATA_WINDOW_DATASET_H_

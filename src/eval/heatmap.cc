@@ -1,0 +1,91 @@
+#include "eval/heatmap.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace timekd::eval {
+
+namespace {
+// Dark-to-bright ramp for cell intensity.
+constexpr char kShades[] = " .:-=+*#%@";
+constexpr int kNumShades = 10;
+}  // namespace
+
+std::string RenderHeatMap(const tensor::Tensor& matrix,
+                          const std::string& title) {
+  TIMEKD_CHECK_EQ(matrix.dim(), 2);
+  const int64_t rows = matrix.size(0);
+  const int64_t cols = matrix.size(1);
+  float lo = matrix.at(0);
+  float hi = matrix.at(0);
+  for (int64_t i = 0; i < matrix.numel(); ++i) {
+    lo = std::min(lo, matrix.at(i));
+    hi = std::max(hi, matrix.at(i));
+  }
+  const float range = hi - lo > 1e-12f ? hi - lo : 1.0f;
+
+  std::ostringstream os;
+  os << title << " (" << rows << "x" << cols << ", min=" << lo
+     << ", max=" << hi << ")\n";
+  for (int64_t r = 0; r < rows; ++r) {
+    os << "  ";
+    for (int64_t c = 0; c < cols; ++c) {
+      const float v = (matrix.at(r * cols + c) - lo) / range;
+      int idx = static_cast<int>(v * (kNumShades - 1) + 0.5f);
+      idx = std::clamp(idx, 0, kNumShades - 1);
+      // Double-width cells so the map is roughly square in a terminal.
+      os << kShades[idx] << kShades[idx];
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string RenderSeriesComparison(const std::vector<float>& truth,
+                                   const std::vector<float>& prediction,
+                                   const std::string& title, int height) {
+  TIMEKD_CHECK_EQ(truth.size(), prediction.size());
+  TIMEKD_CHECK_GE(height, 3);
+  const int64_t t_len = static_cast<int64_t>(truth.size());
+  float lo = truth[0];
+  float hi = truth[0];
+  for (int64_t i = 0; i < t_len; ++i) {
+    lo = std::min({lo, truth[static_cast<size_t>(i)],
+                   prediction[static_cast<size_t>(i)]});
+    hi = std::max({hi, truth[static_cast<size_t>(i)],
+                   prediction[static_cast<size_t>(i)]});
+  }
+  const float range = hi - lo > 1e-12f ? hi - lo : 1.0f;
+  auto row_of = [&](float v) {
+    int r = static_cast<int>((hi - v) / range * (height - 1) + 0.5f);
+    return std::clamp(r, 0, height - 1);
+  };
+
+  // Grid of characters: 'o' truth, 'x' prediction, '*' overlap.
+  std::vector<std::string> grid(static_cast<size_t>(height),
+                                std::string(static_cast<size_t>(t_len), ' '));
+  for (int64_t i = 0; i < t_len; ++i) {
+    const int rt = row_of(truth[static_cast<size_t>(i)]);
+    const int rp = row_of(prediction[static_cast<size_t>(i)]);
+    grid[static_cast<size_t>(rt)][static_cast<size_t>(i)] = 'o';
+    char& cell = grid[static_cast<size_t>(rp)][static_cast<size_t>(i)];
+    cell = cell == 'o' ? '*' : 'x';
+  }
+
+  std::ostringstream os;
+  os << title << "  [o=ground truth, x=prediction, *=overlap]\n";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%8.2f ", hi);
+  os << buf << "+" << std::string(static_cast<size_t>(t_len), '-') << "\n";
+  for (int r = 0; r < height; ++r) {
+    os << std::string(9, ' ') << "|" << grid[static_cast<size_t>(r)] << "\n";
+  }
+  std::snprintf(buf, sizeof(buf), "%8.2f ", lo);
+  os << buf << "+" << std::string(static_cast<size_t>(t_len), '-') << "\n";
+  return os.str();
+}
+
+}  // namespace timekd::eval

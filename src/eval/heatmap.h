@@ -1,0 +1,25 @@
+#ifndef TIMEKD_EVAL_HEATMAP_H_
+#define TIMEKD_EVAL_HEATMAP_H_
+
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace timekd::eval {
+
+/// Renders a [R, C] matrix as an ASCII heat map (dark = low, bright =
+/// high), used by the Figure-8/9 attention/feature visualizations. Values
+/// are min-max normalized over the whole matrix.
+std::string RenderHeatMap(const tensor::Tensor& matrix,
+                          const std::string& title);
+
+/// Renders two aligned series (ground truth vs. prediction) as a compact
+/// ASCII chart, used by the Figure-10 visualization. `height` is the
+/// number of text rows.
+std::string RenderSeriesComparison(const std::vector<float>& truth,
+                                   const std::vector<float>& prediction,
+                                   const std::string& title, int height = 12);
+
+}  // namespace timekd::eval
+
+#endif  // TIMEKD_EVAL_HEATMAP_H_

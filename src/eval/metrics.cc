@@ -1,0 +1,91 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "tensor/ops.h"
+
+namespace timekd::eval {
+
+void MetricsAccumulator::Add(float prediction, float truth) {
+  const double d = static_cast<double>(prediction) - truth;
+  se_ += d * d;
+  ae_ += std::fabs(d);
+  const double denom =
+      (std::fabs(prediction) + std::fabs(truth)) / 2.0 + 1e-8;
+  smape_ += std::fabs(d) / denom;
+  ++count_;
+}
+
+void MetricsAccumulator::AddTensors(const tensor::Tensor& prediction,
+                                    const tensor::Tensor& truth) {
+  TIMEKD_CHECK_EQ(prediction.numel(), truth.numel());
+  const float* p = prediction.data();
+  const float* t = truth.data();
+  for (int64_t i = 0; i < prediction.numel(); ++i) Add(p[i], t[i]);
+}
+
+ForecastMetrics MetricsAccumulator::Finalize() const {
+  ForecastMetrics m;
+  m.count = count_;
+  if (count_ == 0) return m;
+  m.mse = se_ / count_;
+  m.mae = ae_ / count_;
+  m.rmse = std::sqrt(m.mse);
+  m.smape = 100.0 * smape_ / count_;
+  m.mase = naive_mae_ > 0.0 ? m.mae / naive_mae_ : 0.0;
+  return m;
+}
+
+double NaiveMae(const data::WindowDataset& ds) {
+  const data::TimeSeries& series = ds.series();
+  double acc = 0.0;
+  int64_t count = 0;
+  for (int64_t t = 1; t < series.num_steps(); ++t) {
+    for (int64_t v = 0; v < series.num_variables(); ++v) {
+      acc += std::fabs(series.at(t, v) - series.at(t - 1, v));
+      ++count;
+    }
+  }
+  return count > 0 ? acc / count : 0.0;
+}
+
+ForecastMetrics EvaluateForecastFn(
+    const std::function<tensor::Tensor(const tensor::Tensor&)>& predict,
+    const data::WindowDataset& ds) {
+  tensor::NoGradGuard no_grad;
+  MetricsAccumulator acc(NaiveMae(ds));
+  for (int64_t i = 0; i < ds.NumSamples(); ++i) {
+    data::ForecastBatch batch = ds.GetBatch({i});
+    acc.AddTensors(predict(batch.x), batch.y);
+  }
+  return acc.Finalize();
+}
+
+std::vector<double> PerHorizonMse(
+    const std::function<tensor::Tensor(const tensor::Tensor&)>& predict,
+    const data::WindowDataset& ds) {
+  tensor::NoGradGuard no_grad;
+  const int64_t horizon = ds.horizon();
+  const int64_t n = ds.series().num_variables();
+  std::vector<double> se(static_cast<size_t>(horizon), 0.0);
+  int64_t windows = 0;
+  for (int64_t i = 0; i < ds.NumSamples(); ++i) {
+    data::ForecastBatch batch = ds.GetBatch({i});
+    tensor::Tensor pred = predict(batch.x);
+    TIMEKD_CHECK_EQ(pred.numel(), horizon * n);
+    for (int64_t t = 0; t < horizon; ++t) {
+      for (int64_t v = 0; v < n; ++v) {
+        const double d = pred.at(t * n + v) - batch.y.at(t * n + v);
+        se[static_cast<size_t>(t)] += d * d;
+      }
+    }
+    ++windows;
+  }
+  if (windows > 0) {
+    for (double& v : se) v /= static_cast<double>(windows * n);
+  }
+  return se;
+}
+
+}  // namespace timekd::eval

@@ -1,0 +1,69 @@
+#ifndef TIMEKD_EVAL_METRICS_H_
+#define TIMEKD_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "data/window_dataset.h"
+#include "tensor/tensor.h"
+
+namespace timekd::eval {
+
+/// Full forecast-accuracy report. MSE/MAE are the paper's metrics
+/// (Eq. 31–32); the rest are standard additions a practitioner expects.
+struct ForecastMetrics {
+  double mse = 0.0;
+  double mae = 0.0;
+  double rmse = 0.0;
+  /// Symmetric MAPE in percent (robust to near-zero truths).
+  double smape = 0.0;
+  /// MAE relative to the naive repeat-last-value forecast (MASE-style;
+  /// < 1 means better than naive).
+  double mase = 0.0;
+  int64_t count = 0;
+};
+
+/// Element-level accumulator so callers can stream predictions window by
+/// window without materializing everything.
+class MetricsAccumulator {
+ public:
+  /// `naive_mae_denominator` is the mean |Δ| of the in-sample naive
+  /// forecast used by MASE; pass 0 to disable MASE.
+  explicit MetricsAccumulator(double naive_mae_denominator = 0.0)
+      : naive_mae_(naive_mae_denominator) {}
+
+  void Add(float prediction, float truth);
+  void AddTensors(const tensor::Tensor& prediction,
+                  const tensor::Tensor& truth);
+
+  ForecastMetrics Finalize() const;
+
+ private:
+  double naive_mae_ = 0.0;
+  double se_ = 0.0;
+  double ae_ = 0.0;
+  double smape_ = 0.0;
+  int64_t count_ = 0;
+};
+
+/// Mean |x_t - x_{t-1}| over a window dataset's underlying series — the
+/// standard MASE scaling term.
+double NaiveMae(const data::WindowDataset& ds);
+
+/// Evaluates an arbitrary predict function (x [1,H,N] -> [1,M,N]) over a
+/// dataset with the paper's batch-size-1 protocol.
+ForecastMetrics EvaluateForecastFn(
+    const std::function<tensor::Tensor(const tensor::Tensor&)>& predict,
+    const data::WindowDataset& ds);
+
+/// Per-horizon-step error profile: element h holds the MSE of forecasts
+/// exactly h+1 steps ahead, aggregated over the dataset. Shows how error
+/// grows with lead time (the Figure-10-style diagnostic).
+std::vector<double> PerHorizonMse(
+    const std::function<tensor::Tensor(const tensor::Tensor&)>& predict,
+    const data::WindowDataset& ds);
+
+}  // namespace timekd::eval
+
+#endif  // TIMEKD_EVAL_METRICS_H_

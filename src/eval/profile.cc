@@ -1,0 +1,61 @@
+#include "eval/profile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/env_config.h"
+#include "common/logging.h"
+
+namespace timekd::eval {
+
+BenchProfile GetBenchProfile() {
+  const std::string name = GetEnvString("TIMEKD_BENCH_PROFILE", "small");
+  BenchProfile p;  // defaults == small
+  if (name == "smoke") {
+    p.name = "smoke";
+    p.dataset_length = 240;
+    p.input_len = 16;
+    p.horizon_scale = 0.125;
+    p.pems_variables = 5;
+    p.epochs = 1;
+    p.seeds = 1;
+    p.d_model = 16;
+    p.num_heads = 2;
+    p.encoder_layers = 1;
+    p.ffn_hidden = 32;
+    p.llm_d_model = 16;
+    p.llm_layers = 1;
+    p.llm_ffn = 32;
+    p.prompt_stride = 8;
+  } else if (name == "paper") {
+    p.name = "paper";
+    p.dataset_length = 6000;
+    p.input_len = 96;
+    p.horizon_scale = 1.0;
+    p.pems_variables = 24;  // paper: 307/170; capped for one CPU core
+    p.epochs = 10;
+    p.seeds = 3;
+    p.d_model = 64;
+    p.num_heads = 4;
+    p.encoder_layers = 2;
+    p.ffn_hidden = 128;
+    p.llm_d_model = 64;
+    p.llm_layers = 6;  // paper uses 12 LLM layers on GPUs
+    p.llm_ffn = 256;
+    p.llm_pretrain_sequences = 64;
+    p.prompt_precision = 1;
+    p.prompt_stride = 1;
+  } else if (name != "small") {
+    TIMEKD_LOG(Warning) << "unknown TIMEKD_BENCH_PROFILE '" << name
+                        << "', using 'small'";
+  }
+  return p;
+}
+
+int64_t ScaledHorizon(const BenchProfile& profile, int64_t paper_horizon) {
+  const int64_t scaled = static_cast<int64_t>(
+      std::llround(static_cast<double>(paper_horizon) * profile.horizon_scale));
+  return std::max<int64_t>(3, scaled);
+}
+
+}  // namespace timekd::eval

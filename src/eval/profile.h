@@ -1,0 +1,57 @@
+#ifndef TIMEKD_EVAL_PROFILE_H_
+#define TIMEKD_EVAL_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace timekd::eval {
+
+/// Size class for the benchmark harness, selected via the environment
+/// variable TIMEKD_BENCH_PROFILE in {smoke, small, paper} (default: small).
+///
+/// The paper's experiments run on A100s with full-length datasets; this
+/// machine is a single CPU core, so `small` reproduces every table/figure
+/// at reduced scale (shorter series, scaled horizons, strided prompts,
+/// narrower models). `paper` restores the paper's structural settings
+/// (input 96, unscaled horizons, dense prompts) and is expected to take
+/// hours. Deviations are recorded in EXPERIMENTS.md per experiment.
+struct BenchProfile {
+  std::string name = "small";
+
+  int64_t dataset_length = 360;
+  int64_t input_len = 24;
+  /// Paper horizons (24/36/48/96/192) are multiplied by this.
+  double horizon_scale = 0.25;
+  /// Channel cap for the non-PEMS datasets (ETT=7 fits anyway).
+  int64_t max_variables = 7;
+  /// PEMS04/08 sensor count (paper: 307/170).
+  int64_t pems_variables = 8;
+
+  int64_t epochs = 8;
+  int64_t batch_size = 8;
+  double lr = 2e-3;
+  int64_t seeds = 1;  // paper repeats each experiment over 3 seeds
+
+  int64_t d_model = 32;
+  int64_t num_heads = 4;
+  int64_t encoder_layers = 2;
+  int64_t ffn_hidden = 64;
+
+  int64_t llm_d_model = 32;
+  int64_t llm_layers = 2;
+  int64_t llm_ffn = 64;
+  int64_t llm_pretrain_sequences = 0;
+
+  int prompt_precision = 1;
+  int prompt_stride = 4;
+};
+
+/// Reads TIMEKD_BENCH_PROFILE and returns the corresponding profile.
+BenchProfile GetBenchProfile();
+
+/// A paper horizon scaled by the profile (minimum 3 steps).
+int64_t ScaledHorizon(const BenchProfile& profile, int64_t paper_horizon);
+
+}  // namespace timekd::eval
+
+#endif  // TIMEKD_EVAL_PROFILE_H_

@@ -1,0 +1,100 @@
+#ifndef TIMEKD_EVAL_RUNNER_H_
+#define TIMEKD_EVAL_RUNNER_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "baselines/forecast_model.h"
+#include "core/config.h"
+#include "core/timekd.h"
+#include "data/datasets.h"
+#include "data/window_dataset.h"
+#include "eval/profile.h"
+
+namespace timekd::eval {
+
+/// Every model compared in the paper's tables.
+enum class ModelKind {
+  kTimeKd,
+  kTimeCma,
+  kTimeLlm,
+  kUniTime,
+  kOfa,
+  kITransformer,
+  kPatchTst,
+};
+
+const char* ModelName(ModelKind kind);
+/// Paper column order: TimeKD, TimeCMA, Time-LLM, UniTime, OFA,
+/// iTransformer, PatchTST.
+std::vector<ModelKind> AllModels();
+
+/// One experiment: train `model` on `dataset` (or transfer from it) and
+/// evaluate on the chronological test split.
+struct RunSpec {
+  ModelKind model = ModelKind::kTimeKd;
+  data::DatasetId dataset = data::DatasetId::kEttm1;
+  /// Horizon in steps (already profile-scaled by the caller).
+  int64_t horizon = 24;
+  BenchProfile profile;
+  uint64_t seed = 1;
+  /// Fraction of the training split used (Table V few-shot, Figure 7).
+  /// The paper takes the FIRST x% of training data.
+  double train_fraction = 1.0;
+  /// Zero-shot transfer (Table VI): evaluate on this dataset's test split
+  /// without training on it.
+  std::optional<data::DatasetId> test_dataset;
+};
+
+/// Accuracy and efficiency measurements of one run.
+struct RunResult {
+  double mse = 0.0;
+  double mae = 0.0;
+  double train_seconds_per_epoch = 0.0;
+  double infer_seconds_per_sample = 0.0;
+  /// TimeKD / TimeCMA: one-time prompt-embedding cost.
+  double cache_seconds = 0.0;
+  int64_t trainable_params = 0;
+  int64_t frozen_params = 0;
+  /// Peak live tensor bytes during training (measured, see tensor.h).
+  int64_t peak_memory_bytes = 0;
+  int64_t test_samples = 0;
+};
+
+/// Prepared (generated, standardized, windowed) data of one experiment.
+struct PreparedData {
+  data::WindowDataset train;
+  data::WindowDataset val;
+  data::WindowDataset test;
+  int64_t num_variables = 0;
+  int64_t freq_minutes = 0;
+};
+
+/// Generates + standardizes + windows a dataset per the profile.
+PreparedData PrepareData(data::DatasetId id, int64_t horizon,
+                         const BenchProfile& profile, double train_fraction);
+
+/// Baseline factory with the per-model size conventions used by the bench
+/// harness (mirrors the capacity ordering of the paper's Table IV).
+std::unique_ptr<baselines::ForecastModel> MakeBaseline(
+    ModelKind kind, const BenchProfile& profile, int64_t num_variables,
+    int64_t horizon, int64_t freq_minutes, uint64_t seed);
+
+/// TimeKD config following the profile (used by RunExperiment and by the
+/// figure benches that need direct access to the trained model).
+core::TimeKdConfig MakeTimeKdConfig(const BenchProfile& profile,
+                                    int64_t num_variables, int64_t horizon,
+                                    int64_t freq_minutes, uint64_t seed);
+
+/// Trains and evaluates one RunSpec.
+RunResult RunExperiment(const RunSpec& spec);
+
+/// Runs `spec` across `profile.seeds` seeds and averages the results
+/// (the paper reports means over 3 seeds).
+RunResult RunAveraged(RunSpec spec);
+
+}  // namespace timekd::eval
+
+#endif  // TIMEKD_EVAL_RUNNER_H_

@@ -1,0 +1,68 @@
+#include "eval/table.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace timekd::eval {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  TIMEKD_CHECK(!headers_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  TIMEKD_CHECK_EQ(cells.size(), headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::AddSeparator() { rows_.emplace_back(); }
+
+std::string TablePrinter::Num(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+std::string TablePrinter::Render() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    os << "|";
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : "";
+      os << " " << cell << std::string(widths[c] - cell.size(), ' ') << " |";
+    }
+    os << "\n";
+  };
+  auto print_rule = [&]() {
+    os << "|";
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      os << std::string(widths[c] + 2, '-') << "|";
+    }
+    os << "\n";
+  };
+
+  print_row(headers_);
+  print_rule();
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      print_rule();
+    } else {
+      print_row(row);
+    }
+  }
+  return os.str();
+}
+
+void TablePrinter::Print() const { std::fputs(Render().c_str(), stdout); }
+
+}  // namespace timekd::eval

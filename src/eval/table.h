@@ -1,0 +1,34 @@
+#ifndef TIMEKD_EVAL_TABLE_H_
+#define TIMEKD_EVAL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace timekd::eval {
+
+/// Column-aligned plain-text table printer for the bench harness. Rows are
+/// printed in insertion order; numeric cells are formatted by the caller.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  /// Horizontal rule row (rendered as dashes).
+  void AddSeparator();
+
+  /// Renders the full table to a string.
+  std::string Render() const;
+  /// Prints to stdout.
+  void Print() const;
+
+  /// Formats a double with `digits` decimal places.
+  static std::string Num(double value, int digits = 3);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;  // empty vector == separator
+};
+
+}  // namespace timekd::eval
+
+#endif  // TIMEKD_EVAL_TABLE_H_

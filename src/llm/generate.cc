@@ -1,0 +1,106 @@
+#include "llm/generate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/logging.h"
+#include "tensor/ops.h"
+#include "text/vocab.h"
+
+namespace timekd::llm {
+
+namespace {
+
+/// Modality of a generated token id under the prompt vocabulary.
+text::Modality ModalityOf(const text::Vocab& vocab, int64_t id) {
+  const std::string& token = vocab.TokenOf(id);
+  if (token == "<dot>" || token == "-") return text::Modality::kValue;
+  if (token.size() == 1 && token[0] >= '0' && token[0] <= '9') {
+    return text::Modality::kValue;
+  }
+  return text::Modality::kText;
+}
+
+int64_t PickToken(const std::vector<float>& logits,
+                  const GenerateConfig& config, Rng* rng) {
+  const int64_t vocab = static_cast<int64_t>(logits.size());
+  if (config.temperature <= 0.0) {
+    // Greedy.
+    int64_t best = 0;
+    for (int64_t j = 1; j < vocab; ++j) {
+      if (logits[static_cast<size_t>(j)] > logits[static_cast<size_t>(best)]) {
+        best = j;
+      }
+    }
+    return best;
+  }
+  TIMEKD_CHECK(rng != nullptr) << "sampling requires an Rng";
+  // Optionally keep only the top-k candidates.
+  std::vector<int64_t> candidates(static_cast<size_t>(vocab));
+  for (int64_t j = 0; j < vocab; ++j) candidates[static_cast<size_t>(j)] = j;
+  if (config.top_k > 0 && config.top_k < vocab) {
+    std::partial_sort(candidates.begin(),
+                      candidates.begin() + config.top_k, candidates.end(),
+                      [&](int64_t a, int64_t b) {
+                        return logits[static_cast<size_t>(a)] >
+                               logits[static_cast<size_t>(b)];
+                      });
+    candidates.resize(static_cast<size_t>(config.top_k));
+  }
+  // Softmax over the candidate set at the configured temperature.
+  double maxv = -1e30;
+  for (int64_t c : candidates) {
+    maxv = std::max(maxv,
+                    static_cast<double>(logits[static_cast<size_t>(c)]));
+  }
+  std::vector<double> probs(candidates.size());
+  double denom = 0.0;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const double z =
+        (logits[static_cast<size_t>(candidates[i])] - maxv) /
+        config.temperature;
+    probs[i] = std::exp(z);
+    denom += probs[i];
+  }
+  double u = rng->Uniform() * denom;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    u -= probs[i];
+    if (u <= 0.0) return candidates[i];
+  }
+  return candidates.back();
+}
+
+}  // namespace
+
+text::TokenizedPrompt Generate(const LanguageModel& lm,
+                               const text::TokenizedPrompt& prompt,
+                               const GenerateConfig& config, Rng* rng) {
+  TIMEKD_CHECK(lm.causal()) << "generation requires a causal backbone";
+  const text::Vocab vocab = text::Vocab::BuildPromptVocab();
+  TIMEKD_CHECK_EQ(vocab.size(), lm.config().vocab_size)
+      << "generation assumes the prompt vocabulary";
+
+  tensor::NoGradGuard no_grad;
+  text::TokenizedPrompt out = prompt;
+  // Generation continues past the prompt, so strip a trailing [EOS].
+  while (!out.ids.empty() && out.ids.back() == text::Vocab::kEosId) {
+    out.ids.pop_back();
+    out.modality.pop_back();
+  }
+  for (int64_t step = 0; step < config.max_new_tokens; ++step) {
+    if (out.length() >= lm.config().max_seq_len) break;
+    tensor::Tensor logits = lm.Logits(out);  // [S, vocab]
+    const int64_t s = logits.size(0);
+    const int64_t v = logits.size(1);
+    std::vector<float> last(logits.data() + (s - 1) * v,
+                            logits.data() + s * v);
+    const int64_t next = PickToken(last, config, rng);
+    out.ids.push_back(next);
+    out.modality.push_back(ModalityOf(vocab, next));
+    if (next == text::Vocab::kEosId) break;
+  }
+  return out;
+}
+
+}  // namespace timekd::llm

@@ -1,0 +1,35 @@
+#ifndef TIMEKD_LLM_GENERATE_H_
+#define TIMEKD_LLM_GENERATE_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "llm/language_model.h"
+#include "text/prompt.h"
+
+namespace timekd::llm {
+
+/// Sampling configuration for autoregressive generation.
+struct GenerateConfig {
+  int64_t max_new_tokens = 32;
+  /// 0 = greedy decoding; otherwise softmax temperature.
+  double temperature = 1.0;
+  /// 0 = no truncation; otherwise sample among the top-k logits.
+  int64_t top_k = 0;
+};
+
+/// Autoregressively extends `prompt` with up to max_new_tokens tokens using
+/// a causal backbone (GPT-mini / LLaMA-mini). Generation stops early at
+/// [EOS]. Newly generated digit/sign/point tokens are tagged
+/// Modality::kValue, everything else kText, so generated continuations can
+/// feed straight back into calibrated encoding.
+///
+/// This is the "LLM as numeric continuator" utility used to sanity-check
+/// pre-training quality; TimeKD itself never generates at inference time.
+text::TokenizedPrompt Generate(const LanguageModel& lm,
+                               const text::TokenizedPrompt& prompt,
+                               const GenerateConfig& config, Rng* rng);
+
+}  // namespace timekd::llm
+
+#endif  // TIMEKD_LLM_GENERATE_H_

@@ -1,0 +1,151 @@
+#include "llm/language_model.h"
+
+#include "common/logging.h"
+#include "nn/init.h"
+#include "tensor/ops.h"
+
+namespace timekd::llm {
+
+using tensor::Add;
+using tensor::Reshape;
+using tensor::Shape;
+using tensor::Slice;
+
+const char* LlmKindName(LlmKind kind) {
+  switch (kind) {
+    case LlmKind::kGptMini:
+      return "gpt-mini";
+    case LlmKind::kBertMini:
+      return "bert-mini";
+    case LlmKind::kLlamaMini:
+      return "llama-mini";
+  }
+  return "?";
+}
+
+Tensor BuildCalibratedMask(const std::vector<text::Modality>& modality,
+                           bool causal, float delta) {
+  const int64_t s = static_cast<int64_t>(modality.size());
+  std::vector<float> mask(static_cast<size_t>(s * s), 0.0f);
+  constexpr float kNegInf = -1e9f;
+  for (int64_t i = 0; i < s; ++i) {
+    for (int64_t j = 0; j < s; ++j) {
+      float v = 0.0f;
+      if (causal && j > i) {
+        v = kNegInf;
+      } else if (modality[static_cast<size_t>(i)] !=
+                 modality[static_cast<size_t>(j)]) {
+        v = -delta;  // Eq. 5: penalize cross-modality interactions
+      }
+      mask[static_cast<size_t>(i * s + j)] = v;
+    }
+  }
+  return Tensor::FromVector({s, s}, std::move(mask));
+}
+
+LanguageModel::Block::Block(const LlmConfig& config, Rng* rng)
+    : kind(config.kind),
+      attn(config.d_model, config.num_heads, config.dropout, rng,
+           /*use_rope=*/config.kind == LlmKind::kLlamaMini),
+      ffn(config.d_model, config.ffn_hidden,
+          config.kind == LlmKind::kLlamaMini ? nn::Activation::kSwiGlu
+                                             : nn::Activation::kGelu,
+          *rng) {
+  if (kind == LlmKind::kLlamaMini) {
+    rms1 = std::make_unique<nn::RmsNorm>(config.d_model);
+    rms2 = std::make_unique<nn::RmsNorm>(config.d_model);
+    RegisterModule("rms1", rms1.get());
+    RegisterModule("rms2", rms2.get());
+  } else {
+    ln1 = std::make_unique<nn::LayerNorm>(config.d_model);
+    ln2 = std::make_unique<nn::LayerNorm>(config.d_model);
+    RegisterModule("ln1", ln1.get());
+    RegisterModule("ln2", ln2.get());
+  }
+  RegisterModule("attn", &attn);
+  RegisterModule("ffn", &ffn);
+}
+
+Tensor LanguageModel::Block::Forward(const Tensor& x,
+                                     const Tensor& mask) const {
+  auto norm1 = [&](const Tensor& t) {
+    return kind == LlmKind::kLlamaMini ? rms1->Forward(t) : ln1->Forward(t);
+  };
+  auto norm2 = [&](const Tensor& t) {
+    return kind == LlmKind::kLlamaMini ? rms2->Forward(t) : ln2->Forward(t);
+  };
+  Tensor h = Add(x, attn.SelfForward(norm1(x), mask));
+  return Add(h, ffn.Forward(norm2(h)));
+}
+
+LanguageModel::LanguageModel(const LlmConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      token_embedding_(config.vocab_size, config.d_model, rng_),
+      lm_head_(config.d_model, config.vocab_size, /*bias=*/false, rng_) {
+  TIMEKD_CHECK_GT(config.vocab_size, 0);
+  RegisterModule("token_embedding", &token_embedding_);
+  if (config_.kind != LlmKind::kLlamaMini) {
+    position_embedding_ = RegisterParameter(
+        "position_embedding",
+        Tensor::RandNormal({config.max_seq_len, config.d_model}, 0.0f, 0.02f,
+                           rng_));
+  }
+  for (int64_t i = 0; i < config.num_layers; ++i) {
+    blocks_.push_back(std::make_unique<Block>(config, &rng_));
+    RegisterModule("block" + std::to_string(i), blocks_.back().get());
+  }
+  if (config_.kind == LlmKind::kLlamaMini) {
+    final_rms_ = std::make_unique<nn::RmsNorm>(config.d_model);
+    RegisterModule("final_rms", final_rms_.get());
+  } else {
+    final_ln_ = std::make_unique<nn::LayerNorm>(config.d_model);
+    RegisterModule("final_ln", final_ln_.get());
+  }
+  RegisterModule("lm_head", &lm_head_);
+}
+
+Tensor LanguageModel::Encode(const text::TokenizedPrompt& prompt,
+                             bool calibrated) const {
+  const int64_t s = prompt.length();
+  TIMEKD_CHECK_GT(s, 0);
+  TIMEKD_CHECK_LE(s, config_.max_seq_len)
+      << "prompt longer than max_seq_len";
+
+  Tensor h = token_embedding_.Forward(prompt.ids);  // [S, D]
+  if (config_.kind != LlmKind::kLlamaMini) {
+    h = Add(h, Slice(position_embedding_, 0, 0, s));
+  }
+  h = Reshape(h, {1, s, config_.d_model});
+
+  const float delta = calibrated ? config_.calibration_delta : 0.0f;
+  Tensor mask = BuildCalibratedMask(prompt.modality, causal(), delta);
+
+  for (const auto& block : blocks_) h = block->Forward(h, mask);
+  h = config_.kind == LlmKind::kLlamaMini ? final_rms_->Forward(h)
+                                          : final_ln_->Forward(h);
+  return Reshape(h, {s, config_.d_model});
+}
+
+Tensor LanguageModel::EncodeLastToken(const text::TokenizedPrompt& prompt,
+                                      bool calibrated) const {
+  Tensor h = Encode(prompt, calibrated);
+  return Slice(h, 0, h.size(0) - 1, 1);  // [1, D]
+}
+
+Tensor LanguageModel::EncodeLastTokens(
+    const std::vector<text::TokenizedPrompt>& prompts, bool calibrated) const {
+  TIMEKD_CHECK(!prompts.empty());
+  std::vector<Tensor> rows;
+  rows.reserve(prompts.size());
+  for (const auto& prompt : prompts) {
+    rows.push_back(EncodeLastToken(prompt, calibrated));
+  }
+  return tensor::Concat(rows, 0);  // [N, D]
+}
+
+Tensor LanguageModel::Logits(const text::TokenizedPrompt& prompt) const {
+  return lm_head_.Forward(Encode(prompt, /*calibrated=*/false));
+}
+
+}  // namespace timekd::llm

@@ -1,0 +1,104 @@
+#ifndef TIMEKD_LLM_LANGUAGE_MODEL_H_
+#define TIMEKD_LLM_LANGUAGE_MODEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/attention.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "text/prompt.h"
+
+namespace timekd::llm {
+
+using tensor::Tensor;
+
+/// Backbone families of Table III. All are trained from scratch on the
+/// synthetic numeric-prompt corpus (see pretrain.h) — the offline stand-in
+/// for the public GPT-2 / BERT / LLaMA-3.2 checkpoints.
+enum class LlmKind {
+  kGptMini,    // decoder-only, learned positions, GELU (GPT-2 family)
+  kBertMini,   // bidirectional encoder, learned positions, GELU
+  kLlamaMini,  // decoder-only, RoPE, RMSNorm, SwiGLU (LLaMA family)
+};
+
+const char* LlmKindName(LlmKind kind);
+
+/// Architecture hyper-parameters of a mini language model.
+struct LlmConfig {
+  LlmKind kind = LlmKind::kGptMini;
+  int64_t vocab_size = 0;  // set from the prompt vocabulary
+  int64_t d_model = 64;
+  int64_t num_layers = 4;
+  int64_t num_heads = 4;
+  int64_t ffn_hidden = 256;
+  int64_t max_seq_len = 2048;
+  float dropout = 0.0f;
+  /// Δ of Eq. 5: additive penalty on cross-modality attention scores.
+  float calibration_delta = 5.0f;
+  uint64_t seed = 42;
+};
+
+/// Builds the calibrated attention mask of Eq. 4–5 for a prompt:
+/// entry [i][j] is −inf above the diagonal when `causal`, plus −Δ whenever
+/// tokens i and j belong to different modalities. Shape [S, S].
+Tensor BuildCalibratedMask(const std::vector<text::Modality>& modality,
+                           bool causal, float delta);
+
+/// A from-scratch mini language model. One instance encodes one prompt at a
+/// time (prompt lengths differ across variables); TimeKD's CLM wraps this
+/// with freezing and an embedding cache.
+class LanguageModel : public nn::Module {
+ public:
+  explicit LanguageModel(const LlmConfig& config);
+
+  /// Hidden states [S, D] for a prompt. When `calibrated`, applies the
+  /// cross-modality penalty of Eq. 5 on top of the backbone's own mask.
+  Tensor Encode(const text::TokenizedPrompt& prompt, bool calibrated) const;
+
+  /// Embedding [1, D] of the last token (the position that, under masked
+  /// attention, has attended to the whole prompt — Sec. IV-B1).
+  Tensor EncodeLastToken(const text::TokenizedPrompt& prompt,
+                         bool calibrated) const;
+
+  /// Stacks last-token embeddings for N per-variable prompts into [N, D].
+  Tensor EncodeLastTokens(const std::vector<text::TokenizedPrompt>& prompts,
+                          bool calibrated) const;
+
+  /// Per-position vocabulary logits [S, vocab] (pre-training head). Causal
+  /// kinds use these for next-token prediction, kBertMini for denoising.
+  Tensor Logits(const text::TokenizedPrompt& prompt) const;
+
+  const LlmConfig& config() const { return config_; }
+  bool causal() const { return config_.kind != LlmKind::kBertMini; }
+
+ private:
+  /// One Pre-LN block with the kind-appropriate norm/FFN/positioning.
+  struct Block : public nn::Module {
+    Block(const LlmConfig& config, Rng* rng);
+    Tensor Forward(const Tensor& x, const Tensor& mask) const;
+
+    LlmKind kind;
+    std::unique_ptr<nn::LayerNorm> ln1;
+    std::unique_ptr<nn::LayerNorm> ln2;
+    std::unique_ptr<nn::RmsNorm> rms1;
+    std::unique_ptr<nn::RmsNorm> rms2;
+    nn::MultiHeadAttention attn;
+    nn::FeedForward ffn;
+  };
+
+  LlmConfig config_;
+  mutable Rng rng_;  // dropout stream
+  nn::Embedding token_embedding_;
+  Tensor position_embedding_;  // [max_seq_len, D]; unused by kLlamaMini
+  std::vector<std::unique_ptr<Block>> blocks_;
+  std::unique_ptr<nn::LayerNorm> final_ln_;
+  std::unique_ptr<nn::RmsNorm> final_rms_;
+  nn::Linear lm_head_;
+};
+
+}  // namespace timekd::llm
+
+#endif  // TIMEKD_LLM_LANGUAGE_MODEL_H_

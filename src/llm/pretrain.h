@@ -1,0 +1,43 @@
+#ifndef TIMEKD_LLM_PRETRAIN_H_
+#define TIMEKD_LLM_PRETRAIN_H_
+
+#include <cstdint>
+
+#include "llm/language_model.h"
+
+namespace timekd::llm {
+
+/// Synthetic-corpus pre-training configuration. The corpus consists of
+/// prompt-template sentences rendered over random synthetic series (random
+/// walks with seasonality), giving the backbone the "language of numeric
+/// prompts" prior that public GPT-2/BERT checkpoints would otherwise
+/// provide — see the substitution table in DESIGN.md.
+struct PretrainConfig {
+  int64_t num_sequences = 48;
+  int64_t epochs = 2;
+  double lr = 3e-4;
+  double weight_decay = 0.01;
+  uint64_t seed = 7;
+  /// History values per synthetic prompt (kept short: pre-training teaches
+  /// template structure and digit statistics, not long-range forecasting).
+  int64_t history_len = 8;
+  int64_t horizon = 4;
+  /// Corruption probability for the kBertMini denoising objective.
+  float mask_prob = 0.15f;
+};
+
+/// Report returned by PretrainLm.
+struct PretrainStats {
+  double initial_loss = 0.0;
+  double final_loss = 0.0;
+  int64_t steps = 0;
+};
+
+/// Pre-trains `lm` in place. Causal kinds (GPT/LLaMA) use next-token
+/// prediction; kBertMini uses denoising (predict original ids from a
+/// corrupted prompt). Returns the loss trajectory endpoints.
+PretrainStats PretrainLm(LanguageModel* lm, const PretrainConfig& config);
+
+}  // namespace timekd::llm
+
+#endif  // TIMEKD_LLM_PRETRAIN_H_

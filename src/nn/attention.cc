@@ -1,0 +1,157 @@
+#include "nn/attention.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "tensor/ops.h"
+
+namespace timekd::nn {
+
+using tensor::Add;
+using tensor::Concat;
+using tensor::MatMul;
+using tensor::MeanDim;
+using tensor::Mul;
+using tensor::Neg;
+using tensor::Reshape;
+using tensor::Scale;
+using tensor::Shape;
+using tensor::Slice;
+using tensor::Softmax;
+using tensor::Transpose;
+
+MultiHeadAttention::MultiHeadAttention(int64_t d_model, int64_t num_heads,
+                                       float dropout, Rng* rng, bool use_rope)
+    : d_model_(d_model),
+      num_heads_(num_heads),
+      d_head_(d_model / num_heads),
+      use_rope_(use_rope),
+      wq_(d_model, d_model, /*bias=*/true, *rng),
+      wk_(d_model, d_model, /*bias=*/true, *rng),
+      wv_(d_model, d_model, /*bias=*/true, *rng),
+      wo_(d_model, d_model, /*bias=*/true, *rng),
+      attn_dropout_(dropout, rng) {
+  TIMEKD_CHECK_EQ(d_model % num_heads, 0)
+      << "d_model " << d_model << " not divisible by heads " << num_heads;
+  TIMEKD_CHECK_EQ(d_head_ % 2, 0) << "RoPE requires an even head dim";
+  RegisterModule("wq", &wq_);
+  RegisterModule("wk", &wk_);
+  RegisterModule("wv", &wv_);
+  RegisterModule("wo", &wo_);
+  RegisterModule("attn_dropout", &attn_dropout_);
+}
+
+Tensor MultiHeadAttention::ApplyRope(const Tensor& x) const {
+  // x: [B, h, S, dh]. Rotate-half convention: with halves (x1, x2),
+  //   x' = x * cos + [-x2, x1] * sin
+  // where cos/sin depend on (position, channel pair).
+  const int64_t s = x.size(2);
+  const int64_t dh = x.size(3);
+  const int64_t half = dh / 2;
+  std::vector<float> cos_v(static_cast<size_t>(s * dh));
+  std::vector<float> sin_v(static_cast<size_t>(s * dh));
+  for (int64_t p = 0; p < s; ++p) {
+    for (int64_t j = 0; j < half; ++j) {
+      const double freq =
+          std::pow(10000.0, -2.0 * static_cast<double>(j) / dh);
+      const double angle = static_cast<double>(p) * freq;
+      const float c = static_cast<float>(std::cos(angle));
+      const float sv = static_cast<float>(std::sin(angle));
+      cos_v[static_cast<size_t>(p * dh + j)] = c;
+      cos_v[static_cast<size_t>(p * dh + half + j)] = c;
+      sin_v[static_cast<size_t>(p * dh + j)] = sv;
+      sin_v[static_cast<size_t>(p * dh + half + j)] = sv;
+    }
+  }
+  Tensor cos_t = Tensor::FromVector({s, dh}, std::move(cos_v));
+  Tensor sin_t = Tensor::FromVector({s, dh}, std::move(sin_v));
+  Tensor x1 = Slice(x, 3, 0, half);
+  Tensor x2 = Slice(x, 3, half, half);
+  Tensor rotated = Concat({Neg(x2), x1}, 3);
+  return Add(Mul(x, cos_t), Mul(rotated, sin_t));
+}
+
+Tensor MultiHeadAttention::Forward(const Tensor& q, const Tensor& k,
+                                   const Tensor& v, const Tensor& mask) const {
+  TIMEKD_CHECK_EQ(q.dim(), 3);
+  const int64_t batch = q.size(0);
+  const int64_t sq = q.size(1);
+  const int64_t sk = k.size(1);
+
+  auto split_heads = [&](const Tensor& t, int64_t seq) {
+    // [B, S, D] -> [B, h, S, dh]
+    return Transpose(Reshape(t, {batch, seq, num_heads_, d_head_}), 1, 2);
+  };
+
+  Tensor qh = split_heads(wq_.Forward(q), sq);
+  Tensor kh = split_heads(wk_.Forward(k), sk);
+  Tensor vh = split_heads(wv_.Forward(v), sk);
+
+  if (use_rope_) {
+    qh = ApplyRope(qh);
+    kh = ApplyRope(kh);
+  }
+
+  // scores: [B, h, Sq, Sk]
+  Tensor scores = Scale(MatMul(qh, Transpose(kh, 2, 3)),
+                        1.0f / std::sqrt(static_cast<float>(d_head_)));
+  if (mask.defined()) scores = Add(scores, mask);
+  Tensor attn = Softmax(scores, -1);
+
+  // Head-averaged map retained for correlation distillation / Figure 8.
+  last_attention_ = MeanDim(attn, 1, /*keepdim=*/false);
+
+  attn = attn_dropout_.Forward(attn);
+  Tensor ctx = MatMul(attn, vh);  // [B, h, Sq, dh]
+  Tensor merged =
+      Reshape(Transpose(ctx, 1, 2), {batch, sq, d_model_});
+  return wo_.Forward(merged);
+}
+
+TransformerEncoderLayer::TransformerEncoderLayer(int64_t d_model,
+                                                 int64_t num_heads,
+                                                 int64_t ffn_hidden,
+                                                 float dropout, Activation act,
+                                                 Rng* rng)
+    : ln1_(d_model),
+      ln2_(d_model),
+      attn_(d_model, num_heads, dropout, rng),
+      ffn_(d_model, ffn_hidden, act, *rng),
+      drop_(dropout, rng) {
+  RegisterModule("ln1", &ln1_);
+  RegisterModule("ln2", &ln2_);
+  RegisterModule("attn", &attn_);
+  RegisterModule("ffn", &ffn_);
+  RegisterModule("drop", &drop_);
+}
+
+Tensor TransformerEncoderLayer::Forward(const Tensor& x,
+                                        const Tensor& mask) const {
+  Tensor h = Add(x, drop_.Forward(attn_.SelfForward(ln1_.Forward(x), mask)));
+  return Add(h, drop_.Forward(ffn_.Forward(ln2_.Forward(h))));
+}
+
+TransformerEncoder::TransformerEncoder(int64_t num_layers, int64_t d_model,
+                                       int64_t num_heads, int64_t ffn_hidden,
+                                       float dropout, Activation act,
+                                       Rng* rng) {
+  TIMEKD_CHECK_GT(num_layers, 0);
+  layers_.reserve(static_cast<size_t>(num_layers));
+  for (int64_t i = 0; i < num_layers; ++i) {
+    layers_.push_back(std::make_unique<TransformerEncoderLayer>(
+        d_model, num_heads, ffn_hidden, dropout, act, rng));
+    RegisterModule("layer" + std::to_string(i), layers_.back().get());
+  }
+}
+
+Tensor TransformerEncoder::Forward(const Tensor& x, const Tensor& mask) const {
+  Tensor h = x;
+  for (const auto& layer : layers_) h = layer->Forward(h, mask);
+  return h;
+}
+
+const Tensor& TransformerEncoder::last_layer_attention() const {
+  return layers_.back()->attention().last_attention();
+}
+
+}  // namespace timekd::nn

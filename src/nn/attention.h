@@ -1,0 +1,112 @@
+#ifndef TIMEKD_NN_ATTENTION_H_
+#define TIMEKD_NN_ATTENTION_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace timekd::nn {
+
+/// Multi-head scaled dot-product attention with an additive-mask hook.
+///
+/// The additive mask is the injection point for both the causal mask and the
+/// paper's *calibrated attention* (Eq. 3–5): the caller passes a tensor
+/// broadcastable to [B, heads, Sq, Sk] whose entries are 0 (keep), −Δ
+/// (attenuate cross-modality pairs) or −inf (causal block). After every
+/// forward pass the head-averaged attention map is retained, graph-attached,
+/// for correlation distillation (Eq. 24) and the Figure-8 visualizations.
+class MultiHeadAttention : public Module {
+ public:
+  /// When `use_rope` is set, rotary position embeddings are applied to the
+  /// query/key heads (LLaMA-style backbone).
+  MultiHeadAttention(int64_t d_model, int64_t num_heads, float dropout,
+                     Rng* rng, bool use_rope = false);
+
+  /// q: [B, Sq, D], k/v: [B, Sk, D]; `mask` may be undefined.
+  Tensor Forward(const Tensor& q, const Tensor& k, const Tensor& v,
+                 const Tensor& mask) const;
+
+  /// Self-attention convenience wrapper.
+  Tensor SelfForward(const Tensor& x, const Tensor& mask) const {
+    return Forward(x, x, x, mask);
+  }
+
+  /// Head-averaged attention map [B, Sq, Sk] from the most recent forward.
+  /// Graph-attached so distillation losses on it backpropagate.
+  const Tensor& last_attention() const { return last_attention_; }
+
+  int64_t d_model() const { return d_model_; }
+  int64_t num_heads() const { return num_heads_; }
+
+ private:
+  Tensor ApplyRope(const Tensor& x) const;  // x: [B, h, S, dh]
+
+  int64_t d_model_;
+  int64_t num_heads_;
+  int64_t d_head_;
+  bool use_rope_;
+  Linear wq_;
+  Linear wk_;
+  Linear wv_;
+  Linear wo_;
+  Dropout attn_dropout_;
+  mutable Tensor last_attention_;
+};
+
+/// One Pre-LN Transformer encoder layer (Eq. 10–14 / 19–21):
+///   x = x + Att(LN(x));  x = x + FFN(LN(x)).
+class TransformerEncoderLayer : public Module {
+ public:
+  TransformerEncoderLayer(int64_t d_model, int64_t num_heads,
+                          int64_t ffn_hidden, float dropout, Activation act,
+                          Rng* rng);
+
+  Tensor Forward(const Tensor& x, const Tensor& mask) const;
+
+  const MultiHeadAttention& attention() const { return attn_; }
+
+  /// Freezes the attention and feed-forward weights but keeps the layer
+  /// norms trainable — the "frozen pretrained transformer" fine-tuning
+  /// recipe of OFA/GPT4TS.
+  void FreezeCore() {
+    attn_.Freeze();
+    ffn_.Freeze();
+  }
+
+ private:
+  LayerNorm ln1_;
+  LayerNorm ln2_;
+  MultiHeadAttention attn_;
+  FeedForward ffn_;
+  Dropout drop_;
+};
+
+/// A stack of Pre-LN encoder layers. Used as both the teacher's privileged
+/// Transformer `PTEncoder` and the student's `TSTEncoder`; the last layer's
+/// head-averaged attention map is exposed for correlation distillation.
+class TransformerEncoder : public Module {
+ public:
+  TransformerEncoder(int64_t num_layers, int64_t d_model, int64_t num_heads,
+                     int64_t ffn_hidden, float dropout, Activation act,
+                     Rng* rng);
+
+  Tensor Forward(const Tensor& x, const Tensor& mask) const;
+
+  /// Attention map [B, S, S] of the last layer from the latest forward.
+  const Tensor& last_layer_attention() const;
+
+  int64_t num_layers() const { return static_cast<int64_t>(layers_.size()); }
+
+  /// Mutable access to one layer (for selective freezing).
+  TransformerEncoderLayer& layer(int64_t i) { return *layers_.at(i); }
+
+ private:
+  std::vector<std::unique_ptr<TransformerEncoderLayer>> layers_;
+};
+
+}  // namespace timekd::nn
+
+#endif  // TIMEKD_NN_ATTENTION_H_

@@ -1,0 +1,32 @@
+#ifndef TIMEKD_NN_INIT_H_
+#define TIMEKD_NN_INIT_H_
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace timekd::nn {
+
+/// Xavier/Glorot uniform initialization for a [fan_in, fan_out] matrix.
+inline tensor::Tensor XavierUniform(int64_t fan_in, int64_t fan_out,
+                                    Rng& rng) {
+  const float bound = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return tensor::Tensor::RandUniform({fan_in, fan_out}, -bound, bound, rng);
+}
+
+/// Kaiming/He normal initialization (for ReLU fan-in scaling).
+inline tensor::Tensor KaimingNormal(int64_t fan_in, int64_t fan_out,
+                                    Rng& rng) {
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  return tensor::Tensor::RandNormal({fan_in, fan_out}, 0.0f, stddev, rng);
+}
+
+/// Small-scale normal init used for embeddings (GPT-2 style, sigma 0.02).
+inline tensor::Tensor EmbeddingNormal(int64_t vocab, int64_t dim, Rng& rng) {
+  return tensor::Tensor::RandNormal({vocab, dim}, 0.0f, 0.02f, rng);
+}
+
+}  // namespace timekd::nn
+
+#endif  // TIMEKD_NN_INIT_H_

@@ -1,0 +1,88 @@
+#include "nn/layers.h"
+
+#include "common/logging.h"
+#include "nn/init.h"
+#include "tensor/ops.h"
+
+namespace timekd::nn {
+
+using tensor::Add;
+using tensor::Gelu;
+using tensor::MatMul;
+using tensor::Mul;
+using tensor::Relu;
+using tensor::Silu;
+
+Linear::Linear(int64_t in_features, int64_t out_features, bool bias, Rng& rng)
+    : in_features_(in_features), out_features_(out_features) {
+  weight_ = RegisterParameter("weight",
+                              XavierUniform(in_features, out_features, rng));
+  if (bias) {
+    bias_ = RegisterParameter("bias", Tensor::Zeros({out_features}));
+  }
+}
+
+Tensor Linear::Forward(const Tensor& x) const {
+  TIMEKD_CHECK_EQ(x.size(-1), in_features_);
+  Tensor y = MatMul(x, weight_);
+  if (bias_.defined()) y = Add(y, bias_);
+  return y;
+}
+
+Embedding::Embedding(int64_t vocab_size, int64_t dim, Rng& rng)
+    : vocab_size_(vocab_size), dim_(dim) {
+  weight_ = RegisterParameter("weight", EmbeddingNormal(vocab_size, dim, rng));
+}
+
+Tensor Embedding::Forward(const std::vector<int64_t>& ids) const {
+  return tensor::EmbeddingLookup(weight_, ids);
+}
+
+LayerNorm::LayerNorm(int64_t dim, float eps) : eps_(eps) {
+  gamma_ = RegisterParameter("gamma", Tensor::Ones({dim}));
+  beta_ = RegisterParameter("beta", Tensor::Zeros({dim}));
+}
+
+Tensor LayerNorm::Forward(const Tensor& x) const {
+  return tensor::LayerNorm(x, gamma_, beta_, eps_);
+}
+
+RmsNorm::RmsNorm(int64_t dim, float eps) : eps_(eps) {
+  gamma_ = RegisterParameter("gamma", Tensor::Ones({dim}));
+}
+
+Tensor RmsNorm::Forward(const Tensor& x) const {
+  return tensor::RmsNorm(x, gamma_, eps_);
+}
+
+FeedForward::FeedForward(int64_t d_model, int64_t hidden, Activation act,
+                         Rng& rng)
+    : act_(act),
+      w1_(d_model, hidden, /*bias=*/true, rng),
+      w2_(hidden, d_model, /*bias=*/true, rng),
+      w_gate_(act == Activation::kSwiGlu ? d_model : 1,
+              act == Activation::kSwiGlu ? hidden : 1, /*bias=*/false, rng) {
+  RegisterModule("w1", &w1_);
+  RegisterModule("w2", &w2_);
+  if (act_ == Activation::kSwiGlu) RegisterModule("w_gate", &w_gate_);
+}
+
+Tensor FeedForward::Forward(const Tensor& x) const {
+  switch (act_) {
+    case Activation::kRelu:
+      return w2_.Forward(Relu(w1_.Forward(x)));
+    case Activation::kGelu:
+      return w2_.Forward(Gelu(w1_.Forward(x)));
+    case Activation::kSwiGlu:
+      return w2_.Forward(Mul(Silu(w_gate_.Forward(x)), w1_.Forward(x)));
+  }
+  TIMEKD_CHECK(false) << "unreachable activation";
+  return Tensor();
+}
+
+Tensor Dropout::Forward(const Tensor& x) const {
+  TIMEKD_CHECK(rng_ != nullptr);
+  return tensor::Dropout(x, p_, training(), *rng_);
+}
+
+}  // namespace timekd::nn

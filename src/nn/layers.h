@@ -1,0 +1,109 @@
+#ifndef TIMEKD_NN_LAYERS_H_
+#define TIMEKD_NN_LAYERS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace timekd::nn {
+
+/// Affine projection y = x W + b over the last dimension.
+/// Weight layout is [in, out] so no transpose is needed in the hot path.
+class Linear : public Module {
+ public:
+  Linear(int64_t in_features, int64_t out_features, bool bias, Rng& rng);
+
+  /// x: [..., in] -> [..., out].
+  Tensor Forward(const Tensor& x) const;
+
+  int64_t in_features() const { return in_features_; }
+  int64_t out_features() const { return out_features_; }
+
+ private:
+  int64_t in_features_;
+  int64_t out_features_;
+  Tensor weight_;  // [in, out]
+  Tensor bias_;    // [out] or undefined
+};
+
+/// Token-id to vector lookup table.
+class Embedding : public Module {
+ public:
+  Embedding(int64_t vocab_size, int64_t dim, Rng& rng);
+
+  /// ids (length n) -> [n, dim].
+  Tensor Forward(const std::vector<int64_t>& ids) const;
+
+  int64_t vocab_size() const { return vocab_size_; }
+  int64_t dim() const { return dim_; }
+  const Tensor& weight() const { return weight_; }
+
+ private:
+  int64_t vocab_size_;
+  int64_t dim_;
+  Tensor weight_;  // [vocab, dim]
+};
+
+/// Layer normalization over the last dimension with learnable gamma/beta
+/// (Eq. 6 of the paper).
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(int64_t dim, float eps = 1e-5f);
+
+  Tensor Forward(const Tensor& x) const;
+
+ private:
+  float eps_;
+  Tensor gamma_;
+  Tensor beta_;
+};
+
+/// RMS normalization (LLaMA-family backbones).
+class RmsNorm : public Module {
+ public:
+  explicit RmsNorm(int64_t dim, float eps = 1e-6f);
+
+  Tensor Forward(const Tensor& x) const;
+
+ private:
+  float eps_;
+  Tensor gamma_;
+};
+
+/// Activation selection for feed-forward blocks.
+enum class Activation { kRelu, kGelu, kSwiGlu };
+
+/// Position-wise feed-forward network (Eq. 7). With kSwiGlu the block uses
+/// the gated SiLU formulation from LLaMA (two up-projections).
+class FeedForward : public Module {
+ public:
+  FeedForward(int64_t d_model, int64_t hidden, Activation act, Rng& rng);
+
+  Tensor Forward(const Tensor& x) const;
+
+ private:
+  Activation act_;
+  Linear w1_;
+  Linear w2_;
+  Linear w_gate_;  // only used by kSwiGlu
+};
+
+/// Inverted dropout wrapper; active only in training mode.
+class Dropout : public Module {
+ public:
+  /// `rng` must outlive the module.
+  Dropout(float p, Rng* rng) : p_(p), rng_(rng) {}
+
+  Tensor Forward(const Tensor& x) const;
+
+ private:
+  float p_;
+  Rng* rng_;
+};
+
+}  // namespace timekd::nn
+
+#endif  // TIMEKD_NN_LAYERS_H_

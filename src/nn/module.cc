@@ -1,0 +1,135 @@
+#include "nn/module.h"
+
+#include <cmath>
+#include <map>
+
+#include "common/logging.h"
+#include "common/serialize.h"
+
+namespace timekd::nn {
+
+std::vector<Tensor> Module::Parameters() const {
+  std::vector<Tensor> out;
+  for (const auto& [name, t] : NamedParameters()) out.push_back(t);
+  return out;
+}
+
+std::vector<std::pair<std::string, Tensor>> Module::NamedParameters() const {
+  std::vector<std::pair<std::string, Tensor>> out;
+  CollectNamed("", &out);
+  return out;
+}
+
+void Module::CollectNamed(
+    const std::string& prefix,
+    std::vector<std::pair<std::string, Tensor>>* out) const {
+  for (const auto& [name, t] : params_) {
+    out->emplace_back(prefix + name, t);
+  }
+  for (const auto& [name, child] : children_) {
+    child->CollectNamed(prefix + name + ".", out);
+  }
+}
+
+int64_t Module::NumParameters() const {
+  int64_t n = 0;
+  for (const Tensor& t : Parameters()) n += t.numel();
+  return n;
+}
+
+void Module::ZeroGrad() {
+  for (Tensor t : Parameters()) t.ZeroGrad();
+}
+
+void Module::SetTraining(bool training) {
+  training_ = training;
+  for (auto& [name, child] : children_) child->SetTraining(training);
+}
+
+void Module::Freeze() {
+  for (Tensor t : Parameters()) t.set_requires_grad(false);
+}
+
+void Module::Unfreeze() {
+  for (Tensor t : Parameters()) t.set_requires_grad(true);
+}
+
+Tensor Module::RegisterParameter(const std::string& name, Tensor t) {
+  TIMEKD_CHECK(t.defined());
+  t.set_requires_grad(true);
+  params_.emplace_back(name, t);
+  return t;
+}
+
+void Module::RegisterModule(const std::string& name, Module* child) {
+  TIMEKD_CHECK(child != nullptr);
+  children_.emplace_back(name, child);
+}
+
+Status Module::SaveWeights(const std::string& path) const {
+  const auto named = NamedParameters();
+  BinaryWriter writer(path);
+  if (!writer.ok()) return Status::IoError("cannot open " + path);
+  writer.WriteU64(named.size());
+  for (const auto& [name, t] : named) {
+    writer.WriteString(name);
+    std::vector<int64_t> shape(t.shape().begin(), t.shape().end());
+    writer.WriteI64Vector(shape);
+    std::vector<float> data(t.data(), t.data() + t.numel());
+    writer.WriteFloatVector(data);
+  }
+  return writer.Close();
+}
+
+Status Module::LoadWeights(const std::string& path) {
+  BinaryReader reader(path);
+  if (!reader.ok()) return Status::IoError("cannot open " + path);
+  uint64_t count = 0;
+  TIMEKD_RETURN_IF_ERROR(reader.ReadU64(&count));
+
+  std::map<std::string, Tensor> by_name;
+  for (auto& [name, t] : NamedParameters()) by_name.emplace(name, t);
+  if (count != by_name.size()) {
+    return Status::InvalidArgument("parameter count mismatch: file has " +
+                                   std::to_string(count) + ", module has " +
+                                   std::to_string(by_name.size()));
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string name;
+    std::vector<int64_t> shape;
+    std::vector<float> data;
+    TIMEKD_RETURN_IF_ERROR(reader.ReadString(&name));
+    TIMEKD_RETURN_IF_ERROR(reader.ReadI64Vector(&shape));
+    TIMEKD_RETURN_IF_ERROR(reader.ReadFloatVector(&data));
+    auto it = by_name.find(name);
+    if (it == by_name.end()) {
+      return Status::NotFound("unknown parameter in file: " + name);
+    }
+    Tensor t = it->second;
+    if (tensor::Shape(shape.begin(), shape.end()) != t.shape()) {
+      return Status::InvalidArgument("shape mismatch for " + name);
+    }
+    if (static_cast<int64_t>(data.size()) != t.numel()) {
+      return Status::InvalidArgument("data size mismatch for " + name);
+    }
+    std::copy(data.begin(), data.end(), t.data());
+  }
+  return Status::Ok();
+}
+
+double ClipGradNorm(const std::vector<Tensor>& params, double max_norm) {
+  double sq = 0.0;
+  for (const Tensor& t : params) {
+    for (float g : t.grad()) sq += static_cast<double>(g) * g;
+  }
+  const double norm = std::sqrt(sq);
+  if (norm > max_norm && norm > 0.0) {
+    const float scale = static_cast<float>(max_norm / norm);
+    for (Tensor t : params) {
+      for (float& g : t.mutable_grad()) g *= scale;
+    }
+  }
+  return norm;
+}
+
+}  // namespace timekd::nn

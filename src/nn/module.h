@@ -1,0 +1,76 @@
+#ifndef TIMEKD_NN_MODULE_H_
+#define TIMEKD_NN_MODULE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "tensor/tensor.h"
+
+namespace timekd::nn {
+
+using tensor::Tensor;
+
+/// Base class for neural-network modules. Concrete modules own their child
+/// modules as data members and register both parameters and children so
+/// that traversal (parameter collection, train/eval mode, freezing,
+/// serialization) works over the whole tree.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// All trainable parameters of this module and its descendants.
+  std::vector<Tensor> Parameters() const;
+
+  /// Parameters with hierarchical dotted names ("layer0.attn.wq.weight").
+  std::vector<std::pair<std::string, Tensor>> NamedParameters() const;
+
+  /// Total scalar parameter count.
+  int64_t NumParameters() const;
+
+  /// Clears accumulated gradients on every parameter.
+  void ZeroGrad();
+
+  /// Train/eval mode (affects dropout). Recurses into children.
+  void SetTraining(bool training);
+  bool training() const { return training_; }
+
+  /// Turns off requires_grad on every parameter (frozen teacher backbones).
+  void Freeze();
+  /// Re-enables requires_grad on every parameter.
+  void Unfreeze();
+
+  /// Serializes all named parameters to `path` (binary, little-endian).
+  Status SaveWeights(const std::string& path) const;
+  /// Restores parameters from `path`. Names and shapes must match exactly.
+  Status LoadWeights(const std::string& path);
+
+ protected:
+  /// Registers and returns a parameter tensor (marked requires_grad).
+  Tensor RegisterParameter(const std::string& name, Tensor t);
+  /// Registers a non-owned child for traversal. The child must outlive this
+  /// module (it is normally a data member of the concrete class).
+  void RegisterModule(const std::string& name, Module* child);
+
+ private:
+  void CollectNamed(const std::string& prefix,
+                    std::vector<std::pair<std::string, Tensor>>* out) const;
+
+  std::vector<std::pair<std::string, Tensor>> params_;
+  std::vector<std::pair<std::string, Module*>> children_;
+  bool training_ = true;
+};
+
+/// Rescales gradients in-place so their global L2 norm is at most
+/// `max_norm`. Returns the pre-clip norm.
+double ClipGradNorm(const std::vector<Tensor>& params, double max_norm);
+
+}  // namespace timekd::nn
+
+#endif  // TIMEKD_NN_MODULE_H_

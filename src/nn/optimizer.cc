@@ -1,0 +1,52 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace timekd::nn {
+
+AdamW::AdamW(std::vector<Tensor> params, const AdamWConfig& config)
+    : params_(std::move(params)), config_(config) {
+  m_.resize(params_.size());
+  v_.resize(params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    const size_t n = static_cast<size_t>(params_[i].numel());
+    m_[i].assign(n, 0.0f);
+    v_[i].assign(n, 0.0f);
+  }
+}
+
+void AdamW::Step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(config_.beta1, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(config_.beta2, static_cast<double>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Tensor& p = params_[i];
+    if (!p.requires_grad()) continue;
+    const std::vector<float>& g = p.grad();
+    if (g.empty()) continue;  // parameter untouched by the last backward
+    float* data = p.data();
+    std::vector<float>& m = m_[i];
+    std::vector<float>& v = v_[i];
+    TIMEKD_CHECK_EQ(g.size(), m.size());
+    for (size_t j = 0; j < g.size(); ++j) {
+      m[j] = static_cast<float>(config_.beta1 * m[j] +
+                                (1.0 - config_.beta1) * g[j]);
+      v[j] = static_cast<float>(config_.beta2 * v[j] +
+                                (1.0 - config_.beta2) * g[j] * g[j]);
+      const double mhat = m[j] / bc1;
+      const double vhat = v[j] / bc2;
+      const double update =
+          mhat / (std::sqrt(vhat) + config_.eps) +
+          config_.weight_decay * data[j];
+      data[j] -= static_cast<float>(config_.lr * update);
+    }
+  }
+}
+
+void AdamW::ZeroGrad() {
+  for (Tensor& p : params_) p.ZeroGrad();
+}
+
+}  // namespace timekd::nn

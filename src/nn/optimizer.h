@@ -1,0 +1,49 @@
+#ifndef TIMEKD_NN_OPTIMIZER_H_
+#define TIMEKD_NN_OPTIMIZER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace timekd::nn {
+
+using tensor::Tensor;
+
+/// AdamW hyper-parameters (decoupled weight decay, Loshchilov & Hutter).
+struct AdamWConfig {
+  double lr = 1e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double eps = 1e-8;
+  double weight_decay = 0.01;
+};
+
+/// AdamW optimizer over an explicit parameter list. The paper trains both
+/// the teacher-side modules and the student with AdamW.
+class AdamW {
+ public:
+  AdamW(std::vector<Tensor> params, const AdamWConfig& config);
+
+  /// Applies one update using the gradients currently stored on the
+  /// parameters. Parameters with requires_grad=false are skipped.
+  void Step();
+
+  /// Clears the gradients of all managed parameters.
+  void ZeroGrad();
+
+  double lr() const { return config_.lr; }
+  void set_lr(double lr) { config_.lr = lr; }
+  int64_t step_count() const { return t_; }
+
+ private:
+  std::vector<Tensor> params_;
+  AdamWConfig config_;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+  int64_t t_ = 0;
+};
+
+}  // namespace timekd::nn
+
+#endif  // TIMEKD_NN_OPTIMIZER_H_

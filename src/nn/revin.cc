@@ -1,0 +1,41 @@
+#include "nn/revin.h"
+
+#include "common/logging.h"
+#include "tensor/ops.h"
+
+namespace timekd::nn {
+
+using tensor::Add;
+using tensor::AddScalar;
+using tensor::Div;
+using tensor::MeanDim;
+using tensor::Mul;
+using tensor::Sqrt;
+using tensor::Square;
+using tensor::Sub;
+
+RevIn::RevIn(int64_t num_variables, float eps) : eps_(eps) {
+  gamma_ = RegisterParameter("gamma", Tensor::Ones({num_variables}));
+  beta_ = RegisterParameter("beta", Tensor::Zeros({num_variables}));
+}
+
+Tensor RevIn::Normalize(const Tensor& x) const {
+  TIMEKD_CHECK_EQ(x.dim(), 3);
+  mean_ = MeanDim(x, 1, /*keepdim=*/true);  // [B, 1, N]
+  Tensor centered = Sub(x, mean_);
+  std_ = Sqrt(AddScalar(MeanDim(Square(centered), 1, /*keepdim=*/true), eps_));
+  Tensor normalized = Div(centered, std_);
+  // Affine: gamma/beta are [N], broadcast over [B, T, N].
+  return Add(Mul(normalized, gamma_), beta_);
+}
+
+Tensor RevIn::Denormalize(const Tensor& y) const {
+  TIMEKD_CHECK(mean_.defined() && std_.defined())
+      << "Denormalize called before Normalize";
+  TIMEKD_CHECK_EQ(y.dim(), 3);
+  // Invert affine, then invert standardization.
+  Tensor unaffine = Div(Sub(y, beta_), gamma_);
+  return Add(Mul(unaffine, std_), mean_);
+}
+
+}  // namespace timekd::nn

@@ -1,0 +1,41 @@
+#ifndef TIMEKD_NN_REVIN_H_
+#define TIMEKD_NN_REVIN_H_
+
+#include <cstdint>
+
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace timekd::nn {
+
+/// Reversible instance normalization (Kim et al., ICLR 2022). Normalizes
+/// each series instance over the time dimension to zero mean / unit
+/// variance with a learnable per-variable affine, and can invert the
+/// transform on model outputs so forecasts live in the original scale.
+///
+/// Input layout is [B, T, N] (batch, time, variables); statistics are
+/// computed per (batch, variable) over T and cached between Normalize and
+/// Denormalize, mirroring the "norm on input, denorm on output" usage of
+/// the student model.
+class RevIn : public Module {
+ public:
+  explicit RevIn(int64_t num_variables, float eps = 1e-5f);
+
+  /// [B, T, N] -> normalized [B, T, N]; caches mean/std for Denormalize.
+  Tensor Normalize(const Tensor& x) const;
+
+  /// [B, M, N] model output -> de-normalized forecast using the cached
+  /// statistics (M may differ from the T used in Normalize).
+  Tensor Denormalize(const Tensor& y) const;
+
+ private:
+  float eps_;
+  Tensor gamma_;  // [N]
+  Tensor beta_;   // [N]
+  mutable Tensor mean_;  // [B, 1, N], graph-attached
+  mutable Tensor std_;   // [B, 1, N]
+};
+
+}  // namespace timekd::nn
+
+#endif  // TIMEKD_NN_REVIN_H_

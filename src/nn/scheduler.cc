@@ -1,0 +1,43 @@
+#include "nn/scheduler.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace timekd::nn {
+
+CosineWithWarmup::CosineWithWarmup(double peak_lr, int64_t warmup_steps,
+                                   int64_t total_steps, double final_lr)
+    : peak_lr_(peak_lr),
+      warmup_steps_(warmup_steps),
+      total_steps_(total_steps),
+      final_lr_(final_lr) {
+  TIMEKD_CHECK_GE(warmup_steps, 0);
+  TIMEKD_CHECK_GT(total_steps, warmup_steps);
+}
+
+double CosineWithWarmup::LrAt(int64_t step) const {
+  if (step < warmup_steps_) {
+    return peak_lr_ * static_cast<double>(step + 1) /
+           static_cast<double>(warmup_steps_);
+  }
+  if (step >= total_steps_) return final_lr_;
+  const double progress =
+      static_cast<double>(step - warmup_steps_) /
+      static_cast<double>(total_steps_ - warmup_steps_);
+  const double cosine = 0.5 * (1.0 + std::cos(3.14159265358979 * progress));
+  return final_lr_ + (peak_lr_ - final_lr_) * cosine;
+}
+
+StepDecay::StepDecay(double initial_lr, int64_t step_size, double gamma)
+    : initial_lr_(initial_lr), step_size_(step_size), gamma_(gamma) {
+  TIMEKD_CHECK_GT(step_size, 0);
+  TIMEKD_CHECK_GT(gamma, 0.0);
+}
+
+double StepDecay::LrAt(int64_t step) const {
+  const int64_t decays = step / step_size_;
+  return initial_lr_ * std::pow(gamma_, static_cast<double>(decays));
+}
+
+}  // namespace timekd::nn

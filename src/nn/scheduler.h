@@ -1,0 +1,65 @@
+#ifndef TIMEKD_NN_SCHEDULER_H_
+#define TIMEKD_NN_SCHEDULER_H_
+
+#include <cstdint>
+
+#include "nn/optimizer.h"
+
+namespace timekd::nn {
+
+/// Learning-rate schedule interface: maps a 0-based step index to a
+/// learning rate, and can drive an AdamW instance directly.
+class LrScheduler {
+ public:
+  virtual ~LrScheduler() = default;
+
+  /// Learning rate for `step` (0-based).
+  virtual double LrAt(int64_t step) const = 0;
+
+  /// Sets `optimizer`'s learning rate for the given step.
+  void Apply(AdamW* optimizer, int64_t step) const {
+    optimizer->set_lr(LrAt(step));
+  }
+};
+
+/// Constant learning rate (the paper's setting).
+class ConstantLr : public LrScheduler {
+ public:
+  explicit ConstantLr(double lr) : lr_(lr) {}
+  double LrAt(int64_t) const override { return lr_; }
+
+ private:
+  double lr_;
+};
+
+/// Linear warmup followed by cosine decay to `final_lr` at `total_steps`.
+class CosineWithWarmup : public LrScheduler {
+ public:
+  CosineWithWarmup(double peak_lr, int64_t warmup_steps, int64_t total_steps,
+                   double final_lr = 0.0);
+
+  double LrAt(int64_t step) const override;
+
+ private:
+  double peak_lr_;
+  int64_t warmup_steps_;
+  int64_t total_steps_;
+  double final_lr_;
+};
+
+/// Multiplies the rate by `gamma` every `step_size` steps (StepLR).
+class StepDecay : public LrScheduler {
+ public:
+  StepDecay(double initial_lr, int64_t step_size, double gamma);
+
+  double LrAt(int64_t step) const override;
+
+ private:
+  double initial_lr_;
+  int64_t step_size_;
+  double gamma_;
+};
+
+}  // namespace timekd::nn
+
+#endif  // TIMEKD_NN_SCHEDULER_H_

@@ -1,0 +1,59 @@
+#include "tensor/grad_check.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace timekd::tensor {
+
+std::string GradCheckResult::ToString() const {
+  std::ostringstream os;
+  os << (passed ? "PASS" : "FAIL")
+     << " max_rel_err=" << max_relative_error << " at input " << worst_input
+     << " elem " << worst_element;
+  return os.str();
+}
+
+GradCheckResult CheckGradients(
+    const std::function<Tensor(const std::vector<Tensor>&)>& fn,
+    std::vector<Tensor> inputs, double eps, double tol) {
+  for (Tensor& t : inputs) t.set_requires_grad(true);
+
+  Tensor out = fn(inputs);
+  TIMEKD_CHECK_EQ(out.numel(), 1) << "CheckGradients needs a scalar output";
+  out.Backward();
+
+  std::vector<std::vector<float>> analytic;
+  analytic.reserve(inputs.size());
+  for (Tensor& t : inputs) {
+    analytic.push_back(t.mutable_grad());
+  }
+
+  GradCheckResult result;
+  result.passed = true;
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    Tensor& t = inputs[i];
+    for (int64_t j = 0; j < t.numel(); ++j) {
+      const float saved = t.data()[j];
+      t.data()[j] = saved + static_cast<float>(eps);
+      const double up = fn(inputs).item();
+      t.data()[j] = saved - static_cast<float>(eps);
+      const double down = fn(inputs).item();
+      t.data()[j] = saved;
+      const double numeric = (up - down) / (2.0 * eps);
+      const double a = analytic[i][static_cast<size_t>(j)];
+      const double rel =
+          std::fabs(a - numeric) / std::max(1.0, std::fabs(numeric));
+      if (rel > result.max_relative_error) {
+        result.max_relative_error = rel;
+        result.worst_input = static_cast<int>(i);
+        result.worst_element = j;
+      }
+      if (rel > tol) result.passed = false;
+    }
+  }
+  return result;
+}
+
+}  // namespace timekd::tensor

@@ -1,0 +1,33 @@
+#ifndef TIMEKD_TENSOR_GRAD_CHECK_H_
+#define TIMEKD_TENSOR_GRAD_CHECK_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace timekd::tensor {
+
+/// Result of a finite-difference gradient check.
+struct GradCheckResult {
+  bool passed = false;
+  /// Largest |analytic - numeric| / max(1, |numeric|) over all inputs.
+  double max_relative_error = 0.0;
+  /// Index (input tensor, element) where the worst error occurred.
+  int worst_input = -1;
+  int64_t worst_element = -1;
+  std::string ToString() const;
+};
+
+/// Verifies analytic gradients of `fn` (a scalar-valued function of the
+/// inputs) against central finite differences. Inputs must be leaves; they
+/// are marked requires_grad internally. `eps` is the probe step and `tol`
+/// the acceptance threshold on the relative error.
+GradCheckResult CheckGradients(
+    const std::function<Tensor(const std::vector<Tensor>&)>& fn,
+    std::vector<Tensor> inputs, double eps = 1e-3, double tol = 5e-2);
+
+}  // namespace timekd::tensor
+
+#endif  // TIMEKD_TENSOR_GRAD_CHECK_H_

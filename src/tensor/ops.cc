@@ -1,0 +1,1186 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace timekd::tensor {
+
+namespace {
+
+using internal::MakeResult;
+using internal::TensorImpl;
+
+constexpr float kPi = 3.14159265358979323846f;
+
+/// Adds `g` into the gradient buffer of `node`.
+void Accumulate(const std::shared_ptr<TensorImpl>& node,
+                const std::vector<float>& g) {
+  node->EnsureGrad();
+  TIMEKD_CHECK_EQ(node->grad.size(), g.size());
+  for (size_t i = 0; i < g.size(); ++i) node->grad[i] += g[i];
+}
+
+/// Shape padded with leading 1s to rank `rank`.
+Shape PadShape(const Shape& s, size_t rank) {
+  Shape out(rank, 1);
+  std::copy(s.begin(), s.end(), out.begin() + (rank - s.size()));
+  return out;
+}
+
+/// Strides for iterating an input of (padded) shape `in` while walking an
+/// output of shape `out`; broadcast dimensions get stride 0.
+std::vector<int64_t> BroadcastStrides(const Shape& in, const Shape& out) {
+  std::vector<int64_t> strides = RowMajorStrides(in);
+  for (size_t i = 0; i < in.size(); ++i) {
+    if (in[i] == 1 && out[i] != 1) strides[i] = 0;
+  }
+  return strides;
+}
+
+/// Reduces a gradient over broadcast output shape `from` back to input
+/// shape `to` by summing along the broadcast dimensions.
+std::vector<float> ReduceGradToShape(const std::vector<float>& grad,
+                                     const Shape& from, const Shape& to) {
+  if (from == to) return grad;
+  const Shape to_pad = PadShape(to, from.size());
+  std::vector<float> out(NumElements(to), 0.0f);
+  const std::vector<int64_t> from_strides = RowMajorStrides(from);
+  const std::vector<int64_t> to_strides = BroadcastStrides(to_pad, from);
+  const int64_t n = static_cast<int64_t>(grad.size());
+  const size_t rank = from.size();
+  for (int64_t idx = 0; idx < n; ++idx) {
+    int64_t rem = idx;
+    int64_t to_off = 0;
+    for (size_t d = 0; d < rank; ++d) {
+      const int64_t coord = rem / from_strides[d];
+      rem -= coord * from_strides[d];
+      to_off += coord * to_strides[d];
+    }
+    out[static_cast<size_t>(to_off)] += grad[static_cast<size_t>(idx)];
+  }
+  return out;
+}
+
+enum class BinOp { kAdd, kSub, kMul, kDiv };
+
+float ApplyBin(BinOp op, float a, float b) {
+  switch (op) {
+    case BinOp::kAdd:
+      return a + b;
+    case BinOp::kSub:
+      return a - b;
+    case BinOp::kMul:
+      return a * b;
+    case BinOp::kDiv:
+      return a / b;
+  }
+  return 0.0f;
+}
+
+Tensor Binary(BinOp op, const Tensor& a, const Tensor& b) {
+  TIMEKD_CHECK(a.defined() && b.defined());
+  const Shape out_shape = BroadcastShape(a.shape(), b.shape());
+  const int64_t n = NumElements(out_shape);
+  std::vector<float> out(static_cast<size_t>(n));
+
+  const float* pa = a.data();
+  const float* pb = b.data();
+  if (a.shape() == b.shape()) {
+    for (int64_t i = 0; i < n; ++i) {
+      out[static_cast<size_t>(i)] = ApplyBin(op, pa[i], pb[i]);
+    }
+  } else {
+    const Shape a_pad = PadShape(a.shape(), out_shape.size());
+    const Shape b_pad = PadShape(b.shape(), out_shape.size());
+    const auto out_strides = RowMajorStrides(out_shape);
+    const auto a_strides = BroadcastStrides(a_pad, out_shape);
+    const auto b_strides = BroadcastStrides(b_pad, out_shape);
+    const size_t rank = out_shape.size();
+    for (int64_t idx = 0; idx < n; ++idx) {
+      int64_t rem = idx;
+      int64_t a_off = 0;
+      int64_t b_off = 0;
+      for (size_t d = 0; d < rank; ++d) {
+        const int64_t coord = rem / out_strides[d];
+        rem -= coord * out_strides[d];
+        a_off += coord * a_strides[d];
+        b_off += coord * b_strides[d];
+      }
+      out[static_cast<size_t>(idx)] = ApplyBin(op, pa[a_off], pb[b_off]);
+    }
+  }
+
+  return MakeResult(
+      out_shape, std::move(out), {a, b},
+      [op, a, b, out_shape](TensorImpl& self) {
+        const std::vector<float>& dy = self.grad;
+        const int64_t n_out = static_cast<int64_t>(dy.size());
+        const bool same = a.shape() == b.shape();
+        std::vector<float> da(static_cast<size_t>(n_out));
+        std::vector<float> db(static_cast<size_t>(n_out));
+
+        auto eval_pair = [&](int64_t out_idx, int64_t a_off, int64_t b_off) {
+          const float g = dy[static_cast<size_t>(out_idx)];
+          const float av = a.data()[a_off];
+          const float bv = b.data()[b_off];
+          switch (op) {
+            case BinOp::kAdd:
+              da[static_cast<size_t>(out_idx)] = g;
+              db[static_cast<size_t>(out_idx)] = g;
+              break;
+            case BinOp::kSub:
+              da[static_cast<size_t>(out_idx)] = g;
+              db[static_cast<size_t>(out_idx)] = -g;
+              break;
+            case BinOp::kMul:
+              da[static_cast<size_t>(out_idx)] = g * bv;
+              db[static_cast<size_t>(out_idx)] = g * av;
+              break;
+            case BinOp::kDiv:
+              da[static_cast<size_t>(out_idx)] = g / bv;
+              db[static_cast<size_t>(out_idx)] = -g * av / (bv * bv);
+              break;
+          }
+        };
+
+        if (same) {
+          for (int64_t i = 0; i < n_out; ++i) eval_pair(i, i, i);
+        } else {
+          const Shape a_pad = PadShape(a.shape(), out_shape.size());
+          const Shape b_pad = PadShape(b.shape(), out_shape.size());
+          const auto out_strides = RowMajorStrides(out_shape);
+          const auto a_strides = BroadcastStrides(a_pad, out_shape);
+          const auto b_strides = BroadcastStrides(b_pad, out_shape);
+          const size_t rank = out_shape.size();
+          for (int64_t idx = 0; idx < n_out; ++idx) {
+            int64_t rem = idx;
+            int64_t a_off = 0;
+            int64_t b_off = 0;
+            for (size_t d = 0; d < rank; ++d) {
+              const int64_t coord = rem / out_strides[d];
+              rem -= coord * out_strides[d];
+              a_off += coord * a_strides[d];
+              b_off += coord * b_strides[d];
+            }
+            eval_pair(idx, a_off, b_off);
+          }
+        }
+        if (a.impl()->requires_grad) {
+          Accumulate(a.impl(), ReduceGradToShape(da, out_shape, a.shape()));
+        }
+        if (b.impl()->requires_grad) {
+          Accumulate(b.impl(), ReduceGradToShape(db, out_shape, b.shape()));
+        }
+      });
+}
+
+/// Generic unary op: forward value f(x), backward scale df(x, y).
+template <typename F, typename DF>
+Tensor Unary(const Tensor& x, F f, DF df) {
+  TIMEKD_CHECK(x.defined());
+  const int64_t n = x.numel();
+  std::vector<float> out(static_cast<size_t>(n));
+  const float* px = x.data();
+  for (int64_t i = 0; i < n; ++i) out[static_cast<size_t>(i)] = f(px[i]);
+  return MakeResult(x.shape(), std::move(out), {x},
+                    [x, df](TensorImpl& self) {
+                      if (!x.impl()->requires_grad) return;
+                      const int64_t n_in = x.numel();
+                      std::vector<float> dx(static_cast<size_t>(n_in));
+                      const float* px2 = x.data();
+                      const float* py = self.data.data();
+                      const float* dy = self.grad.data();
+                      for (int64_t i = 0; i < n_in; ++i) {
+                        dx[static_cast<size_t>(i)] =
+                            dy[i] * df(px2[i], py[i]);
+                      }
+                      Accumulate(x.impl(), dx);
+                    });
+}
+
+/// Raw (no-autograd) transpose of two dimensions.
+std::vector<float> TransposeRaw(const float* src, const Shape& in_shape,
+                                int64_t d0, int64_t d1, Shape* out_shape) {
+  Shape os = in_shape;
+  std::swap(os[static_cast<size_t>(d0)], os[static_cast<size_t>(d1)]);
+  const auto in_strides = RowMajorStrides(in_shape);
+  const auto out_strides = RowMajorStrides(os);
+  const int64_t n = NumElements(in_shape);
+  std::vector<float> out(static_cast<size_t>(n));
+  const size_t rank = in_shape.size();
+  for (int64_t idx = 0; idx < n; ++idx) {
+    // Decompose output index, map to input index with d0/d1 swapped.
+    int64_t rem = idx;
+    int64_t in_off = 0;
+    for (size_t d = 0; d < rank; ++d) {
+      const int64_t coord = rem / out_strides[d];
+      rem -= coord * out_strides[d];
+      size_t src_dim = d;
+      if (static_cast<int64_t>(d) == d0) {
+        src_dim = static_cast<size_t>(d1);
+      } else if (static_cast<int64_t>(d) == d1) {
+        src_dim = static_cast<size_t>(d0);
+      }
+      in_off += coord * in_strides[src_dim];
+    }
+    out[static_cast<size_t>(idx)] = src[in_off];
+  }
+  *out_shape = std::move(os);
+  return out;
+}
+
+/// 2-D matmul kernel: C[m,n] += A[m,k] * B[k,n].
+void MatMulKernel(const float* a, const float* b, float* c, int64_t m,
+                  int64_t k, int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    float* crow = c + i * n;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = a[i * k + p];
+      if (av == 0.0f) continue;
+      const float* brow = b + p * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+/// C[m,n] += A[k,m]^T * B[k,n]  (i.e. A transposed).
+void MatMulATKernel(const float* a, const float* b, float* c, int64_t m,
+                    int64_t k, int64_t n) {
+  for (int64_t p = 0; p < k; ++p) {
+    const float* arow = a + p * m;
+    const float* brow = b + p * n;
+    for (int64_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c + i * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+/// C[m,n] += A[m,k] * B[n,k]^T (i.e. B transposed).
+void MatMulBTKernel(const float* a, const float* b, float* c, int64_t m,
+                    int64_t k, int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      float acc = 0.0f;
+      for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] += acc;
+    }
+  }
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) { return Binary(BinOp::kAdd, a, b); }
+Tensor Sub(const Tensor& a, const Tensor& b) { return Binary(BinOp::kSub, a, b); }
+Tensor Mul(const Tensor& a, const Tensor& b) { return Binary(BinOp::kMul, a, b); }
+Tensor Div(const Tensor& a, const Tensor& b) { return Binary(BinOp::kDiv, a, b); }
+
+Tensor Neg(const Tensor& x) {
+  return Unary(x, [](float v) { return -v; },
+               [](float, float) { return -1.0f; });
+}
+
+Tensor Scale(const Tensor& x, float s) {
+  return Unary(x, [s](float v) { return v * s; },
+               [s](float, float) { return s; });
+}
+
+Tensor AddScalar(const Tensor& x, float s) {
+  return Unary(x, [s](float v) { return v + s; },
+               [](float, float) { return 1.0f; });
+}
+
+Tensor Relu(const Tensor& x) {
+  return Unary(x, [](float v) { return v > 0.0f ? v : 0.0f; },
+               [](float v, float) { return v > 0.0f ? 1.0f : 0.0f; });
+}
+
+Tensor Gelu(const Tensor& x) {
+  const float c = std::sqrt(2.0f / kPi);
+  return Unary(
+      x,
+      [c](float v) {
+        return 0.5f * v * (1.0f + std::tanh(c * (v + 0.044715f * v * v * v)));
+      },
+      [c](float v, float) {
+        const float u = c * (v + 0.044715f * v * v * v);
+        const float t = std::tanh(u);
+        const float du = c * (1.0f + 3.0f * 0.044715f * v * v);
+        return 0.5f * (1.0f + t) + 0.5f * v * (1.0f - t * t) * du;
+      });
+}
+
+Tensor Silu(const Tensor& x) {
+  return Unary(
+      x,
+      [](float v) { return v / (1.0f + std::exp(-v)); },
+      [](float v, float) {
+        const float s = 1.0f / (1.0f + std::exp(-v));
+        return s * (1.0f + v * (1.0f - s));
+      });
+}
+
+Tensor Sigmoid(const Tensor& x) {
+  return Unary(x, [](float v) { return 1.0f / (1.0f + std::exp(-v)); },
+               [](float, float y) { return y * (1.0f - y); });
+}
+
+Tensor Tanh(const Tensor& x) {
+  return Unary(x, [](float v) { return std::tanh(v); },
+               [](float, float y) { return 1.0f - y * y; });
+}
+
+Tensor Exp(const Tensor& x) {
+  return Unary(x, [](float v) { return std::exp(v); },
+               [](float, float y) { return y; });
+}
+
+Tensor Log(const Tensor& x) {
+  return Unary(x, [](float v) { return std::log(v); },
+               [](float v, float) { return 1.0f / v; });
+}
+
+Tensor Sqrt(const Tensor& x) {
+  return Unary(x, [](float v) { return std::sqrt(v); },
+               [](float, float y) { return 0.5f / y; });
+}
+
+Tensor Square(const Tensor& x) {
+  return Unary(x, [](float v) { return v * v; },
+               [](float v, float) { return 2.0f * v; });
+}
+
+Tensor Transpose(const Tensor& x, int64_t d0, int64_t d1) {
+  TIMEKD_CHECK(x.defined());
+  const int64_t nd = x.dim();
+  if (d0 < 0) d0 += nd;
+  if (d1 < 0) d1 += nd;
+  TIMEKD_CHECK(d0 >= 0 && d0 < nd && d1 >= 0 && d1 < nd);
+  Shape out_shape;
+  std::vector<float> out =
+      TransposeRaw(x.data(), x.shape(), d0, d1, &out_shape);
+  return MakeResult(out_shape, std::move(out), {x},
+                    [x, d0, d1](TensorImpl& self) {
+                      if (!x.impl()->requires_grad) return;
+                      Shape back_shape;
+                      std::vector<float> dx = TransposeRaw(
+                          self.grad.data(), self.shape, d0, d1, &back_shape);
+                      Accumulate(x.impl(), dx);
+                    });
+}
+
+Tensor Reshape(const Tensor& x, const Shape& shape) {
+  TIMEKD_CHECK(x.defined());
+  TIMEKD_CHECK_EQ(NumElements(shape), x.numel())
+      << "Reshape " << ShapeToString(x.shape()) << " -> "
+      << ShapeToString(shape);
+  std::vector<float> out(x.data(), x.data() + x.numel());
+  return MakeResult(shape, std::move(out), {x}, [x](TensorImpl& self) {
+    if (!x.impl()->requires_grad) return;
+    Accumulate(x.impl(), self.grad);
+  });
+}
+
+Tensor Slice(const Tensor& x, int64_t dim, int64_t start, int64_t len) {
+  TIMEKD_CHECK(x.defined());
+  const int64_t nd = x.dim();
+  if (dim < 0) dim += nd;
+  TIMEKD_CHECK(dim >= 0 && dim < nd);
+  const int64_t dsize = x.size(dim);
+  TIMEKD_CHECK(start >= 0 && len >= 0 && start + len <= dsize)
+      << "Slice [" << start << ", " << start + len << ") of dim size "
+      << dsize;
+  const Shape& in_shape = x.shape();
+  int64_t outer = 1;
+  int64_t inner = 1;
+  for (int64_t d = 0; d < dim; ++d) outer *= in_shape[static_cast<size_t>(d)];
+  for (int64_t d = dim + 1; d < nd; ++d) {
+    inner *= in_shape[static_cast<size_t>(d)];
+  }
+  Shape out_shape = in_shape;
+  out_shape[static_cast<size_t>(dim)] = len;
+  std::vector<float> out(static_cast<size_t>(outer * len * inner));
+  const float* src = x.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    const float* sblock = src + (o * dsize + start) * inner;
+    float* dblock = out.data() + o * len * inner;
+    std::copy(sblock, sblock + len * inner, dblock);
+  }
+  return MakeResult(
+      out_shape, std::move(out), {x},
+      [x, outer, inner, dsize, start, len](TensorImpl& self) {
+        if (!x.impl()->requires_grad) return;
+        std::vector<float> dx(static_cast<size_t>(x.numel()), 0.0f);
+        const float* dy = self.grad.data();
+        for (int64_t o = 0; o < outer; ++o) {
+          float* dblock = dx.data() + (o * dsize + start) * inner;
+          const float* sblock = dy + o * len * inner;
+          for (int64_t i = 0; i < len * inner; ++i) dblock[i] += sblock[i];
+        }
+        Accumulate(x.impl(), dx);
+      });
+}
+
+Tensor Concat(const std::vector<Tensor>& xs, int64_t dim) {
+  TIMEKD_CHECK(!xs.empty());
+  const int64_t nd = xs[0].dim();
+  if (dim < 0) dim += nd;
+  TIMEKD_CHECK(dim >= 0 && dim < nd);
+  int64_t total = 0;
+  for (const Tensor& t : xs) {
+    TIMEKD_CHECK_EQ(t.dim(), nd);
+    for (int64_t d = 0; d < nd; ++d) {
+      if (d != dim) TIMEKD_CHECK_EQ(t.size(d), xs[0].size(d));
+    }
+    total += t.size(dim);
+  }
+  Shape out_shape = xs[0].shape();
+  out_shape[static_cast<size_t>(dim)] = total;
+  int64_t outer = 1;
+  int64_t inner = 1;
+  for (int64_t d = 0; d < dim; ++d) outer *= out_shape[static_cast<size_t>(d)];
+  for (int64_t d = dim + 1; d < nd; ++d) {
+    inner *= out_shape[static_cast<size_t>(d)];
+  }
+  std::vector<float> out(static_cast<size_t>(outer * total * inner));
+  int64_t offset = 0;
+  for (const Tensor& t : xs) {
+    const int64_t len = t.size(dim);
+    const float* src = t.data();
+    for (int64_t o = 0; o < outer; ++o) {
+      float* dblock = out.data() + (o * total + offset) * inner;
+      const float* sblock = src + o * len * inner;
+      std::copy(sblock, sblock + len * inner, dblock);
+    }
+    offset += len;
+  }
+  std::vector<Tensor> parents = xs;
+  return MakeResult(
+      out_shape, std::move(out), parents,
+      [xs, outer, inner, total, dim](TensorImpl& self) {
+        int64_t off = 0;
+        for (const Tensor& t : xs) {
+          const int64_t len = t.size(dim);
+          if (t.impl()->requires_grad) {
+            std::vector<float> dx(static_cast<size_t>(t.numel()));
+            const float* dy = self.grad.data();
+            for (int64_t o = 0; o < outer; ++o) {
+              const float* sblock = dy + (o * total + off) * inner;
+              float* dblock = dx.data() + o * len * inner;
+              std::copy(sblock, sblock + len * inner, dblock);
+            }
+            Accumulate(t.impl(), dx);
+          }
+          off += len;
+        }
+      });
+}
+
+Tensor Sum(const Tensor& x) {
+  TIMEKD_CHECK(x.defined());
+  double acc = 0.0;
+  const float* px = x.data();
+  const int64_t n = x.numel();
+  for (int64_t i = 0; i < n; ++i) acc += px[i];
+  return MakeResult({}, {static_cast<float>(acc)}, {x},
+                    [x](TensorImpl& self) {
+                      if (!x.impl()->requires_grad) return;
+                      const float g = self.grad[0];
+                      std::vector<float> dx(static_cast<size_t>(x.numel()), g);
+                      Accumulate(x.impl(), dx);
+                    });
+}
+
+Tensor Mean(const Tensor& x) {
+  const int64_t n = x.numel();
+  TIMEKD_CHECK_GT(n, 0);
+  return Scale(Sum(x), 1.0f / static_cast<float>(n));
+}
+
+Tensor SumDim(const Tensor& x, int64_t dim, bool keepdim) {
+  TIMEKD_CHECK(x.defined());
+  const int64_t nd = x.dim();
+  if (dim < 0) dim += nd;
+  TIMEKD_CHECK(dim >= 0 && dim < nd);
+  const Shape& in_shape = x.shape();
+  const int64_t dsize = in_shape[static_cast<size_t>(dim)];
+  int64_t outer = 1;
+  int64_t inner = 1;
+  for (int64_t d = 0; d < dim; ++d) outer *= in_shape[static_cast<size_t>(d)];
+  for (int64_t d = dim + 1; d < nd; ++d) {
+    inner *= in_shape[static_cast<size_t>(d)];
+  }
+  Shape out_shape;
+  for (int64_t d = 0; d < nd; ++d) {
+    if (d == dim) {
+      if (keepdim) out_shape.push_back(1);
+    } else {
+      out_shape.push_back(in_shape[static_cast<size_t>(d)]);
+    }
+  }
+  std::vector<float> out(static_cast<size_t>(outer * inner), 0.0f);
+  const float* px = x.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t k = 0; k < dsize; ++k) {
+      const float* block = px + (o * dsize + k) * inner;
+      float* oblock = out.data() + o * inner;
+      for (int64_t i = 0; i < inner; ++i) oblock[i] += block[i];
+    }
+  }
+  return MakeResult(out_shape, std::move(out), {x},
+                    [x, outer, inner, dsize](TensorImpl& self) {
+                      if (!x.impl()->requires_grad) return;
+                      std::vector<float> dx(static_cast<size_t>(x.numel()));
+                      const float* dy = self.grad.data();
+                      for (int64_t o = 0; o < outer; ++o) {
+                        for (int64_t k = 0; k < dsize; ++k) {
+                          float* block = dx.data() + (o * dsize + k) * inner;
+                          const float* oblock = dy + o * inner;
+                          for (int64_t i = 0; i < inner; ++i) {
+                            block[i] = oblock[i];
+                          }
+                        }
+                      }
+                      Accumulate(x.impl(), dx);
+                    });
+}
+
+Tensor MeanDim(const Tensor& x, int64_t dim, bool keepdim) {
+  const int64_t nd = x.dim();
+  int64_t d = dim < 0 ? dim + nd : dim;
+  const float inv = 1.0f / static_cast<float>(x.size(d));
+  return Scale(SumDim(x, dim, keepdim), inv);
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  TIMEKD_CHECK(a.defined() && b.defined());
+  TIMEKD_CHECK_GE(a.dim(), 2);
+  TIMEKD_CHECK_GE(b.dim(), 2);
+  const int64_t m = a.size(-2);
+  const int64_t k = a.size(-1);
+  const int64_t k2 = b.size(-2);
+  const int64_t n = b.size(-1);
+  TIMEKD_CHECK_EQ(k, k2) << "MatMul inner dims " << ShapeToString(a.shape())
+                         << " x " << ShapeToString(b.shape());
+
+  Shape a_batch(a.shape().begin(), a.shape().end() - 2);
+  Shape b_batch(b.shape().begin(), b.shape().end() - 2);
+  const bool a_batched = !a_batch.empty();
+  const bool b_batched = !b_batch.empty();
+  TIMEKD_CHECK(!a_batched || !b_batched || a_batch == b_batch)
+      << "MatMul batch dims must match: " << ShapeToString(a.shape()) << " x "
+      << ShapeToString(b.shape());
+
+  const Shape batch = a_batched ? a_batch : b_batch;
+  const int64_t nbatch = NumElements(batch);
+  Shape out_shape = batch;
+  out_shape.push_back(m);
+  out_shape.push_back(n);
+
+  std::vector<float> out(static_cast<size_t>(nbatch * m * n), 0.0f);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (int64_t bi = 0; bi < nbatch; ++bi) {
+    const float* ab = a_batched ? pa + bi * m * k : pa;
+    const float* bb = b_batched ? pb + bi * k * n : pb;
+    MatMulKernel(ab, bb, out.data() + bi * m * n, m, k, n);
+  }
+
+  return MakeResult(
+      out_shape, std::move(out), {a, b},
+      [a, b, m, k, n, nbatch, a_batched, b_batched](TensorImpl& self) {
+        const float* dy = self.grad.data();
+        const float* pa2 = a.data();
+        const float* pb2 = b.data();
+        if (a.impl()->requires_grad) {
+          std::vector<float> da(static_cast<size_t>(a.numel()), 0.0f);
+          for (int64_t bi = 0; bi < nbatch; ++bi) {
+            const float* dyb = dy + bi * m * n;
+            const float* bb = b_batched ? pb2 + bi * k * n : pb2;
+            float* dab = a_batched ? da.data() + bi * m * k : da.data();
+            // dA = dC * B^T : [m,n] x [k,n]^T -> [m,k]
+            MatMulBTKernel(dyb, bb, dab, m, n, k);
+          }
+          Accumulate(a.impl(), da);
+        }
+        if (b.impl()->requires_grad) {
+          std::vector<float> db(static_cast<size_t>(b.numel()), 0.0f);
+          for (int64_t bi = 0; bi < nbatch; ++bi) {
+            const float* dyb = dy + bi * m * n;
+            const float* ab = a_batched ? pa2 + bi * m * k : pa2;
+            float* dbb = b_batched ? db.data() + bi * k * n : db.data();
+            // dB = A^T * dC : [m,k]^T x [m,n] -> [k,n]
+            MatMulATKernel(ab, dyb, dbb, k, m, n);
+          }
+          Accumulate(b.impl(), db);
+        }
+      });
+}
+
+Tensor Softmax(const Tensor& x, int64_t dim) {
+  TIMEKD_CHECK(x.defined());
+  const int64_t nd = x.dim();
+  if (dim < 0) dim += nd;
+  TIMEKD_CHECK(dim >= 0 && dim < nd);
+  const Shape& shape = x.shape();
+  const int64_t dsize = shape[static_cast<size_t>(dim)];
+  int64_t outer = 1;
+  int64_t inner = 1;
+  for (int64_t d = 0; d < dim; ++d) outer *= shape[static_cast<size_t>(d)];
+  for (int64_t d = dim + 1; d < nd; ++d) {
+    inner *= shape[static_cast<size_t>(d)];
+  }
+  std::vector<float> out(static_cast<size_t>(x.numel()));
+  const float* px = x.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t i = 0; i < inner; ++i) {
+      const int64_t base = o * dsize * inner + i;
+      float maxv = -std::numeric_limits<float>::infinity();
+      for (int64_t d = 0; d < dsize; ++d) {
+        maxv = std::max(maxv, px[base + d * inner]);
+      }
+      double denom = 0.0;
+      for (int64_t d = 0; d < dsize; ++d) {
+        const float e = std::exp(px[base + d * inner] - maxv);
+        out[static_cast<size_t>(base + d * inner)] = e;
+        denom += e;
+      }
+      const float inv = denom > 0.0 ? static_cast<float>(1.0 / denom) : 0.0f;
+      for (int64_t d = 0; d < dsize; ++d) {
+        out[static_cast<size_t>(base + d * inner)] *= inv;
+      }
+    }
+  }
+  return MakeResult(
+      x.shape(), std::move(out), {x},
+      [x, outer, inner, dsize](TensorImpl& self) {
+        if (!x.impl()->requires_grad) return;
+        std::vector<float> dx(static_cast<size_t>(x.numel()));
+        const float* y = self.data.data();
+        const float* dy = self.grad.data();
+        for (int64_t o = 0; o < outer; ++o) {
+          for (int64_t i = 0; i < inner; ++i) {
+            const int64_t base = o * dsize * inner + i;
+            double dot = 0.0;
+            for (int64_t d = 0; d < dsize; ++d) {
+              const int64_t idx = base + d * inner;
+              dot += static_cast<double>(dy[idx]) * y[idx];
+            }
+            for (int64_t d = 0; d < dsize; ++d) {
+              const int64_t idx = base + d * inner;
+              dx[static_cast<size_t>(idx)] =
+                  y[idx] * (dy[idx] - static_cast<float>(dot));
+            }
+          }
+        }
+        Accumulate(x.impl(), dx);
+      });
+}
+
+Tensor LayerNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                 float eps) {
+  TIMEKD_CHECK(x.defined() && gamma.defined() && beta.defined());
+  const int64_t d_model = x.size(-1);
+  TIMEKD_CHECK_EQ(gamma.numel(), d_model);
+  TIMEKD_CHECK_EQ(beta.numel(), d_model);
+  const int64_t rows = x.numel() / d_model;
+  std::vector<float> out(static_cast<size_t>(x.numel()));
+  std::vector<float> inv_sigma(static_cast<size_t>(rows));
+  std::vector<float> mu(static_cast<size_t>(rows));
+  const float* px = x.data();
+  const float* pg = gamma.data();
+  const float* pbeta = beta.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* row = px + r * d_model;
+    double sum = 0.0;
+    for (int64_t j = 0; j < d_model; ++j) sum += row[j];
+    const float m = static_cast<float>(sum / d_model);
+    double var = 0.0;
+    for (int64_t j = 0; j < d_model; ++j) {
+      const double diff = row[j] - m;
+      var += diff * diff;
+    }
+    const float is =
+        1.0f / std::sqrt(static_cast<float>(var / d_model) + eps);
+    mu[static_cast<size_t>(r)] = m;
+    inv_sigma[static_cast<size_t>(r)] = is;
+    float* orow = out.data() + r * d_model;
+    for (int64_t j = 0; j < d_model; ++j) {
+      orow[j] = (row[j] - m) * is * pg[j] + pbeta[j];
+    }
+  }
+  return MakeResult(
+      x.shape(), std::move(out), {x, gamma, beta},
+      [x, gamma, beta, rows, d_model, mu = std::move(mu),
+       inv_sigma = std::move(inv_sigma)](TensorImpl& self) {
+        const float* px2 = x.data();
+        const float* pg2 = gamma.data();
+        const float* dy = self.grad.data();
+        std::vector<float> dx(static_cast<size_t>(x.numel()), 0.0f);
+        std::vector<float> dgamma(static_cast<size_t>(d_model), 0.0f);
+        std::vector<float> dbeta(static_cast<size_t>(d_model), 0.0f);
+        for (int64_t r = 0; r < rows; ++r) {
+          const float* row = px2 + r * d_model;
+          const float* dyrow = dy + r * d_model;
+          const float m = mu[static_cast<size_t>(r)];
+          const float is = inv_sigma[static_cast<size_t>(r)];
+          double sum_dxhat = 0.0;
+          double sum_dxhat_xhat = 0.0;
+          for (int64_t j = 0; j < d_model; ++j) {
+            const float xhat = (row[j] - m) * is;
+            const float dxhat = dyrow[j] * pg2[j];
+            sum_dxhat += dxhat;
+            sum_dxhat_xhat += static_cast<double>(dxhat) * xhat;
+            dgamma[static_cast<size_t>(j)] += dyrow[j] * xhat;
+            dbeta[static_cast<size_t>(j)] += dyrow[j];
+          }
+          float* dxrow = dx.data() + r * d_model;
+          const float inv_n = 1.0f / static_cast<float>(d_model);
+          for (int64_t j = 0; j < d_model; ++j) {
+            const float xhat = (row[j] - m) * is;
+            const float dxhat = dyrow[j] * pg2[j];
+            dxrow[j] = is * (dxhat -
+                             inv_n * static_cast<float>(sum_dxhat) -
+                             xhat * inv_n * static_cast<float>(sum_dxhat_xhat));
+          }
+        }
+        if (x.impl()->requires_grad) Accumulate(x.impl(), dx);
+        if (gamma.impl()->requires_grad) Accumulate(gamma.impl(), dgamma);
+        if (beta.impl()->requires_grad) Accumulate(beta.impl(), dbeta);
+      });
+}
+
+Tensor RmsNorm(const Tensor& x, const Tensor& gamma, float eps) {
+  TIMEKD_CHECK(x.defined() && gamma.defined());
+  const int64_t d_model = x.size(-1);
+  TIMEKD_CHECK_EQ(gamma.numel(), d_model);
+  const int64_t rows = x.numel() / d_model;
+  std::vector<float> out(static_cast<size_t>(x.numel()));
+  std::vector<float> inv_rms(static_cast<size_t>(rows));
+  const float* px = x.data();
+  const float* pg = gamma.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* row = px + r * d_model;
+    double ss = 0.0;
+    for (int64_t j = 0; j < d_model; ++j) {
+      ss += static_cast<double>(row[j]) * row[j];
+    }
+    const float ir =
+        1.0f / std::sqrt(static_cast<float>(ss / d_model) + eps);
+    inv_rms[static_cast<size_t>(r)] = ir;
+    float* orow = out.data() + r * d_model;
+    for (int64_t j = 0; j < d_model; ++j) orow[j] = row[j] * ir * pg[j];
+  }
+  return MakeResult(
+      x.shape(), std::move(out), {x, gamma},
+      [x, gamma, rows, d_model, inv_rms = std::move(inv_rms)](
+          TensorImpl& self) {
+        const float* px2 = x.data();
+        const float* pg2 = gamma.data();
+        const float* dy = self.grad.data();
+        std::vector<float> dx(static_cast<size_t>(x.numel()), 0.0f);
+        std::vector<float> dgamma(static_cast<size_t>(d_model), 0.0f);
+        for (int64_t r = 0; r < rows; ++r) {
+          const float* row = px2 + r * d_model;
+          const float* dyrow = dy + r * d_model;
+          const float ir = inv_rms[static_cast<size_t>(r)];
+          double dot = 0.0;  // sum_j dy_j * gamma_j * x_j
+          for (int64_t j = 0; j < d_model; ++j) {
+            dot += static_cast<double>(dyrow[j]) * pg2[j] * row[j];
+            dgamma[static_cast<size_t>(j)] += dyrow[j] * row[j] * ir;
+          }
+          const float coef = static_cast<float>(dot) * ir * ir * ir /
+                             static_cast<float>(d_model);
+          float* dxrow = dx.data() + r * d_model;
+          for (int64_t j = 0; j < d_model; ++j) {
+            dxrow[j] = dyrow[j] * pg2[j] * ir - row[j] * coef;
+          }
+        }
+        if (x.impl()->requires_grad) Accumulate(x.impl(), dx);
+        if (gamma.impl()->requires_grad) Accumulate(gamma.impl(), dgamma);
+      });
+}
+
+Tensor EmbeddingLookup(const Tensor& weight, const std::vector<int64_t>& ids) {
+  TIMEKD_CHECK(weight.defined());
+  TIMEKD_CHECK_EQ(weight.dim(), 2);
+  const int64_t vocab = weight.size(0);
+  const int64_t d_model = weight.size(1);
+  const int64_t n = static_cast<int64_t>(ids.size());
+  std::vector<float> out(static_cast<size_t>(n * d_model));
+  const float* pw = weight.data();
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t id = ids[static_cast<size_t>(i)];
+    TIMEKD_CHECK(id >= 0 && id < vocab) << "embedding id " << id;
+    std::copy(pw + id * d_model, pw + (id + 1) * d_model,
+              out.data() + i * d_model);
+  }
+  return MakeResult({n, d_model}, std::move(out), {weight},
+                    [weight, ids, d_model](TensorImpl& self) {
+                      if (!weight.impl()->requires_grad) return;
+                      std::vector<float> dw(
+                          static_cast<size_t>(weight.numel()), 0.0f);
+                      const float* dy = self.grad.data();
+                      for (size_t i = 0; i < ids.size(); ++i) {
+                        float* wrow = dw.data() + ids[i] * d_model;
+                        const float* grow =
+                            dy + static_cast<int64_t>(i) * d_model;
+                        for (int64_t j = 0; j < d_model; ++j) {
+                          wrow[j] += grow[j];
+                        }
+                      }
+                      Accumulate(weight.impl(), dw);
+                    });
+}
+
+Tensor Dropout(const Tensor& x, float p, bool training, Rng& rng) {
+  TIMEKD_CHECK(x.defined());
+  TIMEKD_CHECK(p >= 0.0f && p < 1.0f);
+  if (!training || p == 0.0f) {
+    // Identity pass-through that still participates in the tape.
+    return Scale(x, 1.0f);
+  }
+  const int64_t n = x.numel();
+  std::vector<float> mask(static_cast<size_t>(n));
+  const float keep_scale = 1.0f / (1.0f - p);
+  for (int64_t i = 0; i < n; ++i) {
+    mask[static_cast<size_t>(i)] = rng.Bernoulli(p) ? 0.0f : keep_scale;
+  }
+  std::vector<float> out(static_cast<size_t>(n));
+  const float* px = x.data();
+  for (int64_t i = 0; i < n; ++i) {
+    out[static_cast<size_t>(i)] = px[i] * mask[static_cast<size_t>(i)];
+  }
+  return MakeResult(x.shape(), std::move(out), {x},
+                    [x, mask = std::move(mask)](TensorImpl& self) {
+                      if (!x.impl()->requires_grad) return;
+                      const int64_t n_in = x.numel();
+                      std::vector<float> dx(static_cast<size_t>(n_in));
+                      const float* dy = self.grad.data();
+                      for (int64_t i = 0; i < n_in; ++i) {
+                        dx[static_cast<size_t>(i)] =
+                            dy[i] * mask[static_cast<size_t>(i)];
+                      }
+                      Accumulate(x.impl(), dx);
+                    });
+}
+
+namespace {
+
+enum class LossKind { kSmoothL1, kMse, kMae };
+
+Tensor PointwiseLoss(LossKind kind, const Tensor& pred, const Tensor& target) {
+  TIMEKD_CHECK(pred.defined() && target.defined());
+  TIMEKD_CHECK(pred.shape() == target.shape())
+      << "loss shape mismatch: " << ShapeToString(pred.shape()) << " vs "
+      << ShapeToString(target.shape());
+  const int64_t n = pred.numel();
+  TIMEKD_CHECK_GT(n, 0);
+  const float* pp = pred.data();
+  const float* pt = target.data();
+  double acc = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    const float d = pp[i] - pt[i];
+    switch (kind) {
+      case LossKind::kSmoothL1:
+        acc += std::fabs(d) < 1.0f ? 0.5 * d * d : std::fabs(d) - 0.5;
+        break;
+      case LossKind::kMse:
+        acc += static_cast<double>(d) * d;
+        break;
+      case LossKind::kMae:
+        acc += std::fabs(d);
+        break;
+    }
+  }
+  const float value = static_cast<float>(acc / n);
+  return MakeResult(
+      {}, {value}, {pred, target},
+      [kind, pred, target, n](TensorImpl& self) {
+        const float g = self.grad[0] / static_cast<float>(n);
+        const float* pp2 = pred.data();
+        const float* pt2 = target.data();
+        std::vector<float> dpred(static_cast<size_t>(n));
+        for (int64_t i = 0; i < n; ++i) {
+          const float d = pp2[i] - pt2[i];
+          float slope = 0.0f;
+          switch (kind) {
+            case LossKind::kSmoothL1:
+              slope = std::fabs(d) < 1.0f ? d : (d > 0.0f ? 1.0f : -1.0f);
+              break;
+            case LossKind::kMse:
+              slope = 2.0f * d;
+              break;
+            case LossKind::kMae:
+              slope = d > 0.0f ? 1.0f : (d < 0.0f ? -1.0f : 0.0f);
+              break;
+          }
+          dpred[static_cast<size_t>(i)] = g * slope;
+        }
+        if (pred.impl()->requires_grad) Accumulate(pred.impl(), dpred);
+        if (target.impl()->requires_grad) {
+          for (float& v : dpred) v = -v;
+          Accumulate(target.impl(), dpred);
+        }
+      });
+}
+
+}  // namespace
+
+Tensor SmoothL1Loss(const Tensor& pred, const Tensor& target) {
+  return PointwiseLoss(LossKind::kSmoothL1, pred, target);
+}
+
+Tensor MseLoss(const Tensor& pred, const Tensor& target) {
+  return PointwiseLoss(LossKind::kMse, pred, target);
+}
+
+Tensor MaeLoss(const Tensor& pred, const Tensor& target) {
+  return PointwiseLoss(LossKind::kMae, pred, target);
+}
+
+Tensor CrossEntropyLoss(const Tensor& logits,
+                        const std::vector<int64_t>& ids) {
+  TIMEKD_CHECK(logits.defined());
+  TIMEKD_CHECK_EQ(logits.dim(), 2);
+  const int64_t batch = logits.size(0);
+  const int64_t vocab = logits.size(1);
+  TIMEKD_CHECK_EQ(batch, static_cast<int64_t>(ids.size()));
+  std::vector<float> probs(static_cast<size_t>(batch * vocab));
+  const float* pl = logits.data();
+  double loss = 0.0;
+  for (int64_t b = 0; b < batch; ++b) {
+    const float* row = pl + b * vocab;
+    float maxv = -std::numeric_limits<float>::infinity();
+    for (int64_t j = 0; j < vocab; ++j) maxv = std::max(maxv, row[j]);
+    double denom = 0.0;
+    for (int64_t j = 0; j < vocab; ++j) {
+      const float e = std::exp(row[j] - maxv);
+      probs[static_cast<size_t>(b * vocab + j)] = e;
+      denom += e;
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (int64_t j = 0; j < vocab; ++j) {
+      probs[static_cast<size_t>(b * vocab + j)] *= inv;
+    }
+    const int64_t target = ids[static_cast<size_t>(b)];
+    TIMEKD_CHECK(target >= 0 && target < vocab);
+    loss -= std::log(
+        std::max(probs[static_cast<size_t>(b * vocab + target)], 1e-12f));
+  }
+  const float value = static_cast<float>(loss / batch);
+  return MakeResult(
+      {}, {value}, {logits},
+      [logits, ids, batch, vocab, probs = std::move(probs)](
+          TensorImpl& self) {
+        if (!logits.impl()->requires_grad) return;
+        const float g = self.grad[0] / static_cast<float>(batch);
+        std::vector<float> dl(static_cast<size_t>(batch * vocab));
+        for (int64_t b = 0; b < batch; ++b) {
+          const int64_t target = ids[static_cast<size_t>(b)];
+          for (int64_t j = 0; j < vocab; ++j) {
+            const size_t idx = static_cast<size_t>(b * vocab + j);
+            dl[idx] = g * (probs[idx] - (j == target ? 1.0f : 0.0f));
+          }
+        }
+        Accumulate(logits.impl(), dl);
+      });
+}
+
+}  // namespace timekd::tensor
+
+namespace timekd::tensor {
+
+// --- Extended op set (clamp/pow/abs/cumsum/pad, min/max reductions) ------
+
+Tensor Clamp(const Tensor& x, float lo, float hi) {
+  TIMEKD_CHECK_LE(lo, hi);
+  return Unary(
+      x, [lo, hi](float v) { return std::min(hi, std::max(lo, v)); },
+      [lo, hi](float v, float) { return v > lo && v < hi ? 1.0f : 0.0f; });
+}
+
+Tensor Pow(const Tensor& x, float p) {
+  return Unary(x, [p](float v) { return std::pow(v, p); },
+               [p](float v, float) { return p * std::pow(v, p - 1.0f); });
+}
+
+Tensor Abs(const Tensor& x) {
+  return Unary(x, [](float v) { return std::fabs(v); },
+               [](float v, float) {
+                 return v > 0.0f ? 1.0f : (v < 0.0f ? -1.0f : 0.0f);
+               });
+}
+
+Tensor CumSum(const Tensor& x, int64_t dim) {
+  TIMEKD_CHECK(x.defined());
+  const int64_t nd = x.dim();
+  if (dim < 0) dim += nd;
+  TIMEKD_CHECK(dim >= 0 && dim < nd);
+  const Shape& shape = x.shape();
+  const int64_t dsize = shape[static_cast<size_t>(dim)];
+  int64_t outer = 1;
+  int64_t inner = 1;
+  for (int64_t d = 0; d < dim; ++d) outer *= shape[static_cast<size_t>(d)];
+  for (int64_t d = dim + 1; d < nd; ++d) {
+    inner *= shape[static_cast<size_t>(d)];
+  }
+  std::vector<float> out(static_cast<size_t>(x.numel()));
+  const float* px = x.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t i = 0; i < inner; ++i) {
+      double acc = 0.0;
+      for (int64_t d = 0; d < dsize; ++d) {
+        const int64_t idx = (o * dsize + d) * inner + i;
+        acc += px[idx];
+        out[static_cast<size_t>(idx)] = static_cast<float>(acc);
+      }
+    }
+  }
+  return internal::MakeResult(
+      x.shape(), std::move(out), {x},
+      [x, outer, inner, dsize](internal::TensorImpl& self) {
+        if (!x.impl()->requires_grad) return;
+        // d/dx_j sum_k<=i x_k = 1 for j <= i: reverse cumulative sum of dy.
+        std::vector<float> dx(static_cast<size_t>(x.numel()));
+        const float* dy = self.grad.data();
+        for (int64_t o = 0; o < outer; ++o) {
+          for (int64_t i = 0; i < inner; ++i) {
+            double acc = 0.0;
+            for (int64_t d = dsize - 1; d >= 0; --d) {
+              const int64_t idx = (o * dsize + d) * inner + i;
+              acc += dy[idx];
+              dx[static_cast<size_t>(idx)] = static_cast<float>(acc);
+            }
+          }
+        }
+        Accumulate(x.impl(), dx);
+      });
+}
+
+Tensor PadLastDim(const Tensor& x, int64_t left, int64_t right, float value) {
+  TIMEKD_CHECK(x.defined());
+  TIMEKD_CHECK(left >= 0 && right >= 0);
+  const int64_t d = x.size(-1);
+  const int64_t rows = x.numel() / d;
+  const int64_t out_d = d + left + right;
+  Shape out_shape = x.shape();
+  out_shape.back() = out_d;
+  std::vector<float> out(static_cast<size_t>(rows * out_d), value);
+  const float* px = x.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    std::copy(px + r * d, px + (r + 1) * d, out.begin() + r * out_d + left);
+  }
+  return internal::MakeResult(
+      out_shape, std::move(out), {x},
+      [x, rows, d, left, out_d](internal::TensorImpl& self) {
+        if (!x.impl()->requires_grad) return;
+        std::vector<float> dx(static_cast<size_t>(x.numel()));
+        const float* dy = self.grad.data();
+        for (int64_t r = 0; r < rows; ++r) {
+          std::copy(dy + r * out_d + left, dy + r * out_d + left + d,
+                    dx.begin() + r * d);
+        }
+        Accumulate(x.impl(), dx);
+      });
+}
+
+namespace {
+
+enum class ExtremeKind { kMax, kMin };
+
+Tensor ExtremeDim(const Tensor& x, int64_t dim, bool keepdim,
+                  ExtremeKind kind) {
+  TIMEKD_CHECK(x.defined());
+  const int64_t nd = x.dim();
+  if (dim < 0) dim += nd;
+  TIMEKD_CHECK(dim >= 0 && dim < nd);
+  const Shape& shape = x.shape();
+  const int64_t dsize = shape[static_cast<size_t>(dim)];
+  TIMEKD_CHECK_GT(dsize, 0);
+  int64_t outer = 1;
+  int64_t inner = 1;
+  for (int64_t d = 0; d < dim; ++d) outer *= shape[static_cast<size_t>(d)];
+  for (int64_t d = dim + 1; d < nd; ++d) {
+    inner *= shape[static_cast<size_t>(d)];
+  }
+  Shape out_shape;
+  for (int64_t d = 0; d < nd; ++d) {
+    if (d == dim) {
+      if (keepdim) out_shape.push_back(1);
+    } else {
+      out_shape.push_back(shape[static_cast<size_t>(d)]);
+    }
+  }
+  std::vector<float> out(static_cast<size_t>(outer * inner));
+  std::vector<int64_t> winners(static_cast<size_t>(outer * inner));
+  const float* px = x.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t i = 0; i < inner; ++i) {
+      float best = px[o * dsize * inner + i];
+      int64_t best_d = 0;
+      for (int64_t d = 1; d < dsize; ++d) {
+        const float v = px[(o * dsize + d) * inner + i];
+        const bool better =
+            kind == ExtremeKind::kMax ? v > best : v < best;
+        if (better) {
+          best = v;
+          best_d = d;
+        }
+      }
+      out[static_cast<size_t>(o * inner + i)] = best;
+      winners[static_cast<size_t>(o * inner + i)] = best_d;
+    }
+  }
+  return internal::MakeResult(
+      out_shape, std::move(out), {x},
+      [x, outer, inner, dsize, winners = std::move(winners)](
+          internal::TensorImpl& self) {
+        if (!x.impl()->requires_grad) return;
+        std::vector<float> dx(static_cast<size_t>(x.numel()), 0.0f);
+        const float* dy = self.grad.data();
+        for (int64_t o = 0; o < outer; ++o) {
+          for (int64_t i = 0; i < inner; ++i) {
+            const int64_t w = winners[static_cast<size_t>(o * inner + i)];
+            dx[static_cast<size_t>((o * dsize + w) * inner + i)] =
+                dy[o * inner + i];
+          }
+        }
+        Accumulate(x.impl(), dx);
+      });
+}
+
+}  // namespace
+
+Tensor MaxDim(const Tensor& x, int64_t dim, bool keepdim) {
+  return ExtremeDim(x, dim, keepdim, ExtremeKind::kMax);
+}
+
+Tensor MinDim(const Tensor& x, int64_t dim, bool keepdim) {
+  return ExtremeDim(x, dim, keepdim, ExtremeKind::kMin);
+}
+
+std::vector<int64_t> ArgMaxLastDim(const Tensor& x) {
+  TIMEKD_CHECK(x.defined());
+  const int64_t d = x.size(-1);
+  const int64_t rows = x.numel() / d;
+  std::vector<int64_t> out(static_cast<size_t>(rows));
+  const float* px = x.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    int64_t best = 0;
+    for (int64_t j = 1; j < d; ++j) {
+      if (px[r * d + j] > px[r * d + best]) best = j;
+    }
+    out[static_cast<size_t>(r)] = best;
+  }
+  return out;
+}
+
+}  // namespace timekd::tensor

@@ -1,0 +1,112 @@
+#ifndef TIMEKD_TENSOR_OPS_H_
+#define TIMEKD_TENSOR_OPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+/// Differentiable tensor operations. Every function returns a fresh tensor
+/// wired into the autograd tape (when grad mode is on and any input requires
+/// grad). Broadcasting follows NumPy rules for the elementwise binary ops.
+namespace timekd::tensor {
+
+/// --- Elementwise binary (broadcasting) ---------------------------------
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Sub(const Tensor& a, const Tensor& b);
+Tensor Mul(const Tensor& a, const Tensor& b);
+Tensor Div(const Tensor& a, const Tensor& b);
+
+/// --- Elementwise unary --------------------------------------------------
+Tensor Neg(const Tensor& x);
+/// x * s for a compile-time constant scalar.
+Tensor Scale(const Tensor& x, float s);
+/// x + s elementwise.
+Tensor AddScalar(const Tensor& x, float s);
+Tensor Relu(const Tensor& x);
+/// Gaussian error linear unit (tanh approximation, as in GPT-2).
+Tensor Gelu(const Tensor& x);
+/// SiLU / swish: x * sigmoid(x). Used by the LLaMA-style backbone.
+Tensor Silu(const Tensor& x);
+Tensor Sigmoid(const Tensor& x);
+Tensor Tanh(const Tensor& x);
+Tensor Exp(const Tensor& x);
+/// Natural log; inputs must be positive.
+Tensor Log(const Tensor& x);
+Tensor Sqrt(const Tensor& x);
+Tensor Square(const Tensor& x);
+
+/// --- Shape manipulation -------------------------------------------------
+/// Swaps dimensions d0 and d1 (materialized copy).
+Tensor Transpose(const Tensor& x, int64_t d0, int64_t d1);
+/// Reinterprets the value with a new shape of equal element count.
+Tensor Reshape(const Tensor& x, const Shape& shape);
+/// Contiguous sub-range [start, start+len) along `dim`.
+Tensor Slice(const Tensor& x, int64_t dim, int64_t start, int64_t len);
+/// Concatenates along `dim`; all other dims must match.
+Tensor Concat(const std::vector<Tensor>& xs, int64_t dim);
+
+/// Clamps values into [lo, hi]; gradient is passed through inside the
+/// interval and zero outside.
+Tensor Clamp(const Tensor& x, float lo, float hi);
+/// Elementwise power with constant exponent; x must be positive when p is
+/// non-integral.
+Tensor Pow(const Tensor& x, float p);
+/// Absolute value (subgradient 0 at 0).
+Tensor Abs(const Tensor& x);
+/// Cumulative sum along `dim`.
+Tensor CumSum(const Tensor& x, int64_t dim);
+/// Pads the last dimension with `left`/`right` copies of `value`
+/// (constant padding); gradient flows to the original region only.
+Tensor PadLastDim(const Tensor& x, int64_t left, int64_t right, float value);
+
+/// --- Reductions ----------------------------------------------------------
+/// Sum of all elements (scalar result).
+Tensor Sum(const Tensor& x);
+/// Mean of all elements (scalar result).
+Tensor Mean(const Tensor& x);
+/// Sum along `dim`; keeps the dimension as size 1 when keepdim.
+Tensor SumDim(const Tensor& x, int64_t dim, bool keepdim);
+/// Mean along `dim`.
+Tensor MeanDim(const Tensor& x, int64_t dim, bool keepdim);
+/// Maximum along `dim`; gradient routes to the (first) arg-max element.
+Tensor MaxDim(const Tensor& x, int64_t dim, bool keepdim);
+/// Minimum along `dim`; gradient routes to the (first) arg-min element.
+Tensor MinDim(const Tensor& x, int64_t dim, bool keepdim);
+/// Index of the maximum along the last dimension (no gradient).
+std::vector<int64_t> ArgMaxLastDim(const Tensor& x);
+
+/// --- Linear algebra -------------------------------------------------------
+/// Batched matrix multiply: [..., m, k] x [..., k, n] -> [..., m, n].
+/// Either side may be rank-2, in which case it broadcasts over the other
+/// side's batch dimensions.
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+/// --- Normalization / attention primitives ---------------------------------
+/// Softmax along `dim` (negative dims allowed).
+Tensor Softmax(const Tensor& x, int64_t dim);
+/// Fused layer normalization over the last dimension with affine params
+/// gamma/beta of shape [D] (Eq. 6 of the paper).
+Tensor LayerNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                 float eps);
+/// Fused RMS normalization over the last dimension (LLaMA-style).
+Tensor RmsNorm(const Tensor& x, const Tensor& gamma, float eps);
+
+/// --- Embeddings / regularization -------------------------------------------
+/// Gathers rows of `weight` ([V, D]) for each id; result is [ids.size(), D].
+Tensor EmbeddingLookup(const Tensor& weight, const std::vector<int64_t>& ids);
+/// Inverted dropout; identity when !training or p == 0.
+Tensor Dropout(const Tensor& x, float p, bool training, Rng& rng);
+
+/// --- Losses (mean-reduced scalars) -------------------------------------------
+/// Smooth L1 (Huber, beta = 1) of Eq. 17.
+Tensor SmoothL1Loss(const Tensor& pred, const Tensor& target);
+Tensor MseLoss(const Tensor& pred, const Tensor& target);
+Tensor MaeLoss(const Tensor& pred, const Tensor& target);
+/// Mean cross entropy for logits [B, V] against class ids (length B).
+Tensor CrossEntropyLoss(const Tensor& logits, const std::vector<int64_t>& ids);
+
+}  // namespace timekd::tensor
+
+#endif  // TIMEKD_TENSOR_OPS_H_

@@ -1,0 +1,323 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace timekd::tensor {
+
+int64_t NumElements(const Shape& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) {
+    TIMEKD_CHECK_GE(d, 0) << "negative dimension in " << ShapeToString(shape);
+    n *= d;
+  }
+  return n;
+}
+
+std::vector<int64_t> RowMajorStrides(const Shape& shape) {
+  std::vector<int64_t> strides(shape.size(), 1);
+  for (int64_t i = static_cast<int64_t>(shape.size()) - 2; i >= 0; --i) {
+    strides[i] = strides[i + 1] * shape[i + 1];
+  }
+  return strides;
+}
+
+std::string ShapeToString(const Shape& shape) {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << shape[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+bool BroadcastCompatible(const Shape& a, const Shape& b) {
+  const size_t n = std::max(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    const int64_t da = i < a.size() ? a[a.size() - 1 - i] : 1;
+    const int64_t db = i < b.size() ? b[b.size() - 1 - i] : 1;
+    if (da != db && da != 1 && db != 1) return false;
+  }
+  return true;
+}
+
+Shape BroadcastShape(const Shape& a, const Shape& b) {
+  TIMEKD_CHECK(BroadcastCompatible(a, b))
+      << ShapeToString(a) << " vs " << ShapeToString(b);
+  const size_t n = std::max(a.size(), b.size());
+  Shape out(n);
+  for (size_t i = 0; i < n; ++i) {
+    const int64_t da = i < a.size() ? a[a.size() - 1 - i] : 1;
+    const int64_t db = i < b.size() ? b[b.size() - 1 - i] : 1;
+    out[n - 1 - i] = std::max(da, db);
+  }
+  return out;
+}
+
+namespace {
+int64_t g_current_bytes = 0;
+int64_t g_peak_bytes = 0;
+}  // namespace
+
+int64_t CurrentMemoryBytes() { return g_current_bytes; }
+int64_t PeakMemoryBytes() { return g_peak_bytes; }
+void ResetPeakMemoryBytes() { g_peak_bytes = g_current_bytes; }
+
+namespace internal {
+
+namespace {
+thread_local bool g_grad_mode = true;
+}  // namespace
+
+bool GradModeEnabled() { return g_grad_mode; }
+void SetGradMode(bool enabled) { g_grad_mode = enabled; }
+
+void TrackMemoryDelta(int64_t delta_bytes) {
+  g_current_bytes += delta_bytes;
+  if (g_current_bytes > g_peak_bytes) g_peak_bytes = g_current_bytes;
+}
+
+Tensor MakeResult(Shape shape, std::vector<float> data,
+                  std::vector<Tensor> parents,
+                  std::function<void(TensorImpl&)> make_backward) {
+  TIMEKD_CHECK_EQ(static_cast<int64_t>(data.size()), NumElements(shape));
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = std::move(shape);
+  impl->data = std::move(data);
+  impl->UpdateMemoryTracking();
+
+  bool needs_grad = false;
+  if (GradModeEnabled()) {
+    for (const Tensor& p : parents) {
+      if (p.defined() && p.impl()->requires_grad) {
+        needs_grad = true;
+        break;
+      }
+    }
+  }
+  if (needs_grad) {
+    impl->requires_grad = true;
+    for (const Tensor& p : parents) {
+      if (p.defined()) impl->parents.push_back(p.impl());
+    }
+    TensorImpl* self = impl.get();
+    impl->backward_fn = [self, fn = std::move(make_backward)]() {
+      fn(*self);
+    };
+  }
+  return Tensor(std::move(impl));
+}
+
+}  // namespace internal
+
+Tensor Tensor::Zeros(const Shape& shape) {
+  auto impl = std::make_shared<internal::TensorImpl>();
+  impl->shape = shape;
+  impl->data.assign(NumElements(shape), 0.0f);
+  impl->UpdateMemoryTracking();
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::Ones(const Shape& shape) { return Full(shape, 1.0f); }
+
+Tensor Tensor::Full(const Shape& shape, float value) {
+  auto impl = std::make_shared<internal::TensorImpl>();
+  impl->shape = shape;
+  impl->data.assign(NumElements(shape), value);
+  impl->UpdateMemoryTracking();
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::FromVector(const Shape& shape, std::vector<float> values) {
+  TIMEKD_CHECK_EQ(static_cast<int64_t>(values.size()), NumElements(shape))
+      << "FromVector size mismatch for " << ShapeToString(shape);
+  auto impl = std::make_shared<internal::TensorImpl>();
+  impl->shape = shape;
+  impl->data = std::move(values);
+  impl->UpdateMemoryTracking();
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::Scalar(float value) { return Full({}, value); }
+
+Tensor Tensor::RandUniform(const Shape& shape, float lo, float hi, Rng& rng) {
+  auto impl = std::make_shared<internal::TensorImpl>();
+  impl->shape = shape;
+  impl->data.resize(NumElements(shape));
+  for (float& v : impl->data) {
+    v = static_cast<float>(rng.Uniform(lo, hi));
+  }
+  impl->UpdateMemoryTracking();
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::RandNormal(const Shape& shape, float mean, float stddev,
+                          Rng& rng) {
+  auto impl = std::make_shared<internal::TensorImpl>();
+  impl->shape = shape;
+  impl->data.resize(NumElements(shape));
+  for (float& v : impl->data) {
+    v = static_cast<float>(rng.Gaussian(mean, stddev));
+  }
+  impl->UpdateMemoryTracking();
+  return Tensor(std::move(impl));
+}
+
+const Shape& Tensor::shape() const {
+  TIMEKD_CHECK(defined());
+  return impl_->shape;
+}
+
+int64_t Tensor::dim() const {
+  return static_cast<int64_t>(shape().size());
+}
+
+int64_t Tensor::size(int64_t d) const {
+  const int64_t nd = dim();
+  if (d < 0) d += nd;
+  TIMEKD_CHECK(d >= 0 && d < nd)
+      << "dim " << d << " out of range for " << ShapeToString(shape());
+  return impl_->shape[static_cast<size_t>(d)];
+}
+
+int64_t Tensor::numel() const {
+  TIMEKD_CHECK(defined());
+  return static_cast<int64_t>(impl_->data.size());
+}
+
+float* Tensor::data() {
+  TIMEKD_CHECK(defined());
+  return impl_->data.data();
+}
+
+const float* Tensor::data() const {
+  TIMEKD_CHECK(defined());
+  return impl_->data.data();
+}
+
+float Tensor::item() const {
+  TIMEKD_CHECK_EQ(numel(), 1) << "item() on non-scalar " << ShapeToString(shape());
+  return impl_->data[0];
+}
+
+float Tensor::at(int64_t i) const {
+  TIMEKD_CHECK(i >= 0 && i < numel());
+  return impl_->data[static_cast<size_t>(i)];
+}
+
+bool Tensor::requires_grad() const {
+  return defined() && impl_->requires_grad;
+}
+
+Tensor& Tensor::set_requires_grad(bool value) {
+  TIMEKD_CHECK(defined());
+  TIMEKD_CHECK(!value || impl_->backward_fn == nullptr)
+      << "set_requires_grad only valid on leaf tensors";
+  impl_->requires_grad = value;
+  return *this;
+}
+
+namespace {
+
+/// Iterative post-order topological sort over the autograd DAG.
+void TopoSort(internal::TensorImpl* root,
+              std::vector<internal::TensorImpl*>* order) {
+  std::unordered_set<internal::TensorImpl*> visited;
+  struct Frame {
+    internal::TensorImpl* node;
+    size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({root, 0});
+  visited.insert(root);
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.next_parent < frame.node->parents.size()) {
+      internal::TensorImpl* parent =
+          frame.node->parents[frame.next_parent++].get();
+      if (visited.insert(parent).second) {
+        stack.push_back({parent, 0});
+      }
+    } else {
+      order->push_back(frame.node);
+      stack.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+void Tensor::Backward() {
+  TIMEKD_CHECK_EQ(numel(), 1)
+      << "Backward() without seed requires a scalar; use Backward(seed)";
+  Backward(std::vector<float>{1.0f});
+}
+
+void Tensor::Backward(const std::vector<float>& seed) {
+  TIMEKD_CHECK(defined());
+  TIMEKD_CHECK(impl_->requires_grad)
+      << "Backward() on a tensor that does not require grad";
+  TIMEKD_CHECK_EQ(static_cast<int64_t>(seed.size()), numel());
+
+  impl_->EnsureGrad();
+  for (size_t i = 0; i < seed.size(); ++i) impl_->grad[i] += seed[i];
+
+  std::vector<internal::TensorImpl*> order;
+  TopoSort(impl_.get(), &order);
+  // Post-order puts the root last; run backward root-first.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    internal::TensorImpl* node = *it;
+    if (node->backward_fn) {
+      node->EnsureGrad();
+      node->backward_fn();
+    }
+  }
+}
+
+const std::vector<float>& Tensor::grad() const {
+  TIMEKD_CHECK(defined());
+  return impl_->grad;
+}
+
+std::vector<float>& Tensor::mutable_grad() {
+  TIMEKD_CHECK(defined());
+  impl_->EnsureGrad();
+  return impl_->grad;
+}
+
+void Tensor::ZeroGrad() {
+  TIMEKD_CHECK(defined());
+  std::fill(impl_->grad.begin(), impl_->grad.end(), 0.0f);
+}
+
+Tensor Tensor::Detach() const {
+  TIMEKD_CHECK(defined());
+  auto impl = std::make_shared<internal::TensorImpl>();
+  impl->shape = impl_->shape;
+  impl->data = impl_->data;  // value copy, no history
+  impl->UpdateMemoryTracking();
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::Clone() const { return Detach(); }
+
+std::string Tensor::ToString() const {
+  if (!defined()) return "Tensor(undefined)";
+  std::ostringstream os;
+  os << "Tensor" << ShapeToString(impl_->shape) << " [";
+  const int64_t n = std::min<int64_t>(numel(), 8);
+  for (int64_t i = 0; i < n; ++i) {
+    if (i > 0) os << ", ";
+    os << impl_->data[static_cast<size_t>(i)];
+  }
+  if (numel() > n) os << ", ...";
+  os << "]";
+  return os.str();
+}
+
+}  // namespace timekd::tensor

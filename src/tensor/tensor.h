@@ -1,0 +1,184 @@
+#ifndef TIMEKD_TENSOR_TENSOR_H_
+#define TIMEKD_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace timekd::tensor {
+
+/// Row-major tensor shape; empty shape denotes a scalar.
+using Shape = std::vector<int64_t>;
+
+/// Number of elements described by `shape` (1 for scalars).
+int64_t NumElements(const Shape& shape);
+
+/// Row-major strides for `shape`.
+std::vector<int64_t> RowMajorStrides(const Shape& shape);
+
+/// Pretty "[2, 3, 4]" form for error messages.
+std::string ShapeToString(const Shape& shape);
+
+/// True when two shapes are broadcast-compatible under NumPy rules.
+bool BroadcastCompatible(const Shape& a, const Shape& b);
+
+/// The broadcast result shape of `a` and `b`. Requires compatibility.
+Shape BroadcastShape(const Shape& a, const Shape& b);
+
+/// Live tensor-storage accounting. `current` is the bytes held by all live
+/// TensorImpl data+grad buffers; `peak` is the high-water mark since the
+/// last ResetPeakMemoryBytes(). Used by the Table-IV efficiency bench as a
+/// measured (not estimated) memory figure.
+int64_t CurrentMemoryBytes();
+int64_t PeakMemoryBytes();
+void ResetPeakMemoryBytes();
+
+namespace internal {
+
+void TrackMemoryDelta(int64_t delta_bytes);
+
+/// Autograd node: owns the forward value, the (lazily allocated) gradient,
+/// the parent edges and the backward function that scatters the node's
+/// gradient into its parents' gradients.
+struct TensorImpl {
+  std::vector<float> data;
+  std::vector<float> grad;  // same size as data once EnsureGrad() ran
+  Shape shape;
+  bool requires_grad = false;
+  std::vector<std::shared_ptr<TensorImpl>> parents;
+  std::function<void()> backward_fn;  // null for leaves
+  int64_t tracked_bytes = 0;
+
+  ~TensorImpl() { TrackMemoryDelta(-tracked_bytes); }
+
+  /// Re-syncs the memory accounting with the current buffer sizes. Call
+  /// after (re)sizing data or grad.
+  void UpdateMemoryTracking() {
+    const int64_t now = static_cast<int64_t>(
+        (data.size() + grad.size()) * sizeof(float));
+    TrackMemoryDelta(now - tracked_bytes);
+    tracked_bytes = now;
+  }
+
+  void EnsureGrad() {
+    if (grad.size() != data.size()) {
+      grad.assign(data.size(), 0.0f);
+      UpdateMemoryTracking();
+    }
+  }
+};
+
+/// Thread-local flag: when false, ops do not record autograd edges.
+bool GradModeEnabled();
+void SetGradMode(bool enabled);
+
+}  // namespace internal
+
+/// RAII guard that disables gradient recording in its scope (like
+/// torch::NoGradGuard). Used for inference and frozen teacher passes.
+class NoGradGuard {
+ public:
+  NoGradGuard() : prev_(internal::GradModeEnabled()) {
+    internal::SetGradMode(false);
+  }
+  ~NoGradGuard() { internal::SetGradMode(prev_); }
+
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool prev_;
+};
+
+/// Value-semantic handle to an autograd node. Copies share storage, as in
+/// PyTorch. All ops are free functions in ops.h; Tensor itself only exposes
+/// storage access, gradient plumbing and factory functions.
+class Tensor {
+ public:
+  /// An empty (null) tensor. Most APIs require a non-null tensor.
+  Tensor() = default;
+
+  /// --- Factories -------------------------------------------------------
+
+  static Tensor Zeros(const Shape& shape);
+  static Tensor Ones(const Shape& shape);
+  static Tensor Full(const Shape& shape, float value);
+  /// Takes ownership of `values`; size must equal NumElements(shape).
+  static Tensor FromVector(const Shape& shape, std::vector<float> values);
+  /// Scalar tensor.
+  static Tensor Scalar(float value);
+  /// I.i.d. uniform in [lo, hi).
+  static Tensor RandUniform(const Shape& shape, float lo, float hi, Rng& rng);
+  /// I.i.d. normal(mean, stddev).
+  static Tensor RandNormal(const Shape& shape, float mean, float stddev,
+                           Rng& rng);
+
+  /// --- Introspection ---------------------------------------------------
+
+  bool defined() const { return impl_ != nullptr; }
+  const Shape& shape() const;
+  int64_t dim() const;
+  /// Size along dimension `d`; negative d counts from the end.
+  int64_t size(int64_t d) const;
+  int64_t numel() const;
+
+  float* data();
+  const float* data() const;
+  /// Value of a scalar (1-element) tensor.
+  float item() const;
+  /// Element at flat row-major index `i`.
+  float at(int64_t i) const;
+
+  /// --- Autograd --------------------------------------------------------
+
+  bool requires_grad() const;
+  /// Marks a leaf tensor as trainable. Returns *this for chaining.
+  Tensor& set_requires_grad(bool value);
+
+  /// Runs reverse-mode autodiff from this (scalar) tensor. Accumulates
+  /// gradients into every reachable leaf with requires_grad.
+  void Backward();
+  /// As Backward() but with an explicit seed gradient of this tensor's shape.
+  void Backward(const std::vector<float>& seed);
+
+  /// Gradient storage of a leaf (empty until Backward touched it).
+  const std::vector<float>& grad() const;
+  std::vector<float>& mutable_grad();
+  /// Sets accumulated gradient to zero (keeps allocation).
+  void ZeroGrad();
+
+  /// Returns a detached copy sharing no autograd history (fresh leaf).
+  Tensor Detach() const;
+  /// Deep copy of values into a new leaf tensor.
+  Tensor Clone() const;
+
+  /// Debug string with shape and the first few values.
+  std::string ToString() const;
+
+  /// Internal node access for op implementations.
+  const std::shared_ptr<internal::TensorImpl>& impl() const { return impl_; }
+  explicit Tensor(std::shared_ptr<internal::TensorImpl> impl)
+      : impl_(std::move(impl)) {}
+
+ private:
+  std::shared_ptr<internal::TensorImpl> impl_;
+};
+
+namespace internal {
+
+/// Creates a result node wired to `parents` with the given backward.
+/// When grad mode is off or no parent requires grad, the node is a plain
+/// leaf (no history).
+Tensor MakeResult(Shape shape, std::vector<float> data,
+                  std::vector<Tensor> parents,
+                  std::function<void(TensorImpl&)> make_backward);
+
+}  // namespace internal
+
+}  // namespace timekd::tensor
+
+#endif  // TIMEKD_TENSOR_TENSOR_H_

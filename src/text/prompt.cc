@@ -1,0 +1,152 @@
+#include "text/prompt.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace timekd::text {
+
+PromptBuilder::PromptBuilder(PromptOptions options)
+    : options_(options), vocab_(Vocab::BuildPromptVocab()) {
+  TIMEKD_CHECK_GE(options_.precision, 0);
+  TIMEKD_CHECK_GE(options_.stride, 1);
+}
+
+std::string PromptBuilder::FormatValue(float value) const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", options_.precision, value);
+  return buf;
+}
+
+float PromptBuilder::ParseValue(const std::string& s) {
+  return std::strtof(s.c_str(), nullptr);
+}
+
+namespace {
+
+/// Joins history values at the builder's precision: "1.5, 2.0, 3.5".
+std::string JoinValues(const PromptBuilder& builder,
+                       const std::vector<float>& values, int stride) {
+  std::ostringstream os;
+  bool first = true;
+  for (size_t i = 0; i < values.size(); i += static_cast<size_t>(stride)) {
+    if (!first) os << ", ";
+    os << builder.FormatValue(values[i]);
+    first = false;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string PromptBuilder::RenderHistoricalPrompt(
+    const PromptSpec& spec) const {
+  std::ostringstream os;
+  os << "From " << spec.t_start << " to " << spec.t_end << ", values were "
+     << JoinValues(*this, spec.history, options_.stride) << " every "
+     << spec.freq_minutes << " minutes. Forecast the next "
+     << spec.horizon * spec.freq_minutes << " minutes";
+  return os.str();
+}
+
+std::string PromptBuilder::RenderGroundTruthPrompt(
+    const PromptSpec& spec) const {
+  std::ostringstream os;
+  os << "From " << spec.t_start << " to " << spec.t_end << ", values were "
+     << JoinValues(*this, spec.history, options_.stride) << " every "
+     << spec.freq_minutes << " minutes. Next "
+     << spec.horizon * spec.freq_minutes << " minutes: "
+     << JoinValues(*this, spec.future, options_.stride);
+  return os.str();
+}
+
+void PromptBuilder::PushWord(const std::string& word,
+                             TokenizedPrompt* out) const {
+  out->ids.push_back(vocab_.IdOf(word));
+  out->modality.push_back(Modality::kText);
+}
+
+void PromptBuilder::PushInteger(int64_t value, Modality modality,
+                                TokenizedPrompt* out) const {
+  const std::string digits = std::to_string(value);
+  for (char c : digits) {
+    out->ids.push_back(vocab_.IdOf(std::string(1, c)));
+    out->modality.push_back(modality);
+  }
+}
+
+void PromptBuilder::PushValue(float value, TokenizedPrompt* out) const {
+  const std::string formatted = FormatValue(value);
+  for (char c : formatted) {
+    if (c == '.') {
+      out->ids.push_back(vocab_.IdOf("<dot>"));
+    } else {
+      out->ids.push_back(vocab_.IdOf(std::string(1, c)));
+    }
+    out->modality.push_back(Modality::kValue);
+  }
+}
+
+void PromptBuilder::TokenizeCommonPrefix(const PromptSpec& spec,
+                                         TokenizedPrompt* out) const {
+  out->ids.push_back(Vocab::kBosId);
+  out->modality.push_back(Modality::kText);
+  PushWord("from", out);
+  PushInteger(spec.t_start, Modality::kText, out);
+  PushWord("to", out);
+  PushInteger(spec.t_end, Modality::kText, out);
+  PushWord(",", out);
+  PushWord("values", out);
+  PushWord("were", out);
+  bool first = true;
+  for (size_t i = 0; i < spec.history.size();
+       i += static_cast<size_t>(options_.stride)) {
+    if (!first) PushWord(",", out);
+    PushValue(spec.history[i], out);
+    first = false;
+  }
+  PushWord("every", out);
+  PushInteger(spec.freq_minutes, Modality::kText, out);
+  PushWord("minutes", out);
+  PushWord(".", out);
+}
+
+TokenizedPrompt PromptBuilder::TokenizeHistoricalPrompt(
+    const PromptSpec& spec) const {
+  TokenizedPrompt out;
+  TokenizeCommonPrefix(spec, &out);
+  PushWord("forecast", &out);
+  PushWord("the", &out);
+  PushWord("next", &out);
+  PushInteger(spec.horizon * spec.freq_minutes, Modality::kText, &out);
+  PushWord("minutes", &out);
+  out.ids.push_back(Vocab::kEosId);
+  out.modality.push_back(Modality::kText);
+  return out;
+}
+
+TokenizedPrompt PromptBuilder::TokenizeGroundTruthPrompt(
+    const PromptSpec& spec) const {
+  TIMEKD_CHECK(!spec.future.empty())
+      << "ground-truth prompt needs future values";
+  TokenizedPrompt out;
+  TokenizeCommonPrefix(spec, &out);
+  PushWord("next", &out);
+  PushInteger(spec.horizon * spec.freq_minutes, Modality::kText, &out);
+  PushWord("minutes", &out);
+  PushWord(":", &out);
+  bool first = true;
+  for (size_t i = 0; i < spec.future.size();
+       i += static_cast<size_t>(options_.stride)) {
+    if (!first) PushWord(",", &out);
+    PushValue(spec.future[i], &out);
+    first = false;
+  }
+  out.ids.push_back(Vocab::kEosId);
+  out.modality.push_back(Modality::kText);
+  return out;
+}
+
+}  // namespace timekd::text

@@ -1,0 +1,92 @@
+#ifndef TIMEKD_TEXT_PROMPT_H_
+#define TIMEKD_TEXT_PROMPT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "text/vocab.h"
+
+namespace timekd::text {
+
+/// Modality of a prompt token: instruction/template text vs. a numeric
+/// time-series value piece. The calibrated attention mask (Eq. 5) penalizes
+/// attention between tokens of different modality.
+enum class Modality { kText = 0, kValue = 1 };
+
+/// A tokenized prompt: ids plus a parallel per-token modality tag.
+struct TokenizedPrompt {
+  std::vector<int64_t> ids;
+  std::vector<Modality> modality;
+
+  int64_t length() const { return static_cast<int64_t>(ids.size()); }
+};
+
+/// Inputs for rendering the Figure-2 templates for ONE variable.
+struct PromptSpec {
+  /// Start/end time-step indices of the historical window ([t-H+1, t]).
+  int64_t t_start = 0;
+  int64_t t_end = 0;
+  /// Sampling interval in minutes (<f> in the template).
+  int64_t freq_minutes = 60;
+  /// Forecast horizon in steps (<M>).
+  int64_t horizon = 0;
+  /// Historical values h_i..h_j for this variable.
+  std::vector<float> history;
+  /// Ground-truth future values g_i..g_j (used by the GT prompt only).
+  std::vector<float> future;
+};
+
+/// Rendering / tokenization options.
+struct PromptOptions {
+  /// Decimal places for values; smaller keeps token sequences shorter.
+  int precision = 1;
+  /// Include every `stride`-th history value (1 = all). The paper feeds
+  /// all 96 values; the small CPU profile strides to bound sequence length.
+  int stride = 1;
+};
+
+/// Builds the paper's two prompt templates (Figure 2) and tokenizes them
+/// with per-token modality tags.
+class PromptBuilder {
+ public:
+  explicit PromptBuilder(PromptOptions options = {});
+
+  /// "From <t-H+1> to <t>, values were <h_i, ..., h_j> every <f> minutes.
+  ///  Forecast the next <M> minutes"
+  std::string RenderHistoricalPrompt(const PromptSpec& spec) const;
+
+  /// "From <t-H+1> to <t>, values were <h_i, ..., h_j> every <f> minutes.
+  ///  Next <M> minutes: <g_i, ..., g_j>"
+  std::string RenderGroundTruthPrompt(const PromptSpec& spec) const;
+
+  /// Tokenized forms (ids + modality tags) of the two templates.
+  TokenizedPrompt TokenizeHistoricalPrompt(const PromptSpec& spec) const;
+  TokenizedPrompt TokenizeGroundTruthPrompt(const PromptSpec& spec) const;
+
+  const Vocab& vocab() const { return vocab_; }
+  const PromptOptions& options() const { return options_; }
+
+  /// Formats one value at the configured precision ("12.5", "-0.3").
+  std::string FormatValue(float value) const;
+
+  /// Parses a value formatted by FormatValue back (round-trip testing).
+  static float ParseValue(const std::string& s);
+
+ private:
+  /// Appends a word token (modality kText).
+  void PushWord(const std::string& word, TokenizedPrompt* out) const;
+  /// Appends an integer as digit tokens with the given modality.
+  void PushInteger(int64_t value, Modality modality, TokenizedPrompt* out) const;
+  /// Appends a formatted value as sign/digit/point tokens (kValue).
+  void PushValue(float value, TokenizedPrompt* out) const;
+  /// Shared prefix "from <a> to <b> , values were <h...> every <f> minutes ."
+  void TokenizeCommonPrefix(const PromptSpec& spec, TokenizedPrompt* out) const;
+
+  PromptOptions options_;
+  Vocab vocab_;
+};
+
+}  // namespace timekd::text
+
+#endif  // TIMEKD_TEXT_PROMPT_H_

@@ -1,0 +1,99 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+namespace timekd::text {
+
+namespace {
+
+bool IsNumeric(const std::string& word) {
+  bool digit_seen = false;
+  for (size_t i = 0; i < word.size(); ++i) {
+    const char c = word[i];
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      digit_seen = true;
+    } else if (c == '.' || (c == '-' && i == 0)) {
+      // allowed
+    } else {
+      return false;
+    }
+  }
+  return digit_seen;
+}
+
+std::string Lower(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+}  // namespace
+
+TokenizedPrompt Tokenizer::Encode(const std::string& text) const {
+  TokenizedPrompt out;
+  out.ids.push_back(Vocab::kBosId);
+  out.modality.push_back(Modality::kText);
+
+  size_t i = 0;
+  const size_t n = text.size();
+  while (i < n) {
+    while (i < n && std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+    if (i >= n) break;
+    size_t j = i;
+    while (j < n && !std::isspace(static_cast<unsigned char>(text[j]))) ++j;
+    std::string word = text.substr(i, j - i);
+    i = j;
+
+    // Split one trailing punctuation mark (",", ".", ":") off the word,
+    // but keep a '.' that is part of a numeric literal.
+    std::string trailing;
+    if (!word.empty()) {
+      const char last = word.back();
+      if (last == ',' || last == ':' ||
+          (last == '.' && !IsNumeric(word))) {
+        trailing = std::string(1, last);
+        word.pop_back();
+      }
+    }
+
+    if (!word.empty()) {
+      if (IsNumeric(word)) {
+        for (char c : word) {
+          out.ids.push_back(c == '.' ? vocab_.IdOf("<dot>")
+                                     : vocab_.IdOf(std::string(1, c)));
+          out.modality.push_back(Modality::kValue);
+        }
+      } else {
+        out.ids.push_back(vocab_.IdOf(Lower(word)));
+        out.modality.push_back(Modality::kText);
+      }
+    }
+    if (!trailing.empty()) {
+      out.ids.push_back(vocab_.IdOf(trailing));
+      out.modality.push_back(Modality::kText);
+    }
+  }
+  out.ids.push_back(Vocab::kEosId);
+  out.modality.push_back(Modality::kText);
+  return out;
+}
+
+std::string Tokenizer::Decode(const TokenizedPrompt& prompt) const {
+  std::string out;
+  bool prev_value = false;
+  for (size_t i = 0; i < prompt.ids.size(); ++i) {
+    const int64_t id = prompt.ids[i];
+    if (id == Vocab::kBosId || id == Vocab::kEosId || id == Vocab::kPadId) {
+      continue;
+    }
+    std::string tok = vocab_.TokenOf(id);
+    if (tok == "<dot>") tok = ".";
+    const bool is_value = prompt.modality[i] == Modality::kValue;
+    if (!out.empty() && !(is_value && prev_value)) out += " ";
+    out += tok;
+    prev_value = is_value;
+  }
+  return out;
+}
+
+}  // namespace timekd::text

@@ -1,0 +1,34 @@
+#ifndef TIMEKD_TEXT_TOKENIZER_H_
+#define TIMEKD_TEXT_TOKENIZER_H_
+
+#include <string>
+
+#include "text/prompt.h"
+#include "text/vocab.h"
+
+namespace timekd::text {
+
+/// Free-text tokenizer over the prompt vocabulary. Splits on whitespace,
+/// separates trailing punctuation, lower-cases words and breaks numeric
+/// literals into sign/digit/point pieces tagged Modality::kValue. Used for
+/// the synthetic pre-training corpus and as a user-facing utility; the
+/// prompt pipelines use PromptBuilder directly (no re-parsing).
+class Tokenizer {
+ public:
+  Tokenizer() : vocab_(Vocab::BuildPromptVocab()) {}
+
+  /// Encodes text into ids + modality tags. Unknown words map to [UNK].
+  TokenizedPrompt Encode(const std::string& text) const;
+
+  /// Inverse rendering: words separated by spaces, number pieces joined.
+  std::string Decode(const TokenizedPrompt& prompt) const;
+
+  const Vocab& vocab() const { return vocab_; }
+
+ private:
+  Vocab vocab_;
+};
+
+}  // namespace timekd::text
+
+#endif  // TIMEKD_TEXT_TOKENIZER_H_

@@ -1,0 +1,47 @@
+#include "text/vocab.h"
+
+#include "common/logging.h"
+
+namespace timekd::text {
+
+void Vocab::AddToken(const std::string& token) {
+  TIMEKD_CHECK(ids_.find(token) == ids_.end()) << "duplicate token " << token;
+  ids_.emplace(token, static_cast<int64_t>(tokens_.size()));
+  tokens_.push_back(token);
+}
+
+Vocab Vocab::BuildPromptVocab() {
+  Vocab v;
+  // Specials first so their ids match the constants.
+  v.AddToken("[PAD]");
+  v.AddToken("[BOS]");
+  v.AddToken("[EOS]");
+  v.AddToken("[UNK]");
+  // Template words of the Figure-2 prompts.
+  for (const char* w :
+       {"from", "to", "values", "were", "every", "minutes", "next",
+        "forecast", "the", "step", "hours", "days", ":", ",", "."}) {
+    v.AddToken(w);
+  }
+  // Number pieces: digits, sign, decimal point.
+  for (char c = '0'; c <= '9'; ++c) v.AddToken(std::string(1, c));
+  v.AddToken("-");
+  v.AddToken("<dot>");  // decimal point inside numbers (distinct from ".")
+  return v;
+}
+
+int64_t Vocab::IdOf(const std::string& token) const {
+  auto it = ids_.find(token);
+  return it == ids_.end() ? kUnkId : it->second;
+}
+
+bool Vocab::Contains(const std::string& token) const {
+  return ids_.find(token) != ids_.end();
+}
+
+const std::string& Vocab::TokenOf(int64_t id) const {
+  TIMEKD_CHECK(id >= 0 && id < size()) << "token id " << id;
+  return tokens_[static_cast<size_t>(id)];
+}
+
+}  // namespace timekd::text

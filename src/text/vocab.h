@@ -1,0 +1,44 @@
+#ifndef TIMEKD_TEXT_VOCAB_H_
+#define TIMEKD_TEXT_VOCAB_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace timekd::text {
+
+/// Fixed vocabulary for the paper's prompt templates (Figure 2). The
+/// template language is closed — a handful of instruction words plus
+/// digit-level number pieces — so an exact purpose-built vocabulary stands
+/// in for the HuggingFace tokenizers used with GPT-2/BERT/LLaMA.
+class Vocab {
+ public:
+  /// Ids of the special tokens, fixed across builds.
+  static constexpr int64_t kPadId = 0;
+  static constexpr int64_t kBosId = 1;
+  static constexpr int64_t kEosId = 2;
+  static constexpr int64_t kUnkId = 3;
+
+  /// The canonical prompt vocabulary: specials, template words,
+  /// punctuation, and digit/sign/point pieces for numbers.
+  static Vocab BuildPromptVocab();
+
+  /// Id of `token`, or kUnkId when not present.
+  int64_t IdOf(const std::string& token) const;
+  /// True when `token` is a known vocabulary entry.
+  bool Contains(const std::string& token) const;
+  /// Token string for `id`; requires 0 <= id < size().
+  const std::string& TokenOf(int64_t id) const;
+  int64_t size() const { return static_cast<int64_t>(tokens_.size()); }
+
+ private:
+  void AddToken(const std::string& token);
+
+  std::vector<std::string> tokens_;
+  std::unordered_map<std::string, int64_t> ids_;
+};
+
+}  // namespace timekd::text
+
+#endif  // TIMEKD_TEXT_VOCAB_H_

@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/itransformer.h"
+#include "baselines/llm_baselines.h"
+#include "baselines/patchtst.h"
+#include "baselines/timecma.h"
+#include "baselines/trainer.h"
+#include "data/datasets.h"
+#include "data/window_dataset.h"
+#include "tensor/ops.h"
+
+namespace timekd::baselines {
+namespace {
+
+using data::DatasetId;
+using data::WindowDataset;
+using tensor::Shape;
+using tensor::Tensor;
+
+BaselineConfig SmallConfig() {
+  BaselineConfig config;
+  config.num_variables = 3;
+  config.input_len = 16;
+  config.horizon = 8;
+  config.d_model = 16;
+  config.num_heads = 2;
+  config.encoder_layers = 1;
+  config.ffn_hidden = 32;
+  config.dropout = 0.0f;
+  config.patch_len = 8;
+  config.patch_stride = 4;
+  config.llm_d_model = 16;
+  config.llm_layers = 1;
+  config.llm_heads = 2;
+  config.llm_ffn = 32;
+  config.num_prototypes = 4;
+  config.prompt.stride = 4;
+  config.seed = 3;
+  return config;
+}
+
+WindowDataset SmallDataset(uint64_t seed = 50, int64_t length = 90) {
+  data::DatasetSpec spec = data::DefaultSpec(DatasetId::kEtth1, length);
+  spec.num_variables = 3;
+  spec.seed = seed;
+  data::TimeSeries ts = data::MakeDataset(spec);
+  data::StandardScaler scaler;
+  scaler.Fit(ts);
+  return WindowDataset(scaler.Transform(ts), 16, 8);
+}
+
+TEST(PatchingTest, NumPatchesFormula) {
+  EXPECT_EQ(NumPatches(16, 8, 4), 3);
+  EXPECT_EQ(NumPatches(96, 16, 8), 11);
+  EXPECT_EQ(NumPatches(8, 8, 4), 1);
+}
+
+TEST(PatchingTest, PatchValuesAreWindows) {
+  Tensor x = Tensor::FromVector({1, 8}, {0, 1, 2, 3, 4, 5, 6, 7});
+  Tensor patches = MakePatches(x, 4, 2);
+  EXPECT_EQ(patches.shape(), (Shape{1, 3, 4}));
+  // Patch 0: 0..3, patch 1: 2..5, patch 2: 4..7.
+  EXPECT_FLOAT_EQ(patches.at(0), 0.0f);
+  EXPECT_FLOAT_EQ(patches.at(4), 2.0f);
+  EXPECT_FLOAT_EQ(patches.at(8), 4.0f);
+  EXPECT_FLOAT_EQ(patches.at(11), 7.0f);
+}
+
+TEST(PatchingTest, GradientFlowsThroughPatches) {
+  Tensor x = Tensor::Ones({2, 8}).set_requires_grad(true);
+  tensor::Sum(MakePatches(x, 4, 2)).Backward();
+  // Overlapping elements appear in multiple patches; ends appear once.
+  EXPECT_FLOAT_EQ(x.grad()[0], 1.0f);
+  EXPECT_FLOAT_EQ(x.grad()[2], 2.0f);  // in patches 0 and 1
+  EXPECT_FLOAT_EQ(x.grad()[7], 1.0f);
+}
+
+class AllBaselinesSuite : public ::testing::TestWithParam<int> {
+ public:
+  static std::unique_ptr<ForecastModel> Make(int which) {
+    BaselineConfig config = SmallConfig();
+    switch (which) {
+      case 0:
+        return std::make_unique<ITransformer>(config);
+      case 1:
+        return std::make_unique<PatchTst>(config);
+      case 2:
+        return std::make_unique<Ofa>(config);
+      case 3:
+        return std::make_unique<TimeLlm>(config);
+      case 4:
+        return std::make_unique<UniTime>(config);
+      case 5:
+        return std::make_unique<TimeCma>(config);
+    }
+    return nullptr;
+  }
+};
+
+TEST_P(AllBaselinesSuite, ForwardShape) {
+  auto model = Make(GetParam());
+  Rng rng(60);
+  Tensor x = Tensor::RandNormal({2, 16, 3}, 0, 1, rng);
+  Tensor y = model->Forward(x);
+  EXPECT_EQ(y.shape(), (Shape{2, 8, 3})) << model->name();
+}
+
+TEST_P(AllBaselinesSuite, TrainingReducesLoss) {
+  auto model = Make(GetParam());
+  WindowDataset ds = SmallDataset();
+  BaselineTrainer trainer(model.get());
+  core::TrainConfig tc;
+  tc.epochs = 2;
+  tc.batch_size = 8;
+  tc.lr = 3e-3;
+  BaselineFitStats stats = trainer.Fit(ds, nullptr, tc);
+  ASSERT_EQ(stats.epochs.size(), 2u);
+  EXPECT_LT(stats.epochs[1].loss, stats.epochs[0].loss) << model->name();
+  EXPECT_TRUE(std::isfinite(stats.epochs[1].loss));
+}
+
+TEST_P(AllBaselinesSuite, TrainableParametersPositive) {
+  auto model = Make(GetParam());
+  int64_t trainable = 0;
+  for (const auto& p : model->Parameters()) {
+    if (p.requires_grad()) trainable += p.numel();
+  }
+  EXPECT_GT(trainable, 0) << model->name();
+}
+
+std::string BaselineCaseName(const ::testing::TestParamInfo<int>& info) {
+  static const char* const kNames[] = {"iTransformer", "PatchTST", "OFA",
+                                       "TimeLLM",      "UniTime",  "TimeCMA"};
+  return kNames[info.param];
+}
+
+INSTANTIATE_TEST_SUITE_P(Baselines, AllBaselinesSuite, ::testing::Range(0, 6),
+                         BaselineCaseName);
+
+TEST(OfaTest, AttentionAndFfnAreFrozen) {
+  Ofa ofa(SmallConfig());
+  int64_t frozen = 0;
+  int64_t trainable = 0;
+  for (const auto& [name, p] : ofa.NamedParameters()) {
+    if (p.requires_grad()) {
+      trainable += p.numel();
+      // Trainable params must not include attention or FFN weights.
+      EXPECT_EQ(name.find("attn.w"), std::string::npos) << name;
+      EXPECT_EQ(name.find("ffn.w"), std::string::npos) << name;
+    } else {
+      frozen += p.numel();
+    }
+  }
+  EXPECT_GT(frozen, 0);
+  EXPECT_GT(trainable, 0);
+  EXPECT_LT(trainable, frozen + trainable);
+}
+
+TEST(TimeLlmTest, BackboneFullyFrozen) {
+  TimeLlm model(SmallConfig());
+  for (const auto& [name, p] : model.NamedParameters()) {
+    if (name.rfind("backbone.", 0) == 0) {
+      EXPECT_FALSE(p.requires_grad()) << name;
+    }
+  }
+}
+
+TEST(TimeLlmTest, PrototypesAreTrainable) {
+  TimeLlm model(SmallConfig());
+  bool found = false;
+  for (const auto& [name, p] : model.NamedParameters()) {
+    if (name == "prototypes") {
+      found = true;
+      EXPECT_TRUE(p.requires_grad());
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(UniTimeTest, EverythingTrainable) {
+  UniTime model(SmallConfig());
+  for (const auto& [name, p] : model.NamedParameters()) {
+    EXPECT_TRUE(p.requires_grad()) << name;
+  }
+}
+
+TEST(TimeCmaTest, PromptCacheGrowsOncePerWindow) {
+  TimeCma model(SmallConfig());
+  Rng rng(61);
+  Tensor x = Tensor::RandNormal({2, 16, 3}, 0, 1, rng);
+  model.Forward(x);
+  const int64_t after_first = model.prompt_cache_size();
+  EXPECT_EQ(after_first, 2 * 3);  // one entry per (batch element, variable)
+  model.Forward(x);  // same windows -> no growth
+  EXPECT_EQ(model.prompt_cache_size(), after_first);
+  Tensor x2 = Tensor::RandNormal({1, 16, 3}, 0, 1, rng);
+  model.Forward(x2);
+  EXPECT_EQ(model.prompt_cache_size(), after_first + 3);
+}
+
+TEST(TimeCmaTest, LanguageModelFrozen) {
+  TimeCma model(SmallConfig());
+  for (const auto& [name, p] : model.NamedParameters()) {
+    if (name.rfind("language_model.", 0) == 0) {
+      EXPECT_FALSE(p.requires_grad()) << name;
+    }
+  }
+}
+
+TEST(TrainerTest, EvaluateMatchesManualMse) {
+  auto model = AllBaselinesSuite::Make(0);
+  WindowDataset ds = SmallDataset(62, 40);
+  Metrics m = EvaluateModel(*model, ds);
+  // Manual recomputation.
+  tensor::NoGradGuard no_grad;
+  double se = 0.0;
+  int64_t count = 0;
+  for (int64_t i = 0; i < ds.NumSamples(); ++i) {
+    auto batch = ds.GetBatch({i});
+    Tensor pred = model->Forward(batch.x);
+    for (int64_t j = 0; j < pred.numel(); ++j) {
+      const double d = pred.at(j) - batch.y.at(j);
+      se += d * d;
+    }
+    count += pred.numel();
+  }
+  // The reference loop subtracts in float before widening, so allow a
+  // small float-rounding gap.
+  EXPECT_NEAR(m.mse, se / count, 1e-6);
+}
+
+TEST(TrainerTest, BestValidationWeightsRestored) {
+  auto model = AllBaselinesSuite::Make(0);
+  WindowDataset train = SmallDataset(63, 80);
+  WindowDataset val = SmallDataset(64, 50);
+  BaselineTrainer trainer(model.get());
+  core::TrainConfig tc;
+  tc.epochs = 3;
+  tc.batch_size = 8;
+  BaselineFitStats stats = trainer.Fit(train, &val, tc);
+  ASSERT_GE(stats.best_epoch, 0);
+  // After Fit, evaluating on val must reproduce the best recorded MSE.
+  EXPECT_NEAR(trainer.Evaluate(val).mse, stats.best_val_mse, 1e-6);
+}
+
+}  // namespace
+}  // namespace timekd::baselines

@@ -1,0 +1,149 @@
+#include "cli/cli.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "data/time_series.h"
+
+namespace timekd::cli {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(CliTest, NoArgsPrintsUsage) {
+  std::ostringstream out;
+  EXPECT_EQ(RunCli({}, out), 2);
+  EXPECT_NE(out.str().find("usage:"), std::string::npos);
+}
+
+TEST(CliTest, UnknownCommandFails) {
+  std::ostringstream out;
+  EXPECT_EQ(RunCli({"frobnicate"}, out), 2);
+}
+
+TEST(CliTest, FlagParserRejectsDanglingFlag) {
+  std::ostringstream out;
+  EXPECT_EQ(RunCli({"train", "--data"}, out), 2);
+  EXPECT_NE(out.str().find("missing a value"), std::string::npos);
+}
+
+TEST(CliTest, FlagParserRejectsNonFlag) {
+  std::ostringstream out;
+  EXPECT_EQ(RunCli({"train", "data.csv"}, out), 2);
+}
+
+TEST(CliTest, GenerateDataWritesCsv) {
+  const std::string path = TempPath("cli_gen.csv");
+  std::ostringstream out;
+  EXPECT_EQ(RunCli({"generate-data", "--dataset", "ETTh1", "--length", "120",
+                    "--out", path, "--variables", "3"},
+                   out),
+            0);
+  auto loaded = data::TimeSeries::LoadCsv(path, 60);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_steps(), 120);
+  EXPECT_EQ(loaded->num_variables(), 3);
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, GenerateDataUnknownDatasetFails) {
+  std::ostringstream out;
+  EXPECT_EQ(RunCli({"generate-data", "--dataset", "NOPE", "--length", "10",
+                    "--out", TempPath("x.csv")},
+                   out),
+            2);
+  EXPECT_NE(out.str().find("unknown dataset"), std::string::npos);
+}
+
+TEST(CliTest, TrainRequiresData) {
+  std::ostringstream out;
+  EXPECT_EQ(RunCli({"train"}, out), 2);
+  EXPECT_NE(out.str().find("--data"), std::string::npos);
+}
+
+TEST(CliTest, FullTrainEvaluateForecastWorkflow) {
+  const std::string csv = TempPath("cli_series.csv");
+  const std::string student = TempPath("cli_student.bin");
+  const std::string forecast_csv = TempPath("cli_forecast.csv");
+
+  std::ostringstream out;
+  ASSERT_EQ(RunCli({"generate-data", "--dataset", "ETTh1", "--length", "200",
+                    "--out", csv, "--variables", "3"},
+                   out),
+            0);
+
+  std::ostringstream train_out;
+  ASSERT_EQ(RunCli({"train", "--data", csv, "--freq", "60", "--input", "12",
+                    "--horizon", "6", "--epochs", "2", "--dim", "8",
+                    "--llm-dim", "16", "--llm-layers", "1",
+                    "--prompt-stride", "6", "--student-out", student},
+                   train_out),
+            0)
+      << train_out.str();
+  EXPECT_NE(train_out.str().find("test MSE"), std::string::npos);
+  EXPECT_NE(train_out.str().find("student saved"), std::string::npos);
+
+  std::ostringstream eval_out;
+  ASSERT_EQ(RunCli({"evaluate", "--data", csv, "--freq", "60", "--input",
+                    "12", "--horizon", "6", "--dim", "8", "--llm-dim", "16",
+                    "--llm-layers", "1", "--student", student},
+                   eval_out),
+            0)
+      << eval_out.str();
+  EXPECT_NE(eval_out.str().find("test MSE"), std::string::npos);
+
+  std::ostringstream fc_out;
+  ASSERT_EQ(RunCli({"forecast", "--data", csv, "--freq", "60", "--input",
+                    "12", "--horizon", "6", "--dim", "8", "--llm-dim", "16",
+                    "--llm-layers", "1", "--student", student, "--out",
+                    forecast_csv},
+                   fc_out),
+            0)
+      << fc_out.str();
+  auto forecast = data::TimeSeries::LoadCsv(forecast_csv, 60);
+  ASSERT_TRUE(forecast.ok());
+  EXPECT_EQ(forecast->num_steps(), 6);
+  EXPECT_EQ(forecast->num_variables(), 3);
+
+  std::remove(csv.c_str());
+  std::remove(student.c_str());
+  std::remove(forecast_csv.c_str());
+}
+
+TEST(CliTest, EvaluateMissingStudentFileFails) {
+  const std::string csv = TempPath("cli_series2.csv");
+  std::ostringstream out;
+  ASSERT_EQ(RunCli({"generate-data", "--dataset", "ETTh1", "--length", "120",
+                    "--out", csv, "--variables", "2"},
+                   out),
+            0);
+  std::ostringstream eval_out;
+  EXPECT_EQ(RunCli({"evaluate", "--data", csv, "--student",
+                    TempPath("missing_student.bin")},
+                   eval_out),
+            1);
+  std::remove(csv.c_str());
+}
+
+TEST(CliTest, TrainOnTooShortSeriesFails) {
+  const std::string csv = TempPath("cli_short.csv");
+  std::ostringstream out;
+  ASSERT_EQ(RunCli({"generate-data", "--dataset", "ETTh1", "--length", "30",
+                    "--out", csv, "--variables", "2"},
+                   out),
+            0);
+  std::ostringstream train_out;
+  EXPECT_EQ(RunCli({"train", "--data", csv, "--input", "48", "--horizon",
+                    "24"},
+                   train_out),
+            1);
+  EXPECT_NE(train_out.str().find("too short"), std::string::npos);
+  std::remove(csv.c_str());
+}
+
+}  // namespace
+}  // namespace timekd::cli

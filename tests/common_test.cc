@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/env_config.h"
+#include "common/rng.h"
+#include "common/serialize.h"
+#include "common/status.h"
+
+namespace timekd {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad shape");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad shape");
+}
+
+TEST(StatusTest, AllCodesStringify) {
+  EXPECT_EQ(Status::NotFound("x").ToString(), "NOT_FOUND: x");
+  EXPECT_EQ(Status::IoError("x").ToString(), "IO_ERROR: x");
+  EXPECT_EQ(Status::OutOfRange("x").ToString(), "OUT_OF_RANGE: x");
+  EXPECT_EQ(Status::FailedPrecondition("x").ToString(),
+            "FAILED_PRECONDITION: x");
+  EXPECT_EQ(Status::Internal("x").ToString(), "INTERNAL: x");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v(Status::NotFound("missing"));
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+Status Inner(bool fail) {
+  if (fail) return Status::Internal("inner");
+  return Status::Ok();
+}
+
+Status Outer(bool fail) {
+  TIMEKD_RETURN_IF_ERROR(Inner(fail));
+  return Status::Ok();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(Outer(false).ok());
+  EXPECT_EQ(Outer(true).code(), StatusCode::kInternal);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(99);
+  Rng b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(-2.0, 5.0);
+    EXPECT_GE(u, -2.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(7);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(11);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, ReseedRestartsStream) {
+  Rng rng(5);
+  const uint64_t first = rng.NextU64();
+  rng.NextU64();
+  rng.Seed(5);
+  EXPECT_EQ(rng.NextU64(), first);
+}
+
+TEST(EnvConfigTest, FallbacksWhenUnset) {
+  unsetenv("TIMEKD_TEST_ENV_XYZ");
+  EXPECT_EQ(GetEnvString("TIMEKD_TEST_ENV_XYZ", "dft"), "dft");
+  EXPECT_EQ(GetEnvInt("TIMEKD_TEST_ENV_XYZ", 17), 17);
+  EXPECT_EQ(GetEnvDouble("TIMEKD_TEST_ENV_XYZ", 2.5), 2.5);
+}
+
+TEST(EnvConfigTest, ParsesValues) {
+  setenv("TIMEKD_TEST_ENV_XYZ", "41", 1);
+  EXPECT_EQ(GetEnvInt("TIMEKD_TEST_ENV_XYZ", 0), 41);
+  EXPECT_EQ(GetEnvString("TIMEKD_TEST_ENV_XYZ", ""), "41");
+  setenv("TIMEKD_TEST_ENV_XYZ", "1.75", 1);
+  EXPECT_EQ(GetEnvDouble("TIMEKD_TEST_ENV_XYZ", 0.0), 1.75);
+  unsetenv("TIMEKD_TEST_ENV_XYZ");
+}
+
+TEST(SerializeTest, RoundTripAllTypes) {
+  const std::string path = ::testing::TempDir() + "/serialize_rt.bin";
+  {
+    BinaryWriter writer(path);
+    ASSERT_TRUE(writer.ok());
+    writer.WriteU32(123u);
+    writer.WriteU64(1ULL << 40);
+    writer.WriteF32(3.25f);
+    writer.WriteString("hello world");
+    writer.WriteFloatVector({1.0f, -2.0f, 3.5f});
+    writer.WriteI64Vector({-7, 0, 9});
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  BinaryReader reader(path);
+  ASSERT_TRUE(reader.ok());
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  float f = 0;
+  std::string s;
+  std::vector<float> fv;
+  std::vector<int64_t> iv;
+  ASSERT_TRUE(reader.ReadU32(&u32).ok());
+  ASSERT_TRUE(reader.ReadU64(&u64).ok());
+  ASSERT_TRUE(reader.ReadF32(&f).ok());
+  ASSERT_TRUE(reader.ReadString(&s).ok());
+  ASSERT_TRUE(reader.ReadFloatVector(&fv).ok());
+  ASSERT_TRUE(reader.ReadI64Vector(&iv).ok());
+  EXPECT_EQ(u32, 123u);
+  EXPECT_EQ(u64, 1ULL << 40);
+  EXPECT_EQ(f, 3.25f);
+  EXPECT_EQ(s, "hello world");
+  EXPECT_EQ(fv, (std::vector<float>{1.0f, -2.0f, 3.5f}));
+  EXPECT_EQ(iv, (std::vector<int64_t>{-7, 0, 9}));
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, TruncatedInputReturnsOutOfRange) {
+  const std::string path = ::testing::TempDir() + "/serialize_trunc.bin";
+  {
+    BinaryWriter writer(path);
+    writer.WriteU32(1u);
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  BinaryReader reader(path);
+  uint64_t u64 = 0;
+  Status st = reader.ReadU64(&u64);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOutOfRange);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, EmptyVectorRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/serialize_empty.bin";
+  {
+    BinaryWriter writer(path);
+    writer.WriteFloatVector({});
+    writer.WriteString("");
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  BinaryReader reader(path);
+  std::vector<float> fv = {9.0f};
+  std::string s = "junk";
+  ASSERT_TRUE(reader.ReadFloatVector(&fv).ok());
+  ASSERT_TRUE(reader.ReadString(&s).ok());
+  EXPECT_TRUE(fv.empty());
+  EXPECT_TRUE(s.empty());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace timekd

@@ -1,0 +1,423 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/clm.h"
+#include "core/config.h"
+#include "core/distillation.h"
+#include "core/sca.h"
+#include "core/student.h"
+#include "core/teacher.h"
+#include "core/timekd.h"
+#include "data/datasets.h"
+#include "data/window_dataset.h"
+#include "tensor/ops.h"
+
+namespace timekd::core {
+namespace {
+
+using data::DatasetId;
+using data::WindowDataset;
+using tensor::Shape;
+using tensor::Sum;
+using tensor::Tensor;
+
+/// A small, fast config shared by the core tests.
+TimeKdConfig SmallConfig() {
+  TimeKdConfig config;
+  config.num_variables = 3;
+  config.input_len = 12;
+  config.horizon = 6;
+  config.freq_minutes = 60;
+  config.d_model = 16;
+  config.num_heads = 2;
+  config.encoder_layers = 1;
+  config.ffn_hidden = 32;
+  config.dropout = 0.0f;
+  config.llm.d_model = 16;
+  config.llm.num_layers = 1;
+  config.llm.num_heads = 2;
+  config.llm.ffn_hidden = 32;
+  config.prompt.stride = 3;
+  config.seed = 5;
+  return config;
+}
+
+WindowDataset SmallDataset(uint64_t seed = 42, int64_t length = 80) {
+  data::DatasetSpec spec = data::DefaultSpec(DatasetId::kEtth1, length);
+  spec.num_variables = 3;
+  spec.seed = seed;
+  data::TimeSeries ts = data::MakeDataset(spec);
+  data::StandardScaler scaler;
+  scaler.Fit(ts);
+  return WindowDataset(scaler.Transform(ts), 12, 6);
+}
+
+TEST(ScaTest, OutputShapeAdaptsLlmWidth) {
+  Rng rng(1);
+  SubtractiveCrossAttention sca(/*d_llm=*/24, /*d_model=*/8, 16, rng);
+  Tensor l_gt = Tensor::RandNormal({2, 5, 24}, 0, 1, rng);
+  Tensor l_hd = Tensor::RandNormal({2, 5, 24}, 0, 1, rng);
+  EXPECT_EQ(sca.Forward(l_gt, l_hd).shape(), (Shape{2, 5, 8}));
+}
+
+TEST(ScaTest, GradientsFlowToBothInputs) {
+  Rng rng(2);
+  SubtractiveCrossAttention sca(8, 8, 16, rng);
+  Tensor l_gt = Tensor::RandNormal({1, 3, 8}, 0, 1, rng).set_requires_grad(true);
+  Tensor l_hd = Tensor::RandNormal({1, 3, 8}, 0, 1, rng).set_requires_grad(true);
+  Sum(sca.Forward(l_gt, l_hd)).Backward();
+  double g_gt = 0.0;
+  double g_hd = 0.0;
+  for (float g : l_gt.grad()) g_gt += std::fabs(g);
+  for (float g : l_hd.grad()) g_hd += std::fabs(g);
+  EXPECT_GT(g_gt, 0.0);
+  EXPECT_GT(g_hd, 0.0);
+}
+
+TEST(ScaTest, RemovesSharedComponent) {
+  // When GT and HD are identical, the refined embedding should differ from
+  // the raw adapter output (the shared component is subtracted).
+  Rng rng(3);
+  SubtractiveCrossAttention sca(8, 8, 16, rng);
+  Tensor shared = Tensor::RandNormal({1, 4, 8}, 0, 1, rng);
+  Tensor out_same = sca.Forward(shared, shared);
+  Tensor zero_hd = Tensor::Zeros({1, 4, 8});
+  Tensor out_nohd = sca.Forward(shared, zero_hd);
+  float diff = 0.0f;
+  for (int64_t i = 0; i < out_same.numel(); ++i) {
+    diff += std::fabs(out_same.at(i) - out_nohd.at(i));
+  }
+  EXPECT_GT(diff, 1e-3f) << "HD content had no effect on subtraction";
+}
+
+TEST(DirectSubtractionTest, IdenticalInputsCancel) {
+  Rng rng(4);
+  DirectSubtraction direct(8, 6, rng);
+  Tensor x = Tensor::RandNormal({1, 3, 8}, 0, 1, rng);
+  Tensor out = direct.Forward(x, x);
+  for (int64_t i = 0; i < out.numel(); ++i) {
+    EXPECT_NEAR(out.at(i), 0.0f, 1e-5f);
+  }
+}
+
+TEST(ClmTest, EncodeSampleShapes) {
+  TimeKdConfig config = SmallConfig();
+  Clm clm(config);
+  WindowDataset ds = SmallDataset();
+  PromptEmbeddings e = clm.EncodeSample(ds, 0);
+  EXPECT_EQ(e.gt.shape(), (Shape{3, 16}));
+  EXPECT_EQ(e.hd.shape(), (Shape{3, 16}));
+  EXPECT_FALSE(e.gt.requires_grad()) << "CLM embeddings must be constants";
+}
+
+TEST(ClmTest, PrivilegedEmbeddingsDifferFromHistorical) {
+  TimeKdConfig config = SmallConfig();
+  Clm clm(config);
+  WindowDataset ds = SmallDataset();
+  PromptEmbeddings e = clm.EncodeSample(ds, 0);
+  float diff = 0.0f;
+  for (int64_t i = 0; i < e.gt.numel(); ++i) {
+    diff += std::fabs(e.gt.at(i) - e.hd.at(i));
+  }
+  EXPECT_GT(diff, 1e-4f);
+}
+
+TEST(ClmTest, WithoutPrivilegedInfoGtEqualsHd) {
+  TimeKdConfig config = SmallConfig();
+  config.use_privileged_info = false;
+  Clm clm(config);
+  WindowDataset ds = SmallDataset();
+  PromptEmbeddings e = clm.EncodeSample(ds, 0);
+  for (int64_t i = 0; i < e.gt.numel(); ++i) {
+    EXPECT_EQ(e.gt.at(i), e.hd.at(i));
+  }
+}
+
+TEST(ClmTest, WithoutClmUsesValueEncoder) {
+  TimeKdConfig config = SmallConfig();
+  config.use_clm = false;
+  Clm clm(config);
+  EXPECT_EQ(clm.language_model(), nullptr);
+  WindowDataset ds = SmallDataset();
+  PromptEmbeddings e = clm.EncodeSample(ds, 0);
+  EXPECT_EQ(e.gt.shape(), (Shape{3, 16}));
+}
+
+TEST(ClmTest, DifferentVariablesGetDifferentEmbeddings) {
+  TimeKdConfig config = SmallConfig();
+  Clm clm(config);
+  WindowDataset ds = SmallDataset();
+  PromptEmbeddings e = clm.EncodeSample(ds, 0);
+  float diff = 0.0f;
+  for (int64_t j = 0; j < 16; ++j) {
+    diff += std::fabs(e.gt.at(j) - e.gt.at(16 + j));
+  }
+  EXPECT_GT(diff, 1e-4f);
+}
+
+TEST(EmbeddingCacheTest, PutGetRoundTrip) {
+  EmbeddingCache cache;
+  EXPECT_FALSE(cache.Contains(3));
+  PromptEmbeddings e;
+  Rng rng(5);
+  e.gt = Tensor::RandNormal({2, 4}, 0, 1, rng);
+  e.hd = Tensor::RandNormal({2, 4}, 0, 1, rng);
+  cache.Put(3, e);
+  ASSERT_TRUE(cache.Contains(3));
+  PromptEmbeddings back = cache.Get(3);
+  for (int64_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(back.gt.at(i), e.gt.at(i));
+    EXPECT_EQ(back.hd.at(i), e.hd.at(i));
+  }
+  EXPECT_EQ(cache.size(), 1);
+}
+
+TEST(EmbeddingCacheTest, SaveLoadRoundTrip) {
+  EmbeddingCache cache;
+  Rng rng(6);
+  for (int64_t s = 0; s < 5; ++s) {
+    PromptEmbeddings e;
+    e.gt = Tensor::RandNormal({3, 4}, 0, 1, rng);
+    e.hd = Tensor::RandNormal({3, 4}, 0, 1, rng);
+    cache.Put(s, e);
+  }
+  const std::string path = ::testing::TempDir() + "/emb_cache.bin";
+  ASSERT_TRUE(cache.Save(path).ok());
+  EmbeddingCache restored;
+  ASSERT_TRUE(restored.Load(path).ok());
+  EXPECT_EQ(restored.size(), 5);
+  PromptEmbeddings a = cache.Get(2);
+  PromptEmbeddings b = restored.Get(2);
+  for (int64_t i = 0; i < a.gt.numel(); ++i) {
+    EXPECT_EQ(a.gt.at(i), b.gt.at(i));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TeacherTest, OutputShapes) {
+  TimeKdConfig config = SmallConfig();
+  TimeKdTeacher teacher(config);
+  Rng rng(7);
+  Tensor l_gt = Tensor::RandNormal({2, 3, 16}, 0, 1, rng);
+  Tensor l_hd = Tensor::RandNormal({2, 3, 16}, 0, 1, rng);
+  TimeKdTeacher::Output out = teacher.Forward(l_gt, l_hd);
+  EXPECT_EQ(out.reconstruction.shape(), (Shape{2, 6, 3}));
+  EXPECT_EQ(out.embeddings.shape(), (Shape{2, 3, 16}));
+  EXPECT_EQ(out.attention.shape(), (Shape{2, 3, 3}));
+}
+
+TEST(TeacherTest, AttentionRowsAreDistributions) {
+  TimeKdConfig config = SmallConfig();
+  TimeKdTeacher teacher(config);
+  Rng rng(8);
+  Tensor l = Tensor::RandNormal({1, 3, 16}, 0, 1, rng);
+  TimeKdTeacher::Output out = teacher.Forward(l, l);
+  for (int64_t i = 0; i < 3; ++i) {
+    float row = 0.0f;
+    for (int64_t j = 0; j < 3; ++j) row += out.attention.at(i * 3 + j);
+    EXPECT_NEAR(row, 1.0f, 1e-4f);
+  }
+}
+
+TEST(TeacherTest, WithoutScaVariantRuns) {
+  TimeKdConfig config = SmallConfig();
+  config.use_sca = false;
+  TimeKdTeacher teacher(config);
+  Rng rng(9);
+  Tensor l = Tensor::RandNormal({1, 3, 16}, 0, 1, rng);
+  EXPECT_EQ(teacher.Forward(l, l).reconstruction.shape(), (Shape{1, 6, 3}));
+}
+
+TEST(StudentTest, OutputShapes) {
+  TimeKdConfig config = SmallConfig();
+  StudentModel student(config);
+  Rng rng(10);
+  Tensor x = Tensor::RandNormal({4, 12, 3}, 0, 1, rng);
+  StudentModel::Output out = student.Forward(x);
+  EXPECT_EQ(out.forecast.shape(), (Shape{4, 6, 3}));
+  EXPECT_EQ(out.embeddings.shape(), (Shape{4, 3, 16}));
+  EXPECT_EQ(out.attention.shape(), (Shape{4, 3, 3}));
+}
+
+TEST(StudentTest, ForecastTracksInputScale) {
+  // RevIN: shifting the input by a constant shifts the forecast likewise.
+  TimeKdConfig config = SmallConfig();
+  StudentModel student(config);
+  student.SetTraining(false);
+  Rng rng(11);
+  Tensor x = Tensor::RandNormal({1, 12, 3}, 0, 1, rng);
+  tensor::NoGradGuard no_grad;
+  Tensor base = student.Predict(x);
+  Tensor shifted_in = tensor::AddScalar(x, 100.0f);
+  Tensor shifted_out = student.Predict(shifted_in);
+  for (int64_t i = 0; i < base.numel(); ++i) {
+    EXPECT_NEAR(shifted_out.at(i) - base.at(i), 100.0f, 0.3f);
+  }
+}
+
+TEST(DistillationTest, IdenticalTensorsGiveZeroLoss) {
+  Rng rng(12);
+  Tensor a = Tensor::RandNormal({2, 3, 3}, 0, 1, rng);
+  EXPECT_NEAR(CorrelationDistillationLoss(a, a.Clone()).item(), 0.0f, 1e-7f);
+  Tensor e = Tensor::RandNormal({2, 3, 8}, 0, 1, rng);
+  EXPECT_NEAR(FeatureDistillationLoss(e, e.Clone()).item(), 0.0f, 1e-7f);
+}
+
+TEST(DistillationTest, AblationsDisableTerms) {
+  Rng rng(13);
+  Tensor ta = Tensor::RandNormal({1, 3, 3}, 0, 1, rng);
+  Tensor sa = Tensor::RandNormal({1, 3, 3}, 0, 1, rng);
+  Tensor te = Tensor::RandNormal({1, 3, 8}, 0, 1, rng);
+  Tensor se = Tensor::RandNormal({1, 3, 8}, 0, 1, rng);
+
+  TimeKdConfig config = SmallConfig();
+  config.use_correlation_distillation = false;
+  PkdLossTerms no_cd = ComputePkdLoss(config, ta, sa, te, se);
+  EXPECT_FALSE(no_cd.correlation.defined());
+  EXPECT_TRUE(no_cd.feature.defined());
+
+  config.use_correlation_distillation = true;
+  config.use_feature_distillation = false;
+  PkdLossTerms no_fd = ComputePkdLoss(config, ta, sa, te, se);
+  EXPECT_TRUE(no_fd.correlation.defined());
+  EXPECT_FALSE(no_fd.feature.defined());
+}
+
+TEST(DistillationTest, GradientFlowsToStudentNotTeacher) {
+  Rng rng(14);
+  Tensor ta = Tensor::RandNormal({1, 2, 2}, 0, 1, rng).set_requires_grad(true);
+  Tensor sa = Tensor::RandNormal({1, 2, 2}, 0, 1, rng).set_requires_grad(true);
+  Tensor te = Tensor::RandNormal({1, 2, 4}, 0, 1, rng).set_requires_grad(true);
+  Tensor se = Tensor::RandNormal({1, 2, 4}, 0, 1, rng).set_requires_grad(true);
+  TimeKdConfig config = SmallConfig();
+  PkdLossTerms pkd = ComputePkdLoss(config, ta, sa, te, se);
+  pkd.total.Backward();
+  double g_student = 0.0;
+  for (float g : sa.grad()) g_student += std::fabs(g);
+  for (float g : se.grad()) g_student += std::fabs(g);
+  EXPECT_GT(g_student, 0.0);
+  EXPECT_TRUE(ta.grad().empty());
+  EXPECT_TRUE(te.grad().empty());
+}
+
+TEST(DistillationTest, WeightsScaleTotal) {
+  Rng rng(15);
+  Tensor ta = Tensor::RandNormal({1, 2, 2}, 0, 1, rng);
+  Tensor sa = Tensor::RandNormal({1, 2, 2}, 0, 1, rng);
+  Tensor te = Tensor::RandNormal({1, 2, 4}, 0, 1, rng);
+  Tensor se = Tensor::RandNormal({1, 2, 4}, 0, 1, rng);
+  TimeKdConfig config = SmallConfig();
+  config.lambda_cd = 2.0f;
+  config.lambda_fd = 0.5f;
+  PkdLossTerms pkd = ComputePkdLoss(config, ta, sa, te, se);
+  EXPECT_NEAR(pkd.total.item(),
+              2.0f * pkd.correlation.item() + 0.5f * pkd.feature.item(),
+              1e-5f);
+}
+
+TEST(TimeKdTest, WarmCacheCoversAllSamples) {
+  TimeKd model(SmallConfig());
+  WindowDataset ds = SmallDataset(43, 40);
+  model.WarmCache(ds);
+  EXPECT_EQ(model.cache().size(), ds.NumSamples());
+}
+
+TEST(TimeKdTest, PredictShapeAndDeterminism) {
+  TimeKd model(SmallConfig());
+  Rng rng(16);
+  Tensor x = Tensor::RandNormal({2, 12, 3}, 0, 1, rng);
+  Tensor a = model.Predict(x);
+  Tensor b = model.Predict(x);
+  EXPECT_EQ(a.shape(), (Shape{2, 6, 3}));
+  for (int64_t i = 0; i < a.numel(); ++i) EXPECT_EQ(a.at(i), b.at(i));
+}
+
+TEST(TimeKdTest, FitReducesLossAndBeatsInit) {
+  TimeKd model(SmallConfig());
+  WindowDataset train = SmallDataset(44, 120);
+  WindowDataset test = SmallDataset(44, 120);
+  TimeKd::Metrics before = model.Evaluate(test);
+  TrainConfig tc;
+  tc.epochs = 3;
+  tc.batch_size = 8;
+  tc.lr = 3e-3;
+  FitStats stats = model.Fit(train, nullptr, tc);
+  // Two phases: 3 teacher epochs (Algorithm 1) + 3 student epochs.
+  ASSERT_EQ(stats.epochs.size(), 6u);
+  EXPECT_LT(stats.epochs[2].recon_loss, stats.epochs[0].recon_loss)
+      << "teacher reconstruction did not improve";
+  EXPECT_LT(stats.epochs[5].fcst_loss, stats.epochs[3].fcst_loss)
+      << "student forecasting did not improve";
+  TimeKd::Metrics after = model.Evaluate(test);
+  EXPECT_LT(after.mse, before.mse);
+}
+
+TEST(TimeKdTest, ValidationTracksBestEpoch) {
+  TimeKd model(SmallConfig());
+  WindowDataset train = SmallDataset(45, 100);
+  WindowDataset val = SmallDataset(46, 60);
+  TrainConfig tc;
+  tc.epochs = 2;
+  tc.batch_size = 8;
+  FitStats stats = model.Fit(train, &val, tc);
+  EXPECT_GE(stats.best_epoch, 0);
+  EXPECT_LT(stats.best_val_mse, 1e9);
+  // Teacher epochs carry no validation; student epochs do.
+  EXPECT_TRUE(std::isnan(stats.epochs.front().val_mse));
+  EXPECT_FALSE(std::isnan(stats.epochs.back().val_mse));
+}
+
+TEST(TimeKdTest, TrainableParametersExcludeFrozenClm) {
+  TimeKdConfig config = SmallConfig();
+  TimeKd model(config);
+  const int64_t trainable = model.TrainableParameters();
+  EXPECT_GT(trainable, 0);
+  // The frozen CLM is larger than zero but not counted.
+  EXPECT_GT(model.clm().NumParameters(), 0);
+  EXPECT_EQ(trainable,
+            model.teacher().NumParameters() + model.student().NumParameters());
+}
+
+TEST(TimeKdTest, SaveLoadStudentPreservesPredictions) {
+  TimeKdConfig config = SmallConfig();
+  TimeKd a(config);
+  config.seed = 999;  // different init
+  TimeKd b(config);
+  Rng rng(17);
+  Tensor x = Tensor::RandNormal({1, 12, 3}, 0, 1, rng);
+  const std::string path = ::testing::TempDir() + "/student.bin";
+  ASSERT_TRUE(a.SaveStudent(path).ok());
+  ASSERT_TRUE(b.LoadStudent(path).ok());
+  Tensor ya = a.Predict(x);
+  Tensor yb = b.Predict(x);
+  for (int64_t i = 0; i < ya.numel(); ++i) EXPECT_EQ(ya.at(i), yb.at(i));
+  std::remove(path.c_str());
+}
+
+TEST(TimeKdTest, AllAblationVariantsTrain) {
+  WindowDataset train = SmallDataset(48, 60);
+  for (int variant = 0; variant < 6; ++variant) {
+    TimeKdConfig config = SmallConfig();
+    switch (variant) {
+      case 0: config.use_privileged_info = false; break;
+      case 1: config.use_calibrated_attention = false; break;
+      case 2: config.use_clm = false; break;
+      case 3: config.use_sca = false; break;
+      case 4: config.use_correlation_distillation = false; break;
+      case 5: config.use_feature_distillation = false; break;
+    }
+    TimeKd model(config);
+    TrainConfig tc;
+    tc.epochs = 1;
+    tc.batch_size = 8;
+    FitStats stats = model.Fit(train, nullptr, tc);
+    EXPECT_GT(stats.steps, 0) << "variant " << variant;
+    EXPECT_TRUE(std::isfinite(stats.epochs[0].total_loss))
+        << "variant " << variant;
+  }
+}
+
+}  // namespace
+}  // namespace timekd::core

@@ -1,0 +1,323 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/rng.h"
+#include "data/datasets.h"
+#include "data/time_series.h"
+#include "data/window_dataset.h"
+
+namespace timekd::data {
+namespace {
+
+using tensor::Shape;
+
+TEST(TimeSeriesTest, ConstructionAndAccess) {
+  TimeSeries ts(10, 3, 15);
+  EXPECT_EQ(ts.num_steps(), 10);
+  EXPECT_EQ(ts.num_variables(), 3);
+  EXPECT_EQ(ts.freq_minutes(), 15);
+  ts.set(4, 2, 7.5f);
+  EXPECT_FLOAT_EQ(ts.at(4, 2), 7.5f);
+  EXPECT_FLOAT_EQ(ts.at(0, 0), 0.0f);
+}
+
+TEST(TimeSeriesTest, VariableSlice) {
+  TimeSeries ts(5, 2, 60);
+  for (int64_t t = 0; t < 5; ++t) ts.set(t, 1, static_cast<float>(t));
+  const auto slice = ts.VariableSlice(1, 1, 4);
+  EXPECT_EQ(slice, (std::vector<float>{1.0f, 2.0f, 3.0f}));
+}
+
+TEST(TimeSeriesTest, RowRange) {
+  TimeSeries ts(6, 2, 60);
+  for (int64_t t = 0; t < 6; ++t) ts.set(t, 0, static_cast<float>(t * 10));
+  TimeSeries sub = ts.RowRange(2, 5);
+  EXPECT_EQ(sub.num_steps(), 3);
+  EXPECT_FLOAT_EQ(sub.at(0, 0), 20.0f);
+  EXPECT_FLOAT_EQ(sub.at(2, 0), 40.0f);
+}
+
+TEST(TimeSeriesTest, CsvRoundTrip) {
+  TimeSeries ts(4, 2, 30);
+  ts.set_variable_names({"load", "temp"});
+  Rng rng(1);
+  for (int64_t t = 0; t < 4; ++t) {
+    for (int64_t n = 0; n < 2; ++n) {
+      ts.set(t, n, static_cast<float>(rng.Uniform(-5, 5)));
+    }
+  }
+  const std::string path = ::testing::TempDir() + "/ts_rt.csv";
+  ASSERT_TRUE(ts.SaveCsv(path).ok());
+  auto loaded = TimeSeries::LoadCsv(path, 30);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_steps(), 4);
+  EXPECT_EQ(loaded->num_variables(), 2);
+  EXPECT_EQ(loaded->variable_names()[0], "load");
+  for (int64_t t = 0; t < 4; ++t) {
+    for (int64_t n = 0; n < 2; ++n) {
+      EXPECT_NEAR(loaded->at(t, n), ts.at(t, n), 1e-4f);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TimeSeriesTest, LoadCsvMissingFileFails) {
+  auto result = TimeSeries::LoadCsv("/nonexistent/path.csv", 60);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+TEST(ChronologicalSplitTest, PreservesOrderAndCoverage) {
+  TimeSeries ts(100, 1, 60);
+  for (int64_t t = 0; t < 100; ++t) ts.set(t, 0, static_cast<float>(t));
+  DataSplits splits = ChronologicalSplit(ts, {0.7, 0.1});
+  EXPECT_EQ(splits.train.num_steps(), 70);
+  EXPECT_EQ(splits.val.num_steps(), 10);
+  EXPECT_EQ(splits.test.num_steps(), 20);
+  EXPECT_FLOAT_EQ(splits.train.at(69, 0), 69.0f);
+  EXPECT_FLOAT_EQ(splits.val.at(0, 0), 70.0f);
+  EXPECT_FLOAT_EQ(splits.test.at(0, 0), 80.0f);
+}
+
+TEST(StandardScalerTest, TransformNormalizes) {
+  Rng rng(2);
+  TimeSeries ts(500, 2, 60);
+  for (int64_t t = 0; t < 500; ++t) {
+    ts.set(t, 0, static_cast<float>(rng.Gaussian(10.0, 3.0)));
+    ts.set(t, 1, static_cast<float>(rng.Gaussian(-5.0, 0.5)));
+  }
+  StandardScaler scaler;
+  scaler.Fit(ts);
+  TimeSeries norm = scaler.Transform(ts);
+  for (int64_t j = 0; j < 2; ++j) {
+    double mean = 0.0;
+    for (int64_t t = 0; t < 500; ++t) mean += norm.at(t, j);
+    EXPECT_NEAR(mean / 500.0, 0.0, 1e-4);
+  }
+}
+
+TEST(StandardScalerTest, InverseTransformRestores) {
+  Rng rng(3);
+  TimeSeries ts(50, 2, 60);
+  for (int64_t t = 0; t < 50; ++t) {
+    ts.set(t, 0, static_cast<float>(rng.Uniform(0, 100)));
+    ts.set(t, 1, static_cast<float>(rng.Uniform(-1, 1)));
+  }
+  StandardScaler scaler;
+  scaler.Fit(ts);
+  TimeSeries round = scaler.InverseTransform(scaler.Transform(ts));
+  for (int64_t t = 0; t < 50; ++t) {
+    EXPECT_NEAR(round.at(t, 0), ts.at(t, 0), 1e-2f);
+    EXPECT_NEAR(round.at(t, 1), ts.at(t, 1), 1e-4f);
+  }
+}
+
+TEST(DatasetsTest, PaperFaithfulMetadata) {
+  EXPECT_EQ(DatasetNumVariables(DatasetId::kEttm1), 7);
+  EXPECT_EQ(DatasetNumVariables(DatasetId::kWeather), 21);
+  EXPECT_EQ(DatasetNumVariables(DatasetId::kExchange), 8);
+  EXPECT_EQ(DatasetNumVariables(DatasetId::kPems04), 307);
+  EXPECT_EQ(DatasetNumVariables(DatasetId::kPems08), 170);
+  EXPECT_EQ(DatasetFreqMinutes(DatasetId::kEttm2), 15);
+  EXPECT_EQ(DatasetFreqMinutes(DatasetId::kEtth1), 60);
+  EXPECT_EQ(DatasetFreqMinutes(DatasetId::kWeather), 10);
+  EXPECT_EQ(DatasetFreqMinutes(DatasetId::kExchange), 1440);
+  EXPECT_EQ(DatasetFreqMinutes(DatasetId::kPems08), 5);
+}
+
+TEST(DatasetsTest, MakeDatasetShapes) {
+  DatasetSpec spec = DefaultSpec(DatasetId::kEttm1, 300);
+  TimeSeries ts = MakeDataset(spec);
+  EXPECT_EQ(ts.num_steps(), 300);
+  EXPECT_EQ(ts.num_variables(), 7);
+  EXPECT_EQ(ts.freq_minutes(), 15);
+  EXPECT_EQ(ts.variable_names()[6], "OT");
+}
+
+TEST(DatasetsTest, DeterministicInSeed) {
+  DatasetSpec spec = DefaultSpec(DatasetId::kEtth1, 100);
+  TimeSeries a = MakeDataset(spec);
+  TimeSeries b = MakeDataset(spec);
+  for (int64_t t = 0; t < 100; ++t) {
+    EXPECT_EQ(a.at(t, 0), b.at(t, 0));
+  }
+  spec.seed += 1;
+  TimeSeries c = MakeDataset(spec);
+  int differs = 0;
+  for (int64_t t = 0; t < 100; ++t) differs += a.at(t, 0) != c.at(t, 0);
+  EXPECT_GT(differs, 50);
+}
+
+TEST(DatasetsTest, VariableOverrideShrinksPems) {
+  DatasetSpec spec = DefaultSpec(DatasetId::kPems04, 100);
+  spec.num_variables = 12;
+  TimeSeries ts = MakeDataset(spec);
+  EXPECT_EQ(ts.num_variables(), 12);
+}
+
+TEST(DatasetsTest, PemsIsNonNegative) {
+  DatasetSpec spec = DefaultSpec(DatasetId::kPems08, 600);
+  spec.num_variables = 8;
+  TimeSeries ts = MakeDataset(spec);
+  for (int64_t t = 0; t < ts.num_steps(); ++t) {
+    for (int64_t n = 0; n < ts.num_variables(); ++n) {
+      EXPECT_GE(ts.at(t, n), 0.0f);
+    }
+  }
+}
+
+TEST(DatasetsTest, EttHasDailyPeriodicity) {
+  // Autocorrelation at one day lag should be clearly positive.
+  DatasetSpec spec = DefaultSpec(DatasetId::kEtth1, 24 * 30);
+  TimeSeries ts = MakeDataset(spec);
+  const int64_t lag = 24;  // hourly data -> 24 steps per day
+  double num = 0.0;
+  double den = 0.0;
+  double mean = 0.0;
+  const int64_t t_total = ts.num_steps();
+  for (int64_t t = 0; t < t_total; ++t) mean += ts.at(t, 0);
+  mean /= static_cast<double>(t_total);
+  for (int64_t t = 0; t + lag < t_total; ++t) {
+    num += (ts.at(t, 0) - mean) * (ts.at(t + lag, 0) - mean);
+  }
+  for (int64_t t = 0; t < t_total; ++t) {
+    const double d = ts.at(t, 0) - mean;
+    den += d * d;
+  }
+  EXPECT_GT(num / den, 0.25) << "no daily cycle detected";
+}
+
+TEST(DatasetsTest, ExchangeIsLessSeasonalThanEtt) {
+  // Seasonality strength: R^2 of regressing a channel onto the daily
+  // sin/cos harmonic. ETT has a material daily cycle; the random-walk
+  // Exchange series does not.
+  auto daily_r2 = [](const TimeSeries& ts, double steps_per_day) {
+    const int64_t t_total = ts.num_steps();
+    double mean = 0.0;
+    for (int64_t t = 0; t < t_total; ++t) mean += ts.at(t, 0);
+    mean /= static_cast<double>(t_total);
+    // Project onto the orthogonal sin/cos pair.
+    double cs = 0.0;
+    double cc = 0.0;
+    double var = 0.0;
+    for (int64_t t = 0; t < t_total; ++t) {
+      const double phase = 2.0 * 3.14159265358979 * t / steps_per_day;
+      const double d = ts.at(t, 0) - mean;
+      cs += d * std::sin(phase);
+      cc += d * std::cos(phase);
+      var += d * d;
+    }
+    const double half = t_total / 2.0;
+    const double explained =
+        (cs * cs + cc * cc) / half;  // energy captured by the harmonic
+    return explained / var;
+  };
+  TimeSeries ett = MakeDataset(DefaultSpec(DatasetId::kEtth1, 24 * 30));
+  TimeSeries fx = MakeDataset(DefaultSpec(DatasetId::kExchange, 24 * 30));
+  EXPECT_GT(daily_r2(ett, 24.0), daily_r2(fx, 1.0) + 0.02);
+}
+
+TEST(DatasetsTest, CrossChannelCorrelationExists) {
+  DatasetSpec spec = DefaultSpec(DatasetId::kPems04, 800);
+  spec.num_variables = 6;
+  TimeSeries ts = MakeDataset(spec);
+  // Average |corr| between first channel and the rest should be material.
+  double mean0 = 0.0;
+  for (int64_t t = 0; t < ts.num_steps(); ++t) mean0 += ts.at(t, 0);
+  mean0 /= static_cast<double>(ts.num_steps());
+  double acc = 0.0;
+  for (int64_t j = 1; j < 6; ++j) {
+    double meanj = 0.0;
+    for (int64_t t = 0; t < ts.num_steps(); ++t) meanj += ts.at(t, j);
+    meanj /= static_cast<double>(ts.num_steps());
+    double num = 0.0;
+    double den0 = 0.0;
+    double denj = 0.0;
+    for (int64_t t = 0; t < ts.num_steps(); ++t) {
+      const double a = ts.at(t, 0) - mean0;
+      const double b = ts.at(t, j) - meanj;
+      num += a * b;
+      den0 += a * a;
+      denj += b * b;
+    }
+    acc += std::fabs(num / std::sqrt(den0 * denj));
+  }
+  EXPECT_GT(acc / 5.0, 0.15);
+}
+
+TEST(WindowDatasetTest, SampleCountFormula) {
+  TimeSeries ts(100, 2, 60);
+  WindowDataset ds(ts, 24, 12);
+  EXPECT_EQ(ds.NumSamples(), 100 - 24 - 12 + 1);
+}
+
+TEST(WindowDatasetTest, TooShortSeriesHasNoSamples) {
+  TimeSeries ts(10, 2, 60);
+  WindowDataset ds(ts, 24, 12);
+  EXPECT_EQ(ds.NumSamples(), 0);
+}
+
+TEST(WindowDatasetTest, HistoryAndFutureAreContiguous) {
+  TimeSeries ts(50, 1, 60);
+  for (int64_t t = 0; t < 50; ++t) ts.set(t, 0, static_cast<float>(t));
+  WindowDataset ds(ts, 8, 4);
+  tensor::Tensor x = ds.History(3);
+  tensor::Tensor y = ds.Future(3);
+  EXPECT_EQ(x.shape(), (Shape{8, 1}));
+  EXPECT_EQ(y.shape(), (Shape{4, 1}));
+  EXPECT_FLOAT_EQ(x.at(0), 3.0f);
+  EXPECT_FLOAT_EQ(x.at(7), 10.0f);
+  EXPECT_FLOAT_EQ(y.at(0), 11.0f);  // future starts right after history
+  EXPECT_FLOAT_EQ(y.at(3), 14.0f);
+}
+
+TEST(WindowDatasetTest, HistoryFutureValuesMatchTensors) {
+  TimeSeries ts = MakeDataset(DefaultSpec(DatasetId::kEttm1, 200));
+  WindowDataset ds(ts, 16, 8);
+  const auto hist = ds.HistoryValues(5, 2);
+  const auto fut = ds.FutureValues(5, 2);
+  tensor::Tensor x = ds.History(5);
+  tensor::Tensor y = ds.Future(5);
+  for (int64_t t = 0; t < 16; ++t) {
+    EXPECT_FLOAT_EQ(hist[static_cast<size_t>(t)], x.at(t * 7 + 2));
+  }
+  for (int64_t t = 0; t < 8; ++t) {
+    EXPECT_FLOAT_EQ(fut[static_cast<size_t>(t)], y.at(t * 7 + 2));
+  }
+}
+
+TEST(WindowDatasetTest, GetBatchStacksSamples) {
+  TimeSeries ts(60, 3, 60);
+  WindowDataset ds(ts, 10, 5);
+  ForecastBatch batch = ds.GetBatch({0, 7, 13});
+  EXPECT_EQ(batch.x.shape(), (Shape{3, 10, 3}));
+  EXPECT_EQ(batch.y.shape(), (Shape{3, 5, 3}));
+  EXPECT_EQ(batch.indices.size(), 3u);
+}
+
+TEST(WindowDatasetTest, EpochBatchesCoverAllSamplesOnce) {
+  TimeSeries ts(60, 1, 60);
+  WindowDataset ds(ts, 10, 5);
+  Rng rng(4);
+  const auto batches = ds.EpochBatches(7, /*shuffle=*/true, &rng);
+  std::vector<int64_t> seen;
+  for (const auto& b : batches) {
+    for (int64_t i : b) seen.push_back(i);
+  }
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(static_cast<int64_t>(seen.size()), ds.NumSamples());
+  for (int64_t i = 0; i < ds.NumSamples(); ++i) EXPECT_EQ(seen[i], i);
+}
+
+TEST(WindowDatasetTest, ShuffleDeterministicPerSeed) {
+  TimeSeries ts(80, 1, 60);
+  WindowDataset ds(ts, 10, 5);
+  Rng r1(9);
+  Rng r2(9);
+  EXPECT_EQ(ds.EpochBatches(8, true, &r1), ds.EpochBatches(8, true, &r2));
+}
+
+}  // namespace
+}  // namespace timekd::data

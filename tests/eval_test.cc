@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "eval/heatmap.h"
+#include "eval/profile.h"
+#include "eval/runner.h"
+#include "eval/table.h"
+#include "tensor/tensor.h"
+
+namespace timekd::eval {
+namespace {
+
+TEST(ProfileTest, DefaultIsSmall) {
+  unsetenv("TIMEKD_BENCH_PROFILE");
+  EXPECT_EQ(GetBenchProfile().name, "small");
+}
+
+TEST(ProfileTest, EnvSelectsProfiles) {
+  setenv("TIMEKD_BENCH_PROFILE", "smoke", 1);
+  BenchProfile smoke = GetBenchProfile();
+  EXPECT_EQ(smoke.name, "smoke");
+  setenv("TIMEKD_BENCH_PROFILE", "paper", 1);
+  BenchProfile paper = GetBenchProfile();
+  EXPECT_EQ(paper.name, "paper");
+  EXPECT_GT(paper.dataset_length, smoke.dataset_length);
+  EXPECT_EQ(paper.input_len, 96);
+  EXPECT_EQ(paper.horizon_scale, 1.0);
+  unsetenv("TIMEKD_BENCH_PROFILE");
+}
+
+TEST(ProfileTest, UnknownFallsBackToSmall) {
+  setenv("TIMEKD_BENCH_PROFILE", "gibberish", 1);
+  EXPECT_EQ(GetBenchProfile().name, "small");
+  unsetenv("TIMEKD_BENCH_PROFILE");
+}
+
+TEST(ProfileTest, ScaledHorizonRoundsAndClamps) {
+  BenchProfile p;
+  p.horizon_scale = 0.25;
+  EXPECT_EQ(ScaledHorizon(p, 24), 6);
+  EXPECT_EQ(ScaledHorizon(p, 192), 48);
+  p.horizon_scale = 0.01;
+  EXPECT_EQ(ScaledHorizon(p, 24), 3) << "minimum horizon is 3";
+  p.horizon_scale = 1.0;
+  EXPECT_EQ(ScaledHorizon(p, 96), 96);
+}
+
+TEST(TableTest, RendersAlignedColumns) {
+  TablePrinter table({"model", "MSE"});
+  table.AddRow({"TimeKD", "0.123"});
+  table.AddRow({"iTransformer", "0.456"});
+  const std::string out = table.Render();
+  EXPECT_NE(out.find("| model        | MSE   |"), std::string::npos) << out;
+  EXPECT_NE(out.find("| TimeKD       | 0.123 |"), std::string::npos) << out;
+}
+
+TEST(TableTest, NumFormatsDigits) {
+  EXPECT_EQ(TablePrinter::Num(0.12345, 3), "0.123");
+  EXPECT_EQ(TablePrinter::Num(2.0, 1), "2.0");
+}
+
+TEST(HeatMapTest, RendersDimensionsAndRange) {
+  tensor::Tensor m = tensor::Tensor::FromVector({2, 3}, {0, 1, 2, 3, 4, 5});
+  const std::string out = RenderHeatMap(m, "test-map");
+  EXPECT_NE(out.find("test-map"), std::string::npos);
+  EXPECT_NE(out.find("2x3"), std::string::npos);
+  // Max value renders as the brightest shade '@'.
+  EXPECT_NE(out.find("@@"), std::string::npos);
+}
+
+TEST(HeatMapTest, ConstantMatrixDoesNotDivideByZero) {
+  tensor::Tensor m = tensor::Tensor::Full({2, 2}, 3.0f);
+  const std::string out = RenderHeatMap(m, "flat");
+  EXPECT_FALSE(out.empty());
+}
+
+TEST(SeriesComparisonTest, MarksTruthAndPrediction) {
+  std::vector<float> truth = {0, 1, 2, 3, 4, 5, 6, 7};
+  std::vector<float> pred = {7, 6, 5, 4, 3, 2, 1, 0};
+  const std::string out = RenderSeriesComparison(truth, pred, "series");
+  EXPECT_NE(out.find('o'), std::string::npos);
+  EXPECT_NE(out.find('x'), std::string::npos);
+  EXPECT_NE(out.find("series"), std::string::npos);
+}
+
+TEST(RunnerTest, ModelNamesMatchPaperColumns) {
+  const auto models = AllModels();
+  ASSERT_EQ(models.size(), 7u);
+  EXPECT_STREQ(ModelName(models[0]), "TimeKD");
+  EXPECT_STREQ(ModelName(models[1]), "TimeCMA");
+  EXPECT_STREQ(ModelName(models[6]), "PatchTST");
+}
+
+BenchProfile TinyProfile() {
+  BenchProfile p;
+  p.name = "test";
+  p.dataset_length = 160;
+  p.input_len = 12;
+  p.epochs = 1;
+  p.batch_size = 8;
+  p.d_model = 16;
+  p.num_heads = 2;
+  p.encoder_layers = 1;
+  p.ffn_hidden = 32;
+  p.llm_d_model = 16;
+  p.llm_layers = 1;
+  p.llm_ffn = 32;
+  p.prompt_stride = 6;
+  p.seeds = 1;
+  p.pems_variables = 3;
+  p.max_variables = 3;
+  return p;
+}
+
+TEST(RunnerTest, PrepareDataSplitsAndScales) {
+  BenchProfile profile = TinyProfile();
+  PreparedData data =
+      PrepareData(data::DatasetId::kEtth1, 6, profile, /*train_fraction=*/1.0);
+  EXPECT_EQ(data.num_variables, 3);
+  EXPECT_EQ(data.freq_minutes, 60);
+  EXPECT_GT(data.train.NumSamples(), data.val.NumSamples());
+  EXPECT_GT(data.test.NumSamples(), 0);
+  // Training split is standardized: near zero mean per channel.
+  const auto& ts = data.train.series();
+  double mean = 0.0;
+  for (int64_t t = 0; t < ts.num_steps(); ++t) mean += ts.at(t, 0);
+  EXPECT_NEAR(mean / ts.num_steps(), 0.0, 0.05);
+}
+
+TEST(RunnerTest, TrainFractionShrinksTrainOnly) {
+  BenchProfile profile = TinyProfile();
+  PreparedData full =
+      PrepareData(data::DatasetId::kEtth1, 6, profile, 1.0);
+  PreparedData few =
+      PrepareData(data::DatasetId::kEtth1, 6, profile, 0.3);
+  EXPECT_LT(few.train.NumSamples(), full.train.NumSamples());
+  EXPECT_EQ(few.test.NumSamples(), full.test.NumSamples());
+}
+
+TEST(RunnerTest, RunExperimentTimeKdProducesFiniteMetrics) {
+  RunSpec spec;
+  spec.model = ModelKind::kTimeKd;
+  spec.dataset = data::DatasetId::kEtth1;
+  spec.horizon = 6;
+  spec.profile = TinyProfile();
+  RunResult r = RunExperiment(spec);
+  EXPECT_GT(r.mse, 0.0);
+  EXPECT_GT(r.mae, 0.0);
+  EXPECT_GT(r.trainable_params, 0);
+  EXPECT_GT(r.frozen_params, 0);
+  EXPECT_GT(r.peak_memory_bytes, 0);
+  EXPECT_GT(r.test_samples, 0);
+  EXPECT_GT(r.infer_seconds_per_sample, 0.0);
+}
+
+TEST(RunnerTest, RunExperimentBaselineProducesFiniteMetrics) {
+  RunSpec spec;
+  spec.model = ModelKind::kITransformer;
+  spec.dataset = data::DatasetId::kEtth1;
+  spec.horizon = 6;
+  spec.profile = TinyProfile();
+  RunResult r = RunExperiment(spec);
+  EXPECT_GT(r.mse, 0.0);
+  EXPECT_GT(r.trainable_params, 0);
+}
+
+TEST(RunnerTest, ZeroShotUsesOtherDatasetTest) {
+  RunSpec spec;
+  spec.model = ModelKind::kITransformer;
+  spec.dataset = data::DatasetId::kEtth1;
+  spec.test_dataset = data::DatasetId::kEtth2;
+  spec.horizon = 6;
+  spec.profile = TinyProfile();
+  RunResult transfer = RunExperiment(spec);
+  spec.test_dataset.reset();
+  RunResult in_domain = RunExperiment(spec);
+  EXPECT_GT(transfer.mse, 0.0);
+  // Transfer is evaluated on different data, so metrics differ.
+  EXPECT_NE(transfer.mse, in_domain.mse);
+}
+
+TEST(RunnerTest, TimeKdTrainableSmallerThanUniTime) {
+  // Table IV ordering: TimeKD's trainable footprint is far below the
+  // fully fine-tuned UniTime.
+  BenchProfile profile = TinyProfile();
+  RunSpec spec;
+  spec.dataset = data::DatasetId::kEtth1;
+  spec.horizon = 6;
+  spec.profile = profile;
+  spec.model = ModelKind::kTimeKd;
+  RunResult timekd = RunExperiment(spec);
+  spec.model = ModelKind::kUniTime;
+  RunResult unitime = RunExperiment(spec);
+  EXPECT_LT(timekd.trainable_params, unitime.trainable_params);
+}
+
+}  // namespace
+}  // namespace timekd::eval

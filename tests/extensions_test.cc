@@ -1,0 +1,388 @@
+// Tests for the extended op set, LR schedulers, metrics, data transforms
+// and LLM generation utilities.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "data/transforms.h"
+#include "eval/metrics.h"
+#include "llm/generate.h"
+#include "llm/pretrain.h"
+#include "nn/scheduler.h"
+#include "tensor/grad_check.h"
+#include "tensor/ops.h"
+#include "text/tokenizer.h"
+
+namespace timekd {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+/// ---- Extended tensor ops -------------------------------------------------
+
+TEST(ExtendedOpsTest, ClampValues) {
+  Tensor x = Tensor::FromVector({4}, {-3.0f, -0.5f, 0.5f, 3.0f});
+  Tensor y = tensor::Clamp(x, -1.0f, 1.0f);
+  EXPECT_FLOAT_EQ(y.at(0), -1.0f);
+  EXPECT_FLOAT_EQ(y.at(1), -0.5f);
+  EXPECT_FLOAT_EQ(y.at(2), 0.5f);
+  EXPECT_FLOAT_EQ(y.at(3), 1.0f);
+}
+
+TEST(ExtendedOpsTest, ClampGradientMasksOutside) {
+  Tensor x =
+      Tensor::FromVector({3}, {-2.0f, 0.0f, 2.0f}).set_requires_grad(true);
+  tensor::Sum(tensor::Clamp(x, -1.0f, 1.0f)).Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 0.0f);
+  EXPECT_FLOAT_EQ(x.grad()[1], 1.0f);
+  EXPECT_FLOAT_EQ(x.grad()[2], 0.0f);
+}
+
+TEST(ExtendedOpsTest, PowMatchesStd) {
+  Tensor x = Tensor::FromVector({2}, {2.0f, 3.0f});
+  Tensor y = tensor::Pow(x, 2.5f);
+  EXPECT_NEAR(y.at(0), std::pow(2.0f, 2.5f), 1e-4f);
+}
+
+TEST(ExtendedOpsTest, AbsAndGrad) {
+  Tensor x =
+      Tensor::FromVector({3}, {-2.0f, 0.0f, 5.0f}).set_requires_grad(true);
+  Tensor y = tensor::Abs(x);
+  EXPECT_FLOAT_EQ(y.at(0), 2.0f);
+  tensor::Sum(y).Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], -1.0f);
+  EXPECT_FLOAT_EQ(x.grad()[1], 0.0f);
+  EXPECT_FLOAT_EQ(x.grad()[2], 1.0f);
+}
+
+TEST(ExtendedOpsTest, CumSumForward) {
+  Tensor x = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor y = tensor::CumSum(x, 1);
+  EXPECT_FLOAT_EQ(y.at(0), 1.0f);
+  EXPECT_FLOAT_EQ(y.at(1), 3.0f);
+  EXPECT_FLOAT_EQ(y.at(2), 6.0f);
+  EXPECT_FLOAT_EQ(y.at(5), 15.0f);
+  Tensor y0 = tensor::CumSum(x, 0);
+  EXPECT_FLOAT_EQ(y0.at(3), 5.0f);
+}
+
+TEST(ExtendedOpsTest, PadLastDim) {
+  Tensor x = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  Tensor y = tensor::PadLastDim(x, 1, 2, -9.0f);
+  EXPECT_EQ(y.shape(), (Shape{2, 5}));
+  EXPECT_FLOAT_EQ(y.at(0), -9.0f);
+  EXPECT_FLOAT_EQ(y.at(1), 1.0f);
+  EXPECT_FLOAT_EQ(y.at(3), -9.0f);
+  EXPECT_FLOAT_EQ(y.at(6), 3.0f);
+}
+
+TEST(ExtendedOpsTest, MaxMinDim) {
+  Tensor x = Tensor::FromVector({2, 3}, {3, 1, 2, -1, -5, 0});
+  Tensor mx = tensor::MaxDim(x, 1, false);
+  EXPECT_EQ(mx.shape(), (Shape{2}));
+  EXPECT_FLOAT_EQ(mx.at(0), 3.0f);
+  EXPECT_FLOAT_EQ(mx.at(1), 0.0f);
+  Tensor mn = tensor::MinDim(x, 0, true);
+  EXPECT_EQ(mn.shape(), (Shape{1, 3}));
+  EXPECT_FLOAT_EQ(mn.at(1), -5.0f);
+}
+
+TEST(ExtendedOpsTest, MaxDimGradientGoesToWinner) {
+  Tensor x =
+      Tensor::FromVector({1, 3}, {1.0f, 5.0f, 2.0f}).set_requires_grad(true);
+  tensor::Sum(tensor::MaxDim(x, 1, false)).Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 0.0f);
+  EXPECT_FLOAT_EQ(x.grad()[1], 1.0f);
+  EXPECT_FLOAT_EQ(x.grad()[2], 0.0f);
+}
+
+TEST(ExtendedOpsTest, ArgMaxLastDim) {
+  Tensor x = Tensor::FromVector({2, 3}, {3, 1, 2, -1, -5, 0});
+  EXPECT_EQ(tensor::ArgMaxLastDim(x), (std::vector<int64_t>{0, 2}));
+}
+
+TEST(ExtendedOpsGradCheck, NumericGradients) {
+  Rng rng(99);
+  auto check = [&](auto fn, Shape shape, float lo, float hi) {
+    std::vector<Tensor> inputs = {Tensor::RandUniform(shape, lo, hi, rng)};
+    tensor::GradCheckResult r = tensor::CheckGradients(fn, inputs);
+    EXPECT_TRUE(r.passed) << r.ToString();
+  };
+  check([](const std::vector<Tensor>& in) {
+    return tensor::Mean(tensor::CumSum(in[0], 1));
+  }, {3, 4}, -2.0f, 2.0f);
+  check([](const std::vector<Tensor>& in) {
+    return tensor::Mean(tensor::PadLastDim(in[0], 2, 1, 0.5f));
+  }, {2, 3}, -2.0f, 2.0f);
+  check([](const std::vector<Tensor>& in) {
+    return tensor::Mean(tensor::Pow(in[0], 1.7f));
+  }, {5}, 0.5f, 2.0f);
+  check([](const std::vector<Tensor>& in) {
+    return tensor::Mean(tensor::MaxDim(in[0], 1, false));
+  }, {3, 4}, -2.0f, 2.0f);
+  check([](const std::vector<Tensor>& in) {
+    return tensor::Mean(tensor::MinDim(in[0], 0, false));
+  }, {3, 4}, -2.0f, 2.0f);
+}
+
+/// ---- LR schedulers ---------------------------------------------------------
+
+TEST(SchedulerTest, ConstantLr) {
+  nn::ConstantLr sched(0.01);
+  EXPECT_EQ(sched.LrAt(0), 0.01);
+  EXPECT_EQ(sched.LrAt(1000), 0.01);
+}
+
+TEST(SchedulerTest, CosineWarmupRampsUpThenDecays) {
+  nn::CosineWithWarmup sched(1.0, 10, 110, 0.0);
+  EXPECT_LT(sched.LrAt(0), 0.2);
+  EXPECT_NEAR(sched.LrAt(9), 1.0, 1e-9);
+  EXPECT_NEAR(sched.LrAt(10), 1.0, 1e-9);   // cosine start
+  EXPECT_NEAR(sched.LrAt(60), 0.5, 1e-6);   // halfway
+  EXPECT_NEAR(sched.LrAt(110), 0.0, 1e-9);  // done
+  EXPECT_NEAR(sched.LrAt(500), 0.0, 1e-9);  // clamped after the end
+}
+
+TEST(SchedulerTest, CosineRespectsFloor) {
+  nn::CosineWithWarmup sched(1.0, 0, 100, 0.1);
+  EXPECT_GE(sched.LrAt(99), 0.1);
+  EXPECT_NEAR(sched.LrAt(100), 0.1, 1e-9);
+}
+
+TEST(SchedulerTest, StepDecay) {
+  nn::StepDecay sched(1.0, 10, 0.5);
+  EXPECT_EQ(sched.LrAt(0), 1.0);
+  EXPECT_EQ(sched.LrAt(9), 1.0);
+  EXPECT_EQ(sched.LrAt(10), 0.5);
+  EXPECT_EQ(sched.LrAt(25), 0.25);
+}
+
+TEST(SchedulerTest, AppliesToOptimizer) {
+  Tensor w = Tensor::FromVector({1}, {1.0f}).set_requires_grad(true);
+  nn::AdamW opt({w}, {});
+  nn::StepDecay sched(0.3, 5, 0.1);
+  sched.Apply(&opt, 7);
+  EXPECT_NEAR(opt.lr(), 0.03, 1e-12);
+}
+
+/// ---- Metrics ---------------------------------------------------------------
+
+TEST(MetricsTest, PerfectForecastIsZero) {
+  eval::MetricsAccumulator acc;
+  for (int i = 0; i < 10; ++i) acc.Add(2.5f, 2.5f);
+  eval::ForecastMetrics m = acc.Finalize();
+  EXPECT_EQ(m.mse, 0.0);
+  EXPECT_EQ(m.mae, 0.0);
+  EXPECT_EQ(m.rmse, 0.0);
+  EXPECT_EQ(m.count, 10);
+}
+
+TEST(MetricsTest, KnownValues) {
+  eval::MetricsAccumulator acc;
+  acc.Add(1.0f, 0.0f);
+  acc.Add(-1.0f, 0.0f);
+  eval::ForecastMetrics m = acc.Finalize();
+  EXPECT_NEAR(m.mse, 1.0, 1e-9);
+  EXPECT_NEAR(m.mae, 1.0, 1e-9);
+  EXPECT_NEAR(m.rmse, 1.0, 1e-9);
+  EXPECT_NEAR(m.smape, 200.0, 0.1);  // |d| / (|p|+|t|)/2 = 1/0.5
+}
+
+TEST(MetricsTest, MaseUsesNaiveDenominator) {
+  eval::MetricsAccumulator acc(/*naive_mae_denominator=*/2.0);
+  acc.Add(1.0f, 0.0f);
+  eval::ForecastMetrics m = acc.Finalize();
+  EXPECT_NEAR(m.mase, 0.5, 1e-9);
+}
+
+TEST(MetricsTest, NaiveMaeOfLinearSeries) {
+  data::TimeSeries ts(10, 1, 60);
+  for (int64_t t = 0; t < 10; ++t) ts.set(t, 0, static_cast<float>(3 * t));
+  data::WindowDataset ds(ts, 4, 2);
+  EXPECT_NEAR(eval::NaiveMae(ds), 3.0, 1e-6);
+}
+
+TEST(MetricsTest, EvaluateForecastFnMatchesManual) {
+  data::TimeSeries ts(30, 2, 60);
+  Rng rng(3);
+  for (int64_t t = 0; t < 30; ++t) {
+    ts.set(t, 0, static_cast<float>(rng.Gaussian()));
+    ts.set(t, 1, static_cast<float>(rng.Gaussian()));
+  }
+  data::WindowDataset ds(ts, 8, 4);
+  auto zero_predict = [](const Tensor& x) {
+    return Tensor::Zeros({1, 4, x.size(2)});
+  };
+  eval::ForecastMetrics m = eval::EvaluateForecastFn(zero_predict, ds);
+  double se = 0.0;
+  int64_t count = 0;
+  for (int64_t i = 0; i < ds.NumSamples(); ++i) {
+    Tensor y = ds.Future(i);
+    for (int64_t j = 0; j < y.numel(); ++j) {
+      se += static_cast<double>(y.at(j)) * y.at(j);
+      ++count;
+    }
+  }
+  EXPECT_NEAR(m.mse, se / count, 1e-6);
+}
+
+TEST(MetricsTest, PerHorizonShape) {
+  data::TimeSeries ts(40, 2, 60);
+  data::WindowDataset ds(ts, 8, 5);
+  auto zero_predict = [](const Tensor& x) {
+    return Tensor::Zeros({1, 5, x.size(2)});
+  };
+  const auto profile = eval::PerHorizonMse(zero_predict, ds);
+  EXPECT_EQ(profile.size(), 5u);
+  for (double v : profile) EXPECT_EQ(v, 0.0);  // zero series, zero preds
+}
+
+/// ---- Data transforms ---------------------------------------------------------
+
+TEST(TransformsTest, ResampleMean) {
+  data::TimeSeries ts(6, 1, 15);
+  for (int64_t t = 0; t < 6; ++t) ts.set(t, 0, static_cast<float>(t));
+  data::TimeSeries hourly = data::Resample(ts, 4, data::ResampleAgg::kMean);
+  EXPECT_EQ(hourly.num_steps(), 1);
+  EXPECT_EQ(hourly.freq_minutes(), 60);
+  EXPECT_FLOAT_EQ(hourly.at(0, 0), 1.5f);  // mean of 0,1,2,3
+}
+
+TEST(TransformsTest, ResampleSumAndLast) {
+  data::TimeSeries ts(4, 1, 5);
+  for (int64_t t = 0; t < 4; ++t) ts.set(t, 0, static_cast<float>(t + 1));
+  EXPECT_FLOAT_EQ(
+      data::Resample(ts, 2, data::ResampleAgg::kSum).at(1, 0), 7.0f);
+  EXPECT_FLOAT_EQ(
+      data::Resample(ts, 2, data::ResampleAgg::kLast).at(0, 0), 2.0f);
+}
+
+TEST(TransformsTest, LinearImputeInterior) {
+  data::TimeSeries ts(5, 1, 60);
+  const float kMissing = -9999.0f;
+  ts.set(0, 0, 1.0f);
+  ts.set(1, 0, kMissing);
+  ts.set(2, 0, kMissing);
+  ts.set(3, 0, 4.0f);
+  ts.set(4, 0, kMissing);
+  auto imputed = data::LinearImpute(&ts, kMissing);
+  ASSERT_TRUE(imputed.ok());
+  EXPECT_EQ(*imputed, 3);
+  EXPECT_FLOAT_EQ(ts.at(1, 0), 2.0f);
+  EXPECT_FLOAT_EQ(ts.at(2, 0), 3.0f);
+  EXPECT_FLOAT_EQ(ts.at(4, 0), 4.0f);  // trailing gap takes nearest
+}
+
+TEST(TransformsTest, LinearImputeAllMissingFails) {
+  data::TimeSeries ts(3, 1, 60);
+  const float kMissing = -1.0f;
+  for (int64_t t = 0; t < 3; ++t) ts.set(t, 0, kMissing);
+  EXPECT_FALSE(data::LinearImpute(&ts, kMissing).ok());
+}
+
+TEST(TransformsTest, DifferenceIntegrateRoundTrip) {
+  Rng rng(5);
+  data::TimeSeries ts(20, 2, 60);
+  for (int64_t t = 0; t < 20; ++t) {
+    ts.set(t, 0, static_cast<float>(rng.Gaussian()));
+    ts.set(t, 1, static_cast<float>(rng.Gaussian()));
+  }
+  data::TimeSeries deltas = data::Difference(ts);
+  EXPECT_EQ(deltas.num_steps(), 19);
+  data::TimeSeries back =
+      data::Integrate(deltas, {ts.at(0, 0), ts.at(0, 1)});
+  for (int64_t t = 0; t < 20; ++t) {
+    EXPECT_NEAR(back.at(t, 0), ts.at(t, 0), 1e-4f);
+    EXPECT_NEAR(back.at(t, 1), ts.at(t, 1), 1e-4f);
+  }
+}
+
+/// ---- LLM generation ------------------------------------------------------------
+
+llm::LlmConfig GenConfig() {
+  llm::LlmConfig config;
+  config.vocab_size = text::Vocab::BuildPromptVocab().size();
+  config.d_model = 16;
+  config.num_layers = 1;
+  config.num_heads = 2;
+  config.ffn_hidden = 32;
+  config.seed = 4;
+  return config;
+}
+
+TEST(GenerateTest, GreedyIsDeterministic) {
+  llm::LanguageModel lm(GenConfig());
+  text::Tokenizer tok;
+  const auto prompt = tok.Encode("values were 1.5, 2.0");
+  llm::GenerateConfig gc;
+  gc.max_new_tokens = 8;
+  gc.temperature = 0.0;
+  const auto a = llm::Generate(lm, prompt, gc, nullptr);
+  const auto b = llm::Generate(lm, prompt, gc, nullptr);
+  EXPECT_EQ(a.ids, b.ids);
+  EXPECT_GT(a.length(), prompt.length() - 1);  // grew (EOS was stripped)
+}
+
+TEST(GenerateTest, SamplingIsSeedDeterministic) {
+  llm::LanguageModel lm(GenConfig());
+  text::Tokenizer tok;
+  const auto prompt = tok.Encode("forecast the next 60 minutes");
+  llm::GenerateConfig gc;
+  gc.max_new_tokens = 6;
+  gc.temperature = 1.0;
+  gc.top_k = 5;
+  Rng r1(7);
+  Rng r2(7);
+  EXPECT_EQ(llm::Generate(lm, prompt, gc, &r1).ids,
+            llm::Generate(lm, prompt, gc, &r2).ids);
+}
+
+TEST(GenerateTest, ModalityTagsTrackTokenClass) {
+  llm::LanguageModel lm(GenConfig());
+  text::Tokenizer tok;
+  const auto prompt = tok.Encode("values were 3.5");
+  llm::GenerateConfig gc;
+  gc.max_new_tokens = 12;
+  gc.temperature = 0.0;
+  const auto out = llm::Generate(lm, prompt, gc, nullptr);
+  ASSERT_EQ(out.ids.size(), out.modality.size());
+  const text::Vocab vocab = text::Vocab::BuildPromptVocab();
+  for (size_t i = static_cast<size_t>(prompt.length()); i < out.ids.size();
+       ++i) {
+    const std::string& token = vocab.TokenOf(out.ids[i]);
+    const bool numeric =
+        token == "<dot>" || token == "-" ||
+        (token.size() == 1 && token[0] >= '0' && token[0] <= '9');
+    EXPECT_EQ(out.modality[i] == text::Modality::kValue, numeric) << token;
+  }
+}
+
+TEST(GenerateTest, PretrainedModelContinuesTemplate) {
+  // After pre-training, greedy continuation of an unfinished prompt should
+  // produce mostly in-template tokens (digits/punctuation), not [UNK].
+  llm::LanguageModel lm(GenConfig());
+  llm::PretrainConfig pc;
+  pc.num_sequences = 16;
+  pc.epochs = 3;
+  pc.history_len = 4;
+  pc.horizon = 2;
+  llm::PretrainLm(&lm, pc);
+  text::Tokenizer tok;
+  const auto prompt = tok.Encode("values were 1.2, 1.3, 1.4");
+  llm::GenerateConfig gc;
+  gc.max_new_tokens = 10;
+  gc.temperature = 0.0;
+  const auto out = llm::Generate(lm, prompt, gc, nullptr);
+  int unk = 0;
+  for (size_t i = static_cast<size_t>(prompt.length()); i < out.ids.size();
+       ++i) {
+    unk += out.ids[i] == text::Vocab::kUnkId ? 1 : 0;
+  }
+  EXPECT_EQ(unk, 0) << "pretrained LM generated [UNK] tokens";
+}
+
+}  // namespace
+}  // namespace timekd

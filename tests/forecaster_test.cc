@@ -1,0 +1,96 @@
+#include "core/forecaster.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tensor/ops.h"
+
+namespace timekd::core {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+/// A forecaster that predicts value+1 for each of the next M steps from
+/// the last observed value (so rolls are easy to verify analytically).
+ForecastFn CountingForecaster(int64_t horizon) {
+  return [horizon](const Tensor& history) {
+    const int64_t b = history.size(0);
+    const int64_t h = history.size(1);
+    const int64_t n = history.size(2);
+    std::vector<float> out(static_cast<size_t>(b * horizon * n));
+    for (int64_t bi = 0; bi < b; ++bi) {
+      for (int64_t v = 0; v < n; ++v) {
+        float last = history.at((bi * h + h - 1) * n + v);
+        for (int64_t t = 0; t < horizon; ++t) {
+          last += 1.0f;
+          out[static_cast<size_t>((bi * horizon + t) * n + v)] = last;
+        }
+      }
+    }
+    return Tensor::FromVector({b, horizon, n}, std::move(out));
+  };
+}
+
+Tensor RampHistory(int64_t h, int64_t n) {
+  std::vector<float> values(static_cast<size_t>(h * n));
+  for (int64_t t = 0; t < h; ++t) {
+    for (int64_t v = 0; v < n; ++v) {
+      values[static_cast<size_t>(t * n + v)] = static_cast<float>(t);
+    }
+  }
+  return Tensor::FromVector({1, h, n}, std::move(values));
+}
+
+TEST(RollForecastTest, SingleRollMatchesDirect) {
+  const auto fn = CountingForecaster(4);
+  Tensor history = RampHistory(8, 2);
+  Tensor rolled = RollForecast(fn, history, 4, 4);
+  Tensor direct = fn(history);
+  ASSERT_EQ(rolled.shape(), direct.shape());
+  for (int64_t i = 0; i < rolled.numel(); ++i) {
+    EXPECT_EQ(rolled.at(i), direct.at(i));
+  }
+}
+
+TEST(RollForecastTest, MultiRollContinuesTheCount) {
+  const auto fn = CountingForecaster(3);
+  Tensor history = RampHistory(6, 1);  // last value 5
+  Tensor rolled = RollForecast(fn, history, 3, 9);
+  EXPECT_EQ(rolled.shape(), (Shape{1, 9, 1}));
+  // The counting forecaster continues 6, 7, 8, 9, ... across rolls.
+  for (int64_t t = 0; t < 9; ++t) {
+    EXPECT_FLOAT_EQ(rolled.at(t), static_cast<float>(6 + t));
+  }
+}
+
+TEST(RollForecastTest, TruncatesPartialFinalRoll) {
+  const auto fn = CountingForecaster(4);
+  Tensor history = RampHistory(8, 2);
+  Tensor rolled = RollForecast(fn, history, 4, 6);  // 4 + 2
+  EXPECT_EQ(rolled.shape(), (Shape{1, 6, 2}));
+  EXPECT_FLOAT_EQ(rolled.at(5 * 2), 13.0f);  // 7 (last) + 6
+}
+
+TEST(RollForecastTest, ShortTotalHorizonTruncatesFirstRoll) {
+  const auto fn = CountingForecaster(4);
+  Tensor history = RampHistory(8, 1);
+  Tensor rolled = RollForecast(fn, history, 4, 2);
+  EXPECT_EQ(rolled.shape(), (Shape{1, 2, 1}));
+  EXPECT_FLOAT_EQ(rolled.at(1), 9.0f);
+}
+
+TEST(RollForecastTest, BatchedHistories) {
+  const auto fn = CountingForecaster(2);
+  std::vector<float> values = {0, 10};  // two batch elements, H=1, N=1
+  Tensor history = Tensor::FromVector({2, 1, 1}, std::move(values));
+  Tensor rolled = RollForecast(fn, history, 2, 4);
+  EXPECT_EQ(rolled.shape(), (Shape{2, 4, 1}));
+  EXPECT_FLOAT_EQ(rolled.at(0), 1.0f);
+  EXPECT_FLOAT_EQ(rolled.at(3), 4.0f);
+  EXPECT_FLOAT_EQ(rolled.at(4), 11.0f);
+  EXPECT_FLOAT_EQ(rolled.at(7), 14.0f);
+}
+
+}  // namespace
+}  // namespace timekd::core

@@ -1,0 +1,186 @@
+#include "tensor/grad_check.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/ops.h"
+
+namespace timekd::tensor {
+namespace {
+
+/// Parameterized finite-difference gradient checks: every differentiable op
+/// is probed against numeric gradients on random inputs. This is the
+/// property suite that underwrites the whole training stack.
+struct OpCase {
+  std::string name;
+  std::function<Tensor(const std::vector<Tensor>&)> fn;
+  std::vector<Shape> input_shapes;
+  // Input generator range; keep away from non-smooth points where needed.
+  float lo = -2.0f;
+  float hi = 2.0f;
+};
+
+class GradCheckSuite : public ::testing::TestWithParam<OpCase> {};
+
+TEST_P(GradCheckSuite, MatchesFiniteDifferences) {
+  const OpCase& c = GetParam();
+  Rng rng(1234);
+  std::vector<Tensor> inputs;
+  inputs.reserve(c.input_shapes.size());
+  for (const Shape& s : c.input_shapes) {
+    inputs.push_back(Tensor::RandUniform(s, c.lo, c.hi, rng));
+  }
+  GradCheckResult result = CheckGradients(c.fn, inputs);
+  EXPECT_TRUE(result.passed) << c.name << ": " << result.ToString();
+}
+
+Tensor Pool(const Tensor& t) { return Mean(t); }
+
+std::vector<OpCase> MakeCases() {
+  std::vector<OpCase> cases;
+  auto bin = [](auto op) {
+    return [op](const std::vector<Tensor>& in) {
+      return Pool(op(in[0], in[1]));
+    };
+  };
+  auto un = [](auto op) {
+    return [op](const std::vector<Tensor>& in) { return Pool(op(in[0])); };
+  };
+
+  cases.push_back({"add", bin([](auto& a, auto& b) { return Add(a, b); }),
+                   {{3, 4}, {3, 4}}});
+  cases.push_back({"add_broadcast",
+                   bin([](auto& a, auto& b) { return Add(a, b); }),
+                   {{2, 3, 4}, {4}}});
+  cases.push_back({"sub", bin([](auto& a, auto& b) { return Sub(a, b); }),
+                   {{5}, {5}}});
+  cases.push_back({"mul_broadcast",
+                   bin([](auto& a, auto& b) { return Mul(a, b); }),
+                   {{2, 1, 3}, {4, 1}}});
+  cases.push_back({"div", bin([](auto& a, auto& b) { return Div(a, b); }),
+                   {{3, 3}, {3, 3}},
+                   /*lo=*/0.5f, /*hi=*/2.0f});
+  cases.push_back({"neg", un([](auto& x) { return Neg(x); }), {{4}}});
+  cases.push_back({"scale", un([](auto& x) { return Scale(x, -1.7f); }), {{4}}});
+  cases.push_back(
+      {"add_scalar", un([](auto& x) { return AddScalar(x, 0.3f); }), {{4}}});
+  cases.push_back({"relu", un([](auto& x) { return Relu(x); }),
+                   {{17}}, /*lo=*/0.1f, /*hi=*/2.0f});
+  cases.push_back({"gelu", un([](auto& x) { return Gelu(x); }), {{9}}});
+  cases.push_back({"silu", un([](auto& x) { return Silu(x); }), {{9}}});
+  cases.push_back({"sigmoid", un([](auto& x) { return Sigmoid(x); }), {{9}}});
+  cases.push_back({"tanh", un([](auto& x) { return Tanh(x); }), {{9}}});
+  cases.push_back({"exp", un([](auto& x) { return Exp(x); }), {{6}},
+                   /*lo=*/-1.0f, /*hi=*/1.0f});
+  cases.push_back({"log", un([](auto& x) { return Log(x); }), {{6}},
+                   /*lo=*/0.5f, /*hi=*/3.0f});
+  cases.push_back({"sqrt", un([](auto& x) { return Sqrt(x); }), {{6}},
+                   /*lo=*/0.5f, /*hi=*/3.0f});
+  cases.push_back({"square", un([](auto& x) { return Square(x); }), {{6}}});
+  cases.push_back({"transpose",
+                   un([](auto& x) { return Transpose(x, 0, 2); }),
+                   {{2, 3, 4}}});
+  cases.push_back({"reshape",
+                   un([](auto& x) { return Reshape(x, {6, 2}); }),
+                   {{3, 4}}});
+  cases.push_back(
+      {"slice", un([](auto& x) { return Slice(x, 1, 1, 2); }), {{3, 4}}});
+  cases.push_back({"concat",
+                   [](const std::vector<Tensor>& in) {
+                     return Pool(Concat({in[0], in[1]}, 1));
+                   },
+                   {{2, 3}, {2, 2}}});
+  cases.push_back({"sum_dim",
+                   un([](auto& x) { return SumDim(x, 1, false); }),
+                   {{3, 4, 2}}});
+  cases.push_back({"mean_dim",
+                   un([](auto& x) { return MeanDim(x, 0, true); }),
+                   {{3, 4}}});
+  cases.push_back({"matmul_2d",
+                   bin([](auto& a, auto& b) { return MatMul(a, b); }),
+                   {{3, 4}, {4, 2}}});
+  cases.push_back({"matmul_batched",
+                   bin([](auto& a, auto& b) { return MatMul(a, b); }),
+                   {{2, 3, 4}, {2, 4, 2}}});
+  cases.push_back({"matmul_bcast_rhs",
+                   bin([](auto& a, auto& b) { return MatMul(a, b); }),
+                   {{2, 3, 4}, {4, 5}}});
+  cases.push_back({"matmul_bcast_lhs",
+                   bin([](auto& a, auto& b) { return MatMul(a, b); }),
+                   {{3, 4}, {2, 4, 2}}});
+  cases.push_back({"softmax",
+                   un([](auto& x) {
+                     // Weighted pool to give distinct per-element grads.
+                     Tensor w = Tensor::FromVector(
+                         {2, 5}, {1, -2, 3, 0.5f, 2, -1, 0.2f, 1, 2, -3});
+                     return Mean(Mul(Softmax(x, -1), w));
+                   }),
+                   {{2, 5}}});
+  cases.push_back({"softmax_middle_dim",
+                   un([](auto& x) {
+                     Tensor w = Tensor::FromVector({1, 3, 2},
+                                                   {1, -2, 3, 0.5f, 2, -1});
+                     return Mean(Mul(Softmax(x, 1), w));
+                   }),
+                   {{1, 3, 2}}});
+  cases.push_back({"layer_norm",
+                   [](const std::vector<Tensor>& in) {
+                     Tensor w = Tensor::FromVector(
+                         {2, 4}, {1, -2, 3, 0.5f, 2, -1, 0.2f, 1});
+                     return Mean(
+                         Mul(LayerNorm(in[0], in[1], in[2], 1e-5f), w));
+                   },
+                   {{2, 4}, {4}, {4}}});
+  cases.push_back({"rms_norm",
+                   [](const std::vector<Tensor>& in) {
+                     Tensor w = Tensor::FromVector(
+                         {2, 4}, {1, -2, 3, 0.5f, 2, -1, 0.2f, 1});
+                     return Mean(Mul(RmsNorm(in[0], in[1], 1e-6f), w));
+                   },
+                   {{2, 4}, {4}},
+                   /*lo=*/0.5f,
+                   /*hi=*/2.0f});
+  cases.push_back({"embedding",
+                   [](const std::vector<Tensor>& in) {
+                     return Pool(EmbeddingLookup(in[0], {0, 2, 1, 2}));
+                   },
+                   {{3, 4}}});
+  cases.push_back({"smooth_l1_small_residual",
+                   bin([](auto& a, auto& b) { return SmoothL1Loss(a, b); }),
+                   {{6}, {6}},
+                   /*lo=*/-0.3f,
+                   /*hi=*/0.3f});
+  cases.push_back({"mse", bin([](auto& a, auto& b) { return MseLoss(a, b); }),
+                   {{6}, {6}}});
+  cases.push_back({"cross_entropy",
+                   [](const std::vector<Tensor>& in) {
+                     return CrossEntropyLoss(in[0], {1, 0, 2});
+                   },
+                   {{3, 4}}});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, GradCheckSuite,
+                         ::testing::ValuesIn(MakeCases()),
+                         [](const ::testing::TestParamInfo<OpCase>& info) {
+                           return info.param.name;
+                         });
+
+TEST(GradCheckUtility, DetectsWrongGradient) {
+  // A deliberately wrong "gradient": treat x as constant in backward by
+  // detaching inside — finite differences must disagree.
+  auto broken = [](const std::vector<Tensor>& in) {
+    Tensor frozen = in[0].Detach();
+    return Mean(Mul(in[0], frozen));  // d/dx should be 2x, tape says x.
+  };
+  Rng rng(5);
+  std::vector<Tensor> inputs = {Tensor::RandUniform({4}, 0.5f, 2.0f, rng)};
+  GradCheckResult r = CheckGradients(broken, inputs);
+  EXPECT_FALSE(r.passed);
+}
+
+}  // namespace
+}  // namespace timekd::tensor

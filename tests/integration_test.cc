@@ -1,0 +1,233 @@
+// End-to-end integration tests: full data -> train -> evaluate pipelines
+// across modules, exercised exactly the way the bench harness drives them.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "baselines/trainer.h"
+#include "core/timekd.h"
+#include "eval/profile.h"
+#include "eval/runner.h"
+
+namespace timekd {
+namespace {
+
+using eval::BenchProfile;
+using eval::ModelKind;
+using eval::PreparedData;
+using eval::PrepareData;
+
+BenchProfile TinyProfile() {
+  BenchProfile p;
+  p.name = "test";
+  p.dataset_length = 200;
+  p.input_len = 12;
+  p.epochs = 2;
+  p.batch_size = 8;
+  p.lr = 2e-3;
+  p.d_model = 16;
+  p.num_heads = 2;
+  p.encoder_layers = 1;
+  p.ffn_hidden = 32;
+  p.llm_d_model = 16;
+  p.llm_layers = 1;
+  p.llm_ffn = 32;
+  p.prompt_stride = 6;
+  p.seeds = 1;
+  p.max_variables = 4;
+  p.pems_variables = 4;
+  return p;
+}
+
+TEST(IntegrationTest, TimeKdPipelineImprovesOverUntrained) {
+  BenchProfile profile = TinyProfile();
+  PreparedData data =
+      PrepareData(data::DatasetId::kEttm1, 6, profile, 1.0);
+  core::TimeKdConfig config = eval::MakeTimeKdConfig(
+      profile, data.num_variables, 6, data.freq_minutes, 3);
+  core::TimeKd model(config);
+  const double before = model.Evaluate(data.test).mse;
+  core::TrainConfig tc;
+  tc.epochs = 3;
+  tc.teacher_epochs = 3;
+  tc.batch_size = 8;
+  tc.lr = 2e-3;
+  model.Fit(data.train, &data.val, tc);
+  const double after = model.Evaluate(data.test).mse;
+  EXPECT_LT(after, before);
+  EXPECT_TRUE(std::isfinite(after));
+}
+
+TEST(IntegrationTest, EveryModelKindRunsEndToEnd) {
+  BenchProfile profile = TinyProfile();
+  for (ModelKind kind : eval::AllModels()) {
+    eval::RunSpec spec;
+    spec.model = kind;
+    spec.dataset = data::DatasetId::kEtth1;
+    spec.horizon = 4;
+    spec.profile = profile;
+    eval::RunResult r = eval::RunExperiment(spec);
+    EXPECT_TRUE(std::isfinite(r.mse)) << eval::ModelName(kind);
+    EXPECT_GT(r.mse, 0.0) << eval::ModelName(kind);
+    EXPECT_GT(r.trainable_params, 0) << eval::ModelName(kind);
+  }
+}
+
+TEST(IntegrationTest, TableIvOrderingHoldsAtTestScale) {
+  // Trainable-parameter ordering of Table IV:
+  // iTransformer < TimeKD <= OFA < TimeCMA < Time-LLM < UniTime.
+  BenchProfile profile = TinyProfile();
+  auto params_of = [&](ModelKind kind) {
+    eval::RunSpec spec;
+    spec.model = kind;
+    spec.dataset = data::DatasetId::kEtth1;
+    spec.horizon = 4;
+    spec.profile = profile;
+    return eval::RunExperiment(spec).trainable_params;
+  };
+  const int64_t itransformer = params_of(ModelKind::kITransformer);
+  const int64_t timekd = params_of(ModelKind::kTimeKd);
+  const int64_t ofa = params_of(ModelKind::kOfa);
+  const int64_t timecma = params_of(ModelKind::kTimeCma);
+  const int64_t timellm = params_of(ModelKind::kTimeLlm);
+  const int64_t unitime = params_of(ModelKind::kUniTime);
+  EXPECT_LT(itransformer, timekd);
+  EXPECT_LT(timekd, timecma);
+  EXPECT_LT(timecma, timellm);
+  EXPECT_LT(timellm, unitime);
+  EXPECT_GT(ofa, itransformer);
+}
+
+TEST(IntegrationTest, WarmCacheIsIdempotent) {
+  BenchProfile profile = TinyProfile();
+  PreparedData data = PrepareData(data::DatasetId::kEtth1, 4, profile, 1.0);
+  core::TimeKdConfig config = eval::MakeTimeKdConfig(
+      profile, data.num_variables, 4, data.freq_minutes, 3);
+  core::TimeKd model(config);
+  model.WarmCache(data.train);
+  const int64_t size = model.cache().size();
+  model.WarmCache(data.train);
+  EXPECT_EQ(model.cache().size(), size);
+  EXPECT_EQ(size, data.train.NumSamples());
+}
+
+TEST(IntegrationTest, CachePersistsAcrossModelInstances) {
+  BenchProfile profile = TinyProfile();
+  PreparedData data = PrepareData(data::DatasetId::kEtth1, 4, profile, 1.0);
+  core::TimeKdConfig config = eval::MakeTimeKdConfig(
+      profile, data.num_variables, 4, data.freq_minutes, 3);
+  const std::string path = ::testing::TempDir() + "/integration_cache.bin";
+  {
+    core::TimeKd model(config);
+    model.WarmCache(data.train);
+    ASSERT_TRUE(model.cache().Save(path).ok());
+  }
+  core::TimeKd model(config);
+  ASSERT_TRUE(model.cache().Load(path).ok());
+  EXPECT_EQ(model.cache().size(), data.train.NumSamples());
+  // Fit must reuse the loaded cache without re-encoding (same contents).
+  core::TrainConfig tc;
+  tc.epochs = 1;
+  tc.teacher_epochs = 1;
+  core::FitStats stats = model.Fit(data.train, nullptr, tc);
+  EXPECT_LT(stats.cache_build_seconds, 0.5)
+      << "cache should have been reused, not rebuilt";
+  std::remove(path.c_str());
+}
+
+TEST(IntegrationTest, DeterministicGivenSeeds) {
+  BenchProfile profile = TinyProfile();
+  auto run_once = [&]() {
+    eval::RunSpec spec;
+    spec.model = ModelKind::kTimeKd;
+    spec.dataset = data::DatasetId::kEttm2;
+    spec.horizon = 4;
+    spec.profile = profile;
+    spec.seed = 11;
+    return eval::RunExperiment(spec).mse;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(IntegrationTest, FewShotUsesLessDataAndStillLearns) {
+  BenchProfile profile = TinyProfile();
+  eval::RunSpec spec;
+  spec.model = ModelKind::kTimeKd;
+  spec.dataset = data::DatasetId::kEtth1;
+  spec.horizon = 4;
+  spec.profile = profile;
+  spec.train_fraction = 0.2;
+  eval::RunResult r = eval::RunExperiment(spec);
+  EXPECT_TRUE(std::isfinite(r.mse));
+}
+
+TEST(IntegrationTest, ZeroShotTransferRuns) {
+  BenchProfile profile = TinyProfile();
+  eval::RunSpec spec;
+  spec.model = ModelKind::kTimeKd;
+  spec.dataset = data::DatasetId::kEtth1;
+  spec.test_dataset = data::DatasetId::kEtth2;
+  spec.horizon = 4;
+  spec.profile = profile;
+  eval::RunResult r = eval::RunExperiment(spec);
+  EXPECT_TRUE(std::isfinite(r.mse));
+  EXPECT_GT(r.test_samples, 0);
+}
+
+TEST(IntegrationTest, WeightInheritanceTiedToFeatureDistillation) {
+  // With FD on, the student's projection equals the teacher's recon head
+  // right after Fit's inheritance step when no student epochs run.
+  BenchProfile profile = TinyProfile();
+  PreparedData data = PrepareData(data::DatasetId::kEtth1, 4, profile, 1.0);
+  core::TimeKdConfig config = eval::MakeTimeKdConfig(
+      profile, data.num_variables, 4, data.freq_minutes, 3);
+  core::TimeKd model(config);
+  core::TrainConfig tc;
+  tc.epochs = 0;  // inheritance happens between the phases
+  tc.teacher_epochs = 1;
+  model.Fit(data.train, nullptr, tc);
+  auto find = [](const nn::Module& module, const std::string& name) {
+    for (const auto& [n, p] : module.NamedParameters()) {
+      if (n == name) return p;
+    }
+    ADD_FAILURE() << "missing parameter " << name;
+    return tensor::Tensor();
+  };
+  tensor::Tensor teacher_head = find(model.teacher(), "recon_head.weight");
+  tensor::Tensor student_head = find(model.student(), "projection.weight");
+  ASSERT_EQ(teacher_head.numel(), student_head.numel());
+  for (int64_t i = 0; i < teacher_head.numel(); ++i) {
+    EXPECT_EQ(teacher_head.at(i), student_head.at(i));
+  }
+}
+
+TEST(IntegrationTest, NoInheritanceWhenFeatureDistillationOff) {
+  BenchProfile profile = TinyProfile();
+  PreparedData data = PrepareData(data::DatasetId::kEtth1, 4, profile, 1.0);
+  core::TimeKdConfig config = eval::MakeTimeKdConfig(
+      profile, data.num_variables, 4, data.freq_minutes, 3);
+  config.use_feature_distillation = false;
+  core::TimeKd model(config);
+  core::TrainConfig tc;
+  tc.epochs = 0;
+  tc.teacher_epochs = 1;
+  model.Fit(data.train, nullptr, tc);
+  auto find = [](const nn::Module& module, const std::string& name) {
+    for (const auto& [n, p] : module.NamedParameters()) {
+      if (n == name) return p;
+    }
+    return tensor::Tensor();
+  };
+  tensor::Tensor teacher_head = find(model.teacher(), "recon_head.weight");
+  tensor::Tensor student_head = find(model.student(), "projection.weight");
+  double diff = 0.0;
+  for (int64_t i = 0; i < teacher_head.numel(); ++i) {
+    diff += std::fabs(teacher_head.at(i) - student_head.at(i));
+  }
+  EXPECT_GT(diff, 1e-3) << "student unexpectedly inherited weights";
+}
+
+}  // namespace
+}  // namespace timekd

@@ -1,0 +1,105 @@
+// Death tests: internal invariants guarded by TIMEKD_CHECK must abort
+// loudly instead of corrupting state. These document the contract of the
+// fatal-check error-handling tier (Status covers the recoverable tier).
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/time_series.h"
+#include "data/window_dataset.h"
+#include "nn/attention.h"
+#include "nn/layers.h"
+#include "tensor/ops.h"
+
+namespace timekd {
+namespace {
+
+using tensor::Tensor;
+
+TEST(TensorDeathTest, ItemOnNonScalarAborts) {
+  Tensor t = Tensor::Zeros({2, 2});
+  EXPECT_DEATH(t.item(), "Check failed");
+}
+
+TEST(TensorDeathTest, FromVectorSizeMismatchAborts) {
+  EXPECT_DEATH(Tensor::FromVector({2, 2}, {1.0f, 2.0f}), "Check failed");
+}
+
+TEST(TensorDeathTest, MatMulInnerDimMismatchAborts) {
+  Tensor a = Tensor::Zeros({2, 3});
+  Tensor b = Tensor::Zeros({4, 2});
+  EXPECT_DEATH(tensor::MatMul(a, b), "MatMul inner dims");
+}
+
+TEST(TensorDeathTest, MatMulBatchMismatchAborts) {
+  Tensor a = Tensor::Zeros({2, 3, 4});
+  Tensor b = Tensor::Zeros({3, 4, 5});
+  EXPECT_DEATH(tensor::MatMul(a, b), "batch dims");
+}
+
+TEST(TensorDeathTest, BroadcastIncompatibleAborts) {
+  Tensor a = Tensor::Zeros({3});
+  Tensor b = Tensor::Zeros({4});
+  EXPECT_DEATH(tensor::Add(a, b), "Check failed");
+}
+
+TEST(TensorDeathTest, BackwardOnNonScalarWithoutSeedAborts) {
+  Tensor a = Tensor::Zeros({3}).set_requires_grad(true);
+  Tensor y = tensor::Scale(a, 2.0f);
+  EXPECT_DEATH(y.Backward(), "requires a scalar");
+}
+
+TEST(TensorDeathTest, RequiresGradOnNonLeafAborts) {
+  Tensor a = Tensor::Zeros({2}).set_requires_grad(true);
+  Tensor y = tensor::Scale(a, 2.0f);
+  EXPECT_DEATH(y.set_requires_grad(true), "leaf");
+}
+
+TEST(TensorDeathTest, EmbeddingIdOutOfRangeAborts) {
+  Tensor w = Tensor::Zeros({3, 2});
+  EXPECT_DEATH(tensor::EmbeddingLookup(w, {3}), "embedding id");
+}
+
+TEST(TensorDeathTest, SliceOutOfRangeAborts) {
+  Tensor a = Tensor::Zeros({2, 4});
+  EXPECT_DEATH(tensor::Slice(a, 1, 3, 2), "Slice");
+}
+
+TEST(TensorDeathTest, LossShapeMismatchAborts) {
+  Tensor p = Tensor::Zeros({2});
+  Tensor t = Tensor::Zeros({3});
+  EXPECT_DEATH(tensor::SmoothL1Loss(p, t), "shape mismatch");
+}
+
+TEST(NnDeathTest, LinearWrongInputWidthAborts) {
+  Rng rng(1);
+  nn::Linear lin(4, 2, true, rng);
+  EXPECT_DEATH(lin.Forward(Tensor::Zeros({2, 5})), "Check failed");
+}
+
+TEST(NnDeathTest, AttentionHeadsMustDivideModelDim) {
+  Rng rng(2);
+  EXPECT_DEATH(nn::MultiHeadAttention(10, 3, 0.0f, &rng),
+               "not divisible");
+}
+
+TEST(DataDeathTest, TimeSeriesOutOfRangeAborts) {
+  data::TimeSeries ts(5, 2, 60);
+  EXPECT_DEATH(ts.at(5, 0), "Check failed");
+  EXPECT_DEATH(ts.at(0, 2), "Check failed");
+}
+
+TEST(DataDeathTest, WindowDatasetBadSampleAborts) {
+  data::TimeSeries ts(40, 1, 60);
+  data::WindowDataset ds(ts, 8, 4);
+  EXPECT_DEATH(ds.History(ds.NumSamples()), "Check failed");
+}
+
+TEST(DataDeathTest, GetBatchEmptyAborts) {
+  data::TimeSeries ts(40, 1, 60);
+  data::WindowDataset ds(ts, 8, 4);
+  EXPECT_DEATH(ds.GetBatch({}), "Check failed");
+}
+
+}  // namespace
+}  // namespace timekd

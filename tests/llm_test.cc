@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "llm/language_model.h"
+#include "llm/pretrain.h"
+#include "text/prompt.h"
+#include "text/vocab.h"
+
+namespace timekd::llm {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+using text::Modality;
+
+LlmConfig SmallConfig(LlmKind kind) {
+  LlmConfig config;
+  config.kind = kind;
+  config.vocab_size = text::Vocab::BuildPromptVocab().size();
+  config.d_model = 16;
+  config.num_layers = 2;
+  config.num_heads = 2;
+  config.ffn_hidden = 32;
+  config.max_seq_len = 256;
+  config.seed = 11;
+  return config;
+}
+
+text::TokenizedPrompt SamplePrompt() {
+  text::PromptBuilder builder;
+  text::PromptSpec spec;
+  spec.t_start = 0;
+  spec.t_end = 3;
+  spec.freq_minutes = 60;
+  spec.horizon = 2;
+  spec.history = {1.0f, 2.5f, -0.5f, 3.0f};
+  spec.future = {4.0f, 4.5f};
+  return builder.TokenizeGroundTruthPrompt(spec);
+}
+
+TEST(CalibratedMaskTest, CausalUpperTriangleIsBlocked) {
+  std::vector<Modality> mods = {Modality::kText, Modality::kValue,
+                                Modality::kText};
+  Tensor mask = BuildCalibratedMask(mods, /*causal=*/true, /*delta=*/2.0f);
+  EXPECT_EQ(mask.shape(), (Shape{3, 3}));
+  EXPECT_LE(mask.at(0 * 3 + 1), -1e8f);
+  EXPECT_LE(mask.at(0 * 3 + 2), -1e8f);
+  EXPECT_LE(mask.at(1 * 3 + 2), -1e8f);
+}
+
+TEST(CalibratedMaskTest, CrossModalityGetsDelta) {
+  std::vector<Modality> mods = {Modality::kText, Modality::kValue,
+                                Modality::kText};
+  Tensor mask = BuildCalibratedMask(mods, /*causal=*/true, /*delta=*/2.0f);
+  EXPECT_FLOAT_EQ(mask.at(1 * 3 + 0), -2.0f);  // value token -> text token
+  EXPECT_FLOAT_EQ(mask.at(2 * 3 + 1), -2.0f);  // text -> value
+  EXPECT_FLOAT_EQ(mask.at(2 * 3 + 0), 0.0f);   // text -> text (intra)
+  EXPECT_FLOAT_EQ(mask.at(1 * 3 + 1), 0.0f);   // diagonal intra
+}
+
+TEST(CalibratedMaskTest, ZeroDeltaRecoversPlainCausal) {
+  std::vector<Modality> mods = {Modality::kText, Modality::kValue};
+  Tensor mask = BuildCalibratedMask(mods, /*causal=*/true, /*delta=*/0.0f);
+  EXPECT_FLOAT_EQ(mask.at(1 * 2 + 0), 0.0f);
+}
+
+TEST(CalibratedMaskTest, NonCausalKeepsUpperTriangle) {
+  std::vector<Modality> mods = {Modality::kText, Modality::kValue};
+  Tensor mask = BuildCalibratedMask(mods, /*causal=*/false, /*delta=*/3.0f);
+  EXPECT_FLOAT_EQ(mask.at(0 * 2 + 1), -3.0f);  // cross-modality, not -inf
+}
+
+TEST(LanguageModelTest, EncodeShapes) {
+  for (LlmKind kind :
+       {LlmKind::kGptMini, LlmKind::kBertMini, LlmKind::kLlamaMini}) {
+    LanguageModel lm(SmallConfig(kind));
+    const auto prompt = SamplePrompt();
+    Tensor h = lm.Encode(prompt, /*calibrated=*/true);
+    EXPECT_EQ(h.shape(), (Shape{prompt.length(), 16})) << LlmKindName(kind);
+    Tensor last = lm.EncodeLastToken(prompt, true);
+    EXPECT_EQ(last.shape(), (Shape{1, 16}));
+  }
+}
+
+TEST(LanguageModelTest, EncodeLastTokensStacksVariables) {
+  LanguageModel lm(SmallConfig(LlmKind::kGptMini));
+  const auto prompt = SamplePrompt();
+  Tensor stacked = lm.EncodeLastTokens({prompt, prompt, prompt}, true);
+  EXPECT_EQ(stacked.shape(), (Shape{3, 16}));
+  // Identical prompts -> identical rows.
+  for (int64_t j = 0; j < 16; ++j) {
+    EXPECT_FLOAT_EQ(stacked.at(j), stacked.at(16 + j));
+    EXPECT_FLOAT_EQ(stacked.at(j), stacked.at(32 + j));
+  }
+}
+
+TEST(LanguageModelTest, CalibrationChangesRepresentation) {
+  LanguageModel lm(SmallConfig(LlmKind::kGptMini));
+  const auto prompt = SamplePrompt();
+  Tensor calibrated = lm.EncodeLastToken(prompt, true);
+  Tensor plain = lm.EncodeLastToken(prompt, false);
+  float diff = 0.0f;
+  for (int64_t j = 0; j < 16; ++j) {
+    diff += std::fabs(calibrated.at(j) - plain.at(j));
+  }
+  EXPECT_GT(diff, 1e-4f);
+}
+
+TEST(LanguageModelTest, CausalFlagPerKind) {
+  EXPECT_TRUE(LanguageModel(SmallConfig(LlmKind::kGptMini)).causal());
+  EXPECT_FALSE(LanguageModel(SmallConfig(LlmKind::kBertMini)).causal());
+  EXPECT_TRUE(LanguageModel(SmallConfig(LlmKind::kLlamaMini)).causal());
+}
+
+TEST(LanguageModelTest, CausalityPropertyPrefixInvariance) {
+  // In a causal model, hidden state at position i must not change when
+  // tokens after i change.
+  LanguageModel lm(SmallConfig(LlmKind::kGptMini));
+  auto prompt = SamplePrompt();
+  Tensor h1 = lm.Encode(prompt, false);
+  auto modified = prompt;
+  modified.ids.back() = text::Vocab::kUnkId;  // change final token
+  Tensor h2 = lm.Encode(modified, false);
+  const int64_t d = 16;
+  const int64_t check_upto = prompt.length() - 1;
+  for (int64_t i = 0; i < check_upto; ++i) {
+    for (int64_t j = 0; j < d; ++j) {
+      EXPECT_NEAR(h1.at(i * d + j), h2.at(i * d + j), 1e-5f)
+          << "position " << i << " saw a future edit";
+    }
+  }
+}
+
+TEST(LanguageModelTest, BertIsBidirectional) {
+  LanguageModel lm(SmallConfig(LlmKind::kBertMini));
+  auto prompt = SamplePrompt();
+  Tensor h1 = lm.Encode(prompt, false);
+  auto modified = prompt;
+  modified.ids.back() = text::Vocab::kUnkId;
+  Tensor h2 = lm.Encode(modified, false);
+  float diff = 0.0f;
+  for (int64_t j = 0; j < 16; ++j) diff += std::fabs(h1.at(j) - h2.at(j));
+  EXPECT_GT(diff, 1e-5f) << "BERT position 0 should see the future edit";
+}
+
+TEST(LanguageModelTest, LlamaHasNoLearnedPositionsButMoreGateParams) {
+  LanguageModel gpt(SmallConfig(LlmKind::kGptMini));
+  LanguageModel llama(SmallConfig(LlmKind::kLlamaMini));
+  bool gpt_has_pos = false;
+  for (const auto& [name, t] : gpt.NamedParameters()) {
+    if (name == "position_embedding") gpt_has_pos = true;
+  }
+  bool llama_has_pos = false;
+  for (const auto& [name, t] : llama.NamedParameters()) {
+    if (name == "position_embedding") llama_has_pos = true;
+  }
+  EXPECT_TRUE(gpt_has_pos);
+  EXPECT_FALSE(llama_has_pos);
+}
+
+TEST(LanguageModelTest, LogitsShape) {
+  LanguageModel lm(SmallConfig(LlmKind::kGptMini));
+  const auto prompt = SamplePrompt();
+  Tensor logits = lm.Logits(prompt);
+  EXPECT_EQ(logits.shape(),
+            (Shape{prompt.length(), lm.config().vocab_size}));
+}
+
+TEST(LanguageModelTest, FreezeMakesEncodeGradFree) {
+  LanguageModel lm(SmallConfig(LlmKind::kGptMini));
+  lm.Freeze();
+  Tensor h = lm.EncodeLastToken(SamplePrompt(), true);
+  EXPECT_FALSE(h.requires_grad());
+}
+
+TEST(PretrainTest, LossDecreasesCausal) {
+  LanguageModel lm(SmallConfig(LlmKind::kGptMini));
+  PretrainConfig cfg;
+  cfg.num_sequences = 8;
+  cfg.epochs = 3;
+  cfg.history_len = 4;
+  cfg.horizon = 2;
+  PretrainStats stats = PretrainLm(&lm, cfg);
+  EXPECT_GT(stats.steps, 0);
+  EXPECT_LT(stats.final_loss, stats.initial_loss);
+}
+
+TEST(PretrainTest, LossDecreasesBertDenoising) {
+  LanguageModel lm(SmallConfig(LlmKind::kBertMini));
+  PretrainConfig cfg;
+  cfg.num_sequences = 8;
+  cfg.epochs = 3;
+  cfg.history_len = 4;
+  cfg.horizon = 2;
+  PretrainStats stats = PretrainLm(&lm, cfg);
+  EXPECT_LT(stats.final_loss, stats.initial_loss);
+}
+
+TEST(LlmKindNameTest, AllNamed) {
+  EXPECT_STREQ(LlmKindName(LlmKind::kGptMini), "gpt-mini");
+  EXPECT_STREQ(LlmKindName(LlmKind::kBertMini), "bert-mini");
+  EXPECT_STREQ(LlmKindName(LlmKind::kLlamaMini), "llama-mini");
+}
+
+}  // namespace
+}  // namespace timekd::llm

@@ -1,0 +1,354 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/rng.h"
+#include "nn/attention.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "nn/optimizer.h"
+#include "nn/revin.h"
+#include "tensor/ops.h"
+
+namespace timekd::nn {
+namespace {
+
+using tensor::Mean;
+using tensor::MseLoss;
+using tensor::Shape;
+using tensor::Sum;
+using tensor::Tensor;
+
+TEST(LinearTest, ShapesAndBias) {
+  Rng rng(1);
+  Linear lin(4, 3, /*bias=*/true, rng);
+  Tensor x = Tensor::Ones({2, 4});
+  Tensor y = lin.Forward(x);
+  EXPECT_EQ(y.shape(), (Shape{2, 3}));
+  EXPECT_EQ(lin.NumParameters(), 4 * 3 + 3);
+}
+
+TEST(LinearTest, NoBiasParameterCount) {
+  Rng rng(1);
+  Linear lin(5, 2, /*bias=*/false, rng);
+  EXPECT_EQ(lin.NumParameters(), 10);
+}
+
+TEST(LinearTest, BatchedInput3D) {
+  Rng rng(2);
+  Linear lin(4, 6, true, rng);
+  Tensor x = Tensor::Ones({3, 5, 4});
+  EXPECT_EQ(lin.Forward(x).shape(), (Shape{3, 5, 6}));
+}
+
+TEST(LinearTest, LearnsIdentityMap) {
+  // One gradient sanity check end-to-end through the optimizer.
+  Rng rng(3);
+  Linear lin(2, 2, true, rng);
+  AdamWConfig cfg;
+  cfg.lr = 0.05;
+  cfg.weight_decay = 0.0;
+  AdamW opt(lin.Parameters(), cfg);
+  Rng data_rng(4);
+  float loss_val = 0.0f;
+  for (int step = 0; step < 300; ++step) {
+    Tensor x = Tensor::RandNormal({8, 2}, 0, 1, data_rng);
+    Tensor target = x.Detach();
+    Tensor loss = MseLoss(lin.Forward(x), target);
+    opt.ZeroGrad();
+    loss.Backward();
+    opt.Step();
+    loss_val = loss.item();
+  }
+  EXPECT_LT(loss_val, 0.01f);
+}
+
+TEST(EmbeddingTest, Shapes) {
+  Rng rng(5);
+  Embedding emb(10, 4, rng);
+  Tensor e = emb.Forward({1, 2, 3});
+  EXPECT_EQ(e.shape(), (Shape{3, 4}));
+}
+
+TEST(LayerNormModuleTest, NormalizesAndHasAffine) {
+  Rng rng(6);
+  LayerNorm ln(8);
+  EXPECT_EQ(ln.NumParameters(), 16);
+  Tensor x = Tensor::RandNormal({4, 8}, 5.0f, 3.0f, rng);
+  Tensor y = ln.Forward(x);
+  double mean = 0.0;
+  for (int j = 0; j < 8; ++j) mean += y.at(j);
+  EXPECT_NEAR(mean / 8.0, 0.0, 1e-4);
+}
+
+TEST(FeedForwardTest, ReluAndGeluShapes) {
+  Rng rng(7);
+  FeedForward relu_ffn(8, 16, Activation::kRelu, rng);
+  FeedForward gelu_ffn(8, 16, Activation::kGelu, rng);
+  Tensor x = Tensor::RandNormal({2, 3, 8}, 0, 1, rng);
+  EXPECT_EQ(relu_ffn.Forward(x).shape(), (Shape{2, 3, 8}));
+  EXPECT_EQ(gelu_ffn.Forward(x).shape(), (Shape{2, 3, 8}));
+}
+
+TEST(FeedForwardTest, SwiGluUsesGateParameters) {
+  Rng rng(8);
+  FeedForward swiglu(8, 16, Activation::kSwiGlu, rng);
+  // w1 + w2 + gate (no bias on gate): (8*16+16) + (16*8+8) + 8*16.
+  EXPECT_EQ(swiglu.NumParameters(), (8 * 16 + 16) + (16 * 8 + 8) + 8 * 16);
+  Tensor x = Tensor::RandNormal({1, 2, 8}, 0, 1, rng);
+  EXPECT_EQ(swiglu.Forward(x).shape(), (Shape{1, 2, 8}));
+}
+
+TEST(AttentionTest, OutputShapeAndAttentionMap) {
+  Rng rng(9);
+  MultiHeadAttention attn(16, 4, 0.0f, &rng);
+  Tensor x = Tensor::RandNormal({2, 5, 16}, 0, 1, rng);
+  Tensor y = attn.SelfForward(x, Tensor());
+  EXPECT_EQ(y.shape(), (Shape{2, 5, 16}));
+  EXPECT_EQ(attn.last_attention().shape(), (Shape{2, 5, 5}));
+}
+
+TEST(AttentionTest, AttentionRowsSumToOne) {
+  Rng rng(10);
+  MultiHeadAttention attn(8, 2, 0.0f, &rng);
+  Tensor x = Tensor::RandNormal({1, 4, 8}, 0, 1, rng);
+  attn.SelfForward(x, Tensor());
+  const Tensor& a = attn.last_attention();
+  for (int64_t i = 0; i < 4; ++i) {
+    float row = 0.0f;
+    for (int64_t j = 0; j < 4; ++j) row += a.at(i * 4 + j);
+    EXPECT_NEAR(row, 1.0f, 1e-4f);
+  }
+}
+
+TEST(AttentionTest, CausalMaskBlocksFuture) {
+  Rng rng(11);
+  MultiHeadAttention attn(8, 2, 0.0f, &rng);
+  const int64_t s = 5;
+  std::vector<float> m(s * s, 0.0f);
+  for (int64_t i = 0; i < s; ++i) {
+    for (int64_t j = i + 1; j < s; ++j) m[i * s + j] = -1e9f;
+  }
+  Tensor mask = Tensor::FromVector({s, s}, std::move(m));
+  Tensor x = Tensor::RandNormal({1, s, 8}, 0, 1, rng);
+  attn.SelfForward(x, mask);
+  const Tensor& a = attn.last_attention();
+  for (int64_t i = 0; i < s; ++i) {
+    for (int64_t j = i + 1; j < s; ++j) {
+      EXPECT_NEAR(a.at(i * s + j), 0.0f, 1e-6f)
+          << "future position attended at (" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(AttentionTest, CrossAttentionDifferentLengths) {
+  Rng rng(12);
+  MultiHeadAttention attn(8, 2, 0.0f, &rng);
+  Tensor q = Tensor::RandNormal({1, 3, 8}, 0, 1, rng);
+  Tensor kv = Tensor::RandNormal({1, 7, 8}, 0, 1, rng);
+  Tensor y = attn.Forward(q, kv, kv, Tensor());
+  EXPECT_EQ(y.shape(), (Shape{1, 3, 8}));
+  EXPECT_EQ(attn.last_attention().shape(), (Shape{1, 3, 7}));
+}
+
+TEST(AttentionTest, RopeChangesWithPosition) {
+  // With RoPE, permuting token positions must change per-position outputs
+  // (a no-position model would be permutation-equivariant).
+  Rng rng(13);
+  MultiHeadAttention attn(8, 2, 0.0f, &rng, /*use_rope=*/true);
+  std::vector<float> vals(2 * 8);
+  Rng vr(14);
+  for (auto& v : vals) v = static_cast<float>(vr.Gaussian());
+  // Sequence [a, b] vs [b, a]: compare output at the position holding `a`.
+  std::vector<float> ab = vals;
+  std::vector<float> ba(vals.begin() + 8, vals.end());
+  ba.insert(ba.end(), vals.begin(), vals.begin() + 8);
+  Tensor y1 = attn.SelfForward(Tensor::FromVector({1, 2, 8}, ab), Tensor());
+  Tensor y2 = attn.SelfForward(Tensor::FromVector({1, 2, 8}, ba), Tensor());
+  float diff = 0.0f;
+  for (int j = 0; j < 8; ++j) {
+    diff += std::fabs(y1.at(j) - y2.at(8 + j));  // `a` at pos 0 vs pos 1
+  }
+  EXPECT_GT(diff, 1e-4f);
+}
+
+TEST(TransformerEncoderTest, StackPreservesShape) {
+  Rng rng(15);
+  TransformerEncoder enc(2, 16, 4, 32, 0.0f, Activation::kRelu, &rng);
+  Tensor x = Tensor::RandNormal({2, 6, 16}, 0, 1, rng);
+  EXPECT_EQ(enc.Forward(x, Tensor()).shape(), (Shape{2, 6, 16}));
+  EXPECT_EQ(enc.last_layer_attention().shape(), (Shape{2, 6, 6}));
+}
+
+TEST(TransformerEncoderTest, GradientsReachAllParameters) {
+  Rng rng(16);
+  TransformerEncoder enc(2, 8, 2, 16, 0.0f, Activation::kGelu, &rng);
+  Tensor x = Tensor::RandNormal({1, 4, 8}, 0, 1, rng);
+  Sum(enc.Forward(x, Tensor())).Backward();
+  for (const auto& [name, p] : enc.NamedParameters()) {
+    double norm = 0.0;
+    for (float g : p.grad()) norm += std::fabs(g);
+    EXPECT_GT(norm, 0.0) << "no gradient reached " << name;
+  }
+}
+
+TEST(RevInTest, NormalizeZeroMeanUnitVar) {
+  Rng rng(17);
+  RevIn revin(3);
+  Tensor x = Tensor::RandNormal({2, 50, 3}, 7.0f, 4.0f, rng);
+  Tensor y = revin.Normalize(x);
+  // Per (batch, variable) statistics over the time dim.
+  for (int64_t b = 0; b < 2; ++b) {
+    for (int64_t v = 0; v < 3; ++v) {
+      double mean = 0.0;
+      for (int64_t t = 0; t < 50; ++t) mean += y.at((b * 50 + t) * 3 + v);
+      EXPECT_NEAR(mean / 50.0, 0.0, 1e-3);
+    }
+  }
+}
+
+TEST(RevInTest, DenormalizeInvertsNormalize) {
+  Rng rng(18);
+  RevIn revin(2);
+  Tensor x = Tensor::RandNormal({1, 20, 2}, -3.0f, 2.0f, rng);
+  Tensor y = revin.Normalize(x);
+  Tensor back = revin.Denormalize(y);
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    EXPECT_NEAR(back.at(i), x.at(i), 1e-3f);
+  }
+}
+
+TEST(RevInTest, DenormalizeDifferentHorizon) {
+  Rng rng(19);
+  RevIn revin(2);
+  Tensor x = Tensor::RandNormal({1, 16, 2}, 10.0f, 1.0f, rng);
+  revin.Normalize(x);
+  Tensor pred = Tensor::Zeros({1, 4, 2});  // normalized-space forecast of 0
+  Tensor denorm = revin.Denormalize(pred);
+  EXPECT_EQ(denorm.shape(), (Shape{1, 4, 2}));
+  // A zero in normalized space maps back near the series mean (~10).
+  EXPECT_NEAR(denorm.at(0), 10.0f, 1.5f);
+}
+
+TEST(ModuleTest, NamedParametersHierarchical) {
+  Rng rng(20);
+  TransformerEncoderLayer layer(8, 2, 16, 0.0f, Activation::kRelu, &rng);
+  bool found = false;
+  for (const auto& [name, p] : layer.NamedParameters()) {
+    if (name == "attn.wq.weight") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ModuleTest, FreezeStopsUpdates) {
+  Rng rng(21);
+  Linear lin(2, 2, false, rng);
+  lin.Freeze();
+  for (const Tensor& p : lin.Parameters()) EXPECT_FALSE(p.requires_grad());
+  lin.Unfreeze();
+  for (const Tensor& p : lin.Parameters()) EXPECT_TRUE(p.requires_grad());
+}
+
+TEST(ModuleTest, SaveLoadRoundTrip) {
+  Rng rng(22);
+  Linear a(3, 4, true, rng);
+  Linear b(3, 4, true, rng);
+  const std::string path = ::testing::TempDir() + "/lin_weights.bin";
+  ASSERT_TRUE(a.SaveWeights(path).ok());
+  ASSERT_TRUE(b.LoadWeights(path).ok());
+  Tensor x = Tensor::RandNormal({2, 3}, 0, 1, rng);
+  Tensor ya = a.Forward(x);
+  Tensor yb = b.Forward(x);
+  for (int64_t i = 0; i < ya.numel(); ++i) EXPECT_EQ(ya.at(i), yb.at(i));
+  std::remove(path.c_str());
+}
+
+TEST(ModuleTest, LoadRejectsWrongShape) {
+  Rng rng(23);
+  Linear a(3, 4, true, rng);
+  Linear b(4, 3, true, rng);
+  const std::string path = ::testing::TempDir() + "/lin_badshape.bin";
+  ASSERT_TRUE(a.SaveWeights(path).ok());
+  EXPECT_FALSE(b.LoadWeights(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(OptimizerTest, AdamWReducesQuadratic) {
+  Tensor w = Tensor::FromVector({2}, {5.0f, -3.0f}).set_requires_grad(true);
+  AdamWConfig cfg;
+  cfg.lr = 0.1;
+  cfg.weight_decay = 0.0;
+  AdamW opt({w}, cfg);
+  for (int i = 0; i < 200; ++i) {
+    Tensor loss = Mean(tensor::Square(w));
+    opt.ZeroGrad();
+    loss.Backward();
+    opt.Step();
+  }
+  EXPECT_NEAR(w.at(0), 0.0f, 0.05f);
+  EXPECT_NEAR(w.at(1), 0.0f, 0.05f);
+}
+
+TEST(OptimizerTest, WeightDecayShrinksWeights) {
+  // With zero gradient signal, decay alone should shrink the weight.
+  Tensor w = Tensor::FromVector({1}, {1.0f}).set_requires_grad(true);
+  AdamWConfig cfg;
+  cfg.lr = 0.01;
+  cfg.weight_decay = 1.0;
+  AdamW opt({w}, cfg);
+  for (int i = 0; i < 50; ++i) {
+    Tensor loss = tensor::Scale(Sum(w), 0.0f);  // zero gradient
+    opt.ZeroGrad();
+    loss.Backward();
+    opt.Step();
+  }
+  EXPECT_LT(w.at(0), 0.7f);
+}
+
+TEST(OptimizerTest, SkipsFrozenParameters) {
+  Rng rng(24);
+  Tensor w = Tensor::FromVector({1}, {2.0f}).set_requires_grad(true);
+  AdamWConfig cfg;
+  cfg.lr = 0.5;
+  AdamW opt({w}, cfg);
+  Tensor loss = Mean(tensor::Square(w));
+  opt.ZeroGrad();
+  loss.Backward();
+  w.set_requires_grad(false);
+  opt.Step();
+  EXPECT_EQ(w.at(0), 2.0f);
+}
+
+TEST(ClipGradNormTest, ClipsLongGradients) {
+  Tensor w = Tensor::FromVector({2}, {0.0f, 0.0f}).set_requires_grad(true);
+  w.mutable_grad() = {3.0f, 4.0f};  // norm 5
+  const double pre = ClipGradNorm({w}, 1.0);
+  EXPECT_NEAR(pre, 5.0, 1e-6);
+  EXPECT_NEAR(w.grad()[0], 0.6f, 1e-5f);
+  EXPECT_NEAR(w.grad()[1], 0.8f, 1e-5f);
+}
+
+TEST(ClipGradNormTest, LeavesShortGradients) {
+  Tensor w = Tensor::FromVector({2}, {0.0f, 0.0f}).set_requires_grad(true);
+  w.mutable_grad() = {0.3f, 0.4f};
+  ClipGradNorm({w}, 1.0);
+  EXPECT_FLOAT_EQ(w.grad()[0], 0.3f);
+}
+
+TEST(DropoutModuleTest, RespectsTrainingMode) {
+  Rng rng(25);
+  Dropout drop(0.9f, &rng);
+  Tensor x = Tensor::Ones({100});
+  drop.SetTraining(false);
+  Tensor eval_out = drop.Forward(x);
+  for (int64_t i = 0; i < 100; ++i) EXPECT_FLOAT_EQ(eval_out.at(i), 1.0f);
+  drop.SetTraining(true);
+  Tensor train_out = drop.Forward(x);
+  int64_t zeros = 0;
+  for (int64_t i = 0; i < 100; ++i) zeros += train_out.at(i) == 0.0f ? 1 : 0;
+  EXPECT_GT(zeros, 50);
+}
+
+}  // namespace
+}  // namespace timekd::nn

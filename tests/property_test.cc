@@ -1,0 +1,255 @@
+// Property-based suites: invariants that must hold across randomized
+// inputs and across whole families of components.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/itransformer.h"
+#include "baselines/patchtst.h"
+#include "common/rng.h"
+#include "core/clm.h"
+#include "data/datasets.h"
+#include "data/window_dataset.h"
+#include "tensor/ops.h"
+#include "text/prompt.h"
+#include "text/tokenizer.h"
+
+namespace timekd {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+/// ---- Numeric invariants over random tensors (seed-parameterized) --------
+
+class RandomizedTensorSuite : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomizedTensorSuite, SoftmaxInvariantToRowShift) {
+  Rng rng(GetParam());
+  Tensor x = Tensor::RandNormal({5, 9}, 0, 2, rng);
+  Tensor shifted = tensor::AddScalar(x, 37.5f);
+  Tensor a = tensor::Softmax(x, -1);
+  Tensor b = tensor::Softmax(shifted, -1);
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    EXPECT_NEAR(a.at(i), b.at(i), 1e-5f);
+  }
+}
+
+TEST_P(RandomizedTensorSuite, LayerNormInvariantToAffineInput) {
+  Rng rng(GetParam() + 1);
+  Tensor x = Tensor::RandNormal({4, 8}, 0, 1, rng);
+  Tensor gamma = Tensor::Ones({8});
+  Tensor beta = Tensor::Zeros({8});
+  // LN(a*x + b) == LN(x) for per-row affine with a > 0.
+  Tensor transformed = tensor::AddScalar(tensor::Scale(x, 3.0f), -11.0f);
+  Tensor a = tensor::LayerNorm(x, gamma, beta, 1e-6f);
+  Tensor b = tensor::LayerNorm(transformed, gamma, beta, 1e-6f);
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    EXPECT_NEAR(a.at(i), b.at(i), 2e-3f);
+  }
+}
+
+TEST_P(RandomizedTensorSuite, MatMulAssociative) {
+  Rng rng(GetParam() + 2);
+  Tensor a = Tensor::RandNormal({3, 4}, 0, 1, rng);
+  Tensor b = Tensor::RandNormal({4, 5}, 0, 1, rng);
+  Tensor c = Tensor::RandNormal({5, 2}, 0, 1, rng);
+  Tensor left = tensor::MatMul(tensor::MatMul(a, b), c);
+  Tensor right = tensor::MatMul(a, tensor::MatMul(b, c));
+  for (int64_t i = 0; i < left.numel(); ++i) {
+    EXPECT_NEAR(left.at(i), right.at(i), 1e-3f);
+  }
+}
+
+TEST_P(RandomizedTensorSuite, SmoothL1BetweenItsBounds) {
+  // Pointwise: SL1(d) <= 0.5 d^2 and SL1(d) <= |d|; equals one of them.
+  Rng rng(GetParam() + 3);
+  for (int trial = 0; trial < 50; ++trial) {
+    const float d = static_cast<float>(rng.Uniform(-4.0, 4.0));
+    Tensor p = Tensor::FromVector({1}, {d});
+    Tensor t = Tensor::Zeros({1});
+    const float loss = tensor::SmoothL1Loss(p, t).item();
+    EXPECT_LE(loss, 0.5f * d * d + 1e-5f);
+    EXPECT_LE(loss, std::fabs(d) + 1e-5f);
+    const float expected =
+        std::fabs(d) < 1.0f ? 0.5f * d * d : std::fabs(d) - 0.5f;
+    EXPECT_NEAR(loss, expected, 1e-5f);
+  }
+}
+
+TEST_P(RandomizedTensorSuite, TransposeIsInvolution) {
+  Rng rng(GetParam() + 4);
+  Tensor x = Tensor::RandNormal({2, 5, 3}, 0, 1, rng);
+  Tensor round = tensor::Transpose(tensor::Transpose(x, 1, 2), 1, 2);
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    EXPECT_EQ(round.at(i), x.at(i));
+  }
+}
+
+TEST_P(RandomizedTensorSuite, ConcatThenSliceRecoversParts) {
+  Rng rng(GetParam() + 5);
+  Tensor a = Tensor::RandNormal({2, 3}, 0, 1, rng);
+  Tensor b = Tensor::RandNormal({2, 4}, 0, 1, rng);
+  Tensor cat = tensor::Concat({a, b}, 1);
+  Tensor a2 = tensor::Slice(cat, 1, 0, 3);
+  Tensor b2 = tensor::Slice(cat, 1, 3, 4);
+  for (int64_t i = 0; i < a.numel(); ++i) EXPECT_EQ(a2.at(i), a.at(i));
+  for (int64_t i = 0; i < b.numel(); ++i) EXPECT_EQ(b2.at(i), b.at(i));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomizedTensorSuite,
+                         ::testing::Values(11u, 222u, 3333u, 44444u));
+
+/// ---- Dataset-family invariants -------------------------------------------
+
+class AllDatasetsSuite : public ::testing::TestWithParam<data::DatasetId> {};
+
+TEST_P(AllDatasetsSuite, ShapeMatchesSpec) {
+  data::DatasetSpec spec = data::DefaultSpec(GetParam(), 150);
+  spec.num_variables = std::min<int64_t>(spec.num_variables, 5);
+  data::TimeSeries ts = data::MakeDataset(spec);
+  EXPECT_EQ(ts.num_steps(), 150);
+  EXPECT_EQ(ts.num_variables(), spec.num_variables);
+  EXPECT_EQ(ts.freq_minutes(), data::DatasetFreqMinutes(GetParam()));
+}
+
+TEST_P(AllDatasetsSuite, ValuesAreFinite) {
+  data::DatasetSpec spec = data::DefaultSpec(GetParam(), 400);
+  spec.num_variables = std::min<int64_t>(spec.num_variables, 5);
+  data::TimeSeries ts = data::MakeDataset(spec);
+  for (float v : ts.values()) {
+    ASSERT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST_P(AllDatasetsSuite, WindowsTileTheSeries) {
+  data::DatasetSpec spec = data::DefaultSpec(GetParam(), 120);
+  spec.num_variables = std::min<int64_t>(spec.num_variables, 4);
+  data::TimeSeries ts = data::MakeDataset(spec);
+  data::WindowDataset ds(ts, 16, 8);
+  // History(i+1) is History(i) shifted by one step.
+  Tensor h0 = ds.History(0);
+  Tensor h1 = ds.History(1);
+  const int64_t n = ts.num_variables();
+  for (int64_t t = 0; t < 15; ++t) {
+    for (int64_t v = 0; v < n; ++v) {
+      EXPECT_EQ(h1.at(t * n + v), h0.at((t + 1) * n + v));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Datasets, AllDatasetsSuite,
+    ::testing::Values(data::DatasetId::kEttm1, data::DatasetId::kEttm2,
+                      data::DatasetId::kEtth1, data::DatasetId::kEtth2,
+                      data::DatasetId::kWeather, data::DatasetId::kExchange,
+                      data::DatasetId::kPems04, data::DatasetId::kPems08),
+    [](const ::testing::TestParamInfo<data::DatasetId>& info) {
+      return data::DatasetName(info.param);
+    });
+
+/// ---- Model-family invariants ---------------------------------------------
+
+TEST(ForecastShiftEquivariance, RevInModelsTrackLevelShifts) {
+  // Any RevIN-wrapped forecaster must (approximately) commute with adding
+  // a constant to the input.
+  Rng rng(7);
+  baselines::BaselineConfig config;
+  config.num_variables = 3;
+  config.input_len = 16;
+  config.horizon = 4;
+  config.d_model = 16;
+  config.num_heads = 2;
+  config.encoder_layers = 1;
+  config.ffn_hidden = 32;
+  config.dropout = 0.0f;
+  config.patch_len = 8;
+  config.patch_stride = 4;
+  config.seed = 5;
+
+  baselines::ITransformer itransformer(config);
+  baselines::PatchTst patchtst(config);
+  itransformer.SetTraining(false);
+  patchtst.SetTraining(false);
+
+  Tensor x = Tensor::RandNormal({1, 16, 3}, 0, 1, rng);
+  Tensor shifted = tensor::AddScalar(x, 55.0f);
+  tensor::NoGradGuard no_grad;
+  for (baselines::ForecastModel* model :
+       std::initializer_list<baselines::ForecastModel*>{&itransformer,
+                                                        &patchtst}) {
+    Tensor base = model->Forward(x);
+    Tensor moved = model->Forward(shifted);
+    for (int64_t i = 0; i < base.numel(); ++i) {
+      EXPECT_NEAR(moved.at(i) - base.at(i), 55.0f, 1.0f) << model->name();
+    }
+  }
+}
+
+TEST(PromptProperty, TokenCountGrowsLinearlyWithValues) {
+  text::PromptBuilder builder;
+  text::PromptSpec spec;
+  spec.t_start = 0;
+  spec.t_end = 3;
+  spec.freq_minutes = 60;
+  spec.horizon = 2;
+  spec.future = {1.0f, 2.0f};
+  int64_t prev = 0;
+  for (int h = 2; h <= 32; h *= 2) {
+    spec.history.assign(static_cast<size_t>(h), 1.5f);
+    spec.t_end = h - 1;
+    const int64_t len = builder.TokenizeGroundTruthPrompt(spec).length();
+    EXPECT_GT(len, prev);
+    prev = len;
+  }
+}
+
+TEST(PromptProperty, ValuePiecesRoundTripThroughVocab) {
+  // Every formatted value must tokenize without [UNK] and decode back to
+  // the identical string.
+  text::PromptBuilder builder;
+  text::Tokenizer tokenizer;
+  Rng rng(13);
+  for (int trial = 0; trial < 100; ++trial) {
+    const float v = static_cast<float>(rng.Uniform(-500.0, 500.0));
+    const std::string formatted = builder.FormatValue(v);
+    const auto encoded = tokenizer.Encode(formatted);
+    for (int64_t id : encoded.ids) {
+      EXPECT_NE(id, text::Vocab::kUnkId) << formatted;
+    }
+    EXPECT_EQ(tokenizer.Decode(encoded), formatted);
+  }
+}
+
+TEST(EmbeddingCacheProperty, GetReturnsIndependentCopies) {
+  core::EmbeddingCache cache;
+  core::PromptEmbeddings e;
+  Rng rng(3);
+  e.gt = Tensor::RandNormal({2, 3}, 0, 1, rng);
+  e.hd = Tensor::RandNormal({2, 3}, 0, 1, rng);
+  cache.Put(0, e);
+  core::PromptEmbeddings first = cache.Get(0);
+  first.gt.data()[0] = 999.0f;
+  core::PromptEmbeddings second = cache.Get(0);
+  EXPECT_NE(second.gt.at(0), 999.0f) << "cache entries must be isolated";
+}
+
+TEST(MemoryTrackingProperty, PeakNeverBelowCurrent) {
+  tensor::ResetPeakMemoryBytes();
+  const int64_t before = tensor::CurrentMemoryBytes();
+  {
+    Tensor big = Tensor::Zeros({1000, 100});
+    EXPECT_GE(tensor::CurrentMemoryBytes(),
+              before + 1000 * 100 * static_cast<int64_t>(sizeof(float)));
+    EXPECT_GE(tensor::PeakMemoryBytes(), tensor::CurrentMemoryBytes());
+  }
+  // After destruction the current bytes drop, the peak stays.
+  EXPECT_LT(tensor::CurrentMemoryBytes(),
+            before + 1000 * 100 * static_cast<int64_t>(sizeof(float)));
+  EXPECT_GE(tensor::PeakMemoryBytes(),
+            before + 1000 * 100 * static_cast<int64_t>(sizeof(float)));
+}
+
+}  // namespace
+}  // namespace timekd

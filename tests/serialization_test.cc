@@ -1,0 +1,163 @@
+// Whole-model serialization round-trips: saving and restoring must
+// reproduce bit-identical forward passes for every model family.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "baselines/itransformer.h"
+#include "baselines/patchtst.h"
+#include "core/student.h"
+#include "core/teacher.h"
+#include "llm/language_model.h"
+#include "text/prompt.h"
+
+namespace timekd {
+namespace {
+
+using tensor::Tensor;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+/// Asserts two forward outputs are bit-identical.
+void ExpectSameOutputs(const Tensor& a, const Tensor& b) {
+  ASSERT_EQ(a.shape(), b.shape());
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    ASSERT_EQ(a.at(i), b.at(i)) << "mismatch at element " << i;
+  }
+}
+
+core::TimeKdConfig SmallCoreConfig(uint64_t seed) {
+  core::TimeKdConfig config;
+  config.num_variables = 3;
+  config.input_len = 12;
+  config.horizon = 6;
+  config.d_model = 16;
+  config.num_heads = 2;
+  config.encoder_layers = 1;
+  config.ffn_hidden = 32;
+  config.dropout = 0.0f;
+  config.llm.d_model = 16;
+  config.llm.num_layers = 1;
+  config.llm.num_heads = 2;
+  config.llm.ffn_hidden = 32;
+  config.seed = seed;
+  return config;
+}
+
+TEST(SerializationTest, StudentModelRoundTrip) {
+  core::StudentModel a(SmallCoreConfig(1));
+  core::StudentModel b(SmallCoreConfig(999));  // different init
+  a.SetTraining(false);
+  b.SetTraining(false);
+  const std::string path = TempPath("student_rt.bin");
+  ASSERT_TRUE(a.SaveWeights(path).ok());
+  ASSERT_TRUE(b.LoadWeights(path).ok());
+  Rng rng(4);
+  Tensor x = Tensor::RandNormal({2, 12, 3}, 0, 1, rng);
+  tensor::NoGradGuard no_grad;
+  ExpectSameOutputs(a.Forward(x).forecast, b.Forward(x).forecast);
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, TeacherRoundTrip) {
+  core::TimeKdTeacher a(SmallCoreConfig(2));
+  core::TimeKdTeacher b(SmallCoreConfig(777));
+  a.SetTraining(false);
+  b.SetTraining(false);
+  const std::string path = TempPath("teacher_rt.bin");
+  ASSERT_TRUE(a.SaveWeights(path).ok());
+  ASSERT_TRUE(b.LoadWeights(path).ok());
+  Rng rng(5);
+  Tensor l_gt = Tensor::RandNormal({1, 3, 16}, 0, 1, rng);
+  Tensor l_hd = Tensor::RandNormal({1, 3, 16}, 0, 1, rng);
+  tensor::NoGradGuard no_grad;
+  ExpectSameOutputs(a.Forward(l_gt, l_hd).reconstruction,
+                    b.Forward(l_gt, l_hd).reconstruction);
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, LanguageModelRoundTrip) {
+  llm::LlmConfig config;
+  config.vocab_size = text::Vocab::BuildPromptVocab().size();
+  config.d_model = 16;
+  config.num_layers = 1;
+  config.num_heads = 2;
+  config.ffn_hidden = 32;
+  config.seed = 6;
+  llm::LanguageModel a(config);
+  config.seed = 606;
+  llm::LanguageModel b(config);
+  a.SetTraining(false);
+  b.SetTraining(false);
+  const std::string path = TempPath("lm_rt.bin");
+  ASSERT_TRUE(a.SaveWeights(path).ok());
+  ASSERT_TRUE(b.LoadWeights(path).ok());
+
+  text::PromptBuilder builder;
+  text::PromptSpec spec;
+  spec.t_start = 0;
+  spec.t_end = 2;
+  spec.freq_minutes = 60;
+  spec.horizon = 2;
+  spec.history = {1.0f, 2.0f, 3.0f};
+  const auto prompt = builder.TokenizeHistoricalPrompt(spec);
+  tensor::NoGradGuard no_grad;
+  ExpectSameOutputs(a.EncodeLastToken(prompt, true),
+                    b.EncodeLastToken(prompt, true));
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, BaselineRoundTrips) {
+  baselines::BaselineConfig config;
+  config.num_variables = 3;
+  config.input_len = 16;
+  config.horizon = 4;
+  config.d_model = 16;
+  config.num_heads = 2;
+  config.encoder_layers = 1;
+  config.ffn_hidden = 32;
+  config.dropout = 0.0f;
+  config.patch_len = 8;
+  config.patch_stride = 4;
+  config.seed = 7;
+
+  Rng rng(8);
+  Tensor x = Tensor::RandNormal({1, 16, 3}, 0, 1, rng);
+  tensor::NoGradGuard no_grad;
+  {
+    baselines::ITransformer a(config);
+    config.seed = 70;
+    baselines::ITransformer b(config);
+    a.SetTraining(false);
+    b.SetTraining(false);
+    const std::string path = TempPath("itransformer_rt.bin");
+    ASSERT_TRUE(a.SaveWeights(path).ok());
+    ASSERT_TRUE(b.LoadWeights(path).ok());
+    ExpectSameOutputs(a.Forward(x), b.Forward(x));
+    std::remove(path.c_str());
+  }
+  {
+    config.seed = 7;
+    baselines::PatchTst a(config);
+    config.seed = 71;
+    baselines::PatchTst b(config);
+    a.SetTraining(false);
+    b.SetTraining(false);
+    const std::string path = TempPath("patchtst_rt.bin");
+    ASSERT_TRUE(a.SaveWeights(path).ok());
+    ASSERT_TRUE(b.LoadWeights(path).ok());
+    ExpectSameOutputs(a.Forward(x), b.Forward(x));
+    std::remove(path.c_str());
+  }
+}
+
+TEST(SerializationTest, LoadFromMissingFileFails) {
+  core::StudentModel model(SmallCoreConfig(3));
+  EXPECT_FALSE(model.LoadWeights("/nonexistent/weights.bin").ok());
+}
+
+}  // namespace
+}  // namespace timekd

@@ -1,0 +1,403 @@
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/ops.h"
+
+namespace timekd::tensor {
+namespace {
+
+TEST(ShapeTest, NumElements) {
+  EXPECT_EQ(NumElements({}), 1);
+  EXPECT_EQ(NumElements({3}), 3);
+  EXPECT_EQ(NumElements({2, 3, 4}), 24);
+  EXPECT_EQ(NumElements({5, 0}), 0);
+}
+
+TEST(ShapeTest, RowMajorStrides) {
+  EXPECT_EQ(RowMajorStrides({2, 3, 4}), (std::vector<int64_t>{12, 4, 1}));
+  EXPECT_EQ(RowMajorStrides({7}), (std::vector<int64_t>{1}));
+  EXPECT_TRUE(RowMajorStrides({}).empty());
+}
+
+TEST(ShapeTest, BroadcastCompatible) {
+  EXPECT_TRUE(BroadcastCompatible({2, 3}, {3}));
+  EXPECT_TRUE(BroadcastCompatible({2, 1, 4}, {3, 1}));
+  EXPECT_TRUE(BroadcastCompatible({}, {5, 5}));
+  EXPECT_FALSE(BroadcastCompatible({2, 3}, {4}));
+}
+
+TEST(ShapeTest, BroadcastShape) {
+  EXPECT_EQ(BroadcastShape({2, 1, 4}, {3, 1}), (Shape{2, 3, 4}));
+  EXPECT_EQ(BroadcastShape({}, {2, 2}), (Shape{2, 2}));
+}
+
+TEST(TensorTest, Factories) {
+  Tensor z = Tensor::Zeros({2, 3});
+  EXPECT_EQ(z.numel(), 6);
+  for (int64_t i = 0; i < 6; ++i) EXPECT_EQ(z.at(i), 0.0f);
+
+  Tensor o = Tensor::Ones({4});
+  for (int64_t i = 0; i < 4; ++i) EXPECT_EQ(o.at(i), 1.0f);
+
+  Tensor f = Tensor::Full({2}, 3.5f);
+  EXPECT_EQ(f.at(0), 3.5f);
+
+  Tensor s = Tensor::Scalar(-2.0f);
+  EXPECT_EQ(s.item(), -2.0f);
+  EXPECT_EQ(s.dim(), 0);
+
+  Tensor v = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(v.at(3), 4.0f);
+}
+
+TEST(TensorTest, RandomFactoriesDeterministic) {
+  Rng rng1(7);
+  Rng rng2(7);
+  Tensor a = Tensor::RandNormal({100}, 0.0f, 1.0f, rng1);
+  Tensor b = Tensor::RandNormal({100}, 0.0f, 1.0f, rng2);
+  for (int64_t i = 0; i < 100; ++i) EXPECT_EQ(a.at(i), b.at(i));
+}
+
+TEST(TensorTest, SizeNegativeIndexing) {
+  Tensor t = Tensor::Zeros({2, 3, 5});
+  EXPECT_EQ(t.size(-1), 5);
+  EXPECT_EQ(t.size(-3), 2);
+  EXPECT_EQ(t.size(1), 3);
+}
+
+TEST(TensorTest, DetachSharesNoHistory) {
+  Tensor a = Tensor::Ones({2}).set_requires_grad(true);
+  Tensor b = Scale(a, 2.0f);
+  Tensor d = b.Detach();
+  EXPECT_FALSE(d.requires_grad());
+  EXPECT_EQ(d.at(0), 2.0f);
+  d.data()[0] = 99.0f;
+  EXPECT_EQ(b.at(0), 2.0f) << "Detach must deep-copy values";
+}
+
+TEST(AutogradTest, AddBackward) {
+  Tensor a = Tensor::FromVector({2}, {1, 2}).set_requires_grad(true);
+  Tensor b = Tensor::FromVector({2}, {3, 4}).set_requires_grad(true);
+  Tensor loss = Sum(Add(a, b));
+  loss.Backward();
+  EXPECT_FLOAT_EQ(loss.item(), 10.0f);
+  EXPECT_FLOAT_EQ(a.grad()[0], 1.0f);
+  EXPECT_FLOAT_EQ(b.grad()[1], 1.0f);
+}
+
+TEST(AutogradTest, MulBackward) {
+  Tensor a = Tensor::FromVector({2}, {2, 3}).set_requires_grad(true);
+  Tensor b = Tensor::FromVector({2}, {5, 7}).set_requires_grad(true);
+  Sum(Mul(a, b)).Backward();
+  EXPECT_FLOAT_EQ(a.grad()[0], 5.0f);
+  EXPECT_FLOAT_EQ(a.grad()[1], 7.0f);
+  EXPECT_FLOAT_EQ(b.grad()[0], 2.0f);
+}
+
+TEST(AutogradTest, GradAccumulatesAcrossUses) {
+  Tensor a = Tensor::FromVector({1}, {3}).set_requires_grad(true);
+  Tensor y = Add(Mul(a, a), a);  // y = a^2 + a, dy/da = 2a + 1 = 7
+  Sum(y).Backward();
+  EXPECT_FLOAT_EQ(a.grad()[0], 7.0f);
+}
+
+TEST(AutogradTest, BroadcastAddReducesGrad) {
+  Tensor a = Tensor::Zeros({2, 3}).set_requires_grad(true);
+  Tensor b = Tensor::Zeros({3}).set_requires_grad(true);
+  Sum(Add(a, b)).Backward();
+  // b is used twice (once per row): its grad is 2 everywhere.
+  for (int i = 0; i < 3; ++i) EXPECT_FLOAT_EQ(b.grad()[i], 2.0f);
+  for (int i = 0; i < 6; ++i) EXPECT_FLOAT_EQ(a.grad()[i], 1.0f);
+}
+
+TEST(AutogradTest, BroadcastScalarOperand) {
+  Tensor a = Tensor::Ones({2, 2}).set_requires_grad(true);
+  Tensor s = Tensor::Scalar(3.0f).set_requires_grad(true);
+  Sum(Mul(a, s)).Backward();
+  EXPECT_FLOAT_EQ(s.grad()[0], 4.0f);  // sum of a
+  EXPECT_FLOAT_EQ(a.grad()[0], 3.0f);
+}
+
+TEST(AutogradTest, NoGradGuardBlocksTape) {
+  Tensor a = Tensor::Ones({2}).set_requires_grad(true);
+  Tensor out;
+  {
+    NoGradGuard guard;
+    out = Mul(a, a);
+  }
+  EXPECT_FALSE(out.requires_grad());
+}
+
+TEST(AutogradTest, NoGradGuardRestores) {
+  {
+    NoGradGuard guard;
+    EXPECT_FALSE(internal::GradModeEnabled());
+  }
+  EXPECT_TRUE(internal::GradModeEnabled());
+}
+
+TEST(AutogradTest, DiamondGraphAccumulates) {
+  // y = (a*2) + (a*3); dy/da = 5 per element.
+  Tensor a = Tensor::Ones({3}).set_requires_grad(true);
+  Sum(Add(Scale(a, 2.0f), Scale(a, 3.0f))).Backward();
+  for (int i = 0; i < 3; ++i) EXPECT_FLOAT_EQ(a.grad()[i], 5.0f);
+}
+
+TEST(AutogradTest, ZeroGradClears) {
+  Tensor a = Tensor::Ones({2}).set_requires_grad(true);
+  Sum(a).Backward();
+  EXPECT_FLOAT_EQ(a.grad()[0], 1.0f);
+  a.ZeroGrad();
+  EXPECT_FLOAT_EQ(a.grad()[0], 0.0f);
+}
+
+TEST(OpsTest, MatMul2D) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromVector({3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.shape(), (Shape{2, 2}));
+  EXPECT_FLOAT_EQ(c.at(0), 58.0f);
+  EXPECT_FLOAT_EQ(c.at(1), 64.0f);
+  EXPECT_FLOAT_EQ(c.at(2), 139.0f);
+  EXPECT_FLOAT_EQ(c.at(3), 154.0f);
+}
+
+TEST(OpsTest, MatMulBatchedTimesShared2D) {
+  // [2, 2, 2] x [2, 2] -> [2, 2, 2]
+  Tensor a = Tensor::FromVector({2, 2, 2}, {1, 0, 0, 1, 2, 0, 0, 2});
+  Tensor b = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.shape(), (Shape{2, 2, 2}));
+  EXPECT_FLOAT_EQ(c.at(0), 1.0f);
+  EXPECT_FLOAT_EQ(c.at(3), 4.0f);
+  EXPECT_FLOAT_EQ(c.at(4), 2.0f);
+  EXPECT_FLOAT_EQ(c.at(7), 8.0f);
+}
+
+TEST(OpsTest, MatMul2DTimesBatched) {
+  Tensor a = Tensor::FromVector({2, 2}, {1, 0, 0, 1});  // identity
+  Tensor b = Tensor::FromVector({3, 2, 2}, {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12});
+  Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.shape(), (Shape{3, 2, 2}));
+  for (int64_t i = 0; i < 12; ++i) EXPECT_FLOAT_EQ(c.at(i), b.at(i));
+}
+
+TEST(OpsTest, TransposeValues) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor t = Transpose(a, 0, 1);
+  EXPECT_EQ(t.shape(), (Shape{3, 2}));
+  EXPECT_FLOAT_EQ(t.at(0), 1.0f);
+  EXPECT_FLOAT_EQ(t.at(1), 4.0f);
+  EXPECT_FLOAT_EQ(t.at(2), 2.0f);
+  EXPECT_FLOAT_EQ(t.at(5), 6.0f);
+}
+
+TEST(OpsTest, TransposeInner3D) {
+  Tensor a = Tensor::FromVector({1, 2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor t = Transpose(a, 1, 2);
+  EXPECT_EQ(t.shape(), (Shape{1, 3, 2}));
+  EXPECT_FLOAT_EQ(t.at(1), 4.0f);
+}
+
+TEST(OpsTest, TransposeRoundTrip) {
+  Rng rng(1);
+  Tensor a = Tensor::RandNormal({2, 3, 4}, 0, 1, rng);
+  Tensor round = Transpose(Transpose(a, 0, 2), 0, 2);
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    EXPECT_FLOAT_EQ(round.at(i), a.at(i));
+  }
+}
+
+TEST(OpsTest, ReshapePreservesOrder) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = Reshape(a, {3, 2});
+  EXPECT_FLOAT_EQ(r.at(4), 5.0f);
+}
+
+TEST(OpsTest, SliceMiddleDim) {
+  Tensor a = Tensor::FromVector({2, 4}, {1, 2, 3, 4, 5, 6, 7, 8});
+  Tensor s = Slice(a, 1, 1, 2);
+  EXPECT_EQ(s.shape(), (Shape{2, 2}));
+  EXPECT_FLOAT_EQ(s.at(0), 2.0f);
+  EXPECT_FLOAT_EQ(s.at(3), 7.0f);
+}
+
+TEST(OpsTest, ConcatDim0AndDim1) {
+  Tensor a = Tensor::FromVector({1, 2}, {1, 2});
+  Tensor b = Tensor::FromVector({1, 2}, {3, 4});
+  Tensor c0 = Concat({a, b}, 0);
+  EXPECT_EQ(c0.shape(), (Shape{2, 2}));
+  EXPECT_FLOAT_EQ(c0.at(2), 3.0f);
+  Tensor c1 = Concat({a, b}, 1);
+  EXPECT_EQ(c1.shape(), (Shape{1, 4}));
+  EXPECT_FLOAT_EQ(c1.at(2), 3.0f);
+}
+
+TEST(OpsTest, SoftmaxRowsSumToOne) {
+  Rng rng(3);
+  Tensor x = Tensor::RandNormal({4, 7}, 0, 3, rng);
+  Tensor y = Softmax(x, -1);
+  for (int64_t r = 0; r < 4; ++r) {
+    float sum = 0.0f;
+    for (int64_t j = 0; j < 7; ++j) sum += y.at(r * 7 + j);
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+TEST(OpsTest, SoftmaxArbitraryDim) {
+  Rng rng(4);
+  Tensor x = Tensor::RandNormal({3, 5, 2}, 0, 1, rng);
+  Tensor y = Softmax(x, 1);
+  // Sum along dim 1 must be 1 for every (i, k).
+  for (int64_t i = 0; i < 3; ++i) {
+    for (int64_t k = 0; k < 2; ++k) {
+      float sum = 0.0f;
+      for (int64_t j = 0; j < 5; ++j) sum += y.at((i * 5 + j) * 2 + k);
+      EXPECT_NEAR(sum, 1.0f, 1e-5f);
+    }
+  }
+}
+
+TEST(OpsTest, SoftmaxHandlesLargeLogits) {
+  Tensor x = Tensor::FromVector({1, 3}, {1000.0f, 1000.0f, -1000.0f});
+  Tensor y = Softmax(x, -1);
+  EXPECT_NEAR(y.at(0), 0.5f, 1e-4f);
+  EXPECT_NEAR(y.at(2), 0.0f, 1e-6f);
+}
+
+TEST(OpsTest, SoftmaxWithAdditiveMaskSuppresses) {
+  Tensor x = Tensor::Zeros({1, 3});
+  Tensor mask = Tensor::FromVector({1, 3}, {0.0f, -1e9f, 0.0f});
+  Tensor y = Softmax(Add(x, mask), -1);
+  EXPECT_NEAR(y.at(0), 0.5f, 1e-5f);
+  EXPECT_NEAR(y.at(1), 0.0f, 1e-6f);
+}
+
+TEST(OpsTest, LayerNormNormalizesRows) {
+  Rng rng(5);
+  Tensor x = Tensor::RandNormal({6, 16}, 3.0f, 2.0f, rng);
+  Tensor gamma = Tensor::Ones({16});
+  Tensor beta = Tensor::Zeros({16});
+  Tensor y = LayerNorm(x, gamma, beta, 1e-5f);
+  for (int64_t r = 0; r < 6; ++r) {
+    double mean = 0.0;
+    double var = 0.0;
+    for (int64_t j = 0; j < 16; ++j) mean += y.at(r * 16 + j);
+    mean /= 16.0;
+    for (int64_t j = 0; j < 16; ++j) {
+      const double d = y.at(r * 16 + j) - mean;
+      var += d * d;
+    }
+    var /= 16.0;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(OpsTest, RmsNormScalesRows) {
+  Rng rng(6);
+  Tensor x = Tensor::RandNormal({4, 8}, 0.0f, 5.0f, rng);
+  Tensor gamma = Tensor::Ones({8});
+  Tensor y = RmsNorm(x, gamma, 1e-6f);
+  for (int64_t r = 0; r < 4; ++r) {
+    double ss = 0.0;
+    for (int64_t j = 0; j < 8; ++j) {
+      const double v = y.at(r * 8 + j);
+      ss += v * v;
+    }
+    EXPECT_NEAR(ss / 8.0, 1.0, 1e-3);
+  }
+}
+
+TEST(OpsTest, EmbeddingLookupGathersRows) {
+  Tensor w = Tensor::FromVector({3, 2}, {0, 1, 10, 11, 20, 21});
+  Tensor e = EmbeddingLookup(w, {2, 0, 2});
+  EXPECT_EQ(e.shape(), (Shape{3, 2}));
+  EXPECT_FLOAT_EQ(e.at(0), 20.0f);
+  EXPECT_FLOAT_EQ(e.at(2), 0.0f);
+  EXPECT_FLOAT_EQ(e.at(5), 21.0f);
+}
+
+TEST(OpsTest, EmbeddingBackwardScatterAdds) {
+  Tensor w = Tensor::Zeros({3, 2}).set_requires_grad(true);
+  Tensor e = EmbeddingLookup(w, {1, 1});
+  Sum(e).Backward();
+  EXPECT_FLOAT_EQ(w.grad()[2], 2.0f);  // row 1 used twice
+  EXPECT_FLOAT_EQ(w.grad()[0], 0.0f);
+}
+
+TEST(OpsTest, DropoutEvalIsIdentity) {
+  Rng rng(7);
+  Tensor x = Tensor::Ones({10});
+  Tensor y = Dropout(x, 0.5f, /*training=*/false, rng);
+  for (int64_t i = 0; i < 10; ++i) EXPECT_FLOAT_EQ(y.at(i), 1.0f);
+}
+
+TEST(OpsTest, DropoutTrainingScalesSurvivors) {
+  Rng rng(8);
+  Tensor x = Tensor::Ones({1000});
+  Tensor y = Dropout(x, 0.5f, /*training=*/true, rng);
+  int64_t zeros = 0;
+  for (int64_t i = 0; i < 1000; ++i) {
+    if (y.at(i) == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_FLOAT_EQ(y.at(i), 2.0f);
+    }
+  }
+  EXPECT_GT(zeros, 350);
+  EXPECT_LT(zeros, 650);
+}
+
+TEST(OpsTest, SumDimAndMeanDim) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor s0 = SumDim(a, 0, false);
+  EXPECT_EQ(s0.shape(), (Shape{3}));
+  EXPECT_FLOAT_EQ(s0.at(0), 5.0f);
+  Tensor s1 = SumDim(a, 1, true);
+  EXPECT_EQ(s1.shape(), (Shape{2, 1}));
+  EXPECT_FLOAT_EQ(s1.at(1), 15.0f);
+  Tensor m = MeanDim(a, 1, false);
+  EXPECT_FLOAT_EQ(m.at(0), 2.0f);
+}
+
+TEST(LossTest, SmoothL1Values) {
+  // Small residual -> quadratic; large -> linear.
+  Tensor p = Tensor::FromVector({2}, {0.5f, 3.0f});
+  Tensor t = Tensor::Zeros({2});
+  Tensor l = SmoothL1Loss(p, t);
+  EXPECT_NEAR(l.item(), (0.5f * 0.25f + 2.5f) / 2.0f, 1e-6f);
+}
+
+TEST(LossTest, MseAndMae) {
+  Tensor p = Tensor::FromVector({2}, {1.0f, -2.0f});
+  Tensor t = Tensor::Zeros({2});
+  EXPECT_NEAR(MseLoss(p, t).item(), 2.5f, 1e-6f);
+  EXPECT_NEAR(MaeLoss(p, t).item(), 1.5f, 1e-6f);
+}
+
+TEST(LossTest, CrossEntropyUniformLogits) {
+  Tensor logits = Tensor::Zeros({2, 4});
+  Tensor loss = CrossEntropyLoss(logits, {0, 3});
+  EXPECT_NEAR(loss.item(), std::log(4.0f), 1e-5f);
+}
+
+TEST(LossTest, CrossEntropyPerfectPrediction) {
+  Tensor logits = Tensor::FromVector({1, 3}, {100.0f, 0.0f, 0.0f});
+  EXPECT_NEAR(CrossEntropyLoss(logits, {0}).item(), 0.0f, 1e-4f);
+}
+
+TEST(LossTest, LossGradientFlowsToTargetToo) {
+  Tensor p = Tensor::FromVector({2}, {1.0f, 2.0f}).set_requires_grad(true);
+  Tensor t = Tensor::FromVector({2}, {0.0f, 0.0f}).set_requires_grad(true);
+  MseLoss(p, t).Backward();
+  EXPECT_FLOAT_EQ(p.grad()[0], -t.grad()[0]);
+  EXPECT_FLOAT_EQ(p.grad()[1], -t.grad()[1]);
+}
+
+}  // namespace
+}  // namespace timekd::tensor

@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "text/prompt.h"
+#include "text/tokenizer.h"
+#include "text/vocab.h"
+
+namespace timekd::text {
+namespace {
+
+TEST(VocabTest, SpecialIdsAreFixed) {
+  Vocab v = Vocab::BuildPromptVocab();
+  EXPECT_EQ(v.IdOf("[PAD]"), Vocab::kPadId);
+  EXPECT_EQ(v.IdOf("[BOS]"), Vocab::kBosId);
+  EXPECT_EQ(v.IdOf("[EOS]"), Vocab::kEosId);
+  EXPECT_EQ(v.IdOf("[UNK]"), Vocab::kUnkId);
+}
+
+TEST(VocabTest, ContainsTemplateWordsAndDigits) {
+  Vocab v = Vocab::BuildPromptVocab();
+  for (const char* w : {"from", "to", "values", "were", "every", "minutes",
+                        "next", "forecast", "the"}) {
+    EXPECT_TRUE(v.Contains(w)) << w;
+  }
+  for (char c = '0'; c <= '9'; ++c) {
+    EXPECT_TRUE(v.Contains(std::string(1, c)));
+  }
+  EXPECT_TRUE(v.Contains("-"));
+  EXPECT_TRUE(v.Contains("<dot>"));
+}
+
+TEST(VocabTest, UnknownMapsToUnk) {
+  Vocab v = Vocab::BuildPromptVocab();
+  EXPECT_EQ(v.IdOf("banana"), Vocab::kUnkId);
+}
+
+TEST(VocabTest, RoundTripIdToken) {
+  Vocab v = Vocab::BuildPromptVocab();
+  for (int64_t id = 0; id < v.size(); ++id) {
+    EXPECT_EQ(v.IdOf(v.TokenOf(id)), id);
+  }
+}
+
+PromptSpec MakeSpec() {
+  PromptSpec spec;
+  spec.t_start = 1;
+  spec.t_end = 3;
+  spec.freq_minutes = 15;
+  spec.horizon = 2;
+  spec.history = {10.0f, 11.0f, 20.0f};
+  spec.future = {21.5f, -1.0f};
+  return spec;
+}
+
+TEST(PromptBuilderTest, HistoricalRenderMatchesTemplate) {
+  PromptBuilder builder;
+  const std::string s = builder.RenderHistoricalPrompt(MakeSpec());
+  EXPECT_EQ(s,
+            "From 1 to 3, values were 10.0, 11.0, 20.0 every 15 minutes. "
+            "Forecast the next 30 minutes");
+}
+
+TEST(PromptBuilderTest, GroundTruthRenderIncludesFuture) {
+  PromptBuilder builder;
+  const std::string s = builder.RenderGroundTruthPrompt(MakeSpec());
+  EXPECT_EQ(s,
+            "From 1 to 3, values were 10.0, 11.0, 20.0 every 15 minutes. "
+            "Next 30 minutes: 21.5, -1.0");
+}
+
+TEST(PromptBuilderTest, GroundTruthPromptLongerThanHistorical) {
+  // W_HD < W_GT as stated in Sec. III of the paper.
+  PromptBuilder builder;
+  const auto hd = builder.TokenizeHistoricalPrompt(MakeSpec());
+  const auto gt = builder.TokenizeGroundTruthPrompt(MakeSpec());
+  EXPECT_LT(hd.length(), gt.length());
+}
+
+TEST(PromptBuilderTest, ModalityTagsMarkValues) {
+  PromptBuilder builder;
+  const auto gt = builder.TokenizeGroundTruthPrompt(MakeSpec());
+  ASSERT_EQ(gt.ids.size(), gt.modality.size());
+  int values = 0;
+  int texts = 0;
+  for (Modality m : gt.modality) {
+    (m == Modality::kValue ? values : texts)++;
+  }
+  // 5 values x 4 pieces ("10.0" etc.; "21.5"; "-1.0" is 4 pieces) >= 16.
+  EXPECT_GE(values, 16);
+  EXPECT_GT(texts, 10);
+}
+
+TEST(PromptBuilderTest, BosAndEosPresent) {
+  PromptBuilder builder;
+  const auto hd = builder.TokenizeHistoricalPrompt(MakeSpec());
+  EXPECT_EQ(hd.ids.front(), Vocab::kBosId);
+  EXPECT_EQ(hd.ids.back(), Vocab::kEosId);
+}
+
+TEST(PromptBuilderTest, NoUnkTokensInTemplates) {
+  PromptBuilder builder;
+  for (const auto& tp : {builder.TokenizeHistoricalPrompt(MakeSpec()),
+                         builder.TokenizeGroundTruthPrompt(MakeSpec())}) {
+    for (int64_t id : tp.ids) {
+      EXPECT_NE(id, Vocab::kUnkId) << "template emitted [UNK]";
+    }
+  }
+}
+
+TEST(PromptBuilderTest, StrideShortensPrompt) {
+  PromptOptions opts;
+  opts.stride = 2;
+  PromptBuilder strided(opts);
+  PromptBuilder dense;
+  PromptSpec spec = MakeSpec();
+  spec.history = {1.0f, 2.0f, 3.0f, 4.0f, 5.0f, 6.0f};
+  EXPECT_LT(strided.TokenizeHistoricalPrompt(spec).length(),
+            dense.TokenizeHistoricalPrompt(spec).length());
+}
+
+TEST(PromptBuilderTest, PrecisionControlsValueFormat) {
+  PromptOptions opts;
+  opts.precision = 2;
+  PromptBuilder builder(opts);
+  EXPECT_EQ(builder.FormatValue(1.234f), "1.23");
+  PromptOptions p0;
+  p0.precision = 0;
+  EXPECT_EQ(PromptBuilder(p0).FormatValue(1.6f), "2");
+}
+
+TEST(PromptBuilderTest, ValueFormatRoundTrip) {
+  PromptBuilder builder;
+  for (float v : {0.0f, -12.3f, 999.9f, 0.1f}) {
+    const float back = PromptBuilder::ParseValue(builder.FormatValue(v));
+    EXPECT_NEAR(back, v, 0.051f);
+  }
+}
+
+TEST(PromptBuilderTest, NegativeValuesTokenizeWithSign) {
+  PromptBuilder builder;
+  PromptSpec spec = MakeSpec();
+  spec.history = {-5.5f};
+  const auto tp = builder.TokenizeHistoricalPrompt(spec);
+  const Vocab& v = builder.vocab();
+  bool minus_as_value = false;
+  for (size_t i = 0; i < tp.ids.size(); ++i) {
+    if (tp.ids[i] == v.IdOf("-") && tp.modality[i] == Modality::kValue) {
+      minus_as_value = true;
+    }
+  }
+  EXPECT_TRUE(minus_as_value);
+}
+
+TEST(TokenizerTest, EncodeTagsNumbersAsValues) {
+  Tokenizer tok;
+  const auto tp = tok.Encode("values were 10.5, 2.0");
+  bool saw_value = false;
+  for (size_t i = 0; i < tp.ids.size(); ++i) {
+    if (tp.modality[i] == Modality::kValue) saw_value = true;
+  }
+  EXPECT_TRUE(saw_value);
+}
+
+TEST(TokenizerTest, EncodeDecodeRoundTripWords) {
+  Tokenizer tok;
+  const std::string text = "forecast the next 30 minutes";
+  EXPECT_EQ(tok.Decode(tok.Encode(text)), text);
+}
+
+TEST(TokenizerTest, DecodeJoinsNumberPieces) {
+  Tokenizer tok;
+  EXPECT_EQ(tok.Decode(tok.Encode("values were 10.5")), "values were 10.5");
+}
+
+TEST(TokenizerTest, UnknownWordsBecomeUnk) {
+  Tokenizer tok;
+  const auto tp = tok.Encode("zebra");
+  bool has_unk = false;
+  for (int64_t id : tp.ids) has_unk |= (id == Vocab::kUnkId);
+  EXPECT_TRUE(has_unk);
+}
+
+TEST(TokenizerTest, CaseInsensitiveWords) {
+  Tokenizer tok;
+  const auto a = tok.Encode("Forecast");
+  const auto b = tok.Encode("forecast");
+  EXPECT_EQ(a.ids, b.ids);
+}
+
+TEST(TokenizerTest, TrailingPunctuationSplit) {
+  Tokenizer tok;
+  const auto tp = tok.Encode("minutes.");
+  // Expect BOS, "minutes", ".", EOS.
+  ASSERT_EQ(tp.ids.size(), 4u);
+  EXPECT_EQ(tp.ids[1], tok.vocab().IdOf("minutes"));
+  EXPECT_EQ(tp.ids[2], tok.vocab().IdOf("."));
+}
+
+TEST(TokenizerTest, PromptBuilderAndTokenizerAgreeOnHistorical) {
+  // Tokenizing the rendered text reproduces the directly-built token ids.
+  PromptBuilder builder;
+  Tokenizer tok;
+  PromptSpec spec = MakeSpec();
+  const auto direct = builder.TokenizeHistoricalPrompt(spec);
+  const auto reparsed = tok.Encode(builder.RenderHistoricalPrompt(spec));
+  EXPECT_EQ(direct.ids, reparsed.ids);
+}
+
+TEST(TokenizerTest, PromptBuilderAndTokenizerAgreeOnGroundTruth) {
+  PromptBuilder builder;
+  Tokenizer tok;
+  PromptSpec spec = MakeSpec();
+  const auto direct = builder.TokenizeGroundTruthPrompt(spec);
+  const auto reparsed = tok.Encode(builder.RenderGroundTruthPrompt(spec));
+  EXPECT_EQ(direct.ids, reparsed.ids);
+}
+
+}  // namespace
+}  // namespace timekd::text
