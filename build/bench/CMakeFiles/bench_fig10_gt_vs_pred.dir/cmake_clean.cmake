@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_gt_vs_pred.dir/bench_fig10_gt_vs_pred.cc.o"
+  "CMakeFiles/bench_fig10_gt_vs_pred.dir/bench_fig10_gt_vs_pred.cc.o.d"
+  "bench_fig10_gt_vs_pred"
+  "bench_fig10_gt_vs_pred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_gt_vs_pred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_attention_maps.dir/bench_fig8_attention_maps.cc.o"
+  "CMakeFiles/bench_fig8_attention_maps.dir/bench_fig8_attention_maps.cc.o.d"
+  "bench_fig8_attention_maps"
+  "bench_fig8_attention_maps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_attention_maps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

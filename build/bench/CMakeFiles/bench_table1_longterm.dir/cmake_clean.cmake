@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_longterm.dir/bench_table1_longterm.cc.o"
+  "CMakeFiles/bench_table1_longterm.dir/bench_table1_longterm.cc.o.d"
+  "bench_table1_longterm"
+  "bench_table1_longterm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_longterm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

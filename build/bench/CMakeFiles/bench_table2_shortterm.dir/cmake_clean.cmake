@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_shortterm.dir/bench_table2_shortterm.cc.o"
+  "CMakeFiles/bench_table2_shortterm.dir/bench_table2_shortterm.cc.o.d"
+  "bench_table2_shortterm"
+  "bench_table2_shortterm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_shortterm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_fewshot.dir/bench_table5_fewshot.cc.o"
+  "CMakeFiles/bench_table5_fewshot.dir/bench_table5_fewshot.cc.o.d"
+  "bench_table5_fewshot"
+  "bench_table5_fewshot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_fewshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

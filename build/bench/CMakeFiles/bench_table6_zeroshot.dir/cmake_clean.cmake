@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_zeroshot.dir/bench_table6_zeroshot.cc.o"
+  "CMakeFiles/bench_table6_zeroshot.dir/bench_table6_zeroshot.cc.o.d"
+  "bench_table6_zeroshot"
+  "bench_table6_zeroshot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_zeroshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

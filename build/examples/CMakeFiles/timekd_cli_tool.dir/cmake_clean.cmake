@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timekd_cli_tool.dir/timekd_cli.cpp.o"
+  "CMakeFiles/timekd_cli_tool.dir/timekd_cli.cpp.o.d"
+  "timekd_cli"
+  "timekd_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timekd_cli_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

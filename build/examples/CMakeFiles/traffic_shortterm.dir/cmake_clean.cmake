@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_shortterm.dir/traffic_shortterm.cpp.o"
+  "CMakeFiles/traffic_shortterm.dir/traffic_shortterm.cpp.o.d"
+  "traffic_shortterm"
+  "traffic_shortterm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_shortterm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

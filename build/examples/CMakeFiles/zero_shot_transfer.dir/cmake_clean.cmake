@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zero_shot_transfer.dir/zero_shot_transfer.cpp.o"
+  "CMakeFiles/zero_shot_transfer.dir/zero_shot_transfer.cpp.o.d"
+  "zero_shot_transfer"
+  "zero_shot_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zero_shot_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/itransformer.cc" "src/baselines/CMakeFiles/timekd_baselines.dir/itransformer.cc.o" "gcc" "src/baselines/CMakeFiles/timekd_baselines.dir/itransformer.cc.o.d"
+  "/root/repo/src/baselines/llm_baselines.cc" "src/baselines/CMakeFiles/timekd_baselines.dir/llm_baselines.cc.o" "gcc" "src/baselines/CMakeFiles/timekd_baselines.dir/llm_baselines.cc.o.d"
+  "/root/repo/src/baselines/patchtst.cc" "src/baselines/CMakeFiles/timekd_baselines.dir/patchtst.cc.o" "gcc" "src/baselines/CMakeFiles/timekd_baselines.dir/patchtst.cc.o.d"
+  "/root/repo/src/baselines/timecma.cc" "src/baselines/CMakeFiles/timekd_baselines.dir/timecma.cc.o" "gcc" "src/baselines/CMakeFiles/timekd_baselines.dir/timecma.cc.o.d"
+  "/root/repo/src/baselines/trainer.cc" "src/baselines/CMakeFiles/timekd_baselines.dir/trainer.cc.o" "gcc" "src/baselines/CMakeFiles/timekd_baselines.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/timekd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/llm/CMakeFiles/timekd_llm.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/timekd_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/timekd_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/timekd_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/timekd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/timekd_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timekd_baselines.dir/itransformer.cc.o"
+  "CMakeFiles/timekd_baselines.dir/itransformer.cc.o.d"
+  "CMakeFiles/timekd_baselines.dir/llm_baselines.cc.o"
+  "CMakeFiles/timekd_baselines.dir/llm_baselines.cc.o.d"
+  "CMakeFiles/timekd_baselines.dir/patchtst.cc.o"
+  "CMakeFiles/timekd_baselines.dir/patchtst.cc.o.d"
+  "CMakeFiles/timekd_baselines.dir/timecma.cc.o"
+  "CMakeFiles/timekd_baselines.dir/timecma.cc.o.d"
+  "CMakeFiles/timekd_baselines.dir/trainer.cc.o"
+  "CMakeFiles/timekd_baselines.dir/trainer.cc.o.d"
+  "libtimekd_baselines.a"
+  "libtimekd_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timekd_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

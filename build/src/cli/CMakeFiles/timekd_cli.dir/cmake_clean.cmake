@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timekd_cli.dir/cli.cc.o"
+  "CMakeFiles/timekd_cli.dir/cli.cc.o.d"
+  "libtimekd_cli.a"
+  "libtimekd_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timekd_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timekd_common.dir/logging.cc.o"
+  "CMakeFiles/timekd_common.dir/logging.cc.o.d"
+  "CMakeFiles/timekd_common.dir/serialize.cc.o"
+  "CMakeFiles/timekd_common.dir/serialize.cc.o.d"
+  "CMakeFiles/timekd_common.dir/status.cc.o"
+  "CMakeFiles/timekd_common.dir/status.cc.o.d"
+  "libtimekd_common.a"
+  "libtimekd_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timekd_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/clm.cc" "src/core/CMakeFiles/timekd_core.dir/clm.cc.o" "gcc" "src/core/CMakeFiles/timekd_core.dir/clm.cc.o.d"
+  "/root/repo/src/core/distillation.cc" "src/core/CMakeFiles/timekd_core.dir/distillation.cc.o" "gcc" "src/core/CMakeFiles/timekd_core.dir/distillation.cc.o.d"
+  "/root/repo/src/core/forecaster.cc" "src/core/CMakeFiles/timekd_core.dir/forecaster.cc.o" "gcc" "src/core/CMakeFiles/timekd_core.dir/forecaster.cc.o.d"
+  "/root/repo/src/core/sca.cc" "src/core/CMakeFiles/timekd_core.dir/sca.cc.o" "gcc" "src/core/CMakeFiles/timekd_core.dir/sca.cc.o.d"
+  "/root/repo/src/core/student.cc" "src/core/CMakeFiles/timekd_core.dir/student.cc.o" "gcc" "src/core/CMakeFiles/timekd_core.dir/student.cc.o.d"
+  "/root/repo/src/core/teacher.cc" "src/core/CMakeFiles/timekd_core.dir/teacher.cc.o" "gcc" "src/core/CMakeFiles/timekd_core.dir/teacher.cc.o.d"
+  "/root/repo/src/core/timekd.cc" "src/core/CMakeFiles/timekd_core.dir/timekd.cc.o" "gcc" "src/core/CMakeFiles/timekd_core.dir/timekd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/llm/CMakeFiles/timekd_llm.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/timekd_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/timekd_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/timekd_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/timekd_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/timekd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timekd_core.dir/clm.cc.o"
+  "CMakeFiles/timekd_core.dir/clm.cc.o.d"
+  "CMakeFiles/timekd_core.dir/distillation.cc.o"
+  "CMakeFiles/timekd_core.dir/distillation.cc.o.d"
+  "CMakeFiles/timekd_core.dir/forecaster.cc.o"
+  "CMakeFiles/timekd_core.dir/forecaster.cc.o.d"
+  "CMakeFiles/timekd_core.dir/sca.cc.o"
+  "CMakeFiles/timekd_core.dir/sca.cc.o.d"
+  "CMakeFiles/timekd_core.dir/student.cc.o"
+  "CMakeFiles/timekd_core.dir/student.cc.o.d"
+  "CMakeFiles/timekd_core.dir/teacher.cc.o"
+  "CMakeFiles/timekd_core.dir/teacher.cc.o.d"
+  "CMakeFiles/timekd_core.dir/timekd.cc.o"
+  "CMakeFiles/timekd_core.dir/timekd.cc.o.d"
+  "libtimekd_core.a"
+  "libtimekd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timekd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/datasets.cc" "src/data/CMakeFiles/timekd_data.dir/datasets.cc.o" "gcc" "src/data/CMakeFiles/timekd_data.dir/datasets.cc.o.d"
+  "/root/repo/src/data/time_series.cc" "src/data/CMakeFiles/timekd_data.dir/time_series.cc.o" "gcc" "src/data/CMakeFiles/timekd_data.dir/time_series.cc.o.d"
+  "/root/repo/src/data/transforms.cc" "src/data/CMakeFiles/timekd_data.dir/transforms.cc.o" "gcc" "src/data/CMakeFiles/timekd_data.dir/transforms.cc.o.d"
+  "/root/repo/src/data/window_dataset.cc" "src/data/CMakeFiles/timekd_data.dir/window_dataset.cc.o" "gcc" "src/data/CMakeFiles/timekd_data.dir/window_dataset.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/timekd_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/timekd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

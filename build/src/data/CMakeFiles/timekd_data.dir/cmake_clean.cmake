@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timekd_data.dir/datasets.cc.o"
+  "CMakeFiles/timekd_data.dir/datasets.cc.o.d"
+  "CMakeFiles/timekd_data.dir/time_series.cc.o"
+  "CMakeFiles/timekd_data.dir/time_series.cc.o.d"
+  "CMakeFiles/timekd_data.dir/transforms.cc.o"
+  "CMakeFiles/timekd_data.dir/transforms.cc.o.d"
+  "CMakeFiles/timekd_data.dir/window_dataset.cc.o"
+  "CMakeFiles/timekd_data.dir/window_dataset.cc.o.d"
+  "libtimekd_data.a"
+  "libtimekd_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timekd_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timekd_eval.dir/heatmap.cc.o"
+  "CMakeFiles/timekd_eval.dir/heatmap.cc.o.d"
+  "CMakeFiles/timekd_eval.dir/metrics.cc.o"
+  "CMakeFiles/timekd_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/timekd_eval.dir/profile.cc.o"
+  "CMakeFiles/timekd_eval.dir/profile.cc.o.d"
+  "CMakeFiles/timekd_eval.dir/runner.cc.o"
+  "CMakeFiles/timekd_eval.dir/runner.cc.o.d"
+  "CMakeFiles/timekd_eval.dir/table.cc.o"
+  "CMakeFiles/timekd_eval.dir/table.cc.o.d"
+  "libtimekd_eval.a"
+  "libtimekd_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timekd_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

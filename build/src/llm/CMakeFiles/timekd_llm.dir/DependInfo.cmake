@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/llm/generate.cc" "src/llm/CMakeFiles/timekd_llm.dir/generate.cc.o" "gcc" "src/llm/CMakeFiles/timekd_llm.dir/generate.cc.o.d"
+  "/root/repo/src/llm/language_model.cc" "src/llm/CMakeFiles/timekd_llm.dir/language_model.cc.o" "gcc" "src/llm/CMakeFiles/timekd_llm.dir/language_model.cc.o.d"
+  "/root/repo/src/llm/pretrain.cc" "src/llm/CMakeFiles/timekd_llm.dir/pretrain.cc.o" "gcc" "src/llm/CMakeFiles/timekd_llm.dir/pretrain.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/timekd_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/timekd_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/timekd_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/timekd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timekd_llm.dir/generate.cc.o"
+  "CMakeFiles/timekd_llm.dir/generate.cc.o.d"
+  "CMakeFiles/timekd_llm.dir/language_model.cc.o"
+  "CMakeFiles/timekd_llm.dir/language_model.cc.o.d"
+  "CMakeFiles/timekd_llm.dir/pretrain.cc.o"
+  "CMakeFiles/timekd_llm.dir/pretrain.cc.o.d"
+  "libtimekd_llm.a"
+  "libtimekd_llm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timekd_llm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timekd_nn.dir/attention.cc.o"
+  "CMakeFiles/timekd_nn.dir/attention.cc.o.d"
+  "CMakeFiles/timekd_nn.dir/layers.cc.o"
+  "CMakeFiles/timekd_nn.dir/layers.cc.o.d"
+  "CMakeFiles/timekd_nn.dir/module.cc.o"
+  "CMakeFiles/timekd_nn.dir/module.cc.o.d"
+  "CMakeFiles/timekd_nn.dir/optimizer.cc.o"
+  "CMakeFiles/timekd_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/timekd_nn.dir/revin.cc.o"
+  "CMakeFiles/timekd_nn.dir/revin.cc.o.d"
+  "CMakeFiles/timekd_nn.dir/scheduler.cc.o"
+  "CMakeFiles/timekd_nn.dir/scheduler.cc.o.d"
+  "libtimekd_nn.a"
+  "libtimekd_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timekd_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timekd_tensor.dir/grad_check.cc.o"
+  "CMakeFiles/timekd_tensor.dir/grad_check.cc.o.d"
+  "CMakeFiles/timekd_tensor.dir/ops.cc.o"
+  "CMakeFiles/timekd_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/timekd_tensor.dir/tensor.cc.o"
+  "CMakeFiles/timekd_tensor.dir/tensor.cc.o.d"
+  "libtimekd_tensor.a"
+  "libtimekd_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timekd_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

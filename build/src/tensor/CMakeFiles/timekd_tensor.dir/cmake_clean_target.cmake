@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtimekd_tensor.a"
+)

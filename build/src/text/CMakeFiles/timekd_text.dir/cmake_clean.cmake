@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timekd_text.dir/prompt.cc.o"
+  "CMakeFiles/timekd_text.dir/prompt.cc.o.d"
+  "CMakeFiles/timekd_text.dir/tokenizer.cc.o"
+  "CMakeFiles/timekd_text.dir/tokenizer.cc.o.d"
+  "CMakeFiles/timekd_text.dir/vocab.cc.o"
+  "CMakeFiles/timekd_text.dir/vocab.cc.o.d"
+  "libtimekd_text.a"
+  "libtimekd_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timekd_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
