@@ -2,15 +2,21 @@
 #define TIMEKD_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "eval/profile.h"
+#include "eval/runner.h"
+#include "obs/observer.h"
 
 namespace timekd::bench {
 
 /// Prints the standard banner: which experiment is being reproduced and at
 /// what scale. Every bench binary calls this first so the output files are
-/// self-describing.
+/// self-describing. It also names the experiment for the machine-readable
+/// run report: when TIMEKD_RUN_REPORT is set, a "banner" record is
+/// appended and every subsequent RunExperiment appends a "run" record with
+/// this experiment name attached (see docs/observability.md).
 inline void PrintBanner(const std::string& experiment,
                         const std::string& paper_setting,
                         const eval::BenchProfile& profile) {
@@ -30,6 +36,25 @@ inline void PrintBanner(const std::string& experiment,
       static_cast<long long>(profile.d_model),
       static_cast<long long>(profile.llm_layers));
   std::printf("==============================================================\n");
+
+  eval::SetRunReportContext(experiment);
+  const char* report_path = std::getenv("TIMEKD_RUN_REPORT");
+  if (report_path != nullptr && *report_path != '\0') {
+    obs::JsonlWriter writer(report_path);
+    obs::JsonObject obj;
+    obj.Set("kind", "banner")
+        .Set("experiment", experiment)
+        .Set("paper_setting", paper_setting)
+        .Set("profile", profile.name)
+        .Set("dataset_length", profile.dataset_length)
+        .Set("input_len", profile.input_len)
+        .Set("horizon_scale", profile.horizon_scale)
+        .Set("epochs", profile.epochs)
+        .Set("seeds", profile.seeds)
+        .Set("d_model", profile.d_model)
+        .Set("llm_layers", profile.llm_layers);
+    writer.WriteLine(obj);
+  }
 }
 
 }  // namespace timekd::bench

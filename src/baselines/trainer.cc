@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "nn/optimizer.h"
+#include "obs/trace.h"
 #include "tensor/ops.h"
 
 namespace timekd::baselines {
@@ -52,7 +53,9 @@ Metrics EvaluateModel(const ForecastModel& model,
 BaselineFitStats BaselineTrainer::Fit(const data::WindowDataset& train,
                                       const data::WindowDataset* val,
                                       const core::TrainConfig& config) {
+  TIMEKD_TRACE_SCOPE("fit/baseline");
   BaselineFitStats stats;
+  obs::TrainObserver* observer = config.observer;
   nn::AdamWConfig opt_config;
   opt_config.lr = config.lr;
   opt_config.weight_decay = config.weight_decay;
@@ -70,16 +73,29 @@ BaselineFitStats BaselineTrainer::Fit(const data::WindowDataset& train,
     int64_t batches = 0;
     for (const auto& indices :
          train.EpochBatches(config.batch_size, config.shuffle, &shuffle_rng)) {
+      const auto step_start = Clock::now();
       data::ForecastBatch batch = train.GetBatch(indices);
       Tensor loss =
           tensor::SmoothL1Loss(model_->Forward(batch.x), batch.y);
       optimizer.ZeroGrad();
       loss.Backward();
-      nn::ClipGradNorm(params, config.clip_norm);
+      const double grad_norm = nn::ClipGradNorm(params, config.clip_norm);
       optimizer.Step();
       es.loss += loss.item();
       ++batches;
       ++stats.steps;
+      if (observer != nullptr) {
+        obs::StepRecord record;
+        record.phase = "baseline";
+        record.epoch = epoch;
+        record.step = stats.steps;
+        record.batch_size = static_cast<int64_t>(indices.size());
+        record.total_loss = loss.item();
+        record.fcst_loss = loss.item();
+        record.grad_norm = grad_norm;
+        record.seconds = SecondsSince(step_start);
+        observer->OnStep(record);
+      }
     }
     if (batches > 0) es.loss /= batches;
 
@@ -98,6 +114,17 @@ BaselineFitStats BaselineTrainer::Fit(const data::WindowDataset& train,
       TIMEKD_LOG(Info) << model_->name() << " epoch " << epoch
                        << " loss=" << es.loss << " val_mse=" << es.val_mse
                        << " (" << es.seconds << "s)";
+    }
+    if (observer != nullptr) {
+      obs::EpochRecord record;
+      record.phase = "baseline";
+      record.epoch = epoch;
+      record.steps = batches;
+      record.total_loss = es.loss;
+      record.fcst_loss = es.loss;
+      record.val_mse = es.val_mse;
+      record.seconds = es.seconds;
+      observer->OnEpoch(record);
     }
     stats.epochs.push_back(es);
   }

@@ -1,11 +1,45 @@
 #include "common/logging.h"
 
+#include <atomic>
+#include <chrono>
 #include <cstring>
+#include <ctime>
+#include <mutex>
 
 namespace timekd {
 namespace internal_logging {
 
 namespace {
+
+/// Guards the write of a fully-formatted message. A single fputs is not
+/// atomic with respect to other writers (and messages can span lines), so
+/// concurrent threads interleaved mid-record without this.
+std::mutex& SinkMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+/// Small stable per-thread id (1, 2, ...) — far more readable in logs than
+/// the opaque pthread handle.
+uint32_t ThisThreadId() {
+  static std::atomic<uint32_t> next{1};
+  thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+/// Wall-clock "YYYY-MM-DD HH:MM:SS.mmm" in local time.
+void FormatTimestamp(char* buf, size_t size) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm_buf{};
+  localtime_r(&secs, &tm_buf);
+  const size_t n = std::strftime(buf, size, "%Y-%m-%d %H:%M:%S", &tm_buf);
+  std::snprintf(buf + n, size - n, ".%03d", static_cast<int>(ms));
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -46,14 +80,20 @@ LogLevel MinLevel() {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level) {
-  stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line
-          << "] ";
+  char ts[32];
+  FormatTimestamp(ts, sizeof(ts));
+  stream_ << "[" << ts << " t" << ThisThreadId() << " " << LevelName(level)
+          << " " << Basename(file) << ":" << line << "] ";
 }
 
 LogMessage::~LogMessage() {
   stream_ << "\n";
-  std::fputs(stream_.str().c_str(), stderr);
-  std::fflush(stderr);
+  const std::string message = stream_.str();
+  {
+    std::lock_guard<std::mutex> lock(SinkMutex());
+    std::fputs(message.c_str(), stderr);
+    std::fflush(stderr);
+  }
   if (level_ == LogLevel::kFatal) {
     std::abort();
   }

@@ -17,7 +17,10 @@ namespace internal_logging {
 /// (0=debug .. 3=error). Defaults to kInfo.
 LogLevel MinLevel();
 
-/// Stream-style log sink that emits one line to stderr on destruction.
+/// Stream-style log sink that emits one record to stderr on destruction.
+/// The prefix carries a wall-clock timestamp, a small per-thread id, the
+/// severity, and the call site; records from concurrent threads are
+/// serialized so they never interleave mid-record.
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line);

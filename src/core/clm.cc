@@ -3,6 +3,8 @@
 #include "common/logging.h"
 #include "common/serialize.h"
 #include "llm/pretrain.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/ops.h"
 #include "text/vocab.h"
 
@@ -63,6 +65,10 @@ Tensor Clm::EncodeWithValueEncoder(const data::WindowDataset& ds, int64_t i,
 
 PromptEmbeddings Clm::EncodeSample(const data::WindowDataset& ds,
                                    int64_t i) const {
+  TIMEKD_TRACE_SCOPE("clm/encode_sample");
+  static obs::Counter* encodes =
+      obs::GlobalMetrics().GetCounter("clm/encode_calls");
+  encodes->Increment();
   tensor::NoGradGuard no_grad;
   PromptEmbeddings out;
   if (!config_.use_clm) {
@@ -106,6 +112,11 @@ bool EmbeddingCache::Contains(int64_t sample) const {
 void EmbeddingCache::Put(int64_t sample, const PromptEmbeddings& embeddings) {
   TIMEKD_CHECK(embeddings.gt.defined() && embeddings.hd.defined());
   TIMEKD_CHECK_EQ(embeddings.gt.dim(), 2);
+  static obs::Counter* inserts =
+      obs::GlobalMetrics().GetCounter("clm/cache_inserts");
+  static obs::Gauge* entries =
+      obs::GlobalMetrics().GetGauge("clm/cache_entries");
+  inserts->Increment();
   Entry entry;
   entry.n = embeddings.gt.size(0);
   entry.d = embeddings.gt.size(1);
@@ -114,9 +125,13 @@ void EmbeddingCache::Put(int64_t sample, const PromptEmbeddings& embeddings) {
   entry.hd.assign(embeddings.hd.data(),
                   embeddings.hd.data() + embeddings.hd.numel());
   entries_[sample] = std::move(entry);
+  entries->Set(static_cast<double>(entries_.size()));
 }
 
 PromptEmbeddings EmbeddingCache::Get(int64_t sample) const {
+  static obs::Counter* reads =
+      obs::GlobalMetrics().GetCounter("clm/cache_reads");
+  reads->Increment();
   auto it = entries_.find(sample);
   TIMEKD_CHECK(it != entries_.end()) << "cache miss for sample " << sample;
   const Entry& entry = it->second;

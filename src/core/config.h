@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "llm/language_model.h"
+#include "obs/observer.h"
 #include "text/prompt.h"
 
 namespace timekd::core {
@@ -77,6 +78,11 @@ struct TrainConfig {
   bool shuffle = true;
   bool verbose = false;
   uint64_t seed = 7;
+  /// Optional telemetry hook (not owned; must outlive Fit). Receives one
+  /// StepRecord per optimizer step — loss components of Eq. 30, pre-clip
+  /// grad norm, wall time — and one EpochRecord per epoch. See
+  /// obs::JsonlObserver for the bundled file sink.
+  obs::TrainObserver* observer = nullptr;
 };
 
 }  // namespace timekd::core

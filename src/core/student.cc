@@ -1,6 +1,7 @@
 #include "core/student.h"
 
 #include "common/logging.h"
+#include "obs/trace.h"
 #include "tensor/ops.h"
 
 namespace timekd::core {
@@ -25,6 +26,7 @@ StudentModel::StudentModel(const TimeKdConfig& config)
 }
 
 StudentModel::Output StudentModel::Forward(const Tensor& x) const {
+  TIMEKD_TRACE_SCOPE("student/forward");
   TIMEKD_CHECK_EQ(x.dim(), 3);
   TIMEKD_CHECK_EQ(x.size(1), config_.input_len);
   TIMEKD_CHECK_EQ(x.size(2), config_.num_variables);

@@ -1,6 +1,7 @@
 #include "core/teacher.h"
 
 #include "common/logging.h"
+#include "obs/trace.h"
 #include "tensor/ops.h"
 
 namespace timekd::core {
@@ -30,16 +31,24 @@ TimeKdTeacher::TimeKdTeacher(const TimeKdConfig& config)
 
 TimeKdTeacher::Output TimeKdTeacher::Forward(const Tensor& l_gt,
                                              const Tensor& l_hd) const {
+  TIMEKD_TRACE_SCOPE("teacher/forward");
   TIMEKD_CHECK_EQ(l_gt.dim(), 3);
 
   // L̄_GT of Eq. 9 (or the w/o_SCA direct subtraction), [B, N, D].
-  Tensor refined = config_.use_sca ? sca_->Forward(l_gt, l_hd)
-                                   : direct_sub_->Forward(l_gt, l_hd);
+  Tensor refined;
+  {
+    TIMEKD_TRACE_SCOPE("teacher/sca");
+    refined = config_.use_sca ? sca_->Forward(l_gt, l_hd)
+                              : direct_sub_->Forward(l_gt, l_hd);
+  }
 
   Output out;
-  // PTEncoder over variable tokens (Eq. 10–14).
-  out.embeddings = pt_encoder_.Forward(refined, Tensor());  // [B, N, D]
-  out.attention = pt_encoder_.last_layer_attention();        // [B, N, N]
+  {
+    TIMEKD_TRACE_SCOPE("teacher/pt_encoder");
+    // PTEncoder over variable tokens (Eq. 10–14).
+    out.embeddings = pt_encoder_.Forward(refined, Tensor());  // [B, N, D]
+    out.attention = pt_encoder_.last_layer_attention();       // [B, N, N]
+  }
   // Reconstruction head (Eq. 15): per-variable D -> G, then [B, G, N].
   out.reconstruction = Transpose(recon_head_.Forward(out.embeddings), 1, 2);
   return out;

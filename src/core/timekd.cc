@@ -7,6 +7,8 @@
 
 #include "common/logging.h"
 #include "nn/optimizer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/ops.h"
 
 namespace timekd::core {
@@ -74,20 +76,39 @@ TimeKd::TimeKd(const TimeKdConfig& config) : config_(config) {
 }
 
 void TimeKd::WarmCache(const data::WindowDataset& ds) {
+  TIMEKD_TRACE_SCOPE("cache/warm");
+  static obs::Counter* hits =
+      obs::GlobalMetrics().GetCounter("clm/cache_hits");
+  static obs::Counter* misses =
+      obs::GlobalMetrics().GetCounter("clm/cache_misses");
+  static obs::Histogram* encode_seconds = obs::GlobalMetrics().GetHistogram(
+      "clm/encode_seconds",
+      {1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 30.0});
   for (int64_t i = 0; i < ds.NumSamples(); ++i) {
-    if (cache_.Contains(i)) continue;
+    if (cache_.Contains(i)) {
+      hits->Increment();
+      continue;
+    }
+    misses->Increment();
+    const auto start = Clock::now();
     cache_.Put(i, clm_->EncodeSample(ds, i));
+    encode_seconds->Observe(SecondsSince(start));
   }
 }
 
 FitStats TimeKd::Fit(const data::WindowDataset& train,
                      const data::WindowDataset* val,
                      const TrainConfig& train_config) {
+  TIMEKD_TRACE_SCOPE("fit/timekd");
   FitStats stats;
+  obs::TrainObserver* observer = train_config.observer;
 
   const auto cache_start = Clock::now();
   WarmCache(train);
   stats.cache_build_seconds = SecondsSince(cache_start);
+  obs::GlobalMetrics()
+      .GetGauge("fit/cache_build_seconds")
+      ->Set(stats.cache_build_seconds);
 
   Rng shuffle_rng(train_config.seed);
   const int64_t teacher_epochs = train_config.teacher_epochs >= 0
@@ -96,6 +117,7 @@ FitStats TimeKd::Fit(const data::WindowDataset& train,
 
   // ---- Phase A (Algorithm 1): cross-modality teacher training -------------
   {
+    TIMEKD_TRACE_SCOPE("fit/teacher_phase");
     std::vector<Tensor> teacher_params = teacher_->Parameters();
     nn::AdamWConfig opt_config;
     opt_config.lr = train_config.lr;
@@ -103,25 +125,43 @@ FitStats TimeKd::Fit(const data::WindowDataset& train,
     nn::AdamW optimizer(teacher_params, opt_config);
     teacher_->SetTraining(true);
     for (int64_t epoch = 0; epoch < teacher_epochs; ++epoch) {
+      TIMEKD_TRACE_SCOPE("fit/teacher_epoch");
       const auto epoch_start = Clock::now();
       EpochStats es;
       es.val_mse = std::numeric_limits<double>::quiet_NaN();
       int64_t batches = 0;
       for (const auto& indices : train.EpochBatches(
                train_config.batch_size, train_config.shuffle, &shuffle_rng)) {
+        const auto step_start = Clock::now();
         data::ForecastBatch batch = train.GetBatch(indices);
         Tensor l_gt = StackEmbeddings(cache_, indices, /*gt=*/true);
         Tensor l_hd = StackEmbeddings(cache_, indices, /*gt=*/false);
         TimeKdTeacher::Output out = teacher_->Forward(l_gt, l_hd);
         Tensor recon_loss = tensor::SmoothL1Loss(out.reconstruction, batch.y);
         optimizer.ZeroGrad();
-        recon_loss.Backward();
-        nn::ClipGradNorm(teacher_params, train_config.clip_norm);
+        {
+          TIMEKD_TRACE_SCOPE("teacher/backward");
+          recon_loss.Backward();
+        }
+        const double grad_norm =
+            nn::ClipGradNorm(teacher_params, train_config.clip_norm);
         optimizer.Step();
         es.recon_loss += recon_loss.item();
         es.total_loss += recon_loss.item();
         ++batches;
         ++stats.steps;
+        if (observer != nullptr) {
+          obs::StepRecord record;
+          record.phase = "teacher";
+          record.epoch = epoch;
+          record.step = stats.steps;
+          record.batch_size = static_cast<int64_t>(indices.size());
+          record.total_loss = recon_loss.item();
+          record.recon_loss = recon_loss.item();
+          record.grad_norm = grad_norm;
+          record.seconds = SecondsSince(step_start);
+          observer->OnStep(record);
+        }
       }
       if (batches > 0) {
         es.recon_loss /= batches;
@@ -132,6 +172,17 @@ FitStats TimeKd::Fit(const data::WindowDataset& train,
         TIMEKD_LOG(Info) << "teacher epoch " << epoch
                          << " recon=" << es.recon_loss << " (" << es.seconds
                          << "s)";
+      }
+      if (observer != nullptr) {
+        obs::EpochRecord record;
+        record.phase = "teacher";
+        record.epoch = epoch;
+        record.steps = batches;
+        record.total_loss = es.total_loss;
+        record.recon_loss = es.recon_loss;
+        record.val_mse = es.val_mse;
+        record.seconds = es.seconds;
+        observer->OnEpoch(record);
       }
       stats.epochs.push_back(es);
     }
@@ -167,6 +218,7 @@ FitStats TimeKd::Fit(const data::WindowDataset& train,
   targets.n = config_.num_variables;
   targets.d = config_.d_model;
   {
+    TIMEKD_TRACE_SCOPE("fit/teacher_targets");
     tensor::NoGradGuard no_grad;
     std::vector<int64_t> all(static_cast<size_t>(train.NumSamples()));
     for (int64_t i = 0; i < train.NumSamples(); ++i) all[i] = i;
@@ -191,6 +243,7 @@ FitStats TimeKd::Fit(const data::WindowDataset& train,
 
   // ---- Phase B (Algorithm 2): student distillation + forecasting ----------
   {
+    TIMEKD_TRACE_SCOPE("fit/student_phase");
     std::vector<Tensor> student_params = student_->Parameters();
     nn::AdamWConfig opt_config;
     opt_config.lr = train_config.lr;
@@ -201,12 +254,14 @@ FitStats TimeKd::Fit(const data::WindowDataset& train,
     std::vector<float> best_snapshot;
 
     for (int64_t epoch = 0; epoch < train_config.epochs; ++epoch) {
+      TIMEKD_TRACE_SCOPE("fit/student_epoch");
       const auto epoch_start = Clock::now();
       student_->SetTraining(true);
       EpochStats es;
       int64_t batches = 0;
       for (const auto& indices : train.EpochBatches(
                train_config.batch_size, train_config.shuffle, &shuffle_rng)) {
+        const auto step_start = Clock::now();
         data::ForecastBatch batch = train.GetBatch(indices);
         StudentModel::Output out = student_->Forward(batch.x);
         Tensor fcst_loss = tensor::SmoothL1Loss(out.forecast, batch.y);
@@ -219,8 +274,12 @@ FitStats TimeKd::Fit(const data::WindowDataset& train,
             tensor::Add(tensor::Scale(fcst_loss, config_.lambda_fcst),
                         tensor::Scale(pkd.total, config_.lambda_pkd));
         optimizer.ZeroGrad();
-        total.Backward();
-        nn::ClipGradNorm(student_params, train_config.clip_norm);
+        {
+          TIMEKD_TRACE_SCOPE("student/backward");
+          total.Backward();
+        }
+        const double grad_norm =
+            nn::ClipGradNorm(student_params, train_config.clip_norm);
         optimizer.Step();
 
         es.total_loss += total.item();
@@ -229,6 +288,22 @@ FitStats TimeKd::Fit(const data::WindowDataset& train,
         if (pkd.feature.defined()) es.fd_loss += pkd.feature.item();
         ++batches;
         ++stats.steps;
+        if (observer != nullptr) {
+          obs::StepRecord record;
+          record.phase = "student";
+          record.epoch = epoch;
+          record.step = stats.steps;
+          record.batch_size = static_cast<int64_t>(indices.size());
+          record.total_loss = total.item();
+          record.fcst_loss = fcst_loss.item();
+          if (pkd.correlation.defined()) {
+            record.cd_loss = pkd.correlation.item();
+          }
+          if (pkd.feature.defined()) record.fd_loss = pkd.feature.item();
+          record.grad_norm = grad_norm;
+          record.seconds = SecondsSince(step_start);
+          observer->OnStep(record);
+        }
       }
       if (batches > 0) {
         es.total_loss /= batches;
@@ -254,6 +329,19 @@ FitStats TimeKd::Fit(const data::WindowDataset& train,
                          << " fd=" << es.fd_loss << " val_mse=" << es.val_mse
                          << " (" << es.seconds << "s)";
       }
+      if (observer != nullptr) {
+        obs::EpochRecord record;
+        record.phase = "student";
+        record.epoch = epoch;
+        record.steps = batches;
+        record.total_loss = es.total_loss;
+        record.cd_loss = es.cd_loss;
+        record.fd_loss = es.fd_loss;
+        record.fcst_loss = es.fcst_loss;
+        record.val_mse = es.val_mse;
+        record.seconds = es.seconds;
+        observer->OnEpoch(record);
+      }
       stats.epochs.push_back(es);
     }
     if (!best_snapshot.empty()) RestoreTrainable(best_snapshot);
@@ -271,6 +359,7 @@ Tensor TimeKd::Predict(const Tensor& x) const {
 }
 
 TimeKd::Metrics TimeKd::Evaluate(const data::WindowDataset& ds) const {
+  TIMEKD_TRACE_SCOPE("eval/evaluate");
   tensor::NoGradGuard no_grad;
   student_->SetTraining(false);
   double se = 0.0;

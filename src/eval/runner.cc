@@ -1,6 +1,9 @@
 #include "eval/runner.h"
 
 #include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
 
 #include "baselines/itransformer.h"
 #include "baselines/llm_baselines.h"
@@ -9,6 +12,8 @@
 #include "baselines/trainer.h"
 #include "common/logging.h"
 #include "data/time_series.h"
+#include "obs/observer.h"
+#include "obs/trace.h"
 
 namespace timekd::eval {
 
@@ -35,7 +40,53 @@ int64_t FrozenCount(const nn::Module& module) {
   return n;
 }
 
+std::mutex& RunReportMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::string& RunReportContext() {
+  static std::string context;
+  return context;
+}
+
 }  // namespace
+
+void SetRunReportContext(const std::string& experiment) {
+  std::lock_guard<std::mutex> lock(RunReportMutex());
+  RunReportContext() = experiment;
+}
+
+void AppendRunReport(const RunSpec& spec, const RunResult& result) {
+  const char* path = std::getenv("TIMEKD_RUN_REPORT");
+  if (path == nullptr || *path == '\0') return;
+  // One appending writer per process; the path is read once so a run
+  // cannot be split across files mid-flight.
+  static obs::JsonlWriter* writer = new obs::JsonlWriter(path);
+  obs::JsonObject obj;
+  std::lock_guard<std::mutex> lock(RunReportMutex());
+  obj.Set("kind", "run")
+      .Set("experiment", RunReportContext())
+      .Set("model", ModelName(spec.model))
+      .Set("dataset", data::DatasetName(spec.dataset))
+      .Set("horizon", spec.horizon)
+      .Set("profile", spec.profile.name)
+      .Set("seed", static_cast<int64_t>(spec.seed))
+      .Set("train_fraction", spec.train_fraction)
+      .Set("test_dataset", spec.test_dataset.has_value()
+                               ? data::DatasetName(*spec.test_dataset)
+                               : "")
+      .Set("mse", result.mse)
+      .Set("mae", result.mae)
+      .Set("train_seconds_per_epoch", result.train_seconds_per_epoch)
+      .Set("infer_seconds_per_sample", result.infer_seconds_per_sample)
+      .Set("cache_seconds", result.cache_seconds)
+      .Set("trainable_params", result.trainable_params)
+      .Set("frozen_params", result.frozen_params)
+      .Set("peak_memory_bytes", result.peak_memory_bytes)
+      .Set("test_samples", result.test_samples);
+  writer->WriteLine(obj);
+}
 
 const char* ModelName(ModelKind kind) {
   switch (kind) {
@@ -204,6 +255,7 @@ core::TimeKdConfig MakeTimeKdConfig(const BenchProfile& profile,
 }
 
 RunResult RunExperiment(const RunSpec& spec) {
+  TIMEKD_TRACE_SCOPE("eval/run_experiment");
   PreparedData train_data = PrepareData(spec.dataset, spec.horizon,
                                         spec.profile, spec.train_fraction);
   // Zero-shot: test windows come from a different dataset's test split.
@@ -257,6 +309,7 @@ RunResult RunExperiment(const RunSpec& spec) {
         result.test_samples > 0
             ? infer_seconds / static_cast<double>(result.test_samples)
             : 0.0;
+    AppendRunReport(spec, result);
     return result;
   }
 
@@ -286,6 +339,7 @@ RunResult RunExperiment(const RunSpec& spec) {
       result.test_samples > 0
           ? infer_seconds / static_cast<double>(result.test_samples)
           : 0.0;
+  AppendRunReport(spec, result);
   return result;
 }
 

@@ -88,6 +88,17 @@ core::TimeKdConfig MakeTimeKdConfig(const BenchProfile& profile,
                                     int64_t num_variables, int64_t horizon,
                                     int64_t freq_minutes, uint64_t seed);
 
+/// Names the experiment (e.g. "table4_efficiency") for subsequent run
+/// report records; bench_util's banner sets it automatically.
+void SetRunReportContext(const std::string& experiment);
+
+/// Appends one machine-readable JSON line describing `result` to the file
+/// named by $TIMEKD_RUN_REPORT (append mode; no-op when unset).
+/// RunExperiment calls this for every run, so every bench binary produces
+/// a JSONL twin of its printed table for free. Schema:
+/// docs/observability.md.
+void AppendRunReport(const RunSpec& spec, const RunResult& result);
+
 /// Trains and evaluates one RunSpec.
 RunResult RunExperiment(const RunSpec& spec);
 

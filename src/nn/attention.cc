@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/ops.h"
 
 namespace timekd::nn {
@@ -73,10 +75,21 @@ Tensor MultiHeadAttention::ApplyRope(const Tensor& x) const {
 
 Tensor MultiHeadAttention::Forward(const Tensor& q, const Tensor& k,
                                    const Tensor& v, const Tensor& mask) const {
+  TIMEKD_TRACE_SCOPE("nn/attention");
   TIMEKD_CHECK_EQ(q.dim(), 3);
   const int64_t batch = q.size(0);
   const int64_t sq = q.size(1);
   const int64_t sk = k.size(1);
+
+  // Attention cost accounting: QK^T and attn*V score 2*B*h*Sq*Sk*dh each
+  // (the four projections are counted by the MatMul instrumentation).
+  static obs::Counter* attn_calls =
+      obs::GlobalMetrics().GetCounter("nn/attention_calls");
+  static obs::Counter* attn_flops =
+      obs::GlobalMetrics().GetCounter("nn/attention_score_flops");
+  attn_calls->Increment();
+  attn_flops->Increment(static_cast<uint64_t>(4 * batch * num_heads_ * sq *
+                                              sk * d_head_));
 
   auto split_heads = [&](const Tensor& t, int64_t seq) {
     // [B, S, D] -> [B, h, S, dh]

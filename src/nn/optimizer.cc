@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace timekd::nn {
 
@@ -18,6 +20,10 @@ AdamW::AdamW(std::vector<Tensor> params, const AdamWConfig& config)
 }
 
 void AdamW::Step() {
+  TIMEKD_TRACE_SCOPE("optimizer/step");
+  static obs::Counter* steps =
+      obs::GlobalMetrics().GetCounter("optimizer/steps");
+  steps->Increment();
   ++t_;
   const double bc1 = 1.0 - std::pow(config_.beta1, static_cast<double>(t_));
   const double bc2 = 1.0 - std::pow(config_.beta2, static_cast<double>(t_));

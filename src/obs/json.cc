@@ -1,0 +1,108 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace timekd::obs {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  // %.17g round-trips every double; shorter representations are chosen
+  // automatically when exact.
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+JsonObject& JsonObject::Set(const std::string& key, const std::string& value) {
+  fields_.emplace_back(key, "\"" + JsonEscape(value) + "\"");
+  return *this;
+}
+
+JsonObject& JsonObject::Set(const std::string& key, const char* value) {
+  return Set(key, std::string(value));
+}
+
+JsonObject& JsonObject::Set(const std::string& key, double value) {
+  fields_.emplace_back(key, JsonNumber(value));
+  return *this;
+}
+
+JsonObject& JsonObject::Set(const std::string& key, int64_t value) {
+  fields_.emplace_back(key, std::to_string(value));
+  return *this;
+}
+
+JsonObject& JsonObject::Set(const std::string& key, uint64_t value) {
+  fields_.emplace_back(key, std::to_string(value));
+  return *this;
+}
+
+JsonObject& JsonObject::Set(const std::string& key, int value) {
+  return Set(key, static_cast<int64_t>(value));
+}
+
+JsonObject& JsonObject::Set(const std::string& key, bool value) {
+  fields_.emplace_back(key, value ? "true" : "false");
+  return *this;
+}
+
+JsonObject& JsonObject::SetRaw(const std::string& key, const std::string& raw) {
+  fields_.emplace_back(key, raw);
+  return *this;
+}
+
+std::string JsonObject::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\"" + JsonEscape(fields_[i].first) + "\":" + fields_[i].second;
+  }
+  out += "}";
+  return out;
+}
+
+std::string JsonArray(const std::vector<std::string>& elements) {
+  std::string out = "[";
+  for (size_t i = 0; i < elements.size(); ++i) {
+    if (i > 0) out += ",";
+    out += elements[i];
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace timekd::obs

@@ -1,0 +1,46 @@
+#ifndef TIMEKD_OBS_JSON_H_
+#define TIMEKD_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace timekd::obs {
+
+/// Escapes `s` per RFC 8259 (quotes, backslashes, control characters).
+std::string JsonEscape(const std::string& s);
+
+/// Renders a double as a JSON number token. Non-finite values (which JSON
+/// cannot represent) are emitted as null so readers never see "nan"/"inf".
+std::string JsonNumber(double v);
+
+/// Minimal insertion-ordered JSON object builder. All telemetry sinks
+/// (metrics dump, Chrome trace, JSONL observers and run reports) share it
+/// so every emitted line is well-formed by construction.
+class JsonObject {
+ public:
+  JsonObject& Set(const std::string& key, const std::string& value);
+  JsonObject& Set(const std::string& key, const char* value);
+  JsonObject& Set(const std::string& key, double value);
+  JsonObject& Set(const std::string& key, int64_t value);
+  JsonObject& Set(const std::string& key, uint64_t value);
+  JsonObject& Set(const std::string& key, int value);
+  JsonObject& Set(const std::string& key, bool value);
+  /// Inserts `raw` verbatim — the caller guarantees it is valid JSON
+  /// (nested objects/arrays built elsewhere).
+  JsonObject& SetRaw(const std::string& key, const std::string& raw);
+
+  /// `{"k":v,...}` in insertion order.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// `[e0,e1,...]` from pre-rendered JSON values.
+std::string JsonArray(const std::vector<std::string>& elements);
+
+}  // namespace timekd::obs
+
+#endif  // TIMEKD_OBS_JSON_H_

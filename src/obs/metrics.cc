@@ -1,0 +1,174 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+#include "obs/json.h"
+
+namespace timekd::obs {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  min_ = std::numeric_limits<double>::infinity();
+  max_ = -std::numeric_limits<double>::infinity();
+}
+
+void Histogram::Observe(double v) {
+  size_t bucket = bounds_.size();  // overflow by default
+  for (size_t i = 0; i < bounds_.size(); ++i) {
+    if (v <= bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  sum_ += v;
+  if (v < min_) min_ = v;
+  if (v > max_) max_ = v;
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> out(buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
+double Histogram::min() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count() > 0 ? min_ : 0.0;
+}
+
+double Histogram::max() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count() > 0 ? max_ : 0.0;
+}
+
+double Histogram::mean() const {
+  const uint64_t n = count();
+  return n > 0 ? sum() / static_cast<double>(n) : 0.0;
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  sum_ = 0.0;
+  min_ = std::numeric_limits<double>::infinity();
+  max_ = -std::numeric_limits<double>::infinity();
+}
+
+Counter* MetricRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricRegistry::GetHistogram(const std::string& name,
+                                        std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return slot.get();
+}
+
+MetricsSnapshot MetricRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::HistogramValue v;
+    v.bounds = h->bounds();
+    v.bucket_counts = h->BucketCounts();
+    v.count = h->count();
+    v.sum = h->sum();
+    v.min = h->min();
+    v.max = h->max();
+    snap.histograms[name] = std::move(v);
+  }
+  return snap;
+}
+
+std::string MetricRegistry::ToJson() const {
+  const MetricsSnapshot snap = Snapshot();
+  JsonObject counters;
+  for (const auto& [name, v] : snap.counters) counters.Set(name, v);
+  JsonObject gauges;
+  for (const auto& [name, v] : snap.gauges) gauges.Set(name, v);
+  JsonObject histograms;
+  for (const auto& [name, v] : snap.histograms) {
+    std::vector<std::string> bounds;
+    for (double b : v.bounds) bounds.push_back(JsonNumber(b));
+    std::vector<std::string> counts;
+    for (uint64_t c : v.bucket_counts) counts.push_back(std::to_string(c));
+    JsonObject h;
+    h.SetRaw("bounds", JsonArray(bounds))
+        .SetRaw("bucket_counts", JsonArray(counts))
+        .Set("count", v.count)
+        .Set("sum", v.sum)
+        .Set("min", v.min)
+        .Set("max", v.max);
+    histograms.SetRaw(name, h.ToString());
+  }
+  JsonObject doc;
+  doc.SetRaw("counters", counters.ToString())
+      .SetRaw("gauges", gauges.ToString())
+      .SetRaw("histograms", histograms.ToString());
+  return doc.ToString();
+}
+
+Status MetricRegistry::WriteJson(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError("cannot open metrics output: " + path);
+  }
+  const std::string doc = ToJson();
+  std::fputs(doc.c_str(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  return Status::Ok();
+}
+
+void MetricRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+MetricRegistry& GlobalMetrics() {
+  // Leaked: metrics must stay alive for the atexit dump below and for any
+  // static-destruction-time instrumentation.
+  static MetricRegistry* registry = [] {
+    auto* r = new MetricRegistry();
+    std::atexit([] { DumpMetricsIfConfigured(); });
+    return r;
+  }();
+  return *registry;
+}
+
+bool DumpMetricsIfConfigured() {
+  const char* path = std::getenv("TIMEKD_METRICS_OUT");
+  if (path == nullptr || *path == '\0') return false;
+  return GlobalMetrics().WriteJson(path).ok();
+}
+
+}  // namespace timekd::obs

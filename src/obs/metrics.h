@@ -1,0 +1,132 @@
+#ifndef TIMEKD_OBS_METRICS_H_
+#define TIMEKD_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace timekd::obs {
+
+/// Monotonically increasing event count. Increment is a relaxed atomic
+/// add — cheap enough to live inside MatMul and the attention kernels.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-written instantaneous value (cache sizes, learning rates, ...).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-boundary histogram. A sample lands in the first bucket whose
+/// upper bound is >= the value; values above every bound go to the
+/// implicit +inf overflow bucket. Also tracks count/sum/min/max so means
+/// survive even when the bucket layout is coarse.
+class Histogram {
+ public:
+  /// `bounds` must be strictly increasing and non-empty.
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double v);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Bucket counts; size() == bounds().size() + 1 (last = overflow).
+  std::vector<uint64_t> BucketCounts() const;
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const;
+  double min() const;
+  double max() const;
+  double mean() const;
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<uint64_t>> buckets_;
+  std::atomic<uint64_t> count_{0};
+  // sum/min/max under a light mutex: Observe on histograms is used on
+  // per-step (not per-op) paths, so contention is negligible.
+  mutable std::mutex mu_;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Point-in-time copy of every registered metric.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  struct HistogramValue {
+    std::vector<double> bounds;
+    std::vector<uint64_t> bucket_counts;
+    uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+  std::map<std::string, HistogramValue> histograms;
+};
+
+/// Thread-safe name-keyed registry. Getters create on first use and return
+/// stable pointers, so hot paths can cache the pointer in a function-local
+/// static and skip the lookup entirely:
+///
+///   static Counter* calls = GlobalMetrics().GetCounter("tensor/matmul");
+///   calls->Increment();
+class MetricRegistry {
+ public:
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// On first call registers the histogram with `bounds`; later calls for
+  /// the same name ignore `bounds` and return the existing histogram.
+  Histogram* GetHistogram(const std::string& name, std::vector<double> bounds);
+
+  MetricsSnapshot Snapshot() const;
+  /// Pretty-stable JSON document: {"counters":{...},"gauges":{...},
+  /// "histograms":{name:{bounds,counts,count,sum,min,max}}}.
+  std::string ToJson() const;
+  Status WriteJson(const std::string& path) const;
+
+  /// Zeroes every metric (registrations are kept). Tests only.
+  void ResetAll();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Process-wide registry used by all built-in instrumentation. Never
+/// destroyed (leaked singleton) so atexit dumping and static-destructor
+/// ordering are safe.
+MetricRegistry& GlobalMetrics();
+
+/// Writes the global registry to $TIMEKD_METRICS_OUT when that variable is
+/// set (re-read on every call). Returns true when a file was written. An
+/// atexit hook calls this automatically the first time any metric is
+/// touched, so binaries need no explicit wiring.
+bool DumpMetricsIfConfigured();
+
+}  // namespace timekd::obs
+
+#endif  // TIMEKD_OBS_METRICS_H_

@@ -1,0 +1,67 @@
+#include "obs/observer.h"
+
+namespace timekd::obs {
+
+JsonlWriter::JsonlWriter(const std::string& path) : path_(path) {
+  file_ = std::fopen(path.c_str(), "a");
+}
+
+JsonlWriter::~JsonlWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void JsonlWriter::WriteLine(const JsonObject& object) {
+  if (file_ == nullptr) return;
+  const std::string line = object.ToString();
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fputs(line.c_str(), file_);
+  std::fputc('\n', file_);
+  std::fflush(file_);
+}
+
+JsonlObserver::JsonlObserver(const std::string& path) : writer_(path) {}
+
+void JsonlObserver::OnStep(const StepRecord& r) {
+  JsonObject obj;
+  obj.Set("kind", "step")
+      .Set("phase", r.phase)
+      .Set("epoch", r.epoch)
+      .Set("step", r.step)
+      .Set("batch_size", r.batch_size)
+      .Set("total_loss", r.total_loss)
+      .Set("recon_loss", r.recon_loss)
+      .Set("cd_loss", r.cd_loss)
+      .Set("fd_loss", r.fd_loss)
+      .Set("fcst_loss", r.fcst_loss)
+      .Set("grad_norm", r.grad_norm)
+      .Set("seconds", r.seconds);
+  writer_.WriteLine(obj);
+}
+
+void JsonlObserver::OnEpoch(const EpochRecord& r) {
+  JsonObject obj;
+  obj.Set("kind", "epoch")
+      .Set("phase", r.phase)
+      .Set("epoch", r.epoch)
+      .Set("steps", r.steps)
+      .Set("total_loss", r.total_loss)
+      .Set("recon_loss", r.recon_loss)
+      .Set("cd_loss", r.cd_loss)
+      .Set("fd_loss", r.fd_loss)
+      .Set("fcst_loss", r.fcst_loss)
+      .Set("val_mse", r.val_mse)
+      .Set("seconds", r.seconds);
+  writer_.WriteLine(obj);
+}
+
+void CountingObserver::OnStep(const StepRecord& record) {
+  ++steps_;
+  last_step_ = record;
+}
+
+void CountingObserver::OnEpoch(const EpochRecord& record) {
+  ++epochs_;
+  last_epoch_ = record;
+}
+
+}  // namespace timekd::obs

@@ -1,0 +1,114 @@
+#ifndef TIMEKD_OBS_OBSERVER_H_
+#define TIMEKD_OBS_OBSERVER_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "obs/json.h"
+
+namespace timekd::obs {
+
+/// One optimizer step inside a training loop. `phase` distinguishes the
+/// TimeKD stages ("teacher" = Algorithm 1 reconstruction, "student" =
+/// Algorithm 2 distillation) from plain "baseline" supervised training.
+/// Loss components that a phase does not produce stay 0.
+struct StepRecord {
+  std::string phase;
+  int64_t epoch = 0;
+  int64_t step = 0;        // global step within Fit
+  int64_t batch_size = 0;
+  double total_loss = 0.0;
+  double recon_loss = 0.0;  // Eq. 17 reconstruction (teacher phase)
+  double cd_loss = 0.0;     // Eq. 24 correlation distillation
+  double fd_loss = 0.0;     // Eq. 25 feature distillation
+  double fcst_loss = 0.0;   // forecasting term of Eq. 30
+  double grad_norm = 0.0;   // pre-clip global L2 norm
+  double seconds = 0.0;     // wall time of the step
+};
+
+/// One epoch summary (averaged losses, validation MSE when tracked).
+struct EpochRecord {
+  std::string phase;
+  int64_t epoch = 0;
+  int64_t steps = 0;
+  double total_loss = 0.0;
+  double recon_loss = 0.0;
+  double cd_loss = 0.0;
+  double fd_loss = 0.0;
+  double fcst_loss = 0.0;
+  double val_mse = 0.0;  // NaN when no validation set
+  double seconds = 0.0;
+};
+
+/// Hook interface accepted by TimeKd::Fit and BaselineTrainer::Fit via
+/// TrainConfig::observer. Callbacks run synchronously on the training
+/// thread; implementations should be cheap or buffer internally.
+class TrainObserver {
+ public:
+  virtual ~TrainObserver() = default;
+  virtual void OnStep(const StepRecord& record) { (void)record; }
+  virtual void OnEpoch(const EpochRecord& record) { (void)record; }
+};
+
+/// Append-only newline-delimited JSON sink shared by the bundled observer
+/// and the bench run reports. Thread-safe; every line is flushed so
+/// partial runs still leave usable telemetry.
+class JsonlWriter {
+ public:
+  /// Opens `path` in append mode. ok() reports whether the open succeeded;
+  /// a failed writer swallows writes instead of crashing the run.
+  explicit JsonlWriter(const std::string& path);
+  ~JsonlWriter();
+
+  JsonlWriter(const JsonlWriter&) = delete;
+  JsonlWriter& operator=(const JsonlWriter&) = delete;
+
+  bool ok() const { return file_ != nullptr; }
+  const std::string& path() const { return path_; }
+  void WriteLine(const JsonObject& object);
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  std::mutex mu_;
+};
+
+/// Bundled TrainObserver that appends one JSON object per step/epoch to a
+/// JSONL file; schema documented in docs/observability.md.
+class JsonlObserver : public TrainObserver {
+ public:
+  explicit JsonlObserver(const std::string& path);
+
+  bool ok() const { return writer_.ok(); }
+  void OnStep(const StepRecord& record) override;
+  void OnEpoch(const EpochRecord& record) override;
+
+ private:
+  JsonlWriter writer_;
+};
+
+/// Counts invocations; handy for tests and for cheap "is training alive"
+/// liveness checks.
+class CountingObserver : public TrainObserver {
+ public:
+  void OnStep(const StepRecord& record) override;
+  void OnEpoch(const EpochRecord& record) override;
+
+  int64_t steps() const { return steps_; }
+  int64_t epochs() const { return epochs_; }
+  const StepRecord& last_step() const { return last_step_; }
+  const EpochRecord& last_epoch() const { return last_epoch_; }
+
+ private:
+  int64_t steps_ = 0;
+  int64_t epochs_ = 0;
+  StepRecord last_step_;
+  EpochRecord last_epoch_;
+};
+
+}  // namespace timekd::obs
+
+#endif  // TIMEKD_OBS_OBSERVER_H_

@@ -1,0 +1,170 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace timekd::obs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Clock::time_point ProcessStart() {
+  static const Clock::time_point kStart = Clock::now();
+  return kStart;
+}
+
+uint32_t ThisThreadId() {
+  static std::atomic<uint32_t> next{1};
+  thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+int& ThreadDepth() {
+  thread_local int depth = 0;
+  return depth;
+}
+
+}  // namespace
+
+Tracer::Tracer() {
+  // Anchor the timestamp origin before any span can run.
+  ProcessStart();
+  const char* path = std::getenv("TIMEKD_TRACE_OUT");
+  if (path != nullptr && *path != '\0') {
+    out_path_ = path;
+    enabled_.store(true, std::memory_order_relaxed);
+  }
+}
+
+Tracer& Tracer::Get() {
+  // Leaked so spans running during static destruction stay safe; the
+  // atexit hook below flushes the trace file.
+  static Tracer* tracer = [] {
+    auto* t = new Tracer();
+    std::atexit([] { Tracer::Get().DumpIfConfigured(); });
+    return t;
+  }();
+  return *tracer;
+}
+
+void Tracer::Enable(const std::string& chrome_out_path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  out_path_ = chrome_out_path;
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::Disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  stats_.clear();
+}
+
+std::map<std::string, Tracer::SpanStats> Tracer::AggregatedStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::vector<Tracer::Event> Tracer::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+void Tracer::RecordSpan(const char* name, uint64_t ts_us, uint64_t dur_us,
+                        int depth) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SpanStats& s = stats_[name];
+  const double d = static_cast<double>(dur_us);
+  if (s.count == 0 || d < s.min_us) s.min_us = d;
+  if (s.count == 0 || d > s.max_us) s.max_us = d;
+  ++s.count;
+  s.total_us += d;
+  if (events_.size() >= max_events_) {
+    static Counter* dropped =
+        GlobalMetrics().GetCounter("obs/trace_events_dropped");
+    dropped->Increment();
+    return;
+  }
+  events_.push_back(Event{name, ts_us, dur_us, ThisThreadId(), depth});
+}
+
+std::string Tracer::ChromeTraceJson() const {
+  std::vector<std::string> rendered;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    rendered.reserve(events_.size());
+    for (const Event& e : events_) {
+      JsonObject args;
+      args.Set("depth", e.depth);
+      JsonObject obj;
+      obj.Set("name", e.name)
+          .Set("ph", "X")
+          .Set("ts", e.ts_us)
+          .Set("dur", e.dur_us)
+          .Set("pid", 1)
+          .Set("tid", static_cast<int64_t>(e.tid))
+          .SetRaw("args", args.ToString());
+      rendered.push_back(obj.ToString());
+    }
+  }
+  JsonObject doc;
+  doc.SetRaw("traceEvents", JsonArray(rendered))
+      .Set("displayTimeUnit", "ms");
+  return doc.ToString();
+}
+
+Status Tracer::WriteChromeTrace(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError("cannot open trace output: " + path);
+  }
+  const std::string doc = ChromeTraceJson();
+  std::fputs(doc.c_str(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  return Status::Ok();
+}
+
+bool Tracer::DumpIfConfigured() const {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    path = out_path_;
+  }
+  if (path.empty()) return false;
+  return WriteChromeTrace(path).ok();
+}
+
+uint64_t Tracer::NowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            ProcessStart())
+          .count());
+}
+
+int Tracer::CurrentDepth() { return ThreadDepth(); }
+
+ScopedSpan::ScopedSpan(const char* name) {
+  Tracer& tracer = Tracer::Get();
+  if (!tracer.enabled()) return;
+  active_ = true;
+  name_ = name;
+  depth_ = ++ThreadDepth();
+  start_us_ = Tracer::NowMicros();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  --ThreadDepth();
+  const uint64_t end_us = Tracer::NowMicros();
+  Tracer::Get().RecordSpan(name_, start_us_, end_us - start_us_, depth_);
+}
+
+}  // namespace timekd::obs

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace timekd::tensor {
 
@@ -584,6 +585,15 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   out_shape.push_back(m);
   out_shape.push_back(n);
 
+  // Op accounting for the metrics dump (2*m*k*n multiply-adds per batch);
+  // relaxed atomic adds, negligible next to the kernel itself.
+  static obs::Counter* matmul_calls =
+      obs::GlobalMetrics().GetCounter("tensor/matmul_calls");
+  static obs::Counter* matmul_flops =
+      obs::GlobalMetrics().GetCounter("tensor/matmul_flops");
+  matmul_calls->Increment();
+  matmul_flops->Increment(static_cast<uint64_t>(2 * nbatch * m * k * n));
+
   std::vector<float> out(static_cast<size_t>(nbatch * m * n), 0.0f);
   const float* pa = a.data();
   const float* pb = b.data();
@@ -637,6 +647,10 @@ Tensor Softmax(const Tensor& x, int64_t dim) {
   for (int64_t d = dim + 1; d < nd; ++d) {
     inner *= shape[static_cast<size_t>(d)];
   }
+  static obs::Counter* softmax_calls =
+      obs::GlobalMetrics().GetCounter("tensor/softmax_calls");
+  softmax_calls->Increment();
+
   std::vector<float> out(static_cast<size_t>(x.numel()));
   const float* px = x.data();
   for (int64_t o = 0; o < outer; ++o) {

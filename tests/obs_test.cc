@@ -1,0 +1,514 @@
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/config.h"
+#include "core/timekd.h"
+#include "data/datasets.h"
+#include "data/window_dataset.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/observer.h"
+#include "obs/trace.h"
+
+namespace timekd::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal recursive-descent JSON validator: enough of RFC 8259 to prove the
+// telemetry output is structurally well-formed (Perfetto/chrome://tracing
+// use a full parser; anything this rejects they reject too).
+class JsonValidator {
+ public:
+  explicit JsonValidator(std::string text) : s_(std::move(text)) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{':
+        return Object();
+      case '[':
+        return Array();
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (Peek() != ':') return false;
+      ++pos_;
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool String() {
+    if (Peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '\\') {
+        pos_ += 2;
+        continue;
+      }
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool Number() {
+    const size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool Literal(const char* lit) {
+    const size_t len = std::strlen(lit);
+    if (s_.compare(pos_, len, lit) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  char Peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\t' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  const std::string s_;
+  size_t pos_ = 0;
+};
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+bool FileExists(const std::string& path) {
+  std::ifstream in(path);
+  return in.good();
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+// ---------------------------------------------------------------------------
+// JSON helpers
+
+TEST(JsonTest, EscapesControlCharactersAndQuotes) {
+  EXPECT_EQ(JsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonTest, NonFiniteNumbersBecomeNull) {
+  EXPECT_EQ(JsonNumber(std::nan("")), "null");
+  EXPECT_EQ(JsonNumber(1.0 / 0.0), "null");
+  EXPECT_EQ(JsonNumber(2.5), "2.5");
+}
+
+TEST(JsonTest, ObjectRendersInInsertionOrderAndValidates) {
+  JsonObject obj;
+  obj.Set("b", int64_t{2}).Set("a", "x\"y").Set("c", true);
+  const std::string s = obj.ToString();
+  EXPECT_EQ(s, "{\"b\":2,\"a\":\"x\\\"y\",\"c\":true}");
+  JsonValidator v(s);
+  EXPECT_TRUE(v.Valid());
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+
+TEST(MetricsTest, CounterAccumulatesAcrossThreads) {
+  MetricRegistry registry;
+  Counter* c = registry.GetCounter("test/counter");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([c] {
+      for (int i = 0; i < 1000; ++i) c->Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c->value(), 4000u);
+  // Same name returns the same counter.
+  EXPECT_EQ(registry.GetCounter("test/counter"), c);
+}
+
+TEST(MetricsTest, GaugeHoldsLastValue) {
+  MetricRegistry registry;
+  Gauge* g = registry.GetGauge("test/gauge");
+  g->Set(1.5);
+  g->Set(-3.25);
+  EXPECT_DOUBLE_EQ(g->value(), -3.25);
+}
+
+TEST(MetricsTest, HistogramBucketsAndMoments) {
+  MetricRegistry registry;
+  Histogram* h = registry.GetHistogram("test/hist", {1.0, 10.0, 100.0});
+  h->Observe(0.5);    // bucket 0 (<= 1)
+  h->Observe(1.0);    // bucket 0 (boundary inclusive)
+  h->Observe(5.0);    // bucket 1
+  h->Observe(1000.0); // overflow
+  const std::vector<uint64_t> counts = h->BucketCounts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 0u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(h->count(), 4u);
+  EXPECT_DOUBLE_EQ(h->sum(), 1006.5);
+  EXPECT_DOUBLE_EQ(h->min(), 0.5);
+  EXPECT_DOUBLE_EQ(h->max(), 1000.0);
+  EXPECT_DOUBLE_EQ(h->mean(), 1006.5 / 4.0);
+}
+
+TEST(MetricsTest, SnapshotAndJsonRoundTrip) {
+  MetricRegistry registry;
+  registry.GetCounter("c1")->Increment(7);
+  registry.GetGauge("g1")->Set(0.5);
+  registry.GetHistogram("h1", {1.0})->Observe(2.0);
+  const MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.counters.at("c1"), 7u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("g1"), 0.5);
+  EXPECT_EQ(snap.histograms.at("h1").count, 1u);
+
+  const std::string json = registry.ToJson();
+  JsonValidator v(json);
+  EXPECT_TRUE(v.Valid()) << json;
+  EXPECT_NE(json.find("\"c1\":7"), std::string::npos);
+
+  const std::string path = TempPath("obs_metrics.json");
+  ASSERT_TRUE(registry.WriteJson(path).ok());
+  JsonValidator v2(ReadFile(path));
+  EXPECT_TRUE(v2.Valid());
+  std::remove(path.c_str());
+}
+
+TEST(MetricsTest, ResetAllZeroesButKeepsRegistrations) {
+  MetricRegistry registry;
+  Counter* c = registry.GetCounter("c");
+  c->Increment(3);
+  registry.ResetAll();
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_EQ(registry.GetCounter("c"), c);
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+
+class TracerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::Get().Clear();
+    Tracer::Get().Enable("");  // aggregate without a file
+  }
+  void TearDown() override {
+    Tracer::Get().Disable();
+    Tracer::Get().Clear();
+  }
+};
+
+TEST_F(TracerTest, SpansNestAndAggregate) {
+  {
+    TIMEKD_TRACE_SCOPE("outer");
+    EXPECT_EQ(Tracer::CurrentDepth(), 1);
+    {
+      TIMEKD_TRACE_SCOPE("inner");
+      EXPECT_EQ(Tracer::CurrentDepth(), 2);
+    }
+    {
+      TIMEKD_TRACE_SCOPE("inner");
+      EXPECT_EQ(Tracer::CurrentDepth(), 2);
+    }
+  }
+  EXPECT_EQ(Tracer::CurrentDepth(), 0);
+
+  const auto stats = Tracer::Get().AggregatedStats();
+  ASSERT_EQ(stats.count("outer"), 1u);
+  ASSERT_EQ(stats.count("inner"), 1u);
+  EXPECT_EQ(stats.at("outer").count, 1u);
+  EXPECT_EQ(stats.at("inner").count, 2u);
+  EXPECT_GE(stats.at("inner").max_us, stats.at("inner").min_us);
+  // Children complete within the parent, so the parent's total wall time
+  // bounds the sum of its children.
+  EXPECT_GE(stats.at("outer").total_us, stats.at("inner").total_us);
+
+  const auto events = Tracer::Get().Events();
+  ASSERT_EQ(events.size(), 3u);  // closed in order: inner, inner, outer
+  const auto& outer = events[2];
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_EQ(outer.depth, 1);
+  for (size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(events[i].name, "inner");
+    EXPECT_EQ(events[i].depth, 2);
+    // Containment: the child's [ts, ts+dur] lies inside the parent's.
+    EXPECT_GE(events[i].ts_us, outer.ts_us);
+    EXPECT_LE(events[i].ts_us + events[i].dur_us, outer.ts_us + outer.dur_us);
+  }
+}
+
+TEST_F(TracerTest, DisabledSpansCostNothingAndRecordNothing) {
+  Tracer::Get().Disable();
+  {
+    TIMEKD_TRACE_SCOPE("ghost");
+    EXPECT_EQ(Tracer::CurrentDepth(), 0);
+  }
+  EXPECT_TRUE(Tracer::Get().Events().empty());
+  EXPECT_TRUE(Tracer::Get().AggregatedStats().empty());
+}
+
+TEST_F(TracerTest, ChromeTraceJsonIsWellFormed) {
+  {
+    TIMEKD_TRACE_SCOPE("phase/a");
+    TIMEKD_TRACE_SCOPE("phase/b \"quoted\"");
+  }
+  const std::string json = Tracer::Get().ChromeTraceJson();
+  JsonValidator v(json);
+  EXPECT_TRUE(v.Valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("phase/a"), std::string::npos);
+
+  const std::string path = TempPath("obs_trace.json");
+  ASSERT_TRUE(Tracer::Get().WriteChromeTrace(path).ok());
+  JsonValidator v2(ReadFile(path));
+  EXPECT_TRUE(v2.Valid());
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Observers + a tiny end-to-end TimeKd::Fit
+
+core::TimeKdConfig TinyConfig() {
+  core::TimeKdConfig config;
+  config.num_variables = 3;
+  config.input_len = 12;
+  config.horizon = 6;
+  config.freq_minutes = 60;
+  config.d_model = 16;
+  config.num_heads = 2;
+  config.encoder_layers = 1;
+  config.ffn_hidden = 32;
+  config.dropout = 0.0f;
+  config.llm.d_model = 16;
+  config.llm.num_layers = 1;
+  config.llm.num_heads = 2;
+  config.llm.ffn_hidden = 32;
+  config.prompt.stride = 3;
+  config.seed = 5;
+  return config;
+}
+
+data::WindowDataset TinyDataset(int64_t length = 60) {
+  data::DatasetSpec spec =
+      data::DefaultSpec(data::DatasetId::kEtth1, length);
+  spec.num_variables = 3;
+  spec.seed = 42;
+  data::TimeSeries ts = data::MakeDataset(spec);
+  data::StandardScaler scaler;
+  scaler.Fit(ts);
+  return data::WindowDataset(scaler.Transform(ts), 12, 6);
+}
+
+TEST(ObserverTest, FitInvokesObserverOncePerStepAndEpoch) {
+  core::TimeKd model(TinyConfig());
+  data::WindowDataset train = TinyDataset();
+
+  CountingObserver observer;
+  core::TrainConfig tc;
+  tc.epochs = 2;
+  tc.teacher_epochs = 1;
+  tc.batch_size = 16;
+  tc.observer = &observer;
+
+  core::FitStats stats = model.Fit(train, /*val=*/nullptr, tc);
+  EXPECT_GT(stats.steps, 0);
+  EXPECT_EQ(observer.steps(), stats.steps);
+  EXPECT_EQ(observer.epochs(), tc.teacher_epochs + tc.epochs);
+
+  // The last step belongs to the student phase and carries telemetry.
+  EXPECT_EQ(observer.last_step().phase, "student");
+  EXPECT_GT(observer.last_step().grad_norm, 0.0);
+  EXPECT_GT(observer.last_step().seconds, 0.0);
+  EXPECT_NE(observer.last_step().total_loss, 0.0);
+  EXPECT_EQ(observer.last_epoch().phase, "student");
+  EXPECT_EQ(observer.last_epoch().epoch, tc.epochs - 1);
+}
+
+TEST(ObserverTest, JsonlObserverWritesOneValidObjectPerLine) {
+  const std::string path = TempPath("obs_steps.jsonl");
+  std::remove(path.c_str());
+  {
+    JsonlObserver observer(path);
+    ASSERT_TRUE(observer.ok());
+    StepRecord step;
+    step.phase = "student";
+    step.step = 1;
+    step.total_loss = 0.25;
+    step.grad_norm = 1.5;
+    observer.OnStep(step);
+    EpochRecord epoch;
+    epoch.phase = "student";
+    epoch.epoch = 0;
+    epoch.val_mse = std::nan("");  // must serialize as null, not "nan"
+    observer.OnEpoch(epoch);
+  }
+  std::ifstream in(path);
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    JsonValidator v(line);
+    EXPECT_TRUE(v.Valid()) << line;
+  }
+  EXPECT_EQ(lines, 2);
+  const std::string contents = ReadFile(path);
+  EXPECT_NE(contents.find("\"kind\":\"step\""), std::string::npos);
+  EXPECT_NE(contents.find("\"kind\":\"epoch\""), std::string::npos);
+  EXPECT_NE(contents.find("\"val_mse\":null"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ObserverTest, GlobalMetricsSeeCacheAndMatmulTraffic) {
+  MetricsSnapshot before = GlobalMetrics().Snapshot();
+  core::TimeKd model(TinyConfig());
+  data::WindowDataset train = TinyDataset();
+  core::TrainConfig tc;
+  tc.epochs = 1;
+  tc.teacher_epochs = 1;
+  tc.batch_size = 16;
+  model.Fit(train, nullptr, tc);
+  MetricsSnapshot after = GlobalMetrics().Snapshot();
+
+  EXPECT_GT(after.counters["tensor/matmul_calls"],
+            before.counters["tensor/matmul_calls"]);
+  EXPECT_GT(after.counters["tensor/matmul_flops"],
+            before.counters["tensor/matmul_flops"]);
+  EXPECT_GT(after.counters["clm/cache_misses"],
+            before.counters["clm/cache_misses"]);
+  EXPECT_GT(after.counters["clm/cache_reads"],
+            before.counters["clm/cache_reads"]);
+  EXPECT_GT(after.counters["optimizer/steps"],
+            before.counters["optimizer/steps"]);
+  // Warming the cache again is all hits, no new inserts.
+  model.WarmCache(train);
+  MetricsSnapshot warm = GlobalMetrics().Snapshot();
+  EXPECT_GT(warm.counters["clm/cache_hits"],
+            after.counters["clm/cache_hits"]);
+  EXPECT_EQ(warm.counters["clm/cache_inserts"],
+            after.counters["clm/cache_inserts"]);
+}
+
+TEST(ObserverTest, DisabledTelemetryWritesNoFiles) {
+  // With the env knobs unset, the dump entry points must do nothing.
+  unsetenv("TIMEKD_METRICS_OUT");
+  unsetenv("TIMEKD_TRACE_OUT");
+  EXPECT_FALSE(DumpMetricsIfConfigured());
+
+  const std::string metrics_path = TempPath("obs_should_not_exist.json");
+  std::remove(metrics_path.c_str());
+  core::TimeKd model(TinyConfig());
+  data::WindowDataset train = TinyDataset(40);
+  core::TrainConfig tc;
+  tc.epochs = 1;
+  tc.teacher_epochs = 0;
+  model.Fit(train, nullptr, tc);
+  EXPECT_FALSE(DumpMetricsIfConfigured());
+  EXPECT_FALSE(FileExists(metrics_path));
+
+  // And with the knob set, the same entry point writes a valid file.
+  setenv("TIMEKD_METRICS_OUT", metrics_path.c_str(), 1);
+  EXPECT_TRUE(DumpMetricsIfConfigured());
+  ASSERT_TRUE(FileExists(metrics_path));
+  JsonValidator v(ReadFile(metrics_path));
+  EXPECT_TRUE(v.Valid());
+  unsetenv("TIMEKD_METRICS_OUT");
+  std::remove(metrics_path.c_str());
+}
+
+}  // namespace
+}  // namespace timekd::obs
