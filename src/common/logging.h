@@ -77,4 +77,29 @@ struct LogMessageVoidify {
 #define TIMEKD_CHECK_GE(a, b) \
   TIMEKD_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
 
+/// Debug-only invariant checks, enabled by the TIMEKD_DEBUG_CHECKS build
+/// option (cmake -DTIMEKD_DEBUG_CHECKS=ON). Use these on per-element hot
+/// paths (flat-index bounds, kernel offset math) where an always-on
+/// TIMEKD_CHECK would cost measurable release throughput. When disabled
+/// the condition is still compiled — so it cannot bit-rot — but never
+/// evaluated.
+#if defined(TIMEKD_DEBUG_CHECKS)
+#define TIMEKD_DCHECK(cond) TIMEKD_CHECK(cond)
+#define TIMEKD_DCHECK_EQ(a, b) TIMEKD_CHECK_EQ(a, b)
+#define TIMEKD_DCHECK_NE(a, b) TIMEKD_CHECK_NE(a, b)
+#define TIMEKD_DCHECK_LT(a, b) TIMEKD_CHECK_LT(a, b)
+#define TIMEKD_DCHECK_LE(a, b) TIMEKD_CHECK_LE(a, b)
+#define TIMEKD_DCHECK_GT(a, b) TIMEKD_CHECK_GT(a, b)
+#define TIMEKD_DCHECK_GE(a, b) TIMEKD_CHECK_GE(a, b)
+#else
+#define TIMEKD_DCHECK(cond) \
+  while (false) TIMEKD_CHECK(cond)
+#define TIMEKD_DCHECK_EQ(a, b) TIMEKD_DCHECK((a) == (b))
+#define TIMEKD_DCHECK_NE(a, b) TIMEKD_DCHECK((a) != (b))
+#define TIMEKD_DCHECK_LT(a, b) TIMEKD_DCHECK((a) < (b))
+#define TIMEKD_DCHECK_LE(a, b) TIMEKD_DCHECK((a) <= (b))
+#define TIMEKD_DCHECK_GT(a, b) TIMEKD_DCHECK((a) > (b))
+#define TIMEKD_DCHECK_GE(a, b) TIMEKD_DCHECK((a) >= (b))
+#endif
+
 #endif  // TIMEKD_COMMON_LOGGING_H_

@@ -61,7 +61,8 @@ void AppendRunReport(const RunSpec& spec, const RunResult& result) {
   const char* path = std::getenv("TIMEKD_RUN_REPORT");
   if (path == nullptr || *path == '\0') return;
   // One appending writer per process; the path is read once so a run
-  // cannot be split across files mid-flight.
+  // cannot be split across files mid-flight. Leaked so atexit-time appends
+  // stay safe. timekd-lint: allow(new-delete)
   static obs::JsonlWriter* writer = new obs::JsonlWriter(path);
   obs::JsonObject obj;
   std::lock_guard<std::mutex> lock(RunReportMutex());

@@ -80,6 +80,16 @@ Tensor MultiHeadAttention::Forward(const Tensor& q, const Tensor& k,
   const int64_t batch = q.size(0);
   const int64_t sq = q.size(1);
   const int64_t sk = k.size(1);
+  // Debug-build entry contract: mismatches here would otherwise surface as
+  // opaque MatMul/Reshape failures deep inside the head-split plumbing.
+  TIMEKD_DCHECK_EQ(k.dim(), 3);
+  TIMEKD_DCHECK_EQ(v.dim(), 3);
+  TIMEKD_DCHECK_EQ(q.size(-1), d_model_) << "query width != d_model";
+  TIMEKD_DCHECK_EQ(k.size(-1), d_model_) << "key width != d_model";
+  TIMEKD_DCHECK_EQ(v.size(-1), d_model_) << "value width != d_model";
+  TIMEKD_DCHECK_EQ(k.size(0), batch);
+  TIMEKD_DCHECK_EQ(v.size(0), batch);
+  TIMEKD_DCHECK_EQ(v.size(1), sk) << "key/value lengths differ";
 
   // Attention cost accounting: QK^T and attn*V score 2*B*h*Sq*Sk*dh each
   // (the four projections are counted by the MatMul instrumentation).

@@ -48,7 +48,14 @@ std::string JsonNumber(double v) {
 }
 
 JsonObject& JsonObject::Set(const std::string& key, const std::string& value) {
-  fields_.emplace_back(key, "\"" + JsonEscape(value) + "\"");
+  // Built with append rather than `"\"" + escaped + "\""`: the operator+
+  // form trips GCC 12's -Wrestrict false positive (PR105651) at -O3.
+  std::string quoted;
+  quoted.reserve(value.size() + 2);
+  quoted += '"';
+  quoted += JsonEscape(value);
+  quoted += '"';
+  fields_.emplace_back(key, std::move(quoted));
   return *this;
 }
 
@@ -89,7 +96,10 @@ std::string JsonObject::ToString() const {
   std::string out = "{";
   for (size_t i = 0; i < fields_.size(); ++i) {
     if (i > 0) out += ",";
-    out += "\"" + JsonEscape(fields_[i].first) + "\":" + fields_[i].second;
+    out += '"';
+    out += JsonEscape(fields_[i].first);
+    out += "\":";
+    out += fields_[i].second;
   }
   out += "}";
   return out;

@@ -158,7 +158,7 @@ MetricRegistry& GlobalMetrics() {
   // Leaked: metrics must stay alive for the atexit dump below and for any
   // static-destruction-time instrumentation.
   static MetricRegistry* registry = [] {
-    auto* r = new MetricRegistry();
+    auto* r = new MetricRegistry();  // timekd-lint: allow(new-delete)
     std::atexit([] { DumpMetricsIfConfigured(); });
     return r;
   }();

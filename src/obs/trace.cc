@@ -46,7 +46,7 @@ Tracer& Tracer::Get() {
   // Leaked so spans running during static destruction stay safe; the
   // atexit hook below flushes the trace file.
   static Tracer* tracer = [] {
-    auto* t = new Tracer();
+    auto* t = new Tracer();  // timekd-lint: allow(new-delete)
     std::atexit([] { Tracer::Get().DumpIfConfigured(); });
     return t;
   }();

@@ -10,6 +10,7 @@ namespace timekd::tensor {
 
 namespace {
 
+using internal::DebugCheckFlatIndex;
 using internal::MakeResult;
 using internal::TensorImpl;
 
@@ -59,6 +60,7 @@ std::vector<float> ReduceGradToShape(const std::vector<float>& grad,
       rem -= coord * from_strides[d];
       to_off += coord * to_strides[d];
     }
+    DebugCheckFlatIndex(to_off, static_cast<int64_t>(out.size()));
     out[static_cast<size_t>(to_off)] += grad[static_cast<size_t>(idx)];
   }
   return out;
@@ -109,6 +111,8 @@ Tensor Binary(BinOp op, const Tensor& a, const Tensor& b) {
         a_off += coord * a_strides[d];
         b_off += coord * b_strides[d];
       }
+      DebugCheckFlatIndex(a_off, a.numel());
+      DebugCheckFlatIndex(b_off, b.numel());
       out[static_cast<size_t>(idx)] = ApplyBin(op, pa[a_off], pb[b_off]);
     }
   }
@@ -165,6 +169,8 @@ Tensor Binary(BinOp op, const Tensor& a, const Tensor& b) {
               a_off += coord * a_strides[d];
               b_off += coord * b_strides[d];
             }
+            DebugCheckFlatIndex(a_off, a.numel());
+            DebugCheckFlatIndex(b_off, b.numel());
             eval_pair(idx, a_off, b_off);
           }
         }
@@ -226,6 +232,7 @@ std::vector<float> TransposeRaw(const float* src, const Shape& in_shape,
       }
       in_off += coord * in_strides[src_dim];
     }
+    DebugCheckFlatIndex(in_off, n);
     out[static_cast<size_t>(idx)] = src[in_off];
   }
   *out_shape = std::move(os);
@@ -581,6 +588,8 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
 
   const Shape batch = a_batched ? a_batch : b_batch;
   const int64_t nbatch = NumElements(batch);
+  TIMEKD_DCHECK_EQ(a.numel(), (a_batched ? nbatch : 1) * m * k);
+  TIMEKD_DCHECK_EQ(b.numel(), (b_batched ? nbatch : 1) * k * n);
   Shape out_shape = batch;
   out_shape.push_back(m);
   out_shape.push_back(n);
@@ -656,6 +665,7 @@ Tensor Softmax(const Tensor& x, int64_t dim) {
   for (int64_t o = 0; o < outer; ++o) {
     for (int64_t i = 0; i < inner; ++i) {
       const int64_t base = o * dsize * inner + i;
+      DebugCheckFlatIndex(base + (dsize - 1) * inner, x.numel());
       float maxv = -std::numeric_limits<float>::infinity();
       for (int64_t d = 0; d < dsize; ++d) {
         maxv = std::max(maxv, px[base + d * inner]);

@@ -1,6 +1,7 @@
 #include "tensor/tensor.h"
 
 #include <algorithm>
+#include <atomic>
 #include <sstream>
 #include <unordered_set>
 
@@ -60,13 +61,23 @@ Shape BroadcastShape(const Shape& a, const Shape& b) {
 }
 
 namespace {
-int64_t g_current_bytes = 0;
-int64_t g_peak_bytes = 0;
+// Relaxed atomics: tensors are created and destroyed from worker threads
+// (bench harnesses, the obs stress test), so plain int64_t counters were a
+// data race under TSan even though the values are advisory.
+std::atomic<int64_t> g_current_bytes{0};
+std::atomic<int64_t> g_peak_bytes{0};
 }  // namespace
 
-int64_t CurrentMemoryBytes() { return g_current_bytes; }
-int64_t PeakMemoryBytes() { return g_peak_bytes; }
-void ResetPeakMemoryBytes() { g_peak_bytes = g_current_bytes; }
+int64_t CurrentMemoryBytes() {
+  return g_current_bytes.load(std::memory_order_relaxed);
+}
+int64_t PeakMemoryBytes() {
+  return g_peak_bytes.load(std::memory_order_relaxed);
+}
+void ResetPeakMemoryBytes() {
+  g_peak_bytes.store(g_current_bytes.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+}
 
 namespace internal {
 
@@ -78,8 +89,14 @@ bool GradModeEnabled() { return g_grad_mode; }
 void SetGradMode(bool enabled) { g_grad_mode = enabled; }
 
 void TrackMemoryDelta(int64_t delta_bytes) {
-  g_current_bytes += delta_bytes;
-  if (g_current_bytes > g_peak_bytes) g_peak_bytes = g_current_bytes;
+  const int64_t now =
+      g_current_bytes.fetch_add(delta_bytes, std::memory_order_relaxed) +
+      delta_bytes;
+  int64_t peak = g_peak_bytes.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !g_peak_bytes.compare_exchange_weak(peak, now,
+                                             std::memory_order_relaxed)) {
+  }
 }
 
 Tensor MakeResult(Shape shape, std::vector<float> data,

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/rng.h"
 
 namespace timekd::tensor {
@@ -40,6 +41,15 @@ void ResetPeakMemoryBytes();
 namespace internal {
 
 void TrackMemoryDelta(int64_t delta_bytes);
+
+/// Bounds check for computed flat row-major offsets, compiled away unless
+/// TIMEKD_DEBUG_CHECKS is on. The op inner loops in ops.cc call this on
+/// every derived offset (broadcast, transpose, reduction index math); the
+/// invariants death tests exercise it directly.
+inline void DebugCheckFlatIndex(int64_t i, int64_t n) {
+  TIMEKD_DCHECK(i >= 0 && i < n)
+      << "flat index " << i << " out of range [0, " << n << ")";
+}
 
 /// Autograd node: owns the forward value, the (lazily allocated) gradient,
 /// the parent edges and the backward function that scatters the node's

@@ -87,7 +87,9 @@ std::string Tokenizer::Decode(const TokenizedPrompt& prompt) const {
       continue;
     }
     std::string tok = vocab_.TokenOf(id);
-    if (tok == "<dot>") tok = ".";
+    // assign() instead of `tok = "."`: the const char* assignment trips GCC
+    // 12's -Wrestrict false positive (PR105651) under sanitizer builds.
+    if (tok == "<dot>") tok.assign(1, '.');
     const bool is_value = prompt.modality[i] == Modality::kValue;
     if (!out.empty() && !(is_value && prev_value)) out += " ";
     out += tok;

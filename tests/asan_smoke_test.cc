@@ -1,0 +1,101 @@
+// Fast ASan+UBSan smoke subset. In the default (unsanitized) build this
+// file is compiled into its own executable with -fsanitize=address,undefined
+// applied at the target level (see tests/CMakeLists.txt), so a plain
+// `ctest` run catches memory errors in the tensor core without a separate
+// sanitizer build. The full sanitizer matrix lives in tools/check.sh.
+//
+// Keep this suite small (a few hundred ms): it exercises the allocation
+// and indexing patterns that historically hide heap bugs — broadcast
+// offset math, transpose striding, slice/concat copies, backward-pass
+// scatter — not the full model zoo.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace timekd {
+namespace {
+
+using tensor::Tensor;
+
+TEST(AsanSmokeTest, BroadcastBinaryForwardBackward) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6})
+                 .set_requires_grad(true);
+  Tensor b = Tensor::FromVector({3}, {10, 20, 30}).set_requires_grad(true);
+  Tensor y = tensor::Mul(tensor::Add(a, b), b);
+  Tensor loss = tensor::Sum(y);
+  loss.Backward();
+  ASSERT_EQ(a.grad().size(), 6u);
+  ASSERT_EQ(b.grad().size(), 3u);
+  for (float g : a.grad()) EXPECT_TRUE(std::isfinite(g));
+  for (float g : b.grad()) EXPECT_TRUE(std::isfinite(g));
+}
+
+TEST(AsanSmokeTest, BatchedMatMulSoftmaxBackward) {
+  Rng rng(7);
+  Tensor a = Tensor::RandUniform({2, 3, 4}, -1.0f, 1.0f, rng)
+                 .set_requires_grad(true);
+  Tensor b = Tensor::RandUniform({2, 4, 5}, -1.0f, 1.0f, rng)
+                 .set_requires_grad(true);
+  Tensor y = tensor::Softmax(tensor::MatMul(a, b), -1);
+  tensor::Mean(y).Backward();
+  ASSERT_EQ(a.grad().size(), 24u);
+  ASSERT_EQ(b.grad().size(), 40u);
+}
+
+TEST(AsanSmokeTest, TransposeSliceConcatRoundTrip) {
+  Rng rng(11);
+  Tensor x = Tensor::RandUniform({3, 4, 5}, -1.0f, 1.0f, rng);
+  Tensor t = tensor::Transpose(x, 0, 2);
+  ASSERT_EQ(t.size(0), 5);
+  Tensor left = tensor::Slice(x, 2, 0, 2);
+  Tensor right = tensor::Slice(x, 2, 2, 3);
+  Tensor joined = tensor::Concat({left, right}, 2);
+  ASSERT_EQ(joined.numel(), x.numel());
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    EXPECT_EQ(joined.at(i), x.at(i));
+  }
+}
+
+TEST(AsanSmokeTest, NormalizationAndLossBackward) {
+  Rng rng(13);
+  Tensor x = Tensor::RandUniform({4, 8}, -2.0f, 2.0f, rng)
+                 .set_requires_grad(true);
+  Tensor gamma = Tensor::Ones({8}).set_requires_grad(true);
+  Tensor beta = Tensor::Zeros({8}).set_requires_grad(true);
+  Tensor normed = tensor::LayerNorm(x, gamma, beta, 1e-5f);
+  Tensor target = Tensor::Zeros({4, 8});
+  tensor::MseLoss(normed, target).Backward();
+  ASSERT_EQ(x.grad().size(), 32u);
+  ASSERT_EQ(gamma.grad().size(), 8u);
+}
+
+TEST(AsanSmokeTest, EmbeddingEdgeIdsAndBackward) {
+  Tensor w = Tensor::FromVector({3, 2}, {0, 1, 2, 3, 4, 5})
+                 .set_requires_grad(true);
+  // First and last valid ids — one past either end is a heap error the
+  // always-on check turns into an abort and ASan would flag regardless.
+  Tensor e = tensor::EmbeddingLookup(w, {0, 2, 2, 0});
+  tensor::Sum(e).Backward();
+  ASSERT_EQ(w.grad().size(), 6u);
+  EXPECT_EQ(w.grad()[0], 2.0f);
+  EXPECT_EQ(w.grad()[4], 2.0f);
+}
+
+TEST(AsanSmokeTest, PadCumSumReductions) {
+  Rng rng(17);
+  Tensor x = Tensor::RandUniform({2, 5}, -1.0f, 1.0f, rng)
+                 .set_requires_grad(true);
+  Tensor padded = tensor::PadLastDim(x, 2, 3, 0.5f);
+  ASSERT_EQ(padded.size(-1), 10);
+  Tensor summed = tensor::SumDim(tensor::CumSum(padded, 1), 1, false);
+  tensor::Sum(summed).Backward();
+  ASSERT_EQ(x.grad().size(), 10u);
+}
+
+}  // namespace
+}  // namespace timekd

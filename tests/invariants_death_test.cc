@@ -21,6 +21,18 @@ TEST(TensorDeathTest, ItemOnNonScalarAborts) {
   EXPECT_DEATH(t.item(), "Check failed");
 }
 
+TEST(TensorDeathTest, AtOutOfBoundsAborts) {
+  Tensor t = Tensor::Zeros({2, 2});
+  EXPECT_DEATH(t.at(4), "Check failed");
+  EXPECT_DEATH(t.at(-1), "Check failed");
+}
+
+TEST(TensorDeathTest, BackwardSeedSizeMismatchAborts) {
+  Tensor a = Tensor::Zeros({3}).set_requires_grad(true);
+  Tensor y = tensor::Scale(a, 2.0f);
+  EXPECT_DEATH(y.Backward({1.0f, 2.0f}), "Check failed");
+}
+
 TEST(TensorDeathTest, FromVectorSizeMismatchAborts) {
   EXPECT_DEATH(Tensor::FromVector({2, 2}, {1.0f, 2.0f}), "Check failed");
 }
@@ -100,6 +112,43 @@ TEST(DataDeathTest, GetBatchEmptyAborts) {
   data::WindowDataset ds(ts, 8, 4);
   EXPECT_DEATH(ds.GetBatch({}), "Check failed");
 }
+
+// --- TIMEKD_DEBUG_CHECKS paths -------------------------------------------
+// Compiled only when the build enables the debug-checked tensor ops
+// (cmake -DTIMEKD_DEBUG_CHECKS=ON, as the asan-ubsan preset does). These
+// exercise checks that are compiled out of release builds.
+#if defined(TIMEKD_DEBUG_CHECKS)
+
+TEST(DebugChecksDeathTest, FlatIndexOutOfRangeAborts) {
+  EXPECT_DEATH(tensor::internal::DebugCheckFlatIndex(3, 3), "out of range");
+  EXPECT_DEATH(tensor::internal::DebugCheckFlatIndex(-1, 3), "out of range");
+}
+
+TEST(DebugChecksDeathTest, FlatIndexInRangePasses) {
+  tensor::internal::DebugCheckFlatIndex(0, 3);
+  tensor::internal::DebugCheckFlatIndex(2, 3);
+}
+
+TEST(DebugChecksDeathTest, AttentionKeyValueLengthMismatchAborts) {
+  Rng rng(3);
+  nn::MultiHeadAttention attn(8, 2, 0.0f, &rng);
+  Tensor q = Tensor::Zeros({1, 4, 8});
+  Tensor k = Tensor::Zeros({1, 4, 8});
+  Tensor v = Tensor::Zeros({1, 3, 8});
+  EXPECT_DEATH(attn.Forward(q, k, v, Tensor()),
+               "key/value lengths differ");
+}
+
+TEST(DebugChecksDeathTest, AttentionWrongModelWidthAborts) {
+  Rng rng(4);
+  nn::MultiHeadAttention attn(8, 2, 0.0f, &rng);
+  Tensor q = Tensor::Zeros({1, 4, 6});
+  Tensor k = Tensor::Zeros({1, 4, 8});
+  Tensor v = Tensor::Zeros({1, 4, 8});
+  EXPECT_DEATH(attn.Forward(q, k, v, Tensor()), "query width");
+}
+
+#endif  // TIMEKD_DEBUG_CHECKS
 
 }  // namespace
 }  // namespace timekd

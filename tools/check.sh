@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# End-to-end correctness gate: lint + three build configurations, each with
+# the full ctest suite. This is what "the tree is clean" means for this
+# repo; run it before merging anything that touches src/.
+#
+#   default    RelWithDebInfo, -Werror, lint + all tests (includes the
+#              target-scoped asan_smoke test)
+#   asan-ubsan address+undefined sanitizers, TIMEKD_DEBUG_CHECKS=ON
+#   tsan       thread sanitizer (obs stress test + full suite)
+#
+# Usage: tools/check.sh [--fast]
+#   --fast  default build only (lint + tests); skips the sanitizer matrix.
+#
+# See docs/static_analysis.md for the full workflow.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+ROOT="$PWD"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+# Intentional leaked singletons are documented in tools/sanitizers/lsan.supp;
+# everything else LSan finds is a real leak. UBSan findings always fail.
+export LSAN_OPTIONS="suppressions=$ROOT/tools/sanitizers/lsan.supp"
+export UBSAN_OPTIONS="suppressions=$ROOT/tools/sanitizers/ubsan.supp:print_stacktrace=1:halt_on_error=1"
+# die_after_fork=0 keeps gtest death tests (fork-based) working under TSan.
+export TSAN_OPTIONS="suppressions=$ROOT/tools/sanitizers/tsan.supp:die_after_fork=0"
+
+step() { printf '\n=== %s ===\n' "$*"; }
+
+run_config() {
+  local preset="$1"
+  step "configure [$preset]"
+  cmake --preset "$preset"
+  step "build [$preset]"
+  cmake --build --preset "$preset" -j "$JOBS"
+  step "test [$preset]"
+  ctest --preset "$preset" -j "$JOBS"
+}
+
+step "lint"
+python3 tools/lint/timekd_lint.py --root "$ROOT" --format-check
+
+run_config default
+
+if [[ "$FAST" == "0" ]]; then
+  run_config asan-ubsan
+  run_config tsan
+fi
+
+step "all checks passed"

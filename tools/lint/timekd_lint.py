@@ -1,0 +1,472 @@
+#!/usr/bin/env python3
+"""timekd_lint: repo-specific invariant checks the compiler cannot enforce.
+
+Rules (all stdlib-only, no third-party deps):
+
+  ops-shape-check   Every function in src/tensor/ops.cc that touches raw
+                    storage via .data() must run a TIMEKD_CHECK* /
+                    TIMEKD_DCHECK* validation before the first access.
+  header-guard      Headers carry TIMEKD_<PATH>_H_ include guards derived
+                    from their path (src/ prefix stripped).
+  stdout-io         No std::cout / printf-family stdout writes outside
+                    src/cli, bench/ and examples/; library code must go
+                    through common/logging.
+  new-delete        No raw new/delete outside Make* factories. Intentional
+                    leaked singletons carry a `timekd-lint: allow(...)`
+                    comment with a reason.
+  test-determinism  Tests must not consume wall-clock time or ambient
+                    randomness (system_clock, rand, random_device, ...).
+
+Suppression: a finding on line N of a rule R is suppressed when line N or
+line N-1 contains `timekd-lint: allow(R)`. Use sparingly and document why.
+
+Format mode (--format-check): whitespace hygiene (tabs, trailing blanks,
+CRLF, missing final newline) plus `clang-format --dry-run` when the binary
+exists. Only new/changed files (vs. git HEAD + untracked) are checked so a
+formatting policy cannot force history rewrites; pass --all-files to sweep
+the whole tree.
+
+Exit status: 0 = clean, 1 = violations found, 2 = usage/environment error.
+"""
+
+import argparse
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+CXX_EXTENSIONS = (".cc", ".h", ".cpp")
+ALLOW_RE = re.compile(r"timekd-lint:\s*allow\(([a-z-]+)\)")
+
+
+class Finding:
+    def __init__(self, rule, path, line, message):
+        self.rule = rule
+        self.path = path
+        self.line = line  # 1-based, 0 = whole-file finding
+        self.message = message
+
+    def __str__(self):
+        loc = f"{self.path}:{self.line}" if self.line else self.path
+        return f"{loc}: [{self.rule}] {self.message}"
+
+
+def read_lines(root, relpath):
+    with open(os.path.join(root, relpath), encoding="utf-8") as f:
+        return f.read().splitlines()
+
+
+def strip_comments_and_strings(lines):
+    """Blanks out comments and string/char literals, keeping line structure.
+
+    A simple state machine is enough for this codebase (no raw strings, no
+    trigraphs); it keeps column positions stable by replacing stripped
+    characters with spaces.
+    """
+    out = []
+    in_block = False
+    for line in lines:
+        res = []
+        i = 0
+        n = len(line)
+        while i < n:
+            ch = line[i]
+            nxt = line[i + 1] if i + 1 < n else ""
+            if in_block:
+                if ch == "*" and nxt == "/":
+                    in_block = False
+                    res.append("  ")
+                    i += 2
+                else:
+                    res.append(" ")
+                    i += 1
+            elif ch == "/" and nxt == "/":
+                res.append(" " * (n - i))
+                break
+            elif ch == "/" and nxt == "*":
+                in_block = True
+                res.append("  ")
+                i += 2
+            elif ch in "\"'":
+                quote = ch
+                res.append(" ")
+                i += 1
+                while i < n:
+                    if line[i] == "\\":
+                        res.append("  ")
+                        i += 2
+                    elif line[i] == quote:
+                        res.append(" ")
+                        i += 1
+                        break
+                    else:
+                        res.append(" ")
+                        i += 1
+            else:
+                res.append(ch)
+                i += 1
+        out.append("".join(res))
+    return out
+
+
+def is_allowed(rule, raw_lines, lineno):
+    """True when line `lineno` (1-based) or the one above allows `rule`."""
+    for candidate in (lineno, lineno - 1):
+        if 1 <= candidate <= len(raw_lines):
+            m = ALLOW_RE.search(raw_lines[candidate - 1])
+            if m and m.group(1) == rule:
+                return True
+    return False
+
+
+def iter_files(root, subdirs, extensions):
+    for sub in subdirs:
+        base = os.path.join(root, sub)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, dirnames, filenames in os.walk(base):
+            dirnames.sort()
+            for name in sorted(filenames):
+                if name.endswith(extensions):
+                    yield os.path.relpath(os.path.join(dirpath, name), root)
+
+
+# --- Rule: header-guard ----------------------------------------------------
+
+
+def expected_guard(relpath):
+    path = relpath
+    if path.startswith("src/"):
+        path = path[len("src/"):]
+    return "TIMEKD_" + re.sub(r"[^A-Za-z0-9]", "_", path).upper() + "_"
+
+
+def check_header_guards(root, findings):
+    for rel in iter_files(root, ["src", "bench", "tests"], (".h",)):
+        lines = read_lines(root, rel)
+        guard = expected_guard(rel)
+        ifndef = None
+        for idx, line in enumerate(lines):
+            m = re.match(r"\s*#ifndef\s+(\S+)", line)
+            if m:
+                ifndef = (idx + 1, m.group(1))
+                break
+        if ifndef is None:
+            findings.append(
+                Finding("header-guard", rel, 0,
+                        f"missing include guard (expected {guard})"))
+            continue
+        lineno, actual = ifndef
+        if actual != guard:
+            findings.append(
+                Finding("header-guard", rel, lineno,
+                        f"guard {actual} should be {guard}"))
+            continue
+        if not any(re.match(rf"\s*#define\s+{re.escape(guard)}\b", l)
+                   for l in lines):
+            findings.append(
+                Finding("header-guard", rel, lineno,
+                        f"#ifndef {guard} has no matching #define"))
+
+
+# --- Rule: stdout-io -------------------------------------------------------
+
+STDOUT_PATTERNS = [
+    (re.compile(r"\bstd::cout\b"), "std::cout"),
+    (re.compile(r"(?<![\w:.>])printf\s*\("), "printf()"),
+    (re.compile(r"\bstd::printf\s*\("), "std::printf()"),
+    (re.compile(r"(?<![\w:.>])puts\s*\("), "puts()"),
+    (re.compile(r"\bstd::puts\s*\("), "std::puts()"),
+    (re.compile(r"\bfprintf\s*\(\s*stdout\b"), "fprintf(stdout, ...)"),
+    (re.compile(r"\bfputs\s*\([^;()]*,\s*stdout\s*\)"), "fputs(..., stdout)"),
+]
+
+STDOUT_EXEMPT_PREFIXES = ("src/cli/",)
+
+
+def check_stdout_io(root, findings):
+    for rel in iter_files(root, ["src", "tests"], CXX_EXTENSIONS):
+        if rel.startswith(STDOUT_EXEMPT_PREFIXES):
+            continue
+        raw = read_lines(root, rel)
+        code = strip_comments_and_strings(raw)
+        for idx, line in enumerate(code):
+            for pattern, label in STDOUT_PATTERNS:
+                if pattern.search(line):
+                    if is_allowed("stdout-io", raw, idx + 1):
+                        continue
+                    findings.append(
+                        Finding("stdout-io", rel, idx + 1,
+                                f"{label} outside src/cli|bench|examples; "
+                                "use common/logging"))
+
+
+# --- Rule: new-delete ------------------------------------------------------
+
+NEW_RE = re.compile(r"(?<![\w:])new\s+[A-Za-z_:][\w:<>, ]*")
+DELETE_RE = re.compile(r"(?<![\w:])delete(\[\])?\s+[A-Za-z_]")
+FUNC_NAME_RE = re.compile(r"(\w+)\s*\([^;{}]*\)\s*(const\s*)?\{?\s*$")
+
+
+def check_new_delete(root, findings):
+    for rel in iter_files(root, ["src"], CXX_EXTENSIONS):
+        raw = read_lines(root, rel)
+        code = strip_comments_and_strings(raw)
+        for idx, line in enumerate(code):
+            hit = None
+            col = 0
+            m = NEW_RE.search(line)
+            if m:
+                hit = "raw new"
+                col = m.start()
+            else:
+                m = DELETE_RE.search(line)
+                if m and "= delete" not in line:
+                    hit = "raw delete"
+                    col = m.start()
+            if hit is None:
+                continue
+            if is_allowed("new-delete", raw, idx + 1):
+                continue
+            if enclosing_make_factory(code, idx, col):
+                continue
+            findings.append(
+                Finding("new-delete", rel, idx + 1,
+                        f"{hit} outside a Make* factory; use "
+                        "std::make_unique/make_shared or add a documented "
+                        "timekd-lint: allow(new-delete)"))
+
+
+def enclosing_make_factory(code, idx, col):
+    """True when position (`idx`, `col`) sits inside a Make* function.
+
+    Scans backwards, balancing braces; only text before `col` counts on the
+    hit line itself, so single-line factories are recognised too.
+    """
+    depth = 0
+    for back in range(idx, -1, -1):
+        line = code[back][:col] if back == idx else code[back]
+        depth += line.count("}") - line.count("{")
+        if depth < 0:  # crossed into an enclosing scope opener
+            head = line[:line.rfind("{")]
+            m = FUNC_NAME_RE.search(head)
+            if m is None and back > 0:
+                m = FUNC_NAME_RE.search(code[back - 1])
+            if m and m.group(1).startswith("Make"):
+                return True
+            depth = 0  # keep scanning further out
+    return False
+
+
+# --- Rule: ops-shape-check -------------------------------------------------
+
+OPS_FILE = "src/tensor/ops.cc"
+FUNC_DEF_RE = re.compile(
+    r"^(?:template\s*<[^>]*>\s*)?"
+    r"(?:Tensor|void|float|std::vector<[^>]+>)\s+"
+    r"(\w+)\s*\(")
+CHECK_RE = re.compile(r"\bTIMEKD_D?CHECK(_EQ|_NE|_LT|_LE|_GT|_GE)?\s*\(")
+DATA_RE = re.compile(r"\.\s*data\s*\(\s*\)")
+
+
+def check_ops_shape_checks(root, findings):
+    try:
+        raw = read_lines(root, OPS_FILE)
+    except FileNotFoundError:
+        findings.append(Finding("ops-shape-check", OPS_FILE, 0,
+                                "file not found"))
+        return
+    code = strip_comments_and_strings(raw)
+    idx = 0
+    n = len(code)
+    while idx < n:
+        m = FUNC_DEF_RE.match(code[idx])
+        if m is None:
+            idx += 1
+            continue
+        name = m.group(1)
+        # Find the opening brace of the definition (skip declarations).
+        open_idx = idx
+        while open_idx < n and "{" not in code[open_idx]:
+            if ";" in code[open_idx]:
+                open_idx = None
+                break
+            open_idx += 1
+        if open_idx is None:
+            idx += 1
+            continue
+        # Walk the brace-balanced body.
+        depth = 0
+        body_start = open_idx
+        end_idx = open_idx
+        for j in range(open_idx, n):
+            depth += code[j].count("{") - code[j].count("}")
+            if depth == 0:
+                end_idx = j
+                break
+        else:
+            end_idx = n - 1
+        first_check = None
+        first_data = None
+        for j in range(body_start, end_idx + 1):
+            if first_check is None and CHECK_RE.search(code[j]):
+                first_check = j
+            if first_data is None and DATA_RE.search(code[j]):
+                first_data = j
+            if first_check is not None and first_data is not None:
+                break
+        if first_data is not None and (first_check is None
+                                       or first_check > first_data):
+            if not is_allowed("ops-shape-check", raw, first_data + 1):
+                findings.append(
+                    Finding("ops-shape-check", OPS_FILE, first_data + 1,
+                            f"{name}() touches .data() before any "
+                            "TIMEKD_CHECK*/TIMEKD_DCHECK* shape validation"))
+        idx = end_idx + 1
+
+
+# --- Rule: test-determinism ------------------------------------------------
+
+NONDETERMINISM_PATTERNS = [
+    (re.compile(r"\bsystem_clock\b"), "system_clock (wall clock)"),
+    (re.compile(r"\bstd::random_device\b"), "std::random_device"),
+    (re.compile(r"(?<![\w:])srand\s*\("), "srand()"),
+    (re.compile(r"(?<![\w:.])rand\s*\(\s*\)"), "rand()"),
+    (re.compile(r"(?<![\w:.])time\s*\(\s*(0|NULL|nullptr)?\s*\)"),
+     "time()"),
+    (re.compile(r"\b(localtime|gmtime)(_r)?\s*\("), "calendar time"),
+]
+
+
+def check_test_determinism(root, findings):
+    for rel in iter_files(root, ["tests"], CXX_EXTENSIONS):
+        raw = read_lines(root, rel)
+        code = strip_comments_and_strings(raw)
+        for idx, line in enumerate(code):
+            for pattern, label in NONDETERMINISM_PATTERNS:
+                if pattern.search(line):
+                    if is_allowed("test-determinism", raw, idx + 1):
+                        continue
+                    findings.append(
+                        Finding("test-determinism", rel, idx + 1,
+                                f"{label} makes this test nondeterministic; "
+                                "use steady_clock or a seeded Rng"))
+
+
+# --- Format mode -----------------------------------------------------------
+
+
+def changed_files(root):
+    """C++ files changed vs. HEAD plus untracked ones (format scope)."""
+    files = set()
+    for args in (["git", "diff", "--name-only", "HEAD"],
+                 ["git", "ls-files", "--others", "--exclude-standard"]):
+        try:
+            out = subprocess.run(args, cwd=root, capture_output=True,
+                                 text=True, check=True).stdout
+        except (subprocess.CalledProcessError, FileNotFoundError):
+            return None
+        files.update(line.strip() for line in out.splitlines() if line.strip())
+    return sorted(f for f in files
+                  if f.endswith(CXX_EXTENSIONS)
+                  and os.path.isfile(os.path.join(root, f)))
+
+
+def check_format(root, findings, all_files):
+    if all_files:
+        targets = list(iter_files(root, ["src", "tests", "bench", "examples"],
+                                  CXX_EXTENSIONS))
+    else:
+        targets = changed_files(root)
+        if targets is None:
+            print("timekd_lint: git unavailable; skipping format scope "
+                  "detection", file=sys.stderr)
+            return
+    for rel in targets:
+        try:
+            with open(os.path.join(root, rel), "rb") as f:
+                blob = f.read()
+        except FileNotFoundError:
+            continue
+        if b"\r\n" in blob:
+            findings.append(Finding("format", rel, 0, "CRLF line endings"))
+        if blob and not blob.endswith(b"\n"):
+            findings.append(Finding("format", rel, 0, "missing final newline"))
+        for idx, line in enumerate(blob.decode("utf-8",
+                                               "replace").splitlines()):
+            if "\t" in line:
+                findings.append(
+                    Finding("format", rel, idx + 1, "tab character"))
+            if line.rstrip() != line:
+                findings.append(
+                    Finding("format", rel, idx + 1, "trailing whitespace"))
+    clang_format = shutil.which("clang-format")
+    if clang_format and targets:
+        proc = subprocess.run(
+            [clang_format, "--dry-run", "-Werror", "--style=file"] +
+            [os.path.join(root, t) for t in targets],
+            capture_output=True, text=True)
+        if proc.returncode != 0:
+            for line in proc.stderr.splitlines():
+                m = re.match(r"(.+?):(\d+):\d+: (?:error|warning): (.*)", line)
+                if m:
+                    findings.append(
+                        Finding("format", os.path.relpath(m.group(1), root),
+                                int(m.group(2)), m.group(3)))
+    elif not clang_format:
+        print("timekd_lint: clang-format not found; built-in whitespace "
+              "checks only", file=sys.stderr)
+
+
+# --- Driver ----------------------------------------------------------------
+
+RULES = {
+    "ops-shape-check": check_ops_shape_checks,
+    "header-guard": check_header_guards,
+    "stdout-io": check_stdout_io,
+    "new-delete": check_new_delete,
+    "test-determinism": check_test_determinism,
+}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: two levels above this file)")
+    parser.add_argument("--rule", action="append", choices=sorted(RULES),
+                        help="run only the named rule (repeatable)")
+    parser.add_argument("--format-check", action="store_true",
+                        help="also run the formatting checks")
+    parser.add_argument("--all-files", action="store_true",
+                        help="format-check the whole tree, not just "
+                             "new/changed files")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the per-rule summary")
+    args = parser.parse_args()
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    if not os.path.isdir(os.path.join(root, "src")):
+        print(f"timekd_lint: {root} does not look like the repo root",
+              file=sys.stderr)
+        return 2
+
+    findings = []
+    selected = args.rule or sorted(RULES)
+    for rule in selected:
+        RULES[rule](root, findings)
+    if args.format_check:
+        check_format(root, findings, args.all_files)
+
+    for finding in findings:
+        print(finding)
+    if not args.quiet:
+        scope = "+format" if args.format_check else ""
+        print(f"timekd_lint: {len(findings)} violation(s) across "
+              f"{len(selected)} rule(s){scope}", file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
