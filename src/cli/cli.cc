@@ -156,8 +156,11 @@ StatusOr<eval::ForecastMetrics> TrainAndReport(const Flags& flags,
   out << "trained " << stats.steps << " steps (CLM cache "
       << stats.cache_build_seconds << "s)\n";
 
+  // MASE is scaled by the naive MAE of the (standardized) training split
+  // only — never the evaluation region.
   eval::ForecastMetrics metrics = eval::EvaluateForecastFn(
-      [&](const tensor::Tensor& x) { return model.Predict(x); }, test);
+      [&](const tensor::Tensor& x) { return model.Predict(x); }, test,
+      train.series());
   if (save_student && flags.Has("student-out")) {
     const std::string path = flags.GetString("student-out", "");
     if (Status s = model.SaveStudent(path); !s.ok()) return s;
@@ -208,7 +211,8 @@ int CmdEvaluate(const Flags& flags, std::ostream& out) {
     return 1;
   }
   eval::ForecastMetrics metrics = eval::EvaluateForecastFn(
-      [&](const tensor::Tensor& x) { return model.Predict(x); }, test);
+      [&](const tensor::Tensor& x) { return model.Predict(x); }, test,
+      scaler.Transform(splits.train));
   out << "test MSE " << metrics.mse << "  MAE " << metrics.mae << " over "
       << test.NumSamples() << " windows\n";
   return 0;

@@ -49,7 +49,23 @@ class Rng {
   double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
 
   /// Uniform integer in [0, n). Requires n > 0.
-  uint64_t UniformInt(uint64_t n) { return NextU64() % n; }
+  ///
+  /// Lemire's nearly-divisionless bounded draw: `NextU64() % n` is biased
+  /// whenever n does not divide 2^64 (low values land up to 1 extra time).
+  /// Multiplying into a 128-bit product and rejecting the sliver of draws
+  /// below 2^64 mod n makes every residue class exactly equally likely.
+  uint64_t UniformInt(uint64_t n) {
+    __uint128_t m = static_cast<__uint128_t>(NextU64()) * n;
+    uint64_t lo = static_cast<uint64_t>(m);
+    if (lo < n) {
+      const uint64_t threshold = -n % n;  // 2^64 mod n
+      while (lo < threshold) {
+        m = static_cast<__uint128_t>(NextU64()) * n;
+        lo = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
 
   /// Standard normal via Box-Muller (cached pair).
   double Gaussian() {

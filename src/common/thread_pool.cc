@@ -1,0 +1,205 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+#include "common/env_config.h"
+#include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace timekd {
+
+namespace {
+
+/// Upper bound on shards per job. Fixed (never derived from the thread
+/// count) so shard boundaries — and therefore reduction combine order —
+/// are identical for every TIMEKD_NUM_THREADS value.
+constexpr int64_t kMaxShards = 64;
+
+/// True while the current thread is executing a shard; nested ParallelFor
+/// calls run inline instead of deadlocking on the pool.
+thread_local bool t_in_parallel_region = false;
+
+obs::Counter* TasksCounter() {
+  static obs::Counter* c = obs::GlobalMetrics().GetCounter("threadpool/tasks");
+  return c;
+}
+
+obs::Counter* JobsCounter() {
+  static obs::Counter* c = obs::GlobalMetrics().GetCounter("threadpool/jobs");
+  return c;
+}
+
+obs::Histogram* QueueWaitHistogram() {
+  static obs::Histogram* h = obs::GlobalMetrics().GetHistogram(
+      "threadpool/queue_wait_us",
+      {1.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 5000.0});
+  return h;
+}
+
+int DefaultNumThreads() {
+  const long configured = GetEnvInt("TIMEKD_NUM_THREADS", 0);
+  long n = configured;
+  if (n <= 0) {
+    n = static_cast<long>(std::thread::hardware_concurrency());
+    if (n <= 0) n = 1;
+  }
+  return static_cast<int>(std::clamp<long>(n, 1, 256));
+}
+
+}  // namespace
+
+ThreadPool& ThreadPool::Get() {
+  // Leaked so late kernel calls (atexit metric dumps, static destructors)
+  // never observe a dead pool. timekd-lint: allow(new-delete)
+  static ThreadPool* pool = new ThreadPool(DefaultNumThreads());
+  return *pool;
+}
+
+ThreadPool::ThreadPool(int n) { StartWorkers(n); }
+
+int ThreadPool::num_threads() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return num_threads_;
+}
+
+void ThreadPool::StartWorkers(int n) {
+  TIMEKD_CHECK_GE(n, 1);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    num_threads_ = n;
+    shutdown_ = false;
+  }
+  workers_.reserve(static_cast<size_t>(n - 1));
+  for (int i = 0; i < n - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  static obs::Gauge* size_gauge =
+      obs::GlobalMetrics().GetGauge("threadpool/num_threads");
+  size_gauge->Set(static_cast<double>(n));
+}
+
+void ThreadPool::StopWorkers() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+}
+
+void ThreadPool::Resize(int n) {
+  TIMEKD_CHECK_GE(n, 1);
+  StopWorkers();
+  StartWorkers(n);
+}
+
+int64_t ThreadPool::NumShards(int64_t n, int64_t grain) {
+  if (n <= 0) return 0;
+  if (grain < 1) grain = 1;
+  return std::clamp<int64_t>(n / grain, 1, kMaxShards);
+}
+
+void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                             const std::function<void(int64_t, int64_t)>& fn) {
+  ParallelForShards(begin, end, grain,
+                    [&fn](int64_t /*shard*/, int64_t b, int64_t e) {
+                      fn(b, e);
+                    });
+}
+
+void ThreadPool::ParallelForShards(
+    int64_t begin, int64_t end, int64_t grain,
+    const std::function<void(int64_t, int64_t, int64_t)>& fn) {
+  const int64_t n = end - begin;
+  if (n <= 0) return;
+  const int64_t num_shards = NumShards(n, grain);
+  const int64_t base = n / num_shards;
+  const int64_t rem = n % num_shards;
+
+  // Inline path: single shard, single-thread pool, or a nested call from
+  // inside a shard. Shard structure (and thus combine order for reduction
+  // callers) is identical to the pooled path.
+  bool inline_run = num_shards == 1 || t_in_parallel_region;
+  if (!inline_run) {
+    std::lock_guard<std::mutex> lock(mu_);
+    inline_run = num_threads_ == 1;
+  }
+  if (inline_run) {
+    int64_t offset = begin;
+    for (int64_t s = 0; s < num_shards; ++s) {
+      const int64_t len = base + (s < rem ? 1 : 0);
+      fn(s, offset, offset + len);
+      offset += len;
+    }
+    return;
+  }
+
+  JobsCounter()->Increment();
+  std::lock_guard<std::mutex> submit_lock(submit_mu_);
+  std::unique_lock<std::mutex> lock(mu_);
+  fn_ = &fn;
+  job_begin_ = begin;
+  job_shard_size_ = base;
+  job_shard_rem_ = rem;
+  job_num_shards_ = num_shards;
+  next_shard_ = 0;
+  active_shards_ = 0;
+  job_wait_recorded_ = false;
+  job_submit_us_ = obs::Tracer::NowMicros();
+  work_cv_.notify_all();
+
+  RunShards(lock, /*is_worker=*/false);
+  done_cv_.wait(lock, [this] {
+    return next_shard_ >= job_num_shards_ && active_shards_ == 0;
+  });
+  fn_ = nullptr;
+}
+
+void ThreadPool::RunShards(std::unique_lock<std::mutex>& lock,
+                           bool is_worker) {
+  while (fn_ != nullptr && next_shard_ < job_num_shards_) {
+    const int64_t s = next_shard_++;
+    ++active_shards_;
+    if (is_worker && !job_wait_recorded_) {
+      job_wait_recorded_ = true;
+      QueueWaitHistogram()->Observe(
+          static_cast<double>(obs::Tracer::NowMicros() - job_submit_us_));
+    }
+    const auto* fn = fn_;
+    // Shard s covers [begin + s*base + min(s, rem), ...): the first `rem`
+    // shards carry one extra index.
+    const int64_t extra = std::min(s, job_shard_rem_);
+    const int64_t shard_begin =
+        job_begin_ + s * job_shard_size_ + extra;
+    const int64_t shard_len =
+        job_shard_size_ + (s < job_shard_rem_ ? 1 : 0);
+    lock.unlock();
+    {
+      TIMEKD_TRACE_SCOPE("threadpool/shard");
+      t_in_parallel_region = true;
+      (*fn)(s, shard_begin, shard_begin + shard_len);
+      t_in_parallel_region = false;
+    }
+    TasksCounter()->Increment();
+    lock.lock();
+    --active_shards_;
+    if (next_shard_ >= job_num_shards_ && active_shards_ == 0) {
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_cv_.wait(lock, [this] {
+      return shutdown_ || (fn_ != nullptr && next_shard_ < job_num_shards_);
+    });
+    if (shutdown_) return;
+    RunShards(lock, /*is_worker=*/true);
+  }
+}
+
+}  // namespace timekd

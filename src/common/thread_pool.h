@@ -1,0 +1,110 @@
+#ifndef TIMEKD_COMMON_THREAD_POOL_H_
+#define TIMEKD_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace timekd {
+
+/// Process-wide fork-join thread pool behind the ParallelFor primitive used
+/// by every hot kernel (matmul, softmax, layernorm, attention).
+///
+/// Determinism contract: a range [begin, end) is split into shards whose
+/// boundaries depend only on (begin, end, grain) — never on the thread
+/// count. Kernels either write disjoint output ranges per shard or reduce
+/// into per-shard partial buffers that the caller combines in shard-index
+/// order, so every kernel output is bit-identical for any value of
+/// TIMEKD_NUM_THREADS (including 1, which runs shards inline on the calling
+/// thread and spawns no workers at all).
+///
+/// Sizing: TIMEKD_NUM_THREADS (default std::thread::hardware_concurrency).
+/// The calling thread always participates, so a pool of size N keeps N-1
+/// persistent workers.
+///
+/// Observability: `threadpool/tasks` counts shards executed on pool
+/// threads, `threadpool/jobs` counts dispatched ParallelFor calls,
+/// `threadpool/queue_wait_us` records submit-to-first-worker-pickup
+/// latency, and each worker shard opens a "threadpool/shard" trace span.
+class ThreadPool {
+ public:
+  /// Lazily constructed, intentionally leaked singleton (same lifetime
+  /// pattern as obs::GlobalMetrics) so worker threads never race static
+  /// destruction.
+  static ThreadPool& Get();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const;
+
+  /// Joins all workers and restarts the pool with `n` threads (n >= 1).
+  /// For tests and benchmarks; not safe to call concurrently with
+  /// ParallelFor from other threads.
+  void Resize(int n);
+
+  /// Invokes fn(shard_begin, shard_end) over disjoint subranges covering
+  /// [begin, end). `grain` is the minimum number of indices per shard.
+  /// Blocks until every shard ran. Nested calls (from inside a shard) run
+  /// inline on the calling thread.
+  void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                   const std::function<void(int64_t, int64_t)>& fn);
+
+  /// As ParallelFor, but fn also receives the shard index in
+  /// [0, NumShards(end - begin, grain)). Reductions allocate one partial
+  /// buffer per shard and combine them in index order after the call.
+  void ParallelForShards(
+      int64_t begin, int64_t end, int64_t grain,
+      const std::function<void(int64_t, int64_t, int64_t)>& fn);
+
+  /// Number of shards a range of `n` indices with the given grain is split
+  /// into. Depends only on (n, grain) so per-shard partial buffers sized
+  /// with this stay valid across any thread count.
+  static int64_t NumShards(int64_t n, int64_t grain);
+
+ private:
+  explicit ThreadPool(int n);
+  ~ThreadPool() = delete;  // leaked singleton; workers outlive main
+
+  void StartWorkers(int n);
+  void StopWorkers();
+  void WorkerLoop();
+  /// Claims and runs shards of the current job until none remain. Caller
+  /// must hold `mu_`; the lock is released around each fn invocation.
+  void RunShards(std::unique_lock<std::mutex>& lock, bool is_worker);
+
+  /// Serializes submitters: held for the full lifetime of a dispatched
+  /// job so concurrent ParallelFor calls from different threads queue up
+  /// instead of clobbering the in-flight job state.
+  std::mutex submit_mu_;
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // signals workers: job available
+  std::condition_variable done_cv_;  // signals submitter: job drained
+  std::vector<std::thread> workers_;
+  int num_threads_ = 1;
+
+  // State of the in-flight job; guarded by mu_.
+  const std::function<void(int64_t, int64_t, int64_t)>* fn_ = nullptr;
+  int64_t job_begin_ = 0;
+  int64_t job_shard_size_ = 0;  // base shard size
+  int64_t job_shard_rem_ = 0;   // first `rem` shards get one extra index
+  int64_t job_num_shards_ = 0;
+  int64_t next_shard_ = 0;
+  int64_t active_shards_ = 0;
+  uint64_t job_submit_us_ = 0;
+  bool job_wait_recorded_ = false;
+  bool shutdown_ = false;
+};
+
+/// Convenience wrapper over ThreadPool::Get().ParallelFor.
+inline void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                        const std::function<void(int64_t, int64_t)>& fn) {
+  ThreadPool::Get().ParallelFor(begin, end, grain, fn);
+}
+
+}  // namespace timekd
+
+#endif  // TIMEKD_COMMON_THREAD_POOL_H_

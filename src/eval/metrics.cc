@@ -37,11 +37,12 @@ ForecastMetrics MetricsAccumulator::Finalize() const {
   return m;
 }
 
-double NaiveMae(const data::WindowDataset& ds) {
-  const data::TimeSeries& series = ds.series();
+double NaiveMae(const data::TimeSeries& series, int64_t num_steps) {
+  int64_t limit = series.num_steps();
+  if (num_steps >= 0 && num_steps < limit) limit = num_steps;
   double acc = 0.0;
   int64_t count = 0;
-  for (int64_t t = 1; t < series.num_steps(); ++t) {
+  for (int64_t t = 1; t < limit; ++t) {
     for (int64_t v = 0; v < series.num_variables(); ++v) {
       acc += std::fabs(series.at(t, v) - series.at(t - 1, v));
       ++count;
@@ -50,16 +51,34 @@ double NaiveMae(const data::WindowDataset& ds) {
   return count > 0 ? acc / count : 0.0;
 }
 
-ForecastMetrics EvaluateForecastFn(
+namespace {
+
+ForecastMetrics EvaluateWithScale(
     const std::function<tensor::Tensor(const tensor::Tensor&)>& predict,
-    const data::WindowDataset& ds) {
+    const data::WindowDataset& ds, double naive_mae) {
   tensor::NoGradGuard no_grad;
-  MetricsAccumulator acc(NaiveMae(ds));
+  MetricsAccumulator acc(naive_mae);
   for (int64_t i = 0; i < ds.NumSamples(); ++i) {
     data::ForecastBatch batch = ds.GetBatch({i});
     acc.AddTensors(predict(batch.x), batch.y);
   }
   return acc.Finalize();
+}
+
+}  // namespace
+
+ForecastMetrics EvaluateForecastFn(
+    const std::function<tensor::Tensor(const tensor::Tensor&)>& predict,
+    const data::WindowDataset& ds) {
+  // No training split provided: leave MASE disabled rather than leak the
+  // evaluation region into the scaling constant.
+  return EvaluateWithScale(predict, ds, 0.0);
+}
+
+ForecastMetrics EvaluateForecastFn(
+    const std::function<tensor::Tensor(const tensor::Tensor&)>& predict,
+    const data::WindowDataset& ds, const data::TimeSeries& train_series) {
+  return EvaluateWithScale(predict, ds, NaiveMae(train_series));
 }
 
 std::vector<double> PerHorizonMse(

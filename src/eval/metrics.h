@@ -47,15 +47,25 @@ class MetricsAccumulator {
   int64_t count_ = 0;
 };
 
-/// Mean |x_t - x_{t-1}| over a window dataset's underlying series — the
-/// standard MASE scaling term.
-double NaiveMae(const data::WindowDataset& ds);
+/// Mean |x_t - x_{t-1}| over the first `num_steps` steps of a series (the
+/// whole series when num_steps < 0) — the standard MASE scaling term.
+/// MASE is defined against the *in-sample* (training) naive forecast, so
+/// callers must pass the training split; computing the constant over the
+/// evaluation region leaks out-of-sample information into the metric.
+double NaiveMae(const data::TimeSeries& series, int64_t num_steps = -1);
 
 /// Evaluates an arbitrary predict function (x [1,H,N] -> [1,M,N]) over a
-/// dataset with the paper's batch-size-1 protocol.
+/// dataset with the paper's batch-size-1 protocol. Without a training
+/// series the MASE scaling constant is unavailable and `mase` reports 0.
 ForecastMetrics EvaluateForecastFn(
     const std::function<tensor::Tensor(const tensor::Tensor&)>& predict,
     const data::WindowDataset& ds);
+
+/// As above, with MASE scaled by the naive MAE of `train_series` (the
+/// training split, in the same normalization as `ds`).
+ForecastMetrics EvaluateForecastFn(
+    const std::function<tensor::Tensor(const tensor::Tensor&)>& predict,
+    const data::WindowDataset& ds, const data::TimeSeries& train_series);
 
 /// Per-horizon-step error profile: element h holds the MSE of forecasts
 /// exactly h+1 steps ahead, aggregated over the dataset. Shows how error

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "tensor/ops.h"
@@ -52,19 +53,27 @@ Tensor MultiHeadAttention::ApplyRope(const Tensor& x) const {
   const int64_t half = dh / 2;
   std::vector<float> cos_v(static_cast<size_t>(s * dh));
   std::vector<float> sin_v(static_cast<size_t>(s * dh));
-  for (int64_t p = 0; p < s; ++p) {
-    for (int64_t j = 0; j < half; ++j) {
-      const double freq =
-          std::pow(10000.0, -2.0 * static_cast<double>(j) / dh);
-      const double angle = static_cast<double>(p) * freq;
-      const float c = static_cast<float>(std::cos(angle));
-      const float sv = static_cast<float>(std::sin(angle));
-      cos_v[static_cast<size_t>(p * dh + j)] = c;
-      cos_v[static_cast<size_t>(p * dh + half + j)] = c;
-      sin_v[static_cast<size_t>(p * dh + j)] = sv;
-      sin_v[static_cast<size_t>(p * dh + half + j)] = sv;
-    }
-  }
+  float* pcos = cos_v.data();
+  float* psin = sin_v.data();
+  // Each position writes a disjoint [dh]-sized slice of the tables, so the
+  // parallel fill is trivially bit-identical across thread counts.
+  ParallelFor(0, s, std::max<int64_t>(1, 512 / std::max<int64_t>(1, half)),
+              [pcos, psin, dh, half](int64_t p0, int64_t p1) {
+                TIMEKD_TRACE_SCOPE("nn/rope_tables");
+                for (int64_t p = p0; p < p1; ++p) {
+                  for (int64_t j = 0; j < half; ++j) {
+                    const double freq =
+                        std::pow(10000.0, -2.0 * static_cast<double>(j) / dh);
+                    const double angle = static_cast<double>(p) * freq;
+                    const float c = static_cast<float>(std::cos(angle));
+                    const float sv = static_cast<float>(std::sin(angle));
+                    pcos[p * dh + j] = c;
+                    pcos[p * dh + half + j] = c;
+                    psin[p * dh + j] = sv;
+                    psin[p * dh + half + j] = sv;
+                  }
+                }
+              });
   Tensor cos_t = Tensor::FromVector({s, dh}, std::move(cos_v));
   Tensor sin_t = Tensor::FromVector({s, dh}, std::move(sin_v));
   Tensor x1 = Slice(x, 3, 0, half);

@@ -12,6 +12,7 @@ AdamW::AdamW(std::vector<Tensor> params, const AdamWConfig& config)
     : params_(std::move(params)), config_(config) {
   m_.resize(params_.size());
   v_.resize(params_.size());
+  step_counts_.assign(params_.size(), 0);
   for (size_t i = 0; i < params_.size(); ++i) {
     const size_t n = static_cast<size_t>(params_[i].numel());
     m_[i].assign(n, 0.0f);
@@ -25,13 +26,20 @@ void AdamW::Step() {
       obs::GlobalMetrics().GetCounter("optimizer/steps");
   steps->Increment();
   ++t_;
-  const double bc1 = 1.0 - std::pow(config_.beta1, static_cast<double>(t_));
-  const double bc2 = 1.0 - std::pow(config_.beta2, static_cast<double>(t_));
   for (size_t i = 0; i < params_.size(); ++i) {
     Tensor& p = params_[i];
     if (!p.requires_grad()) continue;
     const std::vector<float>& g = p.grad();
     if (g.empty()) continue;  // parameter untouched by the last backward
+    // Bias correction uses the number of updates THIS parameter received,
+    // not the shared t_: a parameter that skipped steps 1..k would
+    // otherwise get a nearly-uncorrected (too small) first moment estimate
+    // on its first real update.
+    const int64_t pt = ++step_counts_[i];
+    const double bc1 =
+        1.0 - std::pow(config_.beta1, static_cast<double>(pt));
+    const double bc2 =
+        1.0 - std::pow(config_.beta2, static_cast<double>(pt));
     float* data = p.data();
     std::vector<float>& m = m_[i];
     std::vector<float>& v = v_[i];

@@ -26,7 +26,11 @@ class AdamW {
   AdamW(std::vector<Tensor> params, const AdamWConfig& config);
 
   /// Applies one update using the gradients currently stored on the
-  /// parameters. Parameters with requires_grad=false are skipped.
+  /// parameters. Parameters with requires_grad=false or an empty gradient
+  /// (untouched by the last backward) are skipped — and, crucially, their
+  /// per-parameter step counter does not advance, so Adam's bias
+  /// correction for a sparsely-updated parameter matches what a dense
+  /// optimizer would apply on that parameter's first real update.
   void Step();
 
   /// Clears the gradients of all managed parameters.
@@ -34,13 +38,19 @@ class AdamW {
 
   double lr() const { return config_.lr; }
   void set_lr(double lr) { config_.lr = lr; }
+  /// Global step count (number of Step() calls); drives LR schedules.
   int64_t step_count() const { return t_; }
+  /// Number of updates actually applied to parameter `i`.
+  int64_t param_step_count(size_t i) const { return step_counts_[i]; }
 
  private:
   std::vector<Tensor> params_;
   AdamWConfig config_;
   std::vector<std::vector<float>> m_;
   std::vector<std::vector<float>> v_;
+  /// Per-parameter update counts for bias correction; a parameter that
+  /// skipped early steps must not be bias-corrected as if it had run them.
+  std::vector<int64_t> step_counts_;
   int64_t t_ = 0;
 };
 

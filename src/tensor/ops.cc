@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "obs/metrics.h"
 
 namespace timekd::tensor {
@@ -239,46 +240,81 @@ std::vector<float> TransposeRaw(const float* src, const Shape& in_shape,
   return out;
 }
 
-/// 2-D matmul kernel: C[m,n] += A[m,k] * B[k,n].
-void MatMulKernel(const float* a, const float* b, float* c, int64_t m,
-                  int64_t k, int64_t n) {
-  for (int64_t i = 0; i < m; ++i) {
-    float* crow = c + i * n;
+/// Minimum indices per ParallelFor shard so each shard carries roughly
+/// 32k multiply-adds; below that the fork-join dispatch dominates.
+int64_t RowGrain(int64_t per_index_cost) {
+  return std::max<int64_t>(1, 32768 / std::max<int64_t>(1, per_index_cost));
+}
+
+/// All three matmul kernels are expressed over ranges of *output rows* of
+/// the flattened [rows, n] result, so ParallelFor shards write disjoint
+/// memory and per-element accumulation order never depends on the shard
+/// layout — outputs are bit-identical for every TIMEKD_NUM_THREADS.
+
+/// Rows [r0, r1) of C = A·B over the flattened [nbatch*m, n] output.
+/// C[bi,i,j] += sum_p A[bi,i,p] * B[bi,p,j], p ascending.
+void MatMulRows(const float* a, const float* b, float* c, int64_t r0,
+                int64_t r1, int64_t m, int64_t k, int64_t n, bool a_batched,
+                bool b_batched) {
+  for (int64_t r = r0; r < r1; ++r) {
+    const int64_t bi = r / m;
+    const float* arow = (a_batched ? a + bi * m * k : a) + (r % m) * k;
+    const float* bb = b_batched ? b + bi * k * n : b;
+    float* crow = c + r * n;
     for (int64_t p = 0; p < k; ++p) {
-      const float av = a[i * k + p];
+      const float av = arow[p];
       if (av == 0.0f) continue;
-      const float* brow = b + p * n;
+      const float* brow = bb + p * n;
       for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
     }
   }
 }
 
-/// C[m,n] += A[k,m]^T * B[k,n]  (i.e. A transposed).
-void MatMulATKernel(const float* a, const float* b, float* c, int64_t m,
-                    int64_t k, int64_t n) {
-  for (int64_t p = 0; p < k; ++p) {
-    const float* arow = a + p * m;
-    const float* brow = b + p * n;
-    for (int64_t i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
-      float* crow = c + i * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+/// Rows [r0, r1) of dA += dC·B^T. When A is batched the row space is
+/// [nbatch*m, k]; when A is shared it is [m, k] and the batch reduction
+/// runs serially inside the row (bi ascending) so the accumulation order
+/// matches the single-threaded kernel bit for bit.
+void MatMulBTRows(const float* dy, const float* b, float* da, int64_t r0,
+                  int64_t r1, int64_t m, int64_t k, int64_t n, int64_t nbatch,
+                  bool a_batched, bool b_batched) {
+  for (int64_t r = r0; r < r1; ++r) {
+    const int64_t i = a_batched ? r % m : r;
+    float* darow = da + r * k;
+    const int64_t bi_begin = a_batched ? r / m : 0;
+    const int64_t bi_end = a_batched ? bi_begin + 1 : nbatch;
+    for (int64_t bi = bi_begin; bi < bi_end; ++bi) {
+      const float* dyrow = dy + (bi * m + i) * n;
+      const float* bb = b_batched ? b + bi * k * n : b;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float* brow = bb + kk * n;
+        float acc = 0.0f;
+        for (int64_t p = 0; p < n; ++p) acc += dyrow[p] * brow[p];
+        darow[kk] += acc;
+      }
     }
   }
 }
 
-/// C[m,n] += A[m,k] * B[n,k]^T (i.e. B transposed).
-void MatMulBTKernel(const float* a, const float* b, float* c, int64_t m,
-                    int64_t k, int64_t n) {
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = a + i * k;
-    float* crow = c + i * n;
-    for (int64_t j = 0; j < n; ++j) {
-      const float* brow = b + j * k;
-      float acc = 0.0f;
-      for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-      crow[j] += acc;
+/// Rows [r0, r1) of dB += A^T·dC. When B is batched the row space is
+/// [nbatch*k, n]; when B is shared it is [k, n] with the batch reduction
+/// serial inside the row (bi ascending, then sample i ascending).
+void MatMulATRows(const float* a, const float* dy, float* db, int64_t r0,
+                  int64_t r1, int64_t m, int64_t k, int64_t n, int64_t nbatch,
+                  bool a_batched, bool b_batched) {
+  for (int64_t r = r0; r < r1; ++r) {
+    const int64_t kk = b_batched ? r % k : r;
+    float* dbrow = db + r * n;
+    const int64_t bi_begin = b_batched ? r / k : 0;
+    const int64_t bi_end = b_batched ? bi_begin + 1 : nbatch;
+    for (int64_t bi = bi_begin; bi < bi_end; ++bi) {
+      const float* ab = a_batched ? a + bi * m * k : a;
+      const float* dyb = dy + bi * m * n;
+      for (int64_t i = 0; i < m; ++i) {
+        const float av = ab[i * k + kk];
+        if (av == 0.0f) continue;
+        const float* dyrow = dyb + i * n;
+        for (int64_t j = 0; j < n; ++j) dbrow[j] += av * dyrow[j];
+      }
     }
   }
 }
@@ -606,11 +642,12 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   std::vector<float> out(static_cast<size_t>(nbatch * m * n), 0.0f);
   const float* pa = a.data();
   const float* pb = b.data();
-  for (int64_t bi = 0; bi < nbatch; ++bi) {
-    const float* ab = a_batched ? pa + bi * m * k : pa;
-    const float* bb = b_batched ? pb + bi * k * n : pb;
-    MatMulKernel(ab, bb, out.data() + bi * m * n, m, k, n);
-  }
+  float* pc = out.data();
+  ParallelFor(0, nbatch * m, RowGrain(k * n),
+              [pa, pb, pc, m, k, n, a_batched, b_batched](int64_t r0,
+                                                          int64_t r1) {
+                MatMulRows(pa, pb, pc, r0, r1, m, k, n, a_batched, b_batched);
+              });
 
   return MakeResult(
       out_shape, std::move(out), {a, b},
@@ -620,24 +657,30 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
         const float* pb2 = b.data();
         if (a.impl()->requires_grad) {
           std::vector<float> da(static_cast<size_t>(a.numel()), 0.0f);
-          for (int64_t bi = 0; bi < nbatch; ++bi) {
-            const float* dyb = dy + bi * m * n;
-            const float* bb = b_batched ? pb2 + bi * k * n : pb2;
-            float* dab = a_batched ? da.data() + bi * m * k : da.data();
-            // dA = dC * B^T : [m,n] x [k,n]^T -> [m,k]
-            MatMulBTKernel(dyb, bb, dab, m, n, k);
-          }
+          // dA = dC * B^T : [m,n] x [k,n]^T -> [m,k], row-parallel over dA.
+          const int64_t da_rows = a_batched ? nbatch * m : m;
+          const int64_t row_cost = (a_batched ? 1 : nbatch) * n * k;
+          float* pda = da.data();
+          ParallelFor(0, da_rows, RowGrain(row_cost),
+                      [dy, pb2, pda, m, k, n, nbatch, a_batched, b_batched](
+                          int64_t r0, int64_t r1) {
+                        MatMulBTRows(dy, pb2, pda, r0, r1, m, k, n, nbatch,
+                                     a_batched, b_batched);
+                      });
           Accumulate(a.impl(), da);
         }
         if (b.impl()->requires_grad) {
           std::vector<float> db(static_cast<size_t>(b.numel()), 0.0f);
-          for (int64_t bi = 0; bi < nbatch; ++bi) {
-            const float* dyb = dy + bi * m * n;
-            const float* ab = a_batched ? pa2 + bi * m * k : pa2;
-            float* dbb = b_batched ? db.data() + bi * k * n : db.data();
-            // dB = A^T * dC : [m,k]^T x [m,n] -> [k,n]
-            MatMulATKernel(ab, dyb, dbb, k, m, n);
-          }
+          // dB = A^T * dC : [m,k]^T x [m,n] -> [k,n], row-parallel over dB.
+          const int64_t db_rows = b_batched ? nbatch * k : k;
+          const int64_t row_cost = (b_batched ? 1 : nbatch) * m * n;
+          float* pdb = db.data();
+          ParallelFor(0, db_rows, RowGrain(row_cost),
+                      [pa2, dy, pdb, m, k, n, nbatch, a_batched, b_batched](
+                          int64_t r0, int64_t r1) {
+                        MatMulATRows(pa2, dy, pdb, r0, r1, m, k, n, nbatch,
+                                     a_batched, b_batched);
+                      });
           Accumulate(b.impl(), db);
         }
       });
@@ -662,26 +705,35 @@ Tensor Softmax(const Tensor& x, int64_t dim) {
 
   std::vector<float> out(static_cast<size_t>(x.numel()));
   const float* px = x.data();
-  for (int64_t o = 0; o < outer; ++o) {
-    for (int64_t i = 0; i < inner; ++i) {
-      const int64_t base = o * dsize * inner + i;
-      DebugCheckFlatIndex(base + (dsize - 1) * inner, x.numel());
-      float maxv = -std::numeric_limits<float>::infinity();
-      for (int64_t d = 0; d < dsize; ++d) {
-        maxv = std::max(maxv, px[base + d * inner]);
-      }
-      double denom = 0.0;
-      for (int64_t d = 0; d < dsize; ++d) {
-        const float e = std::exp(px[base + d * inner] - maxv);
-        out[static_cast<size_t>(base + d * inner)] = e;
-        denom += e;
-      }
-      const float inv = denom > 0.0 ? static_cast<float>(1.0 / denom) : 0.0f;
-      for (int64_t d = 0; d < dsize; ++d) {
-        out[static_cast<size_t>(base + d * inner)] *= inv;
-      }
-    }
-  }
+  float* pout = out.data();
+  const int64_t numel = x.numel();
+  // Each (outer, inner) slice is independent, so slice-parallel shards
+  // write disjoint elements and stay bit-identical across thread counts.
+  ParallelFor(
+      0, outer * inner, RowGrain(dsize * 4),
+      [px, pout, inner, dsize, numel](int64_t t0, int64_t t1) {
+        for (int64_t t = t0; t < t1; ++t) {
+          const int64_t o = t / inner;
+          const int64_t i = t % inner;
+          const int64_t base = o * dsize * inner + i;
+          DebugCheckFlatIndex(base + (dsize - 1) * inner, numel);
+          float maxv = -std::numeric_limits<float>::infinity();
+          for (int64_t d = 0; d < dsize; ++d) {
+            maxv = std::max(maxv, px[base + d * inner]);
+          }
+          double denom = 0.0;
+          for (int64_t d = 0; d < dsize; ++d) {
+            const float e = std::exp(px[base + d * inner] - maxv);
+            pout[base + d * inner] = e;
+            denom += e;
+          }
+          const float inv =
+              denom > 0.0 ? static_cast<float>(1.0 / denom) : 0.0f;
+          for (int64_t d = 0; d < dsize; ++d) {
+            pout[base + d * inner] *= inv;
+          }
+        }
+      });
   return MakeResult(
       x.shape(), std::move(out), {x},
       [x, outer, inner, dsize](TensorImpl& self) {
@@ -689,21 +741,25 @@ Tensor Softmax(const Tensor& x, int64_t dim) {
         std::vector<float> dx(static_cast<size_t>(x.numel()));
         const float* y = self.data.data();
         const float* dy = self.grad.data();
-        for (int64_t o = 0; o < outer; ++o) {
-          for (int64_t i = 0; i < inner; ++i) {
-            const int64_t base = o * dsize * inner + i;
-            double dot = 0.0;
-            for (int64_t d = 0; d < dsize; ++d) {
-              const int64_t idx = base + d * inner;
-              dot += static_cast<double>(dy[idx]) * y[idx];
-            }
-            for (int64_t d = 0; d < dsize; ++d) {
-              const int64_t idx = base + d * inner;
-              dx[static_cast<size_t>(idx)] =
-                  y[idx] * (dy[idx] - static_cast<float>(dot));
-            }
-          }
-        }
+        float* pdx = dx.data();
+        ParallelFor(
+            0, outer * inner, RowGrain(dsize * 4),
+            [y, dy, pdx, inner, dsize](int64_t t0, int64_t t1) {
+              for (int64_t t = t0; t < t1; ++t) {
+                const int64_t o = t / inner;
+                const int64_t i = t % inner;
+                const int64_t base = o * dsize * inner + i;
+                double dot = 0.0;
+                for (int64_t d = 0; d < dsize; ++d) {
+                  const int64_t idx = base + d * inner;
+                  dot += static_cast<double>(dy[idx]) * y[idx];
+                }
+                for (int64_t d = 0; d < dsize; ++d) {
+                  const int64_t idx = base + d * inner;
+                  pdx[idx] = y[idx] * (dy[idx] - static_cast<float>(dot));
+                }
+              }
+            });
         Accumulate(x.impl(), dx);
       });
 }
@@ -721,25 +777,32 @@ Tensor LayerNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
   const float* px = x.data();
   const float* pg = gamma.data();
   const float* pbeta = beta.data();
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* row = px + r * d_model;
-    double sum = 0.0;
-    for (int64_t j = 0; j < d_model; ++j) sum += row[j];
-    const float m = static_cast<float>(sum / d_model);
-    double var = 0.0;
-    for (int64_t j = 0; j < d_model; ++j) {
-      const double diff = row[j] - m;
-      var += diff * diff;
-    }
-    const float is =
-        1.0f / std::sqrt(static_cast<float>(var / d_model) + eps);
-    mu[static_cast<size_t>(r)] = m;
-    inv_sigma[static_cast<size_t>(r)] = is;
-    float* orow = out.data() + r * d_model;
-    for (int64_t j = 0; j < d_model; ++j) {
-      orow[j] = (row[j] - m) * is * pg[j] + pbeta[j];
-    }
-  }
+  float* pout = out.data();
+  float* pmu = mu.data();
+  float* pis = inv_sigma.data();
+  ParallelFor(
+      0, rows, RowGrain(d_model * 4),
+      [px, pg, pbeta, pout, pmu, pis, d_model, eps](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+          const float* row = px + r * d_model;
+          double sum = 0.0;
+          for (int64_t j = 0; j < d_model; ++j) sum += row[j];
+          const float m = static_cast<float>(sum / d_model);
+          double var = 0.0;
+          for (int64_t j = 0; j < d_model; ++j) {
+            const double diff = row[j] - m;
+            var += diff * diff;
+          }
+          const float is =
+              1.0f / std::sqrt(static_cast<float>(var / d_model) + eps);
+          pmu[r] = m;
+          pis[r] = is;
+          float* orow = pout + r * d_model;
+          for (int64_t j = 0; j < d_model; ++j) {
+            orow[j] = (row[j] - m) * is * pg[j] + pbeta[j];
+          }
+        }
+      });
   return MakeResult(
       x.shape(), std::move(out), {x, gamma, beta},
       [x, gamma, beta, rows, d_model, mu = std::move(mu),
@@ -748,31 +811,62 @@ Tensor LayerNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
         const float* pg2 = gamma.data();
         const float* dy = self.grad.data();
         std::vector<float> dx(static_cast<size_t>(x.numel()), 0.0f);
+        // dgamma/dbeta reduce over rows. Each shard fills its own partial
+        // buffer; partials are combined in shard-index order afterwards.
+        // Shard boundaries depend only on (rows, grain), so the combine
+        // order — and the result bits — are thread-count independent.
+        const int64_t grain = RowGrain(d_model * 6);
+        const int64_t num_shards = ThreadPool::NumShards(rows, grain);
+        std::vector<float> dgamma_part(
+            static_cast<size_t>(num_shards * d_model), 0.0f);
+        std::vector<float> dbeta_part(
+            static_cast<size_t>(num_shards * d_model), 0.0f);
+        float* pdx = dx.data();
+        float* pdg = dgamma_part.data();
+        float* pdb = dbeta_part.data();
+        const float* pmu2 = mu.data();
+        const float* pis2 = inv_sigma.data();
+        ThreadPool::Get().ParallelForShards(
+            0, rows, grain,
+            [px2, pg2, dy, pdx, pdg, pdb, pmu2, pis2, d_model](
+                int64_t shard, int64_t r0, int64_t r1) {
+              float* dgamma_s = pdg + shard * d_model;
+              float* dbeta_s = pdb + shard * d_model;
+              for (int64_t r = r0; r < r1; ++r) {
+                const float* row = px2 + r * d_model;
+                const float* dyrow = dy + r * d_model;
+                const float m = pmu2[r];
+                const float is = pis2[r];
+                double sum_dxhat = 0.0;
+                double sum_dxhat_xhat = 0.0;
+                for (int64_t j = 0; j < d_model; ++j) {
+                  const float xhat = (row[j] - m) * is;
+                  const float dxhat = dyrow[j] * pg2[j];
+                  sum_dxhat += dxhat;
+                  sum_dxhat_xhat += static_cast<double>(dxhat) * xhat;
+                  dgamma_s[j] += dyrow[j] * xhat;
+                  dbeta_s[j] += dyrow[j];
+                }
+                float* dxrow = pdx + r * d_model;
+                const float inv_n = 1.0f / static_cast<float>(d_model);
+                for (int64_t j = 0; j < d_model; ++j) {
+                  const float xhat = (row[j] - m) * is;
+                  const float dxhat = dyrow[j] * pg2[j];
+                  dxrow[j] =
+                      is * (dxhat - inv_n * static_cast<float>(sum_dxhat) -
+                            xhat * inv_n *
+                                static_cast<float>(sum_dxhat_xhat));
+                }
+              }
+            });
         std::vector<float> dgamma(static_cast<size_t>(d_model), 0.0f);
         std::vector<float> dbeta(static_cast<size_t>(d_model), 0.0f);
-        for (int64_t r = 0; r < rows; ++r) {
-          const float* row = px2 + r * d_model;
-          const float* dyrow = dy + r * d_model;
-          const float m = mu[static_cast<size_t>(r)];
-          const float is = inv_sigma[static_cast<size_t>(r)];
-          double sum_dxhat = 0.0;
-          double sum_dxhat_xhat = 0.0;
+        for (int64_t s = 0; s < num_shards; ++s) {
+          const float* dgamma_s = pdg + s * d_model;
+          const float* dbeta_s = pdb + s * d_model;
           for (int64_t j = 0; j < d_model; ++j) {
-            const float xhat = (row[j] - m) * is;
-            const float dxhat = dyrow[j] * pg2[j];
-            sum_dxhat += dxhat;
-            sum_dxhat_xhat += static_cast<double>(dxhat) * xhat;
-            dgamma[static_cast<size_t>(j)] += dyrow[j] * xhat;
-            dbeta[static_cast<size_t>(j)] += dyrow[j];
-          }
-          float* dxrow = dx.data() + r * d_model;
-          const float inv_n = 1.0f / static_cast<float>(d_model);
-          for (int64_t j = 0; j < d_model; ++j) {
-            const float xhat = (row[j] - m) * is;
-            const float dxhat = dyrow[j] * pg2[j];
-            dxrow[j] = is * (dxhat -
-                             inv_n * static_cast<float>(sum_dxhat) -
-                             xhat * inv_n * static_cast<float>(sum_dxhat_xhat));
+            dgamma[static_cast<size_t>(j)] += dgamma_s[j];
+            dbeta[static_cast<size_t>(j)] += dbeta_s[j];
           }
         }
         if (x.impl()->requires_grad) Accumulate(x.impl(), dx);

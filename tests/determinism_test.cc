@@ -1,0 +1,165 @@
+// Bit-identity of every threaded kernel across thread counts: the pool's
+// shard boundaries depend only on (range, grain), so forward outputs AND
+// backward gradients must match byte-for-byte for TIMEKD_NUM_THREADS in
+// {1, 2, 8}. Sizes are chosen large enough that the ranges actually split
+// into multiple shards (see RowGrain in src/tensor/ops.cc).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "nn/attention.h"
+#include "tensor/grad_check.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace timekd {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+std::vector<float> RandVec(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(static_cast<size_t>(n));
+  for (float& x : v) x = static_cast<float>(rng.Gaussian());
+  return v;
+}
+
+int64_t Numel(const Shape& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) n *= d;
+  return n;
+}
+
+bool BitIdentical(const std::vector<float>& a, const std::vector<float>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+/// Runs `fn` with the pool resized to each candidate thread count and
+/// asserts every returned float buffer is byte-identical to the 1-thread
+/// run. `fn` returns a list of buffers (outputs and/or gradients).
+void ExpectBitIdenticalAcrossThreadCounts(
+    const std::function<std::vector<std::vector<float>>()>& fn) {
+  ThreadPool::Get().Resize(1);
+  const std::vector<std::vector<float>> reference = fn();
+  ASSERT_FALSE(reference.empty());
+  for (const int threads : {2, 8}) {
+    ThreadPool::Get().Resize(threads);
+    const std::vector<std::vector<float>> got = fn();
+    ASSERT_EQ(got.size(), reference.size()) << threads << " threads";
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_TRUE(BitIdentical(got[i], reference[i]))
+          << "buffer " << i << " differs at " << threads << " threads";
+    }
+  }
+  ThreadPool::Get().Resize(1);
+}
+
+std::vector<float> TensorBytes(const Tensor& t) {
+  return std::vector<float>(t.data(), t.data() + t.numel());
+}
+
+TEST(DeterminismTest, MatMulForwardBackward) {
+  // [4, 64, 32] x [4, 32, 48]: 256 output rows split across several shards.
+  const Shape sa{4, 64, 32};
+  const Shape sb{4, 32, 48};
+  const std::vector<float> va = RandVec(Numel(sa), 11);
+  const std::vector<float> vb = RandVec(Numel(sb), 12);
+  ExpectBitIdenticalAcrossThreadCounts([&] {
+    Tensor a = Tensor::FromVector(sa, va).set_requires_grad(true);
+    Tensor b = Tensor::FromVector(sb, vb).set_requires_grad(true);
+    Tensor c = tensor::MatMul(a, b);
+    tensor::Sum(c).Backward();
+    return std::vector<std::vector<float>>{TensorBytes(c), a.grad(),
+                                           b.grad()};
+  });
+}
+
+TEST(DeterminismTest, MatMulBroadcastBackward) {
+  // Shared (unbatched) rhs: its gradient reduces over the batch — the
+  // reduction order must stay fixed regardless of thread count.
+  const Shape sa{6, 32, 24};
+  const Shape sb{24, 40};
+  const std::vector<float> va = RandVec(Numel(sa), 21);
+  const std::vector<float> vb = RandVec(Numel(sb), 22);
+  ExpectBitIdenticalAcrossThreadCounts([&] {
+    Tensor a = Tensor::FromVector(sa, va).set_requires_grad(true);
+    Tensor b = Tensor::FromVector(sb, vb).set_requires_grad(true);
+    Tensor c = tensor::MatMul(a, b);
+    tensor::Sum(c).Backward();
+    return std::vector<std::vector<float>>{TensorBytes(c), a.grad(),
+                                           b.grad()};
+  });
+}
+
+TEST(DeterminismTest, SoftmaxForwardBackward) {
+  const Shape sx{8, 64, 64};
+  const std::vector<float> vx = RandVec(Numel(sx), 31);
+  ExpectBitIdenticalAcrossThreadCounts([&] {
+    Tensor x = Tensor::FromVector(sx, vx).set_requires_grad(true);
+    Tensor y = tensor::Softmax(x, -1);
+    tensor::Sum(tensor::Square(y)).Backward();
+    return std::vector<std::vector<float>>{TensorBytes(y), x.grad()};
+  });
+}
+
+TEST(DeterminismTest, LayerNormForwardBackward) {
+  // 512 rows of width 64: dgamma/dbeta go through the per-shard partial
+  // buffers, the pool's only combine-order-sensitive reduction.
+  const Shape sx{8, 64, 64};
+  const std::vector<float> vx = RandVec(Numel(sx), 41);
+  const std::vector<float> vg = RandVec(64, 42);
+  const std::vector<float> vb = RandVec(64, 43);
+  ExpectBitIdenticalAcrossThreadCounts([&] {
+    Tensor x = Tensor::FromVector(sx, vx).set_requires_grad(true);
+    Tensor gamma = Tensor::FromVector({64}, vg).set_requires_grad(true);
+    Tensor beta = Tensor::FromVector({64}, vb).set_requires_grad(true);
+    Tensor y = tensor::LayerNorm(x, gamma, beta, 1e-5f);
+    tensor::Sum(tensor::Square(y)).Backward();
+    return std::vector<std::vector<float>>{TensorBytes(y), x.grad(),
+                                           gamma.grad(), beta.grad()};
+  });
+}
+
+TEST(DeterminismTest, AttentionForwardBackward) {
+  const int64_t d_model = 32;
+  const std::vector<float> vx = RandVec(2 * 32 * d_model, 51);
+  ExpectBitIdenticalAcrossThreadCounts([&] {
+    Rng rng(7);  // fixed seed: identical weights on every construction
+    nn::MultiHeadAttention attn(d_model, /*num_heads=*/4, /*dropout=*/0.0f,
+                                &rng, /*use_rope=*/true);
+    Tensor x = Tensor::FromVector({2, 32, d_model}, vx);
+    Tensor y = attn.SelfForward(x, Tensor());
+    tensor::Sum(tensor::Square(y)).Backward();
+    std::vector<std::vector<float>> out{TensorBytes(y)};
+    for (const Tensor& p : attn.Parameters()) out.push_back(p.grad());
+    return out;
+  });
+}
+
+TEST(DeterminismTest, GradCheckPassesUnderPool) {
+  // Finite-difference check of the composed hot path while the pool is
+  // live with multiple threads: analytic gradients must stay correct, not
+  // merely repeatable.
+  ThreadPool::Get().Resize(8);
+  const std::vector<float> va = RandVec(2 * 12 * 8, 61);
+  const std::vector<float> vb = RandVec(8 * 6, 62);
+  Tensor a = Tensor::FromVector({2, 12, 8}, va);
+  Tensor b = Tensor::FromVector({8, 6}, vb);
+  const tensor::GradCheckResult r = tensor::CheckGradients(
+      [](const std::vector<Tensor>& in) {
+        return tensor::Sum(
+            tensor::Softmax(tensor::MatMul(in[0], in[1]), -1));
+      },
+      {a, b});
+  ThreadPool::Get().Resize(1);
+  EXPECT_TRUE(r.passed) << r.ToString();
+}
+
+}  // namespace
+}  // namespace timekd

@@ -201,8 +201,35 @@ TEST(MetricsTest, MaseUsesNaiveDenominator) {
 TEST(MetricsTest, NaiveMaeOfLinearSeries) {
   data::TimeSeries ts(10, 1, 60);
   for (int64_t t = 0; t < 10; ++t) ts.set(t, 0, static_cast<float>(3 * t));
+  EXPECT_NEAR(eval::NaiveMae(ts), 3.0, 1e-6);
+}
+
+TEST(MetricsTest, NaiveMaeRespectsSplitBoundary) {
+  // Steps 0..4 differ by 1; steps 5..9 differ by 100. Restricting the
+  // scaling constant to the "training" prefix must exclude the tail.
+  data::TimeSeries ts(10, 1, 60);
+  float v = 0.0f;
+  for (int64_t t = 0; t < 10; ++t) {
+    ts.set(t, 0, v);
+    v += (t < 4) ? 1.0f : 100.0f;
+  }
+  EXPECT_NEAR(eval::NaiveMae(ts, 5), 1.0, 1e-6);
+  EXPECT_GT(eval::NaiveMae(ts), 50.0);
+}
+
+TEST(MetricsTest, EvaluateForecastFnWithoutTrainSeriesDisablesMase) {
+  data::TimeSeries ts(20, 1, 60);
+  for (int64_t t = 0; t < 20; ++t) ts.set(t, 0, static_cast<float>(t));
   data::WindowDataset ds(ts, 4, 2);
-  EXPECT_NEAR(eval::NaiveMae(ds), 3.0, 1e-6);
+  auto zero_predict = [](const Tensor& x) {
+    return Tensor::Zeros({1, 2, x.size(2)});
+  };
+  eval::ForecastMetrics no_train = eval::EvaluateForecastFn(zero_predict, ds);
+  EXPECT_EQ(no_train.mase, 0.0);
+  eval::ForecastMetrics with_train =
+      eval::EvaluateForecastFn(zero_predict, ds, ts);
+  EXPECT_GT(with_train.mase, 0.0);
+  EXPECT_NEAR(with_train.mase, with_train.mae / eval::NaiveMae(ts), 1e-9);
 }
 
 TEST(MetricsTest, EvaluateForecastFnMatchesManual) {

@@ -320,6 +320,44 @@ TEST(OptimizerTest, SkipsFrozenParameters) {
   EXPECT_EQ(w.at(0), 2.0f);
 }
 
+TEST(OptimizerTest, SparselyUpdatedParamGetsFreshBiasCorrection) {
+  // A parameter whose first gradient arrives at global step 4 must receive
+  // exactly the update a fresh optimizer would apply at its own step 1 —
+  // the shared step counter must not inflate its bias correction.
+  AdamWConfig cfg;
+  cfg.lr = 0.1;
+  cfg.weight_decay = 0.0;
+
+  Tensor dense =
+      Tensor::FromVector({1}, {1.0f}).set_requires_grad(true);
+  Tensor sparse =
+      Tensor::FromVector({1}, {1.0f}).set_requires_grad(true);
+  AdamW opt({dense, sparse}, cfg);
+  // Three steps where only `dense` has a gradient.
+  for (int i = 0; i < 3; ++i) {
+    opt.ZeroGrad();
+    dense.mutable_grad() = {0.5f};
+    opt.Step();
+  }
+  EXPECT_EQ(opt.step_count(), 3);
+  EXPECT_EQ(opt.param_step_count(0), 3);
+  EXPECT_EQ(opt.param_step_count(1), 0);
+  EXPECT_EQ(sparse.at(0), 1.0f);  // untouched so far
+
+  // First real update for `sparse` at global step 4.
+  opt.ZeroGrad();
+  sparse.mutable_grad() = {0.5f};
+  opt.Step();
+  EXPECT_EQ(opt.param_step_count(1), 1);
+
+  // Reference: a fresh optimizer applying the same gradient at step 1.
+  Tensor fresh = Tensor::FromVector({1}, {1.0f}).set_requires_grad(true);
+  AdamW ref({fresh}, cfg);
+  fresh.mutable_grad() = {0.5f};
+  ref.Step();
+  EXPECT_FLOAT_EQ(sparse.at(0), fresh.at(0));
+}
+
 TEST(ClipGradNormTest, ClipsLongGradients) {
   Tensor w = Tensor::FromVector({2}, {0.0f, 0.0f}).set_requires_grad(true);
   w.mutable_grad() = {3.0f, 4.0f};  // norm 5

@@ -28,10 +28,12 @@ constexpr int kThreads = 8;
 constexpr int kIters = 2000;
 
 void RunThreads(const std::function<void(int)>& body) {
+  // Raw threads on purpose: this binary stress-tests the obs layer itself
+  // and must not depend on the kernel pool. timekd-lint: allow(raw-thread)
   std::vector<std::thread> threads;
   threads.reserve(kThreads);
   for (int t = 0; t < kThreads; ++t) threads.emplace_back(body, t);
-  for (std::thread& th : threads) th.join();
+  for (std::thread& th : threads) th.join();  // timekd-lint: allow(raw-thread)
 }
 
 TEST(ObsStressTest, MetricRegistryConcurrentWritersAndSnapshots) {
@@ -39,7 +41,7 @@ TEST(ObsStressTest, MetricRegistryConcurrentWritersAndSnapshots) {
   std::atomic<bool> stop{false};
   // A dedicated reader thread snapshots and renders JSON while the writers
   // run, exercising the registry lock against the metric atomics.
-  std::thread reader([&] {
+  std::thread reader([&] {  // timekd-lint: allow(raw-thread)
     while (!stop.load(std::memory_order_relaxed)) {
       obs::MetricsSnapshot snap = registry.Snapshot();
       (void)snap;
@@ -92,7 +94,7 @@ TEST(ObsStressTest, TracerConcurrentSpansAndReaders) {
   tracer.Clear();
   tracer.Enable("");  // aggregate without writing a file
   std::atomic<bool> stop{false};
-  std::thread reader([&] {
+  std::thread reader([&] {  // timekd-lint: allow(raw-thread)
     while (!stop.load(std::memory_order_relaxed)) {
       (void)tracer.AggregatedStats();
       (void)tracer.Events();

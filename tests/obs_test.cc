@@ -206,6 +206,8 @@ TEST(JsonTest, ObjectRendersInInsertionOrderAndValidates) {
 TEST(MetricsTest, CounterAccumulatesAcrossThreads) {
   MetricRegistry registry;
   Counter* c = registry.GetCounter("test/counter");
+  // Raw threads on purpose: exercises the counter atomics without the
+  // kernel pool in the loop. timekd-lint: allow(raw-thread)
   std::vector<std::thread> threads;
   for (int t = 0; t < 4; ++t) {
     threads.emplace_back([c] {

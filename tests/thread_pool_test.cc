@@ -1,0 +1,182 @@
+// Unit and stress coverage for the shared kernel thread pool. The stress
+// cases are the reason this binary runs under the tsan preset: concurrent
+// submitters, nested ParallelFor, and Resize between jobs must all be
+// data-race free.
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <thread>  // timekd-lint: allow(raw-thread)
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace timekd {
+namespace {
+
+/// Restores a 1-thread pool on scope exit so test order never matters.
+struct PoolSizeGuard {
+  explicit PoolSizeGuard(int n) { ThreadPool::Get().Resize(n); }
+  ~PoolSizeGuard() { ThreadPool::Get().Resize(1); }
+};
+
+TEST(ThreadPoolTest, NumShardsDependsOnlyOnRangeAndGrain) {
+  EXPECT_EQ(ThreadPool::NumShards(0, 1), 0);
+  EXPECT_EQ(ThreadPool::NumShards(1, 1), 1);
+  EXPECT_EQ(ThreadPool::NumShards(7, 16), 1);   // below grain: one shard
+  EXPECT_EQ(ThreadPool::NumShards(64, 16), 4);
+  EXPECT_EQ(ThreadPool::NumShards(1 << 20, 1), 64);  // clamped at kMaxShards
+  EXPECT_EQ(ThreadPool::NumShards(100, 0), ThreadPool::NumShards(100, 1));
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  PoolSizeGuard guard(4);
+  const int64_t n = 1000;
+  std::vector<int> hits(static_cast<size_t>(n), 0);
+  ParallelFor(0, n, 8, [&hits](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) ++hits[static_cast<size_t>(i)];
+  });
+  for (int64_t i = 0; i < n; ++i) EXPECT_EQ(hits[static_cast<size_t>(i)], 1);
+}
+
+TEST(ThreadPoolTest, NonZeroBeginOffsets) {
+  PoolSizeGuard guard(2);
+  std::vector<int> hits(100, 0);
+  ParallelFor(40, 100, 4, [&hits](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) ++hits[static_cast<size_t>(i)];
+  });
+  for (int64_t i = 0; i < 40; ++i) EXPECT_EQ(hits[static_cast<size_t>(i)], 0);
+  for (int64_t i = 40; i < 100; ++i) EXPECT_EQ(hits[static_cast<size_t>(i)], 1);
+}
+
+TEST(ThreadPoolTest, EmptyAndReversedRangesAreNoOps) {
+  PoolSizeGuard guard(2);
+  int calls = 0;
+  ParallelFor(5, 5, 1, [&calls](int64_t, int64_t) { ++calls; });
+  ParallelFor(9, 3, 1, [&calls](int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPoolTest, ShardIndicesMatchNumShards) {
+  PoolSizeGuard guard(4);
+  const int64_t n = 257;  // deliberately not divisible by the shard count
+  const int64_t grain = 16;
+  const int64_t num_shards = ThreadPool::NumShards(n, grain);
+  std::vector<std::atomic<int64_t>> lens(static_cast<size_t>(num_shards));
+  for (auto& l : lens) l.store(-1);
+  ThreadPool::Get().ParallelForShards(
+      0, n, grain, [&lens](int64_t shard, int64_t b, int64_t e) {
+        lens[static_cast<size_t>(shard)].store(e - b);
+      });
+  int64_t total = 0;
+  for (auto& l : lens) {
+    EXPECT_GE(l.load(), 1);
+    total += l.load();
+  }
+  EXPECT_EQ(total, n);
+}
+
+TEST(ThreadPoolTest, ShardBoundariesIdenticalAcrossThreadCounts) {
+  auto boundaries = [](int threads) {
+    PoolSizeGuard guard(threads);
+    const int64_t num_shards = ThreadPool::NumShards(1000, 10);
+    std::vector<std::pair<int64_t, int64_t>> out(
+        static_cast<size_t>(num_shards));
+    std::mutex mu;
+    ThreadPool::Get().ParallelForShards(
+        0, 1000, 10, [&out, &mu](int64_t shard, int64_t b, int64_t e) {
+          std::lock_guard<std::mutex> lock(mu);
+          out[static_cast<size_t>(shard)] = {b, e};
+        });
+    return out;
+  };
+  const auto one = boundaries(1);
+  EXPECT_EQ(one, boundaries(2));
+  EXPECT_EQ(one, boundaries(8));
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInline) {
+  PoolSizeGuard guard(4);
+  std::vector<std::atomic<int>> hits(64 * 64);
+  for (auto& h : hits) h.store(0);
+  ParallelFor(0, 64, 1, [&hits](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) {
+      // Nested call must not deadlock on the pool it came from.
+      ParallelFor(0, 64, 1, [&hits, i](int64_t b2, int64_t e2) {
+        for (int64_t j = b2; j < e2; ++j) {
+          hits[static_cast<size_t>(i * 64 + j)].fetch_add(1);
+        }
+      });
+    }
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ResizeReflectsInNumThreads) {
+  PoolSizeGuard guard(3);
+  EXPECT_EQ(ThreadPool::Get().num_threads(), 3);
+  ThreadPool::Get().Resize(1);
+  EXPECT_EQ(ThreadPool::Get().num_threads(), 1);
+}
+
+TEST(ThreadPoolTest, JobsMetricCountsDispatchedCalls) {
+  PoolSizeGuard guard(2);
+  obs::Counter* jobs = obs::GlobalMetrics().GetCounter("threadpool/jobs");
+  const uint64_t before = jobs->value();
+  ParallelFor(0, 1000, 1, [](int64_t, int64_t) {});
+  EXPECT_GT(jobs->value(), before);
+}
+
+TEST(ThreadPoolStressTest, ConcurrentSubmittersComputeCorrectSums) {
+  PoolSizeGuard guard(4);
+  constexpr int kSubmitters = 6;
+  constexpr int kRounds = 50;
+  constexpr int64_t kN = 4096;
+  const int64_t want = kN * (kN - 1) / 2;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> submitters;  // timekd-lint: allow(raw-thread)
+  submitters.reserve(kSubmitters);
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&failures, want] {
+      for (int r = 0; r < kRounds; ++r) {
+        std::atomic<int64_t> sum{0};
+        ParallelFor(0, kN, 64, [&sum](int64_t b, int64_t e) {
+          int64_t local = 0;
+          for (int64_t i = b; i < e; ++i) local += i;
+          sum.fetch_add(local, std::memory_order_relaxed);
+        });
+        if (sum.load() != want) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(ThreadPoolStressTest, NestedSubmittersUnderContention) {
+  PoolSizeGuard guard(4);
+  std::atomic<int64_t> total{0};
+  std::vector<std::thread> submitters;  // timekd-lint: allow(raw-thread)
+  for (int s = 0; s < 4; ++s) {
+    submitters.emplace_back([&total] {
+      for (int r = 0; r < 20; ++r) {
+        ParallelFor(0, 32, 1, [&total](int64_t b, int64_t e) {
+          for (int64_t i = b; i < e; ++i) {
+            ParallelFor(0, 8, 1, [&total](int64_t b2, int64_t e2) {
+              total.fetch_add(e2 - b2, std::memory_order_relaxed);
+            });
+          }
+        });
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  EXPECT_EQ(total.load(), 4LL * 20 * 32 * 8);
+}
+
+}  // namespace
+}  // namespace timekd

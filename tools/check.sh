@@ -40,14 +40,27 @@ run_config() {
   ctest --preset "$preset" -j "$JOBS"
 }
 
+# Kernel determinism + pool stress with an oversubscribed pool: the suite
+# already runs in the preset's full ctest pass with the default pool size,
+# but the bit-identity and race guarantees must also hold when the ambient
+# TIMEKD_NUM_THREADS exceeds the core count.
+run_determinism() {
+  local preset="$1"
+  step "determinism suite [$preset, TIMEKD_NUM_THREADS=8]"
+  TIMEKD_NUM_THREADS=8 ctest --preset "$preset" \
+    -R 'DeterminismTest|ThreadPool' --output-on-failure
+}
+
 step "lint"
 python3 tools/lint/timekd_lint.py --root "$ROOT" --format-check
 
 run_config default
+run_determinism default
 
 if [[ "$FAST" == "0" ]]; then
   run_config asan-ubsan
   run_config tsan
+  run_determinism tsan
 fi
 
 step "all checks passed"

@@ -16,6 +16,11 @@ Rules (all stdlib-only, no third-party deps):
                     comment with a reason.
   test-determinism  Tests must not consume wall-clock time or ambient
                     randomness (system_clock, rand, random_device, ...).
+  raw-thread        No direct std::thread construction outside
+                    src/common/thread_pool.*: kernel-side parallelism goes
+                    through ParallelFor so sizing, determinism, and the
+                    pool metrics stay centralized. Multi-threaded stress
+                    tests carry a documented allow comment.
 
 Suppression: a finding on line N of a rule R is suppressed when line N or
 line N-1 contains `timekd-lint: allow(R)`. Use sparingly and document why.
@@ -354,6 +359,36 @@ def check_test_determinism(root, findings):
                                 "use steady_clock or a seeded Rng"))
 
 
+# --- Rule: raw-thread ------------------------------------------------------
+
+# std::this_thread (sleeps, yield, get_id) and hardware_concurrency queries
+# are fine; constructing threads is what must go through the pool.
+RAW_THREAD_RE = re.compile(
+    r"\bstd::(thread|jthread)\b(?!::hardware_concurrency)")
+RAW_THREAD_EXEMPT = (
+    "src/common/thread_pool.h",
+    "src/common/thread_pool.cc",
+)
+
+
+def check_raw_thread(root, findings):
+    for rel in iter_files(root, ["src", "tests", "bench"], CXX_EXTENSIONS):
+        if rel in RAW_THREAD_EXEMPT:
+            continue
+        raw = read_lines(root, rel)
+        code = strip_comments_and_strings(raw)
+        for idx, line in enumerate(code):
+            if RAW_THREAD_RE.search(line):
+                if is_allowed("raw-thread", raw, idx + 1):
+                    continue
+                findings.append(
+                    Finding("raw-thread", rel, idx + 1,
+                            "direct std::thread outside "
+                            "src/common/thread_pool.*; use ParallelFor "
+                            "(common/thread_pool.h) or add a documented "
+                            "timekd-lint: allow(raw-thread)"))
+
+
 # --- Format mode -----------------------------------------------------------
 
 
@@ -427,6 +462,7 @@ RULES = {
     "stdout-io": check_stdout_io,
     "new-delete": check_new_delete,
     "test-determinism": check_test_determinism,
+    "raw-thread": check_raw_thread,
 }
 
 
