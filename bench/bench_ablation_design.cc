@@ -5,7 +5,6 @@
 //       and one-time CLM cost,
 //   (c) the embedding cache: training cost with and without it.
 
-#include <chrono>
 #include <cstdio>
 
 #include "bench/bench_util.h"
@@ -13,17 +12,12 @@
 #include "eval/profile.h"
 #include "eval/runner.h"
 #include "eval/table.h"
+#include "obs/trace.h"
 
 namespace {
 
 using namespace timekd;
 using namespace timekd::eval;
-using Clock = std::chrono::steady_clock;
-
-double Seconds(Clock::time_point start) {
-  return std::chrono::duration<double>(Clock::now() - start).count();
-}
-
 core::TimeKd::Metrics TrainOnce(const core::TimeKdConfig& config,
                                 const PreparedData& data,
                                 const BenchProfile& profile,
@@ -102,18 +96,18 @@ int main() {
         profile, data.num_variables, horizon, data.freq_minutes, 1);
     core::TimeKd model(config);
 
-    const auto cache_start = Clock::now();
+    const obs::WallTimer cache_timer;
     model.WarmCache(data.train);
-    const double warm = Seconds(cache_start);
+    const double warm = cache_timer.ElapsedSeconds();
 
     // One epoch-equivalent of CLM encodes if there were NO cache: re-encode
     // every sample once.
-    const auto nocache_start = Clock::now();
+    const obs::WallTimer nocache_timer;
     for (int64_t i = 0; i < data.train.NumSamples(); ++i) {
       core::PromptEmbeddings e = model.clm().EncodeSample(data.train, i);
       (void)e;
     }
-    const double per_epoch_uncached = Seconds(nocache_start);
+    const double per_epoch_uncached = nocache_timer.ElapsedSeconds();
 
     std::printf(
         "\n(c) Embedding cache: one-time build %.2fs; without the cache "
@@ -122,5 +116,6 @@ int main() {
         "trade.\n",
         warm, per_epoch_uncached, static_cast<long long>(profile.epochs));
   }
+  timekd::bench::FinishBench("ablation_design", profile);
   return 0;
 }

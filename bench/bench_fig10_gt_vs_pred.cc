@@ -67,5 +67,6 @@ int main() {
   }
   std::printf("Paper shape: predictions track the periodic structure and "
               "level of each variable.\n");
+  timekd::bench::FinishBench("fig10_gt_vs_pred", profile);
   return 0;
 }

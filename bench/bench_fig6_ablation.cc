@@ -95,5 +95,6 @@ int main() {
   std::printf(
       "\nPaper shape: the full TimeKD is best everywhere; w/o_CLM weakest, "
       "w/o_FD also clearly degraded, the rest in between.\n");
+  timekd::bench::FinishBench("fig6_ablation", profile);
   return 0;
 }

@@ -61,5 +61,6 @@ int main() {
       "\nSummary: MSE improved (or held) in %d/%d fraction increments "
       "(paper: consistent decrease as data grows).\n",
       improved, comparisons);
+  timekd::bench::FinishBench("fig7_scalability", profile);
   return 0;
 }

@@ -86,5 +86,6 @@ int main() {
   std::printf("Mean attention row entropy: privileged=%.3f, student=%.3f "
               "(paper: privileged/global > student/local).\n",
               mean_entropy(pt_avg), mean_entropy(tst_avg));
+  timekd::bench::FinishBench("fig8_attention_maps", profile);
   return 0;
 }

@@ -89,5 +89,6 @@ int main() {
   std::printf("Off-diagonal interaction mass: privileged=%.3f, "
               "student=%.3f (paper: privileged more balanced/global).\n",
               offdiag_ratio(teacher_rel), offdiag_ratio(student_rel));
+  timekd::bench::FinishBench("fig9_features", profile);
   return 0;
 }

@@ -5,9 +5,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
 #include "common/rng.h"
 #include "llm/language_model.h"
 #include "nn/attention.h"
+#include "obs/trace.h"
 #include "tensor/ops.h"
 #include "text/prompt.h"
 
@@ -21,6 +26,7 @@ void BM_MatMul(benchmark::State& state) {
   Rng rng(1);
   Tensor a = Tensor::RandNormal({n, n}, 0, 1, rng);
   Tensor b = Tensor::RandNormal({n, n}, 0, 1, rng);
+  TIMEKD_TRACE_SCOPE("kernel/matmul");
   for (auto _ : state) {
     benchmark::DoNotOptimize(timekd::tensor::MatMul(a, b).data());
   }
@@ -32,6 +38,7 @@ void BM_Softmax(benchmark::State& state) {
   const int64_t n = state.range(0);
   Rng rng(2);
   Tensor x = Tensor::RandNormal({n, n}, 0, 1, rng);
+  TIMEKD_TRACE_SCOPE("kernel/softmax");
   for (auto _ : state) {
     benchmark::DoNotOptimize(timekd::tensor::Softmax(x, -1).data());
   }
@@ -45,6 +52,7 @@ void BM_LayerNorm(benchmark::State& state) {
   Tensor x = Tensor::RandNormal({rows, 64}, 0, 1, rng);
   Tensor gamma = Tensor::Ones({64});
   Tensor beta = Tensor::Zeros({64});
+  TIMEKD_TRACE_SCOPE("kernel/layernorm");
   for (auto _ : state) {
     benchmark::DoNotOptimize(
         timekd::tensor::LayerNorm(x, gamma, beta, 1e-5f).data());
@@ -59,6 +67,7 @@ void BM_AttentionForward(benchmark::State& state) {
   timekd::nn::MultiHeadAttention attn(64, 4, 0.0f, &rng);
   attn.SetTraining(false);
   Tensor x = Tensor::RandNormal({1, seq, 64}, 0, 1, rng);
+  TIMEKD_TRACE_SCOPE("kernel/attention_forward");
   for (auto _ : state) {
     benchmark::DoNotOptimize(attn.SelfForward(x, Tensor()).data());
   }
@@ -71,6 +80,7 @@ void BM_TrainingStepBackward(benchmark::State& state) {
   timekd::nn::TransformerEncoder encoder(2, 32, 4, 64, 0.0f,
                                          timekd::nn::Activation::kGelu, &rng);
   Tensor x = Tensor::RandNormal({8, 7, 32}, 0, 1, rng);
+  TIMEKD_TRACE_SCOPE("kernel/training_step_backward");
   for (auto _ : state) {
     Tensor loss = timekd::tensor::Mean(encoder.Forward(x, Tensor()));
     loss.Backward();
@@ -91,6 +101,7 @@ void BM_PromptTokenize(benchmark::State& state) {
     spec.history.push_back(static_cast<float>(rng.Gaussian()));
     spec.future.push_back(static_cast<float>(rng.Gaussian()));
   }
+  TIMEKD_TRACE_SCOPE("kernel/prompt_tokenize");
   for (auto _ : state) {
     benchmark::DoNotOptimize(builder.TokenizeGroundTruthPrompt(spec).ids);
   }
@@ -121,12 +132,53 @@ void BM_ClmEncodeLastToken(benchmark::State& state) {
   }
   const auto prompt = builder.TokenizeGroundTruthPrompt(spec);
   timekd::tensor::NoGradGuard no_grad;
+  TIMEKD_TRACE_SCOPE("kernel/clm_encode_last_token");
   for (auto _ : state) {
     benchmark::DoNotOptimize(lm.EncodeLastToken(prompt, true).data());
   }
 }
 BENCHMARK(BM_ClmEncodeLastToken);
 
+// Documents the acceptance budget of the observability layer itself: a
+// TIMEKD_TRACE_SCOPE with every span sink disabled must cost one relaxed
+// atomic load, i.e. this should report low-single-digit nanoseconds. With
+// TIMEKD_TRACE_OUT/TIMEKD_PROFILE_OUT set it instead measures the enabled
+// span cost.
+void BM_DisabledSpanOverhead(benchmark::State& state) {
+  for (auto _ : state) {
+    TIMEKD_TRACE_SCOPE("bench/span_overhead_probe");
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DisabledSpanOverhead);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main (instead of BENCHMARK_MAIN) so the suite gets the standard
+// bench plumbing: smoke profile shortens --benchmark_min_time, the whole
+// run is covered by one root span for the profiler/BENCH phase breakdown,
+// and a BENCH_micro_kernels.json artifact is written for perf_diff.py.
+int main(int argc, char** argv) {
+  const timekd::eval::BenchProfile profile = timekd::eval::GetBenchProfile();
+  timekd::bench::PrintBanner(
+      "micro_kernels",
+      "substrate kernel cost structure underlying Table IV", profile);
+
+  std::vector<char*> args(argv, argv + argc);
+  // google-benchmark 1.7 takes seconds as a plain double here.
+  std::string min_time = "--benchmark_min_time=0.01";
+  if (profile.name == "smoke") args.push_back(min_time.data());
+  int bench_argc = static_cast<int>(args.size());
+  {
+    TIMEKD_TRACE_SCOPE("bench/micro_kernels");
+    ::benchmark::Initialize(&bench_argc, args.data());
+    if (::benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
+      return 1;
+    }
+    ::benchmark::RunSpecifiedBenchmarks();
+    ::benchmark::Shutdown();
+  }
+  timekd::bench::FinishBench("micro_kernels", profile);
+  return 0;
+}

@@ -103,5 +103,6 @@ int main() {
       "\nSummary: TimeKD best MSE in %d/%d dataset-horizon cells, best MAE "
       "in %d/%d (paper: best in all cells).\n",
       timekd_wins_mse, cells, timekd_wins_mae, cells);
+  timekd::bench::FinishBench("table1_longterm", profile);
   return 0;
 }

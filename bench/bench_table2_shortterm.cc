@@ -67,5 +67,6 @@ int main() {
                 timekd_mse[i] < best_other[i] ? "beats" : "trails",
                 100.0 * (best_other[i] - timekd_mse[i]) / best_other[i]);
   }
+  timekd::bench::FinishBench("table2_shortterm", profile);
   return 0;
 }

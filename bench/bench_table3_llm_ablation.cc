@@ -3,7 +3,6 @@
 // The paper reports larger backbones giving better accuracy at higher cost;
 // GPT-2 is chosen as the default for its efficiency/accuracy balance.
 
-#include <chrono>
 #include <cstdio>
 
 #include "bench/bench_util.h"
@@ -15,7 +14,6 @@
 int main() {
   using namespace timekd;
   using namespace timekd::eval;
-  using Clock = std::chrono::steady_clock;
 
   const BenchProfile profile = GetBenchProfile();
   bench::PrintBanner("Table III (LLM backbone ablation on Exchange, FH=24)",
@@ -61,14 +59,12 @@ int main() {
       tc.batch_size = profile.batch_size;
       tc.lr = profile.lr;
       tc.seed = 1 + static_cast<uint64_t>(s);
-      const auto start = Clock::now();
       core::FitStats stats = model.Fit(data.train, &data.val, tc);
       (void)stats;
       cache_seconds += stats.cache_build_seconds;
       core::TimeKd::Metrics m = model.Evaluate(data.test);
       mse += m.mse;
       mae += m.mae;
-      (void)start;
     }
     table.AddRow({backbone.paper_name, std::to_string(frozen_params),
                   TablePrinter::Num(mse / seeds), TablePrinter::Num(mae / seeds),
@@ -78,5 +74,6 @@ int main() {
   std::printf(
       "\nPaper shape: LLaMA-3.2 best accuracy at the highest cost; GPT-2 "
       "close behind at a fraction of the size (adopted as default).\n");
+  timekd::bench::FinishBench("table3_llm_ablation", profile);
   return 0;
 }

@@ -52,5 +52,6 @@ int main() {
       "count and training time among the LLM-based methods (second only to "
       "iTransformer overall). TimeKD's prompt encoding is a one-time cache "
       "cost paid before training, not an inference cost.\n");
+  timekd::bench::FinishBench("table4_efficiency", profile);
   return 0;
 }

@@ -63,5 +63,6 @@ int main() {
       "(paper: all 4; distillation is claimed to matter most under "
       "scarcity).\n",
       timekd_best, rows);
+  timekd::bench::FinishBench("table5_fewshot", profile);
   return 0;
 }

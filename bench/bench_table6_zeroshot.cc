@@ -69,5 +69,6 @@ int main() {
       "\nSummary: TimeKD best MSE on %d/4 transfers (paper: all 4, up to "
       "9.2%% better than TimeCMA).\n",
       timekd_best);
+  timekd::bench::FinishBench("table6_zeroshot", profile);
   return 0;
 }

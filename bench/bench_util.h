@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "eval/bench_artifact.h"
 #include "eval/profile.h"
 #include "eval/runner.h"
 #include "obs/observer.h"
@@ -52,8 +53,24 @@ inline void PrintBanner(const std::string& experiment,
         .Set("epochs", profile.epochs)
         .Set("seeds", profile.seeds)
         .Set("d_model", profile.d_model)
-        .Set("llm_layers", profile.llm_layers);
+        .Set("llm_layers", profile.llm_layers)
+        .SetRaw("provenance", eval::ProvenanceJson(profile.name));
     writer.WriteLine(obj);
+  }
+}
+
+/// Writes the standardized BENCH_<experiment>.json perf artifact (see
+/// eval/bench_artifact.h) and announces its path. Every bench binary calls
+/// this last so `tools/perf_diff.py` always has an artifact to gate on.
+inline void FinishBench(const std::string& experiment,
+                        const eval::BenchProfile& profile) {
+  std::string path;
+  const Status status = eval::WriteBenchArtifact(experiment, profile, &path);
+  if (status.ok()) {
+    std::printf("Bench artifact: %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "bench artifact not written: %s\n",
+                 status.ToString().c_str());
   }
 }
 

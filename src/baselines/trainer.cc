@@ -1,6 +1,5 @@
 #include "baselines/trainer.h"
 
-#include <chrono>
 #include <cmath>
 #include <limits>
 
@@ -10,14 +9,6 @@
 #include "tensor/ops.h"
 
 namespace timekd::baselines {
-
-namespace {
-using Clock = std::chrono::steady_clock;
-
-double SecondsSince(Clock::time_point start) {
-  return std::chrono::duration<double>(Clock::now() - start).count();
-}
-}  // namespace
 
 BaselineTrainer::BaselineTrainer(ForecastModel* model) : model_(model) {
   TIMEKD_CHECK(model != nullptr);
@@ -67,13 +58,13 @@ BaselineFitStats BaselineTrainer::Fit(const data::WindowDataset& train,
   std::vector<float> best_snapshot;
 
   for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
-    const auto epoch_start = Clock::now();
+    const obs::WallTimer epoch_timer;
     model_->SetTraining(true);
     BaselineEpochStats es;
     int64_t batches = 0;
     for (const auto& indices :
          train.EpochBatches(config.batch_size, config.shuffle, &shuffle_rng)) {
-      const auto step_start = Clock::now();
+      const obs::WallTimer step_timer;
       data::ForecastBatch batch = train.GetBatch(indices);
       Tensor loss =
           tensor::SmoothL1Loss(model_->Forward(batch.x), batch.y);
@@ -93,7 +84,7 @@ BaselineFitStats BaselineTrainer::Fit(const data::WindowDataset& train,
         record.total_loss = loss.item();
         record.fcst_loss = loss.item();
         record.grad_norm = grad_norm;
-        record.seconds = SecondsSince(step_start);
+        record.seconds = step_timer.ElapsedSeconds();
         observer->OnStep(record);
       }
     }
@@ -109,7 +100,7 @@ BaselineFitStats BaselineTrainer::Fit(const data::WindowDataset& train,
     } else {
       es.val_mse = std::numeric_limits<double>::quiet_NaN();
     }
-    es.seconds = SecondsSince(epoch_start);
+    es.seconds = epoch_timer.ElapsedSeconds();
     if (config.verbose) {
       TIMEKD_LOG(Info) << model_->name() << " epoch " << epoch
                        << " loss=" << es.loss << " val_mse=" << es.val_mse

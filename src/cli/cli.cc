@@ -9,6 +9,7 @@
 #include "data/time_series.h"
 #include "data/window_dataset.h"
 #include "eval/metrics.h"
+#include "obs/profiler.h"
 
 namespace timekd::cli {
 
@@ -279,6 +280,8 @@ int CmdForecast(const Flags& flags, std::ostream& out) {
 void PrintUsage(std::ostream& out) {
   out << "usage: timekd_cli <generate-data|train|evaluate|forecast> "
          "[--flag value ...]\n"
+         "global flags: --profile-out FILE (hierarchical profile JSON at "
+         "exit), --profile-stderr 1 (profile tree on stderr at exit)\n"
          "see src/cli/cli.h for the full flag reference\n";
 }
 
@@ -293,6 +296,15 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out) {
   if (!flags.ok()) {
     out << flags.status().ToString() << "\n";
     return 2;
+  }
+  // Profiler knobs work on every subcommand; equivalent to setting
+  // TIMEKD_PROFILE_OUT / TIMEKD_PROFILE_STDERR. The dump itself happens in
+  // the profiler's atexit hook.
+  if (flags->Has("profile-out")) {
+    obs::Profiler::Get().Enable(flags->GetString("profile-out", ""));
+  }
+  if (flags->GetInt("profile-stderr", 0) != 0) {
+    obs::Profiler::Get().EnableStderrTree(true);
   }
   const std::string& command = args[0];
   if (command == "generate-data") return CmdGenerateData(*flags, out);

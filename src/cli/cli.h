@@ -21,6 +21,12 @@ namespace timekd::cli {
 ///   forecast      --data <csv> --freq <minutes> --input <H> --horizon <M>
 ///                 --student <bin> --out <csv> [--llm-dim D]
 ///
+/// Global flags (any subcommand):
+///   --profile-out <json>   write the hierarchical profile (obs/profiler.h)
+///                          at exit; same as TIMEKD_PROFILE_OUT
+///   --profile-stderr 1     print the profile tree to stderr at exit; same
+///                          as TIMEKD_PROFILE_STDERR=1
+///
 /// `train` fits TimeKD on the chronological 70/10/20 split of the CSV and
 /// reports test metrics; `evaluate` scores a saved student on the test
 /// split; `forecast` predicts the M steps following the last H rows and

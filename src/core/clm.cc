@@ -97,6 +97,13 @@ PromptEmbeddings Clm::EncodeSample(const data::WindowDataset& ds,
       spec.future = ds.FutureValues(i, v);
       gt_prompts.push_back(prompt_builder_.TokenizeGroundTruthPrompt(spec));
     }
+    // Feeds the BENCH artifacts' tokens_per_sec throughput figure.
+    static obs::Counter* tokens =
+        obs::GlobalMetrics().GetCounter("clm/encode_tokens");
+    tokens->Increment(hd_prompts.back().ids.size() +
+                      (config_.use_privileged_info
+                           ? gt_prompts.back().ids.size()
+                           : 0));
   }
   out.hd = lm_->EncodeLastTokens(hd_prompts, calibrated).Detach();
   out.gt = config_.use_privileged_info

@@ -1,6 +1,5 @@
 #include "core/timekd.h"
 
-#include <chrono>
 #include <cmath>
 #include <limits>
 #include <unordered_map>
@@ -14,12 +13,6 @@
 namespace timekd::core {
 
 namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double SecondsSince(Clock::time_point start) {
-  return std::chrono::duration<double>(Clock::now() - start).count();
-}
 
 /// Stacks per-sample cached embeddings into [B, N, D_llm].
 Tensor StackEmbeddings(const EmbeddingCache& cache,
@@ -90,9 +83,9 @@ void TimeKd::WarmCache(const data::WindowDataset& ds) {
       continue;
     }
     misses->Increment();
-    const auto start = Clock::now();
+    const obs::WallTimer encode_timer;
     cache_.Put(i, clm_->EncodeSample(ds, i));
-    encode_seconds->Observe(SecondsSince(start));
+    encode_seconds->Observe(encode_timer.ElapsedSeconds());
   }
 }
 
@@ -103,9 +96,9 @@ FitStats TimeKd::Fit(const data::WindowDataset& train,
   FitStats stats;
   obs::TrainObserver* observer = train_config.observer;
 
-  const auto cache_start = Clock::now();
+  const obs::WallTimer cache_timer;
   WarmCache(train);
-  stats.cache_build_seconds = SecondsSince(cache_start);
+  stats.cache_build_seconds = cache_timer.ElapsedSeconds();
   obs::GlobalMetrics()
       .GetGauge("fit/cache_build_seconds")
       ->Set(stats.cache_build_seconds);
@@ -126,13 +119,13 @@ FitStats TimeKd::Fit(const data::WindowDataset& train,
     teacher_->SetTraining(true);
     for (int64_t epoch = 0; epoch < teacher_epochs; ++epoch) {
       TIMEKD_TRACE_SCOPE("fit/teacher_epoch");
-      const auto epoch_start = Clock::now();
+      const obs::WallTimer epoch_timer;
       EpochStats es;
       es.val_mse = std::numeric_limits<double>::quiet_NaN();
       int64_t batches = 0;
       for (const auto& indices : train.EpochBatches(
                train_config.batch_size, train_config.shuffle, &shuffle_rng)) {
-        const auto step_start = Clock::now();
+        const obs::WallTimer step_timer;
         data::ForecastBatch batch = train.GetBatch(indices);
         Tensor l_gt = StackEmbeddings(cache_, indices, /*gt=*/true);
         Tensor l_hd = StackEmbeddings(cache_, indices, /*gt=*/false);
@@ -159,7 +152,7 @@ FitStats TimeKd::Fit(const data::WindowDataset& train,
           record.total_loss = recon_loss.item();
           record.recon_loss = recon_loss.item();
           record.grad_norm = grad_norm;
-          record.seconds = SecondsSince(step_start);
+          record.seconds = step_timer.ElapsedSeconds();
           observer->OnStep(record);
         }
       }
@@ -167,7 +160,7 @@ FitStats TimeKd::Fit(const data::WindowDataset& train,
         es.recon_loss /= batches;
         es.total_loss /= batches;
       }
-      es.seconds = SecondsSince(epoch_start);
+      es.seconds = epoch_timer.ElapsedSeconds();
       if (train_config.verbose) {
         TIMEKD_LOG(Info) << "teacher epoch " << epoch
                          << " recon=" << es.recon_loss << " (" << es.seconds
@@ -255,13 +248,13 @@ FitStats TimeKd::Fit(const data::WindowDataset& train,
 
     for (int64_t epoch = 0; epoch < train_config.epochs; ++epoch) {
       TIMEKD_TRACE_SCOPE("fit/student_epoch");
-      const auto epoch_start = Clock::now();
+      const obs::WallTimer epoch_timer;
       student_->SetTraining(true);
       EpochStats es;
       int64_t batches = 0;
       for (const auto& indices : train.EpochBatches(
                train_config.batch_size, train_config.shuffle, &shuffle_rng)) {
-        const auto step_start = Clock::now();
+        const obs::WallTimer step_timer;
         data::ForecastBatch batch = train.GetBatch(indices);
         StudentModel::Output out = student_->Forward(batch.x);
         Tensor fcst_loss = tensor::SmoothL1Loss(out.forecast, batch.y);
@@ -301,7 +294,7 @@ FitStats TimeKd::Fit(const data::WindowDataset& train,
           }
           if (pkd.feature.defined()) record.fd_loss = pkd.feature.item();
           record.grad_norm = grad_norm;
-          record.seconds = SecondsSince(step_start);
+          record.seconds = step_timer.ElapsedSeconds();
           observer->OnStep(record);
         }
       }
@@ -322,7 +315,7 @@ FitStats TimeKd::Fit(const data::WindowDataset& train,
       } else {
         es.val_mse = std::numeric_limits<double>::quiet_NaN();
       }
-      es.seconds = SecondsSince(epoch_start);
+      es.seconds = epoch_timer.ElapsedSeconds();
       if (train_config.verbose) {
         TIMEKD_LOG(Info) << "student epoch " << epoch
                          << " fcst=" << es.fcst_loss << " cd=" << es.cd_loss

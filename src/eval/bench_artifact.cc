@@ -1,0 +1,148 @@
+#include "eval/bench_artifact.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <map>
+#include <thread>
+
+#include "common/env_config.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/trace.h"
+
+#ifndef TIMEKD_GIT_SHA
+#define TIMEKD_GIT_SHA "unknown"
+#endif
+
+namespace timekd::eval {
+
+namespace {
+
+std::string CompilerString() {
+#if defined(__clang__)
+  return std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  return std::string("gcc ") + __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+std::string Hostname() {
+  char buf[256] = {0};
+  if (gethostname(buf, sizeof(buf) - 1) != 0) return "unknown";
+  return buf;
+}
+
+int64_t EffectiveNumThreads() {
+  // Mirror the thread pool's sizing rule without instantiating the pool:
+  // TIMEKD_NUM_THREADS when set, hardware concurrency otherwise.
+  const long configured = GetEnvInt("TIMEKD_NUM_THREADS", 0);
+  if (configured > 0) return configured;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int64_t>(hw) : 1;
+}
+
+/// Top-level profiler spans, merged across threads, as {name: seconds}.
+std::string PhasesJson() {
+  const obs::ProfileSnapshot snap = obs::Profiler::Get().Snapshot();
+  std::map<std::string, uint64_t> merged;
+  for (const auto& thread : snap.threads) {
+    for (const obs::ProfileNode& root : thread.roots) {
+      merged[root.name] += root.total_us;
+    }
+  }
+  obs::JsonObject phases;
+  for (const auto& [name, total_us] : merged) {
+    phases.Set(name, static_cast<double>(total_us) * 1e-6);
+  }
+  return phases.ToString();
+}
+
+uint64_t CounterOr0(const obs::MetricsSnapshot& snap,
+                    const std::string& name) {
+  const auto it = snap.counters.find(name);
+  return it != snap.counters.end() ? it->second : 0;
+}
+
+}  // namespace
+
+std::string ProvenanceJson(const std::string& profile_name) {
+  obs::JsonObject obj;
+  obj.Set("git_sha", GetEnvString("TIMEKD_GIT_SHA", TIMEKD_GIT_SHA))
+      .Set("bench_profile", profile_name)
+      .Set("num_threads", EffectiveNumThreads())
+      .Set("hostname", Hostname())
+      .Set("compiler", CompilerString());
+  return obj.ToString();
+}
+
+Status WriteBenchArtifact(const std::string& experiment,
+                          const BenchProfile& profile,
+                          std::string* out_path) {
+  obs::RunPreDumpHooks();
+
+  const double wall_seconds =
+      static_cast<double>(obs::Tracer::NowMicros()) * 1e-6;
+  const obs::MetricsSnapshot snap = obs::GlobalMetrics().Snapshot();
+
+  const uint64_t steps = CounterOr0(snap, "optimizer/steps");
+  const uint64_t tokens = CounterOr0(snap, "clm/encode_tokens");
+  obs::JsonObject throughput;
+  throughput
+      .Set("steps_per_sec",
+           wall_seconds > 0.0 ? static_cast<double>(steps) / wall_seconds
+                              : 0.0)
+      .Set("tokens_per_sec",
+           wall_seconds > 0.0 ? static_cast<double>(tokens) / wall_seconds
+                              : 0.0);
+
+  const uint64_t matmul_flops = CounterOr0(snap, "tensor/matmul_flops");
+  obs::JsonObject kernels;
+  kernels.Set("matmul_calls", CounterOr0(snap, "tensor/matmul_calls"))
+      .Set("matmul_flops", matmul_flops)
+      .Set("matmul_gflops_per_sec",
+           wall_seconds > 0.0
+               ? static_cast<double>(matmul_flops) * 1e-9 / wall_seconds
+               : 0.0)
+      .Set("softmax_calls", CounterOr0(snap, "tensor/softmax_calls"))
+      .Set("attention_calls", CounterOr0(snap, "nn/attention_calls"))
+      .Set("attention_score_flops",
+           CounterOr0(snap, "nn/attention_score_flops"));
+
+  obs::JsonObject memory;
+  const auto tensor_peak = snap.gauges.find("mem/tensor_peak_bytes");
+  memory.Set("tensor_peak_bytes",
+             tensor_peak != snap.gauges.end()
+                 ? static_cast<int64_t>(tensor_peak->second)
+                 : int64_t{0});
+  memory.Set("rss_peak_bytes", static_cast<int64_t>(obs::ReadRssPeakBytes()));
+
+  obs::JsonObject doc;
+  doc.Set("schema_version", 1)
+      .Set("experiment", experiment)
+      .SetRaw("provenance", ProvenanceJson(profile.name))
+      .Set("wall_seconds", wall_seconds)
+      .SetRaw("phases", PhasesJson())
+      .SetRaw("throughput", throughput.ToString())
+      .SetRaw("kernels", kernels.ToString())
+      .SetRaw("memory", memory.ToString())
+      .SetRaw("metrics", obs::GlobalMetrics().ToJson());
+
+  const std::string dir = GetEnvString("TIMEKD_BENCH_OUT_DIR", ".");
+  const std::string path = dir + "/BENCH_" + experiment + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError("cannot open bench artifact: " + path);
+  }
+  const std::string rendered = doc.ToString();
+  std::fputs(rendered.c_str(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  if (out_path != nullptr) *out_path = path;
+  return Status::Ok();
+}
+
+}  // namespace timekd::eval

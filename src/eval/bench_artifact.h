@@ -1,0 +1,39 @@
+#ifndef TIMEKD_EVAL_BENCH_ARTIFACT_H_
+#define TIMEKD_EVAL_BENCH_ARTIFACT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "eval/profile.h"
+
+namespace timekd::eval {
+
+/// Renders the shared provenance block as a raw JSON object:
+///   {"git_sha","bench_profile","num_threads","hostname","compiler"}
+/// Both BENCH artifacts and the run-report "banner" records embed this, so
+/// every machine-readable output names the code + machine that produced it.
+/// git_sha comes from the TIMEKD_GIT_SHA compile definition (CMake runs
+/// `git rev-parse` at configure time); the TIMEKD_GIT_SHA environment
+/// variable overrides it at runtime (useful when running from a tarball).
+std::string ProvenanceJson(const std::string& profile_name);
+
+/// Writes the standardized `BENCH_<experiment>.json` perf artifact into
+/// $TIMEKD_BENCH_OUT_DIR (default: current directory). Schema version 1,
+/// field-by-field in docs/observability.md:
+///   wall_seconds          process wall time
+///   phases                top-level profiler spans (seconds, merged
+///                         across threads; empty when profiling is off)
+///   throughput            steps_per_sec / tokens_per_sec over wall time
+///   kernels               matmul/softmax/attention call+FLOP counters
+///   memory                peak tensor bytes + VmHWM RSS
+///   metrics               full global metrics snapshot
+///   provenance            ProvenanceJson()
+/// `tools/perf_diff.py` consumes pairs of these artifacts as the perf
+/// regression gate. On success `*out_path` (if given) holds the file path.
+Status WriteBenchArtifact(const std::string& experiment,
+                          const BenchProfile& profile,
+                          std::string* out_path = nullptr);
+
+}  // namespace timekd::eval
+
+#endif  // TIMEKD_EVAL_BENCH_ARTIFACT_H_

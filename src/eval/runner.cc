@@ -1,6 +1,5 @@
 #include "eval/runner.h"
 
-#include <chrono>
 #include <cstdlib>
 #include <memory>
 #include <mutex>
@@ -18,12 +17,6 @@
 namespace timekd::eval {
 
 namespace {
-using Clock = std::chrono::steady_clock;
-
-double SecondsSince(Clock::time_point start) {
-  return std::chrono::duration<double>(Clock::now() - start).count();
-}
-
 int64_t TrainableCount(const nn::Module& module) {
   int64_t n = 0;
   for (const auto& p : module.Parameters()) {
@@ -300,9 +293,9 @@ RunResult RunExperiment(const RunSpec& spec) {
     result.frozen_params = model.clm().NumParameters();
     result.peak_memory_bytes = tensor::PeakMemoryBytes();
 
-    const auto infer_start = Clock::now();
+    const obs::WallTimer infer_timer;
     core::TimeKd::Metrics metrics = model.Evaluate(eval_data->test);
-    const double infer_seconds = SecondsSince(infer_start);
+    const double infer_seconds = infer_timer.ElapsedSeconds();
     result.mse = metrics.mse;
     result.mae = metrics.mae;
     result.test_samples = eval_data->test.NumSamples();
@@ -330,9 +323,9 @@ RunResult RunExperiment(const RunSpec& spec) {
   result.frozen_params = FrozenCount(*model);
   result.peak_memory_bytes = tensor::PeakMemoryBytes();
 
-  const auto infer_start = Clock::now();
+  const obs::WallTimer infer_timer;
   baselines::Metrics metrics = trainer.Evaluate(eval_data->test);
-  const double infer_seconds = SecondsSince(infer_start);
+  const double infer_seconds = infer_timer.ElapsedSeconds();
   result.mse = metrics.mse;
   result.mae = metrics.mae;
   result.test_samples = eval_data->test.NumSamples();

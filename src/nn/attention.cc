@@ -5,6 +5,7 @@
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "tensor/ops.h"
 
@@ -109,6 +110,8 @@ Tensor MultiHeadAttention::Forward(const Tensor& q, const Tensor& k,
   attn_calls->Increment();
   attn_flops->Increment(static_cast<uint64_t>(4 * batch * num_heads_ * sq *
                                               sk * d_head_));
+  obs::AddSpanFlops(static_cast<uint64_t>(4 * batch * num_heads_ * sq * sk *
+                                          d_head_));
 
   auto split_heads = [&](const Tensor& t, int64_t seq) {
     // [B, S, D] -> [B, h, S, dh]

@@ -4,7 +4,10 @@
 #include <cstdlib>
 #include <limits>
 
+#include <vector>
+
 #include "obs/json.h"
+#include "obs/profiler.h"
 
 namespace timekd::obs {
 
@@ -165,9 +168,47 @@ MetricRegistry& GlobalMetrics() {
   return *registry;
 }
 
+namespace {
+
+struct PreDumpHooks {
+  std::mutex mu;
+  std::vector<std::function<void()>> hooks;
+};
+
+PreDumpHooks& GetPreDumpHooks() {
+  // Leaked for the same atexit-ordering reason as the registry itself.
+  static PreDumpHooks* hooks =
+      new PreDumpHooks();  // timekd-lint: allow(new-delete)
+  return *hooks;
+}
+
+}  // namespace
+
+void RegisterPreDumpHook(std::function<void()> hook) {
+  PreDumpHooks& h = GetPreDumpHooks();
+  std::lock_guard<std::mutex> lock(h.mu);
+  h.hooks.push_back(std::move(hook));
+}
+
+void RunPreDumpHooks() {
+  std::vector<std::function<void()>> hooks;
+  {
+    PreDumpHooks& h = GetPreDumpHooks();
+    std::lock_guard<std::mutex> lock(h.mu);
+    hooks = h.hooks;  // run outside the lock: hooks may register metrics
+  }
+  for (const auto& hook : hooks) hook();
+  const int64_t rss = ReadRssPeakBytes();
+  if (rss >= 0) {
+    GlobalMetrics().GetGauge("mem/rss_peak_bytes")->Set(
+        static_cast<double>(rss));
+  }
+}
+
 bool DumpMetricsIfConfigured() {
   const char* path = std::getenv("TIMEKD_METRICS_OUT");
   if (path == nullptr || *path == '\0') return false;
+  RunPreDumpHooks();
   return GlobalMetrics().WriteJson(path).ok();
 }
 

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -121,10 +122,22 @@ class MetricRegistry {
 /// ordering are safe.
 MetricRegistry& GlobalMetrics();
 
+/// Registers a callback that refreshes derived gauges right before the
+/// global registry is serialized (metrics dump, BENCH artifact). This lets
+/// lower layers publish point-in-time values — e.g. src/tensor registers a
+/// hook for `mem/tensor_peak_bytes` — without obs depending on them.
+/// Hooks must be idempotent and cheap; they may run from an atexit handler.
+void RegisterPreDumpHook(std::function<void()> hook);
+
+/// Runs every registered pre-dump hook and refreshes the built-in
+/// `mem/rss_peak_bytes` gauge (VmHWM). Callers that serialize the global
+/// registry themselves should call this first for fresh gauges.
+void RunPreDumpHooks();
+
 /// Writes the global registry to $TIMEKD_METRICS_OUT when that variable is
 /// set (re-read on every call). Returns true when a file was written. An
 /// atexit hook calls this automatically the first time any metric is
-/// touched, so binaries need no explicit wiring.
+/// touched, so binaries need no explicit wiring. Pre-dump hooks run first.
 bool DumpMetricsIfConfigured();
 
 }  // namespace timekd::obs

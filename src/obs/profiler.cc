@@ -1,0 +1,315 @@
+#include "obs/profiler.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/json.h"
+#include "obs/trace.h"
+
+namespace timekd::obs {
+
+/// Aggregation node. Keyed by span name within its parent, so sibling
+/// spans with the same name merge; distinct parents keep distinct nodes.
+struct Profiler::Node {
+  explicit Node(std::string n) : name(std::move(n)) {}
+  std::string name;
+  uint64_t count = 0;
+  uint64_t total_us = 0;
+  uint64_t flops = 0;  // inclusive of children (monotonic thread counter)
+  uint64_t bytes = 0;
+  std::map<std::string, std::unique_ptr<Node>> children;
+};
+
+/// One thread's tree plus its open-span stack. The stack is only ever
+/// touched by the owning thread; the mutex serializes tree mutation
+/// against Snapshot()/Clear() from other threads.
+struct Profiler::ThreadState {
+  uint32_t tid = 0;
+  mutable std::mutex mu;
+  std::map<std::string, std::unique_ptr<Node>> roots;
+  struct Frame {
+    Node* node;
+    uint64_t flops_base;
+    uint64_t bytes_base;
+  };
+  std::vector<Frame> stack;
+};
+
+std::vector<ProfileNode> Profiler::ConvertChildren(
+    const std::map<std::string, std::unique_ptr<Profiler::Node>>& children) {
+  std::vector<ProfileNode> out;
+  out.reserve(children.size());
+  for (const auto& [name, child] : children) out.push_back(Convert(*child));
+  std::sort(out.begin(), out.end(),
+            [](const ProfileNode& a, const ProfileNode& b) {
+              return a.total_us != b.total_us ? a.total_us > b.total_us
+                                              : a.name < b.name;
+            });
+  return out;
+}
+
+ProfileNode Profiler::Convert(const Profiler::Node& node) {
+  ProfileNode out;
+  out.name = node.name;
+  out.count = node.count;
+  out.total_us = node.total_us;
+  out.flops = node.flops;
+  out.bytes = node.bytes;
+  out.children = ConvertChildren(node.children);
+  uint64_t child_us = 0;
+  for (const ProfileNode& c : out.children) child_us += c.total_us;
+  // Clamped: a parent still open during Snapshot has total_us 0 while its
+  // finished children already accumulated time.
+  out.self_us = node.total_us > child_us ? node.total_us - child_us : 0;
+  return out;
+}
+
+namespace {
+
+std::string NodeJson(const ProfileNode& node) {
+  std::vector<std::string> children;
+  children.reserve(node.children.size());
+  for (const ProfileNode& c : node.children) children.push_back(NodeJson(c));
+  JsonObject obj;
+  obj.Set("name", node.name)
+      .Set("count", node.count)
+      .Set("total_us", node.total_us)
+      .Set("self_us", node.self_us)
+      .Set("flops", node.flops)
+      .Set("bytes", node.bytes)
+      .SetRaw("children", JsonArray(children));
+  return obj.ToString();
+}
+
+void AppendTextNode(const ProfileNode& node, uint64_t wall_us, int depth,
+                    std::string* out) {
+  char line[256];
+  const std::string indent(static_cast<size_t>(depth) * 2, ' ');
+  const double pct =
+      wall_us > 0 ? 100.0 * static_cast<double>(node.total_us) /
+                        static_cast<double>(wall_us)
+                  : 0.0;
+  std::snprintf(line, sizeof(line),
+                "  %-44s %5.1f%%  total %9.3fs  self %9.3fs  n %-8llu"
+                "  gflop %8.3f  MiB %8.1f\n",
+                (indent + node.name).c_str(), pct,
+                static_cast<double>(node.total_us) * 1e-6,
+                static_cast<double>(node.self_us) * 1e-6,
+                static_cast<unsigned long long>(node.count),
+                static_cast<double>(node.flops) * 1e-9,
+                static_cast<double>(node.bytes) / (1024.0 * 1024.0));
+  *out += line;
+  for (const ProfileNode& c : node.children) {
+    AppendTextNode(c, wall_us, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+Profiler::Profiler() {
+  const char* path = std::getenv("TIMEKD_PROFILE_OUT");
+  if (path != nullptr && *path != '\0') json_out_path_ = path;
+  const char* to_stderr = std::getenv("TIMEKD_PROFILE_STDERR");
+  stderr_tree_ = to_stderr != nullptr && *to_stderr != '\0' &&
+                 std::strcmp(to_stderr, "0") != 0;
+  if (!json_out_path_.empty() || stderr_tree_) {
+    enabled_.store(true, std::memory_order_relaxed);
+    internal::SetSpanSink(internal::kProfilerSink, true);
+  }
+}
+
+Profiler::~Profiler() = default;
+
+Profiler& Profiler::Get() {
+  // Leaked (same lifetime pattern as the Tracer) so spans during static
+  // destruction stay safe; the atexit hook dumps the configured outputs.
+  static Profiler* profiler = [] {
+    auto* p = new Profiler();  // timekd-lint: allow(new-delete)
+    std::atexit([] { Profiler::Get().DumpIfConfigured(); });
+    return p;
+  }();
+  return *profiler;
+}
+
+void Profiler::Enable(const std::string& json_out_path) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    json_out_path_ = json_out_path;
+  }
+  enabled_.store(true, std::memory_order_relaxed);
+  internal::SetSpanSink(internal::kProfilerSink, true);
+}
+
+void Profiler::EnableStderrTree(bool on) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stderr_tree_ = on;
+  }
+  if (on) {
+    // The stderr tree is a sink of its own: turning it on starts recording
+    // even when no JSON path was ever configured.
+    enabled_.store(true, std::memory_order_relaxed);
+    internal::SetSpanSink(internal::kProfilerSink, true);
+  }
+}
+
+void Profiler::Disable() {
+  enabled_.store(false, std::memory_order_relaxed);
+  internal::SetSpanSink(internal::kProfilerSink, false);
+}
+
+void Profiler::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& ts : threads_) {
+    std::lock_guard<std::mutex> tlock(ts->mu);
+    ts->roots.clear();
+    // Open frames point into the cleared tree; dropping them makes the
+    // matching EndSpan calls no-ops instead of use-after-free.
+    ts->stack.clear();
+  }
+}
+
+Profiler::ThreadState& Profiler::LocalState() {
+  thread_local ThreadState* state = [this] {
+    auto owned = std::make_unique<ThreadState>();
+    owned->tid = Tracer::CurrentThreadId();
+    ThreadState* raw = owned.get();
+    std::lock_guard<std::mutex> lock(mu_);
+    threads_.push_back(std::move(owned));
+    return raw;
+  }();
+  return *state;
+}
+
+void Profiler::BeginSpan(const char* name) {
+  ThreadState& ts = LocalState();
+  std::lock_guard<std::mutex> lock(ts.mu);
+  auto& slot = ts.stack.empty() ? ts.roots[name]
+                                : ts.stack.back().node->children[name];
+  if (!slot) slot = std::make_unique<Node>(name);
+  ts.stack.push_back(ThreadState::Frame{slot.get(), internal::g_span_flops,
+                                        internal::g_span_bytes});
+}
+
+void Profiler::EndSpan(uint64_t dur_us) {
+  ThreadState& ts = LocalState();
+  std::lock_guard<std::mutex> lock(ts.mu);
+  if (ts.stack.empty()) return;  // tree was Clear()ed while the span ran
+  const ThreadState::Frame frame = ts.stack.back();
+  ts.stack.pop_back();
+  frame.node->count += 1;
+  frame.node->total_us += dur_us;
+  frame.node->flops += internal::g_span_flops - frame.flops_base;
+  frame.node->bytes += internal::g_span_bytes - frame.bytes_base;
+}
+
+ProfileSnapshot Profiler::Snapshot() const {
+  std::vector<ThreadState*> states;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    states.reserve(threads_.size());
+    for (const auto& ts : threads_) states.push_back(ts.get());
+  }
+  ProfileSnapshot snap;
+  snap.process_wall_us = Tracer::NowMicros();
+  for (ThreadState* ts : states) {
+    std::lock_guard<std::mutex> lock(ts->mu);
+    if (ts->roots.empty()) continue;
+    ProfileSnapshot::Thread t;
+    t.tid = ts->tid;
+    t.roots = ConvertChildren(ts->roots);
+    snap.threads.push_back(std::move(t));
+  }
+  std::sort(snap.threads.begin(), snap.threads.end(),
+            [](const ProfileSnapshot::Thread& a,
+               const ProfileSnapshot::Thread& b) { return a.tid < b.tid; });
+  return snap;
+}
+
+std::string Profiler::ToJson() const {
+  const ProfileSnapshot snap = Snapshot();
+  std::vector<std::string> threads;
+  threads.reserve(snap.threads.size());
+  for (const ProfileSnapshot::Thread& t : snap.threads) {
+    std::vector<std::string> roots;
+    roots.reserve(t.roots.size());
+    for (const ProfileNode& r : t.roots) roots.push_back(NodeJson(r));
+    JsonObject obj;
+    obj.Set("tid", static_cast<int64_t>(t.tid))
+        .SetRaw("roots", JsonArray(roots));
+    threads.push_back(obj.ToString());
+  }
+  JsonObject doc;
+  doc.Set("schema_version", 1)
+      .Set("process_wall_us", snap.process_wall_us)
+      .SetRaw("threads", JsonArray(threads));
+  return doc.ToString();
+}
+
+std::string Profiler::ToText() const {
+  const ProfileSnapshot snap = Snapshot();
+  char header[128];
+  std::snprintf(header, sizeof(header),
+                "== TimeKD profile == process wall %.3fs\n",
+                static_cast<double>(snap.process_wall_us) * 1e-6);
+  std::string out = header;
+  for (const ProfileSnapshot::Thread& t : snap.threads) {
+    char line[64];
+    std::snprintf(line, sizeof(line), "thread %u\n", t.tid);
+    out += line;
+    for (const ProfileNode& r : t.roots) {
+      AppendTextNode(r, snap.process_wall_us, 0, &out);
+    }
+  }
+  return out;
+}
+
+Status Profiler::WriteJson(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError("cannot open profile output: " + path);
+  }
+  const std::string doc = ToJson();
+  std::fputs(doc.c_str(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  return Status::Ok();
+}
+
+bool Profiler::DumpIfConfigured() const {
+  std::string path;
+  bool to_stderr = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    path = json_out_path_;
+    to_stderr = stderr_tree_;
+  }
+  if (path.empty() && !to_stderr) return false;
+  bool wrote = false;
+  if (!path.empty()) wrote = WriteJson(path).ok();
+  if (to_stderr) {
+    const std::string text = ToText();
+    std::fputs(text.c_str(), stderr);
+    wrote = true;
+  }
+  return wrote;
+}
+
+int64_t ReadRssPeakBytes() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return -1;
+  char line[256];
+  int64_t kib = -1;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      kib = std::strtoll(line + 6, nullptr, 10);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kib >= 0 ? kib * 1024 : -1;
+}
+
+}  // namespace timekd::obs

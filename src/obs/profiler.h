@@ -1,0 +1,130 @@
+#ifndef TIMEKD_OBS_PROFILER_H_
+#define TIMEKD_OBS_PROFILER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace timekd::obs {
+
+namespace internal {
+
+/// Per-thread work accounting feeding the profiler's FLOP/byte
+/// attribution. The instrumentation points (MatMul, attention scores,
+/// tensor allocation) bump these unconditionally — a thread-local integer
+/// add is cheaper than the relaxed atomic adds the same call sites already
+/// pay for the global counters — and the profiler snapshots them at span
+/// open/close to attribute the delta to the innermost open span.
+inline thread_local uint64_t g_span_flops = 0;
+inline thread_local uint64_t g_span_bytes = 0;
+
+}  // namespace internal
+
+/// Credits `n` floating-point operations to the calling thread's innermost
+/// open profiler span (and, transitively, every enclosing span).
+inline void AddSpanFlops(uint64_t n) { internal::g_span_flops += n; }
+
+/// Credits `n` freshly allocated tensor bytes the same way.
+inline void AddSpanBytes(uint64_t n) { internal::g_span_bytes += n; }
+
+/// One aggregated call-tree node of a profile snapshot. Siblings with the
+/// same span name are merged; `self_us` excludes time spent in children.
+/// `flops`/`bytes` are inclusive of children and count work *issued* by
+/// the span's thread (kernels parallelized through the pool credit their
+/// whole cost to the submitting span, shard execution shows up under the
+/// workers' "threadpool/shard" spans with zero attributed flops).
+struct ProfileNode {
+  std::string name;
+  uint64_t count = 0;
+  uint64_t total_us = 0;
+  uint64_t self_us = 0;
+  uint64_t flops = 0;
+  uint64_t bytes = 0;
+  std::vector<ProfileNode> children;  // sorted by total_us, descending
+};
+
+/// Point-in-time copy of every thread's call tree.
+struct ProfileSnapshot {
+  struct Thread {
+    uint32_t tid = 0;  // Tracer::CurrentThreadId numbering
+    std::vector<ProfileNode> roots;
+  };
+  std::vector<Thread> threads;  // sorted by tid; threads w/o spans omitted
+  uint64_t process_wall_us = 0;
+};
+
+/// Hierarchical wall-time/FLOP profiler over the TIMEKD_TRACE_SCOPE spans.
+///
+/// Where the Tracer answers "when did what run" (a Chrome trace timeline),
+/// the profiler answers "where does the time go": spans aggregate into a
+/// per-thread call tree keyed by span name, with per-node count, total and
+/// self wall time, and attributed FLOPs/bytes. Enabled via Enable() or the
+/// TIMEKD_PROFILE_OUT / TIMEKD_PROFILE_STDERR environment variables; at
+/// process exit the tree is dumped as versioned JSON and/or a pretty
+/// sorted text tree on stderr (see docs/observability.md). Disabled spans
+/// cost one relaxed atomic load, shared with the tracer (see trace.h).
+class Profiler {
+ public:
+  static Profiler& Get();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Starts recording. `json_out_path` may be empty to aggregate without
+  /// ever writing a file (tests, in-process inspection).
+  void Enable(const std::string& json_out_path);
+  /// Render the text tree to stderr in DumpIfConfigured(). Passing true
+  /// also starts recording (it is a sink in its own right).
+  void EnableStderrTree(bool on);
+  void Disable();
+  /// Drops every thread's aggregated tree (open-span frames included).
+  void Clear();
+
+  ProfileSnapshot Snapshot() const;
+
+  /// {"schema_version":1,"process_wall_us":...,"threads":[...]}.
+  std::string ToJson() const;
+  /// Human-readable tree, children sorted by total time descending.
+  std::string ToText() const;
+  Status WriteJson(const std::string& path) const;
+
+  /// Writes the JSON/stderr dumps configured via Enable()/environment.
+  /// Called automatically at process exit; safe to call repeatedly.
+  bool DumpIfConfigured() const;
+
+  /// Internal: called by ScopedSpan on the profiler-enabled path only.
+  void BeginSpan(const char* name);
+  void EndSpan(uint64_t dur_us);
+
+ private:
+  struct Node;
+  struct ThreadState;
+
+  Profiler();
+  ~Profiler();  // never runs (leaked singleton); defined for unique_ptr
+
+  ThreadState& LocalState();
+  static ProfileNode Convert(const Node& node);
+  static std::vector<ProfileNode> ConvertChildren(
+      const std::map<std::string, std::unique_ptr<Node>>& children);
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;  // guards threads_ registry and dump config
+  std::string json_out_path_;
+  bool stderr_tree_ = false;
+  std::vector<std::unique_ptr<ThreadState>> threads_;
+};
+
+/// Peak resident set size (`VmHWM` from /proc/self/status) in bytes, or -1
+/// when unavailable. Complements tensor::PeakMemoryBytes(): the tensor
+/// counter sees only tensor payloads, VmHWM sees the whole process.
+int64_t ReadRssPeakBytes();
+
+}  // namespace timekd::obs
+
+#endif  // TIMEKD_OBS_PROFILER_H_

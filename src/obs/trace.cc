@@ -7,8 +7,15 @@
 
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 
 namespace timekd::obs {
+
+namespace internal {
+// Constant-initialized so the disabled-span fast path never waits on a
+// magic-static guard; Tracer/Profiler construction ORs their bits in.
+constinit std::atomic<uint32_t> g_span_sinks{0};
+}  // namespace internal
 
 namespace {
 
@@ -19,16 +26,19 @@ Clock::time_point ProcessStart() {
   return kStart;
 }
 
-uint32_t ThisThreadId() {
-  static std::atomic<uint32_t> next{1};
-  thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
-  return id;
-}
-
 int& ThreadDepth() {
   thread_local int depth = 0;
   return depth;
 }
+
+// The disabled-span fast path no longer touches the singletons, so
+// env-var-driven enabling (TIMEKD_TRACE_OUT / TIMEKD_PROFILE_OUT) must not
+// rely on the first span constructing them. Force both at load time.
+[[maybe_unused]] const bool g_force_sink_init = [] {
+  Tracer::Get();
+  Profiler::Get();
+  return true;
+}();
 
 }  // namespace
 
@@ -39,6 +49,7 @@ Tracer::Tracer() {
   if (path != nullptr && *path != '\0') {
     out_path_ = path;
     enabled_.store(true, std::memory_order_relaxed);
+    internal::SetSpanSink(internal::kTracerSink, true);
   }
 }
 
@@ -57,9 +68,13 @@ void Tracer::Enable(const std::string& chrome_out_path) {
   std::lock_guard<std::mutex> lock(mu_);
   out_path_ = chrome_out_path;
   enabled_.store(true, std::memory_order_relaxed);
+  internal::SetSpanSink(internal::kTracerSink, true);
 }
 
-void Tracer::Disable() { enabled_.store(false, std::memory_order_relaxed); }
+void Tracer::Disable() {
+  enabled_.store(false, std::memory_order_relaxed);
+  internal::SetSpanSink(internal::kTracerSink, false);
+}
 
 void Tracer::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
@@ -92,7 +107,7 @@ void Tracer::RecordSpan(const char* name, uint64_t ts_us, uint64_t dur_us,
     dropped->Increment();
     return;
   }
-  events_.push_back(Event{name, ts_us, dur_us, ThisThreadId(), depth});
+  events_.push_back(Event{name, ts_us, dur_us, CurrentThreadId(), depth});
 }
 
 std::string Tracer::ChromeTraceJson() const {
@@ -151,20 +166,31 @@ uint64_t Tracer::NowMicros() {
 
 int Tracer::CurrentDepth() { return ThreadDepth(); }
 
+uint32_t Tracer::CurrentThreadId() {
+  static std::atomic<uint32_t> next{1};
+  thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
 ScopedSpan::ScopedSpan(const char* name) {
-  Tracer& tracer = Tracer::Get();
-  if (!tracer.enabled()) return;
-  active_ = true;
+  const uint32_t sinks = internal::SpanSinks();
+  if (sinks == 0) return;  // disabled: the one relaxed load, nothing else
+  sinks_ = sinks;
   name_ = name;
   depth_ = ++ThreadDepth();
+  if (sinks & internal::kProfilerSink) Profiler::Get().BeginSpan(name);
   start_us_ = Tracer::NowMicros();
 }
 
 ScopedSpan::~ScopedSpan() {
-  if (!active_) return;
+  if (sinks_ == 0) return;
   --ThreadDepth();
   const uint64_t end_us = Tracer::NowMicros();
-  Tracer::Get().RecordSpan(name_, start_us_, end_us - start_us_, depth_);
+  const uint64_t dur_us = end_us - start_us_;
+  if (sinks_ & internal::kProfilerSink) Profiler::Get().EndSpan(dur_us);
+  if (sinks_ & internal::kTracerSink) {
+    Tracer::Get().RecordSpan(name_, start_us_, dur_us, depth_);
+  }
 }
 
 }  // namespace timekd::obs

@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 
 namespace timekd::tensor {
 
@@ -638,6 +639,9 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
       obs::GlobalMetrics().GetCounter("tensor/matmul_flops");
   matmul_calls->Increment();
   matmul_flops->Increment(static_cast<uint64_t>(2 * nbatch * m * k * n));
+  // Span attribution: credits the profiler span open on THIS thread, so a
+  // pooled kernel bills its submitting span, not the worker shards.
+  obs::AddSpanFlops(static_cast<uint64_t>(2 * nbatch * m * k * n));
 
   std::vector<float> out(static_cast<size_t>(nbatch * m * n), 0.0f);
   const float* pa = a.data();

@@ -6,6 +6,8 @@
 #include <unordered_set>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
 
 namespace timekd::tensor {
 
@@ -66,6 +68,17 @@ namespace {
 // data race under TSan even though the values are advisory.
 std::atomic<int64_t> g_current_bytes{0};
 std::atomic<int64_t> g_peak_bytes{0};
+
+// Publishes the allocator peak as the mem/tensor_peak_bytes gauge in every
+// metrics dump / BENCH artifact. Registered as a pre-dump hook because the
+// dependency points the other way: obs cannot read tensor state directly.
+[[maybe_unused]] const bool g_peak_gauge_hook = [] {
+  obs::RegisterPreDumpHook([] {
+    obs::GlobalMetrics().GetGauge("mem/tensor_peak_bytes")->Set(
+        static_cast<double>(g_peak_bytes.load(std::memory_order_relaxed)));
+  });
+  return true;
+}();
 }  // namespace
 
 int64_t CurrentMemoryBytes() {
@@ -89,6 +102,9 @@ bool GradModeEnabled() { return g_grad_mode; }
 void SetGradMode(bool enabled) { g_grad_mode = enabled; }
 
 void TrackMemoryDelta(int64_t delta_bytes) {
+  if (delta_bytes > 0) {
+    obs::AddSpanBytes(static_cast<uint64_t>(delta_bytes));
+  }
   const int64_t now =
       g_current_bytes.fetch_add(delta_bytes, std::memory_order_relaxed) +
       delta_bytes;

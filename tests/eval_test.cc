@@ -1,7 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
 
+#include "eval/bench_artifact.h"
 #include "eval/heatmap.h"
 #include "eval/profile.h"
 #include "eval/runner.h"
@@ -193,6 +198,38 @@ TEST(RunnerTest, TimeKdTrainableSmallerThanUniTime) {
   spec.model = ModelKind::kUniTime;
   RunResult unitime = RunExperiment(spec);
   EXPECT_LT(timekd.trainable_params, unitime.trainable_params);
+}
+
+TEST(BenchArtifactTest, ProvenanceJsonCarriesRequiredFields) {
+  const std::string json = ProvenanceJson("smoke");
+  for (const char* key : {"\"git_sha\":", "\"bench_profile\":\"smoke\"",
+                          "\"num_threads\":", "\"hostname\":",
+                          "\"compiler\":"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << " in " << json;
+  }
+}
+
+TEST(BenchArtifactTest, WriteBenchArtifactEmitsSchemaFields) {
+  const std::string dir = ::testing::TempDir();
+  setenv("TIMEKD_BENCH_OUT_DIR", dir.c_str(), 1);
+  BenchProfile profile = TinyProfile();
+  std::string path;
+  ASSERT_TRUE(WriteBenchArtifact("eval_test", profile, &path).ok());
+  unsetenv("TIMEKD_BENCH_OUT_DIR");
+  EXPECT_NE(path.find("BENCH_eval_test.json"), std::string::npos);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string json = ss.str();
+  for (const char* key :
+       {"\"schema_version\":1", "\"experiment\":\"eval_test\"",
+        "\"provenance\":", "\"wall_seconds\":", "\"phases\":",
+        "\"throughput\":", "\"kernels\":", "\"memory\":",
+        "\"rss_peak_bytes\":", "\"metrics\":"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  std::remove(path.c_str());
 }
 
 }  // namespace

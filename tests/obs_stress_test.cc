@@ -17,6 +17,7 @@
 #include "common/logging.h"
 #include "obs/metrics.h"
 #include "obs/observer.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "tensor/ops.h"
 #include "tensor/tensor.h"
@@ -166,6 +167,72 @@ TEST(ObsStressTest, JsonlWriterConcurrentAppends) {
   }
   EXPECT_EQ(lines, kThreads * 200);
   std::remove(path.c_str());
+}
+
+TEST(ObsStressTest, ProfilerConcurrentSpansSnapshotsAndClears) {
+  obs::Profiler& profiler = obs::Profiler::Get();
+  profiler.Clear();
+  profiler.Enable("");  // aggregate without writing a file
+  std::atomic<bool> stop{false};
+  // The reader races Snapshot/ToJson against live span recording; a second
+  // antagonist thread toggles Clear() mid-run, which exercises the
+  // "EndSpan after Clear is a no-op" path from every worker.
+  std::thread reader([&] {  // timekd-lint: allow(raw-thread)
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)profiler.Snapshot();
+      ASSERT_FALSE(profiler.ToJson().empty());
+      (void)profiler.ToText();
+    }
+  });
+  std::thread clearer([&] {  // timekd-lint: allow(raw-thread)
+    for (int i = 0; i < 20 && !stop.load(std::memory_order_relaxed); ++i) {
+      profiler.Clear();
+      std::this_thread::yield();
+    }
+  });
+  RunThreads([&](int t) {
+    (void)t;
+    for (int i = 0; i < kIters / 4; ++i) {
+      TIMEKD_TRACE_SCOPE("stress/prof_outer");
+      obs::AddSpanFlops(10);
+      {
+        TIMEKD_TRACE_SCOPE("stress/prof_inner");
+        obs::AddSpanBytes(64);
+      }
+    }
+  });
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  clearer.join();
+
+  // Clears raced the workers, so exact counts are undefined; the tree
+  // shape invariants are not. Run one more clean burst and check those.
+  profiler.Clear();
+  RunThreads([&](int t) {
+    (void)t;
+    for (int i = 0; i < 50; ++i) {
+      TIMEKD_TRACE_SCOPE("stress/prof_outer");
+      {
+        TIMEKD_TRACE_SCOPE("stress/prof_inner");
+      }
+    }
+  });
+  const obs::ProfileSnapshot snap = profiler.Snapshot();
+  uint64_t outer_count = 0;
+  uint64_t inner_count = 0;
+  for (const auto& thread : snap.threads) {
+    for (const obs::ProfileNode& root : thread.roots) {
+      if (root.name != "stress/prof_outer") continue;
+      outer_count += root.count;
+      for (const obs::ProfileNode& child : root.children) {
+        if (child.name == "stress/prof_inner") inner_count += child.count;
+      }
+    }
+  }
+  EXPECT_EQ(outer_count, static_cast<uint64_t>(kThreads) * 50);
+  EXPECT_EQ(inner_count, static_cast<uint64_t>(kThreads) * 50);
+  profiler.Disable();
+  profiler.Clear();
 }
 
 TEST(ObsStressTest, TensorOpsAcrossThreadsTrackMemorySafely) {

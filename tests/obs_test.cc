@@ -18,6 +18,7 @@
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/observer.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace timekd::obs {
@@ -200,6 +201,39 @@ TEST(JsonTest, ObjectRendersInInsertionOrderAndValidates) {
   EXPECT_TRUE(v.Valid());
 }
 
+TEST(JsonTest, EscapesEveryControlCharacter) {
+  // Named escapes for the common whitespace controls, \u00XX for the rest.
+  EXPECT_EQ(JsonEscape("\t"), "\\t");
+  EXPECT_EQ(JsonEscape("\r\n"), "\\r\\n");
+  for (int c = 0; c < 0x20; ++c) {
+    const std::string escaped = JsonEscape(std::string(1, static_cast<char>(c)));
+    EXPECT_EQ(escaped.front(), '\\') << "control char " << c;
+    JsonValidator v("\"" + escaped + "\"");
+    EXPECT_TRUE(v.Valid()) << "control char " << c;
+  }
+}
+
+TEST(JsonTest, BackslashHeavyStringsRoundTripAsValidJson) {
+  // Windows-style paths and pre-escaped text must not produce stray
+  // escapes: every backslash doubles, every quote gains one.
+  EXPECT_EQ(JsonEscape("C:\\tmp\\\"x\""), "C:\\\\tmp\\\\\\\"x\\\"");
+  EXPECT_EQ(JsonEscape("\\\\"), "\\\\\\\\");
+  JsonValidator v("\"" + JsonEscape("\\n is not a newline \\\\\"") + "\"");
+  EXPECT_TRUE(v.Valid());
+}
+
+TEST(JsonTest, NonAsciiBytesPassThroughUnescaped) {
+  // Metric/span names may carry UTF-8 (e.g. dataset labels); bytes >= 0x20
+  // are emitted verbatim — JSON strings are Unicode, no \u needed.
+  const std::string utf8 = "température\xC2\xB0";
+  EXPECT_EQ(JsonEscape(utf8), utf8);
+  EXPECT_EQ(JsonEscape("\x7f"), "\x7f");  // DEL is not a JSON control char
+  JsonObject obj;
+  obj.Set(utf8, "σ=1.5");
+  JsonValidator v(obj.ToString());
+  EXPECT_TRUE(v.Valid());
+}
+
 // ---------------------------------------------------------------------------
 // Metrics
 
@@ -360,6 +394,197 @@ TEST_F(TracerTest, ChromeTraceJsonIsWellFormed) {
   JsonValidator v2(ReadFile(path));
   EXPECT_TRUE(v2.Valid());
   std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Profiler
+
+class ProfilerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Profiler::Get().Clear();
+    Profiler::Get().Enable("");  // aggregate without a file
+  }
+  void TearDown() override {
+    Profiler::Get().Disable();
+    Profiler::Get().Clear();
+  }
+
+  // The calling thread's tree from a fresh snapshot (profiler trees are
+  // per-thread; the gtest main thread is where these spans run).
+  static std::vector<ProfileNode> MyRoots() {
+    const uint32_t tid = Tracer::CurrentThreadId();
+    for (const auto& t : Profiler::Get().Snapshot().threads) {
+      if (t.tid == tid) return t.roots;
+    }
+    return {};
+  }
+
+  static const ProfileNode* Find(const std::vector<ProfileNode>& nodes,
+                                 const std::string& name) {
+    for (const ProfileNode& n : nodes) {
+      if (n.name == name) return &n;
+    }
+    return nullptr;
+  }
+};
+
+TEST_F(ProfilerTest, NestedSpansBuildCallTree) {
+  {
+    TIMEKD_TRACE_SCOPE("outer");
+    {
+      TIMEKD_TRACE_SCOPE("inner");
+    }
+  }
+  const auto roots = MyRoots();
+  const ProfileNode* outer = Find(roots, "outer");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(outer->count, 1u);
+  const ProfileNode* inner = Find(outer->children, "inner");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->count, 1u);
+  EXPECT_TRUE(inner->children.empty());
+  // "inner" nests under "outer": it must not also appear as a root.
+  EXPECT_EQ(Find(roots, "inner"), nullptr);
+  // Self time excludes children and can never exceed the total.
+  EXPECT_GE(outer->total_us, inner->total_us);
+  EXPECT_LE(outer->self_us, outer->total_us);
+  EXPECT_EQ(outer->self_us, outer->total_us - inner->total_us);
+}
+
+TEST_F(ProfilerTest, SiblingSpansWithSameNameMerge) {
+  {
+    TIMEKD_TRACE_SCOPE("parent");
+    for (int i = 0; i < 3; ++i) {
+      TIMEKD_TRACE_SCOPE("repeat");
+    }
+    {
+      TIMEKD_TRACE_SCOPE("other");
+    }
+  }
+  const auto roots = MyRoots();
+  const ProfileNode* parent = Find(roots, "parent");
+  ASSERT_NE(parent, nullptr);
+  ASSERT_EQ(parent->children.size(), 2u);  // merged: {repeat, other}
+  const ProfileNode* repeat = Find(parent->children, "repeat");
+  ASSERT_NE(repeat, nullptr);
+  EXPECT_EQ(repeat->count, 3u);
+  const ProfileNode* other = Find(parent->children, "other");
+  ASSERT_NE(other, nullptr);
+  EXPECT_EQ(other->count, 1u);
+}
+
+TEST_F(ProfilerTest, SameNameUnderDistinctParentsStaysDistinct) {
+  {
+    TIMEKD_TRACE_SCOPE("a");
+    TIMEKD_TRACE_SCOPE("shared");
+  }
+  {
+    TIMEKD_TRACE_SCOPE("b");
+    TIMEKD_TRACE_SCOPE("shared");
+  }
+  const auto roots = MyRoots();
+  const ProfileNode* a = Find(roots, "a");
+  const ProfileNode* b = Find(roots, "b");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  ASSERT_NE(Find(a->children, "shared"), nullptr);
+  ASSERT_NE(Find(b->children, "shared"), nullptr);
+  EXPECT_EQ(Find(a->children, "shared")->count, 1u);
+  EXPECT_EQ(Find(b->children, "shared")->count, 1u);
+}
+
+TEST_F(ProfilerTest, ThreadsKeepSeparateTrees) {
+  {
+    TIMEKD_TRACE_SCOPE("main_only");
+  }
+  uint32_t worker_tid = 0;
+  // A raw thread on purpose: the point is a distinct profiler thread
+  // state, not pool behavior. timekd-lint: allow(raw-thread)
+  std::thread worker([&worker_tid] {
+    worker_tid = Tracer::CurrentThreadId();
+    TIMEKD_TRACE_SCOPE("worker_only");
+  });
+  worker.join();
+  const ProfileSnapshot snap = Profiler::Get().Snapshot();
+  ASSERT_GE(snap.threads.size(), 2u);
+  EXPECT_NE(worker_tid, Tracer::CurrentThreadId());
+  for (const auto& t : snap.threads) {
+    const bool is_worker = t.tid == worker_tid;
+    EXPECT_EQ(Find(t.roots, "worker_only") != nullptr, is_worker);
+    if (t.tid == Tracer::CurrentThreadId()) {
+      EXPECT_NE(Find(t.roots, "main_only"), nullptr);
+      EXPECT_EQ(Find(t.roots, "worker_only"), nullptr);
+    }
+  }
+}
+
+TEST_F(ProfilerTest, DisabledPathRecordsNothing) {
+  Profiler::Get().Disable();
+  Tracer::Get().Disable();  // span macro must see every sink off
+  {
+    TIMEKD_TRACE_SCOPE("ghost");
+    EXPECT_EQ(Tracer::CurrentDepth(), 0);
+  }
+  EXPECT_TRUE(Profiler::Get().Snapshot().threads.empty());
+}
+
+TEST_F(ProfilerTest, AttributesFlopsAndBytesToOpenSpans) {
+  {
+    TIMEKD_TRACE_SCOPE("outer");
+    AddSpanFlops(100);
+    {
+      TIMEKD_TRACE_SCOPE("inner");
+      AddSpanFlops(40);
+      AddSpanBytes(256);
+    }
+  }
+  const auto roots = MyRoots();
+  const ProfileNode* outer = Find(roots, "outer");
+  ASSERT_NE(outer, nullptr);
+  // Inclusive attribution: the parent sees its own work plus the child's.
+  EXPECT_EQ(outer->flops, 140u);
+  EXPECT_EQ(outer->bytes, 256u);
+  const ProfileNode* inner = Find(outer->children, "inner");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->flops, 40u);
+  EXPECT_EQ(inner->bytes, 256u);
+}
+
+TEST_F(ProfilerTest, JsonDumpIsWellFormedAndVersioned) {
+  {
+    TIMEKD_TRACE_SCOPE("phase/a \"quoted\"");
+  }
+  const std::string json = Profiler::Get().ToJson();
+  JsonValidator v(json);
+  EXPECT_TRUE(v.Valid()) << json;
+  EXPECT_NE(json.find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"process_wall_us\":"), std::string::npos);
+  EXPECT_NE(json.find("phase/a"), std::string::npos);
+
+  const std::string path = TempPath("obs_profile.json");
+  ASSERT_TRUE(Profiler::Get().WriteJson(path).ok());
+  JsonValidator v2(ReadFile(path));
+  EXPECT_TRUE(v2.Valid());
+  std::remove(path.c_str());
+
+  const std::string text = Profiler::Get().ToText();
+  EXPECT_NE(text.find("phase/a"), std::string::npos);
+  EXPECT_NE(text.find("process wall"), std::string::npos);
+}
+
+TEST_F(ProfilerTest, ClearWhileSpanOpenIsSafe) {
+  {
+    TIMEKD_TRACE_SCOPE("long_lived");
+    Profiler::Get().Clear();
+    // The matching EndSpan lands on an empty stack and must be a no-op.
+  }
+  EXPECT_TRUE(Profiler::Get().Snapshot().threads.empty());
+  {
+    TIMEKD_TRACE_SCOPE("after_clear");
+  }
+  const auto roots = MyRoots();
+  EXPECT_NE(Find(roots, "after_clear"), nullptr);
 }
 
 // ---------------------------------------------------------------------------

@@ -51,11 +51,39 @@ run_determinism() {
     -R 'DeterminismTest|ThreadPool' --output-on-failure
 }
 
+# Perf-gate smoke: run the micro-kernel bench twice at the smoke profile
+# and require tools/perf_diff.py to pass the pair. This catches broken
+# BENCH artifact emission, schema drift the gate can't parse, and noise
+# floors tuned so tight that back-to-back identical builds already "regress"
+# (which would make the gate useless against real changes).
+run_perf_gate() {
+  step "perf gate [bench_micro_kernels smoke, self-compare]"
+  local out
+  out="$(mktemp -d)"
+  TIMEKD_BENCH_PROFILE=smoke TIMEKD_BENCH_OUT_DIR="$out" \
+    ./build/bench/bench_micro_kernels >/dev/null
+  mv "$out/BENCH_micro_kernels.json" "$out/baseline.json"
+  TIMEKD_BENCH_PROFILE=smoke TIMEKD_BENCH_OUT_DIR="$out" \
+    ./build/bench/bench_micro_kernels >/dev/null
+  # One retry with a fresh candidate run: a single OS-scheduling outlier on
+  # a loaded box must not fail the gate, a real regression fails twice.
+  if ! python3 tools/perf_diff.py "$out/baseline.json" \
+      "$out/BENCH_micro_kernels.json"; then
+    echo "perf gate: retrying once with a fresh candidate run"
+    TIMEKD_BENCH_PROFILE=smoke TIMEKD_BENCH_OUT_DIR="$out" \
+      ./build/bench/bench_micro_kernels >/dev/null
+    python3 tools/perf_diff.py "$out/baseline.json" \
+      "$out/BENCH_micro_kernels.json"
+  fi
+  rm -rf "$out"
+}
+
 step "lint"
 python3 tools/lint/timekd_lint.py --root "$ROOT" --format-check
 
 run_config default
 run_determinism default
+run_perf_gate
 
 if [[ "$FAST" == "0" ]]; then
   run_config asan-ubsan

@@ -21,6 +21,11 @@ Rules (all stdlib-only, no third-party deps):
                     through ParallelFor so sizing, determinism, and the
                     pool metrics stay centralized. Multi-threaded stress
                     tests carry a documented allow comment.
+  raw-clock         No direct std::chrono::{steady,system,high_resolution}_
+                    clock use outside src/obs and src/common: all wall-time
+                    measurement goes through obs::WallTimer /
+                    Tracer::NowMicros so every timer shares one origin and
+                    the profiler/tracer/BENCH artifacts stay comparable.
 
 Suppression: a finding on line N of a rule R is suppressed when line N or
 line N-1 contains `timekd-lint: allow(R)`. Use sparingly and document why.
@@ -389,6 +394,35 @@ def check_raw_thread(root, findings):
                             "timekd-lint: allow(raw-thread)"))
 
 
+# --- Rule: raw-clock -------------------------------------------------------
+
+# std::chrono durations/time_point arithmetic are fine; naming a concrete
+# clock is what forks the time base. src/obs owns the clock (trace.cc) and
+# src/common may log wall-clock timestamps (logging.cc).
+RAW_CLOCK_RE = re.compile(
+    r"\bstd::chrono::(steady_clock|system_clock|high_resolution_clock)\b")
+RAW_CLOCK_EXEMPT_PREFIXES = ("src/obs/", "src/common/")
+
+
+def check_raw_clock(root, findings):
+    for rel in iter_files(root, ["src", "bench"], CXX_EXTENSIONS):
+        if rel.startswith(RAW_CLOCK_EXEMPT_PREFIXES):
+            continue
+        raw = read_lines(root, rel)
+        code = strip_comments_and_strings(raw)
+        for idx, line in enumerate(code):
+            m = RAW_CLOCK_RE.search(line)
+            if m:
+                if is_allowed("raw-clock", raw, idx + 1):
+                    continue
+                findings.append(
+                    Finding("raw-clock", rel, idx + 1,
+                            f"std::chrono::{m.group(1)} outside "
+                            "src/obs|src/common; use obs::WallTimer "
+                            "(obs/trace.h) or add a documented "
+                            "timekd-lint: allow(raw-clock)"))
+
+
 # --- Format mode -----------------------------------------------------------
 
 
@@ -463,6 +497,7 @@ RULES = {
     "new-delete": check_new_delete,
     "test-determinism": check_test_determinism,
     "raw-thread": check_raw_thread,
+    "raw-clock": check_raw_clock,
 }
 
 

@@ -1,0 +1,299 @@
+#!/usr/bin/env python3
+"""perf_diff: regression gate over two BENCH_<experiment>.json artifacts.
+
+Compares a candidate artifact (new code) against a baseline artifact (old
+code) produced by the same bench binary (see src/eval/bench_artifact.h and
+docs/observability.md for the schema). A metric regresses only when it is
+worse by BOTH a relative threshold AND an absolute noise floor — small
+timings jitter wildly in relative terms, large timings drift in absolute
+terms, so each guard alone would either false-positive or miss.
+
+Gated metrics (overridable via --threshold):
+
+  wall_seconds            lower is better   rel 0.75   floor 0.15 s
+  phases.<name>           lower is better   rel 0.75   floor 0.15 s
+  throughput.*_per_sec    higher is better  rel 0.40   floor(base) 0.1/s
+  memory.tensor_peak_bytes  lower is better rel 0.10   floor 1 MiB
+  memory.rss_peak_bytes   lower is better   rel 0.25   floor 32 MiB
+
+Raw kernel counters (matmul_calls, ...) are reported but never gated:
+google-benchmark picks iteration counts adaptively, so call/FLOP totals are
+not comparable across runs even on identical code.
+
+Comparing artifacts from different experiments, bench profiles, or thread
+counts is a usage error (exit 2), not a regression — the numbers would be
+meaningless.
+
+Exit status: 0 = no regression, 1 = regression(s), 2 = usage/schema error.
+
+Usage:
+  tools/perf_diff.py BASELINE.json CANDIDATE.json
+  tools/perf_diff.py --threshold wall_seconds=0.3:0.05 BASE.json CAND.json
+  tools/perf_diff.py --self-test
+"""
+
+import argparse
+import copy
+import json
+import sys
+
+SCHEMA_VERSION = 1
+
+
+class Spec:
+    """Gate parameters for one metric."""
+
+    def __init__(self, rel, floor, higher_is_better=False):
+        self.rel = rel          # relative worsening threshold (fraction)
+        self.floor = floor      # absolute worsening floor (metric units)
+        self.higher_is_better = higher_is_better
+
+
+DEFAULT_SPECS = {
+    "wall_seconds": Spec(0.75, 0.15),
+    "phases.*": Spec(0.75, 0.15),
+    "throughput.steps_per_sec": Spec(0.40, 0.1, higher_is_better=True),
+    "throughput.tokens_per_sec": Spec(0.40, 0.1, higher_is_better=True),
+    "memory.tensor_peak_bytes": Spec(0.10, 1 << 20),
+    "memory.rss_peak_bytes": Spec(0.25, 32 << 20),
+}
+
+
+def load_artifact(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        raise SystemExit(f"perf_diff: cannot read {path}: {err}")
+    if doc.get("schema_version") != SCHEMA_VERSION:
+        raise SystemExit(
+            f"perf_diff: {path}: schema_version "
+            f"{doc.get('schema_version')!r}, expected {SCHEMA_VERSION}")
+    for key in ("experiment", "wall_seconds", "provenance"):
+        if key not in doc:
+            raise SystemExit(f"perf_diff: {path}: missing field {key!r}")
+    return doc
+
+
+def flatten_metrics(doc):
+    """Gated-metric name -> value for one artifact."""
+    out = {"wall_seconds": float(doc["wall_seconds"])}
+    for name, seconds in doc.get("phases", {}).items():
+        out[f"phases.{name}"] = float(seconds)
+    for name, value in doc.get("throughput", {}).items():
+        out[f"throughput.{name}"] = float(value)
+    for name, value in doc.get("memory", {}).items():
+        out[f"memory.{name}"] = float(value)
+    return out
+
+
+def spec_for(metric, specs):
+    if metric in specs:
+        return specs[metric]
+    if metric.startswith("phases."):
+        return specs.get("phases.*")
+    return None
+
+
+def check_comparable(baseline, candidate):
+    """Returns a list of mismatch messages (non-empty = exit 2)."""
+    problems = []
+    if baseline["experiment"] != candidate["experiment"]:
+        problems.append(
+            f"experiment mismatch: {baseline['experiment']!r} vs "
+            f"{candidate['experiment']!r}")
+    for key in ("bench_profile", "num_threads"):
+        b = baseline["provenance"].get(key)
+        c = candidate["provenance"].get(key)
+        if b != c:
+            problems.append(f"provenance.{key} mismatch: {b!r} vs {c!r}")
+    return problems
+
+
+def diff(baseline, candidate, specs):
+    """Returns (report_lines, regressions)."""
+    base = flatten_metrics(baseline)
+    cand = flatten_metrics(candidate)
+    lines = []
+    regressions = []
+    for metric in sorted(set(base) | set(cand)):
+        spec = spec_for(metric, specs)
+        if metric not in base or metric not in cand:
+            side = "baseline" if metric not in base else "candidate"
+            lines.append(f"  {metric:<40} only in {side}; skipped")
+            continue
+        b, c = base[metric], cand[metric]
+        if spec is None:
+            lines.append(f"  {metric:<40} {b:>14.6g} -> {c:>14.6g}  (ungated)")
+            continue
+        worse_by = (b - c) if spec.higher_is_better else (c - b)
+        if spec.higher_is_better and b < spec.floor:
+            # Throughput floors gate on the baseline magnitude: a counter
+            # that never moved (0 steps/sec in a kernel bench) is noise.
+            lines.append(
+                f"  {metric:<40} {b:>14.6g} -> {c:>14.6g}  "
+                f"(baseline below floor; skipped)")
+            continue
+        rel = worse_by / b if b > 0 else (float("inf") if worse_by > 0 else 0)
+        if spec.higher_is_better:
+            # Floor already applied to the baseline magnitude above.
+            regressed = rel > spec.rel
+        else:
+            regressed = worse_by > spec.floor and rel > spec.rel
+        verdict = "REGRESSION" if regressed else "ok"
+        lines.append(
+            f"  {metric:<40} {b:>14.6g} -> {c:>14.6g}  "
+            f"({rel:+8.1%} worse-direction)  {verdict}")
+        if regressed:
+            regressions.append(metric)
+    return lines, regressions
+
+
+def parse_threshold_overrides(overrides, specs):
+    for item in overrides or []:
+        try:
+            metric, value = item.split("=", 1)
+            parts = value.split(":")
+            rel = float(parts[0])
+            floor = float(parts[1]) if len(parts) > 1 else 0.0
+        except (ValueError, IndexError):
+            raise SystemExit(
+                f"perf_diff: bad --threshold {item!r} "
+                "(want metric=rel or metric=rel:floor)")
+        prior = spec_for(metric, specs)
+        higher = prior.higher_is_better if prior else False
+        specs[metric] = Spec(rel, floor, higher_is_better=higher)
+    return specs
+
+
+def run_diff(baseline_path, candidate_path, specs):
+    baseline = load_artifact(baseline_path)
+    candidate = load_artifact(candidate_path)
+    problems = check_comparable(baseline, candidate)
+    if problems:
+        for p in problems:
+            print(f"perf_diff: not comparable: {p}", file=sys.stderr)
+        return 2
+    lines, regressions = diff(baseline, candidate, specs)
+    print(f"perf_diff: {baseline['experiment']} "
+          f"[{baseline['provenance'].get('bench_profile')}] "
+          f"{baseline_path} -> {candidate_path}")
+    for line in lines:
+        print(line)
+    if regressions:
+        print(f"perf_diff: {len(regressions)} regression(s): "
+              f"{', '.join(regressions)}")
+        return 1
+    print("perf_diff: no regressions")
+    return 0
+
+
+# --- Self-test -------------------------------------------------------------
+
+
+def synthetic_artifact():
+    return {
+        "schema_version": 1,
+        "experiment": "selftest",
+        "provenance": {"git_sha": "0" * 12, "bench_profile": "smoke",
+                       "num_threads": 1, "hostname": "x", "compiler": "t"},
+        "wall_seconds": 0.30,
+        "phases": {"bench/selftest": 0.29},
+        "throughput": {"steps_per_sec": 100.0, "tokens_per_sec": 0.0},
+        "kernels": {"matmul_calls": 10, "matmul_flops": 1000},
+        "memory": {"tensor_peak_bytes": 64 << 20,
+                   "rss_peak_bytes": 128 << 20},
+        "metrics": {"counters": {}, "gauges": {}, "histograms": {}},
+    }
+
+
+def self_test():
+    failures = []
+
+    def expect(name, condition):
+        if not condition:
+            failures.append(name)
+
+    specs = dict(DEFAULT_SPECS)
+    base = synthetic_artifact()
+
+    _, regs = diff(base, copy.deepcopy(base), specs)
+    expect("identical artifacts are clean", regs == [])
+
+    doubled = copy.deepcopy(base)
+    doubled["wall_seconds"] *= 2
+    _, regs = diff(base, doubled, specs)
+    expect("2x wall_seconds regresses", regs == ["wall_seconds"])
+
+    faster = copy.deepcopy(base)
+    faster["wall_seconds"] *= 0.5
+    _, regs = diff(base, faster, specs)
+    expect("improvement is clean", regs == [])
+
+    jitter = copy.deepcopy(base)
+    jitter["wall_seconds"] *= 1.2  # above rel? no: 20% < 75%
+    _, regs = diff(base, jitter, specs)
+    expect("20% jitter under floor+rel is clean", regs == [])
+
+    slow_phase = copy.deepcopy(base)
+    slow_phase["phases"]["bench/selftest"] = 0.29 * 3
+    _, regs = diff(base, slow_phase, specs)
+    expect("3x phase regresses", regs == ["phases.bench/selftest"])
+
+    slower_steps = copy.deepcopy(base)
+    slower_steps["throughput"]["steps_per_sec"] = 40.0
+    _, regs = diff(base, slower_steps, specs)
+    expect("throughput drop regresses", regs == ["throughput.steps_per_sec"])
+
+    zero_tokens = copy.deepcopy(base)
+    zero_tokens["throughput"]["tokens_per_sec"] = 0.0
+    _, regs = diff(base, zero_tokens, specs)
+    expect("dead throughput counter is skipped", regs == [])
+
+    fat = copy.deepcopy(base)
+    fat["memory"]["tensor_peak_bytes"] = int((64 << 20) * 1.5)
+    _, regs = diff(base, fat, specs)
+    expect("tensor peak growth regresses",
+           regs == ["memory.tensor_peak_bytes"])
+
+    other = copy.deepcopy(base)
+    other["provenance"]["bench_profile"] = "paper"
+    expect("profile mismatch detected", check_comparable(base, other) != [])
+
+    override = parse_threshold_overrides(["wall_seconds=0.1:0.01"],
+                                         dict(DEFAULT_SPECS))
+    _, regs = diff(base, jitter, override)
+    expect("threshold override applies", regs == ["wall_seconds"])
+
+    if failures:
+        for name in failures:
+            print(f"perf_diff self-test FAILED: {name}", file=sys.stderr)
+        return 1
+    print("perf_diff self-test: all cases passed")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("baseline", nargs="?", help="baseline BENCH_*.json")
+    parser.add_argument("candidate", nargs="?", help="candidate BENCH_*.json")
+    parser.add_argument("--threshold", action="append", metavar="M=REL[:FLOOR]",
+                        help="override a metric's gate, e.g. "
+                             "wall_seconds=0.3:0.05 (repeatable)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in check suite and exit")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.baseline or not args.candidate:
+        parser.print_usage(sys.stderr)
+        return 2
+    specs = parse_threshold_overrides(args.threshold, dict(DEFAULT_SPECS))
+    return run_diff(args.baseline, args.candidate, specs)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
