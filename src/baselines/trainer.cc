@@ -46,12 +46,17 @@ BaselineFitStats BaselineTrainer::Fit(const data::WindowDataset& train,
                                       const core::TrainConfig& config) {
   TIMEKD_TRACE_SCOPE("fit/baseline");
   BaselineFitStats stats;
-  obs::TrainObserver* observer = config.observer;
+  // Same watchdog wiring as TimeKd::Fit: the monitor wraps the caller's
+  // observer and its stop flag is polled after every step and epoch.
+  obs::HealthMonitor health(config.health, config.observer);
+  obs::TrainObserver* observer = &health;
+  const bool observing = config.observer != nullptr || config.health.enabled;
   nn::AdamWConfig opt_config;
   opt_config.lr = config.lr;
   opt_config.weight_decay = config.weight_decay;
   std::vector<Tensor> params = model_->Parameters();
   nn::AdamW optimizer(params, opt_config);
+  nn::ParamGroupSampler sampler(*model_);
 
   Rng shuffle_rng(config.seed);
   stats.best_val_mse = std::numeric_limits<double>::infinity();
@@ -65,17 +70,20 @@ BaselineFitStats BaselineTrainer::Fit(const data::WindowDataset& train,
     for (const auto& indices :
          train.EpochBatches(config.batch_size, config.shuffle, &shuffle_rng)) {
       const obs::WallTimer step_timer;
+      const bool sample_telemetry = config.telemetry_every > 0 &&
+                                    stats.steps % config.telemetry_every == 0;
       data::ForecastBatch batch = train.GetBatch(indices);
       Tensor loss =
           tensor::SmoothL1Loss(model_->Forward(batch.x), batch.y);
       optimizer.ZeroGrad();
       loss.Backward();
       const double grad_norm = nn::ClipGradNorm(params, config.clip_norm);
+      if (sample_telemetry) sampler.SnapshotBefore();
       optimizer.Step();
       es.loss += loss.item();
       ++batches;
       ++stats.steps;
-      if (observer != nullptr) {
+      if (observing) {
         obs::StepRecord record;
         record.phase = "baseline";
         record.epoch = epoch;
@@ -84,9 +92,12 @@ BaselineFitStats BaselineTrainer::Fit(const data::WindowDataset& train,
         record.total_loss = loss.item();
         record.fcst_loss = loss.item();
         record.grad_norm = grad_norm;
+        record.lr = optimizer.lr();
         record.seconds = step_timer.ElapsedSeconds();
+        if (sample_telemetry) record.param_groups = sampler.Collect();
         observer->OnStep(record);
       }
+      if (health.stop_requested()) break;
     }
     if (batches > 0) es.loss /= batches;
 
@@ -106,7 +117,7 @@ BaselineFitStats BaselineTrainer::Fit(const data::WindowDataset& train,
                        << " loss=" << es.loss << " val_mse=" << es.val_mse
                        << " (" << es.seconds << "s)";
     }
-    if (observer != nullptr) {
+    if (observing) {
       obs::EpochRecord record;
       record.phase = "baseline";
       record.epoch = epoch;
@@ -114,13 +125,20 @@ BaselineFitStats BaselineTrainer::Fit(const data::WindowDataset& train,
       record.total_loss = es.loss;
       record.fcst_loss = es.loss;
       record.val_mse = es.val_mse;
+      record.lr = optimizer.lr();
       record.seconds = es.seconds;
       observer->OnEpoch(record);
     }
     stats.epochs.push_back(es);
+    if (health.stop_requested()) break;
   }
   if (!best_snapshot.empty()) Restore(best_snapshot);
   model_->SetTraining(false);
+  health.Finalize();
+  health.WriteHtmlReportIfConfigured();
+  stats.health_anomalies = health.anomaly_count();
+  stats.health_verdict = health.verdict();
+  stats.stopped_early = health.stop_requested();
   return stats;
 }
 

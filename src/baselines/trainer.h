@@ -27,6 +27,10 @@ struct BaselineFitStats {
   double best_val_mse = 0.0;
   int64_t best_epoch = -1;
   int64_t steps = 0;
+  /// Health-watchdog outcome (see core::FitStats).
+  int64_t health_anomalies = 0;
+  obs::HealthVerdict health_verdict = obs::HealthVerdict::kHealthy;
+  bool stopped_early = false;
 };
 
 /// Standard supervised training loop (SmoothL1 forecasting loss, AdamW,

@@ -1,6 +1,7 @@
 #include "cli/cli.h"
 
 #include <map>
+#include <memory>
 #include <ostream>
 #include <sstream>
 
@@ -9,7 +10,10 @@
 #include "data/time_series.h"
 #include "data/window_dataset.h"
 #include "eval/metrics.h"
+#include "obs/health.h"
+#include "obs/observer.h"
 #include "obs/profiler.h"
+#include "obs/report.h"
 
 namespace timekd::cli {
 
@@ -153,9 +157,27 @@ StatusOr<eval::ForecastMetrics> TrainAndReport(const Flags& flags,
   tc.teacher_epochs = tc.epochs * 2;
   tc.lr = flags.GetDouble("lr", 2e-3);
   tc.seed = config.seed;
+  tc.telemetry_every = flags.GetInt("telemetry", 0);
+  tc.health.events_path = flags.GetString("health-out", "");
+  tc.health.html_report_path = flags.GetString("report-html", "");
+  const std::string fail_fast = flags.GetString("fail-fast", "off");
+  if (fail_fast == "stop") {
+    tc.health.fail_fast = obs::FailFastMode::kStop;
+  } else if (fail_fast == "abort") {
+    tc.health.fail_fast = obs::FailFastMode::kAbort;
+  }
+  std::unique_ptr<obs::JsonlObserver> jsonl;
+  if (flags.Has("jsonl-out")) {
+    jsonl =
+        std::make_unique<obs::JsonlObserver>(flags.GetString("jsonl-out", ""));
+    tc.observer = jsonl.get();
+  }
   core::FitStats stats = model.Fit(train, &val, tc);
   out << "trained " << stats.steps << " steps (CLM cache "
       << stats.cache_build_seconds << "s)\n";
+  out << "health " << obs::HealthVerdictName(stats.health_verdict) << " ("
+      << stats.health_anomalies << " anomalies"
+      << (stats.stopped_early ? ", stopped early" : "") << ")\n";
 
   // MASE is scaled by the naive MAE of the (standardized) training split
   // only — never the evaluation region.
@@ -277,8 +299,42 @@ int CmdForecast(const Flags& flags, std::ostream& out) {
   return 0;
 }
 
+int CmdReport(const Flags& flags, std::ostream& out) {
+  if (Status s = flags.Require({"in", "out"}); !s.ok()) {
+    out << s.ToString() << "\n";
+    return 2;
+  }
+  obs::RunHistory history;
+  if (Status s = obs::MergeRunHistoryFromJsonl(flags.GetString("in", ""),
+                                               &history);
+      !s.ok()) {
+    out << s.ToString() << "\n";
+    return 1;
+  }
+  // The watchdog event stream lives in its own file; merge it when given
+  // so the timeline and verdict make it into the report.
+  if (flags.Has("health")) {
+    if (Status s = obs::MergeRunHistoryFromJsonl(
+            flags.GetString("health", ""), &history);
+        !s.ok()) {
+      out << s.ToString() << "\n";
+      return 1;
+    }
+  }
+  history.title = flags.GetString("title", "TimeKD run report");
+  const std::string path = flags.GetString("out", "");
+  if (Status s = obs::WriteHtmlReport(history, path); !s.ok()) {
+    out << s.ToString() << "\n";
+    return 1;
+  }
+  out << "wrote report (" << history.steps.size() << " steps, "
+      << history.epochs.size() << " epochs, " << history.events.size()
+      << " events) to " << path << "\n";
+  return 0;
+}
+
 void PrintUsage(std::ostream& out) {
-  out << "usage: timekd_cli <generate-data|train|evaluate|forecast> "
+  out << "usage: timekd_cli <generate-data|train|evaluate|forecast|report> "
          "[--flag value ...]\n"
          "global flags: --profile-out FILE (hierarchical profile JSON at "
          "exit), --profile-stderr 1 (profile tree on stderr at exit)\n"
@@ -311,6 +367,7 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out) {
   if (command == "train") return CmdTrain(*flags, out);
   if (command == "evaluate") return CmdEvaluate(*flags, out);
   if (command == "forecast") return CmdForecast(*flags, out);
+  if (command == "report") return CmdReport(*flags, out);
   PrintUsage(out);
   return 2;
 }

@@ -16,6 +16,11 @@ namespace timekd::cli {
 ///   train         --data <csv> --freq <minutes> --input <H> --horizon <M>
 ///                 [--epochs E] [--lr LR] [--student-out <bin>]
 ///                 [--seed S] [--llm-dim D] [--prompt-stride K]
+///                 [--jsonl-out <jsonl>] [--telemetry N]
+///                 [--health-out <jsonl>] [--report-html <html>]
+///                 [--fail-fast off|stop|abort]
+///   report        --in <jsonl> --out <html>
+///                 [--health <jsonl>] [--title T]
 ///   evaluate      --data <csv> --freq <minutes> --input <H> --horizon <M>
 ///                 --student <bin> [--llm-dim D]
 ///   forecast      --data <csv> --freq <minutes> --input <H> --horizon <M>
@@ -30,7 +35,10 @@ namespace timekd::cli {
 /// `train` fits TimeKD on the chronological 70/10/20 split of the CSV and
 /// reports test metrics; `evaluate` scores a saved student on the test
 /// split; `forecast` predicts the M steps following the last H rows and
-/// writes them as CSV.
+/// writes them as CSV; `report` renders the self-contained HTML run report
+/// from existing JSONL logs (training records via --in, optionally merging
+/// the health event stream via --health). See docs/observability.md for
+/// the train-time health/telemetry flags.
 int RunCli(const std::vector<std::string>& args, std::ostream& out);
 
 }  // namespace timekd::cli

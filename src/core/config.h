@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "llm/language_model.h"
+#include "obs/health.h"
 #include "obs/observer.h"
 #include "text/prompt.h"
 
@@ -83,6 +84,15 @@ struct TrainConfig {
   /// grad norm, wall time — and one EpochRecord per epoch. See
   /// obs::JsonlObserver for the bundled file sink.
   obs::TrainObserver* observer = nullptr;
+  /// Numerical-health watchdog thresholds. Every Fit loop wraps `observer`
+  /// in an obs::HealthMonitor built from this config; disable via
+  /// health.enabled = false.
+  obs::HealthConfig health;
+  /// Per-layer telemetry cadence: every `telemetry_every`-th optimizer step
+  /// additionally carries param-group weight/grad norms, update ratios and
+  /// per-head attention entropy in its StepRecord. 0 turns the probes off
+  /// (they snapshot every parameter, so keep the cadence coarse).
+  int64_t telemetry_every = 0;
 };
 
 }  // namespace timekd::core

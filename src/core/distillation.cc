@@ -1,6 +1,10 @@
 #include "core/distillation.h"
 
+#include <limits>
+#include <vector>
+
 #include "common/logging.h"
+#include "obs/health.h"
 #include "tensor/ops.h"
 
 namespace timekd::core {
@@ -40,6 +44,41 @@ PkdLossTerms ComputePkdLoss(const TimeKdConfig& config,
     terms.total = Add(terms.total, Scale(terms.feature, config.lambda_fd));
   }
   return terms;
+}
+
+namespace {
+
+std::vector<double> ToDoubleVector(const Tensor& t) {
+  const float* p = t.data();
+  return std::vector<double>(p, p + t.numel());
+}
+
+}  // namespace
+
+double DistillationCka(const Tensor& teacher_features,
+                       const Tensor& student_features) {
+  if (!teacher_features.defined() || !student_features.defined() ||
+      teacher_features.dim() < 2 ||
+      teacher_features.size(0) != student_features.size(0)) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return obs::LinearCka(ToDoubleVector(teacher_features),
+                        ToDoubleVector(student_features),
+                        teacher_features.size(0));
+}
+
+double DistillationAttentionDivergence(const Tensor& teacher_attention,
+                                       const Tensor& student_attention) {
+  if (!teacher_attention.defined() || !student_attention.defined() ||
+      teacher_attention.dim() != 3 ||
+      teacher_attention.shape() != student_attention.shape()) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  const int64_t rows =
+      teacher_attention.size(0) * teacher_attention.size(1);
+  return obs::MeanAttentionDivergence(ToDoubleVector(teacher_attention),
+                                      ToDoubleVector(student_attention),
+                                      rows, teacher_attention.size(2));
 }
 
 }  // namespace timekd::core

@@ -35,6 +35,21 @@ PkdLossTerms ComputePkdLoss(const TimeKdConfig& config,
                             const Tensor& teacher_embeddings,
                             const Tensor& student_embeddings);
 
+/// Drift diagnostics (no gradients; reported as `distill/cka` and
+/// `distill/attn_div` per epoch).
+///
+/// Linear CKA between teacher and student feature batches ([B, ...], one
+/// sample per row). As the feature-distillation loss (Eq. 25) converges,
+/// this climbs toward 1. NaN when B < 2 or a side is degenerate.
+double DistillationCka(const Tensor& teacher_features,
+                       const Tensor& student_features);
+
+/// Mean row-wise KL(teacher || student) between [B, N, N] row-stochastic
+/// attention stacks; falls toward 0 as correlation distillation (Eq. 24)
+/// converges. NaN on a shape mismatch.
+double DistillationAttentionDivergence(const Tensor& teacher_attention,
+                                       const Tensor& student_attention);
+
 }  // namespace timekd::core
 
 #endif  // TIMEKD_CORE_DISTILLATION_H_

@@ -33,6 +33,7 @@ class StudentModel : public nn::Module {
   Tensor Predict(const Tensor& x) const { return Forward(x).forecast; }
 
   const nn::TransformerEncoder& tst_encoder() const { return tst_encoder_; }
+  nn::TransformerEncoder& mutable_tst_encoder() { return tst_encoder_; }
 
  private:
   TimeKdConfig config_;

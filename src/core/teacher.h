@@ -33,6 +33,7 @@ class TimeKdTeacher : public nn::Module {
   Output Forward(const Tensor& l_gt, const Tensor& l_hd) const;
 
   const nn::TransformerEncoder& pt_encoder() const { return pt_encoder_; }
+  nn::TransformerEncoder& mutable_pt_encoder() { return pt_encoder_; }
 
  private:
   TimeKdConfig config_;

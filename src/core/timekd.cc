@@ -1,11 +1,14 @@
 #include "core/timekd.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
+#include <numeric>
 #include <unordered_map>
 
 #include "common/logging.h"
 #include "nn/optimizer.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "tensor/ops.h"
@@ -94,7 +97,21 @@ FitStats TimeKd::Fit(const data::WindowDataset& train,
                      const TrainConfig& train_config) {
   TIMEKD_TRACE_SCOPE("fit/timekd");
   FitStats stats;
-  obs::TrainObserver* observer = train_config.observer;
+  // The watchdog wraps the caller's observer: records flow through it to
+  // the user sink, anomalies feed health/* metrics, the JSONL event stream
+  // and (fail-fast) the early-stop polling below.
+  obs::HealthMonitor health(train_config.health, train_config.observer);
+  obs::TrainObserver* observer = &health;
+  const bool observing =
+      train_config.observer != nullptr || train_config.health.enabled;
+  const int64_t telemetry_every = train_config.telemetry_every;
+  auto finish_health = [&health, &stats]() {
+    health.Finalize();
+    health.WriteHtmlReportIfConfigured();
+    stats.health_anomalies = health.anomaly_count();
+    stats.health_verdict = health.verdict();
+    if (health.stop_requested()) stats.stopped_early = true;
+  };
 
   const obs::WallTimer cache_timer;
   WarmCache(train);
@@ -116,6 +133,7 @@ FitStats TimeKd::Fit(const data::WindowDataset& train,
     opt_config.lr = train_config.lr;
     opt_config.weight_decay = train_config.weight_decay;
     nn::AdamW optimizer(teacher_params, opt_config);
+    nn::ParamGroupSampler sampler(*teacher_);
     teacher_->SetTraining(true);
     for (int64_t epoch = 0; epoch < teacher_epochs; ++epoch) {
       TIMEKD_TRACE_SCOPE("fit/teacher_epoch");
@@ -126,6 +144,10 @@ FitStats TimeKd::Fit(const data::WindowDataset& train,
       for (const auto& indices : train.EpochBatches(
                train_config.batch_size, train_config.shuffle, &shuffle_rng)) {
         const obs::WallTimer step_timer;
+        const bool sample_telemetry =
+            telemetry_every > 0 && stats.steps % telemetry_every == 0;
+        teacher_->mutable_pt_encoder().SetRecordAttentionEntropy(
+            sample_telemetry);
         data::ForecastBatch batch = train.GetBatch(indices);
         Tensor l_gt = StackEmbeddings(cache_, indices, /*gt=*/true);
         Tensor l_hd = StackEmbeddings(cache_, indices, /*gt=*/false);
@@ -138,12 +160,13 @@ FitStats TimeKd::Fit(const data::WindowDataset& train,
         }
         const double grad_norm =
             nn::ClipGradNorm(teacher_params, train_config.clip_norm);
+        if (sample_telemetry) sampler.SnapshotBefore();
         optimizer.Step();
         es.recon_loss += recon_loss.item();
         es.total_loss += recon_loss.item();
         ++batches;
         ++stats.steps;
-        if (observer != nullptr) {
+        if (observing) {
           obs::StepRecord record;
           record.phase = "teacher";
           record.epoch = epoch;
@@ -152,9 +175,16 @@ FitStats TimeKd::Fit(const data::WindowDataset& train,
           record.total_loss = recon_loss.item();
           record.recon_loss = recon_loss.item();
           record.grad_norm = grad_norm;
+          record.lr = optimizer.lr();
           record.seconds = step_timer.ElapsedSeconds();
+          if (sample_telemetry) {
+            record.param_groups = sampler.Collect();
+            record.attn_entropy =
+                teacher_->pt_encoder().last_layer_head_entropies();
+          }
           observer->OnStep(record);
         }
+        if (health.stop_requested()) break;
       }
       if (batches > 0) {
         es.recon_loss /= batches;
@@ -166,7 +196,7 @@ FitStats TimeKd::Fit(const data::WindowDataset& train,
                          << " recon=" << es.recon_loss << " (" << es.seconds
                          << "s)";
       }
-      if (observer != nullptr) {
+      if (observing) {
         obs::EpochRecord record;
         record.phase = "teacher";
         record.epoch = epoch;
@@ -174,12 +204,22 @@ FitStats TimeKd::Fit(const data::WindowDataset& train,
         record.total_loss = es.total_loss;
         record.recon_loss = es.recon_loss;
         record.val_mse = es.val_mse;
+        record.lr = optimizer.lr();
         record.seconds = es.seconds;
         observer->OnEpoch(record);
       }
       stats.epochs.push_back(es);
+      if (health.stop_requested()) break;
     }
+    teacher_->mutable_pt_encoder().SetRecordAttentionEntropy(false);
     teacher_->SetTraining(false);
+  }
+
+  if (health.stop_requested()) {
+    // Fail-fast (kStop) during the teacher phase: skip distillation, hand
+    // back partial stats with the JSONL/HTML artifacts already complete.
+    finish_health();
+    return stats;
   }
 
   // ---- Feature-space alignment by weight inheritance ----------------------
@@ -242,6 +282,7 @@ FitStats TimeKd::Fit(const data::WindowDataset& train,
     opt_config.lr = train_config.lr;
     opt_config.weight_decay = train_config.weight_decay;
     nn::AdamW optimizer(student_params, opt_config);
+    nn::ParamGroupSampler sampler(*student_);
 
     stats.best_val_mse = std::numeric_limits<double>::infinity();
     std::vector<float> best_snapshot;
@@ -255,6 +296,10 @@ FitStats TimeKd::Fit(const data::WindowDataset& train,
       for (const auto& indices : train.EpochBatches(
                train_config.batch_size, train_config.shuffle, &shuffle_rng)) {
         const obs::WallTimer step_timer;
+        const bool sample_telemetry =
+            telemetry_every > 0 && stats.steps % telemetry_every == 0;
+        student_->mutable_tst_encoder().SetRecordAttentionEntropy(
+            sample_telemetry);
         data::ForecastBatch batch = train.GetBatch(indices);
         StudentModel::Output out = student_->Forward(batch.x);
         Tensor fcst_loss = tensor::SmoothL1Loss(out.forecast, batch.y);
@@ -273,6 +318,7 @@ FitStats TimeKd::Fit(const data::WindowDataset& train,
         }
         const double grad_norm =
             nn::ClipGradNorm(student_params, train_config.clip_norm);
+        if (sample_telemetry) sampler.SnapshotBefore();
         optimizer.Step();
 
         es.total_loss += total.item();
@@ -281,7 +327,7 @@ FitStats TimeKd::Fit(const data::WindowDataset& train,
         if (pkd.feature.defined()) es.fd_loss += pkd.feature.item();
         ++batches;
         ++stats.steps;
-        if (observer != nullptr) {
+        if (observing) {
           obs::StepRecord record;
           record.phase = "student";
           record.epoch = epoch;
@@ -294,15 +340,48 @@ FitStats TimeKd::Fit(const data::WindowDataset& train,
           }
           if (pkd.feature.defined()) record.fd_loss = pkd.feature.item();
           record.grad_norm = grad_norm;
+          record.lr = optimizer.lr();
           record.seconds = step_timer.ElapsedSeconds();
+          if (sample_telemetry) {
+            record.param_groups = sampler.Collect();
+            record.attn_entropy =
+                student_->tst_encoder().last_layer_head_entropies();
+          }
           observer->OnStep(record);
         }
+        if (health.stop_requested()) break;
       }
       if (batches > 0) {
         es.total_loss /= batches;
         es.fcst_loss /= batches;
         es.cd_loss /= batches;
         es.fd_loss /= batches;
+      }
+
+      // Distillation-drift probe: student features/attention vs. the frozen
+      // teacher targets on a fixed prefix of the training set. CKA should
+      // climb toward 1 and the attention KL fall toward 0 as Eqs. 24-25
+      // converge; the curves land in the epoch records and the run report.
+      {
+        TIMEKD_TRACE_SCOPE("fit/distill_probe");
+        const int64_t probe_n = std::min<int64_t>(64, train.NumSamples());
+        if (probe_n >= 2) {
+          tensor::NoGradGuard no_grad;
+          student_->SetTraining(false);
+          student_->mutable_tst_encoder().SetRecordAttentionEntropy(false);
+          std::vector<int64_t> probe(static_cast<size_t>(probe_n));
+          std::iota(probe.begin(), probe.end(), 0);
+          data::ForecastBatch pb = train.GetBatch(probe);
+          StudentModel::Output pout = student_->Forward(pb.x);
+          es.distill_cka = DistillationCka(targets.StackedEmbeddings(probe),
+                                           pout.embeddings);
+          es.distill_attn_div = DistillationAttentionDivergence(
+              targets.StackedAttention(probe), pout.attention);
+          obs::GlobalMetrics().GetGauge("distill/cka")->Set(es.distill_cka);
+          obs::GlobalMetrics()
+              .GetGauge("distill/attn_div")
+              ->Set(es.distill_attn_div);
+        }
       }
 
       if (val != nullptr && val->NumSamples() > 0) {
@@ -322,7 +401,7 @@ FitStats TimeKd::Fit(const data::WindowDataset& train,
                          << " fd=" << es.fd_loss << " val_mse=" << es.val_mse
                          << " (" << es.seconds << "s)";
       }
-      if (observer != nullptr) {
+      if (observing) {
         obs::EpochRecord record;
         record.phase = "student";
         record.epoch = epoch;
@@ -332,16 +411,22 @@ FitStats TimeKd::Fit(const data::WindowDataset& train,
         record.fd_loss = es.fd_loss;
         record.fcst_loss = es.fcst_loss;
         record.val_mse = es.val_mse;
+        record.lr = optimizer.lr();
+        record.distill_cka = es.distill_cka;
+        record.distill_attn_div = es.distill_attn_div;
         record.seconds = es.seconds;
         observer->OnEpoch(record);
       }
       stats.epochs.push_back(es);
+      if (health.stop_requested()) break;
     }
+    student_->mutable_tst_encoder().SetRecordAttentionEntropy(false);
     if (!best_snapshot.empty()) RestoreTrainable(best_snapshot);
   }
 
   teacher_->SetTraining(false);
   student_->SetTraining(false);
+  finish_health();
   return stats;
 }
 

@@ -1,6 +1,7 @@
 #ifndef TIMEKD_CORE_TIMEKD_H_
 #define TIMEKD_CORE_TIMEKD_H_
 
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -23,6 +24,11 @@ struct EpochStats {
   double fd_loss = 0.0;
   double fcst_loss = 0.0;
   double val_mse = 0.0;  // NaN when no validation set
+  /// Distillation-drift diagnostics (student phase only, NaN otherwise):
+  /// teacher<->student linear CKA on the distilled encoder features and
+  /// mean attention-map KL — the quantities Eqs. 24-25 optimize.
+  double distill_cka = std::numeric_limits<double>::quiet_NaN();
+  double distill_attn_div = std::numeric_limits<double>::quiet_NaN();
   double seconds = 0.0;
 };
 
@@ -33,6 +39,11 @@ struct FitStats {
   double best_val_mse = 0.0;
   int64_t best_epoch = -1;
   int64_t steps = 0;
+  /// Health-watchdog outcome: anomaly count, overall verdict, and whether
+  /// fail-fast (kStop) ended the run before the configured epochs.
+  int64_t health_anomalies = 0;
+  obs::HealthVerdict health_verdict = obs::HealthVerdict::kHealthy;
+  bool stopped_early = false;
 };
 
 /// The TimeKD framework facade: frozen CLM + trainable cross-modality

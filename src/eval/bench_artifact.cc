@@ -120,6 +120,17 @@ Status WriteBenchArtifact(const std::string& experiment,
                  : int64_t{0});
   memory.Set("rss_peak_bytes", static_cast<int64_t>(obs::ReadRssPeakBytes()));
 
+  // Training-health summary (obs/health.h): anomaly count and worst verdict
+  // seen by any watchdog in this process. Report-only in perf_diff — a noisy
+  // run should be visible next to its timings, not gate them.
+  obs::JsonObject health;
+  const auto verdict = snap.gauges.find("health/verdict");
+  health.Set("anomalies",
+             static_cast<int64_t>(CounterOr0(snap, "health/anomalies")));
+  health.Set("verdict", verdict != snap.gauges.end()
+                            ? static_cast<int64_t>(verdict->second)
+                            : int64_t{0});
+
   obs::JsonObject doc;
   doc.Set("schema_version", 1)
       .Set("experiment", experiment)
@@ -129,6 +140,7 @@ Status WriteBenchArtifact(const std::string& experiment,
       .SetRaw("throughput", throughput.ToString())
       .SetRaw("kernels", kernels.ToString())
       .SetRaw("memory", memory.ToString())
+      .SetRaw("health", health.ToString())
       .SetRaw("metrics", obs::GlobalMetrics().ToJson());
 
   const std::string dir = GetEnvString("TIMEKD_BENCH_OUT_DIR", ".");

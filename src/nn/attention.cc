@@ -136,6 +136,28 @@ Tensor MultiHeadAttention::Forward(const Tensor& q, const Tensor& k,
   // Head-averaged map retained for correlation distillation / Figure 8.
   last_attention_ = MeanDim(attn, 1, /*keepdim=*/false);
 
+  if (record_entropy_) {
+    // Mean row entropy per head of the post-softmax (pre-dropout) map.
+    TIMEKD_TRACE_SCOPE("nn/attention_entropy");
+    last_head_entropies_.assign(static_cast<size_t>(num_heads_), 0.0);
+    const float* p = attn.data();
+    for (int64_t b = 0; b < batch; ++b) {
+      for (int64_t h = 0; h < num_heads_; ++h) {
+        const float* rows = p + ((b * num_heads_ + h) * sq) * sk;
+        double entropy = 0.0;
+        for (int64_t i = 0; i < sq * sk; ++i) {
+          const double val = rows[i];
+          if (val > 0.0) entropy -= val * std::log(val);
+        }
+        last_head_entropies_[static_cast<size_t>(h)] += entropy;
+      }
+    }
+    const double rows_per_head = static_cast<double>(batch * sq);
+    for (double& e : last_head_entropies_) e /= rows_per_head;
+  } else if (!last_head_entropies_.empty()) {
+    last_head_entropies_.clear();
+  }
+
   attn = attn_dropout_.Forward(attn);
   Tensor ctx = MatMul(attn, vh);  // [B, h, Sq, dh]
   Tensor merged =
@@ -187,6 +209,15 @@ Tensor TransformerEncoder::Forward(const Tensor& x, const Tensor& mask) const {
 
 const Tensor& TransformerEncoder::last_layer_attention() const {
   return layers_.back()->attention().last_attention();
+}
+
+void TransformerEncoder::SetRecordAttentionEntropy(bool enabled) {
+  layers_.back()->mutable_attention().set_record_entropy(enabled);
+}
+
+const std::vector<double>& TransformerEncoder::last_layer_head_entropies()
+    const {
+  return layers_.back()->attention().last_head_entropies();
 }
 
 }  // namespace timekd::nn

@@ -2,6 +2,7 @@
 #define TIMEKD_NN_ATTENTION_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "common/rng.h"
 #include "nn/layers.h"
@@ -38,6 +39,21 @@ class MultiHeadAttention : public Module {
   /// Graph-attached so distillation losses on it backpropagate.
   const Tensor& last_attention() const { return last_attention_; }
 
+  /// Gates the per-head entropy probe: when enabled, every forward also
+  /// reduces the post-softmax (pre-dropout) map to one mean row entropy
+  /// per head. Off by default — the reduction walks all of [B, h, Sq, Sk],
+  /// which is real cost on CLM-length sequences.
+  void set_record_entropy(bool enabled) { record_entropy_ = enabled; }
+  bool record_entropy() const { return record_entropy_; }
+
+  /// Mean attention entropy (nats) per head from the most recent forward;
+  /// empty unless the probe is enabled. Uniform rows give ln(Sk), a
+  /// collapsed (one-hot) head gives 0 — the telemetry that makes attention
+  /// collapse visible in the run report.
+  const std::vector<double>& last_head_entropies() const {
+    return last_head_entropies_;
+  }
+
   int64_t d_model() const { return d_model_; }
   int64_t num_heads() const { return num_heads_; }
 
@@ -53,7 +69,9 @@ class MultiHeadAttention : public Module {
   Linear wv_;
   Linear wo_;
   Dropout attn_dropout_;
+  bool record_entropy_ = false;
   mutable Tensor last_attention_;
+  mutable std::vector<double> last_head_entropies_;
 };
 
 /// One Pre-LN Transformer encoder layer (Eq. 10–14 / 19–21):
@@ -67,6 +85,7 @@ class TransformerEncoderLayer : public Module {
   Tensor Forward(const Tensor& x, const Tensor& mask) const;
 
   const MultiHeadAttention& attention() const { return attn_; }
+  MultiHeadAttention& mutable_attention() { return attn_; }
 
   /// Freezes the attention and feed-forward weights but keeps the layer
   /// norms trainable — the "frozen pretrained transformer" fine-tuning
@@ -97,6 +116,13 @@ class TransformerEncoder : public Module {
 
   /// Attention map [B, S, S] of the last layer from the latest forward.
   const Tensor& last_layer_attention() const;
+
+  /// Enables the per-head entropy probe on the last layer — the layer whose
+  /// attention map is distilled (Eq. 24) and reported as telemetry.
+  void SetRecordAttentionEntropy(bool enabled);
+  /// Per-head mean entropies of the last layer's latest forward; empty
+  /// unless the probe is enabled.
+  const std::vector<double>& last_layer_head_entropies() const;
 
   int64_t num_layers() const { return static_cast<int64_t>(layers_.size()); }
 

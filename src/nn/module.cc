@@ -117,6 +117,68 @@ Status Module::LoadWeights(const std::string& path) {
   return Status::Ok();
 }
 
+ParamGroupSampler::ParamGroupSampler(const Module& module) {
+  std::map<std::string, size_t> index;
+  for (const auto& [name, t] : module.NamedParameters()) {
+    const std::string group = name.substr(0, name.find('.'));
+    auto [it, inserted] = index.emplace(group, groups_.size());
+    if (inserted) groups_.push_back(Group{group, {}});
+    groups_[it->second].params.push_back(t);
+  }
+}
+
+void ParamGroupSampler::SnapshotBefore() {
+  before_.clear();
+  for (const Group& group : groups_) {
+    for (const Tensor& t : group.params) {
+      before_.emplace_back(t.data(), t.data() + t.numel());
+    }
+  }
+  has_snapshot_ = true;
+}
+
+std::vector<obs::ParamGroupStat> ParamGroupSampler::Collect() {
+  std::vector<obs::ParamGroupStat> out;
+  out.reserve(groups_.size());
+  size_t flat = 0;
+  for (const Group& group : groups_) {
+    obs::ParamGroupStat stat;
+    stat.name = group.name;
+    double weight_sq = 0.0;
+    double grad_sq = 0.0;
+    double delta_sq = 0.0;
+    double before_sq = 0.0;
+    for (const Tensor& t : group.params) {
+      const float* w = t.data();
+      const int64_t n = t.numel();
+      const std::vector<float>* snap =
+          has_snapshot_ ? &before_[flat] : nullptr;
+      ++flat;
+      for (int64_t i = 0; i < n; ++i) {
+        const double wi = w[i];
+        weight_sq += wi * wi;
+        if (snap != nullptr) {
+          const double bi = (*snap)[static_cast<size_t>(i)];
+          const double d = wi - bi;
+          delta_sq += d * d;
+          before_sq += bi * bi;
+        }
+      }
+      for (float g : t.grad()) grad_sq += static_cast<double>(g) * g;
+    }
+    stat.weight_norm = std::sqrt(weight_sq);
+    stat.grad_norm = std::sqrt(grad_sq);
+    if (has_snapshot_) {
+      stat.update_ratio =
+          std::sqrt(delta_sq) / (std::sqrt(before_sq) + 1e-12);
+    }
+    out.push_back(std::move(stat));
+  }
+  has_snapshot_ = false;
+  before_.clear();
+  return out;
+}
+
 double ClipGradNorm(const std::vector<Tensor>& params, double max_norm) {
   double sq = 0.0;
   for (const Tensor& t : params) {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/observer.h"
 #include "tensor/tensor.h"
 
 namespace timekd::nn {
@@ -70,6 +71,39 @@ class Module {
 /// Rescales gradients in-place so their global L2 norm is at most
 /// `max_norm`. Returns the pre-clip norm.
 double ClipGradNorm(const std::vector<Tensor>& params, double max_norm);
+
+/// Per-parameter-group telemetry probe behind StepRecord::param_groups.
+/// Parameters are bucketed by the first component of their dotted name
+/// ("tst_encoder.layer0.attn.wq.weight" -> "tst_encoder"), matching how
+/// the models are assembled from modules. Usage on a sampled step:
+///
+///   sampler.SnapshotBefore();          // before optimizer.Step()
+///   optimizer.Step();
+///   record.param_groups = sampler.Collect();
+///
+/// Collect() without a snapshot still reports weight/grad norms but leaves
+/// update_ratio at 0. The probe copies every parameter on SnapshotBefore(),
+/// so it is meant for every-N-steps sampling, not every step.
+class ParamGroupSampler {
+ public:
+  /// Binds to the module's current parameter set; `module` must outlive
+  /// the sampler and must not gain or lose parameters afterwards.
+  explicit ParamGroupSampler(const Module& module);
+
+  void SnapshotBefore();
+  std::vector<obs::ParamGroupStat> Collect();
+
+ private:
+  struct Group {
+    std::string name;
+    std::vector<Tensor> params;
+  };
+
+  std::vector<Group> groups_;
+  /// Flattened pre-step copies, parallel to groups_/params order.
+  std::vector<std::vector<float>> before_;
+  bool has_snapshot_ = false;
+};
 
 }  // namespace timekd::nn
 

@@ -1,0 +1,400 @@
+#include "obs/health.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/env_config.h"
+#include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+
+namespace timekd::obs {
+
+namespace {
+
+/// Step-point cap before decimation kicks in; 4096 points is more than a
+/// browser needs for a polyline and keeps month-long runs bounded.
+constexpr size_t kMaxStepPoints = 4096;
+
+/// Median of a small scratch vector (modifies it).
+double MedianInPlace(std::vector<double>* v) {
+  const size_t mid = v->size() / 2;
+  std::nth_element(v->begin(), v->begin() + mid, v->end());
+  double m = (*v)[mid];
+  if (v->size() % 2 == 0) {
+    std::nth_element(v->begin(), v->begin() + mid - 1, v->begin() + mid);
+    m = 0.5 * (m + (*v)[mid - 1]);
+  }
+  return m;
+}
+
+}  // namespace
+
+const char* HealthEventTypeName(HealthEventType type) {
+  switch (type) {
+    case HealthEventType::kNonFinite:
+      return "non_finite";
+    case HealthEventType::kLossSpike:
+      return "loss_spike";
+    case HealthEventType::kGradExplosion:
+      return "grad_explosion";
+    case HealthEventType::kGradVanishing:
+      return "grad_vanishing";
+    case HealthEventType::kPlateau:
+      return "plateau";
+  }
+  return "unknown";
+}
+
+const char* HealthVerdictName(HealthVerdict verdict) {
+  switch (verdict) {
+    case HealthVerdict::kHealthy:
+      return "healthy";
+    case HealthVerdict::kWarning:
+      return "warning";
+    case HealthVerdict::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+HealthMonitor::HealthMonitor(const HealthConfig& config, TrainObserver* next)
+    : config_(config), next_(next) {
+  std::string events_path = config_.events_path;
+  if (events_path.empty()) {
+    events_path = GetEnvString("TIMEKD_HEALTH_OUT", "");
+  }
+  if (config_.enabled && !events_path.empty()) {
+    events_out_ = std::make_unique<JsonlWriter>(events_path);
+  }
+}
+
+HealthMonitor::~HealthMonitor() { Finalize(); }
+
+void HealthMonitor::OnStep(const StepRecord& record) {
+  if (next_ != nullptr) next_->OnStep(record);
+  if (!config_.enabled) return;
+  RecordStepPoint(record);
+  CheckStep(record);
+}
+
+void HealthMonitor::OnEpoch(const EpochRecord& record) {
+  if (next_ != nullptr) next_->OnEpoch(record);
+  if (!config_.enabled) return;
+  history_.epochs.push_back(record);
+  CheckEpoch(record);
+}
+
+void HealthMonitor::RecordStepPoint(const StepRecord& record) {
+  ++steps_seen_;
+  if ((steps_seen_ - 1) % history_.step_stride != 0) return;
+  RunHistory::StepPoint point;
+  point.step = record.step;
+  point.phase = record.phase;
+  point.total_loss = record.total_loss;
+  point.grad_norm = record.grad_norm;
+  point.lr = record.lr;
+  history_.steps.push_back(std::move(point));
+  if (history_.steps.size() > kMaxStepPoints) {
+    // Halve the resolution: keep even indices, double the stride.
+    std::vector<RunHistory::StepPoint> kept;
+    kept.reserve(history_.steps.size() / 2 + 1);
+    for (size_t i = 0; i < history_.steps.size(); i += 2) {
+      kept.push_back(std::move(history_.steps[i]));
+    }
+    history_.steps = std::move(kept);
+    history_.step_stride *= 2;
+  }
+}
+
+void HealthMonitor::CheckStep(const StepRecord& r) {
+  PhaseState& state = phases_[r.phase];
+
+  // --- Non-finite loss components / gradient norm (fatal) -----------------
+  const struct {
+    const char* name;
+    double value;
+  } fields[] = {{"total_loss", r.total_loss}, {"recon_loss", r.recon_loss},
+                {"cd_loss", r.cd_loss},       {"fd_loss", r.fd_loss},
+                {"fcst_loss", r.fcst_loss},   {"grad_norm", r.grad_norm}};
+  for (const auto& field : fields) {
+    if (!std::isfinite(field.value)) {
+      HealthEvent event;
+      event.type = HealthEventType::kNonFinite;
+      event.phase = r.phase;
+      event.epoch = r.epoch;
+      event.step = r.step;
+      event.value = field.value;
+      event.message = std::string(field.name) + " is non-finite";
+      RecordEvent(event, /*fatal=*/true);
+      return;  // one fatal event per step is enough signal
+    }
+  }
+
+  // --- Loss spike via rolling median/MAD (warning) -------------------------
+  if (config_.spike_window > 1 &&
+      state.recent_losses.size() >=
+          static_cast<size_t>(config_.spike_window)) {
+    std::vector<double> scratch(state.recent_losses.begin(),
+                                state.recent_losses.end());
+    const double median = MedianInPlace(&scratch);
+    for (double& x : scratch) x = std::fabs(x - median);
+    const double mad = MedianInPlace(&scratch);
+    const double sigma =
+        std::max({1.4826 * mad, 1e-3 * std::fabs(median), 1e-12});
+    const double threshold = median + config_.spike_mad_factor * sigma;
+    if (r.total_loss > threshold) {
+      HealthEvent event;
+      event.type = HealthEventType::kLossSpike;
+      event.phase = r.phase;
+      event.epoch = r.epoch;
+      event.step = r.step;
+      event.value = r.total_loss;
+      event.threshold = threshold;
+      event.message = "total_loss spiked above the rolling median+MAD band";
+      RecordEvent(event, /*fatal=*/false);
+    }
+  }
+  state.recent_losses.push_back(r.total_loss);
+  while (state.recent_losses.size() >
+         static_cast<size_t>(std::max<int64_t>(config_.spike_window, 1))) {
+    state.recent_losses.pop_front();
+  }
+
+  // --- Exploding gradient (fatal) ------------------------------------------
+  if (r.grad_norm > config_.grad_explode_threshold) {
+    HealthEvent event;
+    event.type = HealthEventType::kGradExplosion;
+    event.phase = r.phase;
+    event.epoch = r.epoch;
+    event.step = r.step;
+    event.value = r.grad_norm;
+    event.threshold = config_.grad_explode_threshold;
+    event.message = "pre-clip gradient norm exploded";
+    RecordEvent(event, /*fatal=*/true);
+    return;
+  }
+
+  // --- Vanishing gradient (warning, once per streak) -----------------------
+  if (r.grad_norm < config_.grad_vanish_threshold) {
+    ++state.vanish_streak;
+    if (state.vanish_streak >= config_.grad_vanish_patience &&
+        !state.vanish_reported) {
+      state.vanish_reported = true;
+      HealthEvent event;
+      event.type = HealthEventType::kGradVanishing;
+      event.phase = r.phase;
+      event.epoch = r.epoch;
+      event.step = r.step;
+      event.value = r.grad_norm;
+      event.threshold = config_.grad_vanish_threshold;
+      event.message = "gradient norm vanishing for " +
+                      std::to_string(state.vanish_streak) +
+                      " consecutive steps";
+      RecordEvent(event, /*fatal=*/false);
+    }
+  } else {
+    state.vanish_streak = 0;
+    state.vanish_reported = false;
+  }
+}
+
+void HealthMonitor::CheckEpoch(const EpochRecord& r) {
+  if (config_.plateau_window <= 0) return;
+  PhaseState& state = phases_[r.phase];
+  const double metric = std::isfinite(r.val_mse) ? r.val_mse : r.total_loss;
+  if (!std::isfinite(metric)) return;  // non-finite handled at step level
+  if (!state.has_best ||
+      metric <
+          state.best_metric *
+              (1.0 - config_.plateau_min_rel_improvement)) {
+    state.best_metric = metric;
+    state.has_best = true;
+    state.epochs_since_improvement = 0;
+    return;
+  }
+  ++state.epochs_since_improvement;
+  // Fire exactly when the window fills (and again each time another full
+  // window passes without improvement), not on every flat epoch.
+  if (state.epochs_since_improvement % config_.plateau_window == 0) {
+    HealthEvent event;
+    event.type = HealthEventType::kPlateau;
+    event.phase = r.phase;
+    event.epoch = r.epoch;
+    event.value = metric;
+    event.threshold = state.best_metric;
+    event.message =
+        (std::isfinite(r.val_mse) ? std::string("val_mse")
+                                  : std::string("total_loss")) +
+        " flat for " + std::to_string(state.epochs_since_improvement) +
+        " epochs";
+    RecordEvent(event, /*fatal=*/false);
+  }
+}
+
+void HealthMonitor::RecordEvent(const HealthEvent& event, bool fatal) {
+  history_.events.push_back(event);
+  if (fatal) {
+    ++fatal_count_;
+    verdict_ = HealthVerdict::kFailed;
+  } else if (verdict_ == HealthVerdict::kHealthy) {
+    verdict_ = HealthVerdict::kWarning;
+  }
+  history_.verdict = verdict_;
+  history_.anomalies = static_cast<int64_t>(history_.events.size());
+
+  GlobalMetrics().GetCounter("health/anomalies")->Increment();
+  GlobalMetrics().GetGauge("health/verdict")
+      ->Set(static_cast<double>(verdict_));
+
+  TIMEKD_LOG(Warning) << "health: " << HealthEventTypeName(event.type)
+                      << " [" << event.phase << " epoch " << event.epoch
+                      << " step " << event.step << "] " << event.message;
+
+  if (events_out_ != nullptr) {
+    JsonObject obj;
+    obj.Set("kind", "health_event")
+        .Set("type", HealthEventTypeName(event.type))
+        .Set("phase", event.phase)
+        .Set("epoch", event.epoch)
+        .Set("step", event.step)
+        // The escape hatch keeps a NaN loss distinguishable from an absent
+        // value in the event stream ("nan" string, not null).
+        .SetNumberOrString("value", event.value)
+        .Set("threshold", event.threshold)
+        .Set("message", event.message);
+    events_out_->WriteLine(obj);
+  }
+
+  if (fatal && config_.fail_fast != FailFastMode::kOff &&
+      fatal_count_ >= config_.fail_fast_after && !stop_requested_) {
+    stop_requested_ = true;
+    if (config_.fail_fast == FailFastMode::kAbort) {
+      Finalize();
+      WriteHtmlReportIfConfigured();
+      TIMEKD_LOG(Fatal) << "health watchdog fail-fast: "
+                        << HealthEventTypeName(event.type) << " at step "
+                        << event.step << " (" << event.message << ")";
+    }
+    TIMEKD_LOG(Warning) << "health watchdog fail-fast: stopping run after "
+                        << fatal_count_ << " fatal anomaly(ies)";
+  }
+}
+
+void HealthMonitor::Finalize() {
+  if (finalized_ || !config_.enabled) return;
+  finalized_ = true;
+  GlobalMetrics().GetGauge("health/verdict")
+      ->Set(static_cast<double>(verdict_));
+  if (events_out_ != nullptr) {
+    JsonObject obj;
+    obj.Set("kind", "health_summary")
+        .Set("anomalies", anomaly_count())
+        .Set("fatal", fatal_count_)
+        .Set("verdict", HealthVerdictName(verdict_))
+        .Set("stopped_early", stop_requested_);
+    events_out_->WriteLine(obj);
+    events_out_->Flush();
+  }
+}
+
+bool HealthMonitor::WriteHtmlReportIfConfigured() {
+  if (!config_.enabled) return false;
+  std::string path = config_.html_report_path;
+  if (path.empty()) path = GetEnvString("TIMEKD_REPORT_HTML", "");
+  if (path.empty()) return false;
+  history_.verdict = verdict_;
+  history_.anomalies = anomaly_count();
+  const Status status = WriteHtmlReport(history_, path);
+  if (!status.ok()) {
+    TIMEKD_LOG(Warning) << "health: cannot write HTML report: "
+                        << status.ToString();
+    return false;
+  }
+  return true;
+}
+
+double LinearCka(const std::vector<double>& a, const std::vector<double>& b,
+                 int64_t rows) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  if (rows < 2) return nan;
+  const size_t n = static_cast<size_t>(rows);
+  if (a.size() % n != 0 || b.size() % n != 0 || a.empty() || b.empty()) {
+    return nan;
+  }
+  const size_t da = a.size() / n;
+  const size_t db = b.size() / n;
+
+  // Linear-kernel Gram matrices K = AA^T, L = BB^T ([n, n]).
+  auto gram = [n](const std::vector<double>& x, size_t d) {
+    std::vector<double> g(n * n);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i; j < n; ++j) {
+        double dot = 0.0;
+        const double* xi = x.data() + i * d;
+        const double* xj = x.data() + j * d;
+        for (size_t k = 0; k < d; ++k) dot += xi[k] * xj[k];
+        g[i * n + j] = dot;
+        g[j * n + i] = dot;
+      }
+    }
+    return g;
+  };
+  // Double centering: Kc[i][j] = K[i][j] - mean_i - mean_j + mean_all.
+  auto center = [n](std::vector<double>* g) {
+    std::vector<double> row_mean(n, 0.0);
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) row_mean[i] += (*g)[i * n + j];
+      total += row_mean[i];
+      row_mean[i] /= static_cast<double>(n);
+    }
+    total /= static_cast<double>(n * n);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        (*g)[i * n + j] += total - row_mean[i] - row_mean[j];
+      }
+    }
+  };
+
+  std::vector<double> k = gram(a, da);
+  std::vector<double> l = gram(b, db);
+  center(&k);
+  center(&l);
+
+  double hsic_kl = 0.0;
+  double hsic_kk = 0.0;
+  double hsic_ll = 0.0;
+  for (size_t i = 0; i < n * n; ++i) {
+    hsic_kl += k[i] * l[i];
+    hsic_kk += k[i] * k[i];
+    hsic_ll += l[i] * l[i];
+  }
+  if (hsic_kk <= 0.0 || hsic_ll <= 0.0) return nan;
+  return hsic_kl / std::sqrt(hsic_kk * hsic_ll);
+}
+
+double MeanAttentionDivergence(const std::vector<double>& teacher,
+                               const std::vector<double>& student,
+                               int64_t rows, int64_t row_len) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  if (rows <= 0 || row_len <= 0) return nan;
+  const size_t total = static_cast<size_t>(rows * row_len);
+  if (teacher.size() != total || student.size() != total) return nan;
+  constexpr double kEps = 1e-8;
+  double sum_kl = 0.0;
+  for (int64_t r = 0; r < rows; ++r) {
+    const double* t = teacher.data() + r * row_len;
+    const double* s = student.data() + r * row_len;
+    double kl = 0.0;
+    for (int64_t j = 0; j < row_len; ++j) {
+      const double p = t[j] + kEps;
+      const double q = s[j] + kEps;
+      kl += p * std::log(p / q);
+    }
+    sum_kl += kl;
+  }
+  return sum_kl / static_cast<double>(rows);
+}
+
+}  // namespace timekd::obs

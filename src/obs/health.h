@@ -1,0 +1,190 @@
+#ifndef TIMEKD_OBS_HEALTH_H_
+#define TIMEKD_OBS_HEALTH_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/observer.h"
+
+namespace timekd::obs {
+
+/// What the watchdog does once a fatal anomaly (non-finite loss/grad or
+/// gradient explosion) has been confirmed.
+enum class FailFastMode {
+  kOff,    // record the anomaly, keep training
+  kStop,   // request a graceful early stop (Fit returns with partial stats)
+  kAbort,  // write the event + summary, then TIMEKD_LOG(Fatal)
+};
+
+/// Thresholds of the numerical-health watchdog. Lives on TrainConfig so
+/// every trainer is configured the same way; the defaults are deliberately
+/// loose — they catch genuinely broken runs, not noisy ones.
+struct HealthConfig {
+  /// Master switch; a disabled monitor forwards records untouched.
+  bool enabled = true;
+
+  /// Loss-spike rule: a step's total_loss is a spike when it exceeds
+  ///   median + spike_mad_factor * sigma
+  /// over the last spike_window finite losses of the same phase, where
+  /// sigma = max(1.4826 * MAD, 1e-3 * |median|, 1e-12). The robust
+  /// median/MAD pair keeps one outlier from inflating its own threshold.
+  int64_t spike_window = 32;
+  double spike_mad_factor = 10.0;
+
+  /// Gradient rules on the pre-clip global norm: explosion above, vanishing
+  /// below (for grad_vanish_patience consecutive steps).
+  double grad_explode_threshold = 1e3;
+  double grad_vanish_threshold = 1e-7;
+  int64_t grad_vanish_patience = 8;
+
+  /// Plateau rule (per phase, on epochs): no relative improvement of at
+  /// least plateau_min_rel_improvement in the tracked metric (val_mse when
+  /// finite, else mean total_loss) for plateau_window consecutive epochs.
+  int64_t plateau_window = 5;
+  double plateau_min_rel_improvement = 1e-3;
+
+  /// Fail-fast: triggered after fail_fast_after fatal anomalies.
+  FailFastMode fail_fast = FailFastMode::kOff;
+  int64_t fail_fast_after = 1;
+
+  /// JSONL event stream destination; empty falls back to $TIMEKD_HEALTH_OUT
+  /// (no stream when both are empty).
+  std::string events_path;
+  /// HTML run-report destination written at end of Fit; empty falls back
+  /// to $TIMEKD_REPORT_HTML (no report when both are empty).
+  std::string html_report_path;
+};
+
+enum class HealthEventType {
+  kNonFinite,      // NaN/Inf loss component or grad norm (fatal)
+  kLossSpike,      // robust median/MAD outlier (warning)
+  kGradExplosion,  // pre-clip grad norm above threshold (fatal)
+  kGradVanishing,  // grad norm below threshold for `patience` steps (warning)
+  kPlateau,        // tracked metric flat for plateau_window epochs (warning)
+};
+
+const char* HealthEventTypeName(HealthEventType type);
+
+/// Overall run verdict; the worst event class seen so far. Exported as the
+/// `health/verdict` gauge (0/1/2) so dashboards can alert on it.
+enum class HealthVerdict { kHealthy = 0, kWarning = 1, kFailed = 2 };
+
+const char* HealthVerdictName(HealthVerdict verdict);
+
+struct HealthEvent {
+  HealthEventType type = HealthEventType::kNonFinite;
+  std::string phase;
+  int64_t epoch = 0;
+  int64_t step = 0;
+  double value = 0.0;      // the offending measurement
+  double threshold = 0.0;  // the limit it crossed
+  std::string message;
+};
+
+/// Everything the HTML run report needs, accumulated live by the monitor
+/// or reconstructed from JSONL logs (obs/report.h). Step points are
+/// decimated once they exceed a cap so month-long runs stay bounded.
+struct RunHistory {
+  struct StepPoint {
+    int64_t step = 0;
+    std::string phase;
+    double total_loss = 0.0;
+    double grad_norm = 0.0;
+    double lr = 0.0;
+  };
+  std::vector<StepPoint> steps;
+  int64_t step_stride = 1;  // decimation factor applied to `steps`
+  std::vector<EpochRecord> epochs;
+  std::vector<HealthEvent> events;
+  HealthVerdict verdict = HealthVerdict::kHealthy;
+  int64_t anomalies = 0;
+  std::string title;
+};
+
+/// Numerical-health watchdog. A TrainObserver that every Fit loop wraps
+/// around the user's observer (the `health-observer` lint rule enforces
+/// the wiring): records are forwarded to `next` untouched, then checked
+/// for NaN/Inf, loss spikes, exploding/vanishing gradients and plateaus.
+/// Anomalies are counted in `health/anomalies`, streamed as JSONL to
+/// $TIMEKD_HEALTH_OUT, and — in fail-fast mode — stop or abort the run.
+class HealthMonitor : public TrainObserver {
+ public:
+  /// `next` may be null; it must outlive the monitor.
+  explicit HealthMonitor(const HealthConfig& config,
+                         TrainObserver* next = nullptr);
+  ~HealthMonitor() override;
+
+  void OnStep(const StepRecord& record) override;
+  void OnEpoch(const EpochRecord& record) override;
+
+  /// True once fail-fast (kStop) has fired; training loops poll this after
+  /// every step/epoch and return early.
+  bool stop_requested() const { return stop_requested_; }
+
+  HealthVerdict verdict() const { return verdict_; }
+  int64_t anomaly_count() const {
+    return static_cast<int64_t>(history_.events.size());
+  }
+  const std::vector<HealthEvent>& events() const { return history_.events; }
+  const RunHistory& history() const { return history_; }
+
+  /// Writes the closing "health_summary" JSONL record (idempotent). Called
+  /// automatically from the destructor and before a fail-fast abort.
+  void Finalize();
+
+  /// Renders the HTML run report to the configured path (config field or
+  /// $TIMEKD_REPORT_HTML). Returns true when a file was written. Fit calls
+  /// this on exit; the fail-fast abort path calls it before dying so the
+  /// report survives the kill.
+  bool WriteHtmlReportIfConfigured();
+
+ private:
+  struct PhaseState {
+    std::deque<double> recent_losses;  // finite total_losses, spike window
+    int64_t vanish_streak = 0;
+    bool vanish_reported = false;
+    double best_metric = 0.0;
+    bool has_best = false;
+    int64_t epochs_since_improvement = 0;
+  };
+
+  void CheckStep(const StepRecord& record);
+  void CheckEpoch(const EpochRecord& record);
+  void RecordEvent(const HealthEvent& event, bool fatal);
+  void RecordStepPoint(const StepRecord& record);
+
+  HealthConfig config_;
+  TrainObserver* next_;
+  std::unique_ptr<JsonlWriter> events_out_;
+  std::map<std::string, PhaseState> phases_;
+  RunHistory history_;
+  HealthVerdict verdict_ = HealthVerdict::kHealthy;
+  int64_t steps_seen_ = 0;
+  int64_t fatal_count_ = 0;
+  bool stop_requested_ = false;
+  bool finalized_ = false;
+};
+
+/// Linear CKA (Kornblith et al., centered Gram form) between two feature
+/// batches holding one row-major [B, ...] sample per row; both tensors are
+/// compared as [B, numel/B] matrices. Returns NaN when B < 2 or either
+/// side is degenerate (zero variance). 1.0 = identical representation
+/// geometry — the quantity PKD's feature loss (Eq. 25) pushes up.
+double LinearCka(const std::vector<double>& a, const std::vector<double>& b,
+                 int64_t rows);
+
+/// Mean row-wise KL(teacher || student) between two stacks of row-
+/// stochastic attention maps (flattened [B, N, N], epsilon-smoothed).
+/// 0 = identical maps — the quantity correlation distillation (Eq. 24)
+/// pushes down.
+double MeanAttentionDivergence(const std::vector<double>& teacher,
+                               const std::vector<double>& student,
+                               int64_t rows, int64_t row_len);
+
+}  // namespace timekd::obs
+
+#endif  // TIMEKD_OBS_HEALTH_H_

@@ -1,7 +1,10 @@
 #include "obs/json.h"
 
+#include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <limits>
 
 namespace timekd::obs {
 
@@ -47,6 +50,12 @@ std::string JsonNumber(double v) {
   return buf;
 }
 
+std::string JsonNumberOrString(double v) {
+  if (std::isfinite(v)) return JsonNumber(v);
+  if (std::isnan(v)) return "\"nan\"";
+  return v > 0 ? "\"inf\"" : "\"-inf\"";
+}
+
 JsonObject& JsonObject::Set(const std::string& key, const std::string& value) {
   // Built with append rather than `"\"" + escaped + "\""`: the operator+
   // form trips GCC 12's -Wrestrict false positive (PR105651) at -O3.
@@ -87,6 +96,12 @@ JsonObject& JsonObject::Set(const std::string& key, bool value) {
   return *this;
 }
 
+JsonObject& JsonObject::SetNumberOrString(const std::string& key,
+                                          double value) {
+  fields_.emplace_back(key, JsonNumberOrString(value));
+  return *this;
+}
+
 JsonObject& JsonObject::SetRaw(const std::string& key, const std::string& raw) {
   fields_.emplace_back(key, raw);
   return *this;
@@ -113,6 +128,267 @@ std::string JsonArray(const std::vector<std::string>& elements) {
   }
   out += "]";
   return out;
+}
+
+/// Recursive-descent parser over the six RFC 8259 value kinds. Depth is
+/// bounded so a malicious/corrupt log cannot blow the stack.
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  StatusOr<JsonValue> Parse() {
+    JsonValue v;
+    if (Status s = ParseValue(&v, 0); !s.ok()) return s;
+    SkipWs();
+    if (pos_ != s_.size()) return Error("trailing characters");
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("json parse error at byte " +
+                                   std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char Peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    SkipWs();
+    switch (Peek()) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"':
+        out->type_ = JsonValue::Type::kString;
+        return ParseString(&out->string_);
+      case 't':
+      case 'f':
+        out->type_ = JsonValue::Type::kBool;
+        out->bool_ = Peek() == 't';
+        return Literal(out->bool_ ? "true" : "false");
+      case 'n':
+        out->type_ = JsonValue::Type::kNull;
+        return Literal("null");
+      default:
+        out->type_ = JsonValue::Type::kNumber;
+        return ParseNumber(&out->number_);
+    }
+  }
+
+  Status Literal(const char* word) {
+    const size_t len = std::strlen(word);
+    if (s_.compare(pos_, len, word) != 0) {
+      return Error(std::string("expected '") + word + "'");
+    }
+    pos_ += len;
+    return Status::Ok();
+  }
+
+  Status ParseNumber(double* out) {
+    const size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected a value");
+    char* end = nullptr;
+    const std::string token = s_.substr(start, pos_ - start);
+    *out = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return Error("bad number token");
+    return Status::Ok();
+  }
+
+  Status ParseString(std::string* out) {
+    if (Peek() != '"') return Error("expected '\"'");
+    ++pos_;
+    out->clear();
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return Status::Ok();
+      }
+      if (c == '\\') {
+        if (pos_ + 1 >= s_.size()) return Error("dangling escape");
+        const char e = s_[pos_ + 1];
+        pos_ += 2;
+        switch (e) {
+          case '"': *out += '"'; break;
+          case '\\': *out += '\\'; break;
+          case '/': *out += '/'; break;
+          case 'b': *out += '\b'; break;
+          case 'f': *out += '\f'; break;
+          case 'n': *out += '\n'; break;
+          case 'r': *out += '\r'; break;
+          case 't': *out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) return Error("short \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = s_[pos_ + static_cast<size_t>(i)];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return Error("bad \\u escape");
+              }
+            }
+            pos_ += 4;
+            // The writer only escapes control characters (< 0x20), so a
+            // plain one-byte append covers everything we emit; higher code
+            // points get UTF-8 encoded for completeness.
+            if (code < 0x80) {
+              *out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              *out += static_cast<char>(0xC0 | (code >> 6));
+              *out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              *out += static_cast<char>(0xE0 | (code >> 12));
+              *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              *out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            return Error("unknown escape");
+        }
+        continue;
+      }
+      *out += c;
+      ++pos_;
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseObject(JsonValue* out, int depth) {
+    out->type_ = JsonValue::Type::kObject;
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek() == '}') {
+      ++pos_;
+      return Status::Ok();
+    }
+    while (true) {
+      SkipWs();
+      std::string key;
+      if (Status s = ParseString(&key); !s.ok()) return s;
+      SkipWs();
+      if (Peek() != ':') return Error("expected ':'");
+      ++pos_;
+      JsonValue value;
+      if (Status s = ParseValue(&value, depth + 1); !s.ok()) return s;
+      out->object_[key] = std::move(value);
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        return Status::Ok();
+      }
+      return Error("expected ',' or '}'");
+    }
+  }
+
+  Status ParseArray(JsonValue* out, int depth) {
+    out->type_ = JsonValue::Type::kArray;
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek() == ']') {
+      ++pos_;
+      return Status::Ok();
+    }
+    while (true) {
+      JsonValue value;
+      if (Status s = ParseValue(&value, depth + 1); !s.ok()) return s;
+      out->array_.push_back(std::move(value));
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        return Status::Ok();
+      }
+      return Error("expected ',' or ']'");
+    }
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+StatusOr<JsonValue> JsonValue::Parse(const std::string& text) {
+  return JsonParser(text).Parse();
+}
+
+bool JsonValue::AsBool() const { return type_ == Type::kBool && bool_; }
+
+double JsonValue::AsDouble() const {
+  switch (type_) {
+    case Type::kNumber:
+      return number_;
+    case Type::kNull:
+      return std::numeric_limits<double>::quiet_NaN();
+    case Type::kString:
+      // JsonNumberOrString round-trip.
+      if (string_ == "nan") return std::numeric_limits<double>::quiet_NaN();
+      if (string_ == "inf") return std::numeric_limits<double>::infinity();
+      if (string_ == "-inf") return -std::numeric_limits<double>::infinity();
+      return std::numeric_limits<double>::quiet_NaN();
+    default:
+      return std::numeric_limits<double>::quiet_NaN();
+  }
+}
+
+const std::string& JsonValue::AsString() const {
+  static const std::string* empty =
+      new std::string();  // timekd-lint: allow(new-delete)
+  return type_ == Type::kString ? string_ : *empty;
+}
+
+const std::vector<JsonValue>& JsonValue::AsArray() const {
+  static const std::vector<JsonValue>* empty =
+      new std::vector<JsonValue>();  // timekd-lint: allow(new-delete)
+  return type_ == Type::kArray ? array_ : *empty;
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (type_ != Type::kObject) return nullptr;
+  const auto it = object_.find(key);
+  return it != object_.end() ? &it->second : nullptr;
+}
+
+double JsonValue::GetDouble(const std::string& key, double fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr ? v->AsDouble() : fallback;
+}
+
+std::string JsonValue::GetString(const std::string& key,
+                                 const std::string& fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->type_ == Type::kString ? v->string_ : fallback;
 }
 
 }  // namespace timekd::obs

@@ -2,9 +2,12 @@
 #define TIMEKD_OBS_JSON_H_
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "common/status.h"
 
 namespace timekd::obs {
 
@@ -14,6 +17,10 @@ std::string JsonEscape(const std::string& s);
 /// Renders a double as a JSON number token. Non-finite values (which JSON
 /// cannot represent) are emitted as null so readers never see "nan"/"inf".
 std::string JsonNumber(double v);
+
+/// Escape hatch for schemas that must distinguish NaN from "absent": emits
+/// a number token when finite, else the string "nan" / "inf" / "-inf".
+std::string JsonNumberOrString(double v);
 
 /// Minimal insertion-ordered JSON object builder. All telemetry sinks
 /// (metrics dump, Chrome trace, JSONL observers and run reports) share it
@@ -27,6 +34,9 @@ class JsonObject {
   JsonObject& Set(const std::string& key, uint64_t value);
   JsonObject& Set(const std::string& key, int value);
   JsonObject& Set(const std::string& key, bool value);
+  /// Non-finite escape hatch (see JsonNumberOrString): "nan"/"inf"/"-inf"
+  /// strings instead of null where the schema wants the distinction.
+  JsonObject& SetNumberOrString(const std::string& key, double value);
   /// Inserts `raw` verbatim — the caller guarantees it is valid JSON
   /// (nested objects/arrays built elsewhere).
   JsonObject& SetRaw(const std::string& key, const std::string& raw);
@@ -40,6 +50,52 @@ class JsonObject {
 
 /// `[e0,e1,...]` from pre-rendered JSON values.
 std::string JsonArray(const std::vector<std::string>& elements);
+
+/// Parsed JSON document node. Every telemetry producer in this repo writes
+/// through JsonObject, so the matching reader only needs the standard six
+/// value kinds; `null` maps to NaN when read as a number, which round-trips
+/// the writer's non-finite -> null convention.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Parses one complete JSON document (trailing whitespace allowed,
+  /// trailing garbage is an error).
+  static StatusOr<JsonValue> Parse(const std::string& text);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+
+  /// Value accessors; calling the wrong one for the node's type returns a
+  /// neutral default (false / NaN / "" / empty container) rather than
+  /// crashing, so readers stay total over hand-edited logs.
+  bool AsBool() const;
+  /// kNumber -> the number; kNull -> NaN; "nan"/"inf"/"-inf" strings (the
+  /// JsonNumberOrString escape hatch) -> the non-finite double they encode.
+  double AsDouble() const;
+  const std::string& AsString() const;
+  const std::vector<JsonValue>& AsArray() const;
+
+  /// Object member lookup; returns nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+  /// Find() + AsDouble(), with `fallback` when the key is absent.
+  double GetDouble(const std::string& key, double fallback) const;
+  /// Find() + AsString(), with `fallback` when the key is absent.
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) const;
+
+ private:
+  friend class JsonParser;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
 
 }  // namespace timekd::obs
 

@@ -12,16 +12,20 @@ JsonlWriter::~JsonlWriter() {
 
 void JsonlWriter::WriteLine(const JsonObject& object) {
   if (file_ == nullptr) return;
-  const std::string line = object.ToString();
+  std::string line = object.ToString();
+  line += '\n';
   std::lock_guard<std::mutex> lock(mu_);
-  std::fputs(line.c_str(), file_);
-  std::fputc('\n', file_);
+  std::fwrite(line.data(), 1, line.size(), file_);
   std::fflush(file_);
 }
 
-JsonlObserver::JsonlObserver(const std::string& path) : writer_(path) {}
+void JsonlWriter::Flush() {
+  if (file_ == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fflush(file_);
+}
 
-void JsonlObserver::OnStep(const StepRecord& r) {
+JsonObject StepRecordToJson(const StepRecord& r) {
   JsonObject obj;
   obj.Set("kind", "step")
       .Set("phase", r.phase)
@@ -34,11 +38,31 @@ void JsonlObserver::OnStep(const StepRecord& r) {
       .Set("fd_loss", r.fd_loss)
       .Set("fcst_loss", r.fcst_loss)
       .Set("grad_norm", r.grad_norm)
+      .Set("lr", r.lr)
       .Set("seconds", r.seconds);
-  writer_.WriteLine(obj);
+  if (!r.param_groups.empty()) {
+    std::vector<std::string> groups;
+    groups.reserve(r.param_groups.size());
+    for (const ParamGroupStat& g : r.param_groups) {
+      JsonObject go;
+      go.Set("name", g.name)
+          .Set("weight_norm", g.weight_norm)
+          .Set("grad_norm", g.grad_norm)
+          .Set("update_ratio", g.update_ratio);
+      groups.push_back(go.ToString());
+    }
+    obj.SetRaw("param_groups", JsonArray(groups));
+  }
+  if (!r.attn_entropy.empty()) {
+    std::vector<std::string> entropies;
+    entropies.reserve(r.attn_entropy.size());
+    for (double e : r.attn_entropy) entropies.push_back(JsonNumber(e));
+    obj.SetRaw("attn_entropy", JsonArray(entropies));
+  }
+  return obj;
 }
 
-void JsonlObserver::OnEpoch(const EpochRecord& r) {
+JsonObject EpochRecordToJson(const EpochRecord& r) {
   JsonObject obj;
   obj.Set("kind", "epoch")
       .Set("phase", r.phase)
@@ -50,8 +74,21 @@ void JsonlObserver::OnEpoch(const EpochRecord& r) {
       .Set("fd_loss", r.fd_loss)
       .Set("fcst_loss", r.fcst_loss)
       .Set("val_mse", r.val_mse)
+      .Set("lr", r.lr)
+      .Set("distill_cka", r.distill_cka)
+      .Set("distill_attn_div", r.distill_attn_div)
       .Set("seconds", r.seconds);
-  writer_.WriteLine(obj);
+  return obj;
+}
+
+JsonlObserver::JsonlObserver(const std::string& path) : writer_(path) {}
+
+void JsonlObserver::OnStep(const StepRecord& r) {
+  writer_.WriteLine(StepRecordToJson(r));
+}
+
+void JsonlObserver::OnEpoch(const EpochRecord& r) {
+  writer_.WriteLine(EpochRecordToJson(r));
 }
 
 void CountingObserver::OnStep(const StepRecord& record) {

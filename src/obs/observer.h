@@ -3,13 +3,26 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <limits>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "obs/json.h"
 
 namespace timekd::obs {
+
+/// Per-parameter-group telemetry sampled every TrainConfig::telemetry_every
+/// steps. A "group" is the first component of the dotted parameter name
+/// ("tst_encoder", "projection", ...) so the granularity matches how the
+/// models are assembled from modules.
+struct ParamGroupStat {
+  std::string name;
+  double weight_norm = 0.0;   // L2 norm of the group's parameters
+  double grad_norm = 0.0;     // L2 norm of the group's gradients (post-clip)
+  double update_ratio = 0.0;  // ||w_after - w_before|| / (||w_before|| + eps)
+};
 
 /// One optimizer step inside a training loop. `phase` distinguishes the
 /// TimeKD stages ("teacher" = Algorithm 1 reconstruction, "student" =
@@ -26,7 +39,13 @@ struct StepRecord {
   double fd_loss = 0.0;     // Eq. 25 feature distillation
   double fcst_loss = 0.0;   // forecasting term of Eq. 30
   double grad_norm = 0.0;   // pre-clip global L2 norm
+  double lr = 0.0;          // learning rate applied by this step
   double seconds = 0.0;     // wall time of the step
+  /// Sampled per-layer telemetry; empty on non-sampled steps.
+  std::vector<ParamGroupStat> param_groups;
+  /// Per-head mean attention entropy (nats) of the encoder's last layer;
+  /// empty on non-sampled steps.
+  std::vector<double> attn_entropy;
 };
 
 /// One epoch summary (averaged losses, validation MSE when tracked).
@@ -40,6 +59,12 @@ struct EpochRecord {
   double fd_loss = 0.0;
   double fcst_loss = 0.0;
   double val_mse = 0.0;  // NaN when no validation set
+  double lr = 0.0;       // learning rate in effect during the epoch
+  /// Teacher<->student linear CKA on the distilled encoder features and
+  /// mean attention-map divergence (the quantities Eqs. 24-25 minimize).
+  /// NaN outside the student phase / when diagnostics are off.
+  double distill_cka = std::numeric_limits<double>::quiet_NaN();
+  double distill_attn_div = std::numeric_limits<double>::quiet_NaN();
   double seconds = 0.0;
 };
 
@@ -54,13 +79,17 @@ class TrainObserver {
 };
 
 /// Append-only newline-delimited JSON sink shared by the bundled observer
-/// and the bench run reports. Thread-safe; every line is flushed so
-/// partial runs still leave usable telemetry.
+/// and the bench run reports. Thread-safe; every record is written as ONE
+/// fwrite of "line\n" and flushed immediately, so a run killed at any
+/// instant leaves at most zero bytes of the in-flight record — never a
+/// torn line — and everything before it is already durable in the file.
 class JsonlWriter {
  public:
   /// Opens `path` in append mode. ok() reports whether the open succeeded;
   /// a failed writer swallows writes instead of crashing the run.
   explicit JsonlWriter(const std::string& path);
+  /// RAII close (fclose flushes); pairs with the per-line flush so even a
+  /// destructor-skipping abort leaves a readable log.
   ~JsonlWriter();
 
   JsonlWriter(const JsonlWriter&) = delete;
@@ -69,6 +98,9 @@ class JsonlWriter {
   bool ok() const { return file_ != nullptr; }
   const std::string& path() const { return path_; }
   void WriteLine(const JsonObject& object);
+  /// Explicit flush; WriteLine already flushes, this exists for callers
+  /// that want a barrier (e.g. right before a deliberate abort).
+  void Flush();
 
  private:
   std::string path_;
@@ -85,6 +117,8 @@ class JsonlObserver : public TrainObserver {
   bool ok() const { return writer_.ok(); }
   void OnStep(const StepRecord& record) override;
   void OnEpoch(const EpochRecord& record) override;
+  /// Barrier over the underlying writer (see JsonlWriter::Flush).
+  void Flush() { writer_.Flush(); }
 
  private:
   JsonlWriter writer_;
@@ -108,6 +142,11 @@ class CountingObserver : public TrainObserver {
   StepRecord last_step_;
   EpochRecord last_epoch_;
 };
+
+/// Renders the shared step/epoch JSONL payloads (also used by the health
+/// monitor's event stream so both files stay schema-consistent).
+JsonObject StepRecordToJson(const StepRecord& record);
+JsonObject EpochRecordToJson(const EpochRecord& record);
 
 }  // namespace timekd::obs
 

@@ -1,0 +1,489 @@
+#include "obs/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace timekd::obs {
+
+namespace {
+
+constexpr int kChartWidth = 680;
+constexpr int kChartHeight = 220;
+constexpr int kPadLeft = 64;
+constexpr int kPadRight = 16;
+constexpr int kPadTop = 28;
+constexpr int kPadBottom = 28;
+
+const char* const kPalette[] = {"#1f77b4", "#d62728", "#2ca02c",
+                                "#ff7f0e", "#9467bd", "#8c564b"};
+constexpr size_t kPaletteSize = sizeof(kPalette) / sizeof(kPalette[0]);
+
+std::string HtmlEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string FormatG(double v) {
+  if (std::isnan(v)) return "nan";
+  if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4g", v);
+  return buf;
+}
+
+/// One polyline of a chart; points with non-finite y are dropped.
+struct Series {
+  std::string label;
+  std::vector<std::pair<double, double>> points;  // (x, y)
+};
+
+bool IsFatal(HealthEventType type) {
+  return type == HealthEventType::kNonFinite ||
+         type == HealthEventType::kGradExplosion;
+}
+
+/// Minimal inline-SVG line chart: axis box, min/max tick labels, legend.
+/// `id` becomes a data-chart attribute so tests and anchors can find it.
+std::string RenderLineChart(const std::string& id, const std::string& title,
+                            const std::vector<Series>& series) {
+  double min_x = std::numeric_limits<double>::infinity();
+  double max_x = -std::numeric_limits<double>::infinity();
+  double min_y = std::numeric_limits<double>::infinity();
+  double max_y = -std::numeric_limits<double>::infinity();
+  size_t finite_points = 0;
+  for (const Series& s : series) {
+    for (const auto& [x, y] : s.points) {
+      if (!std::isfinite(x) || !std::isfinite(y)) continue;
+      ++finite_points;
+      min_x = std::min(min_x, x);
+      max_x = std::max(max_x, x);
+      min_y = std::min(min_y, y);
+      max_y = std::max(max_y, y);
+    }
+  }
+  std::string out = "<figure data-chart=\"" + HtmlEscape(id) + "\">\n";
+  out += "<figcaption>" + HtmlEscape(title) + "</figcaption>\n";
+  if (finite_points == 0) {
+    out += "<p class=\"empty\">no data</p>\n</figure>\n";
+    return out;
+  }
+  if (max_x <= min_x) max_x = min_x + 1.0;
+  if (max_y <= min_y) {
+    const double pad = std::max(std::fabs(min_y) * 0.1, 0.5);
+    max_y = min_y + pad;
+    min_y -= pad;
+  }
+  const double plot_w = kChartWidth - kPadLeft - kPadRight;
+  const double plot_h = kChartHeight - kPadTop - kPadBottom;
+  auto px = [&](double x) {
+    return kPadLeft + (x - min_x) / (max_x - min_x) * plot_w;
+  };
+  auto py = [&](double y) {
+    return kPadTop + (1.0 - (y - min_y) / (max_y - min_y)) * plot_h;
+  };
+
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "<svg viewBox=\"0 0 %d %d\" width=\"%d\" height=\"%d\" "
+                "role=\"img\">\n",
+                kChartWidth, kChartHeight, kChartWidth, kChartHeight);
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "<rect x=\"%d\" y=\"%d\" width=\"%.0f\" height=\"%.0f\" "
+                "fill=\"none\" stroke=\"#ccc\"/>\n",
+                kPadLeft, kPadTop, plot_w, plot_h);
+  out += buf;
+  // Min/max tick labels on both axes.
+  std::snprintf(buf, sizeof(buf),
+                "<text x=\"%d\" y=\"%d\" class=\"tick\" "
+                "text-anchor=\"end\">%s</text>\n",
+                kPadLeft - 4, kPadTop + 10, FormatG(max_y).c_str());
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "<text x=\"%d\" y=\"%.0f\" class=\"tick\" "
+                "text-anchor=\"end\">%s</text>\n",
+                kPadLeft - 4, kPadTop + plot_h, FormatG(min_y).c_str());
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "<text x=\"%d\" y=\"%d\" class=\"tick\">%s</text>\n",
+                kPadLeft, kChartHeight - 8, FormatG(min_x).c_str());
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "<text x=\"%.0f\" y=\"%d\" class=\"tick\" "
+                "text-anchor=\"end\">%s</text>\n",
+                kPadLeft + plot_w, kChartHeight - 8, FormatG(max_x).c_str());
+  out += buf;
+
+  size_t color_index = 0;
+  double legend_x = kPadLeft;
+  for (const Series& s : series) {
+    const char* color = kPalette[color_index % kPaletteSize];
+    ++color_index;
+    std::string points;
+    for (const auto& [x, y] : s.points) {
+      if (!std::isfinite(x) || !std::isfinite(y)) continue;
+      std::snprintf(buf, sizeof(buf), "%.1f,%.1f ", px(x), py(y));
+      points += buf;
+    }
+    if (points.empty()) continue;
+    out += "<polyline fill=\"none\" stroke=\"";
+    out += color;
+    out += "\" stroke-width=\"1.5\" points=\"" + points + "\"/>\n";
+    std::snprintf(buf, sizeof(buf),
+                  "<text x=\"%.0f\" y=\"%d\" fill=\"%s\" "
+                  "class=\"legend\">%s</text>\n",
+                  legend_x, kPadTop - 8, color, HtmlEscape(s.label).c_str());
+    out += buf;
+    legend_x += 16.0 + 7.5 * static_cast<double>(s.label.size());
+  }
+  out += "</svg>\n</figure>\n";
+  return out;
+}
+
+/// Health events on a step axis: one marker per event, red = fatal class,
+/// orange = warning, hover text with the details.
+std::string RenderEventTimeline(const RunHistory& history) {
+  std::string out = "<figure data-chart=\"events\">\n";
+  out += "<figcaption>Health-event timeline</figcaption>\n";
+  if (history.events.empty()) {
+    out += "<p class=\"empty\">no anomalies</p>\n</figure>\n";
+    return out;
+  }
+  double min_x = std::numeric_limits<double>::infinity();
+  double max_x = -std::numeric_limits<double>::infinity();
+  for (const RunHistory::StepPoint& p : history.steps) {
+    min_x = std::min(min_x, static_cast<double>(p.step));
+    max_x = std::max(max_x, static_cast<double>(p.step));
+  }
+  for (const HealthEvent& e : history.events) {
+    min_x = std::min(min_x, static_cast<double>(e.step));
+    max_x = std::max(max_x, static_cast<double>(e.step));
+  }
+  if (!std::isfinite(min_x)) {
+    min_x = 0.0;
+    max_x = 1.0;
+  }
+  if (max_x <= min_x) max_x = min_x + 1.0;
+  const int height = 64;
+  const double plot_w = kChartWidth - kPadLeft - kPadRight;
+  const double mid_y = height / 2.0;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "<svg viewBox=\"0 0 %d %d\" width=\"%d\" height=\"%d\" "
+                "role=\"img\">\n",
+                kChartWidth, height, kChartWidth, height);
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "<line x1=\"%d\" y1=\"%.0f\" x2=\"%.0f\" y2=\"%.0f\" "
+                "stroke=\"#ccc\"/>\n",
+                kPadLeft, mid_y, kPadLeft + plot_w, mid_y);
+  out += buf;
+  for (const HealthEvent& e : history.events) {
+    const double x =
+        kPadLeft +
+        (static_cast<double>(e.step) - min_x) / (max_x - min_x) * plot_w;
+    const char* color = IsFatal(e.type) ? "#d62728" : "#ff7f0e";
+    std::snprintf(buf, sizeof(buf),
+                  "<circle cx=\"%.1f\" cy=\"%.0f\" r=\"5\" fill=\"%s\">",
+                  x, mid_y, color);
+    out += buf;
+    out += "<title>" + HtmlEscape(std::string(HealthEventTypeName(e.type)) +
+                                  " @ step " + std::to_string(e.step) + ": " +
+                                  e.message) +
+           "</title></circle>\n";
+  }
+  std::snprintf(buf, sizeof(buf),
+                "<text x=\"%d\" y=\"%d\" class=\"tick\">%s</text>\n",
+                kPadLeft, height - 4, FormatG(min_x).c_str());
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "<text x=\"%.0f\" y=\"%d\" class=\"tick\" "
+                "text-anchor=\"end\">%s</text>\n",
+                kPadLeft + plot_w, height - 4, FormatG(max_x).c_str());
+  out += buf;
+  out += "</svg>\n</figure>\n";
+  return out;
+}
+
+/// Step series grouped per phase (teacher/student/baseline get their own
+/// colored polyline).
+std::vector<Series> PerPhaseStepSeries(
+    const RunHistory& history,
+    double (*pick)(const RunHistory::StepPoint&)) {
+  std::map<std::string, Series> by_phase;
+  for (const RunHistory::StepPoint& p : history.steps) {
+    Series& s = by_phase[p.phase];
+    if (s.label.empty()) s.label = p.phase.empty() ? "train" : p.phase;
+    s.points.emplace_back(static_cast<double>(p.step), pick(p));
+  }
+  std::vector<Series> out;
+  out.reserve(by_phase.size());
+  for (auto& [_, s] : by_phase) out.push_back(std::move(s));
+  return out;
+}
+
+std::vector<Series> PerPhaseEpochSeries(
+    const RunHistory& history, const std::string& suffix,
+    double (*pick)(const EpochRecord&)) {
+  std::map<std::string, Series> by_phase;
+  for (const EpochRecord& e : history.epochs) {
+    if (!std::isfinite(pick(e))) continue;
+    Series& s = by_phase[e.phase];
+    if (s.label.empty()) {
+      s.label = (e.phase.empty() ? "train" : e.phase) + suffix;
+    }
+    s.points.emplace_back(static_cast<double>(e.epoch), pick(e));
+  }
+  std::vector<Series> out;
+  out.reserve(by_phase.size());
+  for (auto& [_, s] : by_phase) out.push_back(std::move(s));
+  return out;
+}
+
+const char* VerdictClass(HealthVerdict v) {
+  switch (v) {
+    case HealthVerdict::kHealthy: return "healthy";
+    case HealthVerdict::kWarning: return "warning";
+    case HealthVerdict::kFailed: return "failed";
+  }
+  return "healthy";
+}
+
+HealthEventType HealthEventTypeFromName(const std::string& name) {
+  if (name == "loss_spike") return HealthEventType::kLossSpike;
+  if (name == "grad_explosion") return HealthEventType::kGradExplosion;
+  if (name == "grad_vanishing") return HealthEventType::kGradVanishing;
+  if (name == "plateau") return HealthEventType::kPlateau;
+  return HealthEventType::kNonFinite;
+}
+
+HealthVerdict HealthVerdictFromName(const std::string& name) {
+  if (name == "warning") return HealthVerdict::kWarning;
+  if (name == "failed") return HealthVerdict::kFailed;
+  return HealthVerdict::kHealthy;
+}
+
+}  // namespace
+
+std::string RenderHtmlReport(const RunHistory& history) {
+  const std::string title =
+      history.title.empty() ? "TimeKD run report" : history.title;
+  std::string out;
+  out.reserve(1 << 16);
+  out += "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n";
+  out += "<meta charset=\"utf-8\">\n";
+  out += "<title>" + HtmlEscape(title) + "</title>\n";
+  out +=
+      "<style>\n"
+      "body{font-family:system-ui,sans-serif;margin:24px;color:#222;}\n"
+      "figure{margin:16px 0;}\n"
+      "figcaption{font-weight:600;margin-bottom:4px;}\n"
+      "text.tick,text.legend{font-size:11px;fill:#555;}\n"
+      "text.legend{font-weight:600;}\n"
+      ".verdict{display:inline-block;padding:2px 10px;border-radius:10px;"
+      "color:#fff;font-weight:600;}\n"
+      ".verdict.healthy{background:#2ca02c;}\n"
+      ".verdict.warning{background:#ff7f0e;}\n"
+      ".verdict.failed{background:#d62728;}\n"
+      "table{border-collapse:collapse;margin:8px 0;}\n"
+      "td,th{border:1px solid #ddd;padding:3px 8px;font-size:13px;"
+      "text-align:right;}\n"
+      "th{background:#f4f4f4;}\n"
+      "td.l,th.l{text-align:left;}\n"
+      ".empty{color:#888;font-style:italic;}\n"
+      "</style>\n</head>\n<body>\n";
+
+  out += "<h1>" + HtmlEscape(title) + "</h1>\n";
+  out += "<p>Verdict: <span class=\"verdict " +
+         std::string(VerdictClass(history.verdict)) + "\">" +
+         HealthVerdictName(history.verdict) + "</span> &mdash; " +
+         std::to_string(history.anomalies) + " anomaly(ies), " +
+         std::to_string(history.epochs.size()) + " epoch(s), " +
+         std::to_string(history.steps.size()) + " step sample(s)";
+  if (history.step_stride > 1) {
+    out += " (1/" + std::to_string(history.step_stride) + " decimation)";
+  }
+  out += "</p>\n";
+
+  out += RenderLineChart(
+      "loss", "Training loss (per step)",
+      PerPhaseStepSeries(history,
+                         [](const RunHistory::StepPoint& p) {
+                           return p.total_loss;
+                         }));
+  out += RenderLineChart(
+      "grad_norm", "Gradient norm (per step, pre-clip)",
+      PerPhaseStepSeries(history,
+                         [](const RunHistory::StepPoint& p) {
+                           return p.grad_norm;
+                         }));
+  out += RenderLineChart(
+      "lr", "Learning rate (per step)",
+      PerPhaseStepSeries(history,
+                         [](const RunHistory::StepPoint& p) { return p.lr; }));
+
+  std::vector<Series> epoch_loss = PerPhaseEpochSeries(
+      history, " loss", [](const EpochRecord& e) { return e.total_loss; });
+  {
+    std::vector<Series> val = PerPhaseEpochSeries(
+        history, " val_mse", [](const EpochRecord& e) { return e.val_mse; });
+    for (Series& s : val) epoch_loss.push_back(std::move(s));
+  }
+  out += RenderLineChart("epoch", "Epoch loss / validation MSE", epoch_loss);
+
+  // Distillation drift: teacher<->student CKA should climb toward 1,
+  // attention divergence fall toward 0 as Eqs. 24-25 are minimized.
+  std::vector<Series> distill = PerPhaseEpochSeries(
+      history, " cka", [](const EpochRecord& e) { return e.distill_cka; });
+  out += RenderLineChart("distill_cka",
+                         "Teacher-student linear CKA (per epoch)", distill);
+  out += RenderLineChart(
+      "distill_attn_div", "Teacher-student attention divergence (per epoch)",
+      PerPhaseEpochSeries(history, " attn_div", [](const EpochRecord& e) {
+        return e.distill_attn_div;
+      }));
+
+  out += RenderEventTimeline(history);
+
+  if (!history.epochs.empty()) {
+    out +=
+        "<h2>Epochs</h2>\n<table>\n<tr><th class=\"l\">phase</th>"
+        "<th>epoch</th><th>total_loss</th><th>val_mse</th><th>lr</th>"
+        "<th>cka</th><th>attn_div</th><th>seconds</th></tr>\n";
+    for (const EpochRecord& e : history.epochs) {
+      out += "<tr><td class=\"l\">" + HtmlEscape(e.phase) + "</td><td>" +
+             std::to_string(e.epoch) + "</td><td>" + FormatG(e.total_loss) +
+             "</td><td>" + FormatG(e.val_mse) + "</td><td>" + FormatG(e.lr) +
+             "</td><td>" + FormatG(e.distill_cka) + "</td><td>" +
+             FormatG(e.distill_attn_div) + "</td><td>" + FormatG(e.seconds) +
+             "</td></tr>\n";
+    }
+    out += "</table>\n";
+  }
+
+  if (!history.events.empty()) {
+    out +=
+        "<h2>Health events</h2>\n<table>\n<tr><th class=\"l\">type</th>"
+        "<th class=\"l\">phase</th><th>epoch</th><th>step</th><th>value</th>"
+        "<th>threshold</th><th class=\"l\">message</th></tr>\n";
+    for (const HealthEvent& e : history.events) {
+      out += "<tr><td class=\"l\">" + std::string(HealthEventTypeName(e.type)) +
+             "</td><td class=\"l\">" + HtmlEscape(e.phase) + "</td><td>" +
+             std::to_string(e.epoch) + "</td><td>" + std::to_string(e.step) +
+             "</td><td>" + FormatG(e.value) + "</td><td>" +
+             FormatG(e.threshold) + "</td><td class=\"l\">" +
+             HtmlEscape(e.message) + "</td></tr>\n";
+    }
+    out += "</table>\n";
+  }
+
+  out += "</body>\n</html>\n";
+  return out;
+}
+
+Status WriteHtmlReport(const RunHistory& history, const std::string& path) {
+  const std::string html = RenderHtmlReport(history);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError("cannot open report file: " + path);
+  }
+  const size_t written = std::fwrite(html.data(), 1, html.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != html.size() || close_rc != 0) {
+    return Status::IoError("short write to report file: " + path);
+  }
+  return Status::Ok();
+}
+
+Status MergeRunHistoryFromJsonl(const std::string& path, RunHistory* history) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IoError("cannot open JSONL log: " + path);
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    StatusOr<JsonValue> parsed = JsonValue::Parse(line);
+    if (!parsed.ok()) continue;  // tolerate torn/foreign lines
+    const JsonValue& v = parsed.value();
+    const std::string kind = v.GetString("kind", "");
+    if (kind == "step") {
+      RunHistory::StepPoint p;
+      p.step = static_cast<int64_t>(v.GetDouble("step", 0.0));
+      p.phase = v.GetString("phase", "");
+      p.total_loss = v.GetDouble("total_loss", 0.0);
+      p.grad_norm = v.GetDouble("grad_norm", 0.0);
+      p.lr = v.GetDouble("lr", 0.0);
+      history->steps.push_back(std::move(p));
+    } else if (kind == "epoch") {
+      EpochRecord e;
+      e.phase = v.GetString("phase", "");
+      e.epoch = static_cast<int64_t>(v.GetDouble("epoch", 0.0));
+      e.steps = static_cast<int64_t>(v.GetDouble("steps", 0.0));
+      e.total_loss = v.GetDouble("total_loss", 0.0);
+      e.recon_loss = v.GetDouble("recon_loss", 0.0);
+      e.cd_loss = v.GetDouble("cd_loss", 0.0);
+      e.fd_loss = v.GetDouble("fd_loss", 0.0);
+      e.fcst_loss = v.GetDouble("fcst_loss", 0.0);
+      e.val_mse = v.GetDouble("val_mse",
+                              std::numeric_limits<double>::quiet_NaN());
+      e.lr = v.GetDouble("lr", 0.0);
+      e.distill_cka = v.GetDouble("distill_cka",
+                                  std::numeric_limits<double>::quiet_NaN());
+      e.distill_attn_div = v.GetDouble(
+          "distill_attn_div", std::numeric_limits<double>::quiet_NaN());
+      e.seconds = v.GetDouble("seconds", 0.0);
+      history->epochs.push_back(std::move(e));
+    } else if (kind == "health_event") {
+      HealthEvent e;
+      e.type = HealthEventTypeFromName(v.GetString("type", ""));
+      e.phase = v.GetString("phase", "");
+      e.epoch = static_cast<int64_t>(v.GetDouble("epoch", 0.0));
+      e.step = static_cast<int64_t>(v.GetDouble("step", 0.0));
+      e.value = v.GetDouble("value", 0.0);
+      e.threshold = v.GetDouble("threshold", 0.0);
+      e.message = v.GetString("message", "");
+      if (IsFatal(e.type)) {
+        history->verdict = HealthVerdict::kFailed;
+      } else if (history->verdict == HealthVerdict::kHealthy) {
+        history->verdict = HealthVerdict::kWarning;
+      }
+      history->events.push_back(std::move(e));
+      history->anomalies = static_cast<int64_t>(history->events.size());
+    } else if (kind == "health_summary") {
+      history->anomalies = static_cast<int64_t>(
+          v.GetDouble("anomalies",
+                      static_cast<double>(history->anomalies)));
+      const std::string verdict = v.GetString("verdict", "");
+      if (!verdict.empty()) {
+        history->verdict = HealthVerdictFromName(verdict);
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+StatusOr<RunHistory> LoadRunHistoryFromJsonl(const std::string& path) {
+  RunHistory history;
+  if (Status s = MergeRunHistoryFromJsonl(path, &history); !s.ok()) return s;
+  return history;
+}
+
+}  // namespace timekd::obs

@@ -1,0 +1,33 @@
+#ifndef TIMEKD_OBS_REPORT_H_
+#define TIMEKD_OBS_REPORT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "obs/health.h"
+
+namespace timekd::obs {
+
+/// Renders the self-contained HTML run report: summary header with the
+/// health verdict, inline-SVG loss/grad-norm/lr curves, epoch metrics
+/// (val MSE, distillation CKA, attention divergence), a health-event
+/// timeline and tables. No external assets — the file opens offline.
+std::string RenderHtmlReport(const RunHistory& history);
+
+/// Renders `history` and writes it to `path` (overwrite).
+Status WriteHtmlReport(const RunHistory& history, const std::string& path);
+
+/// Folds a JSONL log into *history. Understands the four record kinds the
+/// observability layer emits ("step", "epoch", "health_event",
+/// "health_summary"); other kinds are ignored so the loader works on both
+/// training logs and health event streams — call it once per file to merge
+/// several. Unparseable lines are skipped (a crash may not tear a line,
+/// but a partial copy might). Fails only when the file cannot be read.
+Status MergeRunHistoryFromJsonl(const std::string& path, RunHistory* history);
+
+/// Convenience wrapper: a fresh RunHistory from one JSONL file.
+StatusOr<RunHistory> LoadRunHistoryFromJsonl(const std::string& path);
+
+}  // namespace timekd::obs
+
+#endif  // TIMEKD_OBS_REPORT_H_

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "data/time_series.h"
@@ -112,6 +113,64 @@ TEST(CliTest, FullTrainEvaluateForecastWorkflow) {
   std::remove(csv.c_str());
   std::remove(student.c_str());
   std::remove(forecast_csv.c_str());
+}
+
+TEST(CliTest, TrainHealthFlagsFeedReportSubcommand) {
+  const std::string csv = TempPath("cli_health_series.csv");
+  const std::string jsonl = TempPath("cli_health_train.jsonl");
+  const std::string health = TempPath("cli_health_events.jsonl");
+  const std::string html = TempPath("cli_health_report.html");
+  // JSONL sinks append; stale files from a previous run would double up.
+  std::remove(jsonl.c_str());
+  std::remove(health.c_str());
+  std::remove(html.c_str());
+
+  std::ostringstream out;
+  ASSERT_EQ(RunCli({"generate-data", "--dataset", "ETTh1", "--length", "200",
+                    "--out", csv, "--variables", "2"},
+                   out),
+            0);
+  std::ostringstream train_out;
+  ASSERT_EQ(RunCli({"train", "--data", csv, "--freq", "60", "--input", "12",
+                    "--horizon", "6", "--epochs", "1", "--dim", "8",
+                    "--llm-dim", "16", "--llm-layers", "1",
+                    "--prompt-stride", "6", "--jsonl-out", jsonl,
+                    "--health-out", health, "--telemetry", "4",
+                    "--fail-fast", "stop"},
+                   train_out),
+            0)
+      << train_out.str();
+  EXPECT_NE(train_out.str().find("health healthy"), std::string::npos)
+      << train_out.str();
+
+  std::ostringstream report_out;
+  ASSERT_EQ(RunCli({"report", "--in", jsonl, "--health", health, "--out",
+                    html, "--title", "cli run"},
+                   report_out),
+            0)
+      << report_out.str();
+  EXPECT_NE(report_out.str().find("wrote report"), std::string::npos);
+  std::ifstream in(html);
+  std::string page((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_EQ(page.rfind("<!DOCTYPE html>", 0), 0u);
+  EXPECT_NE(page.find("data-chart=\"loss\""), std::string::npos);
+  EXPECT_NE(page.find("cli run"), std::string::npos);
+
+  std::remove(csv.c_str());
+  std::remove(jsonl.c_str());
+  std::remove(health.c_str());
+  std::remove(html.c_str());
+}
+
+TEST(CliTest, ReportRequiresInAndOut) {
+  std::ostringstream out;
+  EXPECT_EQ(RunCli({"report", "--out", TempPath("x.html")}, out), 2);
+  std::ostringstream missing;
+  EXPECT_EQ(RunCli({"report", "--in", TempPath("absent.jsonl"), "--out",
+                    TempPath("x.html")},
+                   missing),
+            1);
 }
 
 TEST(CliTest, EvaluateMissingStudentFileFails) {

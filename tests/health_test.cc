@@ -1,0 +1,432 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "baselines/itransformer.h"
+#include "baselines/trainer.h"
+#include "core/config.h"
+#include "core/distillation.h"
+#include "core/timekd.h"
+#include "data/datasets.h"
+#include "data/window_dataset.h"
+#include "obs/health.h"
+#include "obs/json.h"
+#include "obs/observer.h"
+#include "tensor/ops.h"
+
+namespace timekd {
+namespace {
+
+using data::WindowDataset;
+using obs::CountingObserver;
+using obs::EpochRecord;
+using obs::FailFastMode;
+using obs::HealthConfig;
+using obs::HealthEventType;
+using obs::HealthMonitor;
+using obs::HealthVerdict;
+using obs::StepRecord;
+using tensor::Tensor;
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+/// Monitor configs in the unit tests pin the output paths to "" so ambient
+/// TIMEKD_HEALTH_OUT / TIMEKD_REPORT_HTML never leak files into the suite.
+HealthConfig QuietConfig() {
+  HealthConfig config;
+  config.events_path = "";
+  config.html_report_path = "";
+  return config;
+}
+
+StepRecord MakeStep(int64_t step, double loss, double grad_norm = 1.0) {
+  StepRecord r;
+  r.phase = "test";
+  r.step = step;
+  r.total_loss = loss;
+  r.grad_norm = grad_norm;
+  return r;
+}
+
+EpochRecord MakeEpoch(int64_t epoch, double val_mse) {
+  EpochRecord r;
+  r.phase = "test";
+  r.epoch = epoch;
+  r.total_loss = val_mse;
+  r.val_mse = val_mse;
+  return r;
+}
+
+std::vector<std::string> ReadLines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(HealthMonitorTest, ForwardsRecordsAndStaysHealthyOnCleanStream) {
+  CountingObserver next;
+  HealthMonitor monitor(QuietConfig(), &next);
+  for (int64_t i = 0; i < 50; ++i) monitor.OnStep(MakeStep(i, 1.0));
+  monitor.OnEpoch(MakeEpoch(0, 0.5));
+  EXPECT_EQ(next.steps(), 50);
+  EXPECT_EQ(next.epochs(), 1);
+  EXPECT_EQ(monitor.verdict(), HealthVerdict::kHealthy);
+  EXPECT_EQ(monitor.anomaly_count(), 0);
+  EXPECT_FALSE(monitor.stop_requested());
+}
+
+TEST(HealthMonitorTest, DisabledMonitorForwardsWithoutChecking) {
+  HealthConfig config = QuietConfig();
+  config.enabled = false;
+  CountingObserver next;
+  HealthMonitor monitor(config, &next);
+  monitor.OnStep(MakeStep(1, kNaN));
+  EXPECT_EQ(next.steps(), 1);
+  EXPECT_EQ(monitor.anomaly_count(), 0);
+  EXPECT_EQ(monitor.verdict(), HealthVerdict::kHealthy);
+}
+
+TEST(HealthMonitorTest, FlagsNonFiniteLossOncePerStep) {
+  HealthMonitor monitor(QuietConfig());
+  StepRecord r = MakeStep(1, kNaN, kNaN);  // loss AND grad broken
+  monitor.OnStep(r);
+  ASSERT_EQ(monitor.anomaly_count(), 1);
+  EXPECT_EQ(monitor.events()[0].type, HealthEventType::kNonFinite);
+  EXPECT_EQ(monitor.verdict(), HealthVerdict::kFailed);
+}
+
+TEST(HealthMonitorTest, FlagsNonFiniteLossComponent) {
+  HealthMonitor monitor(QuietConfig());
+  StepRecord r = MakeStep(1, 1.0);
+  r.fd_loss = std::numeric_limits<double>::infinity();
+  monitor.OnStep(r);
+  ASSERT_EQ(monitor.anomaly_count(), 1);
+  EXPECT_EQ(monitor.events()[0].type, HealthEventType::kNonFinite);
+}
+
+TEST(HealthMonitorTest, FlagsLossSpikeAgainstRollingWindow) {
+  HealthConfig config = QuietConfig();
+  HealthMonitor monitor(config);
+  for (int64_t i = 0; i < config.spike_window; ++i) {
+    monitor.OnStep(MakeStep(i, 1.0 + 1e-4 * static_cast<double>(i % 3)));
+  }
+  EXPECT_EQ(monitor.anomaly_count(), 0);
+  monitor.OnStep(MakeStep(100, 50.0));
+  ASSERT_EQ(monitor.anomaly_count(), 1);
+  EXPECT_EQ(monitor.events()[0].type, HealthEventType::kLossSpike);
+  EXPECT_EQ(monitor.verdict(), HealthVerdict::kWarning);
+  EXPECT_FALSE(monitor.stop_requested()) << "spikes are warnings, not fatal";
+}
+
+TEST(HealthMonitorTest, SpikeWindowIsPerPhase) {
+  HealthMonitor monitor(QuietConfig());
+  for (int64_t i = 0; i < 64; ++i) monitor.OnStep(MakeStep(i, 1.0));
+  // Same magnitude in a fresh phase: its window is empty, so no spike.
+  StepRecord other = MakeStep(100, 50.0);
+  other.phase = "other";
+  monitor.OnStep(other);
+  EXPECT_EQ(monitor.anomaly_count(), 0);
+}
+
+TEST(HealthMonitorTest, FlagsGradientExplosion) {
+  HealthMonitor monitor(QuietConfig());
+  monitor.OnStep(MakeStep(1, 1.0, /*grad_norm=*/1e5));
+  ASSERT_EQ(monitor.anomaly_count(), 1);
+  EXPECT_EQ(monitor.events()[0].type, HealthEventType::kGradExplosion);
+  EXPECT_EQ(monitor.verdict(), HealthVerdict::kFailed);
+}
+
+TEST(HealthMonitorTest, FlagsGradientVanishingOncePerStreak) {
+  HealthConfig config = QuietConfig();
+  HealthMonitor monitor(config);
+  for (int64_t i = 0; i < 3 * config.grad_vanish_patience; ++i) {
+    monitor.OnStep(MakeStep(i, 1.0, /*grad_norm=*/1e-9));
+  }
+  EXPECT_EQ(monitor.anomaly_count(), 1) << "one event per streak, not per step";
+  EXPECT_EQ(monitor.events()[0].type, HealthEventType::kGradVanishing);
+  // A healthy gradient resets the streak; a new streak reports again.
+  monitor.OnStep(MakeStep(100, 1.0, 1.0));
+  for (int64_t i = 0; i < config.grad_vanish_patience; ++i) {
+    monitor.OnStep(MakeStep(101 + i, 1.0, 1e-9));
+  }
+  EXPECT_EQ(monitor.anomaly_count(), 2);
+}
+
+TEST(HealthMonitorTest, FlagsPlateauAfterStagnantEpochs) {
+  HealthConfig config = QuietConfig();
+  HealthMonitor monitor(config);
+  monitor.OnEpoch(MakeEpoch(0, 1.0));
+  for (int64_t e = 1; e <= config.plateau_window; ++e) {
+    monitor.OnEpoch(MakeEpoch(e, 1.0));  // zero relative improvement
+  }
+  ASSERT_EQ(monitor.anomaly_count(), 1);
+  EXPECT_EQ(monitor.events()[0].type, HealthEventType::kPlateau);
+  EXPECT_EQ(monitor.verdict(), HealthVerdict::kWarning);
+}
+
+TEST(HealthMonitorTest, ImprovingEpochsNeverPlateau) {
+  HealthMonitor monitor(QuietConfig());
+  double metric = 1.0;
+  for (int64_t e = 0; e < 20; ++e) {
+    monitor.OnEpoch(MakeEpoch(e, metric));
+    metric *= 0.9;
+  }
+  EXPECT_EQ(monitor.anomaly_count(), 0);
+}
+
+TEST(HealthMonitorTest, FailFastStopRequestsEarlyStop) {
+  HealthConfig config = QuietConfig();
+  config.fail_fast = FailFastMode::kStop;
+  CountingObserver next;
+  HealthMonitor monitor(config, &next);
+  monitor.OnStep(MakeStep(1, 1.0));
+  EXPECT_FALSE(monitor.stop_requested());
+  monitor.OnStep(MakeStep(2, kNaN));
+  EXPECT_TRUE(monitor.stop_requested());
+  EXPECT_EQ(next.steps(), 2) << "records forward even when stopping";
+}
+
+TEST(HealthMonitorTest, FailFastAfterCountsFatalsBeforeTripping) {
+  HealthConfig config = QuietConfig();
+  config.fail_fast = FailFastMode::kStop;
+  config.fail_fast_after = 3;
+  HealthMonitor monitor(config);
+  monitor.OnStep(MakeStep(1, kNaN));
+  monitor.OnStep(MakeStep(2, kNaN));
+  EXPECT_FALSE(monitor.stop_requested());
+  monitor.OnStep(MakeStep(3, kNaN));
+  EXPECT_TRUE(monitor.stop_requested());
+}
+
+TEST(HealthMonitorTest, WritesEventStreamAndSummaryJsonl) {
+  const std::string path = ::testing::TempDir() + "/health_events.jsonl";
+  std::remove(path.c_str());
+  HealthConfig config = QuietConfig();
+  config.events_path = path;
+  {
+    HealthMonitor monitor(config);
+    monitor.OnStep(MakeStep(1, kNaN));
+    // Destructor finalizes: the summary line must land without an explicit
+    // Finalize() call.
+  }
+  const std::vector<std::string> lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), 2u);
+  for (const std::string& line : lines) {
+    ASSERT_TRUE(obs::JsonValue::Parse(line).ok()) << line;
+  }
+  obs::JsonValue event = obs::JsonValue::Parse(lines[0]).value();
+  EXPECT_EQ(event.GetString("kind", ""), "health_event");
+  EXPECT_EQ(event.GetString("type", ""), "non_finite");
+  obs::JsonValue summary = obs::JsonValue::Parse(lines[1]).value();
+  EXPECT_EQ(summary.GetString("kind", ""), "health_summary");
+  EXPECT_EQ(summary.GetDouble("anomalies", -1), 1.0);
+  std::remove(path.c_str());
+}
+
+TEST(HealthMonitorDeathTest, AbortModeDiesOnFatalAnomaly) {
+  HealthConfig config = QuietConfig();
+  config.fail_fast = FailFastMode::kAbort;
+  EXPECT_DEATH(
+      {
+        HealthMonitor monitor(config);
+        monitor.OnStep(MakeStep(1, kNaN));
+      },
+      "health watchdog fail-fast");
+}
+
+// --- Drift metrics ---------------------------------------------------------
+
+TEST(LinearCkaTest, IdenticalFeaturesGiveOne) {
+  const std::vector<double> a = {1.0, 2.0, 3.0, -1.0, 0.5, 2.5,
+                                 4.0, -2.0, 1.5, 0.0, 3.5, -0.5};
+  EXPECT_NEAR(obs::LinearCka(a, a, /*rows=*/4), 1.0, 1e-9);
+}
+
+TEST(LinearCkaTest, InvariantToIsotropicScaling) {
+  const std::vector<double> a = {1.0, 2.0, -1.0, 0.5, 3.0, -2.0};
+  std::vector<double> b = a;
+  for (double& v : b) v *= 7.0;
+  EXPECT_NEAR(obs::LinearCka(a, b, /*rows=*/3), 1.0, 1e-9);
+}
+
+TEST(LinearCkaTest, DegenerateInputsGiveNaN) {
+  const std::vector<double> a = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> constant = {5.0, 5.0, 5.0, 5.0};
+  EXPECT_TRUE(std::isnan(obs::LinearCka(a, a, /*rows=*/1))) << "rows < 2";
+  EXPECT_TRUE(std::isnan(obs::LinearCka(a, constant, /*rows=*/2)))
+      << "zero-variance side";
+}
+
+TEST(AttentionDivergenceTest, IdenticalMapsGiveZeroDifferentMapsPositive) {
+  const std::vector<double> t = {0.7, 0.2, 0.1, 0.1, 0.8, 0.1,
+                                 0.3, 0.3, 0.4, 0.2, 0.2, 0.6};
+  std::vector<double> s = {0.1, 0.1, 0.8, 0.6, 0.2, 0.2,
+                           0.4, 0.5, 0.1, 0.1, 0.6, 0.3};
+  EXPECT_NEAR(obs::MeanAttentionDivergence(t, t, 4, 3), 0.0, 1e-9);
+  EXPECT_GT(obs::MeanAttentionDivergence(t, s, 4, 3), 0.01);
+}
+
+TEST(DistillationDriftTest, TensorWrappersGuardShapes) {
+  Rng rng(21);
+  Tensor e = Tensor::RandNormal({4, 3, 8}, 0, 1, rng);
+  EXPECT_NEAR(core::DistillationCka(e, e.Clone()), 1.0, 1e-6);
+  Tensor a = tensor::Softmax(Tensor::RandNormal({4, 3, 3}, 0, 1, rng), -1);
+  EXPECT_NEAR(core::DistillationAttentionDivergence(a, a.Clone()), 0.0, 1e-6);
+  // Mismatched / degenerate inputs degrade to NaN instead of crashing.
+  Tensor other = Tensor::RandNormal({5, 3, 8}, 0, 1, rng);
+  EXPECT_TRUE(std::isnan(core::DistillationCka(e, other)));
+  EXPECT_TRUE(std::isnan(core::DistillationAttentionDivergence(a, e)));
+}
+
+// --- End-to-end trainer wiring ---------------------------------------------
+
+core::TimeKdConfig SmallModelConfig() {
+  core::TimeKdConfig config;
+  config.num_variables = 3;
+  config.input_len = 12;
+  config.horizon = 6;
+  config.freq_minutes = 60;
+  config.d_model = 16;
+  config.num_heads = 2;
+  config.encoder_layers = 1;
+  config.ffn_hidden = 32;
+  config.dropout = 0.0f;
+  config.llm.d_model = 16;
+  config.llm.num_layers = 1;
+  config.llm.num_heads = 2;
+  config.llm.ffn_hidden = 32;
+  config.prompt.stride = 3;
+  config.seed = 5;
+  return config;
+}
+
+WindowDataset SmallDataset(uint64_t seed, int64_t length) {
+  data::DatasetSpec spec = data::DefaultSpec(data::DatasetId::kEtth1, length);
+  spec.num_variables = 3;
+  spec.seed = seed;
+  data::TimeSeries ts = data::MakeDataset(spec);
+  data::StandardScaler scaler;
+  scaler.Fit(ts);
+  return WindowDataset(scaler.Transform(ts), 12, 6);
+}
+
+TEST(HealthIntegrationTest, CleanFitIsHealthyAndDistillationDriftShrinks) {
+  const std::string events = ::testing::TempDir() + "/clean_run.jsonl";
+  std::remove(events.c_str());
+  core::TimeKd model(SmallModelConfig());
+  WindowDataset train = SmallDataset(44, 120);
+  core::TrainConfig tc;
+  tc.epochs = 4;
+  tc.batch_size = 8;
+  tc.lr = 3e-3;
+  tc.telemetry_every = 4;
+  tc.health = QuietConfig();
+  tc.health.events_path = events;
+  obs::CountingObserver counting;
+  tc.observer = &counting;
+  core::FitStats stats = model.Fit(train, nullptr, tc);
+
+  EXPECT_EQ(stats.health_anomalies, 0) << "seeded smoke run must be clean";
+  EXPECT_EQ(stats.health_verdict, HealthVerdict::kHealthy);
+  EXPECT_FALSE(stats.stopped_early);
+  EXPECT_EQ(counting.steps(), stats.steps) << "records forward through monitor";
+
+  // Eq. 25 pushes the student's features toward the teacher's: CKA must
+  // rise monotonically across the student epochs while the attention maps
+  // (Eq. 24) move closer.
+  ASSERT_EQ(stats.epochs.size(), 8u);
+  std::vector<double> cka;
+  for (size_t e = 4; e < 8; ++e) {
+    EXPECT_TRUE(std::isnan(stats.epochs[e - 4].distill_cka))
+        << "teacher epochs carry no drift metrics";
+    ASSERT_TRUE(std::isfinite(stats.epochs[e].distill_cka));
+    cka.push_back(stats.epochs[e].distill_cka);
+  }
+  for (size_t i = 1; i < cka.size(); ++i) {
+    EXPECT_GT(cka[i], cka[i - 1]) << "CKA not increasing at student epoch " << i;
+  }
+  EXPECT_LT(stats.epochs[7].distill_attn_div, stats.epochs[4].distill_attn_div);
+
+  // Every event-stream line is valid JSON; no health_event lines, one
+  // healthy summary.
+  const std::vector<std::string> lines = ReadLines(events);
+  ASSERT_FALSE(lines.empty());
+  double anomalies = -1;
+  for (const std::string& line : lines) {
+    auto parsed = obs::JsonValue::Parse(line);
+    ASSERT_TRUE(parsed.ok()) << line;
+    const std::string kind = parsed.value().GetString("kind", "");
+    EXPECT_NE(kind, "health_event");
+    if (kind == "health_summary") {
+      anomalies = parsed.value().GetDouble("anomalies", -1);
+    }
+  }
+  EXPECT_EQ(anomalies, 0.0);
+  std::remove(events.c_str());
+}
+
+TEST(HealthIntegrationTest, InjectedNanStopsBaselineFitWithinOneEpoch) {
+  const std::string events = ::testing::TempDir() + "/nan_run.jsonl";
+  const std::string html = ::testing::TempDir() + "/nan_run.html";
+  std::remove(events.c_str());
+  std::remove(html.c_str());
+
+  baselines::BaselineConfig config;
+  config.num_variables = 3;
+  config.input_len = 12;
+  config.horizon = 6;
+  config.d_model = 16;
+  config.num_heads = 2;
+  config.encoder_layers = 1;
+  config.ffn_hidden = 32;
+  config.dropout = 0.0f;
+  config.seed = 7;
+  baselines::ITransformer model(config);
+  // Poison one weight: every forward pass now yields NaN.
+  model.Parameters()[0].data()[0] = std::numeric_limits<float>::quiet_NaN();
+
+  baselines::BaselineTrainer trainer(&model);
+  WindowDataset train = SmallDataset(45, 100);
+  core::TrainConfig tc;
+  tc.epochs = 3;
+  tc.batch_size = 8;
+  tc.health = QuietConfig();
+  tc.health.events_path = events;
+  tc.health.html_report_path = html;
+  tc.health.fail_fast = FailFastMode::kStop;
+  baselines::BaselineFitStats stats = trainer.Fit(train, nullptr, tc);
+
+  EXPECT_TRUE(stats.stopped_early);
+  EXPECT_EQ(stats.health_verdict, HealthVerdict::kFailed);
+  EXPECT_GE(stats.health_anomalies, 1);
+  EXPECT_LE(stats.epochs.size(), 1u) << "fail-fast must stop within one epoch";
+
+  // Both artifacts of the dying run stay well formed.
+  const std::vector<std::string> lines = ReadLines(events);
+  ASSERT_FALSE(lines.empty());
+  bool saw_event = false;
+  for (const std::string& line : lines) {
+    auto parsed = obs::JsonValue::Parse(line);
+    ASSERT_TRUE(parsed.ok()) << line;
+    saw_event |= parsed.value().GetString("kind", "") == "health_event";
+  }
+  EXPECT_TRUE(saw_event);
+  std::ifstream in(html);
+  std::string page((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(page.find("<!DOCTYPE html>"), std::string::npos);
+  EXPECT_NE(page.find("</html>"), std::string::npos);
+  EXPECT_NE(page.find("failed"), std::string::npos);
+  std::remove(events.c_str());
+  std::remove(html.c_str());
+}
+
+}  // namespace
+}  // namespace timekd

@@ -1,0 +1,247 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "obs/health.h"
+#include "obs/json.h"
+#include "obs/observer.h"
+#include "obs/report.h"
+
+namespace timekd::obs {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+RunHistory SampleHistory() {
+  RunHistory history;
+  history.title = "unit <run>";
+  for (int64_t i = 0; i < 10; ++i) {
+    RunHistory::StepPoint p;
+    p.step = i + 1;
+    p.phase = i < 5 ? "teacher" : "student";
+    p.total_loss = 1.0 / static_cast<double>(i + 1);
+    p.grad_norm = 0.5;
+    p.lr = 1e-3;
+    history.steps.push_back(p);
+  }
+  for (int64_t e = 0; e < 3; ++e) {
+    EpochRecord r;
+    r.phase = "student";
+    r.epoch = e;
+    r.steps = 5;
+    r.total_loss = 1.0 - 0.1 * static_cast<double>(e);
+    r.val_mse = 0.9 - 0.1 * static_cast<double>(e);
+    r.distill_cka = 0.5 + 0.1 * static_cast<double>(e);
+    r.distill_attn_div = 0.3 - 0.05 * static_cast<double>(e);
+    history.epochs.push_back(r);
+  }
+  HealthEvent event;
+  event.type = HealthEventType::kLossSpike;
+  event.phase = "student";
+  event.step = 7;
+  event.message = "loss 9 > threshold 2 & <spiky>";
+  history.events.push_back(event);
+  history.verdict = HealthVerdict::kWarning;
+  history.anomalies = 1;
+  return history;
+}
+
+TEST(RenderHtmlReportTest, ContainsChartsTablesAndVerdict) {
+  const std::string html = RenderHtmlReport(SampleHistory());
+  EXPECT_EQ(html.rfind("<!DOCTYPE html>", 0), 0u);
+  EXPECT_NE(html.find("</html>"), std::string::npos);
+  for (const char* chart : {"loss", "grad_norm", "lr", "epoch", "distill_cka",
+                            "distill_attn_div", "events"}) {
+    EXPECT_NE(html.find("data-chart=\"" + std::string(chart) + "\""),
+              std::string::npos)
+        << "missing chart " << chart;
+  }
+  EXPECT_NE(html.find("<svg"), std::string::npos);
+  EXPECT_NE(html.find("warning"), std::string::npos);
+  // User-controlled strings are escaped, never spliced raw into markup.
+  EXPECT_EQ(html.find("unit <run>"), std::string::npos);
+  EXPECT_NE(html.find("unit &lt;run&gt;"), std::string::npos);
+  EXPECT_EQ(html.find("<spiky>"), std::string::npos);
+  // Self-contained: no external scripts, stylesheets or images.
+  EXPECT_EQ(html.find("<script"), std::string::npos);
+  EXPECT_EQ(html.find("href=\"http"), std::string::npos);
+  EXPECT_EQ(html.find("src=\"http"), std::string::npos);
+}
+
+TEST(RenderHtmlReportTest, EmptyHistoryStillRendersAPage) {
+  const std::string html = RenderHtmlReport(RunHistory{});
+  EXPECT_EQ(html.rfind("<!DOCTYPE html>", 0), 0u);
+  EXPECT_NE(html.find("</html>"), std::string::npos);
+  EXPECT_NE(html.find("healthy"), std::string::npos);
+}
+
+TEST(WriteHtmlReportTest, WritesRenderedPageToDisk) {
+  const std::string path = ::testing::TempDir() + "/report.html";
+  std::remove(path.c_str());
+  ASSERT_TRUE(WriteHtmlReport(SampleHistory(), path).ok());
+  std::ifstream in(path);
+  std::string page((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_EQ(page, RenderHtmlReport(SampleHistory()));
+  std::remove(path.c_str());
+}
+
+TEST(WriteHtmlReportTest, UnwritablePathFails) {
+  EXPECT_FALSE(WriteHtmlReport(RunHistory{}, "/nonexistent/dir/x.html").ok());
+}
+
+// --- JSONL loading ---------------------------------------------------------
+
+std::string WriteTrainingLog(const std::string& name, int64_t steps,
+                             int64_t epochs) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::remove(path.c_str());
+  JsonlObserver observer(path);
+  for (int64_t i = 0; i < steps; ++i) {
+    StepRecord r;
+    r.phase = "student";
+    r.epoch = i / 4;
+    r.step = i + 1;
+    r.total_loss = 2.0 / static_cast<double>(i + 1);
+    r.grad_norm = 0.25;
+    r.lr = 5e-4;
+    observer.OnStep(r);
+  }
+  for (int64_t e = 0; e < epochs; ++e) {
+    EpochRecord r;
+    r.phase = "student";
+    r.epoch = e;
+    r.steps = 4;
+    r.total_loss = 1.0;
+    r.val_mse = kNaN;  // no validation set: must round-trip as NaN
+    r.distill_cka = 0.7;
+    observer.OnEpoch(r);
+  }
+  return path;
+}
+
+TEST(MergeRunHistoryTest, RoundTripsTrainingLog) {
+  const std::string path = WriteTrainingLog("train_log.jsonl", 8, 2);
+  StatusOr<RunHistory> loaded = LoadRunHistoryFromJsonl(path);
+  ASSERT_TRUE(loaded.ok());
+  const RunHistory& history = loaded.value();
+  ASSERT_EQ(history.steps.size(), 8u);
+  EXPECT_EQ(history.steps[0].step, 1);
+  EXPECT_EQ(history.steps[0].phase, "student");
+  EXPECT_NEAR(history.steps[0].total_loss, 2.0, 1e-12);
+  EXPECT_NEAR(history.steps[0].lr, 5e-4, 1e-12);
+  ASSERT_EQ(history.epochs.size(), 2u);
+  EXPECT_TRUE(std::isnan(history.epochs[0].val_mse));
+  EXPECT_NEAR(history.epochs[0].distill_cka, 0.7, 1e-12);
+  EXPECT_EQ(history.verdict, HealthVerdict::kHealthy);
+  std::remove(path.c_str());
+}
+
+TEST(MergeRunHistoryTest, MergesHealthStreamOntoTrainingLog) {
+  const std::string train_path = WriteTrainingLog("merge_train.jsonl", 4, 1);
+  const std::string health_path = ::testing::TempDir() + "/merge_health.jsonl";
+  std::remove(health_path.c_str());
+  HealthConfig config;
+  config.events_path = health_path;
+  config.html_report_path = "";
+  {
+    HealthMonitor monitor(config);
+    StepRecord r;
+    r.phase = "student";
+    r.step = 3;
+    r.total_loss = kNaN;
+    monitor.OnStep(r);
+  }
+  RunHistory history;
+  ASSERT_TRUE(MergeRunHistoryFromJsonl(train_path, &history).ok());
+  ASSERT_TRUE(MergeRunHistoryFromJsonl(health_path, &history).ok());
+  EXPECT_EQ(history.steps.size(), 4u);
+  ASSERT_EQ(history.events.size(), 1u);
+  EXPECT_EQ(history.events[0].type, HealthEventType::kNonFinite);
+  EXPECT_EQ(history.verdict, HealthVerdict::kFailed);
+  // The merged history renders with its events on the timeline.
+  const std::string html = RenderHtmlReport(history);
+  EXPECT_NE(html.find("data-chart=\"events\""), std::string::npos);
+  std::remove(train_path.c_str());
+  std::remove(health_path.c_str());
+}
+
+TEST(MergeRunHistoryTest, SkipsGarbageLinesButFailsOnMissingFile) {
+  const std::string path = ::testing::TempDir() + "/garbage.jsonl";
+  {
+    std::ofstream out(path);
+    out << "not json at all\n";
+    out << "{\"kind\":\"step\",\"phase\":\"p\",\"step\":1,\"total_loss\":1}\n";
+    out << "{\"kind\":\"step\",\"truncated\":\n";  // torn copy of a line
+    out << "{\"kind\":\"something_else\",\"x\":1}\n";
+  }
+  RunHistory history;
+  ASSERT_TRUE(MergeRunHistoryFromJsonl(path, &history).ok());
+  EXPECT_EQ(history.steps.size(), 1u);
+  EXPECT_FALSE(
+      MergeRunHistoryFromJsonl(::testing::TempDir() + "/no_such.jsonl",
+                               &history)
+          .ok());
+  std::remove(path.c_str());
+}
+
+TEST(MergeRunHistoryTest, NonFiniteStepFieldsRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/nonfinite.jsonl";
+  std::remove(path.c_str());
+  {
+    JsonlObserver observer(path);
+    StepRecord r;
+    r.phase = "teacher";
+    r.step = 1;
+    r.total_loss = kNaN;
+    r.grad_norm = std::numeric_limits<double>::infinity();
+    observer.OnStep(r);
+  }
+  StatusOr<RunHistory> loaded = LoadRunHistoryFromJsonl(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().steps.size(), 1u);
+  // Step records encode every non-finite double as null (JsonNumber), which
+  // reads back as NaN — the sign of an Inf is only preserved by the
+  // JsonNumberOrString escape hatch health events use for their `value`.
+  EXPECT_TRUE(std::isnan(loaded.value().steps[0].total_loss));
+  EXPECT_FALSE(std::isfinite(loaded.value().steps[0].grad_norm));
+  std::remove(path.c_str());
+}
+
+// A run killed mid-write leaves a log the report loader fully recovers:
+// JsonlWriter emits each record as one flushed fwrite, so an abrupt death
+// (here: _Exit, which skips every destructor) never tears a line.
+TEST(JsonlCrashDeathTest, KilledRunLeavesFullyParseableLog) {
+  const std::string path = ::testing::TempDir() + "/crash.jsonl";
+  std::remove(path.c_str());
+  EXPECT_EXIT(
+      {
+        JsonlObserver observer(path);
+        for (int64_t i = 0; i < 50; ++i) {
+          StepRecord r;
+          r.phase = "student";
+          r.step = i + 1;
+          r.total_loss = 1.0;
+          observer.OnStep(r);
+        }
+        std::_Exit(7);
+      },
+      ::testing::ExitedWithCode(7), "");
+  StatusOr<RunHistory> loaded = LoadRunHistoryFromJsonl(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().steps.size(), 50u);
+  // ...and the recovered log renders to a complete report.
+  const std::string html = RenderHtmlReport(loaded.value());
+  EXPECT_NE(html.find("data-chart=\"loss\""), std::string::npos);
+  EXPECT_NE(html.find("</html>"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace timekd::obs

@@ -51,6 +51,17 @@ run_determinism() {
     -R 'DeterminismTest|ThreadPool' --output-on-failure
 }
 
+# Health-watchdog suite: the cases run in every preset's full ctest pass
+# already, but this focused re-run keeps the fail-fast death tests and the
+# crash/reparse case visible as their own gate step — they guard artifacts
+# (JSONL event streams, HTML reports) that outlive the process, which is
+# exactly where sanitizer builds tend to diverge from the default build.
+run_health() {
+  local preset="$1"
+  step "health suite [$preset]"
+  ctest --preset "$preset" -R 'Health|Report|JsonlCrash' --output-on-failure
+}
+
 # Perf-gate smoke: run the micro-kernel bench twice at the smoke profile
 # and require tools/perf_diff.py to pass the pair. This catches broken
 # BENCH artifact emission, schema drift the gate can't parse, and noise
@@ -83,12 +94,15 @@ python3 tools/lint/timekd_lint.py --root "$ROOT" --format-check
 
 run_config default
 run_determinism default
+run_health default
 run_perf_gate
 
 if [[ "$FAST" == "0" ]]; then
   run_config asan-ubsan
+  run_health asan-ubsan
   run_config tsan
   run_determinism tsan
+  run_health tsan
 fi
 
 step "all checks passed"

@@ -26,6 +26,12 @@ Rules (all stdlib-only, no third-party deps):
                     measurement goes through obs::WallTimer /
                     Tracer::NowMicros so every timer shares one origin and
                     the profiler/tracer/BENCH artifacts stay comparable.
+  health-observer   Every .cc in src/ that defines a Fit(...) taking a
+                    TrainConfig must reference obs::HealthMonitor
+                    (obs/health.h), so new training loops inherit the
+                    NaN/spike/plateau watchdog and its JSONL/HTML run
+                    artifacts. Deliberate exceptions carry a documented
+                    `timekd-lint: allow(health-observer)`.
 
 Suppression: a finding on line N of a rule R is suppressed when line N or
 line N-1 contains `timekd-lint: allow(R)`. Use sparingly and document why.
@@ -423,6 +429,50 @@ def check_raw_clock(root, findings):
                             "timekd-lint: allow(raw-clock)"))
 
 
+# --- Rule: health-observer -------------------------------------------------
+
+# src/obs hosts the monitor itself; everywhere else a Fit(...TrainConfig...)
+# definition must wire it (records flow through the watchdog to the user
+# observer, anomalies feed health/* metrics and the run report).
+HEALTH_FIT_RE = re.compile(r"\bFit\s*\(")
+HEALTH_MONITOR_RE = re.compile(r"\bHealthMonitor\b")
+HEALTH_EXEMPT_PREFIXES = ("src/obs/",)
+
+
+def check_health_observer(root, findings):
+    for rel in iter_files(root, ["src"], (".cc",)):
+        if rel.startswith(HEALTH_EXEMPT_PREFIXES):
+            continue
+        raw = read_lines(root, rel)
+        code = strip_comments_and_strings(raw)
+        has_monitor = any(HEALTH_MONITOR_RE.search(l) for l in code)
+        for idx, line in enumerate(code):
+            m = HEALTH_FIT_RE.search(line)
+            if m is None:
+                continue
+            # Join the parameter list across lines (signatures wrap).
+            sig = []
+            depth = 0
+            opened = False
+            for j in range(idx, min(idx + 12, len(code))):
+                text = code[j][m.start():] if j == idx else code[j]
+                sig.append(text)
+                depth += text.count("(") - text.count(")")
+                opened = opened or "(" in text
+                if opened and depth <= 0:
+                    break
+            if "TrainConfig" not in " ".join(sig):
+                continue  # a call site or an unrelated Fit
+            if has_monitor or is_allowed("health-observer", raw, idx + 1):
+                continue
+            findings.append(
+                Finding("health-observer", rel, idx + 1,
+                        "Fit(...TrainConfig...) without an obs::HealthMonitor"
+                        "; wrap the observer (see core/timekd.cc) or add a "
+                        "documented timekd-lint: allow(health-observer)"))
+            break
+
+
 # --- Format mode -----------------------------------------------------------
 
 
@@ -498,6 +548,7 @@ RULES = {
     "test-determinism": check_test_determinism,
     "raw-thread": check_raw_thread,
     "raw-clock": check_raw_clock,
+    "health-observer": check_health_observer,
 }
 
 

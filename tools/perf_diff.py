@@ -20,6 +20,11 @@ Raw kernel counters (matmul_calls, ...) are reported but never gated:
 google-benchmark picks iteration counts adaptively, so call/FLOP totals are
 not comparable across runs even on identical code.
 
+The training-health summary (health.anomalies, health.verdict — see
+obs/health.h) is likewise reported but never gated: a noisy run should be
+visible next to its timings, not fail the perf gate, and health has its own
+fail-fast path inside the trainer.
+
 Comparing artifacts from different experiments, bench profiles, or thread
 counts is a usage error (exit 2), not a regression — the numbers would be
 meaningless.
@@ -84,6 +89,9 @@ def flatten_metrics(doc):
         out[f"throughput.{name}"] = float(value)
     for name, value in doc.get("memory", {}).items():
         out[f"memory.{name}"] = float(value)
+    for name, value in doc.get("health", {}).items():
+        # No spec maps to health.* so these always render as "(ungated)".
+        out[f"health.{name}"] = float(value)
     return out
 
 
@@ -203,6 +211,7 @@ def synthetic_artifact():
         "kernels": {"matmul_calls": 10, "matmul_flops": 1000},
         "memory": {"tensor_peak_bytes": 64 << 20,
                    "rss_peak_bytes": 128 << 20},
+        "health": {"anomalies": 0, "verdict": 0},
         "metrics": {"counters": {}, "gauges": {}, "histograms": {}},
     }
 
@@ -255,6 +264,15 @@ def self_test():
     _, regs = diff(base, fat, specs)
     expect("tensor peak growth regresses",
            regs == ["memory.tensor_peak_bytes"])
+
+    noisy = copy.deepcopy(base)
+    noisy["health"]["anomalies"] = 7
+    noisy["health"]["verdict"] = 2
+    report, regs = diff(base, noisy, specs)
+    expect("health anomalies never gate", regs == [])
+    expect("health anomalies are reported",
+           any("health.anomalies" in line and "ungated" in line
+               for line in report))
 
     other = copy.deepcopy(base)
     other["provenance"]["bench_profile"] = "paper"
