@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <initializer_list>
 #include <string>
 #include <vector>
 
@@ -12,6 +14,8 @@
 #include "common/rng.h"
 #include "llm/language_model.h"
 #include "nn/attention.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "tensor/ops.h"
 #include "text/prompt.h"
@@ -21,16 +25,68 @@ namespace {
 using timekd::Rng;
 using timekd::tensor::Tensor;
 
+/// Wall-clock FLOP/s and bytes/s for a timed loop, from deltas of the
+/// analytic roofline counters credited in ops.cc/attention.cc
+/// (`<prefix>_flops`, `<prefix>_read_bytes`, `<prefix>_write_bytes`).
+/// Construct before the loop, call Report() after it.
+///
+/// Reported as plain counter values, not benchmark::Counter::kIsRate and
+/// not SetItemsProcessed: both of those divide by CPU time, and under the
+/// shared thread pool CPU time sums the workers' time, so "items/s" shrinks
+/// as parallelism grows (PR 3). The previous SetItemsProcessed figures were
+/// also dimensionally off — BM_MatMul used n^3 "items", half the real 2n^3
+/// FLOPs. The analytic counters give true FLOPs and compulsory bytes.
+class RooflineRates {
+ public:
+  explicit RooflineRates(std::initializer_list<const char*> prefixes) {
+    for (const char* p : prefixes) prefixes_.emplace_back(p);
+    base_flops_ = Sum("_flops");
+    base_bytes_ = Sum("_read_bytes") + Sum("_write_bytes");
+  }
+
+  void Report(benchmark::State& state) const {
+    const double seconds = timer_.ElapsedSeconds();
+    if (seconds <= 0.0) return;
+    const double flops = static_cast<double>(Sum("_flops") - base_flops_);
+    const double bytes = static_cast<double>(
+        Sum("_read_bytes") + Sum("_write_bytes") - base_bytes_);
+    state.counters["flops_per_sec"] = benchmark::Counter(flops / seconds);
+    state.counters["bytes_per_sec"] = benchmark::Counter(bytes / seconds);
+  }
+
+ private:
+  uint64_t Sum(const char* suffix) const {
+    uint64_t total = 0;
+    for (const std::string& p : prefixes_) {
+      total += timekd::obs::GlobalMetrics().GetCounter(p + suffix)->value();
+    }
+    return total;
+  }
+
+  std::vector<std::string> prefixes_;
+  uint64_t base_flops_ = 0;
+  uint64_t base_bytes_ = 0;
+  timekd::obs::WallTimer timer_;
+};
+
+// Every credited prefix, for benchmarks that exercise whole modules
+// (attention, encoder step) rather than a single kernel.
+constexpr std::initializer_list<const char*> kAllKernelPrefixes = {
+    "tensor/matmul",      "tensor/matmul_bwd",   "tensor/softmax",
+    "tensor/softmax_bwd", "tensor/layernorm",    "tensor/layernorm_bwd",
+    "tensor/elementwise", "tensor/transpose",    "nn/rope_tables"};
+
 void BM_MatMul(benchmark::State& state) {
   const int64_t n = state.range(0);
   Rng rng(1);
   Tensor a = Tensor::RandNormal({n, n}, 0, 1, rng);
   Tensor b = Tensor::RandNormal({n, n}, 0, 1, rng);
   TIMEKD_TRACE_SCOPE("kernel/matmul");
+  RooflineRates rates({"tensor/matmul"});
   for (auto _ : state) {
     benchmark::DoNotOptimize(timekd::tensor::MatMul(a, b).data());
   }
-  state.SetItemsProcessed(state.iterations() * n * n * n);
+  rates.Report(state);
 }
 BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
 
@@ -39,10 +95,11 @@ void BM_Softmax(benchmark::State& state) {
   Rng rng(2);
   Tensor x = Tensor::RandNormal({n, n}, 0, 1, rng);
   TIMEKD_TRACE_SCOPE("kernel/softmax");
+  RooflineRates rates({"tensor/softmax"});
   for (auto _ : state) {
     benchmark::DoNotOptimize(timekd::tensor::Softmax(x, -1).data());
   }
-  state.SetItemsProcessed(state.iterations() * n * n);
+  rates.Report(state);
 }
 BENCHMARK(BM_Softmax)->Arg(64)->Arg(256);
 
@@ -53,11 +110,12 @@ void BM_LayerNorm(benchmark::State& state) {
   Tensor gamma = Tensor::Ones({64});
   Tensor beta = Tensor::Zeros({64});
   TIMEKD_TRACE_SCOPE("kernel/layernorm");
+  RooflineRates rates({"tensor/layernorm"});
   for (auto _ : state) {
     benchmark::DoNotOptimize(
         timekd::tensor::LayerNorm(x, gamma, beta, 1e-5f).data());
   }
-  state.SetItemsProcessed(state.iterations() * rows * 64);
+  rates.Report(state);
 }
 BENCHMARK(BM_LayerNorm)->Arg(64)->Arg(512);
 
@@ -68,10 +126,11 @@ void BM_AttentionForward(benchmark::State& state) {
   attn.SetTraining(false);
   Tensor x = Tensor::RandNormal({1, seq, 64}, 0, 1, rng);
   TIMEKD_TRACE_SCOPE("kernel/attention_forward");
+  RooflineRates rates(kAllKernelPrefixes);
   for (auto _ : state) {
     benchmark::DoNotOptimize(attn.SelfForward(x, Tensor()).data());
   }
-  state.SetItemsProcessed(state.iterations() * seq * seq);
+  rates.Report(state);
 }
 BENCHMARK(BM_AttentionForward)->Arg(16)->Arg(64)->Arg(128);
 
@@ -81,11 +140,13 @@ void BM_TrainingStepBackward(benchmark::State& state) {
                                          timekd::nn::Activation::kGelu, &rng);
   Tensor x = Tensor::RandNormal({8, 7, 32}, 0, 1, rng);
   TIMEKD_TRACE_SCOPE("kernel/training_step_backward");
+  RooflineRates rates(kAllKernelPrefixes);
   for (auto _ : state) {
     Tensor loss = timekd::tensor::Mean(encoder.Forward(x, Tensor()));
     loss.Backward();
     encoder.ZeroGrad();
   }
+  rates.Report(state);
 }
 BENCHMARK(BM_TrainingStepBackward);
 
@@ -141,14 +202,21 @@ BENCHMARK(BM_ClmEncodeLastToken);
 
 // Documents the acceptance budget of the observability layer itself: a
 // TIMEKD_TRACE_SCOPE with every span sink disabled must cost one relaxed
-// atomic load, i.e. this should report low-single-digit nanoseconds. With
-// TIMEKD_TRACE_OUT/TIMEKD_PROFILE_OUT set it instead measures the enabled
-// span cost.
+// atomic load, i.e. this should report low-single-digit nanoseconds. This
+// binary enables the profiler sink in main() for the roofline artifact, so
+// the sink mask is saved, cleared for the loop, and restored — the probe
+// keeps measuring the *disabled* cost it documents.
 void BM_DisabledSpanOverhead(benchmark::State& state) {
+  namespace oi = timekd::obs::internal;
+  const uint32_t saved_sinks = oi::SpanSinks();
+  oi::SetSpanSink(oi::kTracerSink, false);
+  oi::SetSpanSink(oi::kProfilerSink, false);
   for (auto _ : state) {
     TIMEKD_TRACE_SCOPE("bench/span_overhead_probe");
     benchmark::ClobberMemory();
   }
+  oi::SetSpanSink(oi::kTracerSink, (saved_sinks & oi::kTracerSink) != 0);
+  oi::SetSpanSink(oi::kProfilerSink, (saved_sinks & oi::kProfilerSink) != 0);
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_DisabledSpanOverhead);
@@ -164,6 +232,13 @@ int main(int argc, char** argv) {
   timekd::bench::PrintBanner(
       "micro_kernels",
       "substrate kernel cost structure underlying Table IV", profile);
+
+  // Aggregate spans even without TIMEKD_PROFILE_OUT so the BENCH artifact's
+  // roofline block has per-kernel wall time to place FLOP and traffic
+  // credits on. Enable("") aggregates without scheduling a file dump.
+  if (!timekd::obs::Profiler::Get().enabled()) {
+    timekd::obs::Profiler::Get().Enable("");
+  }
 
   std::vector<char*> args(argv, argv + argc);
   // google-benchmark 1.7 takes seconds as a plain double here.

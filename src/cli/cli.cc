@@ -10,6 +10,7 @@
 #include "data/time_series.h"
 #include "data/window_dataset.h"
 #include "eval/metrics.h"
+#include "eval/roofline_report.h"
 #include "obs/health.h"
 #include "obs/observer.h"
 #include "obs/profiler.h"
@@ -333,8 +334,26 @@ int CmdReport(const Flags& flags, std::ostream& out) {
   return 0;
 }
 
+int CmdPerf(const Flags& flags, std::ostream& out) {
+  if (Status s = flags.Require({"in", "out"}); !s.ok()) {
+    out << s.ToString() << "\n";
+    return 2;
+  }
+  const std::string in = flags.GetString("in", "");
+  const std::string path = flags.GetString("out", "");
+  if (Status s = eval::WriteRooflineHtml(
+          in, path, flags.GetString("title", "TimeKD kernel roofline"));
+      !s.ok()) {
+    out << s.ToString() << "\n";
+    return 1;
+  }
+  out << "wrote roofline report for " << in << " to " << path << "\n";
+  return 0;
+}
+
 void PrintUsage(std::ostream& out) {
-  out << "usage: timekd_cli <generate-data|train|evaluate|forecast|report> "
+  out << "usage: timekd_cli "
+         "<generate-data|train|evaluate|forecast|report|perf> "
          "[--flag value ...]\n"
          "global flags: --profile-out FILE (hierarchical profile JSON at "
          "exit), --profile-stderr 1 (profile tree on stderr at exit)\n"
@@ -368,6 +387,7 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out) {
   if (command == "evaluate") return CmdEvaluate(*flags, out);
   if (command == "forecast") return CmdForecast(*flags, out);
   if (command == "report") return CmdReport(*flags, out);
+  if (command == "perf") return CmdPerf(*flags, out);
   PrintUsage(out);
   return 2;
 }

@@ -21,6 +21,7 @@ namespace timekd::cli {
 ///                 [--fail-fast off|stop|abort]
 ///   report        --in <jsonl> --out <html>
 ///                 [--health <jsonl>] [--title T]
+///   perf          --in <BENCH_*.json> --out <html> [--title T]
 ///   evaluate      --data <csv> --freq <minutes> --input <H> --horizon <M>
 ///                 --student <bin> [--llm-dim D]
 ///   forecast      --data <csv> --freq <minutes> --input <H> --horizon <M>
@@ -37,8 +38,10 @@ namespace timekd::cli {
 /// split; `forecast` predicts the M steps following the last H rows and
 /// writes them as CSV; `report` renders the self-contained HTML run report
 /// from existing JSONL logs (training records via --in, optionally merging
-/// the health event stream via --health). See docs/observability.md for
-/// the train-time health/telemetry flags.
+/// the health event stream via --health); `perf` renders a BENCH_*.json
+/// artifact (schema >= 2) into a self-contained roofline HTML page
+/// (eval/roofline_report.h). See docs/observability.md for the train-time
+/// health/telemetry flags and the artifact schemas.
 int RunCli(const std::vector<std::string>& args, std::ostream& out);
 
 }  // namespace timekd::cli

@@ -10,6 +10,7 @@
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
+#include "obs/roofline.h"
 #include "obs/trace.h"
 
 #ifndef TIMEKD_GIT_SHA
@@ -19,22 +20,6 @@
 namespace timekd::eval {
 
 namespace {
-
-std::string CompilerString() {
-#if defined(__clang__)
-  return std::string("clang ") + __clang_version__;
-#elif defined(__GNUC__)
-  return std::string("gcc ") + __VERSION__;
-#else
-  return "unknown";
-#endif
-}
-
-std::string Hostname() {
-  char buf[256] = {0};
-  if (gethostname(buf, sizeof(buf) - 1) != 0) return "unknown";
-  return buf;
-}
 
 int64_t EffectiveNumThreads() {
   // Mirror the thread pool's sizing rule without instantiating the pool:
@@ -67,6 +52,104 @@ uint64_t CounterOr0(const obs::MetricsSnapshot& snap,
   return it != snap.counters.end() ? it->second : 0;
 }
 
+struct SpanAgg {
+  uint64_t count = 0;
+  uint64_t total_us = 0;
+  uint64_t flops = 0;
+  uint64_t read_bytes = 0;
+  uint64_t write_bytes = 0;
+};
+
+void MergeCreditedSpans(const obs::ProfileNode& node,
+                        std::map<std::string, SpanAgg>* out) {
+  if (node.flops > 0 || node.read_bytes + node.write_bytes > 0) {
+    SpanAgg& agg = (*out)[node.name];
+    agg.count += node.count;
+    agg.total_us += node.total_us;
+    agg.flops += node.flops;
+    agg.read_bytes += node.read_bytes;
+    agg.write_bytes += node.write_bytes;
+  }
+  for (const obs::ProfileNode& child : node.children) {
+    MergeCreditedSpans(child, out);
+  }
+}
+
+/// The roofline block: machine calibration plus every credited profiler
+/// span placed on it. Span crediting is inclusive of children, so nested
+/// kernels (tensor/matmul under nn/attention) each appear with their own
+/// exclusive cost only at the leaves; the per-name merge across threads
+/// and parents mirrors PhasesJson(). Requires the profiler sink to be on
+/// (bench_micro_kernels enables aggregation in its main); otherwise only
+/// the machine sub-block and the counter totals are populated.
+std::string RooflineJson(const obs::MetricsSnapshot& snap) {
+  const obs::MachineRoofline& machine = obs::GetMachineRoofline();
+  obs::JsonObject machine_obj;
+  machine_obj.Set("calibrated", machine.calibrated)
+      .Set("source", machine.source)
+      .Set("peak_flops_per_sec", machine.peak_flops_per_sec)
+      .Set("peak_bytes_per_sec", machine.peak_bytes_per_sec)
+      .Set("ridge_flops_per_byte", machine.RidgeFlopsPerByte());
+
+  std::map<std::string, SpanAgg> merged;
+  const obs::ProfileSnapshot prof = obs::Profiler::Get().Snapshot();
+  for (const auto& thread : prof.threads) {
+    for (const obs::ProfileNode& root : thread.roots) {
+      MergeCreditedSpans(root, &merged);
+    }
+  }
+  obs::JsonObject kernels;
+  for (const auto& [name, agg] : merged) {
+    const uint64_t traffic = agg.read_bytes + agg.write_bytes;
+    const double seconds = static_cast<double>(agg.total_us) * 1e-6;
+    const obs::RooflinePoint pt =
+        obs::ClassifyRoofline(agg.flops, traffic, seconds, machine);
+    obs::JsonObject k;
+    k.Set("count", agg.count)
+        .Set("total_us", agg.total_us)
+        .Set("flops", agg.flops)
+        .Set("read_bytes", agg.read_bytes)
+        .Set("write_bytes", agg.write_bytes)
+        .Set("ai", pt.ai)
+        .Set("flops_per_sec",
+             seconds > 0.0 ? static_cast<double>(agg.flops) / seconds : 0.0)
+        .Set("bytes_per_sec",
+             seconds > 0.0 ? static_cast<double>(traffic) / seconds : 0.0)
+        .Set("pct_of_peak", pt.pct_of_peak)
+        .Set("bound", pt.memory_bound ? "memory" : "compute");
+    kernels.SetRaw(name, k.ToString());
+  }
+
+  // Process-lifetime analytic totals from the global counters: available
+  // even without the profiler sink, but carry no timing, hence AI only.
+  obs::JsonObject ops;
+  static const char* kPrefixes[] = {
+      "tensor/matmul",     "tensor/matmul_bwd",    "tensor/softmax",
+      "tensor/softmax_bwd", "tensor/layernorm",    "tensor/layernorm_bwd",
+      "tensor/elementwise", "tensor/transpose",    "nn/attention_score",
+      "nn/rope_tables"};
+  for (const char* prefix : kPrefixes) {
+    const std::string p(prefix);
+    const uint64_t flops = CounterOr0(snap, p + "_flops");
+    const uint64_t read = CounterOr0(snap, p + "_read_bytes");
+    const uint64_t write = CounterOr0(snap, p + "_write_bytes");
+    if (flops == 0 && read + write == 0) continue;
+    obs::JsonObject op;
+    op.Set("calls", CounterOr0(snap, p + "_calls"))
+        .Set("flops", flops)
+        .Set("read_bytes", read)
+        .Set("write_bytes", write)
+        .Set("ai", obs::ArithmeticIntensity(flops, read + write));
+    ops.SetRaw(p, op.ToString());
+  }
+
+  obs::JsonObject roofline;
+  roofline.SetRaw("machine", machine_obj.ToString())
+      .SetRaw("kernels", kernels.ToString())
+      .SetRaw("ops", ops.ToString());
+  return roofline.ToString();
+}
+
 }  // namespace
 
 std::string ProvenanceJson(const std::string& profile_name) {
@@ -74,8 +157,8 @@ std::string ProvenanceJson(const std::string& profile_name) {
   obj.Set("git_sha", GetEnvString("TIMEKD_GIT_SHA", TIMEKD_GIT_SHA))
       .Set("bench_profile", profile_name)
       .Set("num_threads", EffectiveNumThreads())
-      .Set("hostname", Hostname())
-      .Set("compiler", CompilerString());
+      .Set("hostname", obs::HostnameString())
+      .Set("compiler", obs::CompilerVersionString());
   return obj.ToString();
 }
 
@@ -132,13 +215,14 @@ Status WriteBenchArtifact(const std::string& experiment,
                             : int64_t{0});
 
   obs::JsonObject doc;
-  doc.Set("schema_version", 1)
+  doc.Set("schema_version", 2)
       .Set("experiment", experiment)
       .SetRaw("provenance", ProvenanceJson(profile.name))
       .Set("wall_seconds", wall_seconds)
       .SetRaw("phases", PhasesJson())
       .SetRaw("throughput", throughput.ToString())
       .SetRaw("kernels", kernels.ToString())
+      .SetRaw("roofline", RooflineJson(snap))
       .SetRaw("memory", memory.ToString())
       .SetRaw("health", health.ToString())
       .SetRaw("metrics", obs::GlobalMetrics().ToJson());

@@ -1,0 +1,353 @@
+#include "eval/roofline_report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace timekd::eval {
+
+namespace {
+
+std::string HtmlEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string Fmt(const char* format, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), format, v);
+  return buf;
+}
+
+/// Engineering notation with a unit suffix: 1.23 G, 45.6 M, ...
+std::string Eng(double v) {
+  static const struct { double scale; const char* suffix; } kScales[] = {
+      {1e12, " T"}, {1e9, " G"}, {1e6, " M"}, {1e3, " k"}};
+  for (const auto& s : kScales) {
+    if (v >= s.scale) return Fmt("%.2f", v / s.scale) + s.suffix;
+  }
+  return Fmt("%.2f ", v);
+}
+
+/// One credited kernel from roofline.kernels, flattened for rendering.
+struct KernelRow {
+  std::string name;
+  uint64_t count = 0;
+  double total_us = 0;
+  double flops = 0;
+  double read_bytes = 0;
+  double write_bytes = 0;
+  double ai = 0;
+  double flops_per_sec = 0;
+  double bytes_per_sec = 0;
+  double pct_of_peak = 0;
+  std::string bound;
+};
+
+/// Log-log chart geometry: maps (ai, flops/sec) into the SVG viewport.
+struct ChartScale {
+  double x_min_log = 0, x_max_log = 1;
+  double y_min_log = 0, y_max_log = 1;
+  static constexpr double kLeft = 70, kRight = 730, kTop = 20, kBottom = 380;
+
+  double X(double ai) const {
+    const double t =
+        (std::log10(ai) - x_min_log) / (x_max_log - x_min_log);
+    return kLeft + t * (kRight - kLeft);
+  }
+  double Y(double flops_per_sec) const {
+    const double t =
+        (std::log10(flops_per_sec) - y_min_log) / (y_max_log - y_min_log);
+    return kBottom - t * (kBottom - kTop);
+  }
+};
+
+void AppendSvgLine(double x1, double y1, double x2, double y2,
+                   const char* style, std::string* out) {
+  *out += "<line x1=\"" + Fmt("%.1f", x1) + "\" y1=\"" + Fmt("%.1f", y1) +
+          "\" x2=\"" + Fmt("%.1f", x2) + "\" y2=\"" + Fmt("%.1f", y2) +
+          "\" " + style + "/>\n";
+}
+
+/// The roofline figure: the memory ceiling (bandwidth slope), the compute
+/// ceiling (flat peak), and one dot per kernel at (AI, achieved FLOP/s).
+/// Log-log, decade gridlines, labels along the dots.
+std::string RenderChart(bool calibrated, double peak_flops, double peak_bw,
+                        const std::vector<KernelRow>& rows) {
+  std::vector<const KernelRow*> points;
+  for (const KernelRow& r : rows) {
+    if (r.flops > 0 && r.total_us > 0 && std::isfinite(r.ai) && r.ai > 0) {
+      points.push_back(&r);
+    }
+  }
+  if (points.empty()) {
+    return "<p class=\"empty\">no kernels with both FLOP and timing data — "
+           "run a bench binary with the profiler sink enabled</p>\n";
+  }
+
+  ChartScale sc;
+  double ai_lo = points[0]->ai, ai_hi = points[0]->ai;
+  double fl_lo = points[0]->flops_per_sec, fl_hi = points[0]->flops_per_sec;
+  for (const KernelRow* p : points) {
+    ai_lo = std::min(ai_lo, p->ai);
+    ai_hi = std::max(ai_hi, p->ai);
+    fl_lo = std::min(fl_lo, p->flops_per_sec);
+    fl_hi = std::max(fl_hi, p->flops_per_sec);
+  }
+  if (calibrated) {
+    const double ridge = peak_bw > 0 ? peak_flops / peak_bw : 1.0;
+    ai_lo = std::min(ai_lo, ridge);
+    ai_hi = std::max(ai_hi, ridge);
+    fl_hi = std::max(fl_hi, peak_flops);
+  }
+  sc.x_min_log = std::floor(std::log10(ai_lo) - 0.3);
+  sc.x_max_log = std::ceil(std::log10(ai_hi) + 0.3);
+  sc.y_min_log = std::floor(std::log10(fl_lo) - 0.3);
+  sc.y_max_log = std::ceil(std::log10(fl_hi) + 0.3);
+
+  std::string svg;
+  svg += "<svg viewBox=\"0 0 780 430\" role=\"img\">\n";
+  // Decade gridlines and tick labels.
+  for (int d = static_cast<int>(sc.x_min_log);
+       d <= static_cast<int>(sc.x_max_log); ++d) {
+    const double x = sc.X(std::pow(10.0, d));
+    AppendSvgLine(x, ChartScale::kTop, x, ChartScale::kBottom,
+                  "stroke=\"#eee\"", &svg);
+    svg += "<text class=\"tick\" x=\"" + Fmt("%.1f", x) + "\" y=\"398\" "
+           "text-anchor=\"middle\">1e" + std::to_string(d) + "</text>\n";
+  }
+  for (int d = static_cast<int>(sc.y_min_log);
+       d <= static_cast<int>(sc.y_max_log); ++d) {
+    const double y = sc.Y(std::pow(10.0, d));
+    AppendSvgLine(ChartScale::kLeft, y, ChartScale::kRight, y,
+                  "stroke=\"#eee\"", &svg);
+    svg += "<text class=\"tick\" x=\"64\" y=\"" + Fmt("%.1f", y + 4) +
+           "\" text-anchor=\"end\">1e" + std::to_string(d) + "</text>\n";
+  }
+  svg += "<text class=\"legend\" x=\"400\" y=\"424\" text-anchor=\"middle\">"
+         "arithmetic intensity (FLOP/byte)</text>\n";
+  svg += "<text class=\"legend\" x=\"14\" y=\"200\" "
+         "transform=\"rotate(-90 14 200)\" text-anchor=\"middle\">"
+         "FLOP/s</text>\n";
+
+  if (calibrated && peak_flops > 0 && peak_bw > 0) {
+    // Memory ceiling y = bw * x up to the ridge, then the flat compute
+    // ceiling. Both clipped to the viewport by construction of the range.
+    const double ridge = peak_flops / peak_bw;
+    const double x0_ai = std::pow(10.0, sc.x_min_log);
+    const double y0 = std::max(peak_bw * x0_ai, std::pow(10.0, sc.y_min_log));
+    AppendSvgLine(sc.X(y0 / peak_bw), sc.Y(y0), sc.X(ridge), sc.Y(peak_flops),
+                  "stroke=\"#888\" stroke-width=\"1.5\"", &svg);
+    AppendSvgLine(sc.X(ridge), sc.Y(peak_flops),
+                  ChartScale::kRight, sc.Y(peak_flops),
+                  "stroke=\"#888\" stroke-width=\"1.5\"", &svg);
+    svg += "<text class=\"legend\" x=\"" + Fmt("%.1f", sc.X(ridge)) +
+           "\" y=\"" + Fmt("%.1f", sc.Y(peak_flops) - 8) +
+           "\" text-anchor=\"middle\">ridge " + Fmt("%.2f", ridge) +
+           " FLOP/B · peak " + Eng(peak_flops) + "FLOP/s</text>\n";
+  }
+
+  for (const KernelRow* p : points) {
+    const double x = sc.X(p->ai);
+    const double y = sc.Y(p->flops_per_sec);
+    const char* fill = p->bound == "memory" ? "#1f77b4" : "#d62728";
+    svg += "<circle cx=\"" + Fmt("%.1f", x) + "\" cy=\"" + Fmt("%.1f", y) +
+           "\" r=\"4\" fill=\"" + fill + "\"><title>" +
+           HtmlEscape(p->name) + "</title></circle>\n";
+    svg += "<text class=\"tick\" x=\"" + Fmt("%.1f", x + 6) + "\" y=\"" +
+           Fmt("%.1f", y - 5) + "\">" + HtmlEscape(p->name) + "</text>\n";
+  }
+  svg += "</svg>\n";
+
+  std::string fig = "<figure>\n" + svg;
+  fig += "<figcaption>roofline — <span style=\"color:#d62728\">&#9679;</span>"
+         " compute-bound, <span style=\"color:#1f77b4\">&#9679;</span> "
+         "memory-bound; ceilings from the calibrated machine probe"
+         "</figcaption>\n</figure>\n";
+  return fig;
+}
+
+std::string RenderKernelTable(const std::vector<KernelRow>& rows) {
+  std::string html;
+  html +=
+      "<table>\n<tr><th class=\"l\">kernel</th><th>calls</th>"
+      "<th>time ms</th><th>FLOPs</th><th>read</th><th>write</th>"
+      "<th>AI</th><th>FLOP/s</th><th>bytes/s</th><th>% peak</th>"
+      "<th>bound</th></tr>\n";
+  for (const KernelRow& r : rows) {
+    html += "<tr><td class=\"l\">" + HtmlEscape(r.name) + "</td>";
+    html += "<td>" + std::to_string(r.count) + "</td>";
+    html += "<td>" + Fmt("%.2f", r.total_us * 1e-3) + "</td>";
+    html += "<td>" + Eng(r.flops) + "</td>";
+    html += "<td>" + Eng(r.read_bytes) + "B</td>";
+    html += "<td>" + Eng(r.write_bytes) + "B</td>";
+    html += "<td>" + Fmt("%.3f", r.ai) + "</td>";
+    html += "<td>" + Eng(r.flops_per_sec) + "</td>";
+    html += "<td>" + Eng(r.bytes_per_sec) + "</td>";
+    html += "<td>" + Fmt("%.1f", 100.0 * r.pct_of_peak) + "%</td>";
+    html += "<td class=\"l\">" + HtmlEscape(r.bound) + "</td></tr>\n";
+  }
+  html += "</table>\n";
+  return html;
+}
+
+std::string RenderOpsTable(const obs::JsonValue& ops) {
+  if (!ops.is_object() || ops.AsObject().empty()) return "";
+  std::string html = "<h2>analytic op totals (process lifetime)</h2>\n";
+  html +=
+      "<table>\n<tr><th class=\"l\">op</th><th>calls</th><th>FLOPs</th>"
+      "<th>read</th><th>write</th><th>AI</th></tr>\n";
+  for (const auto& [name, op] : ops.AsObject()) {
+    html += "<tr><td class=\"l\">" + HtmlEscape(name) + "</td>";
+    html += "<td>" + Fmt("%.0f", op.GetDouble("calls", 0)) + "</td>";
+    html += "<td>" + Eng(op.GetDouble("flops", 0)) + "</td>";
+    html += "<td>" + Eng(op.GetDouble("read_bytes", 0)) + "B</td>";
+    html += "<td>" + Eng(op.GetDouble("write_bytes", 0)) + "B</td>";
+    html += "<td>" + Fmt("%.3f", op.GetDouble("ai", 0)) + "</td></tr>\n";
+  }
+  html += "</table>\n";
+  return html;
+}
+
+// Shared look with obs/report.cc's training report so the two HTML
+// artifacts read as one family.
+constexpr const char* kCss =
+    "body{font-family:system-ui,sans-serif;margin:2em auto;max-width:60em;"
+    "padding:0 1em;color:#222}"
+    "h1{font-size:1.4em}h2{font-size:1.1em;margin-top:2em}"
+    "figure{margin:1.5em 0}svg{width:100%;height:auto;background:#fff;"
+    "border:1px solid #ddd}"
+    "figcaption{font-size:0.85em;color:#555;margin-top:0.3em}"
+    "text.tick{font-size:10px;fill:#555;font-family:monospace}"
+    "text.legend{font-size:11px;fill:#333}"
+    "table{border-collapse:collapse;margin:1em 0;font-size:13px}"
+    "td,th{border:1px solid #ccc;padding:3px 8px;text-align:right;"
+    "font-variant-numeric:tabular-nums}"
+    "td.l,th.l{text-align:left}"
+    ".provenance{color:#555;font-size:0.85em}"
+    ".empty{color:#777;font-style:italic}";
+
+}  // namespace
+
+StatusOr<std::string> RenderRooflineHtml(const std::string& artifact_json,
+                                         const std::string& title) {
+  StatusOr<obs::JsonValue> parsed = obs::JsonValue::Parse(artifact_json);
+  if (!parsed.ok()) {
+    return Status::InvalidArgument("bench artifact unparsable: " +
+                                   parsed.status().message());
+  }
+  const obs::JsonValue* roofline = parsed->Find("roofline");
+  if (roofline == nullptr || !roofline->is_object()) {
+    return Status::InvalidArgument(
+        "bench artifact has no roofline block (schema_version >= 2 "
+        "required; re-run the bench binary)");
+  }
+  const obs::JsonValue* machine = roofline->Find("machine");
+  const bool calibrated =
+      machine != nullptr && machine->Find("calibrated") != nullptr &&
+      machine->Find("calibrated")->AsBool();
+  const double peak_flops =
+      machine != nullptr ? machine->GetDouble("peak_flops_per_sec", 0) : 0;
+  const double peak_bw =
+      machine != nullptr ? machine->GetDouble("peak_bytes_per_sec", 0) : 0;
+
+  std::vector<KernelRow> rows;
+  if (const obs::JsonValue* kernels = roofline->Find("kernels")) {
+    for (const auto& [name, k] : kernels->AsObject()) {
+      KernelRow r;
+      r.name = name;
+      r.count = static_cast<uint64_t>(k.GetDouble("count", 0));
+      r.total_us = k.GetDouble("total_us", 0);
+      r.flops = k.GetDouble("flops", 0);
+      r.read_bytes = k.GetDouble("read_bytes", 0);
+      r.write_bytes = k.GetDouble("write_bytes", 0);
+      r.ai = k.GetDouble("ai", 0);
+      r.flops_per_sec = k.GetDouble("flops_per_sec", 0);
+      r.bytes_per_sec = k.GetDouble("bytes_per_sec", 0);
+      r.pct_of_peak = k.GetDouble("pct_of_peak", 0);
+      r.bound = k.GetString("bound", "");
+      rows.push_back(std::move(r));
+    }
+  }
+  std::sort(rows.begin(), rows.end(), [](const KernelRow& a,
+                                         const KernelRow& b) {
+    return a.total_us > b.total_us;
+  });
+
+  const obs::JsonValue* provenance = parsed->Find("provenance");
+  std::string html = "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">";
+  html += "<title>" + HtmlEscape(title) + "</title>";
+  html += "<style>" + std::string(kCss) + "</style></head>\n<body>\n";
+  html += "<h1>" + HtmlEscape(title) + "</h1>\n";
+  html += "<p class=\"provenance\">experiment " +
+          HtmlEscape(parsed->GetString("experiment", "?")) + " · ";
+  if (provenance != nullptr) {
+    html += HtmlEscape(provenance->GetString("hostname", "?")) + " · " +
+            HtmlEscape(provenance->GetString("compiler", "?")) + " · " +
+            Fmt("%.0f", provenance->GetDouble("num_threads", 0)) +
+            " threads · git " +
+            HtmlEscape(provenance->GetString("git_sha", "?")) + " · ";
+  }
+  html += "calibration " +
+          HtmlEscape(machine != nullptr ? machine->GetString("source", "none")
+                                        : "none");
+  if (calibrated) {
+    html += " (peak " + Eng(peak_flops) + "FLOP/s, " + Eng(peak_bw) +
+            "B/s, ridge " +
+            Fmt("%.2f", peak_bw > 0 ? peak_flops / peak_bw : 0) + " FLOP/B)";
+  }
+  html += "</p>\n";
+  html += RenderChart(calibrated, peak_flops, peak_bw, rows);
+  html += "<h2>credited kernels (profiler spans)</h2>\n";
+  if (rows.empty()) {
+    html += "<p class=\"empty\">no credited spans in this artifact</p>\n";
+  } else {
+    html += RenderKernelTable(rows);
+  }
+  if (const obs::JsonValue* ops = roofline->Find("ops")) {
+    html += RenderOpsTable(*ops);
+  }
+  html += "</body></html>\n";
+  return html;
+}
+
+Status WriteRooflineHtml(const std::string& artifact_path,
+                         const std::string& out_path,
+                         const std::string& title) {
+  std::FILE* in = std::fopen(artifact_path.c_str(), "r");
+  if (in == nullptr) {
+    return Status::NotFound("cannot open bench artifact: " + artifact_path);
+  }
+  std::string text;
+  char buf[4096];
+  size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof(buf), in)) > 0) text.append(buf, got);
+  std::fclose(in);
+
+  StatusOr<std::string> html = RenderRooflineHtml(text, title);
+  if (!html.ok()) return html.status();
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    return Status::IoError("cannot open roofline report output: " + out_path);
+  }
+  std::fputs(html->c_str(), out);
+  std::fclose(out);
+  return Status::Ok();
+}
+
+}  // namespace timekd::eval

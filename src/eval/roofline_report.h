@@ -1,0 +1,27 @@
+#ifndef TIMEKD_EVAL_ROOFLINE_REPORT_H_
+#define TIMEKD_EVAL_ROOFLINE_REPORT_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace timekd::eval {
+
+/// Renders a BENCH_*.json artifact (schema >= 2, i.e. with a "roofline"
+/// block — see eval/bench_artifact.h and docs/observability.md) into a
+/// self-contained HTML page: a log-log roofline chart (inline SVG, no
+/// external assets) with every credited kernel placed at its arithmetic
+/// intensity and achieved FLOP rate under the calibrated machine ceilings,
+/// plus per-kernel and per-op tables. Returns the HTML document.
+StatusOr<std::string> RenderRooflineHtml(const std::string& artifact_json,
+                                         const std::string& title);
+
+/// RenderRooflineHtml over a file: reads `artifact_path`, writes the page
+/// to `out_path`. Backs `timekd_cli perf`.
+Status WriteRooflineHtml(const std::string& artifact_path,
+                         const std::string& out_path,
+                         const std::string& title);
+
+}  // namespace timekd::eval
+
+#endif  // TIMEKD_EVAL_ROOFLINE_REPORT_H_

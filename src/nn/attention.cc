@@ -52,6 +52,23 @@ Tensor MultiHeadAttention::ApplyRope(const Tensor& x) const {
   const int64_t s = x.size(2);
   const int64_t dh = x.size(3);
   const int64_t half = dh / 2;
+  // Table-build cost, credited to the submitting thread's span (the
+  // worker-side nn/rope_tables spans carry the wall time): pow, angle
+  // multiply, cos, sin per (position, frequency) pair; writes both halves
+  // of both tables. The rotate-half composition below is credited by the
+  // elementwise/slice instrumentation in ops.cc.
+  static obs::Counter* rope_flops =
+      obs::GlobalMetrics().GetCounter("nn/rope_tables_flops");
+  static obs::Counter* rope_write =
+      obs::GlobalMetrics().GetCounter("nn/rope_tables_write_bytes");
+  const uint64_t table_flops = static_cast<uint64_t>(s * half) *
+                               tensor::cost::kRopeTableFlopsPerEntry;
+  const uint64_t table_write =
+      2 * static_cast<uint64_t>(s * dh) * tensor::cost::kBytesPerElement;
+  rope_flops->Increment(table_flops);
+  rope_write->Increment(table_write);
+  obs::AddSpanFlops(table_flops);
+  obs::AddSpanMemTraffic(0, table_write);
   std::vector<float> cos_v(static_cast<size_t>(s * dh));
   std::vector<float> sin_v(static_cast<size_t>(s * dh));
   float* pcos = cos_v.data();
@@ -103,15 +120,28 @@ Tensor MultiHeadAttention::Forward(const Tensor& q, const Tensor& k,
 
   // Attention cost accounting: QK^T and attn*V score 2*B*h*Sq*Sk*dh each
   // (the four projections are counted by the MatMul instrumentation).
+  // Counter-only on purpose — the nested tensor/matmul calls credit the
+  // open span's FLOPs and traffic themselves, so crediting the span here
+  // as well would double-count the roofline attribution.
   static obs::Counter* attn_calls =
       obs::GlobalMetrics().GetCounter("nn/attention_calls");
   static obs::Counter* attn_flops =
       obs::GlobalMetrics().GetCounter("nn/attention_score_flops");
+  static obs::Counter* attn_read =
+      obs::GlobalMetrics().GetCounter("nn/attention_score_read_bytes");
+  static obs::Counter* attn_write =
+      obs::GlobalMetrics().GetCounter("nn/attention_score_write_bytes");
+  const uint64_t bh = static_cast<uint64_t>(batch * num_heads_);
   attn_calls->Increment();
-  attn_flops->Increment(static_cast<uint64_t>(4 * batch * num_heads_ * sq *
-                                              sk * d_head_));
-  obs::AddSpanFlops(static_cast<uint64_t>(4 * batch * num_heads_ * sq * sk *
-                                          d_head_));
+  attn_flops->Increment(4 * bh * static_cast<uint64_t>(sq * sk * d_head_));
+  // Score-matmul traffic: QK^T reads Q and K and writes the score matrix;
+  // attn*V reads the weights and V and writes the context.
+  attn_read->Increment(bh *
+                       static_cast<uint64_t>(sq * d_head_ + 2 * sk * d_head_ +
+                                             sq * sk) *
+                       tensor::cost::kBytesPerElement);
+  attn_write->Increment(bh * static_cast<uint64_t>(sq * sk + sq * d_head_) *
+                        tensor::cost::kBytesPerElement);
 
   auto split_heads = [&](const Tensor& t, int64_t seq) {
     // [B, S, D] -> [B, h, S, dh]
@@ -139,6 +169,9 @@ Tensor MultiHeadAttention::Forward(const Tensor& q, const Tensor& k,
   if (record_entropy_) {
     // Mean row entropy per head of the post-softmax (pre-dropout) map.
     TIMEKD_TRACE_SCOPE("nn/attention_entropy");
+    const uint64_t probe_elems = bh * static_cast<uint64_t>(sq * sk);
+    obs::AddSpanFlops(probe_elems * tensor::cost::kEntropyFlopsPerElement);
+    obs::AddSpanMemTraffic(probe_elems * tensor::cost::kBytesPerElement, 0);
     last_head_entropies_.assign(static_cast<size_t>(num_heads_), 0.0);
     const float* p = attn.data();
     for (int64_t b = 0; b < batch; ++b) {

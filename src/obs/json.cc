@@ -374,6 +374,12 @@ const std::vector<JsonValue>& JsonValue::AsArray() const {
   return type_ == Type::kArray ? array_ : *empty;
 }
 
+const std::map<std::string, JsonValue>& JsonValue::AsObject() const {
+  static const std::map<std::string, JsonValue>* empty =
+      new std::map<std::string, JsonValue>();  // timekd-lint: allow(new-delete)
+  return type_ == Type::kObject ? object_ : *empty;
+}
+
 const JsonValue* JsonValue::Find(const std::string& key) const {
   if (type_ != Type::kObject) return nullptr;
   const auto it = object_.find(key);

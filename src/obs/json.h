@@ -77,6 +77,8 @@ class JsonValue {
   double AsDouble() const;
   const std::string& AsString() const;
   const std::vector<JsonValue>& AsArray() const;
+  /// Object members, sorted by key; empty for non-objects.
+  const std::map<std::string, JsonValue>& AsObject() const;
 
   /// Object member lookup; returns nullptr when absent or not an object.
   const JsonValue* Find(const std::string& key) const;

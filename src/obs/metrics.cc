@@ -1,5 +1,6 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
@@ -61,6 +62,43 @@ double Histogram::mean() const {
   return n > 0 ? sum() / static_cast<double>(n) : 0.0;
 }
 
+double Histogram::Quantile(double q) const {
+  MetricsSnapshot::HistogramValue v;
+  v.bounds = bounds();
+  v.bucket_counts = BucketCounts();
+  v.count = count();
+  v.min = min();
+  v.max = max();
+  return HistogramQuantile(v, q);
+}
+
+double HistogramQuantile(const MetricsSnapshot::HistogramValue& hist,
+                         double q) {
+  if (hist.count == 0) return 0.0;
+  if (q <= 0.0) return hist.min;
+  if (q >= 1.0) return hist.max;
+  const double target = q * static_cast<double>(hist.count);
+  double cum = 0.0;
+  for (size_t i = 0; i < hist.bucket_counts.size(); ++i) {
+    const double in_bucket = static_cast<double>(hist.bucket_counts[i]);
+    if (in_bucket == 0.0) continue;
+    if (cum + in_bucket >= target) {
+      // Bucket edges: bounds[i-1] .. bounds[i], with the observed min/max
+      // standing in for the undefined outermost edges, and every edge
+      // clamped into [min, max] so sparse outer buckets don't extrapolate.
+      double lo = i == 0 ? hist.min : hist.bounds[i - 1];
+      double hi = i < hist.bounds.size() ? hist.bounds[i] : hist.max;
+      lo = std::max(lo, hist.min);
+      hi = std::min(hi, hist.max);
+      if (hi < lo) hi = lo;
+      const double frac = (target - cum) / in_bucket;
+      return lo + (hi - lo) * frac;
+    }
+    cum += in_bucket;
+  }
+  return hist.max;
+}
+
 void Histogram::Reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
@@ -105,6 +143,9 @@ MetricsSnapshot MetricRegistry::Snapshot() const {
     v.sum = h->sum();
     v.min = h->min();
     v.max = h->max();
+    v.p50 = HistogramQuantile(v, 0.50);
+    v.p90 = HistogramQuantile(v, 0.90);
+    v.p99 = HistogramQuantile(v, 0.99);
     snap.histograms[name] = std::move(v);
   }
   return snap;
@@ -128,7 +169,10 @@ std::string MetricRegistry::ToJson() const {
         .Set("count", v.count)
         .Set("sum", v.sum)
         .Set("min", v.min)
-        .Set("max", v.max);
+        .Set("max", v.max)
+        .Set("p50", v.p50)
+        .Set("p90", v.p90)
+        .Set("p99", v.p99);
     histograms.SetRaw(name, h.ToString());
   }
   JsonObject doc;

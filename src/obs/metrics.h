@@ -58,6 +58,9 @@ class Histogram {
   double min() const;
   double max() const;
   double mean() const;
+  /// Interpolated quantile estimate for q in [0, 1]; see
+  /// HistogramQuantile() below for the estimator. 0 when empty.
+  double Quantile(double q) const;
   void Reset();
 
  private:
@@ -83,9 +86,23 @@ struct MetricsSnapshot {
     double sum = 0.0;
     double min = 0.0;
     double max = 0.0;
+    // Interpolated quantiles (HistogramQuantile at snapshot time).
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
   };
   std::map<std::string, HistogramValue> histograms;
 };
+
+/// Interpolated quantile over a snapshotted histogram: the target rank
+/// q*count is located by a cumulative walk over the buckets, then the
+/// value is linearly interpolated inside the containing bucket (samples
+/// assumed uniform within a bucket). The first bucket's lower edge and the
+/// overflow bucket's upper edge — which the bounds don't define — are the
+/// observed min/max, and the result is clamped into [min, max]. Returns 0
+/// for an empty histogram.
+double HistogramQuantile(const MetricsSnapshot::HistogramValue& hist,
+                         double q);
 
 /// Thread-safe name-keyed registry. Getters create on first use and return
 /// stable pointers, so hot paths can cache the pointer in a function-local

@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "obs/json.h"
+#include "obs/roofline.h"
 #include "obs/trace.h"
 
 namespace timekd::obs {
@@ -19,6 +20,8 @@ struct Profiler::Node {
   uint64_t total_us = 0;
   uint64_t flops = 0;  // inclusive of children (monotonic thread counter)
   uint64_t bytes = 0;
+  uint64_t read_bytes = 0;
+  uint64_t write_bytes = 0;
   std::map<std::string, std::unique_ptr<Node>> children;
 };
 
@@ -33,6 +36,8 @@ struct Profiler::ThreadState {
     Node* node;
     uint64_t flops_base;
     uint64_t bytes_base;
+    uint64_t read_base;
+    uint64_t write_base;
   };
   std::vector<Frame> stack;
 };
@@ -57,6 +62,8 @@ ProfileNode Profiler::Convert(const Profiler::Node& node) {
   out.total_us = node.total_us;
   out.flops = node.flops;
   out.bytes = node.bytes;
+  out.read_bytes = node.read_bytes;
+  out.write_bytes = node.write_bytes;
   out.children = ConvertChildren(node.children);
   uint64_t child_us = 0;
   for (const ProfileNode& c : out.children) child_us += c.total_us;
@@ -68,10 +75,12 @@ ProfileNode Profiler::Convert(const Profiler::Node& node) {
 
 namespace {
 
-std::string NodeJson(const ProfileNode& node) {
+std::string NodeJson(const ProfileNode& node, const MachineRoofline* machine) {
   std::vector<std::string> children;
   children.reserve(node.children.size());
-  for (const ProfileNode& c : node.children) children.push_back(NodeJson(c));
+  for (const ProfileNode& c : node.children) {
+    children.push_back(NodeJson(c, machine));
+  }
   JsonObject obj;
   obj.Set("name", node.name)
       .Set("count", node.count)
@@ -79,13 +88,26 @@ std::string NodeJson(const ProfileNode& node) {
       .Set("self_us", node.self_us)
       .Set("flops", node.flops)
       .Set("bytes", node.bytes)
-      .SetRaw("children", JsonArray(children));
+      .Set("read_bytes", node.read_bytes)
+      .Set("write_bytes", node.write_bytes);
+  const uint64_t traffic = node.read_bytes + node.write_bytes;
+  if (node.flops > 0 || traffic > 0) {
+    obj.Set("ai", ArithmeticIntensity(node.flops, traffic));
+    if (machine != nullptr && machine->calibrated) {
+      const RooflinePoint pt = ClassifyRoofline(
+          node.flops, traffic, static_cast<double>(node.total_us) * 1e-6,
+          *machine);
+      obj.Set("pct_of_peak", pt.pct_of_peak)
+          .Set("bound", pt.memory_bound ? "memory" : "compute");
+    }
+  }
+  obj.SetRaw("children", JsonArray(children));
   return obj.ToString();
 }
 
 void AppendTextNode(const ProfileNode& node, uint64_t wall_us, int depth,
-                    std::string* out) {
-  char line[256];
+                    const MachineRoofline* machine, std::string* out) {
+  char line[320];
   const std::string indent(static_cast<size_t>(depth) * 2, ' ');
   const double pct =
       wall_us > 0 ? 100.0 * static_cast<double>(node.total_us) /
@@ -93,7 +115,7 @@ void AppendTextNode(const ProfileNode& node, uint64_t wall_us, int depth,
                   : 0.0;
   std::snprintf(line, sizeof(line),
                 "  %-44s %5.1f%%  total %9.3fs  self %9.3fs  n %-8llu"
-                "  gflop %8.3f  MiB %8.1f\n",
+                "  gflop %8.3f  MiB %8.1f",
                 (indent + node.name).c_str(), pct,
                 static_cast<double>(node.total_us) * 1e-6,
                 static_cast<double>(node.self_us) * 1e-6,
@@ -101,8 +123,25 @@ void AppendTextNode(const ProfileNode& node, uint64_t wall_us, int depth,
                 static_cast<double>(node.flops) * 1e-9,
                 static_cast<double>(node.bytes) / (1024.0 * 1024.0));
   *out += line;
+  const uint64_t traffic = node.read_bytes + node.write_bytes;
+  if (node.flops > 0 || traffic > 0) {
+    std::snprintf(line, sizeof(line), "  rw-MiB %8.1f  ai %7.2f",
+                  static_cast<double>(traffic) / (1024.0 * 1024.0),
+                  ArithmeticIntensity(node.flops, traffic));
+    *out += line;
+    if (machine != nullptr && machine->calibrated) {
+      const RooflinePoint pt = ClassifyRoofline(
+          node.flops, traffic, static_cast<double>(node.total_us) * 1e-6,
+          *machine);
+      std::snprintf(line, sizeof(line), "  peak %5.1f%% (%s)",
+                    100.0 * pt.pct_of_peak,
+                    pt.memory_bound ? "mem" : "cpu");
+      *out += line;
+    }
+  }
+  *out += '\n';
   for (const ProfileNode& c : node.children) {
-    AppendTextNode(c, wall_us, depth + 1, out);
+    AppendTextNode(c, wall_us, depth + 1, machine, out);
   }
 }
 
@@ -189,8 +228,9 @@ void Profiler::BeginSpan(const char* name) {
   auto& slot = ts.stack.empty() ? ts.roots[name]
                                 : ts.stack.back().node->children[name];
   if (!slot) slot = std::make_unique<Node>(name);
-  ts.stack.push_back(ThreadState::Frame{slot.get(), internal::g_span_flops,
-                                        internal::g_span_bytes});
+  ts.stack.push_back(ThreadState::Frame{
+      slot.get(), internal::g_span_flops, internal::g_span_bytes,
+      internal::g_span_mem_read, internal::g_span_mem_write});
 }
 
 void Profiler::EndSpan(uint64_t dur_us) {
@@ -203,6 +243,8 @@ void Profiler::EndSpan(uint64_t dur_us) {
   frame.node->total_us += dur_us;
   frame.node->flops += internal::g_span_flops - frame.flops_base;
   frame.node->bytes += internal::g_span_bytes - frame.bytes_base;
+  frame.node->read_bytes += internal::g_span_mem_read - frame.read_base;
+  frame.node->write_bytes += internal::g_span_mem_write - frame.write_base;
 }
 
 ProfileSnapshot Profiler::Snapshot() const {
@@ -230,19 +272,25 @@ ProfileSnapshot Profiler::Snapshot() const {
 
 std::string Profiler::ToJson() const {
   const ProfileSnapshot snap = Snapshot();
+  // Non-probing on purpose: a plain profiled run must not suddenly spend
+  // ~100ms calibrating at dump time. Dumps get %-of-peak only when a
+  // calibration already happened in-process or a cache file exists.
+  const MachineRoofline* machine = TryGetMachineRoofline();
   std::vector<std::string> threads;
   threads.reserve(snap.threads.size());
   for (const ProfileSnapshot::Thread& t : snap.threads) {
     std::vector<std::string> roots;
     roots.reserve(t.roots.size());
-    for (const ProfileNode& r : t.roots) roots.push_back(NodeJson(r));
+    for (const ProfileNode& r : t.roots) {
+      roots.push_back(NodeJson(r, machine));
+    }
     JsonObject obj;
     obj.Set("tid", static_cast<int64_t>(t.tid))
         .SetRaw("roots", JsonArray(roots));
     threads.push_back(obj.ToString());
   }
   JsonObject doc;
-  doc.Set("schema_version", 1)
+  doc.Set("schema_version", 2)
       .Set("process_wall_us", snap.process_wall_us)
       .SetRaw("threads", JsonArray(threads));
   return doc.ToString();
@@ -255,12 +303,13 @@ std::string Profiler::ToText() const {
                 "== TimeKD profile == process wall %.3fs\n",
                 static_cast<double>(snap.process_wall_us) * 1e-6);
   std::string out = header;
+  const MachineRoofline* machine = TryGetMachineRoofline();
   for (const ProfileSnapshot::Thread& t : snap.threads) {
     char line[64];
     std::snprintf(line, sizeof(line), "thread %u\n", t.tid);
     out += line;
     for (const ProfileNode& r : t.roots) {
-      AppendTextNode(r, snap.process_wall_us, 0, &out);
+      AppendTextNode(r, snap.process_wall_us, 0, machine, &out);
     }
   }
   return out;

@@ -23,6 +23,8 @@ namespace internal {
 /// open/close to attribute the delta to the innermost open span.
 inline thread_local uint64_t g_span_flops = 0;
 inline thread_local uint64_t g_span_bytes = 0;
+inline thread_local uint64_t g_span_mem_read = 0;
+inline thread_local uint64_t g_span_mem_write = 0;
 
 }  // namespace internal
 
@@ -32,6 +34,16 @@ inline void AddSpanFlops(uint64_t n) { internal::g_span_flops += n; }
 
 /// Credits `n` freshly allocated tensor bytes the same way.
 inline void AddSpanBytes(uint64_t n) { internal::g_span_bytes += n; }
+
+/// Credits analytic memory traffic (bytes the kernel must read from /
+/// write to memory under a cold-cache "compulsory traffic" model: every
+/// distinct input byte read once, every output byte written once). This is
+/// a separate channel from AddSpanBytes, which counts tensor *allocation*;
+/// traffic is what the roofline model (obs/roofline.h) divides FLOPs by.
+inline void AddSpanMemTraffic(uint64_t read_bytes, uint64_t write_bytes) {
+  internal::g_span_mem_read += read_bytes;
+  internal::g_span_mem_write += write_bytes;
+}
 
 /// One aggregated call-tree node of a profile snapshot. Siblings with the
 /// same span name are merged; `self_us` excludes time spent in children.
@@ -45,7 +57,9 @@ struct ProfileNode {
   uint64_t total_us = 0;
   uint64_t self_us = 0;
   uint64_t flops = 0;
-  uint64_t bytes = 0;
+  uint64_t bytes = 0;       // allocation bytes (AddSpanBytes)
+  uint64_t read_bytes = 0;  // analytic memory traffic (AddSpanMemTraffic)
+  uint64_t write_bytes = 0;
   std::vector<ProfileNode> children;  // sorted by total_us, descending
 };
 
@@ -87,7 +101,7 @@ class Profiler {
 
   ProfileSnapshot Snapshot() const;
 
-  /// {"schema_version":1,"process_wall_us":...,"threads":[...]}.
+  /// {"schema_version":2,"process_wall_us":...,"threads":[...]}.
   std::string ToJson() const;
   /// Human-readable tree, children sorted by total time descending.
   std::string ToText() const;

@@ -1,0 +1,365 @@
+#include "obs/roofline.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/env_config.h"
+#include "obs/json.h"
+#include "obs/trace.h"
+
+namespace timekd::obs {
+
+namespace {
+
+constexpr int kCacheSchemaVersion = 1;
+
+/// Per-probe wall-time budget. The probes repeat fixed-work passes until
+/// the budget elapses and keep the best pass — "best of" rejects the
+/// page-fault-dominated first pass and scheduler preemption, which only
+/// ever make a pass look slower than the machine.
+double ProbeBudgetSeconds() {
+  const long ms = GetEnvInt("TIMEKD_ROOFLINE_PROBE_MS", 50);
+  return std::clamp(static_cast<double>(ms), 1.0, 5000.0) * 1e-3;
+}
+
+/// Probe parallelism mirrors the thread pool's sizing rule
+/// (TIMEKD_NUM_THREADS when set, hardware concurrency otherwise) so
+/// "machine peak" means the aggregate peak the pooled kernels actually run
+/// against, not one core's.
+int ProbeThreadCount() {
+  const long configured = GetEnvInt("TIMEKD_NUM_THREADS", 0);
+  if (configured > 0) return static_cast<int>(std::min(configured, 256L));
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+/// Runs `worker(thread_index)` -> rate on `threads` concurrent threads
+/// (released together so they contend realistically) and sums the
+/// per-thread best-pass rates into an aggregate machine rate.
+template <typename Worker>
+double SumThreadedRates(int threads, const Worker& worker) {
+  if (threads <= 1) return worker(0);
+  std::vector<double> rates(static_cast<size_t>(threads), 0.0);
+  std::atomic<bool> go{false};
+  // Raw threads on purpose: the probe calibrates the machine itself and
+  // must not run through the thread pool it is calibrating (the pool's
+  // span/metric instrumentation would perturb the measurement).
+  std::vector<std::thread> pool;  // timekd-lint: allow(raw-thread)
+  pool.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      rates[static_cast<size_t>(t)] = worker(t);
+    });
+  }
+  go.store(true, std::memory_order_release);
+  double total = 0.0;
+  for (int t = 0; t < threads; ++t) {
+    pool[static_cast<size_t>(t)].join();
+    total += rates[static_cast<size_t>(t)];
+  }
+  return total;
+}
+
+/// One thread's peak FLOP rate: independent FMA chains (a = a*m + b) over
+/// 64 accumulators. 64 matters: the compiler vectorizes accumulators into
+/// SIMD registers, and a single vector's lanes share one loop-carried
+/// dependency chain — 8 accumulators would collapse into one 8-wide vector
+/// and measure FMA *latency*, not throughput. 64 gives eight independent
+/// vector chains even at AVX width, enough to saturate the FMA ports.
+double FmaWorkerFlopsPerSec(double budget_seconds) {
+  constexpr int kAcc = 64;
+  constexpr int kItersPerPass = 1 << 18;
+  float acc[kAcc];
+  for (int i = 0; i < kAcc; ++i) acc[i] = 1.0f + 1e-4f * static_cast<float>(i);
+  // volatile sources keep the multiplier/addend opaque so the whole chain
+  // cannot be constant-folded.
+  volatile float vmul = 1.0000001f;
+  volatile float vadd = 1e-7f;
+  const float mul = vmul;
+  const float add = vadd;
+  volatile float sink = 0.0f;
+  double best = 0.0;
+  WallTimer total;
+  do {
+    WallTimer pass;
+    for (int it = 0; it < kItersPerPass; ++it) {
+      for (int a = 0; a < kAcc; ++a) acc[a] = acc[a] * mul + add;
+    }
+    float fold = 0.0f;
+    for (int a = 0; a < kAcc; ++a) fold += acc[a];
+    sink = sink + fold;
+    const double secs = pass.ElapsedSeconds();
+    const double flops = 2.0 * kAcc * static_cast<double>(kItersPerPass);
+    if (secs > 0.0) best = std::max(best, flops / secs);
+  } while (total.ElapsedSeconds() < budget_seconds);
+  (void)sink;
+  return best;
+}
+
+/// One thread's STREAM-triad bandwidth: a[i] = b[i] + s*c[i]. Traffic
+/// counted as the compulsory 3 arrays x 4 bytes per element
+/// (write-allocate on `a` is deliberately not counted — the kernel cost
+/// model uses the same convention, so the ratio stays apples-to-apples).
+double TriadWorkerBytesPerSec(double budget_seconds, size_t n) {
+  std::vector<float> a(n, 0.0f);
+  std::vector<float> b(n, 1.5f);
+  std::vector<float> c(n, 2.5f);
+  volatile float scalar = 0.42f;
+  const float s = scalar;
+  volatile float sink = 0.0f;
+  double best = 0.0;
+  WallTimer total;
+  do {
+    WallTimer pass;
+    for (size_t i = 0; i < n; ++i) a[i] = b[i] + s * c[i];
+    sink = sink + a[0] + a[n - 1];
+    const double secs = pass.ElapsedSeconds();
+    const double bytes = 3.0 * static_cast<double>(n) * sizeof(float);
+    if (secs > 0.0) best = std::max(best, bytes / secs);
+  } while (total.ElapsedSeconds() < budget_seconds);
+  (void)sink;
+  return best;
+}
+
+bool EnvFlagSet(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0;
+}
+
+/// Published calibration for TryGetMachineRoofline(). Written exactly once
+/// (first publisher wins); leaked like every other obs singleton.
+std::atomic<const MachineRoofline*> g_machine{nullptr};
+
+const MachineRoofline* Publish(MachineRoofline machine) {
+  auto* owned =  // timekd-lint: allow(new-delete)
+      new MachineRoofline(std::move(machine));
+  const MachineRoofline* expected = nullptr;
+  if (g_machine.compare_exchange_strong(expected, owned,
+                                        std::memory_order_acq_rel)) {
+    return owned;
+  }
+  delete owned;  // timekd-lint: allow(new-delete)
+  return expected;
+}
+
+MachineRoofline ComputeMachineRoofline() {
+  if (EnvFlagSet("TIMEKD_ROOFLINE_DISABLE")) return MachineRoofline{};
+  const std::string path = DefaultRooflineCachePath();
+  if (!path.empty()) {
+    StatusOr<MachineRoofline> cached = LoadRooflineCache(path);
+    if (cached.ok()) return std::move(cached).value();
+  }
+  MachineRoofline machine = ProbeMachineRoofline();
+  if (!path.empty() && machine.calibrated) {
+    // Best effort: a read-only filesystem must not break calibration.
+    SaveRooflineCache(machine, path).ok();
+  }
+  return machine;
+}
+
+}  // namespace
+
+double ArithmeticIntensity(uint64_t flops, uint64_t bytes) {
+  if (bytes == 0) {
+    return flops > 0 ? std::numeric_limits<double>::infinity() : 0.0;
+  }
+  return static_cast<double>(flops) / static_cast<double>(bytes);
+}
+
+RooflinePoint ClassifyRoofline(uint64_t flops, uint64_t bytes, double seconds,
+                               const MachineRoofline& machine) {
+  RooflinePoint pt;
+  pt.ai = ArithmeticIntensity(flops, bytes);
+  if (!machine.calibrated || machine.peak_flops_per_sec <= 0.0 ||
+      machine.peak_bytes_per_sec <= 0.0) {
+    return pt;
+  }
+  pt.memory_bound = pt.ai < machine.RidgeFlopsPerByte();
+  if (flops == 0) {
+    // Pure data movement (transpose, copies): peak fraction is achieved
+    // bandwidth over machine bandwidth.
+    pt.memory_bound = true;
+    pt.attainable_flops_per_sec = 0.0;
+    if (seconds > 0.0 && bytes > 0) {
+      pt.pct_of_peak = static_cast<double>(bytes) / seconds /
+                       machine.peak_bytes_per_sec;
+    }
+    return pt;
+  }
+  pt.attainable_flops_per_sec =
+      std::min(machine.peak_flops_per_sec, pt.ai * machine.peak_bytes_per_sec);
+  if (seconds > 0.0 && pt.attainable_flops_per_sec > 0.0) {
+    pt.pct_of_peak = static_cast<double>(flops) / seconds /
+                     pt.attainable_flops_per_sec;
+  }
+  return pt;
+}
+
+std::string HostnameString() {
+  char buf[256] = {0};
+  if (gethostname(buf, sizeof(buf) - 1) != 0) return "unknown";
+  return buf;
+}
+
+std::string CompilerVersionString() {
+#if defined(__clang__)
+  return std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  return std::string("gcc ") + __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+std::string RooflineCalibrationKey() {
+#if defined(__OPTIMIZE__)
+  const char* mode = "opt";
+#else
+  const char* mode = "noopt";
+#endif
+  // Thread count is part of the key: the probes measure aggregate peaks at
+  // the pool's parallelism, so a different TIMEKD_NUM_THREADS is a
+  // different machine as far as the roofline is concerned.
+  return HostnameString() + "|" + CompilerVersionString() + "|" + mode + "|t" +
+         std::to_string(ProbeThreadCount());
+}
+
+std::string DefaultRooflineCachePath() {
+  const std::string configured = GetEnvString("TIMEKD_ROOFLINE_CACHE", "");
+  if (!configured.empty()) return configured;
+  const std::string home = GetEnvString("HOME", "");
+  if (home.empty()) return "";
+  return home + "/.cache/timekd/roofline.json";
+}
+
+MachineRoofline ProbeMachineRoofline() {
+  const double budget = ProbeBudgetSeconds();
+  const int threads = ProbeThreadCount();
+  MachineRoofline machine;
+  machine.peak_flops_per_sec = SumThreadedRates(
+      threads, [budget](int) { return FmaWorkerFlopsPerSec(budget); });
+  // The TIMEKD_ROOFLINE_STREAM_MB working set (default 24 MiB across the
+  // three arrays) is split across the probe threads so the total stays
+  // fixed as parallelism grows; see docs/performance.md for the
+  // cache-residency caveat.
+  const long mb = GetEnvInt("TIMEKD_ROOFLINE_STREAM_MB", 24);
+  const size_t total_bytes =
+      static_cast<size_t>(std::clamp(mb, 3L, 1024L)) << 20;
+  const size_t n_per_thread = std::max<size_t>(
+      size_t{1} << 16,
+      total_bytes / (3 * sizeof(float) * static_cast<size_t>(threads)));
+  machine.peak_bytes_per_sec =
+      SumThreadedRates(threads, [budget, n_per_thread](int) {
+        return TriadWorkerBytesPerSec(budget, n_per_thread);
+      });
+  machine.calibrated =
+      machine.peak_flops_per_sec > 0.0 && machine.peak_bytes_per_sec > 0.0;
+  machine.source = machine.calibrated ? "probe" : "disabled";
+  return machine;
+}
+
+Status SaveRooflineCache(const MachineRoofline& machine,
+                         const std::string& path) {
+  // Create the parent directories of the default cache location; fopen
+  // still fails cleanly for deeper custom paths that do not exist.
+  const size_t slash = path.rfind('/');
+  if (slash != std::string::npos) {
+    std::string prefix;
+    for (size_t i = 0; i < slash; ++i) {
+      prefix += path[i];
+      if (path[i + 1] == '/' || i + 1 == slash) {
+        mkdir(prefix.c_str(), 0755);  // EEXIST is fine
+      }
+    }
+  }
+  JsonObject doc;
+  doc.Set("schema_version", kCacheSchemaVersion)
+      .Set("key", RooflineCalibrationKey())
+      .Set("peak_flops_per_sec", machine.peak_flops_per_sec)
+      .Set("peak_bytes_per_sec", machine.peak_bytes_per_sec);
+  // Atomic publish: concurrent test binaries all calibrate on first run
+  // and race to write the same cache file; rename keeps readers from ever
+  // seeing a torn file.
+  const std::string tmp = path + ".tmp." + std::to_string(getpid());
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError("cannot open roofline cache for write: " + tmp);
+  }
+  const std::string rendered = doc.ToString();
+  std::fputs(rendered.c_str(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("cannot rename roofline cache into place: " + path);
+  }
+  return Status::Ok();
+}
+
+StatusOr<MachineRoofline> LoadRooflineCache(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    return Status::NotFound("no roofline cache at " + path);
+  }
+  std::string text;
+  char buf[4096];
+  size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    text.append(buf, got);
+  }
+  std::fclose(f);
+  StatusOr<JsonValue> parsed = JsonValue::Parse(text);
+  if (!parsed.ok()) {
+    return Status::IoError("roofline cache unparsable: " +
+                           parsed.status().message());
+  }
+  if (parsed->GetDouble("schema_version", 0) != kCacheSchemaVersion) {
+    return Status::FailedPrecondition("roofline cache schema mismatch");
+  }
+  if (parsed->GetString("key", "") != RooflineCalibrationKey()) {
+    return Status::FailedPrecondition(
+        "roofline cache keyed to a different host/compiler/build");
+  }
+  MachineRoofline machine;
+  machine.peak_flops_per_sec = parsed->GetDouble("peak_flops_per_sec", 0.0);
+  machine.peak_bytes_per_sec = parsed->GetDouble("peak_bytes_per_sec", 0.0);
+  if (machine.peak_flops_per_sec <= 0.0 || machine.peak_bytes_per_sec <= 0.0) {
+    return Status::FailedPrecondition("roofline cache has non-positive peaks");
+  }
+  machine.calibrated = true;
+  machine.source = "cache";
+  return machine;
+}
+
+const MachineRoofline& GetMachineRoofline() {
+  static const MachineRoofline* machine =
+      Publish(ComputeMachineRoofline());
+  return *machine;
+}
+
+const MachineRoofline* TryGetMachineRoofline() {
+  const MachineRoofline* machine = g_machine.load(std::memory_order_acquire);
+  if (machine != nullptr) {
+    return machine->calibrated ? machine : nullptr;
+  }
+  if (EnvFlagSet("TIMEKD_ROOFLINE_DISABLE")) return nullptr;
+  const std::string path = DefaultRooflineCachePath();
+  if (path.empty()) return nullptr;
+  StatusOr<MachineRoofline> cached = LoadRooflineCache(path);
+  if (!cached.ok()) return nullptr;
+  const MachineRoofline* published = Publish(std::move(cached).value());
+  return published->calibrated ? published : nullptr;
+}
+
+}  // namespace timekd::obs

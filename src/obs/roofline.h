@@ -1,0 +1,90 @@
+#ifndef TIMEKD_OBS_ROOFLINE_H_
+#define TIMEKD_OBS_ROOFLINE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+/// Machine roofline calibration and kernel classification.
+///
+/// The roofline model (Williams et al., CACM 2009) bounds a kernel's
+/// attainable FLOP rate by min(peak_flops, AI * peak_bandwidth), where
+/// AI — arithmetic intensity — is FLOPs per byte of memory traffic. The
+/// profiler's per-span FLOP and traffic counters (obs/profiler.h) plus the
+/// one-shot machine calibration below let every BENCH artifact report, per
+/// kernel: AI, % of the machine's attainable peak, and whether the kernel
+/// is memory- or compute-bound. See docs/performance.md for methodology
+/// and calibration caveats.
+namespace timekd::obs {
+
+/// One-shot machine calibration: peak scalar-FMA FLOP rate and
+/// STREAM-triad memory bandwidth, both measured (not queried from specs).
+struct MachineRoofline {
+  double peak_flops_per_sec = 0.0;
+  double peak_bytes_per_sec = 0.0;
+  bool calibrated = false;
+  std::string source = "disabled";  // "probe" | "cache" | "disabled"
+
+  /// AI above which the machine is compute-bound (FLOPs per byte).
+  double RidgeFlopsPerByte() const {
+    return peak_bytes_per_sec > 0.0 ? peak_flops_per_sec / peak_bytes_per_sec
+                                    : 0.0;
+  }
+};
+
+/// One kernel placed on the roofline.
+struct RooflinePoint {
+  double ai = 0.0;  // FLOPs per byte of traffic (inf when traffic is 0)
+  double attainable_flops_per_sec = 0.0;  // min(peak, ai * bandwidth)
+  double pct_of_peak = 0.0;  // achieved rate / attainable, in [0, ~1]
+  bool memory_bound = false;
+};
+
+/// FLOPs per byte; +inf when `bytes` is 0 and `flops` > 0, else 0.
+double ArithmeticIntensity(uint64_t flops, uint64_t bytes);
+
+/// Places a kernel observation (total FLOPs, total traffic bytes, elapsed
+/// wall seconds) on the machine roofline. Pure math, no probing. For
+/// zero-FLOP kernels (transpose, copies) the point is memory-bound and
+/// pct_of_peak is the achieved bandwidth fraction. When the machine is not
+/// calibrated only `ai` is meaningful; the rest stays 0/false.
+RooflinePoint ClassifyRoofline(uint64_t flops, uint64_t bytes, double seconds,
+                               const MachineRoofline& machine);
+
+/// Hostname (gethostname), "unknown" on failure.
+std::string HostnameString();
+/// Compiler id + version baked in at compile time, e.g. "gcc 13.2.0".
+std::string CompilerVersionString();
+/// Cache key the calibration is valid for: hostname, compiler, build mode.
+/// Matches the spirit of the BENCH provenance block — a cached calibration
+/// from another host or build flavor must not be reused.
+std::string RooflineCalibrationKey();
+
+/// Cache path: $TIMEKD_ROOFLINE_CACHE if set, else
+/// $HOME/.cache/timekd/roofline.json, else "" (no caching).
+std::string DefaultRooflineCachePath();
+
+/// Runs the micro-probes now (never touches the cache). Budgeted at
+/// ~TIMEKD_ROOFLINE_PROBE_MS per probe (default 50ms each).
+MachineRoofline ProbeMachineRoofline();
+
+/// Cache round-trip. Save writes atomically (temp file + rename); Load
+/// rejects files whose key differs from RooflineCalibrationKey().
+Status SaveRooflineCache(const MachineRoofline& machine,
+                         const std::string& path);
+StatusOr<MachineRoofline> LoadRooflineCache(const std::string& path);
+
+/// The process-wide calibration, memoized after the first call. Order:
+/// TIMEKD_ROOFLINE_DISABLE set -> uncalibrated; valid cache file -> load;
+/// else probe and write the cache. Thread-safe.
+const MachineRoofline& GetMachineRoofline();
+
+/// Non-probing variant for dump paths: returns the memoized calibration if
+/// GetMachineRoofline() already ran, else attempts a cheap cache-file load,
+/// else nullptr. Never runs the probes.
+const MachineRoofline* TryGetMachineRoofline();
+
+}  // namespace timekd::obs
+
+#endif  // TIMEKD_OBS_ROOFLINE_H_

@@ -7,6 +7,7 @@
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
+#include "obs/trace.h"
 
 namespace timekd::tensor {
 
@@ -17,6 +18,43 @@ using internal::MakeResult;
 using internal::TensorImpl;
 
 constexpr float kPi = 3.14159265358979323846f;
+
+/// Per-kernel roofline accounting: one Credit() call bumps the global
+/// `<prefix>_{calls,flops,read_bytes,write_bytes}` counters (BENCH
+/// artifact) and the thread-local span channels (profiler attribution).
+/// Costs follow the analytic model in ops.h's `cost` namespace; pooled
+/// kernels credit their whole cost to the submitting thread's span.
+/// Counter pointers are resolved once per prefix via function-local
+/// statics at the call sites; the increments are relaxed atomics,
+/// negligible next to any kernel worth crediting.
+class KernelCounters {
+ public:
+  explicit KernelCounters(const std::string& prefix)
+      : calls_(obs::GlobalMetrics().GetCounter(prefix + "_calls")),
+        flops_(obs::GlobalMetrics().GetCounter(prefix + "_flops")),
+        read_(obs::GlobalMetrics().GetCounter(prefix + "_read_bytes")),
+        write_(obs::GlobalMetrics().GetCounter(prefix + "_write_bytes")) {}
+
+  void Credit(uint64_t flops, uint64_t read_bytes,
+              uint64_t write_bytes) const {
+    calls_->Increment();
+    flops_->Increment(flops);
+    read_->Increment(read_bytes);
+    write_->Increment(write_bytes);
+    obs::AddSpanFlops(flops);
+    obs::AddSpanMemTraffic(read_bytes, write_bytes);
+  }
+
+ private:
+  obs::Counter* calls_;
+  obs::Counter* flops_;
+  obs::Counter* read_;
+  obs::Counter* write_;
+};
+
+uint64_t ElemBytes(int64_t numel) {
+  return static_cast<uint64_t>(numel) * cost::kBytesPerElement;
+}
 
 /// Adds `g` into the gradient buffer of `node`.
 void Accumulate(const std::shared_ptr<TensorImpl>& node,
@@ -88,6 +126,10 @@ Tensor Binary(BinOp op, const Tensor& a, const Tensor& b) {
   TIMEKD_CHECK(a.defined() && b.defined());
   const Shape out_shape = BroadcastShape(a.shape(), b.shape());
   const int64_t n = NumElements(out_shape);
+  static const KernelCounters counters("tensor/elementwise");
+  counters.Credit(
+      static_cast<uint64_t>(n) * cost::kElementwiseFlopsPerElement,
+      ElemBytes(a.numel()) + ElemBytes(b.numel()), ElemBytes(n));
   std::vector<float> out(static_cast<size_t>(n));
 
   const float* pa = a.data();
@@ -190,6 +232,14 @@ template <typename F, typename DF>
 Tensor Unary(const Tensor& x, F f, DF df) {
   TIMEKD_CHECK(x.defined());
   const int64_t n = x.numel();
+  // All Unary instantiations share the elementwise counters with Binary;
+  // kElementwiseFlopsPerElement is a deliberate flat model (a Gelu costs
+  // more than a Neg, but per-flavor roofline points are not worth a
+  // counter per lambda type).
+  static const KernelCounters counters("tensor/elementwise");
+  counters.Credit(
+      static_cast<uint64_t>(n) * cost::kElementwiseFlopsPerElement,
+      ElemBytes(n), ElemBytes(n));
   std::vector<float> out(static_cast<size_t>(n));
   const float* px = x.data();
   for (int64_t i = 0; i < n; ++i) out[static_cast<size_t>(i)] = f(px[i]);
@@ -408,6 +458,9 @@ Tensor Transpose(const Tensor& x, int64_t d0, int64_t d1) {
   if (d0 < 0) d0 += nd;
   if (d1 < 0) d1 += nd;
   TIMEKD_CHECK(d0 >= 0 && d0 < nd && d1 >= 0 && d1 < nd);
+  // Pure data movement: zero FLOPs, every element read and written once.
+  static const KernelCounters counters("tensor/transpose");
+  counters.Credit(0, ElemBytes(x.numel()), ElemBytes(x.numel()));
   Shape out_shape;
   std::vector<float> out =
       TransposeRaw(x.data(), x.shape(), d0, d1, &out_shape);
@@ -631,17 +684,16 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   out_shape.push_back(m);
   out_shape.push_back(n);
 
-  // Op accounting for the metrics dump (2*m*k*n multiply-adds per batch);
-  // relaxed atomic adds, negligible next to the kernel itself.
-  static obs::Counter* matmul_calls =
-      obs::GlobalMetrics().GetCounter("tensor/matmul_calls");
-  static obs::Counter* matmul_flops =
-      obs::GlobalMetrics().GetCounter("tensor/matmul_flops");
-  matmul_calls->Increment();
-  matmul_flops->Increment(static_cast<uint64_t>(2 * nbatch * m * k * n));
-  // Span attribution: credits the profiler span open on THIS thread, so a
+  // Span attribution credits the profiler span open on THIS thread, so the
   // pooled kernel bills its submitting span, not the worker shards.
-  obs::AddSpanFlops(static_cast<uint64_t>(2 * nbatch * m * k * n));
+  TIMEKD_TRACE_SCOPE("tensor/matmul");
+  static const KernelCounters counters("tensor/matmul");
+  counters.Credit(
+      cost::MatMulFlops(static_cast<uint64_t>(nbatch),
+                        static_cast<uint64_t>(m), static_cast<uint64_t>(k),
+                        static_cast<uint64_t>(n)),
+      ElemBytes(a.numel()) + ElemBytes(b.numel()),
+      ElemBytes(nbatch * m * n));
 
   std::vector<float> out(static_cast<size_t>(nbatch * m * n), 0.0f);
   const float* pa = a.data();
@@ -656,10 +708,20 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   return MakeResult(
       out_shape, std::move(out), {a, b},
       [a, b, m, k, n, nbatch, a_batched, b_batched](TensorImpl& self) {
+        TIMEKD_TRACE_SCOPE("tensor/matmul_bwd");
+        static const KernelCounters counters_bwd("tensor/matmul_bwd");
+        const uint64_t side_flops = cost::MatMulFlops(
+            static_cast<uint64_t>(nbatch), static_cast<uint64_t>(m),
+            static_cast<uint64_t>(k), static_cast<uint64_t>(n));
+        const uint64_t dy_bytes = ElemBytes(nbatch * m * n);
         const float* dy = self.grad.data();
         const float* pa2 = a.data();
         const float* pb2 = b.data();
         if (a.impl()->requires_grad) {
+          // dA = dC * B^T reads dC and B, writes dA; same flop lattice as
+          // the forward product.
+          counters_bwd.Credit(side_flops, dy_bytes + ElemBytes(b.numel()),
+                              ElemBytes(a.numel()));
           std::vector<float> da(static_cast<size_t>(a.numel()), 0.0f);
           // dA = dC * B^T : [m,n] x [k,n]^T -> [m,k], row-parallel over dA.
           const int64_t da_rows = a_batched ? nbatch * m : m;
@@ -674,6 +736,8 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
           Accumulate(a.impl(), da);
         }
         if (b.impl()->requires_grad) {
+          counters_bwd.Credit(side_flops, dy_bytes + ElemBytes(a.numel()),
+                              ElemBytes(b.numel()));
           std::vector<float> db(static_cast<size_t>(b.numel()), 0.0f);
           // dB = A^T * dC : [m,k]^T x [m,n] -> [k,n], row-parallel over dB.
           const int64_t db_rows = b_batched ? nbatch * k : k;
@@ -703,9 +767,11 @@ Tensor Softmax(const Tensor& x, int64_t dim) {
   for (int64_t d = dim + 1; d < nd; ++d) {
     inner *= shape[static_cast<size_t>(d)];
   }
-  static obs::Counter* softmax_calls =
-      obs::GlobalMetrics().GetCounter("tensor/softmax_calls");
-  softmax_calls->Increment();
+  TIMEKD_TRACE_SCOPE("tensor/softmax");
+  static const KernelCounters counters("tensor/softmax");
+  counters.Credit(
+      static_cast<uint64_t>(x.numel()) * cost::kSoftmaxFlopsPerElement,
+      ElemBytes(x.numel()), ElemBytes(x.numel()));
 
   std::vector<float> out(static_cast<size_t>(x.numel()));
   const float* px = x.data();
@@ -742,6 +808,12 @@ Tensor Softmax(const Tensor& x, int64_t dim) {
       x.shape(), std::move(out), {x},
       [x, outer, inner, dsize](TensorImpl& self) {
         if (!x.impl()->requires_grad) return;
+        TIMEKD_TRACE_SCOPE("tensor/softmax_bwd");
+        static const KernelCounters counters_bwd("tensor/softmax_bwd");
+        const uint64_t numel_b = static_cast<uint64_t>(x.numel());
+        // Reads y and dy, writes dx.
+        counters_bwd.Credit(numel_b * cost::kSoftmaxBwdFlopsPerElement,
+                            2 * ElemBytes(x.numel()), ElemBytes(x.numel()));
         std::vector<float> dx(static_cast<size_t>(x.numel()));
         const float* y = self.data.data();
         const float* dy = self.grad.data();
@@ -775,6 +847,14 @@ Tensor LayerNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
   TIMEKD_CHECK_EQ(gamma.numel(), d_model);
   TIMEKD_CHECK_EQ(beta.numel(), d_model);
   const int64_t rows = x.numel() / d_model;
+  TIMEKD_TRACE_SCOPE("tensor/layernorm");
+  static const KernelCounters counters("tensor/layernorm");
+  // Reads x plus the gamma/beta vectors; writes the output plus the
+  // per-row mu/inv_sigma caches the backward pass reuses.
+  counters.Credit(
+      static_cast<uint64_t>(x.numel()) * cost::kLayerNormFlopsPerElement,
+      ElemBytes(x.numel()) + 2 * ElemBytes(d_model),
+      ElemBytes(x.numel()) + 2 * ElemBytes(rows));
   std::vector<float> out(static_cast<size_t>(x.numel()));
   std::vector<float> inv_sigma(static_cast<size_t>(rows));
   std::vector<float> mu(static_cast<size_t>(rows));
@@ -811,6 +891,16 @@ Tensor LayerNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
       x.shape(), std::move(out), {x, gamma, beta},
       [x, gamma, beta, rows, d_model, mu = std::move(mu),
        inv_sigma = std::move(inv_sigma)](TensorImpl& self) {
+        TIMEKD_TRACE_SCOPE("tensor/layernorm_bwd");
+        static const KernelCounters counters_bwd("tensor/layernorm_bwd");
+        // Reads x, dy, gamma and the cached mu/inv_sigma; writes dx plus
+        // the dgamma/dbeta reductions.
+        counters_bwd.Credit(
+            static_cast<uint64_t>(x.numel()) *
+                cost::kLayerNormBwdFlopsPerElement,
+            2 * ElemBytes(x.numel()) + ElemBytes(d_model) +
+                2 * ElemBytes(rows),
+            ElemBytes(x.numel()) + 2 * ElemBytes(d_model));
         const float* px2 = x.data();
         const float* pg2 = gamma.data();
         const float* dy = self.grad.data();

@@ -12,6 +12,37 @@
 /// grad). Broadcasting follows NumPy rules for the elementwise binary ops.
 namespace timekd::tensor {
 
+/// Analytic kernel cost model shared by the kernels' roofline crediting
+/// (obs::AddSpanFlops / obs::AddSpanMemTraffic) and the accounting tests,
+/// so both sides agree byte-for-byte. Traffic is the compulsory cold-cache
+/// model: every distinct input byte read once, every output byte written
+/// once; cache reuse and write-allocate traffic are deliberately ignored —
+/// the same convention the STREAM calibration uses (docs/performance.md).
+/// FLOP-per-element counts follow the straight-line scalar op count of the
+/// reference kernel, not a micro-architectural instruction count.
+namespace cost {
+inline constexpr uint64_t kBytesPerElement = sizeof(float);
+/// One fused op per output element (add/mul/relu/...).
+inline constexpr uint64_t kElementwiseFlopsPerElement = 1;
+/// max-subtract, exp, denom add, scale per element.
+inline constexpr uint64_t kSoftmaxFlopsPerElement = 4;
+/// dot-product multiply-add (2) plus y*(dy - dot) (2) per element.
+inline constexpr uint64_t kSoftmaxBwdFlopsPerElement = 4;
+/// mean/var accumulation (3), normalize + affine (5) per element.
+inline constexpr uint64_t kLayerNormFlopsPerElement = 8;
+/// xhat (1), dxhat (1), two reductions (4), dgamma/dbeta (3), dx (8).
+inline constexpr uint64_t kLayerNormBwdFlopsPerElement = 17;
+/// pow, angle multiply, cos, sin per (position, frequency) table entry.
+inline constexpr uint64_t kRopeTableFlopsPerEntry = 4;
+/// -p*log(p) per attention weight: log, multiply, accumulate.
+inline constexpr uint64_t kEntropyFlopsPerElement = 3;
+/// Multiply-add per (m, k, n) lattice point.
+inline constexpr uint64_t MatMulFlops(uint64_t batch, uint64_t m, uint64_t k,
+                                      uint64_t n) {
+  return 2 * batch * m * k * n;
+}
+}  // namespace cost
+
 /// --- Elementwise binary (broadcasting) ---------------------------------
 Tensor Add(const Tensor& a, const Tensor& b);
 Tensor Sub(const Tensor& a, const Tensor& b);

@@ -188,6 +188,60 @@ TEST(CliTest, EvaluateMissingStudentFileFails) {
   std::remove(csv.c_str());
 }
 
+TEST(CliTest, PerfRendersRooflineHtml) {
+  // A minimal schema-2 BENCH artifact: one calibrated kernel is enough
+  // for the chart, the table, and the provenance line.
+  const std::string artifact = TempPath("cli_bench.json");
+  {
+    std::ofstream f(artifact);
+    f << R"({"schema_version":2,"experiment":"cli_test",)"
+      << R"("provenance":{"hostname":"vm","compiler":"gcc 1.0",)"
+      << R"("num_threads":1,"git_sha":"abc123"},)"
+      << R"("roofline":{"machine":{"calibrated":true,"source":"probe",)"
+      << R"("peak_flops_per_sec":1e11,"peak_bytes_per_sec":1e10,)"
+      << R"("ridge_flops_per_byte":10.0},)"
+      << R"("kernels":{"tensor/matmul":{"count":3,"total_us":1000,)"
+      << R"("flops":48000,"read_bytes":7200,"write_bytes":3200,)"
+      << R"("ai":4.615,"flops_per_sec":4.8e7,"bytes_per_sec":1.04e7,)"
+      << R"("pct_of_peak":0.42,"bound":"memory"}}}})" << "\n";
+  }
+  const std::string html_path = TempPath("cli_roofline.html");
+  std::ostringstream out;
+  EXPECT_EQ(RunCli({"perf", "--in", artifact, "--out", html_path}, out), 0);
+  EXPECT_NE(out.str().find("wrote roofline report"), std::string::npos);
+  std::ifstream in(html_path);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string html = ss.str();
+  EXPECT_NE(html.find("<svg"), std::string::npos);
+  EXPECT_NE(html.find("tensor/matmul"), std::string::npos);
+  EXPECT_NE(html.find("abc123"), std::string::npos);
+  std::remove(artifact.c_str());
+  std::remove(html_path.c_str());
+}
+
+TEST(CliTest, PerfRequiresInAndOut) {
+  std::ostringstream out;
+  EXPECT_EQ(RunCli({"perf"}, out), 2);
+  EXPECT_NE(out.str().find("--in"), std::string::npos);
+}
+
+TEST(CliTest, PerfRejectsSchema1Artifact) {
+  // Pre-roofline artifacts have no roofline block; the error must tell
+  // the user to re-run the bench, not render an empty chart.
+  const std::string artifact = TempPath("cli_bench_v1.json");
+  {
+    std::ofstream f(artifact);
+    f << R"({"schema_version":1,"experiment":"old"})" << "\n";
+  }
+  std::ostringstream out;
+  EXPECT_EQ(
+      RunCli({"perf", "--in", artifact, "--out", TempPath("x.html")}, out), 1);
+  EXPECT_NE(out.str().find("roofline"), std::string::npos);
+  std::remove(artifact.c_str());
+}
+
 TEST(CliTest, TrainOnTooShortSeriesFails) {
   const std::string csv = TempPath("cli_short.csv");
   std::ostringstream out;

@@ -223,9 +223,9 @@ TEST(BenchArtifactTest, WriteBenchArtifactEmitsSchemaFields) {
   ss << in.rdbuf();
   const std::string json = ss.str();
   for (const char* key :
-       {"\"schema_version\":1", "\"experiment\":\"eval_test\"",
+       {"\"schema_version\":2", "\"experiment\":\"eval_test\"",
         "\"provenance\":", "\"wall_seconds\":", "\"phases\":",
-        "\"throughput\":", "\"kernels\":", "\"memory\":",
+        "\"throughput\":", "\"kernels\":", "\"roofline\":", "\"memory\":",
         "\"rss_peak_bytes\":", "\"metrics\":"}) {
     EXPECT_NE(json.find(key), std::string::npos) << key;
   }

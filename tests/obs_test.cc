@@ -282,6 +282,50 @@ TEST(MetricsTest, HistogramBucketsAndMoments) {
   EXPECT_DOUBLE_EQ(h->mean(), 1006.5 / 4.0);
 }
 
+TEST(MetricsTest, HistogramInterpolatedQuantiles) {
+  MetricRegistry registry;
+  Histogram* h = registry.GetHistogram("test/quant", {10.0, 20.0, 30.0});
+  // 10 observations spread evenly over [11, 20]: the cumulative count
+  // crosses any q inside bucket (10, 20], so quantiles interpolate
+  // linearly across the bucket, whose lower edge clamps to min = 11.
+  for (int i = 1; i <= 10; ++i) h->Observe(10.0 + i);
+  EXPECT_DOUBLE_EQ(h->Quantile(0.0), h->min());
+  EXPECT_DOUBLE_EQ(h->Quantile(1.0), h->max());
+  // q=0.5 lands halfway through the clamped bucket [11, 20].
+  EXPECT_DOUBLE_EQ(h->Quantile(0.5), 15.5);
+  EXPECT_NEAR(h->Quantile(0.9), 19.1, 1e-9);
+  // Empty histogram: quantiles are 0, not NaN.
+  Histogram* empty = registry.GetHistogram("test/empty", {1.0});
+  EXPECT_DOUBLE_EQ(empty->Quantile(0.5), 0.0);
+}
+
+TEST(MetricsTest, QuantilesClampToObservedRange) {
+  MetricRegistry registry;
+  // A single observation deep inside a wide bucket: interpolation across
+  // the bucket would overshoot, so estimates clamp to [min, max].
+  Histogram* h = registry.GetHistogram("test/clamp", {1000.0});
+  h->Observe(42.0);
+  EXPECT_DOUBLE_EQ(h->Quantile(0.5), 42.0);
+  EXPECT_DOUBLE_EQ(h->Quantile(0.99), 42.0);
+}
+
+TEST(MetricsTest, SnapshotCarriesQuantilesIntoJson) {
+  MetricRegistry registry;
+  Histogram* h = registry.GetHistogram("test/snapq", {10.0, 100.0});
+  for (int i = 0; i < 100; ++i) h->Observe(5.0);
+  const MetricsSnapshot snap = registry.Snapshot();
+  const MetricsSnapshot::HistogramValue& v = snap.histograms.at("test/snapq");
+  EXPECT_DOUBLE_EQ(v.p50, 5.0);
+  EXPECT_DOUBLE_EQ(v.p90, 5.0);
+  EXPECT_DOUBLE_EQ(v.p99, 5.0);
+  // The free-function estimator agrees with what the snapshot stored.
+  EXPECT_DOUBLE_EQ(HistogramQuantile(v, 0.50), v.p50);
+  const std::string json = registry.ToJson();
+  for (const char* key : {"\"p50\":", "\"p90\":", "\"p99\":"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+}
+
 TEST(MetricsTest, SnapshotAndJsonRoundTrip) {
   MetricRegistry registry;
   registry.GetCounter("c1")->Increment(7);
@@ -558,7 +602,7 @@ TEST_F(ProfilerTest, JsonDumpIsWellFormedAndVersioned) {
   const std::string json = Profiler::Get().ToJson();
   JsonValidator v(json);
   EXPECT_TRUE(v.Valid()) << json;
-  EXPECT_NE(json.find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\":2"), std::string::npos);
   EXPECT_NE(json.find("\"process_wall_us\":"), std::string::npos);
   EXPECT_NE(json.find("phase/a"), std::string::npos);
 

@@ -1,0 +1,266 @@
+#include "obs/roofline.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "obs/profiler.h"
+#include "obs/trace.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace timekd::obs {
+namespace {
+
+using tensor::Tensor;
+namespace cost = tensor::cost;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+// A fabricated machine with a ridge of exactly 10 FLOP/B, so the
+// classification thresholds below are round numbers.
+MachineRoofline FakeMachine() {
+  MachineRoofline m;
+  m.peak_flops_per_sec = 1e11;  // 100 GFLOP/s
+  m.peak_bytes_per_sec = 1e10;  // 10 GB/s
+  m.calibrated = true;
+  m.source = "probe";
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// Classification math
+
+TEST(RooflineMathTest, ArithmeticIntensityEdgeCases) {
+  EXPECT_DOUBLE_EQ(ArithmeticIntensity(100, 50), 2.0);
+  EXPECT_DOUBLE_EQ(ArithmeticIntensity(0, 50), 0.0);
+  EXPECT_DOUBLE_EQ(ArithmeticIntensity(0, 0), 0.0);
+  EXPECT_TRUE(std::isinf(ArithmeticIntensity(1, 0)));
+}
+
+TEST(RooflineMathTest, RidgePoint) {
+  EXPECT_DOUBLE_EQ(FakeMachine().RidgeFlopsPerByte(), 10.0);
+  EXPECT_DOUBLE_EQ(MachineRoofline{}.RidgeFlopsPerByte(), 0.0);
+}
+
+TEST(RooflineMathTest, ComputeBoundKernel) {
+  // AI 20 > ridge 10: bounded by peak FLOPs, not bandwidth. 5e10 FLOPs in
+  // one second against a 1e11 peak is exactly half of attainable.
+  const RooflinePoint pt =
+      ClassifyRoofline(/*flops=*/50'000'000'000ull,
+                       /*bytes=*/2'500'000'000ull, 1.0, FakeMachine());
+  EXPECT_FALSE(pt.memory_bound);
+  EXPECT_DOUBLE_EQ(pt.ai, 20.0);
+  EXPECT_DOUBLE_EQ(pt.attainable_flops_per_sec, 1e11);
+  EXPECT_DOUBLE_EQ(pt.pct_of_peak, 0.5);
+}
+
+TEST(RooflineMathTest, MemoryBoundKernel) {
+  // AI 2 < ridge 10: attainable = ai * bandwidth = 2e10 FLOP/s.
+  const RooflinePoint pt = ClassifyRoofline(
+      /*flops=*/10'000'000'000ull, /*bytes=*/5'000'000'000ull, 1.0,
+      FakeMachine());
+  EXPECT_TRUE(pt.memory_bound);
+  EXPECT_DOUBLE_EQ(pt.ai, 2.0);
+  EXPECT_DOUBLE_EQ(pt.attainable_flops_per_sec, 2e10);
+  EXPECT_DOUBLE_EQ(pt.pct_of_peak, 0.5);
+}
+
+TEST(RooflineMathTest, ZeroFlopKernelIsBandwidthFraction) {
+  // Pure data movement (transpose): pct is achieved bytes/s over machine
+  // bandwidth. 5e9 B/s on a 1e10 B/s machine = 50%.
+  const RooflinePoint pt =
+      ClassifyRoofline(0, /*bytes=*/5'000'000'000ull, 1.0, FakeMachine());
+  EXPECT_TRUE(pt.memory_bound);
+  EXPECT_DOUBLE_EQ(pt.attainable_flops_per_sec, 0.0);
+  EXPECT_DOUBLE_EQ(pt.pct_of_peak, 0.5);
+}
+
+TEST(RooflineMathTest, UncalibratedMachineOnlyReportsAi) {
+  const RooflinePoint pt =
+      ClassifyRoofline(100, 50, 1.0, MachineRoofline{});
+  EXPECT_DOUBLE_EQ(pt.ai, 2.0);
+  EXPECT_DOUBLE_EQ(pt.attainable_flops_per_sec, 0.0);
+  EXPECT_DOUBLE_EQ(pt.pct_of_peak, 0.0);
+  EXPECT_FALSE(pt.memory_bound);
+}
+
+TEST(RooflineMathTest, ZeroElapsedLeavesPctZero) {
+  const RooflinePoint pt = ClassifyRoofline(100, 50, 0.0, FakeMachine());
+  EXPECT_DOUBLE_EQ(pt.pct_of_peak, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Calibration cache round-trip
+
+TEST(RooflineCacheTest, SaveLoadRoundTrip) {
+  const std::string path = TempPath("roofline_cache_roundtrip.json");
+  MachineRoofline m = FakeMachine();
+  ASSERT_TRUE(SaveRooflineCache(m, path).ok());
+  StatusOr<MachineRoofline> loaded = LoadRooflineCache(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  EXPECT_DOUBLE_EQ(loaded->peak_flops_per_sec, m.peak_flops_per_sec);
+  EXPECT_DOUBLE_EQ(loaded->peak_bytes_per_sec, m.peak_bytes_per_sec);
+  EXPECT_TRUE(loaded->calibrated);
+  EXPECT_EQ(loaded->source, "cache");
+  std::remove(path.c_str());
+}
+
+TEST(RooflineCacheTest, MissingFileIsNotFound) {
+  StatusOr<MachineRoofline> loaded =
+      LoadRooflineCache(TempPath("roofline_cache_nonexistent.json"));
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST(RooflineCacheTest, RejectsForeignCalibrationKey) {
+  // A calibration measured on another host/compiler/build must not be
+  // reused here: hand-write a cache whose key cannot match this process.
+  const std::string path = TempPath("roofline_cache_foreign.json");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs(
+      "{\"schema_version\":1,\"key\":\"otherhost|gcc 0.0.0|opt|t1\","
+      "\"peak_flops_per_sec\":1e11,\"peak_bytes_per_sec\":1e10}\n",
+      f);
+  std::fclose(f);
+  StatusOr<MachineRoofline> loaded = LoadRooflineCache(path);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+TEST(RooflineCacheTest, RejectsGarbageAndNonPositivePeaks) {
+  const std::string path = TempPath("roofline_cache_bad.json");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("not json at all", f);
+  std::fclose(f);
+  EXPECT_FALSE(LoadRooflineCache(path).ok());
+
+  MachineRoofline degenerate;
+  degenerate.peak_flops_per_sec = 0.0;
+  degenerate.peak_bytes_per_sec = 1e10;
+  degenerate.calibrated = true;
+  ASSERT_TRUE(SaveRooflineCache(degenerate, path).ok());
+  EXPECT_FALSE(LoadRooflineCache(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(RooflineCacheTest, CalibrationKeyNamesHostCompilerAndThreads) {
+  const std::string key = RooflineCalibrationKey();
+  EXPECT_NE(key.find(HostnameString()), std::string::npos);
+  EXPECT_NE(key.find(CompilerVersionString()), std::string::npos);
+  EXPECT_NE(key.find("|t"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Analytic traffic accounting: the kernels must credit exactly the bytes
+// the ops.h cost model promises, byte for byte. Forward-only (no autograd
+// tape) so backward credits cannot leak into the expectations.
+
+class TrafficAccountingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Profiler::Get().Clear();
+    Profiler::Get().Enable("");  // aggregate without a file
+  }
+  void TearDown() override {
+    Profiler::Get().Disable();
+    Profiler::Get().Clear();
+  }
+
+  // The calling thread's tree from a fresh snapshot.
+  static std::vector<ProfileNode> MyRoots() {
+    const uint32_t tid = Tracer::CurrentThreadId();
+    for (const auto& t : Profiler::Get().Snapshot().threads) {
+      if (t.tid == tid) return t.roots;
+    }
+    return {};
+  }
+
+  static const ProfileNode* Find(const std::vector<ProfileNode>& nodes,
+                                 const std::string& name) {
+    for (const ProfileNode& n : nodes) {
+      if (n.name == name) return &n;
+    }
+    return nullptr;
+  }
+};
+
+TEST_F(TrafficAccountingTest, MatMulCreditsExactBytes) {
+  Tensor a = Tensor::Ones({2, 3});
+  Tensor b = Tensor::Ones({3, 4});
+  {
+    TIMEKD_TRACE_SCOPE("test/matmul");
+    Tensor y = tensor::MatMul(a, b);
+    ASSERT_EQ(y.numel(), 8);
+  }
+  const auto roots = MyRoots();
+  const ProfileNode* n = Find(roots, "test/matmul");
+  ASSERT_NE(n, nullptr);
+  // 2*m*k*n = 2*2*3*4 FLOPs; reads a (6) + b (12) elements, writes 8.
+  EXPECT_EQ(n->flops, cost::MatMulFlops(1, 2, 3, 4));
+  EXPECT_EQ(n->flops, 48u);
+  EXPECT_EQ(n->read_bytes, (6u + 12u) * cost::kBytesPerElement);
+  EXPECT_EQ(n->write_bytes, 8u * cost::kBytesPerElement);
+}
+
+TEST_F(TrafficAccountingTest, SoftmaxCreditsExactBytes) {
+  Tensor x = Tensor::Ones({4, 8});
+  {
+    TIMEKD_TRACE_SCOPE("test/softmax");
+    Tensor y = tensor::Softmax(x, -1);
+    ASSERT_EQ(y.numel(), 32);
+  }
+  const auto roots = MyRoots();
+  const ProfileNode* n = Find(roots, "test/softmax");
+  ASSERT_NE(n, nullptr);
+  EXPECT_EQ(n->flops, 32u * cost::kSoftmaxFlopsPerElement);
+  EXPECT_EQ(n->read_bytes, 32u * cost::kBytesPerElement);
+  EXPECT_EQ(n->write_bytes, 32u * cost::kBytesPerElement);
+}
+
+TEST_F(TrafficAccountingTest, LayerNormCreditsExactBytes) {
+  const int64_t rows = 3;
+  const int64_t d = 16;
+  Tensor x = Tensor::Ones({rows, d});
+  Tensor gamma = Tensor::Ones({d});
+  Tensor beta = Tensor::Zeros({d});
+  {
+    TIMEKD_TRACE_SCOPE("test/layernorm");
+    Tensor y = tensor::LayerNorm(x, gamma, beta, 1e-5f);
+    ASSERT_EQ(y.numel(), rows * d);
+  }
+  const auto roots = MyRoots();
+  const ProfileNode* n = Find(roots, "test/layernorm");
+  ASSERT_NE(n, nullptr);
+  const uint64_t numel = static_cast<uint64_t>(rows * d);
+  EXPECT_EQ(n->flops, numel * cost::kLayerNormFlopsPerElement);
+  // Reads x plus gamma and beta; writes the output plus the per-row
+  // mu/inv_sigma caches kept for backward.
+  EXPECT_EQ(n->read_bytes, (numel + 2 * d) * cost::kBytesPerElement);
+  EXPECT_EQ(n->write_bytes, (numel + 2 * rows) * cost::kBytesPerElement);
+}
+
+TEST_F(TrafficAccountingTest, TransposeIsPureTraffic) {
+  Tensor x = Tensor::Ones({5, 7});
+  {
+    TIMEKD_TRACE_SCOPE("test/transpose");
+    Tensor y = tensor::Transpose(x, 0, 1);
+    ASSERT_EQ(y.numel(), 35);
+  }
+  const auto roots = MyRoots();
+  const ProfileNode* n = Find(roots, "test/transpose");
+  ASSERT_NE(n, nullptr);
+  EXPECT_EQ(n->flops, 0u);
+  EXPECT_EQ(n->read_bytes, 35u * cost::kBytesPerElement);
+  EXPECT_EQ(n->write_bytes, 35u * cost::kBytesPerElement);
+}
+
+}  // namespace
+}  // namespace timekd::obs

@@ -86,6 +86,16 @@ run_perf_gate() {
     python3 tools/perf_diff.py "$out/baseline.json" \
       "$out/BENCH_micro_kernels.json"
   fi
+
+  # Trend gate: the candidate must also hold against the rolling median of
+  # the last 5 comparable runs in the bench/history ledger (empty history
+  # passes). Gate BEFORE appending, so a regressing run never becomes part
+  # of its own baseline; append only after it held.
+  step "perf trend gate [--against-history 5]"
+  python3 tools/perf_diff.py --against-history 5 --history bench/history \
+    "$out/BENCH_micro_kernels.json"
+  python3 tools/perf_history.py append --history bench/history \
+    "$out/BENCH_micro_kernels.json"
   rm -rf "$out"
 }
 

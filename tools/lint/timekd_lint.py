@@ -6,6 +6,13 @@ Rules (all stdlib-only, no third-party deps):
   ops-shape-check   Every function in src/tensor/ops.cc that touches raw
                     storage via .data() must run a TIMEKD_CHECK* /
                     TIMEKD_DCHECK* validation before the first access.
+  kernel-accounting Every function in src/tensor/ops.cc and
+                    src/nn/attention.cc that opens a TIMEKD_TRACE_SCOPE
+                    must credit both FLOPs (obs::AddSpanFlops or a
+                    KernelCounters Credit call) and memory traffic
+                    (obs::AddSpanMemTraffic or Credit), so the roofline
+                    attribution never silently loses a kernel. Escape:
+                    a documented `timekd-lint: allow(kernel-accounting)`.
   header-guard      Headers carry TIMEKD_<PATH>_H_ include guards derived
                     from their path (src/ prefix stripped).
   stdout-io         No std::cout / printf-family stdout writes outside
@@ -342,6 +349,84 @@ def check_ops_shape_checks(root, findings):
         idx = end_idx + 1
 
 
+# --- Rule: kernel-accounting -----------------------------------------------
+
+# Kernel files where a traced span implies roofline crediting. A function
+# that opens a TIMEKD_TRACE_SCOPE must credit both FLOPs (AddSpanFlops or a
+# KernelCounters .Credit(...) call, which does both) and memory traffic
+# (AddSpanMemTraffic or .Credit(...)), so the profiler's roofline
+# attribution and the BENCH artifact never silently lose a kernel.
+KERNEL_FILES = ("src/tensor/ops.cc", "src/nn/attention.cc")
+KERNEL_FUNC_DEF_RE = re.compile(
+    r"^(?:template\s*<[^>]*>\s*)?"
+    r"(?:Tensor|void|float|std::vector<[^>]+>)\s+"
+    r"((?:[A-Za-z_]\w*::)?\w+)\s*\(")
+TRACE_SCOPE_RE = re.compile(r"\bTIMEKD_TRACE_SCOPE\s*\(")
+FLOP_CREDIT_RE = re.compile(r"\bAddSpanFlops\s*\(|\.\s*Credit\s*\(")
+TRAFFIC_CREDIT_RE = re.compile(r"\bAddSpanMemTraffic\s*\(|\.\s*Credit\s*\(")
+
+
+def check_kernel_accounting(root, findings):
+    for rel in KERNEL_FILES:
+        try:
+            raw = read_lines(root, rel)
+        except FileNotFoundError:
+            findings.append(Finding("kernel-accounting", rel, 0,
+                                    "file not found"))
+            continue
+        code = strip_comments_and_strings(raw)
+        idx = 0
+        n = len(code)
+        while idx < n:
+            m = KERNEL_FUNC_DEF_RE.match(code[idx])
+            if m is None:
+                idx += 1
+                continue
+            name = m.group(1)
+            open_idx = idx
+            while open_idx < n and "{" not in code[open_idx]:
+                if ";" in code[open_idx]:
+                    open_idx = None
+                    break
+                open_idx += 1
+            if open_idx is None:
+                idx += 1
+                continue
+            depth = 0
+            end_idx = open_idx
+            for j in range(open_idx, n):
+                depth += code[j].count("{") - code[j].count("}")
+                if depth == 0:
+                    end_idx = j
+                    break
+            else:
+                end_idx = n - 1
+            body = code[open_idx:end_idx + 1]
+            scope_line = None
+            for j, line in enumerate(body):
+                if TRACE_SCOPE_RE.search(line):
+                    scope_line = open_idx + j + 1  # 1-based
+                    break
+            if scope_line is not None:
+                has_flops = any(FLOP_CREDIT_RE.search(l) for l in body)
+                has_traffic = any(TRAFFIC_CREDIT_RE.search(l) for l in body)
+                if not (has_flops and has_traffic):
+                    if not is_allowed("kernel-accounting", raw, scope_line):
+                        missing = []
+                        if not has_flops:
+                            missing.append("FLOPs (AddSpanFlops/.Credit)")
+                        if not has_traffic:
+                            missing.append(
+                                "traffic (AddSpanMemTraffic/.Credit)")
+                        findings.append(Finding(
+                            "kernel-accounting", rel, scope_line,
+                            f"{name}() opens a TIMEKD_TRACE_SCOPE but never "
+                            f"credits {' or '.join(missing)}; see "
+                            "obs/profiler.h, or add a documented "
+                            "timekd-lint: allow(kernel-accounting)"))
+            idx = end_idx + 1
+
+
 # --- Rule: test-determinism ------------------------------------------------
 
 NONDETERMINISM_PATTERNS = [
@@ -542,6 +627,7 @@ def check_format(root, findings, all_files):
 
 RULES = {
     "ops-shape-check": check_ops_shape_checks,
+    "kernel-accounting": check_kernel_accounting,
     "header-guard": check_header_guards,
     "stdout-io": check_stdout_io,
     "new-delete": check_new_delete,

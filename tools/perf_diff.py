@@ -18,7 +18,9 @@ Gated metrics (overridable via --threshold):
 
 Raw kernel counters (matmul_calls, ...) are reported but never gated:
 google-benchmark picks iteration counts adaptively, so call/FLOP totals are
-not comparable across runs even on identical code.
+not comparable across runs even on identical code. The per-kernel roofline
+efficiency (roofline.<kernel>.pct_of_peak, schema 2) is reported ungated
+for the same reason — it contextualizes a timing regression, it is not one.
 
 The training-health summary (health.anomalies, health.verdict — see
 obs/health.h) is likewise reported but never gated: a noisy run should be
@@ -29,20 +31,30 @@ Comparing artifacts from different experiments, bench profiles, or thread
 counts is a usage error (exit 2), not a regression — the numbers would be
 meaningless.
 
+--against-history N replaces the hand-picked baseline with the rolling
+median of the last N comparable entries in the perf_history.py ledger
+(tools/perf_history.py; default directory bench/history/). Only the timing
+and throughput families are gated against the median — memory and health
+are per-run reports there (a calibration probe's one-time RSS bump must
+not fail the gate). An empty or incomparable history passes with a note:
+the first run on a new machine has nothing to regress against.
+
 Exit status: 0 = no regression, 1 = regression(s), 2 = usage/schema error.
 
 Usage:
   tools/perf_diff.py BASELINE.json CANDIDATE.json
   tools/perf_diff.py --threshold wall_seconds=0.3:0.05 BASE.json CAND.json
+  tools/perf_diff.py --against-history 5 CANDIDATE.json
   tools/perf_diff.py --self-test
 """
 
 import argparse
 import copy
 import json
+import os
 import sys
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 
 class Spec:
@@ -92,6 +104,11 @@ def flatten_metrics(doc):
     for name, value in doc.get("health", {}).items():
         # No spec maps to health.* so these always render as "(ungated)".
         out[f"health.{name}"] = float(value)
+    for name, kernel in doc.get("roofline", {}).get("kernels", {}).items():
+        # Ungated context: how close each credited kernel sat to its
+        # roofline ceiling (see src/obs/roofline.h).
+        if isinstance(kernel, dict) and "pct_of_peak" in kernel:
+            out[f"roofline.{name}.pct_of_peak"] = float(kernel["pct_of_peak"])
     return out
 
 
@@ -127,7 +144,7 @@ def diff(baseline, candidate, specs):
     for metric in sorted(set(base) | set(cand)):
         spec = spec_for(metric, specs)
         if metric not in base or metric not in cand:
-            side = "baseline" if metric not in base else "candidate"
+            side = "candidate" if metric not in base else "baseline"
             lines.append(f"  {metric:<40} only in {side}; skipped")
             continue
         b, c = base[metric], cand[metric]
@@ -196,12 +213,47 @@ def run_diff(baseline_path, candidate_path, specs):
     return 0
 
 
+def _import_perf_history():
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    import perf_history
+    return perf_history
+
+
+def run_against_history(candidate_path, history_dir, window, specs):
+    """Gates `candidate_path` against the rolling median of the last
+    `window` comparable ledger entries. Empty history passes (exit 0)."""
+    perf_history = _import_perf_history()
+    candidate = load_artifact(candidate_path)
+    entries = perf_history.comparable_entries(
+        perf_history.load_history(history_dir, candidate["experiment"]),
+        candidate)
+    baseline = perf_history.median_baseline(entries, window)
+    if baseline is None:
+        print(f"perf_diff: no comparable history for "
+              f"{candidate['experiment']} in {history_dir}; "
+              "nothing to regress against (pass)")
+        return 0
+    lines, regressions = diff(baseline, candidate, specs)
+    used = min(window, len(entries))
+    print(f"perf_diff: {candidate['experiment']} "
+          f"[{candidate['provenance'].get('bench_profile')}] "
+          f"median-of-{used} history baseline -> {candidate_path}")
+    for line in lines:
+        print(line)
+    if regressions:
+        print(f"perf_diff: {len(regressions)} regression(s) vs history: "
+              f"{', '.join(regressions)}")
+        return 1
+    print("perf_diff: no regressions vs history")
+    return 0
+
+
 # --- Self-test -------------------------------------------------------------
 
 
 def synthetic_artifact():
     return {
-        "schema_version": 1,
+        "schema_version": 2,
         "experiment": "selftest",
         "provenance": {"git_sha": "0" * 12, "bench_profile": "smoke",
                        "num_threads": 1, "hostname": "x", "compiler": "t"},
@@ -209,6 +261,18 @@ def synthetic_artifact():
         "phases": {"bench/selftest": 0.29},
         "throughput": {"steps_per_sec": 100.0, "tokens_per_sec": 0.0},
         "kernels": {"matmul_calls": 10, "matmul_flops": 1000},
+        "roofline": {
+            "machine": {"calibrated": True, "source": "probe",
+                        "peak_flops_per_sec": 1e11,
+                        "peak_bytes_per_sec": 1e10,
+                        "ridge_flops_per_byte": 10.0},
+            "kernels": {"tensor/matmul": {
+                "count": 10, "total_us": 1000, "flops": 1000,
+                "read_bytes": 100, "write_bytes": 50, "ai": 6.67,
+                "flops_per_sec": 1e6, "bytes_per_sec": 1.5e5,
+                "pct_of_peak": 0.42, "bound": "memory"}},
+            "ops": {},
+        },
         "memory": {"tensor_peak_bytes": 64 << 20,
                    "rss_peak_bytes": 128 << 20},
         "health": {"anomalies": 0, "verdict": 0},
@@ -283,6 +347,30 @@ def self_test():
     _, regs = diff(base, jitter, override)
     expect("threshold override applies", regs == ["wall_seconds"])
 
+    less_efficient = copy.deepcopy(base)
+    less_efficient["roofline"]["kernels"]["tensor/matmul"]["pct_of_peak"] = 0.1
+    report, regs = diff(base, less_efficient, specs)
+    expect("roofline efficiency never gates", regs == [])
+    expect("roofline efficiency is reported",
+           any("roofline.tensor/matmul.pct_of_peak" in line
+               and "ungated" in line for line in report))
+
+    perf_history = _import_perf_history()
+    history = [{"artifact": perf_history.slim_artifact(base)}
+               for _ in range(3)]
+    median = perf_history.median_baseline(
+        perf_history.comparable_entries(history, base), window=5)
+    expect("history median reconstructs the baseline",
+           median is not None and median["wall_seconds"] == 0.30)
+    _, regs = diff(median, copy.deepcopy(base), specs)
+    expect("candidate equal to history median is clean", regs == [])
+    _, regs = diff(median, doubled, specs)
+    expect("2x wall vs history median regresses", "wall_seconds" in regs)
+    fat_vs_history = diff(median, fat, specs)[1]
+    expect("memory is report-only against history", fat_vs_history == [])
+    expect("empty history yields no baseline",
+           perf_history.median_baseline([], window=5) is None)
+
     if failures:
         for name in failures:
             print(f"perf_diff self-test FAILED: {name}", file=sys.stderr)
@@ -300,16 +388,29 @@ def main():
     parser.add_argument("--threshold", action="append", metavar="M=REL[:FLOOR]",
                         help="override a metric's gate, e.g. "
                              "wall_seconds=0.3:0.05 (repeatable)")
+    parser.add_argument("--against-history", type=int, metavar="N",
+                        help="gate the single artifact argument against the "
+                             "rolling median of the last N comparable "
+                             "perf_history.py ledger entries")
+    parser.add_argument("--history", default="bench/history", metavar="DIR",
+                        help="ledger directory for --against-history")
     parser.add_argument("--self-test", action="store_true",
                         help="run the built-in check suite and exit")
     args = parser.parse_args()
 
     if args.self_test:
         return self_test()
+    specs = parse_threshold_overrides(args.threshold, dict(DEFAULT_SPECS))
+    if args.against_history is not None:
+        if args.against_history < 1 or not args.baseline or args.candidate:
+            print("perf_diff: --against-history N takes exactly one "
+                  "candidate artifact and N >= 1", file=sys.stderr)
+            return 2
+        return run_against_history(args.baseline, args.history,
+                                   args.against_history, specs)
     if not args.baseline or not args.candidate:
         parser.print_usage(sys.stderr)
         return 2
-    specs = parse_threshold_overrides(args.threshold, dict(DEFAULT_SPECS))
     return run_diff(args.baseline, args.candidate, specs)
 
 

@@ -1,0 +1,354 @@
+#!/usr/bin/env python3
+"""perf_history: rolling ledger of BENCH_<experiment>.json artifacts.
+
+Each experiment gets one JSONL ledger under the history directory (default
+bench/history/): one line per recorded run, holding the artifact minus its
+bulky raw "metrics" blob plus a record timestamp. The ledger is what turns
+the one-shot perf_diff gate into a trend gate — perf_diff.py
+--against-history N compares a candidate against the rolling median of the
+last N comparable ledger entries instead of a single hand-picked baseline,
+so one lucky or unlucky baseline run cannot mask (or fake) a regression.
+
+Commands:
+  append --history DIR ARTIFACT...   record artifacts into the ledger
+  render --history DIR --out HTML    self-contained trend report (inline
+                                     SVG, one chart per experiment/metric)
+  --self-test                        run the built-in check suite and exit
+
+Ledger lines are append-only and schema'd by the artifact they embed;
+entries whose artifact schema or provenance (bench_profile, num_threads)
+does not match a candidate are skipped at gate time, not rewritten.
+
+See docs/performance.md for how check.sh wires the gate and the append
+together (gate first, then append, so a regressing run never becomes its
+own baseline).
+"""
+
+import argparse
+import html
+import json
+import os
+import statistics
+import sys
+import time
+
+# Keys copied from the artifact into a ledger entry. "metrics" (the raw
+# counter/gauge/histogram dump) is deliberately dropped: it is large,
+# unbounded, and nothing in the trend gate reads it.
+LEDGER_KEYS = (
+    "schema_version", "experiment", "provenance", "wall_seconds", "phases",
+    "throughput", "kernels", "roofline", "memory", "health",
+)
+
+
+def ledger_path(history_dir, experiment):
+    safe = experiment.replace("/", "_")
+    return os.path.join(history_dir, f"{safe}.jsonl")
+
+
+def slim_artifact(doc):
+    return {k: doc[k] for k in LEDGER_KEYS if k in doc}
+
+
+def append_artifact(history_dir, artifact_path):
+    """Records one artifact; returns the ledger path written."""
+    with open(artifact_path, encoding="utf-8") as f:
+        doc = json.load(f)
+    experiment = doc.get("experiment")
+    if not experiment:
+        raise SystemExit(
+            f"perf_history: {artifact_path}: missing 'experiment'")
+    entry = {"recorded_unix": int(time.time()),
+             "artifact": slim_artifact(doc)}
+    os.makedirs(history_dir, exist_ok=True)
+    path = ledger_path(history_dir, experiment)
+    with open(path, "a", encoding="utf-8") as f:
+        f.write(json.dumps(entry, sort_keys=True) + "\n")
+    return path
+
+
+def load_history(history_dir, experiment):
+    """All ledger entries for one experiment, oldest first. Unparsable
+    lines are skipped (append-only files on shared machines do get torn)."""
+    path = ledger_path(history_dir, experiment)
+    entries = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if isinstance(entry, dict) and "artifact" in entry:
+                    entries.append(entry)
+    except OSError:
+        return []
+    return entries
+
+
+def comparable_entries(entries, candidate):
+    """Ledger entries whose artifact can be gated against `candidate`:
+    same schema, experiment, bench_profile and num_threads."""
+    cprov = candidate.get("provenance", {})
+    out = []
+    for entry in entries:
+        doc = entry["artifact"]
+        if doc.get("schema_version") != candidate.get("schema_version"):
+            continue
+        if doc.get("experiment") != candidate.get("experiment"):
+            continue
+        prov = doc.get("provenance", {})
+        if prov.get("bench_profile") != cprov.get("bench_profile"):
+            continue
+        if prov.get("num_threads") != cprov.get("num_threads"):
+            continue
+        out.append(entry)
+    return out
+
+
+def median_baseline(entries, window):
+    """Synthesizes a baseline artifact from the rolling median of the last
+    `window` entries. Only the gated timing/throughput families survive
+    (wall_seconds, phases, throughput): memory and health are per-run
+    reports, and medianing the adaptively-iterated kernel counters would
+    manufacture meaningless baselines. Returns None when `entries` is
+    empty."""
+    tail = [e["artifact"] for e in entries[-window:]]
+    if not tail:
+        return None
+
+    def median_of(values):
+        return statistics.median(values) if values else None
+
+    base = {
+        "schema_version": tail[-1].get("schema_version"),
+        "experiment": tail[-1].get("experiment"),
+        "provenance": dict(tail[-1].get("provenance", {})),
+        "wall_seconds": median_of(
+            [float(d["wall_seconds"]) for d in tail if "wall_seconds" in d]),
+        "phases": {},
+        "throughput": {},
+    }
+    base["provenance"]["git_sha"] = f"median-of-{len(tail)}"
+    for family in ("phases", "throughput"):
+        names = set()
+        for doc in tail:
+            names.update(doc.get(family, {}))
+        for name in names:
+            values = [float(doc[family][name]) for doc in tail
+                      if name in doc.get(family, {})]
+            if values:
+                base[family][name] = median_of(values)
+    return base
+
+
+# --- Trend report ----------------------------------------------------------
+
+TREND_METRICS = ("wall_seconds", "throughput.steps_per_sec",
+                 "throughput.tokens_per_sec")
+
+
+def metric_value(doc, dotted):
+    node = doc
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    try:
+        return float(node)
+    except (TypeError, ValueError):
+        return None
+
+
+def render_series_svg(values):
+    """One polyline chart over run index; returns an inline SVG string."""
+    width, height, pad = 480, 120, 8
+    finite = [v for v in values if v is not None]
+    if not finite:
+        return "<svg viewBox='0 0 480 120'></svg>"
+    lo, hi = min(finite), max(finite)
+    span = (hi - lo) or 1.0
+    points = []
+    n = len(values)
+    for i, v in enumerate(values):
+        if v is None:
+            continue
+        x = pad + (width - 2 * pad) * (i / max(1, n - 1))
+        y = height - pad - (height - 2 * pad) * ((v - lo) / span)
+        points.append(f"{x:.1f},{y:.1f}")
+    return (
+        f"<svg viewBox='0 0 {width} {height}' role='img'>"
+        f"<polyline fill='none' stroke='#1f77b4' stroke-width='1.5' "
+        f"points='{' '.join(points)}'/>"
+        f"<text class='tick' x='{pad}' y='12'>max {hi:.4g}</text>"
+        f"<text class='tick' x='{pad}' y='{height - 2}'>min {lo:.4g}</text>"
+        "</svg>")
+
+
+def render_trends(history_dir, out_path, title="TimeKD perf history"):
+    """Writes the trend HTML; returns the number of charts rendered."""
+    charts = []
+    try:
+        ledgers = sorted(f for f in os.listdir(history_dir)
+                         if f.endswith(".jsonl"))
+    except OSError:
+        ledgers = []
+    for name in ledgers:
+        experiment = name[:-len(".jsonl")]
+        entries = load_history(history_dir, experiment)
+        if not entries:
+            continue
+        docs = [e["artifact"] for e in entries]
+        metrics = list(TREND_METRICS)
+        phase_names = sorted({p for d in docs for p in d.get("phases", {})})
+        metrics.extend(f"phases.{p}" for p in phase_names)
+        for metric in metrics:
+            values = [metric_value(d, metric) for d in docs]
+            if not any(v is not None for v in values):
+                continue
+            charts.append(
+                f"<h2>{html.escape(experiment)} — {html.escape(metric)} "
+                f"({len(values)} runs)</h2>\n"
+                + render_series_svg(values))
+    css = ("body{font-family:system-ui,sans-serif;margin:2em auto;"
+           "max-width:60em;padding:0 1em;color:#222}h1{font-size:1.4em}"
+           "h2{font-size:1em;margin:1.5em 0 0.3em}"
+           "svg{background:#fff;border:1px solid #ddd;width:100%;"
+           "max-width:480px;height:auto;display:block}"
+           "text.tick{font-size:9px;fill:#777;font-family:monospace}")
+    page = (f"<!DOCTYPE html>\n<html><head><meta charset='utf-8'>"
+            f"<title>{html.escape(title)}</title><style>{css}</style>"
+            f"</head>\n<body>\n<h1>{html.escape(title)}</h1>\n"
+            + ("\n".join(charts) if charts else
+               "<p>no history recorded yet</p>")
+            + "\n</body></html>\n")
+    with open(out_path, "w", encoding="utf-8") as f:
+        f.write(page)
+    return len(charts)
+
+
+# --- Self-test -------------------------------------------------------------
+
+
+def _synthetic(wall, steps=100.0, profile="smoke"):
+    return {
+        "schema_version": 2,
+        "experiment": "selftest",
+        "provenance": {"git_sha": "0" * 12, "bench_profile": profile,
+                       "num_threads": 1},
+        "wall_seconds": wall,
+        "phases": {"bench/selftest": wall * 0.9},
+        "throughput": {"steps_per_sec": steps, "tokens_per_sec": 0.0},
+        "roofline": {"machine": {"calibrated": False}, "kernels": {},
+                     "ops": {}},
+        "metrics": {"counters": {"x": 1}},
+    }
+
+
+def self_test():
+    import tempfile
+
+    failures = []
+
+    def expect(name, condition):
+        if not condition:
+            failures.append(name)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        history = os.path.join(tmp, "history")
+        for wall in (0.30, 0.40, 0.20):
+            artifact = os.path.join(tmp, "BENCH_selftest.json")
+            with open(artifact, "w", encoding="utf-8") as f:
+                json.dump(_synthetic(wall), f)
+            append_artifact(history, artifact)
+
+        entries = load_history(history, "selftest")
+        expect("append+load round-trips 3 entries", len(entries) == 3)
+        expect("ledger drops the raw metrics blob",
+               all("metrics" not in e["artifact"] for e in entries))
+        expect("ledger keeps the roofline block",
+               all("roofline" in e["artifact"] for e in entries))
+
+        comparable = comparable_entries(entries, _synthetic(0.3))
+        expect("all entries comparable to a like candidate",
+               len(comparable) == 3)
+        other = comparable_entries(entries, _synthetic(0.3, profile="paper"))
+        expect("profile mismatch filters everything", other == [])
+
+        base = median_baseline(comparable, window=3)
+        expect("median wall over {0.3,0.4,0.2} is 0.3",
+               abs(base["wall_seconds"] - 0.30) < 1e-12)
+        expect("median phases come along",
+               abs(base["phases"]["bench/selftest"] - 0.27) < 1e-12)
+        expect("median baseline carries provenance",
+               base["provenance"]["bench_profile"] == "smoke")
+        expect("memory/health do not get synthetic baselines",
+               "memory" not in base and "health" not in base)
+        expect("window trims to the tail",
+               median_baseline(comparable, window=1)["wall_seconds"] == 0.20)
+        expect("empty history yields no baseline",
+               median_baseline([], window=5) is None)
+
+        out = os.path.join(tmp, "trends.html")
+        charts = render_trends(history, out)
+        with open(out, encoding="utf-8") as f:
+            page = f.read()
+        expect("trend report renders charts", charts >= 2)
+        expect("trend report names the experiment", "selftest" in page)
+        expect("trend report is self-contained svg", "<svg" in page)
+
+        empty_out = os.path.join(tmp, "empty.html")
+        expect("empty history renders a note",
+               render_trends(os.path.join(tmp, "none"), empty_out) == 0)
+
+    if failures:
+        for name in failures:
+            print(f"perf_history self-test FAILED: {name}", file=sys.stderr)
+        return 1
+    print("perf_history self-test: all cases passed")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("command", nargs="?", choices=("append", "render"),
+                        help="append artifacts or render the trend report")
+    parser.add_argument("artifacts", nargs="*", help="BENCH_*.json files")
+    parser.add_argument("--history", default="bench/history",
+                        metavar="DIR", help="ledger directory")
+    parser.add_argument("--out", help="output HTML (render)")
+    parser.add_argument("--title", default="TimeKD perf history")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in check suite and exit")
+    # Intermixed: "append --history DIR ART..." interleaves optionals with
+    # the positional list, which plain parse_args refuses to re-join.
+    args = parser.parse_intermixed_args()
+
+    if args.self_test:
+        return self_test()
+    if args.command == "append":
+        if not args.artifacts:
+            parser.print_usage(sys.stderr)
+            return 2
+        for artifact in args.artifacts:
+            path = append_artifact(args.history, artifact)
+            print(f"perf_history: recorded {artifact} -> {path}")
+        return 0
+    if args.command == "render":
+        if not args.out:
+            parser.print_usage(sys.stderr)
+            return 2
+        charts = render_trends(args.history, args.out, args.title)
+        print(f"perf_history: wrote {charts} chart(s) to {args.out}")
+        return 0
+    parser.print_usage(sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())
