@@ -4,7 +4,8 @@
 #include <chrono>
 #include <cstring>
 #include <ctime>
-#include <mutex>
+
+#include "common/thread_annotations.h"
 
 namespace timekd {
 namespace internal_logging {
@@ -13,9 +14,11 @@ namespace {
 
 /// Guards the write of a fully-formatted message. A single fputs is not
 /// atomic with respect to other writers (and messages can span lines), so
-/// concurrent threads interleaved mid-record without this.
-std::mutex& SinkMutex() {
-  static std::mutex mu;
+/// concurrent threads interleaved mid-record without this. The guarded
+/// state is the process-wide stderr stream — an external resource with no
+/// member field to annotate.
+Mutex& SinkMutex() {
+  static Mutex mu;  // guards stderr: timekd-lint: allow(lock-annotation)
   return mu;
 }
 
@@ -90,7 +93,7 @@ LogMessage::~LogMessage() {
   stream_ << "\n";
   const std::string message = stream_.str();
   {
-    std::lock_guard<std::mutex> lock(SinkMutex());
+    MutexLock lock(SinkMutex());
     std::fputs(message.c_str(), stderr);
     std::fflush(stderr);
   }

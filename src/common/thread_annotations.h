@@ -1,0 +1,137 @@
+#ifndef TIMEKD_COMMON_THREAD_ANNOTATIONS_H_
+#define TIMEKD_COMMON_THREAD_ANNOTATIONS_H_
+
+#include <mutex>
+
+/// Clang thread-safety annotations (-Wthread-safety) for compile-time lock
+/// discipline, plus the annotated Mutex/MutexLock pair the whole repo uses
+/// instead of raw std::mutex/std::lock_guard.
+///
+/// TSan only proves the interleavings the tests happen to exercise; these
+/// annotations prove, on every clang build of every path, that each
+/// GUARDED_BY field is only touched with its mutex held, that REQUIRES
+/// contracts hold at every call site, and that no path double-acquires or
+/// leaks a capability. The `tidy` CMake preset compiles the tree with
+/// -Wthread-safety -Werror=thread-safety-analysis; on GCC every macro
+/// expands to nothing and the wrapper types compile to the plain std
+/// primitives they hold.
+///
+/// Usage (see docs/static_analysis.md for the full how-to):
+///
+///   class Cache {
+///     Mutex mu_;
+///     std::map<K, V> entries_ TIMEKD_GUARDED_BY(mu_);
+///     void Insert(K k, V v) {
+///       MutexLock lock(mu_);
+///       entries_[k] = v;
+///     }
+///   };
+///
+/// The timekd_lint `lock-annotation` rule enforces that src/ declares
+/// mutexes through these types and that every Mutex member guards at least
+/// one field.
+
+#if defined(__clang__)
+#define TIMEKD_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define TIMEKD_THREAD_ANNOTATION_(x)  // no-op on GCC and others
+#endif
+
+/// Marks a type as a lockable capability ("mutex" names the capability
+/// kind in diagnostics).
+#define TIMEKD_CAPABILITY(x) TIMEKD_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define TIMEKD_SCOPED_CAPABILITY TIMEKD_THREAD_ANNOTATION_(scoped_lockable)
+
+/// The annotated field may only be read or written with `x` held.
+#define TIMEKD_GUARDED_BY(x) TIMEKD_THREAD_ANNOTATION_(guarded_by(x))
+
+/// The annotated pointer's *pointee* may only be accessed with `x` held
+/// (the pointer itself is free to read — e.g. an immutable FILE* whose
+/// stream state is what the mutex serializes).
+#define TIMEKD_PT_GUARDED_BY(x) TIMEKD_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// The function may only be called while holding the listed capabilities.
+#define TIMEKD_REQUIRES(...) \
+  TIMEKD_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// The function acquires the listed capabilities and holds them on return.
+#define TIMEKD_ACQUIRE(...) \
+  TIMEKD_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// The function releases the listed capabilities (held on entry).
+#define TIMEKD_RELEASE(...) \
+  TIMEKD_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// The function acquires the capability iff it returns the given value.
+#define TIMEKD_TRY_ACQUIRE(...) \
+  TIMEKD_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// The caller must NOT hold the listed capabilities (deadlock guard for
+/// functions that acquire them internally).
+#define TIMEKD_EXCLUDES(...) \
+  TIMEKD_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Asserts (without acquiring) that the capability is held; for code
+/// reachable only from holders the analysis cannot see.
+#define TIMEKD_ASSERT_CAPABILITY(x) \
+  TIMEKD_THREAD_ANNOTATION_(assert_capability(x))
+
+/// The function returns a reference to the given capability.
+#define TIMEKD_RETURN_CAPABILITY(x) TIMEKD_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Documents lock-ordering edges for deadlock detection (-Wthread-safety-beta).
+#define TIMEKD_ACQUIRED_AFTER(...) \
+  TIMEKD_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+#define TIMEKD_ACQUIRED_BEFORE(...) \
+  TIMEKD_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+
+/// Opts a function out of the analysis. Every use must carry a comment
+/// explaining why the discipline cannot be expressed (e.g. hand-over-hand
+/// condition-variable loops) and which TSan stress test covers the code.
+#define TIMEKD_NO_THREAD_SAFETY_ANALYSIS \
+  TIMEKD_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace timekd {
+
+/// std::mutex with the capability annotation the analysis needs. Library
+/// code declares `Mutex` members (never raw std::mutex — enforced by the
+/// `lock-annotation` lint rule) and locks them with MutexLock below.
+class TIMEKD_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() TIMEKD_ACQUIRE() { mu_.lock(); }
+  void Unlock() TIMEKD_RELEASE() { mu_.unlock(); }
+  bool TryLock() TIMEKD_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// Escape hatch for condition-variable waits, which need the raw
+  /// std::mutex. Callers live inside TIMEKD_NO_THREAD_SAFETY_ANALYSIS
+  /// functions (the analysis cannot follow a native handle) and must say
+  /// why; see ThreadPool::WorkerLoop for the pattern.
+  std::mutex& native_handle() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII guard over Mutex — the annotated equivalent of std::lock_guard,
+/// so every ordinary call site participates in the analysis.
+class TIMEKD_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) TIMEKD_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() TIMEKD_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace timekd
+
+#endif  // TIMEKD_COMMON_THREAD_ANNOTATIONS_H_

@@ -8,6 +8,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.h"
+
 namespace timekd {
 
 /// Process-wide fork-join thread pool behind the ParallelFor primitive used
@@ -25,6 +27,15 @@ namespace timekd {
 /// The calling thread always participates, so a pool of size N keeps N-1
 /// persistent workers.
 ///
+/// Concurrency discipline: every in-flight-job field is GUARDED_BY(mu_)
+/// and checked by clang's thread-safety analysis under the `tidy` preset.
+/// The condition-variable loops (WorkerLoop, RunShards, DispatchJob)
+/// release and reacquire mu_ hand-over-hand, which the static analysis
+/// cannot express; those three carry TIMEKD_NO_THREAD_SAFETY_ANALYSIS and
+/// are covered dynamically by the TSan stress cases in
+/// tests/thread_pool_test.cc (concurrent submitters, nested ParallelFor,
+/// oversubscribed pools).
+///
 /// Observability: `threadpool/tasks` counts shards executed on pool
 /// threads, `threadpool/jobs` counts dispatched ParallelFor calls,
 /// `threadpool/queue_wait_us` records submit-to-first-worker-pickup
@@ -39,7 +50,7 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  int num_threads() const;
+  int num_threads() const TIMEKD_EXCLUDES(mu_);
 
   /// Joins all workers and restarts the pool with `n` threads (n >= 1).
   /// For tests and benchmarks; not safe to call concurrently with
@@ -58,7 +69,8 @@ class ThreadPool {
   /// buffer per shard and combine them in index order after the call.
   void ParallelForShards(
       int64_t begin, int64_t end, int64_t grain,
-      const std::function<void(int64_t, int64_t, int64_t)>& fn);
+      const std::function<void(int64_t, int64_t, int64_t)>& fn)
+      TIMEKD_EXCLUDES(mu_);
 
   /// Number of shards a range of `n` indices with the given grain is split
   /// into. Depends only on (n, grain) so per-shard partial buffers sized
@@ -69,34 +81,58 @@ class ThreadPool {
   explicit ThreadPool(int n);
   ~ThreadPool() = delete;  // leaked singleton; workers outlive main
 
-  void StartWorkers(int n);
-  void StopWorkers();
-  void WorkerLoop();
+  void StartWorkers(int n) TIMEKD_EXCLUDES(mu_);
+  void StopWorkers() TIMEKD_EXCLUDES(mu_);
+  /// Worker thread body: a wait/run condition-variable loop over mu_.
+  /// Hand-over-hand locking the analysis cannot follow; TSan-covered by
+  /// tests/thread_pool_test.cc.
+  void WorkerLoop() TIMEKD_NO_THREAD_SAFETY_ANALYSIS;
+  /// Publishes the job state under mu_, wakes the workers, helps drain the
+  /// shard queue, and blocks on done_cv_ until the job completes. Same
+  /// hand-over-hand caveat as WorkerLoop.
+  void DispatchJob(int64_t begin, int64_t base, int64_t rem,
+                   int64_t num_shards,
+                   const std::function<void(int64_t, int64_t, int64_t)>& fn)
+      TIMEKD_NO_THREAD_SAFETY_ANALYSIS;
   /// Claims and runs shards of the current job until none remain. Caller
-  /// must hold `mu_`; the lock is released around each fn invocation.
-  void RunShards(std::unique_lock<std::mutex>& lock, bool is_worker);
+  /// must hold `mu_`; the lock is released around each fn invocation,
+  /// which is why this is a raw unique_lock and not a MutexLock.
+  void RunShards(std::unique_lock<std::mutex>& lock, bool is_worker)
+      TIMEKD_NO_THREAD_SAFETY_ANALYSIS;
+  /// Condition-variable predicates. Hoisted out of the wait lambdas
+  /// because clang analyzes lambda bodies as their own contexts — a
+  /// NO_THREAD_SAFETY_ANALYSIS on the enclosing function does not cover
+  /// them. Both are only ever invoked by *_cv_.wait with mu_ held.
+  bool JobAvailableOrShutdown() const TIMEKD_NO_THREAD_SAFETY_ANALYSIS;
+  bool JobDrained() const TIMEKD_NO_THREAD_SAFETY_ANALYSIS;
 
   /// Serializes submitters: held for the full lifetime of a dispatched
   /// job so concurrent ParallelFor calls from different threads queue up
-  /// instead of clobbering the in-flight job state.
-  std::mutex submit_mu_;
-  mutable std::mutex mu_;
+  /// instead of clobbering the in-flight job state. It guards a phase
+  /// ("one job in flight"), not a field — the job state itself is guarded
+  /// by mu_ so the workers can claim shards.
+  Mutex submit_mu_;  // timekd-lint: allow(lock-annotation)
+  mutable Mutex mu_;
   std::condition_variable work_cv_;  // signals workers: job available
   std::condition_variable done_cv_;  // signals submitter: job drained
+  /// Only mutated by StartWorkers/StopWorkers, which the Resize contract
+  /// forbids calling concurrently with anything; workers never touch it.
   std::vector<std::thread> workers_;
-  int num_threads_ = 1;
+  int num_threads_ TIMEKD_GUARDED_BY(mu_) = 1;
 
   // State of the in-flight job; guarded by mu_.
-  const std::function<void(int64_t, int64_t, int64_t)>* fn_ = nullptr;
-  int64_t job_begin_ = 0;
-  int64_t job_shard_size_ = 0;  // base shard size
-  int64_t job_shard_rem_ = 0;   // first `rem` shards get one extra index
-  int64_t job_num_shards_ = 0;
-  int64_t next_shard_ = 0;
-  int64_t active_shards_ = 0;
-  uint64_t job_submit_us_ = 0;
-  bool job_wait_recorded_ = false;
-  bool shutdown_ = false;
+  const std::function<void(int64_t, int64_t, int64_t)>* fn_
+      TIMEKD_GUARDED_BY(mu_) = nullptr;
+  int64_t job_begin_ TIMEKD_GUARDED_BY(mu_) = 0;
+  // Base shard size; the first `rem` shards get one extra index.
+  int64_t job_shard_size_ TIMEKD_GUARDED_BY(mu_) = 0;
+  int64_t job_shard_rem_ TIMEKD_GUARDED_BY(mu_) = 0;
+  int64_t job_num_shards_ TIMEKD_GUARDED_BY(mu_) = 0;
+  int64_t next_shard_ TIMEKD_GUARDED_BY(mu_) = 0;
+  int64_t active_shards_ TIMEKD_GUARDED_BY(mu_) = 0;
+  uint64_t job_submit_us_ TIMEKD_GUARDED_BY(mu_) = 0;
+  bool job_wait_recorded_ TIMEKD_GUARDED_BY(mu_) = false;
+  bool shutdown_ TIMEKD_GUARDED_BY(mu_) = false;
 };
 
 /// Convenience wrapper over ThreadPool::Get().ParallelFor.

@@ -2,7 +2,6 @@
 
 #include <cstdlib>
 #include <memory>
-#include <mutex>
 
 #include "baselines/itransformer.h"
 #include "baselines/llm_baselines.h"
@@ -10,6 +9,7 @@
 #include "baselines/timecma.h"
 #include "baselines/trainer.h"
 #include "common/logging.h"
+#include "common/thread_annotations.h"
 #include "data/time_series.h"
 #include "obs/observer.h"
 #include "obs/trace.h"
@@ -33,21 +33,26 @@ int64_t FrozenCount(const nn::Module& module) {
   return n;
 }
 
-std::mutex& RunReportMutex() {
-  static std::mutex mu;
-  return mu;
-}
+/// The run-report experiment context and the mutex that guards it, fused
+/// into one struct so the annotation ties the string to its lock — the old
+/// separate RunReportMutex()/RunReportContext() statics let a future call
+/// site read the context without the mutex and compile fine.
+struct RunReportState {
+  Mutex mu;
+  std::string context TIMEKD_GUARDED_BY(mu);
+};
 
-std::string& RunReportContext() {
-  static std::string context;
-  return context;
+RunReportState& GetRunReportState() {
+  static RunReportState state;
+  return state;
 }
 
 }  // namespace
 
 void SetRunReportContext(const std::string& experiment) {
-  std::lock_guard<std::mutex> lock(RunReportMutex());
-  RunReportContext() = experiment;
+  RunReportState& state = GetRunReportState();
+  MutexLock lock(state.mu);
+  state.context = experiment;
 }
 
 void AppendRunReport(const RunSpec& spec, const RunResult& result) {
@@ -58,9 +63,10 @@ void AppendRunReport(const RunSpec& spec, const RunResult& result) {
   // stay safe. timekd-lint: allow(new-delete)
   static obs::JsonlWriter* writer = new obs::JsonlWriter(path);
   obs::JsonObject obj;
-  std::lock_guard<std::mutex> lock(RunReportMutex());
+  RunReportState& state = GetRunReportState();
+  MutexLock lock(state.mu);
   obj.Set("kind", "run")
-      .Set("experiment", RunReportContext())
+      .Set("experiment", state.context)
       .Set("model", ModelName(spec.model))
       .Set("dataset", data::DatasetName(spec.dataset))
       .Set("horizon", spec.horizon)

@@ -26,9 +26,11 @@ void Histogram::Observe(double v) {
       break;
     }
   }
+  // relaxed: buckets/count are independent tallies; Snapshot tolerates a
+  // momentarily-torn view (documented in MetricsSnapshot).
   buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   sum_ += v;
   if (v < min_) min_ = v;
   if (v > max_) max_ = v;
@@ -37,23 +39,24 @@ void Histogram::Observe(double v) {
 std::vector<uint64_t> Histogram::BucketCounts() const {
   std::vector<uint64_t> out(buckets_.size());
   for (size_t i = 0; i < buckets_.size(); ++i) {
+    // relaxed: per-bucket tallies, staleness is fine for snapshots.
     out[i] = buckets_[i].load(std::memory_order_relaxed);
   }
   return out;
 }
 
 double Histogram::sum() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return sum_;
 }
 
 double Histogram::min() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return count() > 0 ? min_ : 0.0;
 }
 
 double Histogram::max() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return count() > 0 ? max_ : 0.0;
 }
 
@@ -100,23 +103,24 @@ double HistogramQuantile(const MetricsSnapshot::HistogramValue& hist,
 }
 
 void Histogram::Reset() {
+  // relaxed: test-only zeroing, externally synchronized.
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   sum_ = 0.0;
   min_ = std::numeric_limits<double>::infinity();
   max_ = -std::numeric_limits<double>::infinity();
 }
 
 Counter* MetricRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return slot.get();
 }
 
 Gauge* MetricRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
   return slot.get();
@@ -124,14 +128,14 @@ Gauge* MetricRegistry::GetGauge(const std::string& name) {
 
 Histogram* MetricRegistry::GetHistogram(const std::string& name,
                                         std::vector<double> bounds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
   return slot.get();
 }
 
 MetricsSnapshot MetricRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   MetricsSnapshot snap;
   for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
   for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
@@ -195,7 +199,7 @@ Status MetricRegistry::WriteJson(const std::string& path) const {
 }
 
 void MetricRegistry::ResetAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [name, c] : counters_) c->Reset();
   for (auto& [name, g] : gauges_) g->Reset();
   for (auto& [name, h] : histograms_) h->Reset();
@@ -215,8 +219,8 @@ MetricRegistry& GlobalMetrics() {
 namespace {
 
 struct PreDumpHooks {
-  std::mutex mu;
-  std::vector<std::function<void()>> hooks;
+  Mutex mu;
+  std::vector<std::function<void()>> hooks TIMEKD_GUARDED_BY(mu);
 };
 
 PreDumpHooks& GetPreDumpHooks() {
@@ -230,7 +234,7 @@ PreDumpHooks& GetPreDumpHooks() {
 
 void RegisterPreDumpHook(std::function<void()> hook) {
   PreDumpHooks& h = GetPreDumpHooks();
-  std::lock_guard<std::mutex> lock(h.mu);
+  MutexLock lock(h.mu);
   h.hooks.push_back(std::move(hook));
 }
 
@@ -238,7 +242,7 @@ void RunPreDumpHooks() {
   std::vector<std::function<void()>> hooks;
   {
     PreDumpHooks& h = GetPreDumpHooks();
-    std::lock_guard<std::mutex> lock(h.mu);
+    MutexLock lock(h.mu);
     hooks = h.hooks;  // run outside the lock: hooks may register metrics
   }
   for (const auto& hook : hooks) hook();

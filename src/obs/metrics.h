@@ -6,11 +6,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace timekd::obs {
 
@@ -19,9 +19,12 @@ namespace timekd::obs {
 class Counter {
  public:
   void Increment(uint64_t n = 1) {
+    // relaxed: an independent event tally; nothing is ordered against it.
     value_.fetch_add(n, std::memory_order_relaxed);
   }
+  // relaxed: monotonic count, readers tolerate momentary staleness.
   uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  // relaxed: test-only zeroing, externally synchronized.
   void Reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
@@ -31,8 +34,11 @@ class Counter {
 /// Last-written instantaneous value (cache sizes, learning rates, ...).
 class Gauge {
  public:
+  // relaxed: last-writer-wins instantaneous value, no ordering needed.
   void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  // relaxed: readers tolerate any recent value.
   double value() const { return value_.load(std::memory_order_relaxed); }
+  // relaxed: test-only zeroing, externally synchronized.
   void Reset() { value_.store(0.0, std::memory_order_relaxed); }
 
  private:
@@ -53,6 +59,7 @@ class Histogram {
   const std::vector<double>& bounds() const { return bounds_; }
   /// Bucket counts; size() == bounds().size() + 1 (last = overflow).
   std::vector<uint64_t> BucketCounts() const;
+  // relaxed: monotonic sample count; may trail the buckets momentarily.
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   double sum() const;
   double min() const;
@@ -69,10 +76,10 @@ class Histogram {
   std::atomic<uint64_t> count_{0};
   // sum/min/max under a light mutex: Observe on histograms is used on
   // per-step (not per-op) paths, so contention is negligible.
-  mutable std::mutex mu_;
-  double sum_ = 0.0;
-  double min_ = 0.0;
-  double max_ = 0.0;
+  mutable Mutex mu_;
+  double sum_ TIMEKD_GUARDED_BY(mu_) = 0.0;
+  double min_ TIMEKD_GUARDED_BY(mu_) = 0.0;
+  double max_ TIMEKD_GUARDED_BY(mu_) = 0.0;
 };
 
 /// Point-in-time copy of every registered metric.
@@ -128,10 +135,13 @@ class MetricRegistry {
   void ResetAll();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      TIMEKD_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      TIMEKD_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      TIMEKD_GUARDED_BY(mu_);
 };
 
 /// Process-wide registry used by all built-in instrumentation. Never

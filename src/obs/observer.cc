@@ -14,14 +14,14 @@ void JsonlWriter::WriteLine(const JsonObject& object) {
   if (file_ == nullptr) return;
   std::string line = object.ToString();
   line += '\n';
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::fwrite(line.data(), 1, line.size(), file_);
   std::fflush(file_);
 }
 
 void JsonlWriter::Flush() {
   if (file_ == nullptr) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::fflush(file_);
 }
 

@@ -4,11 +4,11 @@
 #include <cstdint>
 #include <cstdio>
 #include <limits>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "obs/json.h"
 
 namespace timekd::obs {
@@ -104,8 +104,11 @@ class JsonlWriter {
 
  private:
   std::string path_;
-  std::FILE* file_ = nullptr;
-  std::mutex mu_;
+  /// The pointer is set in the constructor and immutable afterwards (the
+  /// unlocked null checks are fine); the STREAM it points at is what mu_
+  /// serializes, which is exactly what PT_GUARDED_BY expresses.
+  std::FILE* file_ TIMEKD_PT_GUARDED_BY(mu_) = nullptr;
+  Mutex mu_;
 };
 
 /// Bundled TrainObserver that appends one JSON object per step/epoch to a

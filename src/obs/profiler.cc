@@ -25,13 +25,13 @@ struct Profiler::Node {
   std::map<std::string, std::unique_ptr<Node>> children;
 };
 
-/// One thread's tree plus its open-span stack. The stack is only ever
-/// touched by the owning thread; the mutex serializes tree mutation
-/// against Snapshot()/Clear() from other threads.
+/// One thread's tree plus its open-span stack. The mutex serializes the
+/// owning thread's mutations (BeginSpan/EndSpan) against Snapshot()/
+/// Clear() reaching in from other threads.
 struct Profiler::ThreadState {
   uint32_t tid = 0;
-  mutable std::mutex mu;
-  std::map<std::string, std::unique_ptr<Node>> roots;
+  mutable Mutex mu;
+  std::map<std::string, std::unique_ptr<Node>> roots TIMEKD_GUARDED_BY(mu);
   struct Frame {
     Node* node;
     uint64_t flops_base;
@@ -39,7 +39,7 @@ struct Profiler::ThreadState {
     uint64_t read_base;
     uint64_t write_base;
   };
-  std::vector<Frame> stack;
+  std::vector<Frame> stack TIMEKD_GUARDED_BY(mu);
 };
 
 std::vector<ProfileNode> Profiler::ConvertChildren(
@@ -154,6 +154,7 @@ Profiler::Profiler() {
   stderr_tree_ = to_stderr != nullptr && *to_stderr != '\0' &&
                  std::strcmp(to_stderr, "0") != 0;
   if (!json_out_path_.empty() || stderr_tree_) {
+    // relaxed: enabling only needs eventual visibility to span openers.
     enabled_.store(true, std::memory_order_relaxed);
     internal::SetSpanSink(internal::kProfilerSink, true);
   }
@@ -174,35 +175,37 @@ Profiler& Profiler::Get() {
 
 void Profiler::Enable(const std::string& json_out_path) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     json_out_path_ = json_out_path;
   }
+  // relaxed: see SetSpanSink — eventual visibility is all a toggle needs.
   enabled_.store(true, std::memory_order_relaxed);
   internal::SetSpanSink(internal::kProfilerSink, true);
 }
 
 void Profiler::EnableStderrTree(bool on) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stderr_tree_ = on;
   }
   if (on) {
     // The stderr tree is a sink of its own: turning it on starts recording
-    // even when no JSON path was ever configured.
+    // even when no JSON path was ever configured. (relaxed: toggle.)
     enabled_.store(true, std::memory_order_relaxed);
     internal::SetSpanSink(internal::kProfilerSink, true);
   }
 }
 
 void Profiler::Disable() {
+  // relaxed: see SetSpanSink — eventual visibility is all a toggle needs.
   enabled_.store(false, std::memory_order_relaxed);
   internal::SetSpanSink(internal::kProfilerSink, false);
 }
 
 void Profiler::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& ts : threads_) {
-    std::lock_guard<std::mutex> tlock(ts->mu);
+    MutexLock tlock(ts->mu);
     ts->roots.clear();
     // Open frames point into the cleared tree; dropping them makes the
     // matching EndSpan calls no-ops instead of use-after-free.
@@ -215,7 +218,7 @@ Profiler::ThreadState& Profiler::LocalState() {
     auto owned = std::make_unique<ThreadState>();
     owned->tid = Tracer::CurrentThreadId();
     ThreadState* raw = owned.get();
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     threads_.push_back(std::move(owned));
     return raw;
   }();
@@ -224,7 +227,7 @@ Profiler::ThreadState& Profiler::LocalState() {
 
 void Profiler::BeginSpan(const char* name) {
   ThreadState& ts = LocalState();
-  std::lock_guard<std::mutex> lock(ts.mu);
+  MutexLock lock(ts.mu);
   auto& slot = ts.stack.empty() ? ts.roots[name]
                                 : ts.stack.back().node->children[name];
   if (!slot) slot = std::make_unique<Node>(name);
@@ -235,7 +238,7 @@ void Profiler::BeginSpan(const char* name) {
 
 void Profiler::EndSpan(uint64_t dur_us) {
   ThreadState& ts = LocalState();
-  std::lock_guard<std::mutex> lock(ts.mu);
+  MutexLock lock(ts.mu);
   if (ts.stack.empty()) return;  // tree was Clear()ed while the span ran
   const ThreadState::Frame frame = ts.stack.back();
   ts.stack.pop_back();
@@ -250,14 +253,14 @@ void Profiler::EndSpan(uint64_t dur_us) {
 ProfileSnapshot Profiler::Snapshot() const {
   std::vector<ThreadState*> states;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     states.reserve(threads_.size());
     for (const auto& ts : threads_) states.push_back(ts.get());
   }
   ProfileSnapshot snap;
   snap.process_wall_us = Tracer::NowMicros();
   for (ThreadState* ts : states) {
-    std::lock_guard<std::mutex> lock(ts->mu);
+    MutexLock lock(ts->mu);
     if (ts->roots.empty()) continue;
     ProfileSnapshot::Thread t;
     t.tid = ts->tid;
@@ -331,7 +334,7 @@ bool Profiler::DumpIfConfigured() const {
   std::string path;
   bool to_stderr = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     path = json_out_path_;
     to_stderr = stderr_tree_;
   }

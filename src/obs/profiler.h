@@ -5,11 +5,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace timekd::obs {
 
@@ -87,6 +87,7 @@ class Profiler {
  public:
   static Profiler& Get();
 
+  // relaxed: a stale read only delays span recording by one span.
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
   /// Starts recording. `json_out_path` may be empty to aggregate without
@@ -128,10 +129,10 @@ class Profiler {
       const std::map<std::string, std::unique_ptr<Node>>& children);
 
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mu_;  // guards threads_ registry and dump config
-  std::string json_out_path_;
-  bool stderr_tree_ = false;
-  std::vector<std::unique_ptr<ThreadState>> threads_;
+  mutable Mutex mu_;  // guards the threads_ registry and dump config
+  std::string json_out_path_ TIMEKD_GUARDED_BY(mu_);
+  bool stderr_tree_ TIMEKD_GUARDED_BY(mu_) = false;
+  std::vector<std::unique_ptr<ThreadState>> threads_ TIMEKD_GUARDED_BY(mu_);
 };
 
 /// Peak resident set size (`VmHWM` from /proc/self/status) in bytes, or -1

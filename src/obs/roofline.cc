@@ -58,10 +58,13 @@ double SumThreadedRates(int threads, const Worker& worker) {
   pool.reserve(static_cast<size_t>(threads));
   for (int t = 0; t < threads; ++t) {
     pool.emplace_back([&, t] {
+      // acquire: pairs with the release store below so every thread sees
+      // the fully-constructed rates vector before it starts measuring.
       while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
       rates[static_cast<size_t>(t)] = worker(t);
     });
   }
+  // release: publishes setup to the spinning workers (pairs with acquire).
   go.store(true, std::memory_order_release);
   double total = 0.0;
   for (int t = 0; t < threads; ++t) {
@@ -349,6 +352,8 @@ const MachineRoofline& GetMachineRoofline() {
 }
 
 const MachineRoofline* TryGetMachineRoofline() {
+  // acquire: pairs with the acq_rel CAS in Publish() so the pointed-to
+  // MachineRoofline's fields are visible before we dereference it.
   const MachineRoofline* machine = g_machine.load(std::memory_order_acquire);
   if (machine != nullptr) {
     return machine->calibrated ? machine : nullptr;

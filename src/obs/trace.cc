@@ -47,7 +47,11 @@ Tracer::Tracer() {
   ProcessStart();
   const char* path = std::getenv("TIMEKD_TRACE_OUT");
   if (path != nullptr && *path != '\0') {
+    // Single-threaded construction (no other thread holds a reference
+    // yet), but the analysis cannot know that; take the lock anyway.
+    MutexLock lock(mu_);
     out_path_ = path;
+    // relaxed: enabling only needs eventual visibility to span openers.
     enabled_.store(true, std::memory_order_relaxed);
     internal::SetSpanSink(internal::kTracerSink, true);
   }
@@ -65,36 +69,38 @@ Tracer& Tracer::Get() {
 }
 
 void Tracer::Enable(const std::string& chrome_out_path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   out_path_ = chrome_out_path;
+  // relaxed: see SetSpanSink — eventual visibility is all a toggle needs.
   enabled_.store(true, std::memory_order_relaxed);
   internal::SetSpanSink(internal::kTracerSink, true);
 }
 
 void Tracer::Disable() {
+  // relaxed: see SetSpanSink — eventual visibility is all a toggle needs.
   enabled_.store(false, std::memory_order_relaxed);
   internal::SetSpanSink(internal::kTracerSink, false);
 }
 
 void Tracer::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   events_.clear();
   stats_.clear();
 }
 
 std::map<std::string, Tracer::SpanStats> Tracer::AggregatedStats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
 std::vector<Tracer::Event> Tracer::Events() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return events_;
 }
 
 void Tracer::RecordSpan(const char* name, uint64_t ts_us, uint64_t dur_us,
                         int depth) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   SpanStats& s = stats_[name];
   const double d = static_cast<double>(dur_us);
   if (s.count == 0 || d < s.min_us) s.min_us = d;
@@ -113,7 +119,7 @@ void Tracer::RecordSpan(const char* name, uint64_t ts_us, uint64_t dur_us,
 std::string Tracer::ChromeTraceJson() const {
   std::vector<std::string> rendered;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     rendered.reserve(events_.size());
     for (const Event& e : events_) {
       JsonObject args;
@@ -150,7 +156,7 @@ Status Tracer::WriteChromeTrace(const std::string& path) const {
 bool Tracer::DumpIfConfigured() const {
   std::string path;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     path = out_path_;
   }
   if (path.empty()) return false;
@@ -168,6 +174,7 @@ int Tracer::CurrentDepth() { return ThreadDepth(); }
 
 uint32_t Tracer::CurrentThreadId() {
   static std::atomic<uint32_t> next{1};
+  // relaxed: ids only need to be unique, not ordered across threads.
   thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
   return id;
 }

@@ -4,11 +4,11 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace timekd::obs {
 
@@ -24,10 +24,14 @@ inline constexpr uint32_t kProfilerSink = 2u;
 extern std::atomic<uint32_t> g_span_sinks;
 
 inline uint32_t SpanSinks() {
+  // relaxed: a span may miss a sink toggled mid-flight by design (the
+  // sink set is captured at open; see ScopedSpan).
   return g_span_sinks.load(std::memory_order_relaxed);
 }
 
 inline void SetSpanSink(uint32_t bit, bool on) {
+  // relaxed: enable/disable only needs eventual visibility; the sinks
+  // take their own locks before recording anything.
   if (on) {
     g_span_sinks.fetch_or(bit, std::memory_order_relaxed);
   } else {
@@ -54,6 +58,7 @@ class Tracer {
  public:
   static Tracer& Get();
 
+  // relaxed: a stale read only delays span recording by one span.
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
   /// Starts recording. `chrome_out_path` may be empty to aggregate without
@@ -104,13 +109,14 @@ class Tracer {
   Tracer();
 
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mu_;
-  std::string out_path_;
-  std::vector<Event> events_;
-  std::map<std::string, SpanStats> stats_;
+  mutable Mutex mu_;
+  std::string out_path_ TIMEKD_GUARDED_BY(mu_);
+  std::vector<Event> events_ TIMEKD_GUARDED_BY(mu_);
+  std::map<std::string, SpanStats> stats_ TIMEKD_GUARDED_BY(mu_);
   // Backstop against unbounded growth on very long runs; drops are counted
-  // in the "obs/trace_events_dropped" metric.
-  size_t max_events_ = 1 << 20;
+  // in the "obs/trace_events_dropped" metric. Set once at construction,
+  // read under mu_ in RecordSpan.
+  size_t max_events_ TIMEKD_GUARDED_BY(mu_) = 1 << 20;
 };
 
 /// RAII span. Cheap no-op when every span sink is disabled. The sink set

@@ -82,12 +82,16 @@ std::atomic<int64_t> g_peak_bytes{0};
 }  // namespace
 
 int64_t CurrentMemoryBytes() {
+  // relaxed: advisory readout; readers tolerate momentary staleness.
   return g_current_bytes.load(std::memory_order_relaxed);
 }
 int64_t PeakMemoryBytes() {
+  // relaxed: advisory readout; readers tolerate momentary staleness.
   return g_peak_bytes.load(std::memory_order_relaxed);
 }
 void ResetPeakMemoryBytes() {
+  // relaxed: test/bench-scoped reset, externally synchronized with
+  // allocations (nothing is published through these counters).
   g_peak_bytes.store(g_current_bytes.load(std::memory_order_relaxed),
                      std::memory_order_relaxed);
 }
@@ -105,10 +109,14 @@ void TrackMemoryDelta(int64_t delta_bytes) {
   if (delta_bytes > 0) {
     obs::AddSpanBytes(static_cast<uint64_t>(delta_bytes));
   }
+  // relaxed: the byte counters are a standalone advisory tally — no other
+  // memory is published through them, so no ordering is required.
   const int64_t now =
       g_current_bytes.fetch_add(delta_bytes, std::memory_order_relaxed) +
       delta_bytes;
   int64_t peak = g_peak_bytes.load(std::memory_order_relaxed);
+  // relaxed CAS: the peak is monotone advisory state; a stale expected
+  // value simply retries, and nothing synchronizes-with the result.
   while (now > peak &&
          !g_peak_bytes.compare_exchange_weak(peak, now,
                                              std::memory_order_relaxed)) {

@@ -5,6 +5,8 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "eval/bench_artifact.h"
 #include "eval/heatmap.h"
@@ -229,6 +231,50 @@ TEST(BenchArtifactTest, WriteBenchArtifactEmitsSchemaFields) {
         "\"rss_peak_bytes\":", "\"metrics\":"}) {
     EXPECT_NE(json.find(key), std::string::npos) << key;
   }
+  std::remove(path.c_str());
+}
+
+// TSan stress for the run-report context (the Mutex-guarded experiment
+// string in runner.cc): concurrent SetRunReportContext writers race
+// AppendRunReport readers, then every emitted line must be intact JSON
+// whose experiment is exactly one of the written contexts — a torn read
+// or lost lock would surface as a mixed/garbled value (and as a TSan
+// report under the tsan preset, which runs this full suite).
+TEST(RunnerTest, RunReportContextConcurrentWritersAndAppenders) {
+  const std::string path = ::testing::TempDir() + "/run_report_stress.jsonl";
+  std::remove(path.c_str());
+  setenv("TIMEKD_RUN_REPORT", path.c_str(), 1);
+  constexpr int kThreads = 4;
+  constexpr int kIters = 200;
+  // Raw threads on purpose: this hammers the report lock, not the kernel
+  // pool. timekd-lint: allow(raw-thread)
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      RunSpec spec;
+      RunResult result;
+      for (int i = 0; i < kIters; ++i) {
+        SetRunReportContext("ctx_" + std::to_string(t));
+        AppendRunReport(spec, result);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();  // timekd-lint: allow(raw-thread)
+  unsetenv("TIMEKD_RUN_REPORT");
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    const size_t pos = line.find("\"experiment\":\"ctx_");
+    ASSERT_NE(pos, std::string::npos) << line;
+    ASSERT_EQ(line.front(), '{');
+    ASSERT_EQ(line.back(), '}');
+  }
+  EXPECT_EQ(lines, kThreads * kIters);
   std::remove(path.c_str());
 }
 

@@ -1,0 +1,27 @@
+// Violation class 3 — acquiring a capability that is already held
+// (self-deadlock on a non-recursive mutex). MUST NOT compile under clang
+// -Werror=thread-safety-analysis (WILL_FAIL ctest entry).
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(int amount) TIMEKD_EXCLUDES(mu_) {
+    timekd::MutexLock outer(mu_);
+    timekd::MutexLock inner(mu_);  // the bug: mu_ is already held
+    balance_ += amount;
+  }
+
+ private:
+  timekd::Mutex mu_;
+  int balance_ TIMEKD_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.Deposit(1);
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Violation class 4 — a capability acquired but never released (lock
+// leak: every path out of the function still holds mu_). MUST NOT compile
+// under clang -Werror=thread-safety-analysis (WILL_FAIL ctest entry).
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(int amount) TIMEKD_EXCLUDES(mu_) {
+    mu_.Lock();
+    balance_ += amount;
+    // the bug: no Unlock() on any path out of this function
+  }
+
+ private:
+  timekd::Mutex mu_;
+  int balance_ TIMEKD_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.Deposit(1);
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Violation class 2 — calling a TIMEKD_REQUIRES function without holding
+// the required mutex. MUST NOT compile under clang
+// -Werror=thread-safety-analysis (WILL_FAIL ctest entry).
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  void DepositLocked(int amount) TIMEKD_REQUIRES(mu_) { balance_ += amount; }
+
+  // The bug: the precondition of DepositLocked is not established.
+  void Deposit(int amount) { DepositLocked(amount); }
+
+ private:
+  timekd::Mutex mu_;
+  int balance_ TIMEKD_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.Deposit(1);
+  return 0;
+}

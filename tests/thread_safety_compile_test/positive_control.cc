@@ -1,0 +1,44 @@
+// Positive control for the negative-compile harness: idiomatic use of the
+// annotation layer (common/thread_annotations.h) must compile under every
+// compiler — GCC expands the attributes away, clang must find it clean
+// under -Werror=thread-safety-analysis. If this target ever fails while
+// the violation targets "pass", the harness itself is broken.
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(int amount) TIMEKD_EXCLUDES(mu_) {
+    timekd::MutexLock lock(mu_);
+    balance_ += amount;
+  }
+
+  int balance() TIMEKD_EXCLUDES(mu_) {
+    timekd::MutexLock lock(mu_);
+    return balance_;
+  }
+
+  // Callers must already hold mu_; the analysis checks every call site.
+  void DepositLocked(int amount) TIMEKD_REQUIRES(mu_) { balance_ += amount; }
+
+  void DepositTwiceLocked(int amount) TIMEKD_EXCLUDES(mu_) {
+    mu_.Lock();
+    DepositLocked(amount);
+    DepositLocked(amount);
+    mu_.Unlock();
+  }
+
+ private:
+  timekd::Mutex mu_;
+  int balance_ TIMEKD_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.Deposit(1);
+  account.DepositTwiceLocked(2);
+  return account.balance() == 5 ? 0 : 1;
+}

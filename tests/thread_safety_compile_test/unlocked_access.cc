@@ -1,0 +1,25 @@
+// Violation class 1 — unlocked guarded access. MUST NOT compile under
+// clang -Werror=thread-safety-analysis: a TIMEKD_GUARDED_BY field is
+// written without holding its mutex. The ctest entry building this target
+// is WILL_FAIL; a successful compile means the analysis lost its teeth.
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  // No lock taken: writing balance_ here is the bug the analysis rejects.
+  void Deposit(int amount) { balance_ += amount; }
+
+ private:
+  timekd::Mutex mu_;
+  int balance_ TIMEKD_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.Deposit(1);
+  return 0;
+}

@@ -7,9 +7,13 @@
 #              target-scoped asan_smoke test)
 #   asan-ubsan address+undefined sanitizers, TIMEKD_DEBUG_CHECKS=ON
 #   tsan       thread sanitizer (obs stress test + full suite)
+#   tidy       clang -Wthread-safety + clang-tidy gate + negative-compile
+#              harness; SKIPPED WITH A LOUD WARNING when clang/clang-tidy
+#              are not installed (the lint-side lock rules still run).
 #
 # Usage: tools/check.sh [--fast]
-#   --fast  default build only (lint + tests); skips the sanitizer matrix.
+#   --fast  default build only (lint + tests); skips the sanitizer matrix
+#           and the tidy build, keeping the lint-only static checks.
 #
 # See docs/static_analysis.md for the full workflow.
 
@@ -99,8 +103,26 @@ run_perf_gate() {
   rm -rf "$out"
 }
 
-step "lint"
-python3 tools/lint/timekd_lint.py --root "$ROOT" --format-check
+# Clang static-analysis gate: builds the `tidy` preset (thread-safety
+# analysis promoted to errors, negative-compile harness registered) and
+# runs the diff-aware clang-tidy driver against its compile database.
+# Degrades to a loud skip on GCC-only machines — the annotations compile
+# away there, so only a clang build actually verifies them.
+run_tidy_gate() {
+  if ! command -v clang++ >/dev/null 2>&1; then
+    step "tidy [SKIPPED]"
+    echo "WARNING: clang++ not found; skipping the -Wthread-safety build," >&2
+    echo "WARNING: the negative-compile harness, and clang-tidy. Install" >&2
+    echo "WARNING: LLVM to verify the thread-safety annotations." >&2
+    return 0
+  fi
+  run_config tidy
+  step "clang-tidy [diff-aware vs tools/lint/tidy_baseline.json]"
+  python3 tools/run_tidy.py --root "$ROOT" --build-dir "$ROOT/build-tidy"
+}
+
+step "lint [timekd_lint + rule self-test fixtures]"
+python3 tools/lint/timekd_lint.py --root "$ROOT" --format-check --self-test
 
 run_config default
 run_determinism default
@@ -113,6 +135,7 @@ if [[ "$FAST" == "0" ]]; then
   run_config tsan
   run_determinism tsan
   run_health tsan
+  run_tidy_gate
 fi
 
 step "all checks passed"

@@ -39,9 +39,31 @@ Rules (all stdlib-only, no third-party deps):
                     NaN/spike/plateau watchdog and its JSONL/HTML run
                     artifacts. Deliberate exceptions carry a documented
                     `timekd-lint: allow(health-observer)`.
+  lock-annotation   No raw std::mutex/std::shared_mutex declarations in
+                    src/: locks go through timekd::Mutex + the TIMEKD_*
+                    annotation macros (common/thread_annotations.h) so
+                    clang's -Wthread-safety analysis sees every acquisition.
+                    Each declared Mutex must have at least one
+                    TIMEKD_GUARDED_BY / TIMEKD_PT_GUARDED_BY field naming
+                    it in the same file, or a documented
+                    `timekd-lint: allow(lock-annotation)` explaining what
+                    non-field state it protects.
+  atomic-order      Every explicitly weakened memory order (relaxed,
+                    acquire, release, acq_rel, consume) in src/ needs a
+                    justifying comment on the same line or within the 4
+                    lines above, so readers never have to reverse-engineer
+                    why seq_cst was not enough. (Any comment in the window
+                    counts — the rule enforces that an explanation exists,
+                    not its wording.) Escape: a documented
+                    `timekd-lint: allow(atomic-order)`.
 
 Suppression: a finding on line N of a rule R is suppressed when line N or
 line N-1 contains `timekd-lint: allow(R)`. Use sparingly and document why.
+
+Self-test (--self-test): runs the embedded positive/negative/suppression
+fixture cases for the concurrency rules against a temp tree before the
+normal scan, so a rule regression fails the same ctest entry that enforces
+the rules.
 
 Format mode (--format-check): whitespace hygiene (tabs, trailing blanks,
 CRLF, missing final newline) plus `clang-format --dry-run` when the binary
@@ -558,6 +580,123 @@ def check_health_observer(root, findings):
             break
 
 
+# --- Rule: lock-annotation ---------------------------------------------------
+
+# A raw standard mutex *declaration*: the type followed by whitespace and an
+# identifier. Template arguments (std::unique_lock<std::mutex>) and the
+# native_handle() accessor (std::mutex&) deliberately do not match.
+RAW_MUTEX_RE = re.compile(
+    r"(?<![\w:])std::(mutex|shared_mutex|recursive_mutex|timed_mutex|"
+    r"recursive_timed_mutex|shared_timed_mutex)\s+[A-Za-z_]")
+# A timekd::Mutex declaration (member, local, or static).
+ANNOTATED_MUTEX_DECL_RE = re.compile(
+    r"^\s*(?:mutable\s+|static\s+)*Mutex\s+(\w+)\s*;")
+GUARDED_BY_RE = re.compile(r"TIMEKD_(?:PT_)?GUARDED_BY\(\s*(\w+)")
+# The annotation layer itself wraps std::mutex by definition.
+LOCK_ANNOTATION_EXEMPT = ("src/common/thread_annotations.h",)
+
+
+def check_lock_annotation(root, findings):
+    for rel in iter_files(root, ["src"], CXX_EXTENSIONS):
+        if rel in LOCK_ANNOTATION_EXEMPT:
+            continue
+        raw = read_lines(root, rel)
+        code = strip_comments_and_strings(raw)
+        guarded = set()
+        for line in code:
+            for m in GUARDED_BY_RE.finditer(line):
+                guarded.add(m.group(1))
+        for idx, line in enumerate(code):
+            m = RAW_MUTEX_RE.search(line)
+            if m:
+                if not is_allowed("lock-annotation", raw, idx + 1):
+                    findings.append(Finding(
+                        "lock-annotation", rel, idx + 1,
+                        f"raw std::{m.group(1)} declaration; use "
+                        "timekd::Mutex + TIMEKD_GUARDED_BY "
+                        "(common/thread_annotations.h) so the clang "
+                        "thread-safety analysis sees it, or add a "
+                        "documented timekd-lint: allow(lock-annotation)"))
+                continue
+            m = ANNOTATED_MUTEX_DECL_RE.match(line)
+            if m and m.group(1) not in guarded:
+                if not is_allowed("lock-annotation", raw, idx + 1):
+                    findings.append(Finding(
+                        "lock-annotation", rel, idx + 1,
+                        f"Mutex {m.group(1)} guards no TIMEKD_GUARDED_BY/"
+                        "TIMEKD_PT_GUARDED_BY field in this file; annotate "
+                        "what it protects, or document the non-field state "
+                        "it guards with timekd-lint: allow(lock-annotation)"))
+
+
+# --- Rule: atomic-order ------------------------------------------------------
+
+# Explicitly weakened orders only: spelling out seq_cst is redundant but
+# harmless, and plain .load()/.store() defaults need no justification.
+ATOMIC_ORDER_RE = re.compile(
+    r"\bmemory_order(?:::|_)(relaxed|acquire|release|acq_rel|consume)\b")
+ATOMIC_ORDER_LOOKBACK = 4
+
+
+def line_has_comment(line):
+    """True when `line` starts a // or /* comment outside string literals."""
+    i = 0
+    n = len(line)
+    while i < n:
+        ch = line[i]
+        nxt = line[i + 1] if i + 1 < n else ""
+        if ch == "/" and nxt in "/*":
+            return True
+        if ch in "\"'":
+            quote = ch
+            i += 1
+            while i < n:
+                if line[i] == "\\":
+                    i += 2
+                elif line[i] == quote:
+                    i += 1
+                    break
+                else:
+                    i += 1
+        else:
+            i += 1
+    return False
+
+
+def has_justifying_comment(raw, code, idx):
+    """Comment on line `idx` (0-based) or within the lookback window above.
+
+    A line whose code strips to nothing while its raw text is non-empty sits
+    inside a multi-line block comment and counts too.
+    """
+    for j in range(idx, max(-1, idx - ATOMIC_ORDER_LOOKBACK - 1), -1):
+        if line_has_comment(raw[j]):
+            return True
+        if raw[j].strip() and not code[j].strip():
+            return True
+    return False
+
+
+def check_atomic_order(root, findings):
+    for rel in iter_files(root, ["src"], CXX_EXTENSIONS):
+        raw = read_lines(root, rel)
+        code = strip_comments_and_strings(raw)
+        for idx, line in enumerate(code):
+            m = ATOMIC_ORDER_RE.search(line)
+            if m is None:
+                continue
+            if is_allowed("atomic-order", raw, idx + 1):
+                continue
+            if has_justifying_comment(raw, code, idx):
+                continue
+            findings.append(Finding(
+                "atomic-order", rel, idx + 1,
+                f"memory_order {m.group(1)} without a justifying comment on "
+                f"this line or the {ATOMIC_ORDER_LOOKBACK} above; say why "
+                "the weakened ordering is safe, or add a documented "
+                "timekd-lint: allow(atomic-order)"))
+
+
 # --- Format mode -----------------------------------------------------------
 
 
@@ -623,6 +762,84 @@ def check_format(root, findings, all_files):
               "checks only", file=sys.stderr)
 
 
+# --- Self-test fixtures -----------------------------------------------------
+
+# (case name, rule, fixture source written to src/fixture.cc, expected
+# finding count). Positive cases prove the rule fires, negative cases prove
+# it stays quiet on idiomatic code, suppression cases prove the allow
+# escape hatch works.
+SELF_TEST_CASES = [
+    ("lock-annotation flags raw std::mutex member", "lock-annotation",
+     "class C {\n  std::mutex mu_;\n};\n", 1),
+    ("lock-annotation flags raw std::shared_mutex", "lock-annotation",
+     "class C {\n  std::shared_mutex mu_;\n};\n", 1),
+    ("lock-annotation flags unguarded Mutex", "lock-annotation",
+     "class C {\n  mutable Mutex mu_;\n  int x_ = 0;\n};\n", 1),
+    ("lock-annotation accepts guarded Mutex", "lock-annotation",
+     "class C {\n  mutable Mutex mu_;\n"
+     "  int x_ TIMEKD_GUARDED_BY(mu_) = 0;\n};\n", 0),
+    ("lock-annotation accepts PT_GUARDED_BY", "lock-annotation",
+     "class C {\n  Mutex mu_;\n"
+     "  FILE* f_ TIMEKD_PT_GUARDED_BY(mu_) = nullptr;\n};\n", 0),
+    ("lock-annotation ignores lock templates", "lock-annotation",
+     "void F() {\n  std::unique_lock<std::mutex> lock(m.native_handle());\n"
+     "  std::lock_guard<std::mutex> g(m2.native_handle());\n}\n", 0),
+    ("lock-annotation honors allow on raw mutex", "lock-annotation",
+     "class C {\n"
+     "  std::mutex mu_;  // timekd-lint: allow(lock-annotation)\n};\n", 0),
+    ("lock-annotation honors allow on unguarded Mutex", "lock-annotation",
+     "class C {\n  // guards a phase: timekd-lint: allow(lock-annotation)\n"
+     "  Mutex mu_;\n};\n", 0),
+    ("atomic-order flags bare relaxed", "atomic-order",
+     "uint64_t F() {\n\n\n\n\n"
+     "  return v.load(std::memory_order_relaxed);\n}\n", 1),
+    ("atomic-order flags bare release", "atomic-order",
+     "void F() {\n\n\n\n\n"
+     "  go.store(true, std::memory_order_release);\n}\n", 1),
+    ("atomic-order accepts same-line comment", "atomic-order",
+     "uint64_t F() {\n"
+     "  return v.load(std::memory_order_relaxed);  // relaxed: a tally\n"
+     "}\n", 0),
+    ("atomic-order accepts comment 3 lines above", "atomic-order",
+     "// relaxed: advisory counter, nothing ordered against it.\n"
+     "uint64_t F() {\n  return\n"
+     "      v.load(std::memory_order_relaxed);\n}\n", 0),
+    ("atomic-order rejects comment beyond lookback", "atomic-order",
+     "// relaxed: too far away to count.\n\n\n\n\n\n"
+     "uint64_t F() { return v.load(std::memory_order_relaxed); }\n", 1),
+    ("atomic-order ignores explicit seq_cst", "atomic-order",
+     "uint64_t F() {\n\n\n\n\n"
+     "  return v.load(std::memory_order_seq_cst);\n}\n", 0),
+    ("atomic-order ignores default orders", "atomic-order",
+     "uint64_t F() {\n\n\n\n\n  return v.load();\n}\n", 0),
+    ("atomic-order honors allow", "atomic-order",
+     "uint64_t F() {\n\n\n\n"
+     "  // timekd-lint: allow(atomic-order)\n"
+     "  return v.load(std::memory_order_relaxed);\n}\n", 0),
+]
+
+
+def run_self_test():
+    """Runs the fixture cases; returns a list of failure descriptions."""
+    import tempfile
+
+    failures = []
+    for name, rule, source, expected in SELF_TEST_CASES:
+        with tempfile.TemporaryDirectory(prefix="timekd_lint_") as tmp:
+            os.makedirs(os.path.join(tmp, "src"))
+            with open(os.path.join(tmp, "src", "fixture.cc"), "w",
+                      encoding="utf-8") as f:
+                f.write(source)
+            findings = []
+            RULES[rule](tmp, findings)
+            hits = [f for f in findings if f.rule == rule]
+            if len(hits) != expected:
+                detail = "; ".join(str(f) for f in hits) or "no findings"
+                failures.append(f"{name}: expected {expected} finding(s), "
+                                f"got {len(hits)} ({detail})")
+    return failures
+
+
 # --- Driver ----------------------------------------------------------------
 
 RULES = {
@@ -635,6 +852,8 @@ RULES = {
     "raw-thread": check_raw_thread,
     "raw-clock": check_raw_clock,
     "health-observer": check_health_observer,
+    "lock-annotation": check_lock_annotation,
+    "atomic-order": check_atomic_order,
 }
 
 
@@ -651,6 +870,8 @@ def main():
                              "new/changed files")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress the per-rule summary")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the embedded rule fixtures before the scan")
     args = parser.parse_args()
 
     root = args.root or os.path.dirname(
@@ -659,6 +880,16 @@ def main():
         print(f"timekd_lint: {root} does not look like the repo root",
               file=sys.stderr)
         return 2
+
+    if args.self_test:
+        failures = run_self_test()
+        if failures:
+            for failure in failures:
+                print(f"timekd_lint self-test FAILED: {failure}")
+            return 1
+        if not args.quiet:
+            print(f"timekd_lint: {len(SELF_TEST_CASES)} self-test fixture "
+                  "case(s) passed", file=sys.stderr)
 
     findings = []
     selected = args.rule or sorted(RULES)

@@ -1,0 +1,346 @@
+#!/usr/bin/env python3
+"""run_tidy: diff-aware clang-tidy gate with a committed baseline.
+
+Runs clang-tidy (config: .clang-tidy at the repo root) over the repo's C++
+sources using a compile_commands.json produced by any CMake preset (all of
+them export one; the `tidy` preset additionally builds with clang and
+-Wthread-safety). Findings are compared against the committed baseline at
+tools/lint/tidy_baseline.json:
+
+  * a finding NOT in the baseline is NEW and fails the gate (exit 1);
+  * baseline entries that no longer fire are reported as stale so the
+    baseline can be shrunk (never grown) in the same change that fixes
+    them.
+
+Diff-awareness: by default only files changed vs. git HEAD (plus untracked
+files) are analyzed, so the gate scales with the change, not the repo.
+--all-files sweeps every translation unit in the compile database — use it
+when editing .clang-tidy or refreshing the baseline.
+
+Baseline matching is line-number-free on purpose: a finding is identified
+by (path, check, message), so unrelated edits that shift lines do not
+invalidate the baseline. The baseline starts (and should stay) empty —
+it exists so a future clang-tidy upgrade that introduces findings in old
+code can land without blocking, not as a dumping ground for new code.
+
+Environment degradation: when clang-tidy is not installed this script
+prints a loud warning and exits 0, so the surrounding gates (ctest entry,
+tools/check.sh stage) stay green on GCC-only machines while still running
+for anyone with LLVM installed. Set CLANG_TIDY to point at a specific
+binary.
+
+Self-test (--self-test): exercises the diagnostic parser and the baseline
+matcher on embedded fixtures before the normal run; no clang-tidy needed.
+
+Exit status: 0 = clean (or tool unavailable), 1 = new findings or
+self-test failure, 2 = usage/environment error.
+"""
+
+import argparse
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+CXX_SOURCE_EXTENSIONS = (".cc", ".cpp")
+BASELINE_RELPATH = os.path.join("tools", "lint", "tidy_baseline.json")
+
+# clang-tidy diagnostic: /abs/path.cc:12:3: warning: message text [check-name]
+DIAG_RE = re.compile(
+    r"^(?P<path>[^\s:][^:]*):(?P<line>\d+):(?P<col>\d+):\s+"
+    r"(?P<severity>warning|error):\s+(?P<message>.*?)\s+"
+    r"\[(?P<check>[a-zA-Z0-9.,*_-]+)\]\s*$")
+
+
+def find_clang_tidy():
+    env = os.environ.get("CLANG_TIDY")
+    if env:
+        return env if shutil.which(env) or os.path.isfile(env) else None
+    return shutil.which("clang-tidy")
+
+
+def parse_diagnostics(output, root):
+    """Parses clang-tidy stdout into finding dicts (repo-relative paths)."""
+    findings = []
+    seen = set()
+    for line in output.splitlines():
+        m = DIAG_RE.match(line)
+        if m is None:
+            continue
+        path = m.group("path")
+        if os.path.isabs(path):
+            try:
+                path = os.path.relpath(path, root)
+            except ValueError:
+                pass
+        if path.startswith(".."):
+            continue  # outside the repo (system headers)
+        finding = {
+            "path": path.replace(os.sep, "/"),
+            "line": int(m.group("line")),
+            "check": m.group("check"),
+            "message": m.group("message"),
+        }
+        key = fingerprint(finding) + (finding["line"],)
+        if key in seen:
+            continue  # headers repeat across TUs
+        seen.add(key)
+        findings.append(finding)
+    return findings
+
+
+def fingerprint(finding):
+    """Line-number-free identity used for baseline matching."""
+    return (finding["path"], finding["check"], finding["message"])
+
+
+def load_baseline(path):
+    if not os.path.isfile(path):
+        return []
+    with open(path, encoding="utf-8") as f:
+        data = json.load(f)
+    return data.get("findings", [])
+
+
+def save_baseline(path, findings):
+    doc = {
+        "comment": "clang-tidy baseline for tools/run_tidy.py; entries are "
+                   "line-number-free (path, check, message) fingerprints. "
+                   "Shrink via --update-baseline after fixing; do not add "
+                   "entries for new code.",
+        "findings": sorted(
+            ({"path": f["path"], "check": f["check"], "message": f["message"]}
+             for f in findings),
+            key=lambda f: (f["path"], f["check"], f["message"])),
+    }
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+
+
+def split_findings(findings, baseline):
+    """Returns (new, stale): findings not in baseline / baseline not hit."""
+    baseline_keys = {fingerprint(b) for b in baseline}
+    hit = set()
+    new = []
+    for finding in findings:
+        key = fingerprint(finding)
+        if key in baseline_keys:
+            hit.add(key)
+        else:
+            new.append(finding)
+    stale = [b for b in baseline if fingerprint(b) not in hit]
+    return new, stale
+
+
+def changed_files(root):
+    files = set()
+    for args in (["git", "diff", "--name-only", "HEAD"],
+                 ["git", "ls-files", "--others", "--exclude-standard"]):
+        try:
+            out = subprocess.run(args, cwd=root, capture_output=True,
+                                 text=True, check=True).stdout
+        except (subprocess.CalledProcessError, FileNotFoundError):
+            return None
+        files.update(line.strip() for line in out.splitlines() if line.strip())
+    return files
+
+
+def compile_db_entries(build_dir):
+    db_path = os.path.join(build_dir, "compile_commands.json")
+    with open(db_path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def find_build_dir(root, explicit):
+    if explicit:
+        if os.path.isfile(os.path.join(explicit, "compile_commands.json")):
+            return explicit
+        return None
+    for name in ("build-tidy", "build"):
+        candidate = os.path.join(root, name)
+        if os.path.isfile(os.path.join(candidate, "compile_commands.json")):
+            return candidate
+    return None
+
+
+def select_targets(root, build_dir, all_files):
+    """Repo-relative .cc files to analyze: compile DB scope, diff-aware."""
+    targets = []
+    for entry in compile_db_entries(build_dir):
+        path = entry["file"]
+        if not os.path.isabs(path):
+            path = os.path.normpath(os.path.join(entry["directory"], path))
+        try:
+            rel = os.path.relpath(path, root)
+        except ValueError:
+            continue
+        if rel.startswith("..") or not rel.endswith(CXX_SOURCE_EXTENSIONS):
+            continue
+        targets.append(rel)
+    targets = sorted(set(targets))
+    if all_files:
+        return targets
+    changed = changed_files(root)
+    if changed is None:
+        print("run_tidy: git unavailable; analyzing all files",
+              file=sys.stderr)
+        return targets
+    # A header edit re-scopes every TU that could include it; cheap and
+    # sound approximation: any .h change widens scope to all targets.
+    if any(c.endswith(".h") for c in changed):
+        return targets
+    return [t for t in targets if t in changed]
+
+
+def run_clang_tidy(binary, root, build_dir, targets, jobs):
+    findings = []
+    # Sequential by default (jobs=1): the gate usually sees a handful of
+    # changed files, and this box is single-core anyway.
+    del jobs
+    for rel in targets:
+        proc = subprocess.run(
+            [binary, "-p", build_dir, "--quiet", os.path.join(root, rel)],
+            capture_output=True, text=True, cwd=root)
+        findings.extend(parse_diagnostics(proc.stdout, root))
+        if proc.returncode not in (0, 1):
+            sys.stderr.write(proc.stderr)
+            print(f"run_tidy: clang-tidy failed on {rel} "
+                  f"(exit {proc.returncode})", file=sys.stderr)
+            return None
+    return findings
+
+
+# --- Self-test ---------------------------------------------------------------
+
+SELF_TEST_OUTPUT = """\
+/repo/src/obs/metrics.cc:10:5: warning: use emplace_back [performance-inefficient-vector-operation]
+/repo/src/obs/metrics.cc:10:5: warning: use emplace_back [performance-inefficient-vector-operation]
+/repo/src/core/clm.cc:44:9: error: mutex acquired here [concurrency-thread-canceltype-asynchronous]
+noise line without a diagnostic
+/usr/include/c++/12/bits/shared_ptr.h:100:1: warning: system header noise [bugprone-foo]
+"""
+
+
+def run_self_test():
+    failures = []
+    parsed = parse_diagnostics(SELF_TEST_OUTPUT, "/repo")
+    if len(parsed) != 2:
+        failures.append(f"parser: expected 2 findings, got {len(parsed)}: "
+                        f"{parsed}")
+    else:
+        if parsed[0]["path"] != "src/obs/metrics.cc" or \
+           parsed[0]["check"] != "performance-inefficient-vector-operation":
+            failures.append(f"parser: bad first finding {parsed[0]}")
+        if parsed[1]["check"] != \
+           "concurrency-thread-canceltype-asynchronous":
+            failures.append(f"parser: bad second finding {parsed[1]}")
+
+    baseline = [{"path": "src/obs/metrics.cc",
+                 "check": "performance-inefficient-vector-operation",
+                 "message": "use emplace_back"}]
+    new, stale = split_findings(parsed, baseline)
+    if [f["check"] for f in new] != \
+            ["concurrency-thread-canceltype-asynchronous"]:
+        failures.append(f"baseline: expected 1 new finding, got {new}")
+    if stale:
+        failures.append(f"baseline: expected no stale entries, got {stale}")
+    _, stale2 = split_findings([], baseline)
+    if len(stale2) != 1:
+        failures.append(f"baseline: stale detection failed, got {stale2}")
+    return failures
+
+
+# --- Driver ------------------------------------------------------------------
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: parent of this file's dir)")
+    parser.add_argument("--build-dir", default=None,
+                        help="build dir with compile_commands.json "
+                             "(default: build-tidy/, then build/)")
+    parser.add_argument("--all-files", action="store_true",
+                        help="analyze every TU in the compile database, "
+                             "not just files changed vs. git HEAD")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline to the current findings "
+                             "(implies --all-files)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="reserved; analysis is sequential")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run parser/baseline fixtures before the scan")
+    args = parser.parse_args()
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    if not os.path.isdir(os.path.join(root, "src")):
+        print(f"run_tidy: {root} does not look like the repo root",
+              file=sys.stderr)
+        return 2
+
+    if args.self_test:
+        failures = run_self_test()
+        if failures:
+            for failure in failures:
+                print(f"run_tidy self-test FAILED: {failure}")
+            return 1
+        print("run_tidy: self-test fixtures passed", file=sys.stderr)
+
+    binary = find_clang_tidy()
+    if binary is None:
+        print("=" * 72, file=sys.stderr)
+        print("run_tidy: WARNING: clang-tidy not found; SKIPPING the "
+              "clang-tidy gate.", file=sys.stderr)
+        print("run_tidy: install LLVM (or set CLANG_TIDY) to run it; the "
+              "annotations it", file=sys.stderr)
+        print("run_tidy: checks compile away on GCC, so this build is NOT "
+              "analysis-clean-verified.", file=sys.stderr)
+        print("=" * 72, file=sys.stderr)
+        return 0
+
+    build_dir = find_build_dir(root, args.build_dir)
+    if build_dir is None:
+        print("run_tidy: no compile_commands.json found (configure a CMake "
+              "preset first, e.g. `cmake --preset tidy`)", file=sys.stderr)
+        return 2
+
+    targets = select_targets(root, build_dir,
+                             args.all_files or args.update_baseline)
+    if not targets:
+        print("run_tidy: no changed C++ sources in scope; nothing to do",
+              file=sys.stderr)
+        return 0
+    print(f"run_tidy: analyzing {len(targets)} file(s) with {binary} "
+          f"(db: {os.path.relpath(build_dir, root)})", file=sys.stderr)
+
+    findings = run_clang_tidy(binary, root, build_dir, targets, args.jobs)
+    if findings is None:
+        return 2
+
+    baseline_path = os.path.join(root, BASELINE_RELPATH)
+    if args.update_baseline:
+        save_baseline(baseline_path, findings)
+        print(f"run_tidy: baseline rewritten with {len(findings)} "
+              f"finding(s) at {BASELINE_RELPATH}", file=sys.stderr)
+        return 0
+
+    baseline = load_baseline(baseline_path)
+    new, stale = split_findings(findings, baseline)
+    for finding in new:
+        print(f"{finding['path']}:{finding['line']}: [{finding['check']}] "
+              f"{finding['message']}")
+    for entry in stale:
+        print(f"run_tidy: stale baseline entry (fixed? shrink with "
+              f"--update-baseline): {entry['path']} [{entry['check']}] "
+              f"{entry['message']}", file=sys.stderr)
+    print(f"run_tidy: {len(findings)} finding(s), {len(new)} new, "
+          f"{len(stale)} stale baseline entr(ies)", file=sys.stderr)
+    return 1 if new else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
