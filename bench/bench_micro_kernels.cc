@@ -74,7 +74,8 @@ class RooflineRates {
 constexpr std::initializer_list<const char*> kAllKernelPrefixes = {
     "tensor/matmul",      "tensor/matmul_bwd",   "tensor/softmax",
     "tensor/softmax_bwd", "tensor/layernorm",    "tensor/layernorm_bwd",
-    "tensor/elementwise", "tensor/transpose",    "nn/rope_tables"};
+    "tensor/elementwise", "tensor/transpose",    "nn/rope_tables",
+    "nn/fused_attention"};
 
 void BM_MatMul(benchmark::State& state) {
   const int64_t n = state.range(0);
@@ -133,6 +134,27 @@ void BM_AttentionForward(benchmark::State& state) {
   rates.Report(state);
 }
 BENCHMARK(BM_AttentionForward)->Arg(16)->Arg(64)->Arg(128);
+
+// The fused tiled eval-attention kernel (FusedEvalAttention): grad mode
+// off + eval mode makes the module take the fused path, whose work is
+// credited under its own nn/fused_attention prefix. Contrast with
+// BM_AttentionForward, which keeps grad mode on and therefore measures
+// the composed-op path the training loop uses.
+void BM_FusedAttentionForward(benchmark::State& state) {
+  const int64_t seq = state.range(0);
+  Rng rng(8);
+  timekd::nn::MultiHeadAttention attn(64, 4, 0.0f, &rng);
+  attn.SetTraining(false);
+  Tensor x = Tensor::RandNormal({1, seq, 64}, 0, 1, rng);
+  timekd::tensor::NoGradGuard no_grad;
+  TIMEKD_TRACE_SCOPE("kernel/fused_attention_forward");
+  RooflineRates rates({"nn/fused_attention"});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(attn.SelfForward(x, Tensor()).data());
+  }
+  rates.Report(state);
+}
+BENCHMARK(BM_FusedAttentionForward)->Arg(16)->Arg(64)->Arg(128);
 
 void BM_TrainingStepBackward(benchmark::State& state) {
   Rng rng(5);

@@ -127,7 +127,7 @@ std::string RooflineJson(const obs::MetricsSnapshot& snap) {
       "tensor/matmul",     "tensor/matmul_bwd",    "tensor/softmax",
       "tensor/softmax_bwd", "tensor/layernorm",    "tensor/layernorm_bwd",
       "tensor/elementwise", "tensor/transpose",    "nn/attention_score",
-      "nn/rope_tables"};
+      "nn/rope_tables",     "nn/fused_attention"};
   for (const char* prefix : kPrefixes) {
     const std::string p(prefix);
     const uint64_t flops = CounterOr0(snap, p + "_flops");
@@ -194,6 +194,17 @@ Status WriteBenchArtifact(const std::string& experiment,
       .Set("attention_calls", CounterOr0(snap, "nn/attention_calls"))
       .Set("attention_score_flops",
            CounterOr0(snap, "nn/attention_score_flops"));
+  // Fused eval-attention path: calls/flops plus a wall-clock rate so the
+  // perf-history trend gate (tools/perf_history.py, kernels family) covers
+  // the fused kernel the same way it covers matmul.
+  const uint64_t fused_flops = CounterOr0(snap, "nn/fused_attention_flops");
+  kernels.Set("fused_attention_calls",
+              CounterOr0(snap, "nn/fused_attention_calls"))
+      .Set("fused_attention_flops", fused_flops)
+      .Set("fused_attention_gflops_per_sec",
+           wall_seconds > 0.0
+               ? static_cast<double>(fused_flops) * 1e-9 / wall_seconds
+               : 0.0);
 
   obs::JsonObject memory;
   const auto tensor_peak = snap.gauges.find("mem/tensor_peak_bytes");

@@ -1,6 +1,7 @@
 #include "nn/attention.h"
 
 #include <cmath>
+#include <vector>
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
@@ -8,8 +9,23 @@
 #include "obs/profiler.h"
 #include "obs/trace.h"
 #include "tensor/ops.h"
+#include "tensor/row_kernels.h"
 
 namespace timekd::nn {
+
+namespace {
+
+/// Process-wide gate for the fused eval-path kernel; the equivalence suite
+/// flips it to compare fused vs composed outputs on identical weights.
+bool g_fused_eval_enabled = true;
+
+}  // namespace
+
+void MultiHeadAttention::set_fused_eval_enabled(bool enabled) {
+  g_fused_eval_enabled = enabled;
+}
+
+bool MultiHeadAttention::fused_eval_enabled() { return g_fused_eval_enabled; }
 
 using tensor::Add;
 using tensor::Concat;
@@ -100,6 +116,132 @@ Tensor MultiHeadAttention::ApplyRope(const Tensor& x) const {
   return Add(Mul(x, cos_t), Mul(rotated, sin_t));
 }
 
+Tensor MultiHeadAttention::FusedEvalAttention(const Tensor& qh,
+                                              const Tensor& kh,
+                                              const Tensor& vh,
+                                              const Tensor& mask,
+                                              int64_t batch, int64_t sq,
+                                              int64_t sk) const {
+  // Single pass over query rows: for each (b, i) the per-head score row is
+  // computed into an Sk-sized buffer, softmaxed in place and immediately
+  // contracted against V — the [B, h, Sq, Sk] score matrix the composed
+  // path materializes (plus its softmax/dropout copies) never exists.
+  // Credited under its own "nn/fused_attention" prefix so the roofline
+  // report shows the fused path's arithmetic intensity (the composed
+  // path's score traffic is credited by the nested tensor ops instead).
+  TIMEKD_TRACE_SCOPE("nn/fused_attention");
+  static obs::Counter* fused_calls =
+      obs::GlobalMetrics().GetCounter("nn/fused_attention_calls");
+  static obs::Counter* fused_flops =
+      obs::GlobalMetrics().GetCounter("nn/fused_attention_flops");
+  static obs::Counter* fused_read =
+      obs::GlobalMetrics().GetCounter("nn/fused_attention_read_bytes");
+  static obs::Counter* fused_write =
+      obs::GlobalMetrics().GetCounter("nn/fused_attention_write_bytes");
+  const uint64_t bh = static_cast<uint64_t>(batch * num_heads_);
+  const uint64_t rows_elems = bh * static_cast<uint64_t>(sq * sk);
+  // QK^T and P*V score 2*bh*sq*sk*dh each; the in-row softmax and the
+  // head-mean accumulation add a few flops per score element.
+  const uint64_t flops =
+      4 * bh * static_cast<uint64_t>(sq * sk * d_head_) +
+      rows_elems * (tensor::cost::kSoftmaxFlopsPerElement + 1);
+  // Compulsory traffic only: Q/K/V heads and the mask in, merged context
+  // and the head-averaged map out. No score-matrix bytes.
+  const uint64_t read_bytes =
+      (bh * static_cast<uint64_t>((sq + 2 * sk) * d_head_) +
+       static_cast<uint64_t>(mask.defined() ? mask.numel() : 0)) *
+      tensor::cost::kBytesPerElement;
+  const uint64_t write_bytes =
+      static_cast<uint64_t>(batch * sq * (d_model_ + sk)) *
+      tensor::cost::kBytesPerElement;
+  fused_calls->Increment();
+  fused_flops->Increment(flops);
+  fused_read->Increment(read_bytes);
+  fused_write->Increment(write_bytes);
+  obs::AddSpanFlops(flops);
+  obs::AddSpanMemTraffic(read_bytes, write_bytes);
+
+  // Broadcast strides for a mask of any rank <= 4 against [B, h, Sq, Sk].
+  int64_t ms[4] = {0, 0, 0, 0};
+  if (mask.defined()) {
+    const int64_t target[4] = {batch, num_heads_, sq, sk};
+    const int64_t rank = mask.dim();
+    int64_t stride = 1;
+    for (int64_t d = rank - 1; d >= 0; --d) {
+      const int64_t size = mask.size(d);
+      const int64_t t = 4 - rank + d;
+      TIMEKD_DCHECK(size == target[t] || size == 1)
+          << "mask dim " << d << " (" << size << ") not broadcastable";
+      ms[t] = size == 1 ? 0 : stride;
+      stride *= size;
+    }
+  }
+
+  const float* pq = qh.data();
+  const float* pk = kh.data();
+  const float* pv = vh.data();
+  const float* pm = mask.defined() ? mask.data() : nullptr;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(d_head_));
+  const float inv_heads = 1.0f / static_cast<float>(num_heads_);
+  std::vector<float> merged(static_cast<size_t>(batch * sq * d_model_), 0.0f);
+  std::vector<float> amean(static_cast<size_t>(batch * sq * sk), 0.0f);
+  float* pout = merged.data();
+  float* pam = amean.data();
+  const int64_t h = num_heads_;
+  const int64_t dh = d_head_;
+  // Row-parallel over (b, i): each task owns its merged output row and
+  // head-mean row outright (heads reduce serially inside), so shards write
+  // disjoint memory and results are bit-identical across thread counts.
+  // Same shard-size policy as the ops.cc kernels: enough multiply-adds
+  // per shard that dispatch overhead stays negligible, boundaries a pure
+  // function of (range, grain).
+  const int64_t row_cost = std::max<int64_t>(1, 2 * h * sk * dh);
+  const int64_t grain = std::max<int64_t>(
+      1, (tensor::simd::kAvx2Enabled ? 131072 : 32768) / row_cost);
+  ParallelFor(
+      0, batch * sq, grain,
+      [pq, pk, pv, pm, pout, pam, &ms, scale, inv_heads, h, dh, sq,
+       sk](int64_t r0, int64_t r1) {
+        std::vector<float> row(static_cast<size_t>(sk));
+        float* prow = row.data();
+        for (int64_t r = r0; r < r1; ++r) {
+          const int64_t b = r / sq;
+          const int64_t i = r % sq;
+          float* orow = pout + r * h * dh;
+          float* arow = pam + r * sk;
+          for (int64_t hd = 0; hd < h; ++hd) {
+            const float* qrow = pq + ((b * h + hd) * sq + i) * dh;
+            const float* kbase = pk + (b * h + hd) * sk * dh;
+            const float* vbase = pv + (b * h + hd) * sk * dh;
+            for (int64_t j = 0; j < sk; ++j) {
+              prow[j] = tensor::kernel::Dot(qrow, kbase + j * dh, dh) * scale;
+            }
+            if (pm != nullptr) {
+              const float* mrow = pm + b * ms[0] + hd * ms[1] + i * ms[2];
+              if (ms[3] == 1) {
+                for (int64_t j = 0; j < sk; ++j) prow[j] += mrow[j];
+              } else {
+                for (int64_t j = 0; j < sk; ++j) prow[j] += mrow[0];
+              }
+            }
+            tensor::kernel::SoftmaxRow(prow, prow, sk);
+            for (int64_t j = 0; j < sk; ++j) {
+              if (prow[j] != 0.0f) {
+                tensor::kernel::Axpy(orow + hd * dh, prow[j], vbase + j * dh,
+                                     dh);
+              }
+            }
+            tensor::kernel::Axpy(arow, inv_heads, prow, sk);
+          }
+        }
+      });
+  // Plain (non-graph) tensors: the fused path only runs with grad mode
+  // off, where the composed path's map would be constant too.
+  last_attention_ =
+      Tensor::FromVector({batch, sq, sk}, std::move(amean));
+  return Tensor::FromVector({batch, sq, d_model_}, std::move(merged));
+}
+
 Tensor MultiHeadAttention::Forward(const Tensor& q, const Tensor& k,
                                    const Tensor& v, const Tensor& mask) const {
   TIMEKD_TRACE_SCOPE("nn/attention");
@@ -118,30 +260,9 @@ Tensor MultiHeadAttention::Forward(const Tensor& q, const Tensor& k,
   TIMEKD_DCHECK_EQ(v.size(0), batch);
   TIMEKD_DCHECK_EQ(v.size(1), sk) << "key/value lengths differ";
 
-  // Attention cost accounting: QK^T and attn*V score 2*B*h*Sq*Sk*dh each
-  // (the four projections are counted by the MatMul instrumentation).
-  // Counter-only on purpose — the nested tensor/matmul calls credit the
-  // open span's FLOPs and traffic themselves, so crediting the span here
-  // as well would double-count the roofline attribution.
   static obs::Counter* attn_calls =
       obs::GlobalMetrics().GetCounter("nn/attention_calls");
-  static obs::Counter* attn_flops =
-      obs::GlobalMetrics().GetCounter("nn/attention_score_flops");
-  static obs::Counter* attn_read =
-      obs::GlobalMetrics().GetCounter("nn/attention_score_read_bytes");
-  static obs::Counter* attn_write =
-      obs::GlobalMetrics().GetCounter("nn/attention_score_write_bytes");
-  const uint64_t bh = static_cast<uint64_t>(batch * num_heads_);
   attn_calls->Increment();
-  attn_flops->Increment(4 * bh * static_cast<uint64_t>(sq * sk * d_head_));
-  // Score-matmul traffic: QK^T reads Q and K and writes the score matrix;
-  // attn*V reads the weights and V and writes the context.
-  attn_read->Increment(bh *
-                       static_cast<uint64_t>(sq * d_head_ + 2 * sk * d_head_ +
-                                             sq * sk) *
-                       tensor::cost::kBytesPerElement);
-  attn_write->Increment(bh * static_cast<uint64_t>(sq * sk + sq * d_head_) *
-                        tensor::cost::kBytesPerElement);
 
   auto split_heads = [&](const Tensor& t, int64_t seq) {
     // [B, S, D] -> [B, h, S, dh]
@@ -156,6 +277,41 @@ Tensor MultiHeadAttention::Forward(const Tensor& q, const Tensor& k,
     qh = ApplyRope(qh);
     kh = ApplyRope(kh);
   }
+
+  // Inference fast path: no graph to build, dropout inactive, entropy
+  // probe off — the fused kernel computes the identical composition
+  // (scale, mask, softmax, contraction, head-mean retention) without ever
+  // materializing the score matrix. The composed path below stays the
+  // only autograd implementation.
+  if (g_fused_eval_enabled && !tensor::internal::GradModeEnabled() &&
+      !training() && !record_entropy_) {
+    if (!last_head_entropies_.empty()) last_head_entropies_.clear();
+    Tensor merged = FusedEvalAttention(qh, kh, vh, mask, batch, sq, sk);
+    return wo_.Forward(merged);
+  }
+
+  // Attention cost accounting (composed path): QK^T and attn*V score
+  // 2*B*h*Sq*Sk*dh each (the four projections are counted by the MatMul
+  // instrumentation). Counter-only on purpose — the nested tensor/matmul
+  // calls credit the open span's FLOPs and traffic themselves, so
+  // crediting the span here as well would double-count the roofline
+  // attribution.
+  static obs::Counter* attn_flops =
+      obs::GlobalMetrics().GetCounter("nn/attention_score_flops");
+  static obs::Counter* attn_read =
+      obs::GlobalMetrics().GetCounter("nn/attention_score_read_bytes");
+  static obs::Counter* attn_write =
+      obs::GlobalMetrics().GetCounter("nn/attention_score_write_bytes");
+  const uint64_t bh = static_cast<uint64_t>(batch * num_heads_);
+  attn_flops->Increment(4 * bh * static_cast<uint64_t>(sq * sk * d_head_));
+  // Score-matmul traffic: QK^T reads Q and K and writes the score matrix;
+  // attn*V reads the weights and V and writes the context.
+  attn_read->Increment(bh *
+                       static_cast<uint64_t>(sq * d_head_ + 2 * sk * d_head_ +
+                                             sq * sk) *
+                       tensor::cost::kBytesPerElement);
+  attn_write->Increment(bh * static_cast<uint64_t>(sq * sk + sq * d_head_) *
+                        tensor::cost::kBytesPerElement);
 
   // scores: [B, h, Sq, Sk]
   Tensor scores = Scale(MatMul(qh, Transpose(kh, 2, 3)),

@@ -57,8 +57,26 @@ class MultiHeadAttention : public Module {
   int64_t d_model() const { return d_model_; }
   int64_t num_heads() const { return num_heads_; }
 
+  /// Process-wide switch for the fused tiled eval-path attention kernel
+  /// (see FusedEvalAttention in attention.cc). On by default; the
+  /// kernel-equivalence suite flips it off to compare against the
+  /// composed-op path. The fused kernel is only *eligible* when grad mode
+  /// is off, the module is in eval mode (dropout inactive) and the entropy
+  /// probe is disabled — otherwise the composed path runs regardless.
+  static void set_fused_eval_enabled(bool enabled);
+  static bool fused_eval_enabled();
+
  private:
   Tensor ApplyRope(const Tensor& x) const;  // x: [B, h, S, dh]
+
+  /// Fused tiled attention over the projected heads qh/kh/vh
+  /// [B, h, S, dh]: per query row, scores are computed into an Sk-sized
+  /// row buffer, softmaxed and contracted against V in one pass — the
+  /// full [B, h, Sq, Sk] score matrix is never materialized. Writes the
+  /// merged [B, Sq, D] context and retains the head-averaged map.
+  Tensor FusedEvalAttention(const Tensor& qh, const Tensor& kh,
+                            const Tensor& vh, const Tensor& mask,
+                            int64_t batch, int64_t sq, int64_t sk) const;
 
   int64_t d_model_;
   int64_t num_heads_;

@@ -7,6 +7,7 @@ namespace timekd::nn {
 
 using tensor::Add;
 using tensor::AddScalar;
+using tensor::ClampAbsFloor;
 using tensor::Div;
 using tensor::MeanDim;
 using tensor::Mul;
@@ -33,8 +34,12 @@ Tensor RevIn::Denormalize(const Tensor& y) const {
   TIMEKD_CHECK(mean_.defined() && std_.defined())
       << "Denormalize called before Normalize";
   TIMEKD_CHECK_EQ(y.dim(), 3);
-  // Invert affine, then invert standardization.
-  Tensor unaffine = Div(Sub(y, beta_), gamma_);
+  // Invert affine, then invert standardization. The divisor is the
+  // *learned* gamma, which training can drive arbitrarily close to zero —
+  // unguarded, one such element turns every denormalized forecast into
+  // inf/NaN. Clamp its magnitude by the same epsilon that regularizes the
+  // Normalize-side standard deviation.
+  Tensor unaffine = Div(Sub(y, beta_), ClampAbsFloor(gamma_, eps_));
   return Add(Mul(unaffine, std_), mean_);
 }
 

@@ -1,0 +1,369 @@
+#ifndef TIMEKD_TENSOR_MATMUL_KERNEL_H_
+#define TIMEKD_TENSOR_MATMUL_KERNEL_H_
+
+// Register-blocked, cache-tiled matmul kernels for the three products the
+// autograd MatMul needs: C = A·B (forward), dA += dC·B^T and dB += A^T·dC
+// (backward). All three are expressed over ranges of *output rows* so the
+// ParallelFor sharding in ops.cc writes disjoint memory; per-element
+// accumulation order never depends on the shard layout, which keeps the
+// PR 3 thread-count bit-identity contract intact.
+//
+// Selection: the Avx2 variants compile only under TIMEKD_SIMD_AVX2 (see
+// simd.h); the *Scalar variants are always compiled and are both the
+// portable fallback and the reference the kernel-equivalence suite
+// compares against. The unsuffixed entry points dispatch at compile time.
+//
+// Numerics vs the scalar references:
+//  * Forward: the microkernel accumulates each C element over p ascending
+//    with one FMA per step — the same order as the scalar kernel compiled
+//    with -ffp-contract=fast — but drops the scalar path's `a==0` row
+//    skip, so a zero in A multiplied by an Inf/NaN in B yields NaN instead
+//    of being skipped. Finite inputs are unaffected (0*x == 0 exactly).
+//  * dA (dot-product form): lanes are accumulated 8-wide and reduced with
+//    a horizontal sum, which changes the summation order; equivalence to
+//    the scalar kernel is tolerance-based (see docs/performance.md).
+//  * dB (axpy form): same per-element order as scalar (bi, then i
+//    ascending), FMA-fused; differences stay within contraction rounding.
+
+#include <algorithm>
+#include <cstdint>
+
+#include "tensor/simd.h"
+
+namespace timekd::tensor::kernel {
+
+// Tile-size selection for the forward microkernel. kMr x kNr is the
+// register block: kMr row broadcasts against kNr columns held in two ymm
+// accumulator rows gives kMr*2 = 8 independent FMA chains — enough to
+// saturate both FMA ports at their 4-5 cycle latency — while using
+// 8 accumulator registers + 2 B loads + 1 broadcast of the 16 available.
+// kKc caps the k-panel so the B panel slice (kKc * n floats) stays
+// resident in L2 across the kMr rows of a block; accumulation order over
+// the full k stays ascending because the k-panels are visited in order
+// and C is accumulated "+=" across panels.
+inline constexpr int64_t kMr = 4;
+inline constexpr int64_t kNr = 16;
+inline constexpr int64_t kKc = 256;
+
+/// Rows [r0, r1) of C += A·B over the flattened [nbatch*m, n] output.
+/// C[bi,i,j] += sum_p A[bi,i,p] * B[bi,p,j], p ascending.
+inline void MatMulRowsScalar(const float* a, const float* b, float* c,
+                             int64_t r0, int64_t r1, int64_t m, int64_t k,
+                             int64_t n, bool a_batched, bool b_batched) {
+  for (int64_t r = r0; r < r1; ++r) {
+    const int64_t bi = r / m;
+    const float* arow = (a_batched ? a + bi * m * k : a) + (r % m) * k;
+    const float* bb = b_batched ? b + bi * k * n : b;
+    float* crow = c + r * n;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = bb + p * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+/// Rows [r0, r1) of dA += dC·B^T. When A is batched the row space is
+/// [nbatch*m, k]; when A is shared it is [m, k] and the batch reduction
+/// runs serially inside the row (bi ascending) so the accumulation order
+/// matches the single-threaded kernel bit for bit.
+inline void MatMulBTRowsScalar(const float* dy, const float* b, float* da,
+                               int64_t r0, int64_t r1, int64_t m, int64_t k,
+                               int64_t n, int64_t nbatch, bool a_batched,
+                               bool b_batched) {
+  for (int64_t r = r0; r < r1; ++r) {
+    const int64_t i = a_batched ? r % m : r;
+    float* darow = da + r * k;
+    const int64_t bi_begin = a_batched ? r / m : 0;
+    const int64_t bi_end = a_batched ? bi_begin + 1 : nbatch;
+    for (int64_t bi = bi_begin; bi < bi_end; ++bi) {
+      const float* dyrow = dy + (bi * m + i) * n;
+      const float* bb = b_batched ? b + bi * k * n : b;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float* brow = bb + kk * n;
+        float acc = 0.0f;
+        for (int64_t p = 0; p < n; ++p) acc += dyrow[p] * brow[p];
+        darow[kk] += acc;
+      }
+    }
+  }
+}
+
+/// Rows [r0, r1) of dB += A^T·dC. When B is batched the row space is
+/// [nbatch*k, n]; when B is shared it is [k, n] with the batch reduction
+/// serial inside the row (bi ascending, then sample i ascending).
+inline void MatMulATRowsScalar(const float* a, const float* dy, float* db,
+                               int64_t r0, int64_t r1, int64_t m, int64_t k,
+                               int64_t n, int64_t nbatch, bool a_batched,
+                               bool b_batched) {
+  for (int64_t r = r0; r < r1; ++r) {
+    const int64_t kk = b_batched ? r % k : r;
+    float* dbrow = db + r * n;
+    const int64_t bi_begin = b_batched ? r / k : 0;
+    const int64_t bi_end = b_batched ? bi_begin + 1 : nbatch;
+    for (int64_t bi = bi_begin; bi < bi_end; ++bi) {
+      const float* ab = a_batched ? a + bi * m * k : a;
+      const float* dyb = dy + bi * m * n;
+      for (int64_t i = 0; i < m; ++i) {
+        const float av = ab[i * k + kk];
+        if (av == 0.0f) continue;
+        const float* dyrow = dyb + i * n;
+        for (int64_t j = 0; j < n; ++j) dbrow[j] += av * dyrow[j];
+      }
+    }
+  }
+}
+
+#if TIMEKD_SIMD_AVX2
+
+/// kMr x kNr register-blocked inner kernel over a *packed* B panel of
+/// `pc` rows by kNr contiguous columns: 4 rows of C, 16 columns, 8 ymm
+/// accumulators, ascending p. Packing (PackBPanel) keeps the panel's
+/// working set in a handful of L1 lines — streaming B straight out of the
+/// source matrix at large power-of-two row strides thrashes a single L1
+/// set and erases the register-blocking win.
+inline void MicroKernel4x16(const float* arows[kMr], const float* bpack,
+                            float* crows[kMr], int64_t pc, int64_t j0) {
+  __m256 acc[kMr][2];
+  for (int64_t i = 0; i < kMr; ++i) {
+    acc[i][0] = _mm256_loadu_ps(crows[i] + j0);
+    acc[i][1] = _mm256_loadu_ps(crows[i] + j0 + 8);
+  }
+  for (int64_t p = 0; p < pc; ++p) {
+    const __m256 b0 = _mm256_loadu_ps(bpack + p * kNr);
+    const __m256 b1 = _mm256_loadu_ps(bpack + p * kNr + 8);
+    for (int64_t i = 0; i < kMr; ++i) {
+      const __m256 av = _mm256_broadcast_ss(arows[i] + p);
+      acc[i][0] = _mm256_fmadd_ps(av, b0, acc[i][0]);
+      acc[i][1] = _mm256_fmadd_ps(av, b1, acc[i][1]);
+    }
+  }
+  for (int64_t i = 0; i < kMr; ++i) {
+    _mm256_storeu_ps(crows[i] + j0, acc[i][0]);
+    _mm256_storeu_ps(crows[i] + j0 + 8, acc[i][1]);
+  }
+}
+
+/// Single-row variant over the same packed panel, for the m % kMr tail.
+inline void MicroKernel1x16(const float* arow, const float* bpack,
+                            float* crow, int64_t pc, int64_t j0) {
+  __m256 a0 = _mm256_loadu_ps(crow + j0);
+  __m256 a1 = _mm256_loadu_ps(crow + j0 + 8);
+  for (int64_t p = 0; p < pc; ++p) {
+    const __m256 av = _mm256_broadcast_ss(arow + p);
+    a0 = _mm256_fmadd_ps(av, _mm256_loadu_ps(bpack + p * kNr), a0);
+    a1 = _mm256_fmadd_ps(av, _mm256_loadu_ps(bpack + p * kNr + 8), a1);
+  }
+  _mm256_storeu_ps(crow + j0, a0);
+  _mm256_storeu_ps(crow + j0 + 8, a1);
+}
+
+/// Copies B[p0:p0+pc, j0:j0+kNr] into a contiguous pc x kNr panel.
+inline void PackBPanel(const float* b, float* bpack, int64_t p0, int64_t pc,
+                       int64_t j0, int64_t ldb) {
+  for (int64_t p = 0; p < pc; ++p) {
+    const float* src = b + (p0 + p) * ldb + j0;
+    _mm256_storeu_ps(bpack + p * kNr, _mm256_loadu_ps(src));
+    _mm256_storeu_ps(bpack + p * kNr + 8, _mm256_loadu_ps(src + 8));
+  }
+}
+
+/// Edge helper: C rows += A rows · B over columns [j0, n) for one k-panel,
+/// 8-wide where possible then scalar, preserving ascending-p order.
+inline void MatMulEdgeCols(const float* arow, const float* bpanel,
+                           float* crow, int64_t p0, int64_t p1, int64_t j0,
+                           int64_t n, int64_t ldb) {
+  const int64_t j8 = j0 + ((n - j0) & ~int64_t{7});
+  for (int64_t j = j0; j < j8; j += 8) {
+    __m256 acc = _mm256_loadu_ps(crow + j);
+    for (int64_t p = p0; p < p1; ++p) {
+      const __m256 av = _mm256_broadcast_ss(arow + p);
+      acc = _mm256_fmadd_ps(av, _mm256_loadu_ps(bpanel + p * ldb + j), acc);
+    }
+    _mm256_storeu_ps(crow + j, acc);
+  }
+  for (int64_t j = j8; j < n; ++j) {
+    float accs = crow[j];
+    for (int64_t p = p0; p < p1; ++p) {
+      accs += arow[p] * bpanel[p * ldb + j];
+    }
+    crow[j] = accs;
+  }
+}
+
+inline void MatMulRowsAvx2(const float* a, const float* b, float* c,
+                           int64_t r0, int64_t r1, int64_t m, int64_t k,
+                           int64_t n, bool a_batched, bool b_batched) {
+  // Packed k-panel of one kNr-wide column block, reused across every row
+  // block of the chunk: kKc * kNr floats = 16 KiB, L1-resident.
+  alignas(32) float bpack[kKc * kNr];
+  int64_t r = r0;
+  while (r < r1) {
+    // Batch-aligned chunk: rows [r, chunk_end) share one B operand.
+    const int64_t bi = r / m;
+    const int64_t chunk_end = std::min(r1, (bi + 1) * m);
+    const float* abase = a_batched ? a + bi * m * k : a;
+    const float* bb = b_batched ? b + bi * k * n : b;
+    for (int64_t p0 = 0; p0 < k; p0 += kKc) {
+      const int64_t pc = std::min(k, p0 + kKc) - p0;
+      const int64_t p1 = p0 + pc;
+      int64_t j0 = 0;
+      for (; j0 + kNr <= n; j0 += kNr) {
+        PackBPanel(bb, bpack, p0, pc, j0, n);
+        int64_t i0 = r;
+        for (; i0 + kMr <= chunk_end; i0 += kMr) {
+          const float* arows[kMr];
+          float* crows[kMr];
+          for (int64_t i = 0; i < kMr; ++i) {
+            arows[i] = abase + ((i0 + i) % m) * k + p0;
+            crows[i] = c + (i0 + i) * n;
+          }
+          MicroKernel4x16(arows, bpack, crows, pc, j0);
+        }
+        for (; i0 < chunk_end; ++i0) {
+          MicroKernel1x16(abase + (i0 % m) * k + p0, bpack, c + i0 * n, pc,
+                          j0);
+        }
+      }
+      if (j0 < n) {
+        for (int64_t i0 = r; i0 < chunk_end; ++i0) {
+          MatMulEdgeCols(abase + (i0 % m) * k, bb, c + i0 * n, p0, p1, j0,
+                         n, n);
+        }
+      }
+    }
+    r = chunk_end;
+  }
+}
+
+inline void MatMulBTRowsAvx2(const float* dy, const float* b, float* da,
+                             int64_t r0, int64_t r1, int64_t m, int64_t k,
+                             int64_t n, int64_t nbatch, bool a_batched,
+                             bool b_batched) {
+  const int64_t n8 = n & ~int64_t{7};
+  for (int64_t r = r0; r < r1; ++r) {
+    const int64_t i = a_batched ? r % m : r;
+    float* darow = da + r * k;
+    const int64_t bi_begin = a_batched ? r / m : 0;
+    const int64_t bi_end = a_batched ? bi_begin + 1 : nbatch;
+    for (int64_t bi = bi_begin; bi < bi_end; ++bi) {
+      const float* dyrow = dy + (bi * m + i) * n;
+      const float* bb = b_batched ? b + bi * k * n : b;
+      int64_t kk = 0;
+      // 4 dot products at a time share each dy load.
+      for (; kk + 4 <= k; kk += 4) {
+        const float* b0 = bb + kk * n;
+        const float* b1 = b0 + n;
+        const float* b2 = b1 + n;
+        const float* b3 = b2 + n;
+        __m256 a0 = _mm256_setzero_ps();
+        __m256 a1 = _mm256_setzero_ps();
+        __m256 a2 = _mm256_setzero_ps();
+        __m256 a3 = _mm256_setzero_ps();
+        for (int64_t p = 0; p < n8; p += 8) {
+          const __m256 d = _mm256_loadu_ps(dyrow + p);
+          a0 = _mm256_fmadd_ps(d, _mm256_loadu_ps(b0 + p), a0);
+          a1 = _mm256_fmadd_ps(d, _mm256_loadu_ps(b1 + p), a1);
+          a2 = _mm256_fmadd_ps(d, _mm256_loadu_ps(b2 + p), a2);
+          a3 = _mm256_fmadd_ps(d, _mm256_loadu_ps(b3 + p), a3);
+        }
+        float s0 = simd::HSum(a0);
+        float s1 = simd::HSum(a1);
+        float s2 = simd::HSum(a2);
+        float s3 = simd::HSum(a3);
+        for (int64_t p = n8; p < n; ++p) {
+          const float d = dyrow[p];
+          s0 += d * b0[p];
+          s1 += d * b1[p];
+          s2 += d * b2[p];
+          s3 += d * b3[p];
+        }
+        darow[kk] += s0;
+        darow[kk + 1] += s1;
+        darow[kk + 2] += s2;
+        darow[kk + 3] += s3;
+      }
+      for (; kk < k; ++kk) {
+        const float* brow = bb + kk * n;
+        __m256 accv = _mm256_setzero_ps();
+        for (int64_t p = 0; p < n8; p += 8) {
+          accv = _mm256_fmadd_ps(_mm256_loadu_ps(dyrow + p),
+                                 _mm256_loadu_ps(brow + p), accv);
+        }
+        float acc = simd::HSum(accv);
+        for (int64_t p = n8; p < n; ++p) acc += dyrow[p] * brow[p];
+        darow[kk] += acc;
+      }
+    }
+  }
+}
+
+inline void MatMulATRowsAvx2(const float* a, const float* dy, float* db,
+                             int64_t r0, int64_t r1, int64_t m, int64_t k,
+                             int64_t n, int64_t nbatch, bool a_batched,
+                             bool b_batched) {
+  const int64_t n8 = n & ~int64_t{7};
+  for (int64_t r = r0; r < r1; ++r) {
+    const int64_t kk = b_batched ? r % k : r;
+    float* dbrow = db + r * n;
+    const int64_t bi_begin = b_batched ? r / k : 0;
+    const int64_t bi_end = b_batched ? bi_begin + 1 : nbatch;
+    for (int64_t bi = bi_begin; bi < bi_end; ++bi) {
+      const float* ab = a_batched ? a + bi * m * k : a;
+      const float* dyb = dy + bi * m * n;
+      for (int64_t i = 0; i < m; ++i) {
+        const float av = ab[i * k + kk];
+        if (av == 0.0f) continue;
+        const float* dyrow = dyb + i * n;
+        const __m256 avv = _mm256_set1_ps(av);
+        for (int64_t j = 0; j < n8; j += 8) {
+          _mm256_storeu_ps(
+              dbrow + j, _mm256_fmadd_ps(avv, _mm256_loadu_ps(dyrow + j),
+                                         _mm256_loadu_ps(dbrow + j)));
+        }
+        for (int64_t j = n8; j < n; ++j) dbrow[j] += av * dyrow[j];
+      }
+    }
+  }
+}
+
+#endif  // TIMEKD_SIMD_AVX2
+
+inline void MatMulRows(const float* a, const float* b, float* c, int64_t r0,
+                       int64_t r1, int64_t m, int64_t k, int64_t n,
+                       bool a_batched, bool b_batched) {
+#if TIMEKD_SIMD_AVX2
+  MatMulRowsAvx2(a, b, c, r0, r1, m, k, n, a_batched, b_batched);
+#else
+  MatMulRowsScalar(a, b, c, r0, r1, m, k, n, a_batched, b_batched);
+#endif
+}
+
+inline void MatMulBTRows(const float* dy, const float* b, float* da,
+                         int64_t r0, int64_t r1, int64_t m, int64_t k,
+                         int64_t n, int64_t nbatch, bool a_batched,
+                         bool b_batched) {
+#if TIMEKD_SIMD_AVX2
+  MatMulBTRowsAvx2(dy, b, da, r0, r1, m, k, n, nbatch, a_batched, b_batched);
+#else
+  MatMulBTRowsScalar(dy, b, da, r0, r1, m, k, n, nbatch, a_batched,
+                     b_batched);
+#endif
+}
+
+inline void MatMulATRows(const float* a, const float* dy, float* db,
+                         int64_t r0, int64_t r1, int64_t m, int64_t k,
+                         int64_t n, int64_t nbatch, bool a_batched,
+                         bool b_batched) {
+#if TIMEKD_SIMD_AVX2
+  MatMulATRowsAvx2(a, dy, db, r0, r1, m, k, n, nbatch, a_batched, b_batched);
+#else
+  MatMulATRowsScalar(a, dy, db, r0, r1, m, k, n, nbatch, a_batched,
+                     b_batched);
+#endif
+}
+
+}  // namespace timekd::tensor::kernel
+
+#endif  // TIMEKD_TENSOR_MATMUL_KERNEL_H_

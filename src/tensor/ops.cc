@@ -8,6 +8,8 @@
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "obs/trace.h"
+#include "tensor/matmul_kernel.h"
+#include "tensor/row_kernels.h"
 
 namespace timekd::tensor {
 
@@ -135,6 +137,9 @@ Tensor Binary(BinOp op, const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   if (a.shape() == b.shape()) {
+    // Portable vectorization hint (-fopenmp-simd): the iterations are
+    // independent and ApplyBin inlines to a single arithmetic op.
+#pragma omp simd
     for (int64_t i = 0; i < n; ++i) {
       out[static_cast<size_t>(i)] = ApplyBin(op, pa[i], pb[i]);
     }
@@ -242,6 +247,9 @@ Tensor Unary(const Tensor& x, F f, DF df) {
       ElemBytes(n), ElemBytes(n));
   std::vector<float> out(static_cast<size_t>(n));
   const float* px = x.data();
+  // Vectorization hint only: lambdas that stay arithmetic (Neg, Square,
+  // Scale, ...) vectorize; libm-calling ones (Exp, Tanh) legally don't.
+#pragma omp simd
   for (int64_t i = 0; i < n; ++i) out[static_cast<size_t>(i)] = f(px[i]);
   return MakeResult(x.shape(), std::move(out), {x},
                     [x, df](TensorImpl& self) {
@@ -251,6 +259,7 @@ Tensor Unary(const Tensor& x, F f, DF df) {
                       const float* px2 = x.data();
                       const float* py = self.data.data();
                       const float* dy = self.grad.data();
+#pragma omp simd
                       for (int64_t i = 0; i < n_in; ++i) {
                         dx[static_cast<size_t>(i)] =
                             dy[i] * df(px2[i], py[i]);
@@ -291,84 +300,30 @@ std::vector<float> TransposeRaw(const float* src, const Shape& in_shape,
   return out;
 }
 
-/// Minimum indices per ParallelFor shard so each shard carries roughly
-/// 32k multiply-adds; below that the fork-join dispatch dominates.
+/// Minimum indices per ParallelFor shard so each shard carries enough
+/// multiply-adds that fork-join dispatch doesn't dominate. The SIMD
+/// kernels retire ~4x the flops per cycle of the scalar fallbacks, so
+/// they need proportionally coarser shards to keep the same dispatch
+/// overhead ratio. Shard boundaries still depend only on (range, grain),
+/// never on the thread count, preserving bit-identical outputs.
 int64_t RowGrain(int64_t per_index_cost) {
-  return std::max<int64_t>(1, 32768 / std::max<int64_t>(1, per_index_cost));
+  constexpr int64_t kTargetMulAdds = simd::kAvx2Enabled ? 131072 : 32768;
+  return std::max<int64_t>(1,
+                           kTargetMulAdds / std::max<int64_t>(1, per_index_cost));
 }
 
-/// All three matmul kernels are expressed over ranges of *output rows* of
-/// the flattened [rows, n] result, so ParallelFor shards write disjoint
-/// memory and per-element accumulation order never depends on the shard
-/// layout — outputs are bit-identical for every TIMEKD_NUM_THREADS.
+/// The three matmul row kernels (forward C=A·B plus both backward
+/// products) live in tensor/matmul_kernel.h: register-blocked AVX2
+/// microkernels with always-compiled scalar references. All are expressed
+/// over ranges of *output rows* of the flattened [rows, n] result, so
+/// ParallelFor shards write disjoint memory and per-element accumulation
+/// order never depends on the shard layout — outputs are bit-identical
+/// for every TIMEKD_NUM_THREADS. Equivalence between the vector and
+/// scalar variants is tolerance-based (see docs/performance.md).
 
-/// Rows [r0, r1) of C = A·B over the flattened [nbatch*m, n] output.
-/// C[bi,i,j] += sum_p A[bi,i,p] * B[bi,p,j], p ascending.
-void MatMulRows(const float* a, const float* b, float* c, int64_t r0,
-                int64_t r1, int64_t m, int64_t k, int64_t n, bool a_batched,
-                bool b_batched) {
-  for (int64_t r = r0; r < r1; ++r) {
-    const int64_t bi = r / m;
-    const float* arow = (a_batched ? a + bi * m * k : a) + (r % m) * k;
-    const float* bb = b_batched ? b + bi * k * n : b;
-    float* crow = c + r * n;
-    for (int64_t p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) continue;
-      const float* brow = bb + p * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
-}
-
-/// Rows [r0, r1) of dA += dC·B^T. When A is batched the row space is
-/// [nbatch*m, k]; when A is shared it is [m, k] and the batch reduction
-/// runs serially inside the row (bi ascending) so the accumulation order
-/// matches the single-threaded kernel bit for bit.
-void MatMulBTRows(const float* dy, const float* b, float* da, int64_t r0,
-                  int64_t r1, int64_t m, int64_t k, int64_t n, int64_t nbatch,
-                  bool a_batched, bool b_batched) {
-  for (int64_t r = r0; r < r1; ++r) {
-    const int64_t i = a_batched ? r % m : r;
-    float* darow = da + r * k;
-    const int64_t bi_begin = a_batched ? r / m : 0;
-    const int64_t bi_end = a_batched ? bi_begin + 1 : nbatch;
-    for (int64_t bi = bi_begin; bi < bi_end; ++bi) {
-      const float* dyrow = dy + (bi * m + i) * n;
-      const float* bb = b_batched ? b + bi * k * n : b;
-      for (int64_t kk = 0; kk < k; ++kk) {
-        const float* brow = bb + kk * n;
-        float acc = 0.0f;
-        for (int64_t p = 0; p < n; ++p) acc += dyrow[p] * brow[p];
-        darow[kk] += acc;
-      }
-    }
-  }
-}
-
-/// Rows [r0, r1) of dB += A^T·dC. When B is batched the row space is
-/// [nbatch*k, n]; when B is shared it is [k, n] with the batch reduction
-/// serial inside the row (bi ascending, then sample i ascending).
-void MatMulATRows(const float* a, const float* dy, float* db, int64_t r0,
-                  int64_t r1, int64_t m, int64_t k, int64_t n, int64_t nbatch,
-                  bool a_batched, bool b_batched) {
-  for (int64_t r = r0; r < r1; ++r) {
-    const int64_t kk = b_batched ? r % k : r;
-    float* dbrow = db + r * n;
-    const int64_t bi_begin = b_batched ? r / k : 0;
-    const int64_t bi_end = b_batched ? bi_begin + 1 : nbatch;
-    for (int64_t bi = bi_begin; bi < bi_end; ++bi) {
-      const float* ab = a_batched ? a + bi * m * k : a;
-      const float* dyb = dy + bi * m * n;
-      for (int64_t i = 0; i < m; ++i) {
-        const float av = ab[i * k + kk];
-        if (av == 0.0f) continue;
-        const float* dyrow = dyb + i * n;
-        for (int64_t j = 0; j < n; ++j) dbrow[j] += av * dyrow[j];
-      }
-    }
-  }
-}
+using kernel::MatMulATRows;
+using kernel::MatMulBTRows;
+using kernel::MatMulRows;
 
 }  // namespace
 
@@ -437,14 +392,25 @@ Tensor Exp(const Tensor& x) {
                [](float, float y) { return y; });
 }
 
+// Backward denominators of Log and Sqrt are eps-clamped: the true
+// derivatives (1/x and 0.5/sqrt(x)) emit inf at x == 0, and one inf
+// poisons every parameter it touches through e.g. RevIN's Sqrt(var + eps)
+// path when eps underflows. Clamping trades the (already meaningless)
+// infinite slope at the domain boundary for a large-but-finite one.
+constexpr float kGradDenomEps = 1e-6f;
+
 Tensor Log(const Tensor& x) {
   return Unary(x, [](float v) { return std::log(v); },
-               [](float v, float) { return 1.0f / v; });
+               [](float v, float) {
+                 return 1.0f / std::max(v, kGradDenomEps);
+               });
 }
 
 Tensor Sqrt(const Tensor& x) {
   return Unary(x, [](float v) { return std::sqrt(v); },
-               [](float, float y) { return 0.5f / y; });
+               [](float, float y) {
+                 return 0.5f / std::max(y, kGradDenomEps);
+               });
 }
 
 Tensor Square(const Tensor& x) {
@@ -779,9 +745,18 @@ Tensor Softmax(const Tensor& x, int64_t dim) {
   const int64_t numel = x.numel();
   // Each (outer, inner) slice is independent, so slice-parallel shards
   // write disjoint elements and stay bit-identical across thread counts.
+  // The contiguous (inner == 1, i.e. last-dim) case — the only hot one —
+  // uses the vectorized row kernel; strided slices keep the scalar loop.
   ParallelFor(
       0, outer * inner, RowGrain(dsize * 4),
       [px, pout, inner, dsize, numel](int64_t t0, int64_t t1) {
+        if (inner == 1) {
+          DebugCheckFlatIndex(t1 * dsize - 1, numel);
+          for (int64_t t = t0; t < t1; ++t) {
+            kernel::SoftmaxRow(px + t * dsize, pout + t * dsize, dsize);
+          }
+          return;
+        }
         for (int64_t t = t0; t < t1; ++t) {
           const int64_t o = t / inner;
           const int64_t i = t % inner;
@@ -821,6 +796,13 @@ Tensor Softmax(const Tensor& x, int64_t dim) {
         ParallelFor(
             0, outer * inner, RowGrain(dsize * 4),
             [y, dy, pdx, inner, dsize](int64_t t0, int64_t t1) {
+              if (inner == 1) {
+                for (int64_t t = t0; t < t1; ++t) {
+                  kernel::SoftmaxBwdRow(y + t * dsize, dy + t * dsize,
+                                        pdx + t * dsize, dsize);
+                }
+                return;
+              }
               for (int64_t t = t0; t < t1; ++t) {
                 const int64_t o = t / inner;
                 const int64_t i = t % inner;
@@ -868,23 +850,9 @@ Tensor LayerNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
       0, rows, RowGrain(d_model * 4),
       [px, pg, pbeta, pout, pmu, pis, d_model, eps](int64_t r0, int64_t r1) {
         for (int64_t r = r0; r < r1; ++r) {
-          const float* row = px + r * d_model;
-          double sum = 0.0;
-          for (int64_t j = 0; j < d_model; ++j) sum += row[j];
-          const float m = static_cast<float>(sum / d_model);
-          double var = 0.0;
-          for (int64_t j = 0; j < d_model; ++j) {
-            const double diff = row[j] - m;
-            var += diff * diff;
-          }
-          const float is =
-              1.0f / std::sqrt(static_cast<float>(var / d_model) + eps);
-          pmu[r] = m;
-          pis[r] = is;
-          float* orow = pout + r * d_model;
-          for (int64_t j = 0; j < d_model; ++j) {
-            orow[j] = (row[j] - m) * is * pg[j] + pbeta[j];
-          }
+          kernel::LayerNormRow(px + r * d_model, pg, pbeta,
+                               pout + r * d_model, d_model, eps, pmu + r,
+                               pis + r);
         }
       });
   return MakeResult(
@@ -927,30 +895,10 @@ Tensor LayerNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
               float* dgamma_s = pdg + shard * d_model;
               float* dbeta_s = pdb + shard * d_model;
               for (int64_t r = r0; r < r1; ++r) {
-                const float* row = px2 + r * d_model;
-                const float* dyrow = dy + r * d_model;
-                const float m = pmu2[r];
-                const float is = pis2[r];
-                double sum_dxhat = 0.0;
-                double sum_dxhat_xhat = 0.0;
-                for (int64_t j = 0; j < d_model; ++j) {
-                  const float xhat = (row[j] - m) * is;
-                  const float dxhat = dyrow[j] * pg2[j];
-                  sum_dxhat += dxhat;
-                  sum_dxhat_xhat += static_cast<double>(dxhat) * xhat;
-                  dgamma_s[j] += dyrow[j] * xhat;
-                  dbeta_s[j] += dyrow[j];
-                }
-                float* dxrow = pdx + r * d_model;
-                const float inv_n = 1.0f / static_cast<float>(d_model);
-                for (int64_t j = 0; j < d_model; ++j) {
-                  const float xhat = (row[j] - m) * is;
-                  const float dxhat = dyrow[j] * pg2[j];
-                  dxrow[j] =
-                      is * (dxhat - inv_n * static_cast<float>(sum_dxhat) -
-                            xhat * inv_n *
-                                static_cast<float>(sum_dxhat_xhat));
-                }
+                kernel::LayerNormBwdRow(px2 + r * d_model, dy + r * d_model,
+                                        pg2, pmu2[r], pis2[r], d_model,
+                                        pdx + r * d_model, dgamma_s,
+                                        dbeta_s);
               }
             });
         std::vector<float> dgamma(static_cast<size_t>(d_model), 0.0f);
@@ -1217,6 +1165,21 @@ Tensor Clamp(const Tensor& x, float lo, float hi) {
   return Unary(
       x, [lo, hi](float v) { return std::min(hi, std::max(lo, v)); },
       [lo, hi](float v, float) { return v > lo && v < hi ? 1.0f : 0.0f; });
+}
+
+Tensor ClampAbsFloor(const Tensor& x, float floor) {
+  TIMEKD_CHECK_GT(floor, 0.0f);
+  return Unary(
+      x,
+      [floor](float v) {
+        if (v >= floor || v <= -floor) return v;
+        // Sign-preserving push away from zero; exact zero maps to +floor
+        // (matching a positively-initialized scale parameter).
+        return v < 0.0f ? -floor : floor;
+      },
+      [floor](float v, float) {
+        return v > floor || v < -floor ? 1.0f : 0.0f;
+      });
 }
 
 Tensor Pow(const Tensor& x, float p) {

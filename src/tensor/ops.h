@@ -81,6 +81,12 @@ Tensor Concat(const std::vector<Tensor>& xs, int64_t dim);
 /// Clamps values into [lo, hi]; gradient is passed through inside the
 /// interval and zero outside.
 Tensor Clamp(const Tensor& x, float lo, float hi);
+/// Sign-preserving divisor guard: values with |v| >= floor pass through,
+/// smaller magnitudes are pushed to ±floor (exact zero maps to +floor).
+/// Gradient is identity outside the floor and zero inside, like Clamp.
+/// This is the guard RevIn uses so a learned scale driven to ~0 cannot
+/// turn a denormalization into inf/NaN.
+Tensor ClampAbsFloor(const Tensor& x, float floor);
 /// Elementwise power with constant exponent; x must be positive when p is
 /// non-integral.
 Tensor Pow(const Tensor& x, float p);

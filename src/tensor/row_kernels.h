@@ -1,0 +1,359 @@
+#ifndef TIMEKD_TENSOR_ROW_KERNELS_H_
+#define TIMEKD_TENSOR_ROW_KERNELS_H_
+
+// Vectorized row kernels for the contiguous (last-dim) softmax and
+// layernorm passes, plus the dot/axpy primitives the fused attention path
+// in nn/attention.cc is built from.
+//
+// Same contract as matmul_kernel.h: every Avx2 variant has an
+// always-compiled *Scalar reference (the kernel-equivalence suite compares
+// the two), the unsuffixed names dispatch at compile time, and per-row
+// results are independent of shard layout so thread-count determinism is
+// preserved. Where the scalar kernels accumulate in double (softmax
+// denominator and backward dot, layernorm mean/variance and backward
+// sums), the vector paths accumulate in double lanes via
+// simd::AccumulateWide — the precision class matches, only the summation
+// order differs (tolerances in docs/performance.md).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "tensor/simd.h"
+
+namespace timekd::tensor::kernel {
+
+/// sum_i x[i] * y[i], single-precision FMA lanes with a horizontal sum.
+inline float DotScalar(const float* x, const float* y, int64_t n) {
+  float acc = 0.0f;
+  for (int64_t i = 0; i < n; ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+/// dst[i] += a * src[i].
+inline void AxpyScalar(float* dst, float a, const float* src, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) dst[i] += a * src[i];
+}
+
+/// In-place y = softmax(x) over one contiguous row. Matches the ops.cc
+/// semantics: max-subtracted, denominator accumulated in double, an
+/// all -inf row (denominator 0) maps to an all-zero output.
+inline void SoftmaxRowScalar(const float* x, float* y, int64_t n) {
+  float maxv = -std::numeric_limits<float>::infinity();
+  for (int64_t i = 0; i < n; ++i) maxv = std::max(maxv, x[i]);
+  double denom = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    const float e = std::exp(x[i] - maxv);
+    y[i] = e;
+    denom += e;
+  }
+  const float inv = denom > 0.0 ? static_cast<float>(1.0 / denom) : 0.0f;
+  for (int64_t i = 0; i < n; ++i) y[i] *= inv;
+}
+
+/// dx = y * (dy - sum(dy*y)) for one contiguous softmax row; the dot is
+/// accumulated in double like the ops.cc backward.
+inline void SoftmaxBwdRowScalar(const float* y, const float* dy, float* dx,
+                                int64_t n) {
+  double dot = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    dot += static_cast<double>(dy[i]) * y[i];
+  }
+  const float dot_f = static_cast<float>(dot);
+  for (int64_t i = 0; i < n; ++i) dx[i] = y[i] * (dy[i] - dot_f);
+}
+
+/// One layernorm row: writes the normalized+affine output and the cached
+/// (mu, inv_sigma) the backward pass reuses. Statistics in double.
+inline void LayerNormRowScalar(const float* row, const float* gamma,
+                               const float* beta, float* out, int64_t n,
+                               float eps, float* mu_out, float* is_out) {
+  double sum = 0.0;
+  for (int64_t j = 0; j < n; ++j) sum += row[j];
+  const float m = static_cast<float>(sum / n);
+  double var = 0.0;
+  for (int64_t j = 0; j < n; ++j) {
+    const double diff = row[j] - m;
+    var += diff * diff;
+  }
+  const float is = 1.0f / std::sqrt(static_cast<float>(var / n) + eps);
+  *mu_out = m;
+  *is_out = is;
+  for (int64_t j = 0; j < n; ++j) {
+    out[j] = (row[j] - m) * is * gamma[j] + beta[j];
+  }
+}
+
+/// One layernorm backward row: writes dxrow and accumulates this row's
+/// dgamma/dbeta contributions into the caller's per-shard partials.
+inline void LayerNormBwdRowScalar(const float* row, const float* dyrow,
+                                  const float* gamma, float m, float is,
+                                  int64_t n, float* dxrow, float* dgamma_s,
+                                  float* dbeta_s) {
+  double sum_dxhat = 0.0;
+  double sum_dxhat_xhat = 0.0;
+  for (int64_t j = 0; j < n; ++j) {
+    const float xhat = (row[j] - m) * is;
+    const float dxhat = dyrow[j] * gamma[j];
+    sum_dxhat += dxhat;
+    sum_dxhat_xhat += static_cast<double>(dxhat) * xhat;
+    dgamma_s[j] += dyrow[j] * xhat;
+    dbeta_s[j] += dyrow[j];
+  }
+  const float inv_n = 1.0f / static_cast<float>(n);
+  const float s1 = static_cast<float>(sum_dxhat);
+  const float s2 = static_cast<float>(sum_dxhat_xhat);
+  for (int64_t j = 0; j < n; ++j) {
+    const float xhat = (row[j] - m) * is;
+    const float dxhat = dyrow[j] * gamma[j];
+    dxrow[j] = is * (dxhat - inv_n * s1 - xhat * inv_n * s2);
+  }
+}
+
+#if TIMEKD_SIMD_AVX2
+
+inline float DotAvx2(const float* x, const float* y, int64_t n) {
+  const int64_t n8 = n & ~int64_t{7};
+  __m256 acc = _mm256_setzero_ps();
+  for (int64_t i = 0; i < n8; i += 8) {
+    acc = _mm256_fmadd_ps(_mm256_loadu_ps(x + i), _mm256_loadu_ps(y + i),
+                          acc);
+  }
+  float s = simd::HSum(acc);
+  for (int64_t i = n8; i < n; ++i) s += x[i] * y[i];
+  return s;
+}
+
+inline void AxpyAvx2(float* dst, float a, const float* src, int64_t n) {
+  const int64_t n8 = n & ~int64_t{7};
+  const __m256 av = _mm256_set1_ps(a);
+  for (int64_t i = 0; i < n8; i += 8) {
+    _mm256_storeu_ps(dst + i,
+                     _mm256_fmadd_ps(av, _mm256_loadu_ps(src + i),
+                                     _mm256_loadu_ps(dst + i)));
+  }
+  for (int64_t i = n8; i < n; ++i) dst[i] += a * src[i];
+}
+
+inline void SoftmaxRowAvx2(const float* x, float* y, int64_t n) {
+  const int64_t n8 = n & ~int64_t{7};
+  float maxv = -std::numeric_limits<float>::infinity();
+  if (n8 > 0) {
+    __m256 mv = _mm256_loadu_ps(x);
+    for (int64_t i = 8; i < n8; i += 8) {
+      mv = _mm256_max_ps(mv, _mm256_loadu_ps(x + i));
+    }
+    maxv = simd::HMax(mv);
+  }
+  for (int64_t i = n8; i < n; ++i) maxv = std::max(maxv, x[i]);
+
+  const __m256 maxb = _mm256_set1_ps(maxv);
+  __m256d acc_lo = _mm256_setzero_pd();
+  __m256d acc_hi = _mm256_setzero_pd();
+  for (int64_t i = 0; i < n8; i += 8) {
+    const __m256 e = simd::Expf8(_mm256_sub_ps(_mm256_loadu_ps(x + i), maxb));
+    _mm256_storeu_ps(y + i, e);
+    simd::AccumulateWide(e, &acc_lo, &acc_hi);
+  }
+  double denom = simd::HSum(_mm256_add_pd(acc_lo, acc_hi));
+  for (int64_t i = n8; i < n; ++i) {
+    const float e = std::exp(x[i] - maxv);
+    y[i] = e;
+    denom += e;
+  }
+  const float inv = denom > 0.0 ? static_cast<float>(1.0 / denom) : 0.0f;
+  const __m256 invb = _mm256_set1_ps(inv);
+  for (int64_t i = 0; i < n8; i += 8) {
+    _mm256_storeu_ps(y + i, _mm256_mul_ps(_mm256_loadu_ps(y + i), invb));
+  }
+  for (int64_t i = n8; i < n; ++i) y[i] *= inv;
+}
+
+inline void SoftmaxBwdRowAvx2(const float* y, const float* dy, float* dx,
+                              int64_t n) {
+  const int64_t n8 = n & ~int64_t{7};
+  __m256d acc_lo = _mm256_setzero_pd();
+  __m256d acc_hi = _mm256_setzero_pd();
+  for (int64_t i = 0; i < n8; i += 8) {
+    const __m256 prod =
+        _mm256_mul_ps(_mm256_loadu_ps(dy + i), _mm256_loadu_ps(y + i));
+    simd::AccumulateWide(prod, &acc_lo, &acc_hi);
+  }
+  double dot = simd::HSum(_mm256_add_pd(acc_lo, acc_hi));
+  for (int64_t i = n8; i < n; ++i) {
+    dot += static_cast<double>(dy[i]) * y[i];
+  }
+  const float dot_f = static_cast<float>(dot);
+  const __m256 dotb = _mm256_set1_ps(dot_f);
+  for (int64_t i = 0; i < n8; i += 8) {
+    _mm256_storeu_ps(dx + i,
+                     _mm256_mul_ps(_mm256_loadu_ps(y + i),
+                                   _mm256_sub_ps(_mm256_loadu_ps(dy + i),
+                                                 dotb)));
+  }
+  for (int64_t i = n8; i < n; ++i) dx[i] = y[i] * (dy[i] - dot_f);
+}
+
+inline void LayerNormRowAvx2(const float* row, const float* gamma,
+                             const float* beta, float* out, int64_t n,
+                             float eps, float* mu_out, float* is_out) {
+  const int64_t n8 = n & ~int64_t{7};
+  __m256d acc_lo = _mm256_setzero_pd();
+  __m256d acc_hi = _mm256_setzero_pd();
+  for (int64_t i = 0; i < n8; i += 8) {
+    simd::AccumulateWide(_mm256_loadu_ps(row + i), &acc_lo, &acc_hi);
+  }
+  double sum = simd::HSum(_mm256_add_pd(acc_lo, acc_hi));
+  for (int64_t i = n8; i < n; ++i) sum += row[i];
+  const float m = static_cast<float>(sum / n);
+
+  const __m256d md = _mm256_set1_pd(static_cast<double>(m));
+  __m256d var_lo = _mm256_setzero_pd();
+  __m256d var_hi = _mm256_setzero_pd();
+  for (int64_t i = 0; i < n8; i += 8) {
+    const __m256 v = _mm256_loadu_ps(row + i);
+    const __m256d lo =
+        _mm256_sub_pd(_mm256_cvtps_pd(_mm256_castps256_ps128(v)), md);
+    const __m256d hi =
+        _mm256_sub_pd(_mm256_cvtps_pd(_mm256_extractf128_ps(v, 1)), md);
+    var_lo = _mm256_fmadd_pd(lo, lo, var_lo);
+    var_hi = _mm256_fmadd_pd(hi, hi, var_hi);
+  }
+  double var = simd::HSum(_mm256_add_pd(var_lo, var_hi));
+  for (int64_t i = n8; i < n; ++i) {
+    const double diff = row[i] - m;
+    var += diff * diff;
+  }
+  const float is = 1.0f / std::sqrt(static_cast<float>(var / n) + eps);
+  *mu_out = m;
+  *is_out = is;
+
+  const __m256 mb = _mm256_set1_ps(m);
+  const __m256 isb = _mm256_set1_ps(is);
+  for (int64_t i = 0; i < n8; i += 8) {
+    const __m256 xhat =
+        _mm256_mul_ps(_mm256_sub_ps(_mm256_loadu_ps(row + i), mb), isb);
+    _mm256_storeu_ps(out + i,
+                     _mm256_fmadd_ps(xhat, _mm256_loadu_ps(gamma + i),
+                                     _mm256_loadu_ps(beta + i)));
+  }
+  for (int64_t i = n8; i < n; ++i) {
+    out[i] = (row[i] - m) * is * gamma[i] + beta[i];
+  }
+}
+
+inline void LayerNormBwdRowAvx2(const float* row, const float* dyrow,
+                                const float* gamma, float m, float is,
+                                int64_t n, float* dxrow, float* dgamma_s,
+                                float* dbeta_s) {
+  const int64_t n8 = n & ~int64_t{7};
+  const __m256 mb = _mm256_set1_ps(m);
+  const __m256 isb = _mm256_set1_ps(is);
+  __m256d s1_lo = _mm256_setzero_pd();
+  __m256d s1_hi = _mm256_setzero_pd();
+  __m256d s2_lo = _mm256_setzero_pd();
+  __m256d s2_hi = _mm256_setzero_pd();
+  for (int64_t j = 0; j < n8; j += 8) {
+    const __m256 dyv = _mm256_loadu_ps(dyrow + j);
+    const __m256 xhat =
+        _mm256_mul_ps(_mm256_sub_ps(_mm256_loadu_ps(row + j), mb), isb);
+    const __m256 dxhat = _mm256_mul_ps(dyv, _mm256_loadu_ps(gamma + j));
+    simd::AccumulateWide(dxhat, &s1_lo, &s1_hi);
+    simd::AccumulateWide(_mm256_mul_ps(dxhat, xhat), &s2_lo, &s2_hi);
+    _mm256_storeu_ps(dgamma_s + j,
+                     _mm256_fmadd_ps(dyv, xhat,
+                                     _mm256_loadu_ps(dgamma_s + j)));
+    _mm256_storeu_ps(dbeta_s + j,
+                     _mm256_add_ps(dyv, _mm256_loadu_ps(dbeta_s + j)));
+  }
+  double sum_dxhat = simd::HSum(_mm256_add_pd(s1_lo, s1_hi));
+  double sum_dxhat_xhat = simd::HSum(_mm256_add_pd(s2_lo, s2_hi));
+  for (int64_t j = n8; j < n; ++j) {
+    const float xhat = (row[j] - m) * is;
+    const float dxhat = dyrow[j] * gamma[j];
+    sum_dxhat += dxhat;
+    sum_dxhat_xhat += static_cast<double>(dxhat) * xhat;
+    dgamma_s[j] += dyrow[j] * xhat;
+    dbeta_s[j] += dyrow[j];
+  }
+  const float inv_n = 1.0f / static_cast<float>(n);
+  const float s1 = static_cast<float>(sum_dxhat);
+  const float s2 = static_cast<float>(sum_dxhat_xhat);
+  const __m256 c1 = _mm256_set1_ps(inv_n * s1);
+  const __m256 c2 = _mm256_set1_ps(inv_n * s2);
+  for (int64_t j = 0; j < n8; j += 8) {
+    const __m256 xhat =
+        _mm256_mul_ps(_mm256_sub_ps(_mm256_loadu_ps(row + j), mb), isb);
+    const __m256 dxhat =
+        _mm256_mul_ps(_mm256_loadu_ps(dyrow + j), _mm256_loadu_ps(gamma + j));
+    const __m256 t =
+        _mm256_sub_ps(_mm256_sub_ps(dxhat, c1), _mm256_mul_ps(xhat, c2));
+    _mm256_storeu_ps(dxrow + j, _mm256_mul_ps(isb, t));
+  }
+  for (int64_t j = n8; j < n; ++j) {
+    const float xhat = (row[j] - m) * is;
+    const float dxhat = dyrow[j] * gamma[j];
+    dxrow[j] = is * (dxhat - inv_n * s1 - xhat * inv_n * s2);
+  }
+}
+
+#endif  // TIMEKD_SIMD_AVX2
+
+inline float Dot(const float* x, const float* y, int64_t n) {
+#if TIMEKD_SIMD_AVX2
+  return DotAvx2(x, y, n);
+#else
+  return DotScalar(x, y, n);
+#endif
+}
+
+inline void Axpy(float* dst, float a, const float* src, int64_t n) {
+#if TIMEKD_SIMD_AVX2
+  AxpyAvx2(dst, a, src, n);
+#else
+  AxpyScalar(dst, a, src, n);
+#endif
+}
+
+inline void SoftmaxRow(const float* x, float* y, int64_t n) {
+#if TIMEKD_SIMD_AVX2
+  SoftmaxRowAvx2(x, y, n);
+#else
+  SoftmaxRowScalar(x, y, n);
+#endif
+}
+
+inline void SoftmaxBwdRow(const float* y, const float* dy, float* dx,
+                          int64_t n) {
+#if TIMEKD_SIMD_AVX2
+  SoftmaxBwdRowAvx2(y, dy, dx, n);
+#else
+  SoftmaxBwdRowScalar(y, dy, dx, n);
+#endif
+}
+
+inline void LayerNormRow(const float* row, const float* gamma,
+                         const float* beta, float* out, int64_t n, float eps,
+                         float* mu_out, float* is_out) {
+#if TIMEKD_SIMD_AVX2
+  LayerNormRowAvx2(row, gamma, beta, out, n, eps, mu_out, is_out);
+#else
+  LayerNormRowScalar(row, gamma, beta, out, n, eps, mu_out, is_out);
+#endif
+}
+
+inline void LayerNormBwdRow(const float* row, const float* dyrow,
+                            const float* gamma, float m, float is, int64_t n,
+                            float* dxrow, float* dgamma_s, float* dbeta_s) {
+#if TIMEKD_SIMD_AVX2
+  LayerNormBwdRowAvx2(row, dyrow, gamma, m, is, n, dxrow, dgamma_s, dbeta_s);
+#else
+  LayerNormBwdRowScalar(row, dyrow, gamma, m, is, n, dxrow, dgamma_s,
+                        dbeta_s);
+#endif
+}
+
+}  // namespace timekd::tensor::kernel
+
+#endif  // TIMEKD_TENSOR_ROW_KERNELS_H_

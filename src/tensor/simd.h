@@ -1,0 +1,117 @@
+#ifndef TIMEKD_TENSOR_SIMD_H_
+#define TIMEKD_TENSOR_SIMD_H_
+
+// ISA selection for the explicitly vectorized kernel paths.
+//
+// The AVX2 paths are compiled in only when the target ISA provides both
+// AVX2 and FMA (the default build uses -march=native, so this tracks the
+// build machine) AND the build did not opt out via -DTIMEKD_SIMD_DISABLE
+// (CMake: -DTIMEKD_SIMD=OFF). Every vectorized kernel in this tree has a
+// scalar fallback compiled unconditionally — the scalar versions are the
+// reference implementations the kernel-equivalence suite compares against,
+// and the only implementations on non-x86 targets.
+//
+// Numerical contract: the vectorized kernels are *equivalent* to their
+// scalar references within documented ulp tolerances (see
+// docs/performance.md), not bit-identical — lane-split accumulation and
+// the polynomial Expf8 change rounding. What stays bit-exact is
+// thread-count determinism: for a fixed build, per-element results do not
+// depend on TIMEKD_NUM_THREADS or shard layout.
+
+#if !defined(TIMEKD_SIMD_DISABLE) && defined(__AVX2__) && defined(__FMA__)
+#define TIMEKD_SIMD_AVX2 1
+#include <immintrin.h>
+#else
+#define TIMEKD_SIMD_AVX2 0
+#endif
+
+#include <cmath>
+#include <cstdint>
+
+namespace timekd::tensor::simd {
+
+inline constexpr bool kAvx2Enabled = TIMEKD_SIMD_AVX2 != 0;
+
+#if TIMEKD_SIMD_AVX2
+
+/// Horizontal sum of all 8 float lanes.
+inline float HSum(__m256 v) {
+  const __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  __m128 s = _mm_add_ps(lo, hi);
+  s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+  s = _mm_add_ss(s, _mm_movehdup_ps(s));
+  return _mm_cvtss_f32(s);
+}
+
+/// Horizontal max of all 8 float lanes.
+inline float HMax(__m256 v) {
+  const __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  __m128 s = _mm_max_ps(lo, hi);
+  s = _mm_max_ps(s, _mm_movehl_ps(s, s));
+  s = _mm_max_ss(s, _mm_movehdup_ps(s));
+  return _mm_cvtss_f32(s);
+}
+
+/// Horizontal sum of all 4 double lanes.
+inline double HSum(__m256d v) {
+  const __m128d lo = _mm256_castpd256_pd128(v);
+  const __m128d hi = _mm256_extractf128_pd(v, 1);
+  __m128d s = _mm_add_pd(lo, hi);
+  s = _mm_add_sd(s, _mm_unpackhi_pd(s, s));
+  return _mm_cvtsd_f64(s);
+}
+
+/// Widens 8 floats to 2x4 doubles and accumulates into the running
+/// double-precision lanes. Used where the scalar kernels accumulate in
+/// double (softmax denominators, layernorm statistics) so the vector
+/// path keeps the same precision class, just a different summation order.
+inline void AccumulateWide(__m256 v, __m256d* acc_lo, __m256d* acc_hi) {
+  *acc_lo = _mm256_add_pd(*acc_lo, _mm256_cvtps_pd(_mm256_castps256_ps128(v)));
+  *acc_hi = _mm256_add_pd(*acc_hi, _mm256_cvtps_pd(_mm256_extractf128_ps(v, 1)));
+}
+
+/// Vectorized expf over 8 lanes: Cephes-style range reduction with a
+/// degree-5 polynomial on the reduced argument, accurate to ~2 ulp over
+/// the clamped range. Out-of-range inputs saturate exactly like a
+/// clamped std::exp (0 for very negative, finite max for very positive);
+/// NaN lanes propagate NaN.
+inline __m256 Expf8(__m256 x) {
+  const __m256 hi = _mm256_set1_ps(88.3762626647949f);
+  const __m256 lo = _mm256_set1_ps(-88.3762626647949f);
+  // max/min return the second operand for NaN lanes, so NaN inputs are
+  // clamped here and re-blended back in at the end.
+  __m256 xx = _mm256_min_ps(_mm256_max_ps(x, lo), hi);
+
+  // n = round(x / ln 2); reduced r = x - n*ln2 split into hi/lo parts.
+  const __m256 log2e = _mm256_set1_ps(1.44269504088896341f);
+  __m256 fx = _mm256_fmadd_ps(xx, log2e, _mm256_set1_ps(0.5f));
+  fx = _mm256_floor_ps(fx);
+  __m256 r = _mm256_fnmadd_ps(fx, _mm256_set1_ps(0.693359375f), xx);
+  r = _mm256_fnmadd_ps(fx, _mm256_set1_ps(-2.12194440e-4f), r);
+
+  const __m256 r2 = _mm256_mul_ps(r, r);
+  __m256 p = _mm256_set1_ps(1.9875691500e-4f);
+  p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(1.3981999507e-3f));
+  p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(8.3334519073e-3f));
+  p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(4.1665795894e-2f));
+  p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(1.6666665459e-1f));
+  p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(5.0000001201e-1f));
+  p = _mm256_fmadd_ps(p, r2, _mm256_add_ps(r, _mm256_set1_ps(1.0f)));
+
+  // Scale by 2^n through the exponent bits.
+  __m256i n = _mm256_cvttps_epi32(fx);
+  n = _mm256_add_epi32(n, _mm256_set1_epi32(0x7f));
+  n = _mm256_slli_epi32(n, 23);
+  __m256 result = _mm256_mul_ps(p, _mm256_castsi256_ps(n));
+
+  const __m256 nan_mask = _mm256_cmp_ps(x, x, _CMP_UNORD_Q);
+  return _mm256_blendv_ps(result, x, nan_mask);
+}
+
+#endif  // TIMEKD_SIMD_AVX2
+
+}  // namespace timekd::tensor::simd
+
+#endif  // TIMEKD_TENSOR_SIMD_H_

@@ -3,6 +3,16 @@
 // backward gradients must match byte-for-byte for TIMEKD_NUM_THREADS in
 // {1, 2, 8}. Sizes are chosen large enough that the ranges actually split
 // into multiple shards (see RowGrain in src/tensor/ops.cc).
+//
+// Contract after the SIMD kernels (src/tensor/matmul_kernel.h,
+// row_kernels.h): bit-identity ACROSS THREAD COUNTS still holds, because
+// every kernel fixes each output element's accumulation order as a
+// function of the element alone — never of the shard layout (forward
+// matmul ascends p; the transposed contractions keep the batch reduction
+// serial inside the owning row; the row kernels own whole rows). What is
+// deliberately NOT bit-identical is SIMD vs the scalar reference — lane
+// reductions reassociate — and that relationship is checked with
+// documented tolerances in kernel_equivalence_test.cc, not here.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -139,6 +149,27 @@ TEST(DeterminismTest, AttentionForwardBackward) {
     std::vector<std::vector<float>> out{TensorBytes(y)};
     for (const Tensor& p : attn.Parameters()) out.push_back(p.grad());
     return out;
+  });
+}
+
+TEST(DeterminismTest, FusedEvalAttentionForward) {
+  // The fused eval-path kernel parallelizes over (batch, query-row) with
+  // every output row owned by exactly one task and heads reduced serially
+  // inside it, so its context and head-averaged map must stay
+  // byte-identical across thread counts too. Sq is large enough that the
+  // row range splits into several shards even at the SIMD grain.
+  const int64_t d_model = 32;
+  const std::vector<float> vx = RandVec(2 * 96 * d_model, 71);
+  ExpectBitIdenticalAcrossThreadCounts([&] {
+    Rng rng(9);  // fixed seed: identical weights on every construction
+    nn::MultiHeadAttention attn(d_model, /*num_heads=*/4, /*dropout=*/0.0f,
+                                &rng, /*use_rope=*/true);
+    attn.SetTraining(false);
+    tensor::NoGradGuard no_grad;
+    Tensor x = Tensor::FromVector({2, 96, d_model}, vx);
+    Tensor y = attn.SelfForward(x, Tensor());
+    return std::vector<std::vector<float>>{
+        TensorBytes(y), TensorBytes(attn.last_attention())};
   });
 }
 

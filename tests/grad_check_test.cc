@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <string>
 #include <vector>
 
@@ -77,8 +78,30 @@ std::vector<OpCase> MakeCases() {
                    /*lo=*/-1.0f, /*hi=*/1.0f});
   cases.push_back({"log", un([](auto& x) { return Log(x); }), {{6}},
                    /*lo=*/0.5f, /*hi=*/3.0f});
+  // Near-zero coverage: inputs small enough to be interesting but still well
+  // above kGradDenomEps, so the analytic 1/v and 0.5/sqrt(v) rules remain
+  // exact and finite differences stay stable at the 1e-3 probe step.
+  cases.push_back({"log_near_zero", un([](auto& x) { return Log(x); }), {{6}},
+                   /*lo=*/0.05f, /*hi=*/0.4f});
   cases.push_back({"sqrt", un([](auto& x) { return Sqrt(x); }), {{6}},
                    /*lo=*/0.5f, /*hi=*/3.0f});
+  cases.push_back({"sqrt_near_zero", un([](auto& x) { return Sqrt(x); }),
+                   {{6}},
+                   /*lo=*/0.05f, /*hi=*/0.4f});
+  // ClampAbsFloor gradient: identity well outside the floor (both signs),
+  // zero when the whole probe neighbourhood is inside it.
+  cases.push_back({"clamp_abs_floor_outside",
+                   un([](auto& x) { return ClampAbsFloor(x, 0.25f); }),
+                   {{6}},
+                   /*lo=*/0.5f, /*hi=*/2.0f});
+  cases.push_back({"clamp_abs_floor_negative",
+                   un([](auto& x) { return ClampAbsFloor(x, 0.25f); }),
+                   {{6}},
+                   /*lo=*/-2.0f, /*hi=*/-0.5f});
+  cases.push_back({"clamp_abs_floor_inside",
+                   un([](auto& x) { return ClampAbsFloor(x, 0.25f); }),
+                   {{6}},
+                   /*lo=*/-0.1f, /*hi=*/0.1f});
   cases.push_back({"square", un([](auto& x) { return Square(x); }), {{6}}});
   cases.push_back({"transpose",
                    un([](auto& x) { return Transpose(x, 0, 2); }),
@@ -168,6 +191,32 @@ INSTANTIATE_TEST_SUITE_P(AllOps, GradCheckSuite,
                          [](const ::testing::TestParamInfo<OpCase>& info) {
                            return info.param.name;
                          });
+
+// Regression tests for the eps-clamped backward denominators: before the
+// guard, Sqrt's backward rule (0.5/y) and Log's (1/v) divided by exactly
+// zero for a zero input and poisoned the whole gradient with inf — which
+// then turned into NaN at the first inf*0 in an upstream chain rule. These
+// fail on the unguarded rules.
+TEST(GradDenomGuard, SqrtBackwardFiniteAtAndNearZero) {
+  Tensor x =
+      Tensor::FromVector({3}, {0.0f, 1e-8f, 4.0f}).set_requires_grad(true);
+  Sum(Sqrt(x)).Backward();
+  for (int64_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(std::isfinite(x.grad()[i])) << "grad[" << i << "]";
+  }
+  // Far from the clamp the rule is untouched: d/dx sqrt(x) = 0.5/sqrt(4).
+  EXPECT_FLOAT_EQ(x.grad()[2], 0.25f);
+}
+
+TEST(GradDenomGuard, LogBackwardFiniteAtAndNearZero) {
+  Tensor x =
+      Tensor::FromVector({3}, {0.0f, 1e-8f, 2.0f}).set_requires_grad(true);
+  Sum(Log(x)).Backward();
+  for (int64_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(std::isfinite(x.grad()[i])) << "grad[" << i << "]";
+  }
+  EXPECT_FLOAT_EQ(x.grad()[2], 0.5f);
+}
 
 TEST(GradCheckUtility, DetectsWrongGradient) {
   // A deliberately wrong "gradient": treat x as constant in backward by

@@ -1,0 +1,366 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/attention.h"
+#include "obs/metrics.h"
+#include "tensor/matmul_kernel.h"
+#include "tensor/ops.h"
+#include "tensor/row_kernels.h"
+#include "tensor/simd.h"
+#include "tensor/tensor.h"
+
+namespace timekd::tensor {
+namespace {
+
+using timekd::Rng;
+
+/// Equivalence contract between the dispatched (possibly SIMD) kernels and
+/// the always-compiled scalar references (docs/performance.md):
+///
+///  * The SIMD paths reassociate reductions (8-wide lane sums folded by
+///    horizontal adds, double-precision lane pairs) and use a polynomial
+///    exp, so results are *numerically equivalent*, not bit-identical, to
+///    the scalar kernels. The bound used here is
+///        |simd - scalar| <= atol + rtol * |scalar|
+///    with rtol = 1e-5 (about 85 float ulps — generous room for a
+///    reduction over k <= 300 terms, where worst-case reassociation error
+///    grows with the term count) and atol = 1e-5 (absorbs cancellation
+///    around zero, where relative error is meaningless).
+///  * When SIMD is compiled out (TIMEKD_SIMD=OFF or non-AVX2 target) the
+///    dispatched kernel IS the scalar reference and the comparison is
+///    exact; the suite still runs so the scalar fallback stays covered by
+///    the same shapes and edge cases.
+///
+/// The suite runs under the default, asan-ubsan and tsan presets
+/// (tools/check.sh), so lane loads/stores on the ragged tails are also
+/// memory-checked.
+constexpr float kRtol = 1e-5f;
+constexpr float kAtol = 1e-5f;
+
+void ExpectClose(const std::vector<float>& got, const std::vector<float>& want,
+                 const std::string& what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  for (size_t i = 0; i < got.size(); ++i) {
+    const float tol = kAtol + kRtol * std::fabs(want[i]);
+    EXPECT_NEAR(got[i], want[i], tol) << what << " element " << i;
+  }
+}
+
+std::vector<float> RandVec(int64_t n, Rng& rng, float lo = -1.0f,
+                           float hi = 1.0f) {
+  std::vector<float> v(static_cast<size_t>(n));
+  for (auto& x : v) x = static_cast<float>(rng.Uniform(lo, hi));
+  return v;
+}
+
+/// --- Matmul forward + both backward contractions -------------------------
+
+struct MatMulShape {
+  int64_t nbatch, m, k, n;
+  bool a_batched, b_batched;
+};
+
+std::vector<MatMulShape> MatMulShapes() {
+  return {
+      // Degenerate single-lattice-point and unit dims.
+      {1, 1, 1, 1, false, false},
+      {1, 1, 7, 1, false, false},
+      {1, 5, 1, 9, false, false},
+      // Exact register-tile multiples (kMr=4, kNr=16).
+      {1, 4, 16, 16, false, false},
+      {1, 8, 32, 64, false, false},
+      // Ragged everything: row tail (m % 4), column tail (n % 16 and n % 8),
+      // and a k just over the kKc=256 panel boundary.
+      {1, 5, 17, 33, false, false},
+      {1, 7, 257, 31, false, false},
+      {1, 3, 300, 23, false, false},
+      // Power-of-two B row stride (the L1-aliasing case packing exists for).
+      {1, 6, 64, 128, false, false},
+      // Batched combinations, including one-sided broadcast.
+      {2, 3, 9, 5, true, true},
+      {3, 4, 16, 16, true, false},
+      {2, 5, 33, 17, false, true},
+      {2, 1, 40, 1, true, true},
+  };
+}
+
+TEST(MatMulKernelEquivalence, ForwardMatchesScalarReference) {
+  Rng rng(101);
+  for (const auto& s : MatMulShapes()) {
+    const int64_t rows = s.nbatch * s.m;
+    std::vector<float> a =
+        RandVec((s.a_batched ? s.nbatch : 1) * s.m * s.k, rng);
+    std::vector<float> b =
+        RandVec((s.b_batched ? s.nbatch : 1) * s.k * s.n, rng);
+    // Sprinkle exact zeros into A: the scalar kernel skips them, the SIMD
+    // kernel multiplies through — for finite inputs both give the same sum.
+    for (size_t i = 0; i < a.size(); i += 5) a[i] = 0.0f;
+    std::vector<float> c_simd(static_cast<size_t>(rows * s.n), 0.0f);
+    std::vector<float> c_ref = c_simd;
+    kernel::MatMulRows(a.data(), b.data(), c_simd.data(), 0, rows, s.m, s.k,
+                       s.n, s.a_batched, s.b_batched);
+    kernel::MatMulRowsScalar(a.data(), b.data(), c_ref.data(), 0, rows, s.m,
+                             s.k, s.n, s.a_batched, s.b_batched);
+    ExpectClose(c_simd, c_ref,
+                "forward " + std::to_string(s.m) + "x" + std::to_string(s.k) +
+                    "x" + std::to_string(s.n));
+  }
+}
+
+TEST(MatMulKernelEquivalence, BackwardATransposeMatchesScalarReference) {
+  Rng rng(102);
+  for (const auto& s : MatMulShapes()) {
+    const int64_t da_rows = (s.a_batched ? s.nbatch : 1) * s.m;
+    std::vector<float> dy = RandVec(s.nbatch * s.m * s.n, rng);
+    std::vector<float> b =
+        RandVec((s.b_batched ? s.nbatch : 1) * s.k * s.n, rng);
+    // Accumulating (+=) contract: start from a nonzero dA.
+    std::vector<float> da_simd = RandVec(da_rows * s.k, rng);
+    std::vector<float> da_ref = da_simd;
+    kernel::MatMulBTRows(dy.data(), b.data(), da_simd.data(), 0, da_rows, s.m,
+                         s.k, s.n, s.nbatch, s.a_batched, s.b_batched);
+    kernel::MatMulBTRowsScalar(dy.data(), b.data(), da_ref.data(), 0, da_rows,
+                               s.m, s.k, s.n, s.nbatch, s.a_batched,
+                               s.b_batched);
+    ExpectClose(da_simd, da_ref, "dA");
+  }
+}
+
+TEST(MatMulKernelEquivalence, BackwardBTransposeMatchesScalarReference) {
+  Rng rng(103);
+  for (const auto& s : MatMulShapes()) {
+    const int64_t db_rows = (s.b_batched ? s.nbatch : 1) * s.k;
+    std::vector<float> a =
+        RandVec((s.a_batched ? s.nbatch : 1) * s.m * s.k, rng);
+    for (size_t i = 0; i < a.size(); i += 7) a[i] = 0.0f;
+    std::vector<float> dy = RandVec(s.nbatch * s.m * s.n, rng);
+    std::vector<float> db_simd = RandVec(db_rows * s.n, rng);
+    std::vector<float> db_ref = db_simd;
+    kernel::MatMulATRows(a.data(), dy.data(), db_simd.data(), 0, db_rows, s.m,
+                         s.k, s.n, s.nbatch, s.a_batched, s.b_batched);
+    kernel::MatMulATRowsScalar(a.data(), dy.data(), db_ref.data(), 0, db_rows,
+                               s.m, s.k, s.n, s.nbatch, s.a_batched,
+                               s.b_batched);
+    ExpectClose(db_simd, db_ref, "dB");
+  }
+}
+
+TEST(MatMulKernelEquivalence, PartialAndEmptyRowRanges) {
+  Rng rng(104);
+  const int64_t m = 9, k = 37, n = 21;
+  std::vector<float> a = RandVec(m * k, rng);
+  std::vector<float> b = RandVec(k * n, rng);
+  // Interior shard [2, 7): rows outside the shard must be untouched.
+  std::vector<float> c = RandVec(m * n, rng);
+  std::vector<float> c_before = c;
+  std::vector<float> c_ref = c;
+  kernel::MatMulRows(a.data(), b.data(), c.data(), 2, 7, m, k, n, false,
+                     false);
+  kernel::MatMulRowsScalar(a.data(), b.data(), c_ref.data(), 2, 7, m, k, n,
+                           false, false);
+  ExpectClose(c, c_ref, "interior shard");
+  for (int64_t r = 0; r < m; ++r) {
+    if (r >= 2 && r < 7) continue;
+    for (int64_t j = 0; j < n; ++j) {
+      EXPECT_EQ(c[r * n + j], c_before[r * n + j])
+          << "row " << r << " outside shard was written";
+    }
+  }
+  // Empty range: a no-op on every path.
+  std::vector<float> c_empty = c_before;
+  kernel::MatMulRows(a.data(), b.data(), c_empty.data(), 4, 4, m, k, n, false,
+                     false);
+  EXPECT_EQ(c_empty, c_before);
+  kernel::MatMulBTRows(a.data(), b.data(), c_empty.data(), 4, 4, m, k, n, 1,
+                       false, false);
+  kernel::MatMulATRows(a.data(), b.data(), c_empty.data(), 4, 4, m, k, n, 1,
+                       false, false);
+  EXPECT_EQ(c_empty, c_before);
+}
+
+/// --- Row kernels: dot/axpy/softmax/layernorm ------------------------------
+
+// Lengths straddling every lane boundary the AVX2 paths care about:
+// sub-lane, exactly one lane, lane+1, two lanes, ragged, and long.
+const int64_t kRowLengths[] = {1, 3, 7, 8, 9, 15, 16, 17, 64, 255, 257};
+
+TEST(RowKernelEquivalence, DotAndAxpy) {
+  Rng rng(201);
+  for (int64_t n : kRowLengths) {
+    std::vector<float> x = RandVec(n, rng), y = RandVec(n, rng);
+    const float want = kernel::DotScalar(x.data(), y.data(), n);
+    const float got = kernel::Dot(x.data(), y.data(), n);
+    EXPECT_NEAR(got, want, kAtol + kRtol * std::fabs(want)) << "dot n=" << n;
+
+    std::vector<float> d_simd = RandVec(n, rng);
+    std::vector<float> d_ref = d_simd;
+    kernel::Axpy(d_simd.data(), 0.37f, x.data(), n);
+    kernel::AxpyScalar(d_ref.data(), 0.37f, x.data(), n);
+    ExpectClose(d_simd, d_ref, "axpy n=" + std::to_string(n));
+  }
+}
+
+TEST(RowKernelEquivalence, SoftmaxForwardAndBackward) {
+  Rng rng(202);
+  for (int64_t n : kRowLengths) {
+    // Mix moderate logits with -1e9 "masked" entries — the shape attention
+    // actually feeds this kernel — plus an all-masked-but-one row.
+    std::vector<std::vector<float>> rows;
+    rows.push_back(RandVec(n, rng, -4.0f, 4.0f));
+    auto masked = RandVec(n, rng, -2.0f, 2.0f);
+    for (int64_t j = 0; j < n; j += 2) masked[j] = -1e9f;
+    rows.push_back(masked);
+    std::vector<float> onehot(n, -1e9f);
+    onehot[n / 2] = 0.5f;
+    rows.push_back(onehot);
+    rows.emplace_back(n, 1.25f);  // all-equal: exactly uniform output
+    for (const auto& x : rows) {
+      std::vector<float> y_simd(n), y_ref(n);
+      kernel::SoftmaxRow(x.data(), y_simd.data(), n);
+      kernel::SoftmaxRowScalar(x.data(), y_ref.data(), n);
+      ExpectClose(y_simd, y_ref, "softmax n=" + std::to_string(n));
+
+      std::vector<float> dy = RandVec(n, rng);
+      std::vector<float> dx_simd(n), dx_ref(n);
+      kernel::SoftmaxBwdRow(y_ref.data(), dy.data(), dx_simd.data(), n);
+      kernel::SoftmaxBwdRowScalar(y_ref.data(), dy.data(), dx_ref.data(), n);
+      ExpectClose(dx_simd, dx_ref, "softmax_bwd n=" + std::to_string(n));
+    }
+  }
+}
+
+TEST(RowKernelEquivalence, LayerNormForwardAndBackward) {
+  Rng rng(203);
+  for (int64_t n : kRowLengths) {
+    std::vector<float> x = RandVec(n, rng, -3.0f, 3.0f);
+    std::vector<float> gamma = RandVec(n, rng, 0.5f, 1.5f);
+    std::vector<float> beta = RandVec(n, rng);
+    const float eps = 1e-5f;
+
+    std::vector<float> y_simd(n), y_ref(n);
+    float mu_simd = 0, is_simd = 0, mu_ref = 0, is_ref = 0;
+    kernel::LayerNormRow(x.data(), gamma.data(), beta.data(), y_simd.data(), n,
+                         eps, &mu_simd, &is_simd);
+    kernel::LayerNormRowScalar(x.data(), gamma.data(), beta.data(),
+                               y_ref.data(), n, eps, &mu_ref, &is_ref);
+    ExpectClose(y_simd, y_ref, "layernorm n=" + std::to_string(n));
+    EXPECT_NEAR(mu_simd, mu_ref, kAtol + kRtol * std::fabs(mu_ref));
+    EXPECT_NEAR(is_simd, is_ref, kAtol + kRtol * std::fabs(is_ref));
+
+    std::vector<float> dy = RandVec(n, rng);
+    std::vector<float> dx_simd(n), dx_ref(n);
+    // dgamma/dbeta are accumulating shard partials: seed both identically.
+    std::vector<float> dg_simd = RandVec(n, rng);
+    std::vector<float> dg_ref = dg_simd;
+    std::vector<float> db_simd = RandVec(n, rng);
+    std::vector<float> db_ref = db_simd;
+    kernel::LayerNormBwdRow(x.data(), dy.data(), gamma.data(), mu_ref, is_ref,
+                            n, dx_simd.data(), dg_simd.data(),
+                            db_simd.data());
+    kernel::LayerNormBwdRowScalar(x.data(), dy.data(), gamma.data(), mu_ref,
+                                  is_ref, n, dx_ref.data(), dg_ref.data(),
+                                  db_ref.data());
+    ExpectClose(dx_simd, dx_ref, "layernorm_bwd dx n=" + std::to_string(n));
+    ExpectClose(dg_simd, dg_ref, "layernorm_bwd dgamma");
+    ExpectClose(db_simd, db_ref, "layernorm_bwd dbeta");
+  }
+}
+
+/// --- Fused eval attention vs the composed-op path ------------------------
+
+void CompareFusedVsComposed(nn::MultiHeadAttention& attn, const Tensor& q,
+                            const Tensor& k, const Tensor& v,
+                            const Tensor& mask, const std::string& what) {
+  NoGradGuard no_grad;
+  obs::Counter* fused_calls =
+      obs::GlobalMetrics().GetCounter("nn/fused_attention_calls");
+  const uint64_t calls_before = fused_calls->value();
+  nn::MultiHeadAttention::set_fused_eval_enabled(true);
+  Tensor y_fused = attn.Forward(q, k, v, mask);
+  Tensor a_fused = attn.last_attention();
+  // The fused kernel must actually have run, or this test compares the
+  // composed path against itself.
+  EXPECT_GT(fused_calls->value(), calls_before) << what;
+  nn::MultiHeadAttention::set_fused_eval_enabled(false);
+  Tensor y_comp = attn.Forward(q, k, v, mask);
+  Tensor a_comp = attn.last_attention();
+  nn::MultiHeadAttention::set_fused_eval_enabled(true);
+
+  ASSERT_EQ(y_fused.shape(), y_comp.shape()) << what;
+  ASSERT_EQ(a_fused.shape(), a_comp.shape()) << what;
+  // Same rtol/atol contract as the raw kernels: the fused path reorders
+  // the score/softmax/contraction arithmetic but computes the same values.
+  for (int64_t i = 0; i < y_comp.numel(); ++i) {
+    EXPECT_NEAR(y_fused.at(i), y_comp.at(i),
+                kAtol + kRtol * std::fabs(y_comp.at(i)))
+        << what << " output " << i;
+  }
+  for (int64_t i = 0; i < a_comp.numel(); ++i) {
+    EXPECT_NEAR(a_fused.at(i), a_comp.at(i),
+                kAtol + kRtol * std::fabs(a_comp.at(i)))
+        << what << " attention " << i;
+  }
+}
+
+TEST(FusedAttentionEquivalence, SelfAttentionUnmasked) {
+  Rng rng(301);
+  nn::MultiHeadAttention attn(16, 4, /*dropout=*/0.0f, &rng);
+  attn.SetTraining(false);
+  Tensor x = Tensor::RandNormal({2, 5, 16}, 0, 1, rng);
+  CompareFusedVsComposed(attn, x, x, x, Tensor(), "self/unmasked");
+}
+
+TEST(FusedAttentionEquivalence, CausalMask) {
+  Rng rng(302);
+  nn::MultiHeadAttention attn(8, 2, 0.0f, &rng);
+  attn.SetTraining(false);
+  const int64_t s = 6;
+  std::vector<float> m(s * s, 0.0f);
+  for (int64_t i = 0; i < s; ++i) {
+    for (int64_t j = i + 1; j < s; ++j) m[i * s + j] = -1e9f;
+  }
+  Tensor mask = Tensor::FromVector({s, s}, std::move(m));
+  Tensor x = Tensor::RandNormal({2, s, 8}, 0, 1, rng);
+  CompareFusedVsComposed(attn, x, x, x, mask, "self/causal");
+}
+
+TEST(FusedAttentionEquivalence, CrossAttentionWithRope) {
+  Rng rng(303);
+  nn::MultiHeadAttention attn(16, 4, 0.0f, &rng, /*use_rope=*/true);
+  attn.SetTraining(false);
+  Tensor q = Tensor::RandNormal({1, 3, 16}, 0, 1, rng);
+  Tensor kv = Tensor::RandNormal({1, 7, 16}, 0, 1, rng);
+  CompareFusedVsComposed(attn, q, kv, kv, Tensor(), "cross/rope");
+}
+
+TEST(FusedAttentionEquivalence, SingleQueryAndKeyEdge) {
+  Rng rng(304);
+  nn::MultiHeadAttention attn(8, 2, 0.0f, &rng);
+  attn.SetTraining(false);
+  // Sq = Sk = 1: the softmax row is a single certain key.
+  Tensor q = Tensor::RandNormal({1, 1, 8}, 0, 1, rng);
+  CompareFusedVsComposed(attn, q, q, q, Tensor(), "1x1");
+}
+
+TEST(FusedAttentionEquivalence, ComposedPathRunsWhenGradOn) {
+  Rng rng(305);
+  nn::MultiHeadAttention attn(8, 2, 0.0f, &rng);
+  attn.SetTraining(false);
+  obs::Counter* fused_calls =
+      obs::GlobalMetrics().GetCounter("nn/fused_attention_calls");
+  const uint64_t before = fused_calls->value();
+  Tensor x = Tensor::RandNormal({1, 4, 8}, 0, 1, rng);
+  // Grad mode on (the default): the fused kernel must stand down so the
+  // composed path can build the tape.
+  Tensor y = attn.SelfForward(x, Tensor());
+  EXPECT_EQ(fused_calls->value(), before);
+  EXPECT_EQ(y.shape(), (Shape{1, 4, 8}));
+}
+
+}  // namespace
+}  // namespace timekd::tensor

@@ -231,6 +231,35 @@ TEST(RevInTest, DenormalizeDifferentHorizon) {
   EXPECT_NEAR(denorm.at(0), 10.0f, 1.5f);
 }
 
+// Regression: Denormalize divides by the *learned* gamma. Before the
+// ClampAbsFloor guard, a gamma element driven to zero by training made the
+// division emit inf/NaN across every forecast for that variable. With the
+// guard the divisor is floored at eps and the output stays finite.
+TEST(RevInTest, DenormalizeFiniteWithZeroedGamma) {
+  Rng rng(20);
+  RevIn revin(3);
+  Tensor x = Tensor::RandNormal({2, 16, 3}, 5.0f, 2.0f, rng);
+  Tensor y = revin.Normalize(x);
+  // Zero out one learned scale element through the module's parameter
+  // handle (shared storage), as a collapsed training run would.
+  for (auto& [name, param] : revin.NamedParameters()) {
+    if (name == "gamma") param.data()[1] = 0.0f;
+  }
+  Tensor back = revin.Denormalize(y);
+  for (int64_t i = 0; i < back.numel(); ++i) {
+    EXPECT_TRUE(std::isfinite(back.at(i))) << "element " << i;
+  }
+  // Variables with a healthy gamma still round-trip exactly as before.
+  for (int64_t b = 0; b < 2; ++b) {
+    for (int64_t t = 0; t < 16; ++t) {
+      EXPECT_NEAR(back.at((b * 16 + t) * 3 + 0), x.at((b * 16 + t) * 3 + 0),
+                  1e-3f);
+      EXPECT_NEAR(back.at((b * 16 + t) * 3 + 2), x.at((b * 16 + t) * 3 + 2),
+                  1e-3f);
+    }
+  }
+}
+
 TEST(ModuleTest, NamedParametersHierarchical) {
   Rng rng(20);
   TransformerEncoderLayer layer(8, 2, 16, 0.0f, Activation::kRelu, &rng);

@@ -55,6 +55,19 @@ run_determinism() {
     -R 'DeterminismTest|ThreadPool' --output-on-failure
 }
 
+# Kernel-equivalence suite: SIMD/cache-blocked kernels vs the retained
+# scalar references over randomized and tile-edge shapes, plus fused vs
+# composed attention. Runs in every preset's full ctest pass already; this
+# focused re-run keeps it visible as its own gate step because the ragged
+# lane tails are exactly where the sanitizer builds earn their keep.
+run_equivalence() {
+  local preset="$1"
+  step "kernel equivalence suite [$preset]"
+  ctest --preset "$preset" \
+    -R 'KernelEquivalence|RowKernelEquivalence|FusedAttentionEquivalence' \
+    --output-on-failure
+}
+
 # Health-watchdog suite: the cases run in every preset's full ctest pass
 # already, but this focused re-run keeps the fail-fast death tests and the
 # crash/reparse case visible as their own gate step — they guard artifacts
@@ -126,14 +139,17 @@ python3 tools/lint/timekd_lint.py --root "$ROOT" --format-check --self-test
 
 run_config default
 run_determinism default
+run_equivalence default
 run_health default
 run_perf_gate
 
 if [[ "$FAST" == "0" ]]; then
   run_config asan-ubsan
+  run_equivalence asan-ubsan
   run_health asan-ubsan
   run_config tsan
   run_determinism tsan
+  run_equivalence tsan
   run_health tsan
   run_tidy_gate
 fi

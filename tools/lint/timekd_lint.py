@@ -56,6 +56,13 @@ Rules (all stdlib-only, no third-party deps):
                     counts — the rule enforces that an explanation exists,
                     not its wording.) Escape: a documented
                     `timekd-lint: allow(atomic-order)`.
+  simd-fallback     Files using AVX intrinsics must gate them on
+                    TIMEKD_SIMD_AVX2 (tensor/simd.h), and every
+                    `<Name>Avx2` kernel needs a `<Name>Scalar` sibling in
+                    the same file — the always-compiled reference that the
+                    kernel-equivalence suite compares against and that
+                    non-AVX2 builds dispatch to. Escape: a documented
+                    `timekd-lint: allow(simd-fallback)`.
 
 Suppression: a finding on line N of a rule R is suppressed when line N or
 line N-1 contains `timekd-lint: allow(R)`. Use sparingly and document why.
@@ -697,6 +704,63 @@ def check_atomic_order(root, findings):
                 "timekd-lint: allow(atomic-order)"))
 
 
+# --- Rule: simd-fallback ---------------------------------------------------
+
+SIMD_INTRINSIC_RE = re.compile(r"\b_mm(?:256|512)_[a-z0-9_]+")
+SIMD_FN_NAME_RE = re.compile(r"\b(\w+?)(Avx2|Scalar)\b")
+
+
+def check_simd_fallback(root, findings):
+    """Vectorized kernels must keep their scalar fallback alive.
+
+    Two obligations on every src/ file that uses AVX intrinsics:
+      1. The file must reference TIMEKD_SIMD_AVX2 (the ISA feature macro
+         from tensor/simd.h), so the intrinsics are compiled out cleanly on
+         non-AVX2 targets and under TIMEKD_SIMD=OFF instead of breaking
+         the build.
+      2. Every `<Name>Avx2` kernel must have a `<Name>Scalar` sibling in
+         the same file — the always-compiled reference the equivalence
+         suite compares against and the fallback the dispatch wrapper
+         selects. A vectorized kernel whose scalar twin was deleted (or
+         renamed away) silently loses both its portability and its test
+         oracle.
+    Escape: a documented `timekd-lint: allow(simd-fallback)`.
+    """
+    for rel in iter_files(root, ["src"], CXX_EXTENSIONS):
+        raw = read_lines(root, rel)
+        code = strip_comments_and_strings(raw)
+        has_guard = any("TIMEKD_SIMD_AVX2" in line for line in raw)
+        avx_names = {}     # name -> first definition/use line (1-based)
+        scalar_names = set()
+        intrinsic_line = None
+        for idx, line in enumerate(code):
+            if intrinsic_line is None and SIMD_INTRINSIC_RE.search(line):
+                intrinsic_line = idx + 1
+            for m in SIMD_FN_NAME_RE.finditer(line):
+                if m.group(2) == "Avx2":
+                    avx_names.setdefault(m.group(1), idx + 1)
+                else:
+                    scalar_names.add(m.group(1))
+        if intrinsic_line is not None and not has_guard:
+            if not is_allowed("simd-fallback", raw, intrinsic_line):
+                findings.append(Finding(
+                    "simd-fallback", rel, intrinsic_line,
+                    "AVX intrinsics without a TIMEKD_SIMD_AVX2 guard; gate "
+                    "the vector path on the feature macro from "
+                    "tensor/simd.h so non-AVX2 builds fall back to scalar"))
+        for name, lineno in sorted(avx_names.items()):
+            if name in scalar_names:
+                continue
+            if is_allowed("simd-fallback", raw, lineno):
+                continue
+            findings.append(Finding(
+                "simd-fallback", rel, lineno,
+                f"{name}Avx2 has no {name}Scalar fallback in this file; "
+                "keep the scalar reference compiled so the kernel-"
+                "equivalence suite has an oracle and non-AVX2 builds "
+                "still link"))
+
+
 # --- Format mode -----------------------------------------------------------
 
 
@@ -816,6 +880,29 @@ SELF_TEST_CASES = [
      "uint64_t F() {\n\n\n\n"
      "  // timekd-lint: allow(atomic-order)\n"
      "  return v.load(std::memory_order_relaxed);\n}\n", 0),
+    ("simd-fallback flags unguarded intrinsics", "simd-fallback",
+     "inline void F(float* x) {\n"
+     "  _mm256_storeu_ps(x, _mm256_setzero_ps());\n}\n", 1),
+    ("simd-fallback flags Avx2 kernel without Scalar twin", "simd-fallback",
+     "#if TIMEKD_SIMD_AVX2\n"
+     "inline void FooAvx2(float* x) { _mm256_storeu_ps(x, v); }\n"
+     "#endif\n", 1),
+    ("simd-fallback accepts guarded kernel with Scalar twin",
+     "simd-fallback",
+     "inline void FooScalar(float* x) { x[0] = 0; }\n"
+     "#if TIMEKD_SIMD_AVX2\n"
+     "inline void FooAvx2(float* x) { _mm256_storeu_ps(x, v); }\n"
+     "#endif\n"
+     "inline void Foo(float* x) {\n"
+     "#if TIMEKD_SIMD_AVX2\n  FooAvx2(x);\n#else\n  FooScalar(x);\n#endif\n"
+     "}\n", 0),
+    ("simd-fallback ignores scalar-only files", "simd-fallback",
+     "inline void FooScalar(float* x) { x[0] = 0; }\n", 0),
+    ("simd-fallback honors allow", "simd-fallback",
+     "#if TIMEKD_SIMD_AVX2\n"
+     "// one-off probe: timekd-lint: allow(simd-fallback)\n"
+     "inline void FooAvx2(float* x) { _mm256_storeu_ps(x, v); }\n"
+     "#endif\n", 0),
 ]
 
 
@@ -854,6 +941,7 @@ RULES = {
     "health-observer": check_health_observer,
     "lock-annotation": check_lock_annotation,
     "atomic-order": check_atomic_order,
+    "simd-fallback": check_simd_fallback,
 }
 
 

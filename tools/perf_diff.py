@@ -13,10 +13,14 @@ Gated metrics (overridable via --threshold):
   wall_seconds            lower is better   rel 0.75   floor 0.15 s
   phases.<name>           lower is better   rel 0.75   floor 0.15 s
   throughput.*_per_sec    higher is better  rel 0.40   floor(base) 0.1/s
+  kernels.*_per_sec       higher is better  rel 0.40   floor(base) 0.1/s
   memory.tensor_peak_bytes  lower is better rel 0.10   floor 1 MiB
   memory.rss_peak_bytes   lower is better   rel 0.25   floor 32 MiB
 
-Raw kernel counters (matmul_calls, ...) are reported but never gated:
+The kernels.*_per_sec rates (matmul_gflops_per_sec,
+fused_attention_gflops_per_sec, ...) are wall-clock-normalized and thus
+run-to-run comparable — they are the kernel-throughput trend gate. Raw
+kernel counters (matmul_calls, ...) are reported but never gated:
 google-benchmark picks iteration counts adaptively, so call/FLOP totals are
 not comparable across runs even on identical code. The per-kernel roofline
 efficiency (roofline.<kernel>.pct_of_peak, schema 2) is reported ungated
@@ -71,6 +75,7 @@ DEFAULT_SPECS = {
     "phases.*": Spec(0.75, 0.15),
     "throughput.steps_per_sec": Spec(0.40, 0.1, higher_is_better=True),
     "throughput.tokens_per_sec": Spec(0.40, 0.1, higher_is_better=True),
+    "kernels.*_per_sec": Spec(0.40, 0.1, higher_is_better=True),
     "memory.tensor_peak_bytes": Spec(0.10, 1 << 20),
     "memory.rss_peak_bytes": Spec(0.25, 32 << 20),
 }
@@ -99,6 +104,10 @@ def flatten_metrics(doc):
         out[f"phases.{name}"] = float(seconds)
     for name, value in doc.get("throughput", {}).items():
         out[f"throughput.{name}"] = float(value)
+    for name, value in doc.get("kernels", {}).items():
+        # Only the *_per_sec rates get a spec; raw adaptive counters render
+        # as "(ungated)" context.
+        out[f"kernels.{name}"] = float(value)
     for name, value in doc.get("memory", {}).items():
         out[f"memory.{name}"] = float(value)
     for name, value in doc.get("health", {}).items():
@@ -117,6 +126,8 @@ def spec_for(metric, specs):
         return specs[metric]
     if metric.startswith("phases."):
         return specs.get("phases.*")
+    if metric.startswith("kernels.") and metric.endswith("_per_sec"):
+        return specs.get("kernels.*_per_sec")
     return None
 
 
@@ -260,7 +271,9 @@ def synthetic_artifact():
         "wall_seconds": 0.30,
         "phases": {"bench/selftest": 0.29},
         "throughput": {"steps_per_sec": 100.0, "tokens_per_sec": 0.0},
-        "kernels": {"matmul_calls": 10, "matmul_flops": 1000},
+        "kernels": {"matmul_calls": 10, "matmul_flops": 1000,
+                    "matmul_gflops_per_sec": 12.0,
+                    "fused_attention_gflops_per_sec": 5.0},
         "roofline": {
             "machine": {"calibrated": True, "source": "probe",
                         "peak_flops_per_sec": 1e11,
@@ -338,6 +351,20 @@ def self_test():
            any("health.anomalies" in line and "ungated" in line
                for line in report))
 
+    slow_kernel = copy.deepcopy(base)
+    slow_kernel["kernels"]["fused_attention_gflops_per_sec"] = 1.0
+    _, regs = diff(base, slow_kernel, specs)
+    expect("kernel throughput drop regresses",
+           regs == ["kernels.fused_attention_gflops_per_sec"])
+
+    more_calls = copy.deepcopy(base)
+    more_calls["kernels"]["matmul_calls"] = 9999
+    report, regs = diff(base, more_calls, specs)
+    expect("raw kernel counters never gate", regs == [])
+    expect("raw kernel counters are reported",
+           any("kernels.matmul_calls" in line and "ungated" in line
+               for line in report))
+
     other = copy.deepcopy(base)
     other["provenance"]["bench_profile"] = "paper"
     expect("profile mismatch detected", check_comparable(base, other) != [])
@@ -366,6 +393,11 @@ def self_test():
     expect("candidate equal to history median is clean", regs == [])
     _, regs = diff(median, doubled, specs)
     expect("2x wall vs history median regresses", "wall_seconds" in regs)
+    expect("history median carries kernel rates",
+           median["kernels"]["fused_attention_gflops_per_sec"] == 5.0)
+    _, regs = diff(median, slow_kernel, specs)
+    expect("kernel throughput gates against history",
+           "kernels.fused_attention_gflops_per_sec" in regs)
     fat_vs_history = diff(median, fat, specs)[1]
     expect("memory is report-only against history", fat_vs_history == [])
     expect("empty history yields no baseline",

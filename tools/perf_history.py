@@ -112,10 +112,11 @@ def comparable_entries(entries, candidate):
 def median_baseline(entries, window):
     """Synthesizes a baseline artifact from the rolling median of the last
     `window` entries. Only the gated timing/throughput families survive
-    (wall_seconds, phases, throughput): memory and health are per-run
-    reports, and medianing the adaptively-iterated kernel counters would
-    manufacture meaningless baselines. Returns None when `entries` is
-    empty."""
+    (wall_seconds, phases, throughput, and the *_per_sec rates of the
+    kernels block): memory and health are per-run reports, and medianing
+    the adaptively-iterated raw kernel counters (calls, flops) would
+    manufacture meaningless baselines — rates are iteration-count
+    independent, counts are not. Returns None when `entries` is empty."""
     tail = [e["artifact"] for e in entries[-window:]]
     if not tail:
         return None
@@ -131,13 +132,16 @@ def median_baseline(entries, window):
             [float(d["wall_seconds"]) for d in tail if "wall_seconds" in d]),
         "phases": {},
         "throughput": {},
+        "kernels": {},
     }
     base["provenance"]["git_sha"] = f"median-of-{len(tail)}"
-    for family in ("phases", "throughput"):
+    for family in ("phases", "throughput", "kernels"):
         names = set()
         for doc in tail:
             names.update(doc.get(family, {}))
         for name in names:
+            if family == "kernels" and not name.endswith("_per_sec"):
+                continue
             values = [float(doc[family][name]) for doc in tail
                       if name in doc.get(family, {})]
             if values:
@@ -242,6 +246,8 @@ def _synthetic(wall, steps=100.0, profile="smoke"):
         "wall_seconds": wall,
         "phases": {"bench/selftest": wall * 0.9},
         "throughput": {"steps_per_sec": steps, "tokens_per_sec": 0.0},
+        "kernels": {"matmul_calls": 7,
+                    "matmul_gflops_per_sec": 10.0 / wall},
         "roofline": {"machine": {"calibrated": False}, "kernels": {},
                      "ops": {}},
         "metrics": {"counters": {"x": 1}},
@@ -287,6 +293,11 @@ def self_test():
                base["provenance"]["bench_profile"] == "smoke")
         expect("memory/health do not get synthetic baselines",
                "memory" not in base and "health" not in base)
+        expect("kernel rates are medianed",
+               abs(base["kernels"]["matmul_gflops_per_sec"] - 10.0 / 0.30)
+               < 1e-9)
+        expect("raw kernel counts are not medianed",
+               "matmul_calls" not in base["kernels"])
         expect("window trims to the tail",
                median_baseline(comparable, window=1)["wall_seconds"] == 0.20)
         expect("empty history yields no baseline",
