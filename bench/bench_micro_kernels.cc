@@ -14,6 +14,7 @@
 #include "common/rng.h"
 #include "llm/language_model.h"
 #include "nn/attention.h"
+#include "obs/exporter.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "obs/trace.h"
@@ -233,15 +234,59 @@ void BM_DisabledSpanOverhead(benchmark::State& state) {
   const uint32_t saved_sinks = oi::SpanSinks();
   oi::SetSpanSink(oi::kTracerSink, false);
   oi::SetSpanSink(oi::kProfilerSink, false);
+  oi::SetSpanSink(oi::kFlightRecorderSink, false);
   for (auto _ : state) {
     TIMEKD_TRACE_SCOPE("bench/span_overhead_probe");
     benchmark::ClobberMemory();
   }
   oi::SetSpanSink(oi::kTracerSink, (saved_sinks & oi::kTracerSink) != 0);
   oi::SetSpanSink(oi::kProfilerSink, (saved_sinks & oi::kProfilerSink) != 0);
+  oi::SetSpanSink(oi::kFlightRecorderSink,
+                  (saved_sinks & oi::kFlightRecorderSink) != 0);
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_DisabledSpanOverhead);
+
+// Recorder-off probe feeding the kernels.recorder_off_spans_per_sec BENCH
+// rate (gated by perf_diff's kernels family): spans opened with ALL sinks
+// off, including the flight recorder — this is the fast path whose
+// "one relaxed load" contract PR-acceptance depends on. The counter is
+// bumped once with the iteration count so the artifact rate reflects the
+// loop without perturbing it.
+void BM_RecorderDisabledSpanOverhead(benchmark::State& state) {
+  namespace oi = timekd::obs::internal;
+  const uint32_t saved_sinks = oi::SpanSinks();
+  oi::SetSpanSink(oi::kTracerSink, false);
+  oi::SetSpanSink(oi::kProfilerSink, false);
+  oi::SetSpanSink(oi::kFlightRecorderSink, false);
+  for (auto _ : state) {
+    TIMEKD_TRACE_SCOPE("bench/recorder_off_probe");
+    benchmark::ClobberMemory();
+  }
+  oi::SetSpanSink(oi::kTracerSink, (saved_sinks & oi::kTracerSink) != 0);
+  oi::SetSpanSink(oi::kProfilerSink, (saved_sinks & oi::kProfilerSink) != 0);
+  oi::SetSpanSink(oi::kFlightRecorderSink,
+                  (saved_sinks & oi::kFlightRecorderSink) != 0);
+  timekd::obs::GlobalMetrics()
+      .GetCounter("obs/recorder_off_spans")
+      ->Increment(static_cast<uint64_t>(state.iterations()));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RecorderDisabledSpanOverhead);
+
+// Idle-render probe feeding kernels.exporter_renders_per_sec: renders the
+// full registry (every counter/gauge/histogram this bench binary touched)
+// into Prometheus text. Documents the per-scrape cost an operator pays
+// while a run serves TIMEKD_METRICS_PORT.
+void BM_ExporterIdleRender(benchmark::State& state) {
+  const timekd::obs::MetricsSnapshot snap =
+      timekd::obs::GlobalMetrics().Snapshot();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(timekd::obs::RenderPrometheusText(snap));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExporterIdleRender);
 
 }  // namespace
 

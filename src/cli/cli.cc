@@ -1,16 +1,19 @@
 #include "cli/cli.h"
 
+#include <cmath>
 #include <map>
 #include <memory>
 #include <ostream>
 #include <sstream>
 
+#include "core/forecast_auditor.h"
 #include "core/timekd.h"
 #include "data/datasets.h"
 #include "data/time_series.h"
 #include "data/window_dataset.h"
 #include "eval/metrics.h"
 #include "eval/roofline_report.h"
+#include "obs/exporter.h"
 #include "obs/health.h"
 #include "obs/observer.h"
 #include "obs/profiler.h"
@@ -185,6 +188,44 @@ StatusOr<eval::ForecastMetrics> TrainAndReport(const Flags& flags,
   eval::ForecastMetrics metrics = eval::EvaluateForecastFn(
       [&](const tensor::Tensor& x) { return model.Predict(x); }, test,
       train.series());
+  // Evaluation streamed through the calibration observatory; report its
+  // verdict next to the point metrics and append the run-history record.
+  core::ForecastAuditor& auditor = core::GlobalForecastAuditor();
+  // Last epoch with finite distillation diagnostics (student phase);
+  // teacher-phase epochs carry NaN and are skipped.
+  for (auto it = stats.epochs.rbegin(); it != stats.epochs.rend(); ++it) {
+    if (std::isfinite(it->distill_cka) ||
+        std::isfinite(it->distill_attn_div)) {
+      auditor.ObserveDivergence(it->distill_cka, it->distill_attn_div);
+      break;
+    }
+  }
+  const core::ForecastAuditor::Summary cal = auditor.GetSummary();
+  out << "calibration coverage80 " << cal.coverage80 << "  coverage95 "
+      << cal.coverage95 << " over " << cal.windows << " windows\n";
+  if (jsonl != nullptr) {
+    jsonl->WriteRecord(auditor.CalibrationRecordJson());
+    jsonl->Flush();
+  }
+  // The monitor wrote --report-html at the end of Fit, before evaluation
+  // existed; re-render from the JSONL so the page carries the calibration
+  // section the record above just added.
+  if (jsonl != nullptr && flags.Has("report-html")) {
+    obs::RunHistory history;
+    Status merged = obs::MergeRunHistoryFromJsonl(
+        flags.GetString("jsonl-out", ""), &history);
+    if (merged.ok() && flags.Has("health-out")) {
+      merged = obs::MergeRunHistoryFromJsonl(flags.GetString("health-out", ""),
+                                             &history);
+    }
+    if (merged.ok()) {
+      merged = obs::WriteHtmlReport(history,
+                                    flags.GetString("report-html", ""));
+    }
+    if (!merged.ok()) {
+      out << "report re-render failed: " << merged.ToString() << "\n";
+    }
+  }
   if (save_student && flags.Has("student-out")) {
     const std::string path = flags.GetString("student-out", "");
     if (Status s = model.SaveStudent(path); !s.ok()) return s;
@@ -239,6 +280,37 @@ int CmdEvaluate(const Flags& flags, std::ostream& out) {
       scaler.Transform(splits.train));
   out << "test MSE " << metrics.mse << "  MAE " << metrics.mae << " over "
       << test.NumSamples() << " windows\n";
+  core::ForecastAuditor& auditor = core::GlobalForecastAuditor();
+  const core::ForecastAuditor::Summary cal = auditor.GetSummary();
+  out << "calibration coverage80 " << cal.coverage80 << "  coverage95 "
+      << cal.coverage95 << " over " << cal.windows << " windows\n";
+  if (flags.Has("jsonl-out")) {
+    obs::JsonlWriter writer(flags.GetString("jsonl-out", ""));
+    writer.WriteLine(auditor.CalibrationRecordJson());
+    writer.Flush();
+  }
+  return 0;
+}
+
+/// Standalone scrape endpoint: serves the current process's registry.
+/// Mostly useful with --duration-ms for smoke-testing a deployment's
+/// scrape config; long-lived serving instead sets --metrics-port (or
+/// TIMEKD_METRICS_PORT) on a real run so the exporter rides along.
+int CmdServeMetrics(const Flags& flags, std::ostream& out) {
+  obs::MetricsExporterOptions options;
+  options.port = static_cast<int>(flags.GetInt("port", 0));
+  options.export_every_ms = flags.GetInt("export-every-ms", 0);
+  options.snapshot_path = flags.GetString("metrics-out", "");
+  obs::MetricsExporter exporter(options);
+  if (Status s = exporter.Start(); !s.ok()) {
+    out << s.ToString() << "\n";
+    return 1;
+  }
+  out << "serving metrics on 127.0.0.1:" << exporter.bound_port() << "\n";
+  out.flush();
+  exporter.RunFor(flags.GetInt("duration-ms", 0));
+  exporter.Stop();
+  out << "served " << exporter.scrape_count() << " scrape(s)\n";
   return 0;
 }
 
@@ -353,10 +425,12 @@ int CmdPerf(const Flags& flags, std::ostream& out) {
 
 void PrintUsage(std::ostream& out) {
   out << "usage: timekd_cli "
-         "<generate-data|train|evaluate|forecast|report|perf> "
+         "<generate-data|train|evaluate|forecast|report|perf|serve-metrics> "
          "[--flag value ...]\n"
          "global flags: --profile-out FILE (hierarchical profile JSON at "
-         "exit), --profile-stderr 1 (profile tree on stderr at exit)\n"
+         "exit), --profile-stderr 1 (profile tree on stderr at exit), "
+         "--metrics-port N (live Prometheus endpoint on 127.0.0.1:N for "
+         "the duration of the command; 0 = ephemeral)\n"
          "see src/cli/cli.h for the full flag reference\n";
 }
 
@@ -381,6 +455,22 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out) {
   if (flags->GetInt("profile-stderr", 0) != 0) {
     obs::Profiler::Get().EnableStderrTree(true);
   }
+  // Live telemetry works on every subcommand: the env-driven exporter
+  // (TIMEKD_METRICS_PORT / TIMEKD_METRICS_EXPORT_EVERY_MS) starts here,
+  // and --metrics-port is the flag spelling of the same endpoint. The
+  // exporter is process-lifetime; it shuts down when the process exits.
+  obs::StartMetricsExporterIfConfigured();
+  std::unique_ptr<obs::MetricsExporter> flag_exporter;
+  if (flags->Has("metrics-port")) {
+    obs::MetricsExporterOptions options;
+    options.port = static_cast<int>(flags->GetInt("metrics-port", 0));
+    flag_exporter = std::make_unique<obs::MetricsExporter>(options);
+    if (Status s = flag_exporter->Start(); !s.ok()) {
+      out << s.ToString() << "\n";
+      return 2;
+    }
+    out << "metrics on 127.0.0.1:" << flag_exporter->bound_port() << "\n";
+  }
   const std::string& command = args[0];
   if (command == "generate-data") return CmdGenerateData(*flags, out);
   if (command == "train") return CmdTrain(*flags, out);
@@ -388,6 +478,7 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out) {
   if (command == "forecast") return CmdForecast(*flags, out);
   if (command == "report") return CmdReport(*flags, out);
   if (command == "perf") return CmdPerf(*flags, out);
+  if (command == "serve-metrics") return CmdServeMetrics(*flags, out);
   PrintUsage(out);
   return 2;
 }

@@ -23,15 +23,21 @@ namespace timekd::cli {
 ///                 [--health <jsonl>] [--title T]
 ///   perf          --in <BENCH_*.json> --out <html> [--title T]
 ///   evaluate      --data <csv> --freq <minutes> --input <H> --horizon <M>
-///                 --student <bin> [--llm-dim D]
+///                 --student <bin> [--llm-dim D] [--jsonl-out <jsonl>]
 ///   forecast      --data <csv> --freq <minutes> --input <H> --horizon <M>
 ///                 --student <bin> --out <csv> [--llm-dim D]
+///   serve-metrics [--port N] [--duration-ms M]
+///                 [--export-every-ms P --metrics-out <json>]
 ///
 /// Global flags (any subcommand):
 ///   --profile-out <json>   write the hierarchical profile (obs/profiler.h)
 ///                          at exit; same as TIMEKD_PROFILE_OUT
 ///   --profile-stderr 1     print the profile tree to stderr at exit; same
 ///                          as TIMEKD_PROFILE_STDERR=1
+///   --metrics-port N       live Prometheus text endpoint on 127.0.0.1:N
+///                          for the duration of the command (0 = ephemeral
+///                          port, printed on stdout); same as
+///                          TIMEKD_METRICS_PORT (obs/exporter.h)
 ///
 /// `train` fits TimeKD on the chronological 70/10/20 split of the CSV and
 /// reports test metrics; `evaluate` scores a saved student on the test
@@ -40,8 +46,10 @@ namespace timekd::cli {
 /// from existing JSONL logs (training records via --in, optionally merging
 /// the health event stream via --health); `perf` renders a BENCH_*.json
 /// artifact (schema >= 2) into a self-contained roofline HTML page
-/// (eval/roofline_report.h). See docs/observability.md for the train-time
-/// health/telemetry flags and the artifact schemas.
+/// (eval/roofline_report.h); `serve-metrics` runs a standalone Prometheus
+/// scrape endpoint (obs/exporter.h) — --duration-ms bounds it for smoke
+/// tests, the default serves until killed. See docs/observability.md for
+/// the train-time health/telemetry flags and the artifact schemas.
 int RunCli(const std::vector<std::string>& args, std::ostream& out);
 
 }  // namespace timekd::cli

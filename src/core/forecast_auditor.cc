@@ -1,0 +1,205 @@
+#include "core/forecast_auditor.h"
+
+#include <cmath>
+#include <limits>
+
+namespace timekd::core {
+
+namespace {
+
+/// Publish cadence: gauges refresh every this many windows so a live
+/// scrape mid-evaluation sees recent values without per-window overhead.
+constexpr int64_t kPublishEvery = 64;
+
+/// Log-spaced absolute-residual bounds covering normalized-data scales
+/// (1e-4) up to wildly-diverged forecasts (1e2); residuals beyond land in
+/// the overflow bucket.
+std::vector<double> AbsErrBounds() {
+  return {1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1.0, 3.0,
+          10.0, 30.0, 100.0};
+}
+
+double Nan() { return std::numeric_limits<double>::quiet_NaN(); }
+
+std::string JsonDoubleArray(const std::vector<double>& values) {
+  std::vector<std::string> rendered;
+  rendered.reserve(values.size());
+  for (double v : values) rendered.push_back(obs::JsonNumber(v));
+  return obs::JsonArray(rendered);
+}
+
+}  // namespace
+
+ForecastAuditor::ForecastAuditor() : cka_(Nan()), attn_div_(Nan()) {}
+
+void ForecastAuditor::BeginRun(int64_t horizon, int64_t channels) {
+  MutexLock lock(mu_);
+  horizon_ = horizon > 0 ? horizon : 0;
+  channels_ = channels > 0 ? channels : 0;
+  if (horizon_ == 0 || channels_ == 0) {
+    horizon_ = channels_ = 0;
+  }
+  windows_ = 0;
+  geometry_rejects_ = 0;
+  cka_ = Nan();
+  attn_div_ = Nan();
+  per_horizon_.clear();
+  per_horizon_.resize(static_cast<size_t>(horizon_));
+  for (HorizonStat& s : per_horizon_) {
+    s.abs_err = std::make_unique<obs::Histogram>(AbsErrBounds());
+  }
+}
+
+void ForecastAuditor::ObserveWindow(const float* prediction,
+                                    const float* truth) {
+  // The registry-owned histogram feeds the exporter's quantile series;
+  // the per-horizon histograms below feed the coverage estimator.
+  static obs::Histogram* abs_err_all =
+      obs::GlobalMetrics().GetHistogram("forecast/abs_err", AbsErrBounds());
+
+  MutexLock lock(mu_);
+  if (horizon_ == 0) {
+    ++geometry_rejects_;
+    return;
+  }
+  for (int64_t t = 0; t < horizon_; ++t) {
+    HorizonStat& stat = per_horizon_[static_cast<size_t>(t)];
+    // Interval bounds from residuals seen BEFORE this window — scoring a
+    // residual against an interval that already includes it would bias
+    // coverage optimistically.
+    const bool warm = stat.abs_err->count() >= kCoverageWarmup;
+    const double q80 = warm ? stat.abs_err->Quantile(0.80) : 0.0;
+    const double q95 = warm ? stat.abs_err->Quantile(0.95) : 0.0;
+    for (int64_t v = 0; v < channels_; ++v) {
+      const int64_t i = t * channels_ + v;
+      const double d = static_cast<double>(prediction[i]) - truth[i];
+      const double ad = std::fabs(d);
+      stat.se += d * d;
+      stat.ae += ad;
+      if (warm) {
+        ++stat.scored;
+        if (ad <= q80) ++stat.covered80;
+        if (ad <= q95) ++stat.covered95;
+      }
+      stat.abs_err->Observe(ad);
+      abs_err_all->Observe(ad);
+    }
+  }
+  ++windows_;
+  if (windows_ % kPublishEvery == 0) PublishGaugesLocked();
+}
+
+void ForecastAuditor::ObserveDivergence(double cka, double attn_div) {
+  MutexLock lock(mu_);
+  cka_ = cka;
+  attn_div_ = attn_div;
+}
+
+void ForecastAuditor::PublishGauges() {
+  MutexLock lock(mu_);
+  PublishGaugesLocked();
+}
+
+void ForecastAuditor::PublishGaugesLocked() {
+  const Summary s = GetSummaryLocked();
+  obs::MetricRegistry& m = obs::GlobalMetrics();
+  m.GetGauge("forecast/windows")->Set(static_cast<double>(s.windows));
+  m.GetGauge("forecast/horizon")->Set(static_cast<double>(s.horizon));
+  m.GetGauge("forecast/channels")->Set(static_cast<double>(s.channels));
+  m.GetGauge("forecast/mse")->Set(s.mse);
+  m.GetGauge("forecast/mae")->Set(s.mae);
+  m.GetGauge("forecast/coverage80")->Set(s.coverage80);
+  m.GetGauge("forecast/coverage95")->Set(s.coverage95);
+  m.GetGauge("forecast/cka")->Set(s.cka);
+  m.GetGauge("forecast/attn_div")->Set(s.attn_div);
+}
+
+ForecastAuditor::Summary ForecastAuditor::GetSummary() const {
+  MutexLock lock(mu_);
+  return GetSummaryLocked();
+}
+
+ForecastAuditor::Summary ForecastAuditor::GetSummaryLocked() const {
+  Summary s;
+  s.windows = windows_;
+  s.horizon = horizon_;
+  s.channels = channels_;
+  s.cka = cka_;
+  s.attn_div = attn_div_;
+  const double samples_per_step =
+      static_cast<double>(windows_) * static_cast<double>(channels_);
+  double se = 0.0;
+  double ae = 0.0;
+  int64_t covered80 = 0;
+  int64_t covered95 = 0;
+  int64_t scored = 0;
+  for (const HorizonStat& stat : per_horizon_) {
+    const double denom = samples_per_step > 0 ? samples_per_step : 1.0;
+    s.per_horizon_mse.push_back(stat.se / denom);
+    s.per_horizon_mae.push_back(stat.ae / denom);
+    s.per_horizon_coverage80.push_back(
+        stat.scored > 0
+            ? static_cast<double>(stat.covered80) / stat.scored
+            : Nan());
+    s.per_horizon_coverage95.push_back(
+        stat.scored > 0
+            ? static_cast<double>(stat.covered95) / stat.scored
+            : Nan());
+    se += stat.se;
+    ae += stat.ae;
+    covered80 += stat.covered80;
+    covered95 += stat.covered95;
+    scored += stat.scored;
+  }
+  const double total =
+      samples_per_step * static_cast<double>(per_horizon_.size());
+  s.mse = total > 0 ? se / total : 0.0;
+  s.mae = total > 0 ? ae / total : 0.0;
+  s.coverage80 = scored > 0 ? static_cast<double>(covered80) / scored : Nan();
+  s.coverage95 = scored > 0 ? static_cast<double>(covered95) / scored : Nan();
+  return s;
+}
+
+obs::JsonObject ForecastAuditor::CalibrationRecordJson() const {
+  const Summary s = GetSummary();
+  obs::JsonObject obj;
+  obj.Set("kind", "calibration")
+      .Set("windows", s.windows)
+      .Set("horizon", s.horizon)
+      .Set("channels", s.channels)
+      .Set("mse", s.mse)
+      .Set("mae", s.mae)
+      // Coverage/divergence can legitimately be NaN (warmup not reached /
+      // diagnostics off); keep them distinguishable from 0 in the stream.
+      .SetNumberOrString("coverage80", s.coverage80)
+      .SetNumberOrString("coverage95", s.coverage95)
+      .SetNumberOrString("cka", s.cka)
+      .SetNumberOrString("attn_div", s.attn_div)
+      .SetRaw("per_horizon_mse", JsonDoubleArray(s.per_horizon_mse))
+      .SetRaw("per_horizon_mae", JsonDoubleArray(s.per_horizon_mae))
+      .SetRaw("per_horizon_coverage80",
+              JsonDoubleArray(s.per_horizon_coverage80))
+      .SetRaw("per_horizon_coverage95",
+              JsonDoubleArray(s.per_horizon_coverage95));
+  return obj;
+}
+
+bool ForecastAuditor::active() const {
+  MutexLock lock(mu_);
+  return horizon_ > 0;
+}
+
+ForecastAuditor& GlobalForecastAuditor() {
+  // Leaked: the pre-dump hook below may run from an atexit handler after
+  // static destruction would have torn a static instance down.
+  static ForecastAuditor* auditor = [] {
+    auto* a = new ForecastAuditor();  // timekd-lint: allow(new-delete)
+    obs::RegisterPreDumpHook([a] {
+      if (a->active()) a->PublishGauges();
+    });
+    return a;
+  }();
+  return *auditor;
+}
+
+}  // namespace timekd::core

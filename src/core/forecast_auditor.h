@@ -1,0 +1,124 @@
+#ifndef TIMEKD_CORE_FORECAST_AUDITOR_H_
+#define TIMEKD_CORE_FORECAST_AUDITOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/thread_annotations.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace timekd::core {
+
+/// Streaming forecast-calibration observatory. Evaluation feeds it one
+/// window at a time (prediction + truth, both flattened [t * channels + v]
+/// like WindowDataset batches) and it maintains:
+///
+///   - per-horizon-step MSE / MAE (where in the horizon the model decays),
+///   - a rolling absolute-residual histogram per horizon step, reused as
+///     an empirical quantile estimator,
+///   - empirical quantile COVERAGE versus nominal: for each window the
+///     residual is first checked against the pre-window q80/q95 estimate
+///     ("would the interval built from past residuals have covered this
+///     one?"), then folded into the estimator. A calibrated forecaster
+///     converges to coverage ~= nominal; a drifting one shows up as a gap.
+///   - student-vs-teacher divergence gauges (CKA, attention divergence)
+///     forwarded from the distillation diagnostics, so serving dashboards
+///     can correlate forecast drift with distillation drift.
+///
+/// Everything is published under `forecast/*` in the global metric
+/// registry (a pre-dump hook keeps the gauges fresh for the exporter, the
+/// exit dump, and the BENCH artifact), summarized as a JSON "calibration"
+/// record for run-history JSONL + the HTML report, and embedded in the
+/// BENCH artifact (report-only in perf_diff).
+///
+/// Thread-safe: evaluation writes from its own thread while the exporter's
+/// pre-dump hook reads from the scrape thread.
+class ForecastAuditor {
+ public:
+  /// Coverage statistics need a few residuals per horizon step before the
+  /// quantile estimate means anything; windows before this many are folded
+  /// into the estimator but not scored.
+  static constexpr int64_t kCoverageWarmup = 16;
+
+  /// Aggregated view of the run so far (all rates are plain ratios).
+  struct Summary {
+    int64_t windows = 0;
+    int64_t horizon = 0;
+    int64_t channels = 0;
+    std::vector<double> per_horizon_mse;
+    std::vector<double> per_horizon_mae;
+    std::vector<double> per_horizon_coverage80;
+    std::vector<double> per_horizon_coverage95;
+    double mse = 0.0;
+    double mae = 0.0;
+    /// Empirical coverage of the rolling 80% / 95% absolute-residual
+    /// intervals; NaN until any window clears warmup.
+    double coverage80 = 0.0;
+    double coverage95 = 0.0;
+    /// Last divergence observations (NaN when never observed).
+    double cka = 0.0;
+    double attn_div = 0.0;
+  };
+
+  ForecastAuditor();
+
+  /// Resets all state and fixes the window geometry for the coming run.
+  /// Horizon/channels must be positive; windows with a different geometry
+  /// are rejected (and counted) rather than silently mixed.
+  void BeginRun(int64_t horizon, int64_t channels);
+
+  /// Feeds one evaluation window. `prediction` and `truth` hold
+  /// horizon * channels values laid out [t * channels + v].
+  void ObserveWindow(const float* prediction, const float* truth);
+
+  /// Records the latest teacher/student divergence diagnostics.
+  void ObserveDivergence(double cka, double attn_div);
+
+  /// Pushes the current aggregates into the global registry's forecast/*
+  /// gauges. Called automatically every few windows and from the
+  /// registered pre-dump hook; callers may also invoke it at run end.
+  void PublishGauges();
+
+  Summary GetSummary() const;
+
+  /// Run-history JSONL record (kind "calibration") consumed by
+  /// MergeRunHistoryFromJsonl / the HTML report.
+  obs::JsonObject CalibrationRecordJson() const;
+
+  /// True once BeginRun has been called with a valid geometry.
+  bool active() const;
+
+ private:
+  struct HorizonStat {
+    double se = 0.0;
+    double ae = 0.0;
+    int64_t covered80 = 0;
+    int64_t covered95 = 0;
+    int64_t scored = 0;  // windows past warmup
+    std::unique_ptr<obs::Histogram> abs_err;
+  };
+
+  void PublishGaugesLocked() TIMEKD_REQUIRES(mu_);
+  Summary GetSummaryLocked() const TIMEKD_REQUIRES(mu_);
+
+  mutable Mutex mu_;
+  int64_t horizon_ TIMEKD_GUARDED_BY(mu_) = 0;
+  int64_t channels_ TIMEKD_GUARDED_BY(mu_) = 0;
+  int64_t windows_ TIMEKD_GUARDED_BY(mu_) = 0;
+  int64_t geometry_rejects_ TIMEKD_GUARDED_BY(mu_) = 0;
+  std::vector<HorizonStat> per_horizon_ TIMEKD_GUARDED_BY(mu_);
+  double cka_ TIMEKD_GUARDED_BY(mu_);
+  double attn_div_ TIMEKD_GUARDED_BY(mu_);
+};
+
+/// Process-wide auditor used by the evaluation paths; leaked singleton.
+/// First use registers a pre-dump hook so every registry serialization
+/// (exporter scrape, exit dump, BENCH artifact) sees fresh gauges.
+ForecastAuditor& GlobalForecastAuditor();
+
+}  // namespace timekd::core
+
+#endif  // TIMEKD_CORE_FORECAST_AUDITOR_H_

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "common/env_config.h"
+#include "core/forecast_auditor.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
@@ -205,6 +206,20 @@ Status WriteBenchArtifact(const std::string& experiment,
            wall_seconds > 0.0
                ? static_cast<double>(fused_flops) * 1e-9 / wall_seconds
                : 0.0);
+  // Telemetry hot paths, expressed as wall-clock rates so the kernels-family
+  // perf gate covers them: spans opened while the flight recorder is OFF
+  // (the disabled fast path must stay one relaxed load) and Prometheus
+  // renders by the exporter.
+  const uint64_t recorder_off = CounterOr0(snap, "obs/recorder_off_spans");
+  const uint64_t renders = CounterOr0(snap, "obs/exporter_renders");
+  kernels
+      .Set("recorder_off_spans_per_sec",
+           wall_seconds > 0.0
+               ? static_cast<double>(recorder_off) / wall_seconds
+               : 0.0)
+      .Set("exporter_renders_per_sec",
+           wall_seconds > 0.0 ? static_cast<double>(renders) / wall_seconds
+                              : 0.0);
 
   obs::JsonObject memory;
   const auto tensor_peak = snap.gauges.find("mem/tensor_peak_bytes");
@@ -225,6 +240,31 @@ Status WriteBenchArtifact(const std::string& experiment,
                             ? static_cast<int64_t>(verdict->second)
                             : int64_t{0});
 
+  // Forecast-calibration summary (core/forecast_auditor.h): per-horizon
+  // error decay and empirical quantile coverage from the last evaluation
+  // pass. Report-only in perf_diff, like the health block — calibration
+  // belongs next to the timings, not gating them.
+  const core::ForecastAuditor::Summary cal =
+      core::GlobalForecastAuditor().GetSummary();
+  obs::JsonObject calibration;
+  calibration.Set("windows", cal.windows)
+      .Set("horizon", cal.horizon)
+      .Set("channels", cal.channels)
+      .Set("mse", cal.mse)
+      .Set("mae", cal.mae)
+      .SetNumberOrString("coverage80", cal.coverage80)
+      .SetNumberOrString("coverage95", cal.coverage95);
+  {
+    std::vector<std::string> mse_arr;
+    std::vector<std::string> cov_arr;
+    for (double v : cal.per_horizon_mse) mse_arr.push_back(obs::JsonNumber(v));
+    for (double v : cal.per_horizon_coverage95) {
+      cov_arr.push_back(obs::JsonNumber(v));
+    }
+    calibration.SetRaw("per_horizon_mse", obs::JsonArray(mse_arr))
+        .SetRaw("per_horizon_coverage95", obs::JsonArray(cov_arr));
+  }
+
   obs::JsonObject doc;
   doc.Set("schema_version", 2)
       .Set("experiment", experiment)
@@ -236,18 +276,14 @@ Status WriteBenchArtifact(const std::string& experiment,
       .SetRaw("roofline", RooflineJson(snap))
       .SetRaw("memory", memory.ToString())
       .SetRaw("health", health.ToString())
+      .SetRaw("calibration", calibration.ToString())
       .SetRaw("metrics", obs::GlobalMetrics().ToJson());
 
   const std::string dir = GetEnvString("TIMEKD_BENCH_OUT_DIR", ".");
   const std::string path = dir + "/BENCH_" + experiment + ".json";
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    return Status::IoError("cannot open bench artifact: " + path);
-  }
-  const std::string rendered = doc.ToString();
-  std::fputs(rendered.c_str(), f);
-  std::fputc('\n', f);
-  std::fclose(f);
+  // Atomic (tmp + fsync + rename): artifacts are read by perf_diff and the
+  // history ledger; a torn artifact would poison the trend baseline.
+  TIMEKD_RETURN_IF_ERROR(obs::WriteFileAtomic(path, doc.ToString() + "\n"));
   if (out_path != nullptr) *out_path = path;
   return Status::Ok();
 }

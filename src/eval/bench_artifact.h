@@ -18,16 +18,25 @@ namespace timekd::eval {
 std::string ProvenanceJson(const std::string& profile_name);
 
 /// Writes the standardized `BENCH_<experiment>.json` perf artifact into
-/// $TIMEKD_BENCH_OUT_DIR (default: current directory). Schema version 1,
+/// $TIMEKD_BENCH_OUT_DIR (default: current directory). Schema version 2,
 /// field-by-field in docs/observability.md:
 ///   wall_seconds          process wall time
 ///   phases                top-level profiler spans (seconds, merged
 ///                         across threads; empty when profiling is off)
 ///   throughput            steps_per_sec / tokens_per_sec over wall time
 ///   kernels               matmul/softmax/attention call+FLOP counters
+///                         plus the telemetry-overhead rates
+///                         (recorder_off_spans_per_sec,
+///                         exporter_renders_per_sec)
+///   roofline              machine calibration + per-kernel efficiency
 ///   memory                peak tensor bytes + VmHWM RSS
+///   health                watchdog verdict/anomaly summary
+///   calibration           forecast-calibration summary
+///                         (core::ForecastAuditor; report-only in the
+///                         perf gate)
 ///   metrics               full global metrics snapshot
 ///   provenance            ProvenanceJson()
+/// The file is published atomically (tmp + rename).
 /// `tools/perf_diff.py` consumes pairs of these artifacts as the perf
 /// regression gate. On success `*out_path` (if given) holds the file path.
 Status WriteBenchArtifact(const std::string& experiment,

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "core/forecast_auditor.h"
 #include "tensor/ops.h"
 
 namespace timekd::eval {
@@ -58,10 +59,21 @@ ForecastMetrics EvaluateWithScale(
     const data::WindowDataset& ds, double naive_mae) {
   tensor::NoGradGuard no_grad;
   MetricsAccumulator acc(naive_mae);
+  // Every evaluation pass also streams into the calibration observatory,
+  // so the live exporter / BENCH artifact carry per-horizon error and
+  // quantile-coverage without a second pass over the dataset.
+  core::ForecastAuditor& auditor = core::GlobalForecastAuditor();
+  auditor.BeginRun(ds.horizon(), ds.series().num_variables());
+  const int64_t expected = ds.horizon() * ds.series().num_variables();
   for (int64_t i = 0; i < ds.NumSamples(); ++i) {
     data::ForecastBatch batch = ds.GetBatch({i});
-    acc.AddTensors(predict(batch.x), batch.y);
+    tensor::Tensor pred = predict(batch.x);
+    acc.AddTensors(pred, batch.y);
+    if (pred.numel() == expected && batch.y.numel() == expected) {
+      auditor.ObserveWindow(pred.data(), batch.y.data());
+    }
   }
+  auditor.PublishGauges();
   return acc.Finalize();
 }
 

@@ -1,0 +1,312 @@
+#include "obs/exporter.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/env_config.h"
+#include "common/logging.h"
+
+namespace timekd::obs {
+
+namespace {
+
+/// How long the serve/snapshot threads sleep between stop-flag checks.
+constexpr int kPollMs = 200;
+
+/// Prometheus value token: `NaN`, `+Inf`, `-Inf`, else shortest-exact-ish
+/// decimal (%.17g round-trips doubles).
+std::string PrometheusValue(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Bucket-bound label: shortest decimal that round-trips the double, so a
+/// 0.1 bound reads `le="0.1"` (as every Prometheus client renders it) and
+/// not `le="0.10000000000000001"`.
+std::string BoundLabel(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+void AppendTypeLine(std::string* out, const std::string& name,
+                    const char* type) {
+  out->append("# TYPE ");
+  out->append(name);
+  out->push_back(' ');
+  out->append(type);
+  out->push_back('\n');
+}
+
+void AppendSample(std::string* out, const std::string& name,
+                  const std::string& labels, const std::string& value) {
+  out->append(name);
+  out->append(labels);
+  out->push_back(' ');
+  out->append(value);
+  out->push_back('\n');
+}
+
+}  // namespace
+
+std::string PrometheusName(const std::string& name) {
+  std::string out = "timekd_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) out.push_back(c == '/' ? '_' : c);
+  return out;
+}
+
+std::string RenderPrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  out.reserve(4096);
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string prom = PrometheusName(name);
+    AppendTypeLine(&out, prom, "counter");
+    AppendSample(&out, prom, "", std::to_string(value));
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string prom = PrometheusName(name);
+    AppendTypeLine(&out, prom, "gauge");
+    AppendSample(&out, prom, "", PrometheusValue(value));
+  }
+  for (const auto& [name, hist] : snapshot.histograms) {
+    const std::string prom = PrometheusName(name);
+    AppendTypeLine(&out, prom, "histogram");
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < hist.bounds.size(); ++i) {
+      if (i < hist.bucket_counts.size()) cumulative += hist.bucket_counts[i];
+      AppendSample(&out, prom + "_bucket",
+                   "{le=\"" + BoundLabel(hist.bounds[i]) + "\"}",
+                   std::to_string(cumulative));
+    }
+    if (hist.bucket_counts.size() > hist.bounds.size()) {
+      cumulative += hist.bucket_counts[hist.bounds.size()];
+    }
+    // `+Inf` and `_count` are BOTH the cumulative bucket total so the
+    // exposition stays consistent when a concurrent Observe() has bumped
+    // the bucket atomics but not yet the sample counter (or vice versa).
+    AppendSample(&out, prom + "_bucket", "{le=\"+Inf\"}",
+                 std::to_string(cumulative));
+    AppendSample(&out, prom + "_sum", "", PrometheusValue(hist.sum));
+    AppendSample(&out, prom + "_count", "", std::to_string(cumulative));
+    const std::string qname = prom + "_quantile";
+    AppendTypeLine(&out, qname, "gauge");
+    AppendSample(&out, qname, "{quantile=\"0.5\"}", PrometheusValue(hist.p50));
+    AppendSample(&out, qname, "{quantile=\"0.9\"}", PrometheusValue(hist.p90));
+    AppendSample(&out, qname, "{quantile=\"0.99\"}",
+                 PrometheusValue(hist.p99));
+  }
+  static Counter* renders = GlobalMetrics().GetCounter("obs/exporter_renders");
+  renders->Increment();
+  return out;
+}
+
+MetricsExporter::MetricsExporter(const MetricsExporterOptions& options)
+    : options_(options) {}
+
+MetricsExporter::~MetricsExporter() { Stop(); }
+
+Status MetricsExporter::Start() {
+  if (running()) return Status::InvalidArgument("exporter already running");
+  if (options_.export_every_ms > 0 && options_.snapshot_path.empty()) {
+    return Status::InvalidArgument(
+        "export_every_ms needs a snapshot_path (set TIMEKD_METRICS_OUT)");
+  }
+  if (options_.port < 0 && options_.export_every_ms <= 0) {
+    return Status::InvalidArgument("exporter has nothing to do: no port "
+                                   "and no periodic export configured");
+  }
+  stop_.store(false, std::memory_order_relaxed);  // relaxed: pre-thread init
+  if (options_.port >= 0) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return Status::IoError("socket(): " + std::string(strerror(errno)));
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    // Loopback only: this is an operator endpoint, never an external one.
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      const std::string err = strerror(errno);
+      ::close(fd);
+      return Status::IoError("bind(127.0.0.1:" +
+                             std::to_string(options_.port) + "): " + err);
+    }
+    if (::listen(fd, 8) != 0) {
+      const std::string err = strerror(errno);
+      ::close(fd);
+      return Status::IoError("listen(): " + err);
+    }
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+      // relaxed: published before the serve thread exists; threads that
+      // later read it synchronize via the thread launch itself.
+      bound_port_.store(ntohs(addr.sin_port), std::memory_order_relaxed);
+    }
+    listen_fd_.store(fd, std::memory_order_relaxed);  // relaxed: ditto
+    serve_thread_ = std::thread([this] {  // timekd-lint: allow(raw-thread)
+      ServeLoop();
+    });
+  }
+  if (options_.export_every_ms > 0) {
+    snapshot_thread_ =
+        std::thread([this] {  // timekd-lint: allow(raw-thread)
+          SnapshotLoop();
+        });
+  }
+  running_.store(true, std::memory_order_relaxed);  // relaxed: info flag
+  return Status::Ok();
+}
+
+void MetricsExporter::Stop() {
+  // relaxed: the worker threads poll this at least every kPollMs; no data
+  // is handed over through the flag itself.
+  stop_.store(true, std::memory_order_relaxed);
+  if (serve_thread_.joinable()) serve_thread_.join();
+  if (snapshot_thread_.joinable()) snapshot_thread_.join();
+  const int fd = listen_fd_.exchange(-1, std::memory_order_relaxed);
+  if (fd >= 0) ::close(fd);
+  bound_port_.store(-1, std::memory_order_relaxed);  // relaxed: info value
+  running_.store(false, std::memory_order_relaxed);  // relaxed: info flag
+}
+
+void MetricsExporter::ServeLoop() {
+  const int fd = listen_fd_.load(std::memory_order_relaxed);  // set pre-spawn
+  while (!stop_.load(std::memory_order_relaxed)) {  // relaxed: poll loop
+    pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int ready = ::poll(&pfd, 1, kPollMs);
+    if (ready <= 0) continue;  // timeout or EINTR: re-check the stop flag
+    sockaddr_in peer;
+    socklen_t len = sizeof(peer);
+    const int client =
+        ::accept(fd, reinterpret_cast<sockaddr*>(&peer), &len);
+    if (client < 0) continue;
+    ServeOneConnection(client);
+    ::close(client);
+  }
+}
+
+void MetricsExporter::ServeOneConnection(int client_fd) {
+  // Drain the request line + headers (bounded, with a poll timeout) so the
+  // client's send buffer is consumed before we respond; the content is
+  // ignored — every request gets the metrics page.
+  char buf[1024];
+  size_t total = 0;
+  while (total < sizeof(buf)) {
+    pollfd pfd;
+    pfd.fd = client_fd;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    if (::poll(&pfd, 1, kPollMs) <= 0) break;
+    const ssize_t n = ::read(client_fd, buf + total, sizeof(buf) - total);
+    if (n <= 0) break;
+    total += static_cast<size_t>(n);
+    // Headers end at the first blank line; HTTP GETs have no body.
+    if (total >= 4 &&
+        std::memcmp(buf + total - 4, "\r\n\r\n", 4) == 0) {
+      break;
+    }
+    if (total >= 2 && std::memcmp(buf + total - 2, "\n\n", 2) == 0) break;
+  }
+
+  RunPreDumpHooks();  // fresh derived gauges at scrape time
+  const std::string body = RenderPrometheusText(GlobalMetrics().Snapshot());
+  std::string response =
+      "HTTP/1.0 200 OK\r\n"
+      "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+      "Content-Length: " +
+      std::to_string(body.size()) + "\r\n\r\n" + body;
+
+  size_t off = 0;
+  while (off < response.size()) {
+    const ssize_t n =
+        ::write(client_fd, response.data() + off, response.size() - off);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    off += static_cast<size_t>(n);
+  }
+  // relaxed: monotonic tally.
+  scrapes_.fetch_add(1, std::memory_order_relaxed);
+  static Counter* scrapes =
+      GlobalMetrics().GetCounter("obs/exporter_scrapes");
+  scrapes->Increment();
+}
+
+void MetricsExporter::SnapshotLoop() {
+  using Clock = std::chrono::steady_clock;
+  const auto period = std::chrono::milliseconds(options_.export_every_ms);
+  auto next = Clock::now() + period;
+  while (!stop_.load(std::memory_order_relaxed)) {  // relaxed: poll loop
+    if (Clock::now() < next) {
+      // Sleep in short slices so Stop() is observed promptly.
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          std::min<int64_t>(kPollMs, options_.export_every_ms)));
+      continue;
+    }
+    next = Clock::now() + period;
+    RunPreDumpHooks();
+    const Status status = GlobalMetrics().WriteJson(options_.snapshot_path);
+    if (!status.ok()) {
+      TIMEKD_LOG(Warning) << "metrics exporter: periodic snapshot failed: "
+                          << status.ToString();
+    }
+  }
+}
+
+void MetricsExporter::RunFor(int64_t duration_ms) {
+  using Clock = std::chrono::steady_clock;
+  const auto deadline = Clock::now() + std::chrono::milliseconds(duration_ms);
+  while (running() && (duration_ms <= 0 || Clock::now() < deadline)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(kPollMs));
+  }
+}
+
+MetricsExporter* StartMetricsExporterIfConfigured() {
+  // Leaked process-lifetime singleton, built at most once.
+  static MetricsExporter* exporter = []() -> MetricsExporter* {
+    MetricsExporterOptions options;
+    options.port = static_cast<int>(GetEnvInt("TIMEKD_METRICS_PORT", -1));
+    options.export_every_ms =
+        GetEnvInt("TIMEKD_METRICS_EXPORT_EVERY_MS", 0);
+    options.snapshot_path = GetEnvString("TIMEKD_METRICS_OUT", "");
+    if (options.port < 0 && options.export_every_ms <= 0) return nullptr;
+    auto* e = new MetricsExporter(options);  // timekd-lint: allow(new-delete)
+    const Status status = e->Start();
+    if (!status.ok()) {
+      TIMEKD_LOG(Warning) << "metrics exporter: " << status.ToString();
+      delete e;  // timekd-lint: allow(new-delete)
+      return nullptr;
+    }
+    if (e->bound_port() >= 0) {
+      TIMEKD_LOG(Info) << "metrics exporter listening on 127.0.0.1:"
+                       << e->bound_port();
+    }
+    return e;
+  }();
+  return exporter;
+}
+
+}  // namespace timekd::obs

@@ -1,0 +1,128 @@
+#ifndef TIMEKD_OBS_EXPORTER_H_
+#define TIMEKD_OBS_EXPORTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace timekd::obs {
+
+/// Mangles a registry metric name into a Prometheus-legal one: the
+/// "timekd_" namespace prefix is prepended and every '/' becomes '_'
+/// ("tensor/matmul_flops" -> "timekd_tensor_matmul_flops"). The lint
+/// metric-name rule keeps registry names inside [a-z0-9_/]+ so this
+/// mangling is PURE substitution — no lossy character squashing that
+/// could alias two registry names onto one exported series.
+std::string PrometheusName(const std::string& name);
+
+/// Renders a registry snapshot in Prometheus text exposition format 0.0.4.
+///
+///   - Counter  -> `# TYPE n counter`  + `n <value>`
+///   - Gauge    -> `# TYPE n gauge`    + `n <value>`
+///   - Histogram-> `# TYPE n histogram` + cumulative `n_bucket{le="..."}`
+///     series ending in `le="+Inf"`, plus `n_sum` / `n_count`, plus an
+///     auxiliary `n_quantile{quantile="0.5|0.9|0.99"}` gauge series
+///     carrying the interpolated estimates from HistogramQuantile.
+///
+/// The `le="+Inf"` bucket and `n_count` are both the cumulative bucket
+/// total (not the separately-tracked sample count), so the exposition is
+/// always internally consistent even when a concurrent Observe() has
+/// bumped one atomic but not yet the other. Non-finite values use the
+/// Prometheus tokens `NaN`, `+Inf`, `-Inf`.
+std::string RenderPrometheusText(const MetricsSnapshot& snapshot);
+
+/// Configuration for MetricsExporter. Everything defaults to "off".
+struct MetricsExporterOptions {
+  /// TCP port for the live scrape endpoint on 127.0.0.1. -1 disables the
+  /// endpoint; 0 binds an ephemeral port (query it via bound_port()).
+  int port = -1;
+  /// When > 0, a background thread re-snapshots the registry every this
+  /// many milliseconds into `snapshot_path` (atomic tmp + rename, so a
+  /// reader never sees a torn file).
+  int64_t export_every_ms = 0;
+  /// Destination for periodic snapshots (JSON, same document as
+  /// MetricRegistry::WriteJson). Required when export_every_ms > 0.
+  std::string snapshot_path;
+};
+
+/// Live metrics exporter: a deliberately minimal single-threaded blocking
+/// HTTP/1.0 endpoint (loopback only, one request per connection, no
+/// keep-alive, no deps) serving the Prometheus rendering of the global
+/// registry, plus an optional periodic file-snapshot loop. Pre-dump hooks
+/// run before every render so derived gauges (rss peak, tensor peak,
+/// forecast calibration) are fresh at scrape time.
+///
+/// Lifecycle: construct with options, Start(), Stop() (idempotent; also
+/// runs from the destructor). Threads wake at least every 200 ms to
+/// observe Stop(), so shutdown is prompt and never blocks on a scraper.
+class MetricsExporter {
+ public:
+  explicit MetricsExporter(const MetricsExporterOptions& options);
+  ~MetricsExporter();
+
+  MetricsExporter(const MetricsExporter&) = delete;
+  MetricsExporter& operator=(const MetricsExporter&) = delete;
+
+  /// Binds the socket (when options.port >= 0) and launches the worker
+  /// thread(s). Returns an error when the bind/listen fails or when the
+  /// options are inconsistent; the exporter stays stopped on error.
+  Status Start();
+
+  /// Signals the worker thread(s) and joins them. Safe to call twice.
+  void Stop();
+
+  bool running() const {
+    // relaxed: an informational flag, nothing is ordered against it.
+    return running_.load(std::memory_order_relaxed);
+  }
+  /// Port actually bound (resolves port 0 to the kernel's pick);
+  /// -1 while the endpoint is not running.
+  int bound_port() const {
+    // relaxed: set once before the serve thread starts, read-only after.
+    return bound_port_.load(std::memory_order_relaxed);
+  }
+  /// Number of HTTP requests served (mirrors obs/exporter_scrapes).
+  uint64_t scrape_count() const {
+    // relaxed: monotonic tally, readers tolerate staleness.
+    return scrapes_.load(std::memory_order_relaxed);
+  }
+
+  /// Blocks the calling thread while the exporter serves, for
+  /// `timekd_cli serve-metrics`: duration_ms > 0 returns after that long,
+  /// <= 0 blocks until the process is killed (or Stop() from elsewhere).
+  void RunFor(int64_t duration_ms);
+
+ private:
+  void ServeLoop();
+  void SnapshotLoop();
+  void ServeOneConnection(int client_fd);
+
+  MetricsExporterOptions options_;
+  std::atomic<int> listen_fd_{-1};
+  std::atomic<int> bound_port_{-1};
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> scrapes_{0};
+  // Exporter owns its service threads directly: they are infrastructure
+  // (blocking I/O + sleeps), not compute, so the compute thread_pool is
+  // the wrong home for them.
+  std::thread serve_thread_;     // timekd-lint: allow(raw-thread)
+  std::thread snapshot_thread_;  // timekd-lint: allow(raw-thread)
+};
+
+/// Builds and starts a process-lifetime exporter from the environment:
+///   TIMEKD_METRICS_PORT            -> options.port
+///   TIMEKD_METRICS_EXPORT_EVERY_MS -> options.export_every_ms
+///   TIMEKD_METRICS_OUT             -> options.snapshot_path
+/// Returns the (leaked, process-lifetime) exporter, or nullptr when
+/// neither the port nor the periodic export is configured or Start()
+/// fails. Idempotent: later calls return the first instance.
+MetricsExporter* StartMetricsExporterIfConfigured();
+
+}  // namespace timekd::obs
+
+#endif  // TIMEKD_OBS_EXPORTER_H_

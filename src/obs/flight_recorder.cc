@@ -1,0 +1,432 @@
+#include "obs/flight_recorder.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+
+#include "common/env_config.h"
+#include "obs/trace.h"
+
+namespace timekd::obs {
+
+namespace {
+
+/// One recorded event. Fixed size and trivially copyable so a ring is a
+/// flat array the crash handler can walk without any library calls. Span
+/// names are string-literal pointers (always valid for the process
+/// lifetime); health messages are copied into `detail` because they are
+/// built dynamically and may be gone by dump time.
+struct Entry {
+  uint64_t seq = 0;    // global order across threads
+  uint64_t ts_us = 0;  // Tracer::NowMicros() origin
+  const char* name = nullptr;
+  char detail[56] = {};
+  uint32_t tid = 0;
+  int32_t depth = 0;
+  uint8_t type = 0;  // FlightRecorder::EventType
+};
+
+/// Per-thread ring. Single writer (the owning thread); `head` is the next
+/// slot to write, published with a release store after the entry is filled
+/// so any reader that acquires `head` sees complete entries below it.
+struct ThreadRing {
+  uint32_t tid = 0;
+  uint32_t capacity = 0;  // power of two
+  Entry* entries = nullptr;
+  std::atomic<uint64_t> head{0};
+};
+
+constexpr uint32_t kMaxRings = 128;
+constexpr uint32_t kDefaultCapacity = 256;
+constexpr size_t kMaxDumpPath = 512;
+
+// All constant-initialized: the recording fast path and the crash handler
+// must never wait on a magic-static guard.
+constinit std::atomic<ThreadRing*> g_rings[kMaxRings] = {};
+constinit std::atomic<uint32_t> g_num_rings{0};
+constinit std::atomic<uint32_t> g_capacity{kDefaultCapacity};
+constinit std::atomic<uint64_t> g_seq{0};
+constinit std::atomic<uint32_t> g_dropped_threads{0};
+
+// Dump path bytes + length, published together: the writer fills the
+// buffer, then release-stores the length; the (possibly async-signal)
+// reader acquire-loads the length before touching the bytes.
+char g_dump_path[kMaxDumpPath];
+constinit std::atomic<uint32_t> g_dump_path_len{0};
+constinit std::atomic<bool> g_handler_installed{false};
+
+uint32_t RoundUpPow2(uint32_t v) {
+  uint32_t p = 1;
+  while (p < v && p < (1u << 20)) p <<= 1;
+  return p;
+}
+
+ThreadRing* RingForThisThread() {
+  thread_local ThreadRing* ring = [] {
+    // relaxed: slot indices only need to be unique, not ordered.
+    const uint32_t slot = g_num_rings.fetch_add(1, std::memory_order_relaxed);
+    if (slot >= kMaxRings) {
+      // relaxed: advisory tally surfaced in the dump, nothing ordered.
+      g_dropped_threads.fetch_add(1, std::memory_order_relaxed);
+      return static_cast<ThreadRing*>(nullptr);
+    }
+    // Leaked on purpose: the crash handler may walk rings of threads that
+    // have already exited. timekd-lint: allow(new-delete)
+    auto* r = new ThreadRing();
+    r->tid = Tracer::CurrentThreadId();
+    // relaxed: capacity is configuration, set before rings record.
+    r->capacity = g_capacity.load(std::memory_order_relaxed);
+    // Leaked with its ring. timekd-lint: allow(new-delete)
+    r->entries = new Entry[r->capacity]();
+    // release: publish the fully-built ring to dump-time readers.
+    g_rings[slot].store(r, std::memory_order_release);
+    return r;
+  }();
+  return ring;
+}
+
+void RecordEntry(FlightRecorder::EventType type, const char* name,
+                 const char* detail, uint64_t ts_us, int depth) {
+  ThreadRing* ring = RingForThisThread();
+  if (ring == nullptr) return;
+  // relaxed: single-writer ring; only this thread ever stores head.
+  const uint64_t h = ring->head.load(std::memory_order_relaxed);
+  Entry& e = ring->entries[h & (ring->capacity - 1)];
+  // relaxed: the sequence only orders events for the dump renderer.
+  e.seq = g_seq.fetch_add(1, std::memory_order_relaxed);
+  e.ts_us = ts_us;
+  e.name = name;
+  e.tid = ring->tid;
+  e.depth = depth;
+  e.type = static_cast<uint8_t>(type);
+  if (detail != nullptr) {
+    size_t n = 0;
+    for (; n + 1 < sizeof(e.detail) && detail[n] != '\0'; ++n) {
+      e.detail[n] = detail[n];
+    }
+    e.detail[n] = '\0';
+  } else {
+    e.detail[0] = '\0';
+  }
+  // release: entry fields must be visible before the slot is published.
+  ring->head.store(h + 1, std::memory_order_release);
+}
+
+// --- Dump rendering ---------------------------------------------------------
+//
+// The renderer is shared between the normal paths (DumpJson/WriteDump) and
+// the crash handler, so it is written against a plain function-pointer sink
+// and uses no allocation, no stdio, and no locks — only the sink itself
+// differs (std::string append vs. raw write(2)).
+
+using SinkFn = void (*)(void* ctx, const char* data, size_t len);
+
+struct Out {
+  SinkFn fn;
+  void* ctx;
+};
+
+void Emit(Out& o, const char* s) {
+  size_t n = 0;
+  while (s[n] != '\0') ++n;
+  o.fn(o.ctx, s, n);
+}
+
+void EmitU64(Out& o, uint64_t v) {
+  char buf[24];
+  size_t i = sizeof(buf);
+  do {
+    buf[--i] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  o.fn(o.ctx, buf + i, sizeof(buf) - i);
+}
+
+void EmitI64(Out& o, int64_t v) {
+  if (v < 0) {
+    Emit(o, "-");
+    EmitU64(o, static_cast<uint64_t>(-v));
+  } else {
+    EmitU64(o, static_cast<uint64_t>(v));
+  }
+}
+
+/// Quoted JSON string. Quotes, backslashes and control characters are
+/// replaced with '_' instead of escaped — span names are clean literals by
+/// construction, and the crash path prefers simplicity over fidelity.
+void EmitString(Out& o, const char* s) {
+  Emit(o, "\"");
+  char buf[128];
+  size_t n = 0;
+  for (size_t i = 0; s[i] != '\0'; ++i) {
+    char c = s[i];
+    if (c == '"' || c == '\\' || static_cast<unsigned char>(c) < 0x20) {
+      c = '_';
+    }
+    buf[n++] = c;
+    if (n == sizeof(buf)) {
+      o.fn(o.ctx, buf, n);
+      n = 0;
+    }
+  }
+  if (n > 0) o.fn(o.ctx, buf, n);
+  Emit(o, "\"");
+}
+
+const char* EventTypeName(uint8_t type) {
+  switch (static_cast<FlightRecorder::EventType>(type)) {
+    case FlightRecorder::EventType::kSpanBegin: return "span_begin";
+    case FlightRecorder::EventType::kSpanEnd: return "span_end";
+    case FlightRecorder::EventType::kHealth: return "health";
+  }
+  return "unknown";
+}
+
+void RenderDump(Out& o, const char* reason, uint64_t now_us) {
+  Emit(o, "{\"kind\":\"flight_recorder\",\"schema_version\":1,\"reason\":");
+  EmitString(o, reason);
+  Emit(o, ",\"ts_us\":");
+  EmitU64(o, now_us);
+  Emit(o, ",\"dropped_threads\":");
+  // relaxed: advisory tally; momentary staleness in a dump is fine.
+  EmitU64(o, g_dropped_threads.load(std::memory_order_relaxed));
+  Emit(o, ",\"threads\":[");
+  // relaxed: a ring registered mid-dump may be missed; acceptable.
+  const uint32_t num =
+      std::min(g_num_rings.load(std::memory_order_relaxed), kMaxRings);
+  bool first_thread = true;
+  for (uint32_t i = 0; i < num; ++i) {
+    // acquire: pairs with the release publish of the fully-built ring.
+    const ThreadRing* ring = g_rings[i].load(std::memory_order_acquire);
+    if (ring == nullptr) continue;
+    // acquire: pairs with the entry-publishing release store in
+    // RecordEntry, so every entry below head reads complete.
+    const uint64_t head = ring->head.load(std::memory_order_acquire);
+    // When the ring has wrapped, the oldest slot may be mid-overwrite by
+    // a still-running thread; skip it and dump capacity-1 entries.
+    uint64_t n = head;
+    if (n > ring->capacity) n = ring->capacity - 1;
+    if (!first_thread) Emit(o, ",");
+    first_thread = false;
+    Emit(o, "{\"tid\":");
+    EmitU64(o, ring->tid);
+    Emit(o, ",\"capacity\":");
+    EmitU64(o, ring->capacity);
+    Emit(o, ",\"recorded\":");
+    EmitU64(o, head);
+    Emit(o, ",\"events\":[");
+    for (uint64_t s = head - n; s < head; ++s) {
+      const Entry& e = ring->entries[s & (ring->capacity - 1)];
+      if (s != head - n) Emit(o, ",");
+      Emit(o, "{\"seq\":");
+      EmitU64(o, e.seq);
+      Emit(o, ",\"type\":");
+      EmitString(o, EventTypeName(e.type));
+      if (e.name != nullptr) {
+        Emit(o, ",\"name\":");
+        EmitString(o, e.name);
+      }
+      if (e.detail[0] != '\0') {
+        Emit(o, ",\"message\":");
+        EmitString(o, e.detail);
+      }
+      Emit(o, ",\"ts_us\":");
+      EmitU64(o, e.ts_us);
+      Emit(o, ",\"depth\":");
+      EmitI64(o, e.depth);
+      Emit(o, "}");
+    }
+    Emit(o, "]}");
+  }
+  Emit(o, "]}\n");
+}
+
+void StringSink(void* ctx, const char* data, size_t len) {
+  static_cast<std::string*>(ctx)->append(data, len);
+}
+
+struct FdCtx {
+  int fd;
+  bool ok;
+};
+
+void FdSink(void* ctx, const char* data, size_t len) {
+  auto* c = static_cast<FdCtx*>(ctx);
+  while (len > 0 && c->ok) {
+    const ssize_t w = ::write(c->fd, data, len);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      c->ok = false;
+      return;
+    }
+    data += w;
+    len -= static_cast<size_t>(w);
+  }
+}
+
+/// Async-signal-safe dump: open/write/fsync/close/rename only, publishing
+/// via `<path>.tmp` + rename so a crash mid-dump never leaves a torn file.
+bool WriteDumpSignalSafe(const char* path, size_t path_len,
+                         const char* reason) {
+  if (path_len == 0 || path_len + 5 >= kMaxDumpPath) return false;
+  char tmp[kMaxDumpPath + 8];
+  std::memcpy(tmp, path, path_len);
+  std::memcpy(tmp + path_len, ".tmp", 5);
+  const int fd = ::open(tmp, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  FdCtx ctx{fd, true};
+  Out o{FdSink, &ctx};
+  RenderDump(o, reason, Tracer::NowMicros());
+  ::fsync(fd);
+  ::close(fd);
+  if (!ctx.ok) return false;
+  char dst[kMaxDumpPath + 1];
+  std::memcpy(dst, path, path_len);
+  dst[path_len] = '\0';
+  return ::rename(tmp, dst) == 0;
+}
+
+void CrashHandler(int sig) {
+  // acquire: pairs with the release publish of the path bytes in Enable.
+  const uint32_t len = g_dump_path_len.load(std::memory_order_acquire);
+  if (len > 0) {
+    const char* reason = sig == SIGSEGV   ? "SIGSEGV"
+                         : sig == SIGABRT ? "SIGABRT"
+                                          : "signal";
+    WriteDumpSignalSafe(g_dump_path, len, reason);
+  }
+  // Restore the default disposition and re-raise: the pending signal is
+  // delivered on handler return, so the process still dies with `sig`.
+  ::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+
+// Env-driven enabling must not rely on the first span reaching this
+// translation unit's singletons; force the wiring at load time, matching
+// the tracer/profiler pattern in trace.cc.
+[[maybe_unused]] const bool g_env_init = [] {
+  const long spans = GetEnvInt("TIMEKD_FLIGHT_RECORDER_SPANS", 0);
+  if (spans > 0) {
+    // relaxed: configuration written before any ring exists.
+    g_capacity.store(RoundUpPow2(static_cast<uint32_t>(spans)),
+                     std::memory_order_relaxed);
+  }
+  const std::string out = GetEnvString("TIMEKD_FLIGHT_RECORDER_OUT", "");
+  if (!out.empty()) {
+    FlightRecorder::Get().Enable(out);
+    FlightRecorder::Get().InstallCrashHandler();
+  }
+  return true;
+}();
+
+}  // namespace
+
+FlightRecorder& FlightRecorder::Get() {
+  // Stateless facade over the constinit globals above; no destructor, so
+  // crash-time and static-destruction-time dumping stay safe.
+  static FlightRecorder instance;
+  return instance;
+}
+
+void FlightRecorder::Enable(const std::string& dump_path, uint32_t capacity) {
+  if (capacity > 0) {
+    // relaxed: sizing is picked up by rings created after this call.
+    g_capacity.store(RoundUpPow2(capacity), std::memory_order_relaxed);
+  }
+  const uint32_t n = static_cast<uint32_t>(
+      std::min(dump_path.size(), kMaxDumpPath - 1));
+  std::memcpy(g_dump_path, dump_path.data(), n);
+  g_dump_path[n] = '\0';
+  // release: publish the path bytes to the crash handler / dumpers.
+  g_dump_path_len.store(n, std::memory_order_release);
+  internal::SetSpanSink(internal::kFlightRecorderSink, true);
+}
+
+void FlightRecorder::Disable() {
+  internal::SetSpanSink(internal::kFlightRecorderSink, false);
+}
+
+bool FlightRecorder::enabled() const {
+  return (internal::SpanSinks() & internal::kFlightRecorderSink) != 0;
+}
+
+std::string FlightRecorder::dump_path() const {
+  // acquire: pairs with the release publish of the path bytes in Enable.
+  const uint32_t len = g_dump_path_len.load(std::memory_order_acquire);
+  return std::string(g_dump_path, len);
+}
+
+void FlightRecorder::RecordSpanBegin(const char* name, uint64_t ts_us,
+                                     int depth) {
+  RecordEntry(EventType::kSpanBegin, name, nullptr, ts_us, depth);
+}
+
+void FlightRecorder::RecordSpanEnd(const char* name, uint64_t ts_us,
+                                   int depth) {
+  RecordEntry(EventType::kSpanEnd, name, nullptr, ts_us, depth);
+}
+
+void FlightRecorder::RecordHealth(const char* message) {
+  RecordEntry(EventType::kHealth, nullptr, message, Tracer::NowMicros(),
+              Tracer::CurrentDepth());
+}
+
+std::string FlightRecorder::DumpJson(const char* reason) const {
+  std::string out;
+  out.reserve(1 << 12);
+  Out o{StringSink, &out};
+  RenderDump(o, reason, Tracer::NowMicros());
+  return out;
+}
+
+Status FlightRecorder::WriteDump(const std::string& path,
+                                 const char* reason) const {
+  if (path.empty() || path.size() + 5 >= kMaxDumpPath) {
+    return Status::InvalidArgument("bad flight-recorder dump path: " + path);
+  }
+  if (!WriteDumpSignalSafe(path.c_str(), path.size(), reason)) {
+    return Status::IoError("cannot write flight-recorder dump: " + path);
+  }
+  return Status::Ok();
+}
+
+bool FlightRecorder::DumpIfConfigured(const char* reason) const {
+  // acquire: pairs with the release publish of the path bytes in Enable.
+  const uint32_t len = g_dump_path_len.load(std::memory_order_acquire);
+  if (len == 0) return false;
+  return WriteDumpSignalSafe(g_dump_path, len, reason);
+}
+
+void FlightRecorder::InstallCrashHandler() {
+  bool expected = false;
+  // relaxed: idempotence flag; double install is harmless, the CAS only
+  // avoids redundant sigaction calls.
+  if (!g_handler_installed.compare_exchange_strong(
+          expected, true, std::memory_order_relaxed)) {
+    return;
+  }
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = CrashHandler;
+  sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGSEGV, &sa, nullptr);
+  ::sigaction(SIGABRT, &sa, nullptr);
+}
+
+void FlightRecorder::Clear() {
+  // relaxed: tests only, externally synchronized with all recorders.
+  const uint32_t num =
+      std::min(g_num_rings.load(std::memory_order_relaxed), kMaxRings);
+  for (uint32_t i = 0; i < num; ++i) {
+    // relaxed: see above — externally synchronized test-only reset.
+    ThreadRing* ring = g_rings[i].load(std::memory_order_relaxed);
+    if (ring != nullptr) ring->head.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace timekd::obs

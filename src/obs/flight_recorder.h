@@ -1,0 +1,84 @@
+#ifndef TIMEKD_OBS_FLIGHT_RECORDER_H_
+#define TIMEKD_OBS_FLIGHT_RECORDER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace timekd::obs {
+
+/// Crash flight recorder: a per-thread lock-free ring of the last N span
+/// begin/end and health events, cheap enough to leave on in production and
+/// dumpable from an async-signal context after SIGSEGV/SIGABRT.
+///
+/// Recording folds into the constinit span-sink bitmask of obs/trace.h
+/// (internal::kFlightRecorderSink), so a TIMEKD_TRACE_SCOPE with the
+/// recorder disabled still costs exactly one relaxed atomic load — the same
+/// contract the tracer and profiler sinks honor. When the sink is enabled,
+/// every span open/close appends one fixed-size entry to the calling
+/// thread's ring (single-writer, no locks, no allocation after the first
+/// span on a thread), overwriting the oldest entry once full.
+///
+/// Dumps are versioned JSON ({"kind":"flight_recorder","schema_version":1,
+/// ...}; field-by-field in docs/observability.md) and are produced three
+/// ways: on demand (DumpJson/WriteDump), by HealthMonitor's fail-fast
+/// kAbort path, and by the InstallCrashHandler() SIGSEGV/SIGABRT handler.
+/// The crash path uses only async-signal-safe calls (open/write/fsync/
+/// rename; no malloc, no stdio) and publishes via `<path>.tmp` + rename so
+/// a crash mid-dump never leaves a torn file.
+///
+/// Environment wiring (read once at load):
+///   TIMEKD_FLIGHT_RECORDER_OUT    dump path; enables recording and
+///                                 installs the crash handler
+///   TIMEKD_FLIGHT_RECORDER_SPANS  per-thread ring capacity (default 256,
+///                                 rounded up to a power of two)
+class FlightRecorder {
+ public:
+  /// Event types as they appear in the dump's "type" field.
+  enum class EventType : uint8_t { kSpanBegin = 0, kSpanEnd = 1, kHealth = 2 };
+
+  /// Process-wide instance (leaked singleton, same lifetime rules as
+  /// Tracer/Profiler so crash-time dumping never races destruction).
+  static FlightRecorder& Get();
+
+  /// Starts recording into per-thread rings and remembers `dump_path` for
+  /// DumpIfConfigured()/the crash handler. `capacity` (entries per thread)
+  /// is rounded up to a power of two; 0 keeps the current capacity.
+  /// Existing rings keep their original capacity — size before recording.
+  void Enable(const std::string& dump_path, uint32_t capacity = 0);
+  void Disable();
+  bool enabled() const;
+  std::string dump_path() const;
+
+  /// Internal: called by ScopedSpan when the recorder sink bit is set.
+  void RecordSpanBegin(const char* name, uint64_t ts_us, int depth);
+  void RecordSpanEnd(const char* name, uint64_t ts_us, int depth);
+  /// Health-event hook (HealthMonitor): `message` is copied (truncated)
+  /// into the entry, so it need not outlive the call.
+  void RecordHealth(const char* message);
+
+  /// Renders the dump JSON. `reason` lands in the "reason" field
+  /// ("on_demand", "health_abort", "SIGSEGV", ...).
+  std::string DumpJson(const char* reason = "on_demand") const;
+  /// Atomically writes the dump (tmp + fsync + rename).
+  Status WriteDump(const std::string& path, const char* reason) const;
+  /// Writes to the Enable()/TIMEKD_FLIGHT_RECORDER_OUT path, if any.
+  bool DumpIfConfigured(const char* reason) const;
+
+  /// Installs the async-signal-safe SIGSEGV/SIGABRT handler: dump to the
+  /// configured path, then re-raise with the default disposition so the
+  /// process still dies with the original signal. Idempotent.
+  void InstallCrashHandler();
+
+  /// Drops all recorded events (registered rings are kept). Tests only;
+  /// callers must ensure no thread is concurrently recording.
+  void Clear();
+
+ private:
+  FlightRecorder() = default;
+};
+
+}  // namespace timekd::obs
+
+#endif  // TIMEKD_OBS_FLIGHT_RECORDER_H_

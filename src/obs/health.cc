@@ -5,8 +5,10 @@
 
 #include "common/env_config.h"
 #include "common/logging.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
+#include "obs/trace.h"
 
 namespace timekd::obs {
 
@@ -246,6 +248,9 @@ void HealthMonitor::RecordEvent(const HealthEvent& event, bool fatal) {
   GlobalMetrics().GetCounter("health/anomalies")->Increment();
   GlobalMetrics().GetGauge("health/verdict")
       ->Set(static_cast<double>(verdict_));
+  if (internal::SpanSinks() & internal::kFlightRecorderSink) {
+    FlightRecorder::Get().RecordHealth(event.message.c_str());
+  }
 
   TIMEKD_LOG(Warning) << "health: " << HealthEventTypeName(event.type)
                       << " [" << event.phase << " epoch " << event.epoch
@@ -272,6 +277,9 @@ void HealthMonitor::RecordEvent(const HealthEvent& event, bool fatal) {
     if (config_.fail_fast == FailFastMode::kAbort) {
       Finalize();
       WriteHtmlReportIfConfigured();
+      // The dump captures the spans in flight at the moment the watchdog
+      // pulled the cord — the "what was it doing" record for post-mortems.
+      FlightRecorder::Get().DumpIfConfigured("health_abort");
       TIMEKD_LOG(Fatal) << "health watchdog fail-fast: "
                         << HealthEventTypeName(event.type) << " at step "
                         << event.step << " (" << event.message << ")";

@@ -103,6 +103,23 @@ struct RunHistory {
   HealthVerdict verdict = HealthVerdict::kHealthy;
   int64_t anomalies = 0;
   std::string title;
+
+  /// Forecast-calibration summary, merged from "calibration" JSONL records
+  /// (core::ForecastAuditor::CalibrationRecordJson). windows == 0 means no
+  /// record was seen and the report omits the calibration section.
+  struct CalibrationSummary {
+    int64_t windows = 0;
+    int64_t horizon = 0;
+    int64_t channels = 0;
+    double mse = 0.0;
+    double mae = 0.0;
+    double coverage80 = 0.0;
+    double coverage95 = 0.0;
+    std::vector<double> per_horizon_mse;
+    std::vector<double> per_horizon_coverage80;
+    std::vector<double> per_horizon_coverage95;
+  };
+  CalibrationSummary calibration;
 };
 
 /// Numerical-health watchdog. A TrainObserver that every Fit loop wraps

@@ -1,5 +1,7 @@
 #include "obs/json.h"
 
+#include <unistd.h>
+
 #include <cctype>
 #include <cmath>
 #include <cstdio>
@@ -395,6 +397,32 @@ std::string JsonValue::GetString(const std::string& key,
                                  const std::string& fallback) const {
   const JsonValue* v = Find(key);
   return v != nullptr && v->type_ == Type::kString ? v->string_ : fallback;
+}
+
+Status WriteFileAtomic(const std::string& path, const std::string& contents) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError("cannot open temp file: " + tmp);
+  }
+  const size_t written = std::fwrite(contents.data(), 1, contents.size(), f);
+  bool ok = written == contents.size() && std::fflush(f) == 0;
+  if (ok) {
+    // fsync before rename: the rename must publish durable bytes, or a
+    // power loss could leave a correctly-named but empty file.
+    const int fd = fileno(f);
+    ok = fd >= 0 && fsync(fd) == 0;
+  }
+  if (std::fclose(f) != 0) ok = false;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return Status::IoError("short write to temp file: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("cannot rename " + tmp + " over " + path);
+  }
+  return Status::Ok();
 }
 
 }  // namespace timekd::obs

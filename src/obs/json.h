@@ -51,6 +51,13 @@ class JsonObject {
 /// `[e0,e1,...]` from pre-rendered JSON values.
 std::string JsonArray(const std::vector<std::string>& elements);
 
+/// Crash-safe whole-file write shared by every telemetry dump that must
+/// survive the process dying right after (metrics JSON, HTML reports,
+/// BENCH artifacts, exporter snapshots): writes `<path>.tmp`, flushes and
+/// fsyncs it, then renames over `path` — a reader never observes a torn
+/// or half-durable file, only the old content or the complete new one.
+Status WriteFileAtomic(const std::string& path, const std::string& contents);
+
 /// Parsed JSON document node. Every telemetry producer in this repo writes
 /// through JsonObject, so the matching reader only needs the standard six
 /// value kinds; `null` maps to NaN when read as a number, which round-trips

@@ -187,15 +187,9 @@ std::string MetricRegistry::ToJson() const {
 }
 
 Status MetricRegistry::WriteJson(const std::string& path) const {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    return Status::IoError("cannot open metrics output: " + path);
-  }
-  const std::string doc = ToJson();
-  std::fputs(doc.c_str(), f);
-  std::fputc('\n', f);
-  std::fclose(f);
-  return Status::Ok();
+  // Atomic (tmp + fsync + rename): the exit dump can race an abort, and
+  // the exporter's periodic snapshots can race a scraper reading the file.
+  return WriteFileAtomic(path, ToJson() + "\n");
 }
 
 void MetricRegistry::ResetAll() {

@@ -1,5 +1,7 @@
 #include "obs/observer.h"
 
+#include <unistd.h>
+
 namespace timekd::obs {
 
 JsonlWriter::JsonlWriter(const std::string& path) : path_(path) {
@@ -23,6 +25,10 @@ void JsonlWriter::Flush() {
   if (file_ == nullptr) return;
   MutexLock lock(mu_);
   std::fflush(file_);
+  // fsync so the log survives an OS crash, not just a process kill; this
+  // runs on abort/finalize paths only, never per line.
+  const int fd = fileno(file_);
+  if (fd >= 0) fsync(fd);
 }
 
 JsonObject StepRecordToJson(const StepRecord& r) {

@@ -98,8 +98,10 @@ class JsonlWriter {
   bool ok() const { return file_ != nullptr; }
   const std::string& path() const { return path_; }
   void WriteLine(const JsonObject& object);
-  /// Explicit flush; WriteLine already flushes, this exists for callers
-  /// that want a barrier (e.g. right before a deliberate abort).
+  /// Durability barrier: fflush + fsync, so every line written so far
+  /// survives not just a process kill (the per-line flush covers that)
+  /// but an OS-level crash. Called right before a deliberate abort
+  /// (HealthMonitor::Finalize) where the log is the post-mortem record.
   void Flush();
 
  private:
@@ -120,6 +122,10 @@ class JsonlObserver : public TrainObserver {
   bool ok() const { return writer_.ok(); }
   void OnStep(const StepRecord& record) override;
   void OnEpoch(const EpochRecord& record) override;
+  /// Appends an arbitrary extra record to the same stream (e.g. the
+  /// end-of-run "calibration" record) so run-history consumers find every
+  /// kind in one file.
+  void WriteRecord(const JsonObject& record) { writer_.WriteLine(record); }
   /// Barrier over the underlying writer (see JsonlWriter::Flush).
   void Flush() { writer_.Flush(); }
 

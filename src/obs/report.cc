@@ -280,6 +280,55 @@ HealthVerdict HealthVerdictFromName(const std::string& name) {
   return HealthVerdict::kHealthy;
 }
 
+std::vector<double> DoubleArray(const JsonValue& v, const std::string& key) {
+  std::vector<double> out;
+  const JsonValue* arr = v.Find(key);
+  if (arr == nullptr || !arr->is_array()) return out;
+  out.reserve(arr->AsArray().size());
+  for (const JsonValue& e : arr->AsArray()) out.push_back(e.AsDouble());
+  return out;
+}
+
+/// Forecast-calibration section: where in the horizon the error grows and
+/// whether the rolling 80%/95% residual intervals actually cover 80%/95%
+/// of what arrives. Rendered only when a "calibration" record was merged.
+std::string RenderCalibrationSection(const RunHistory& history) {
+  const RunHistory::CalibrationSummary& cal = history.calibration;
+  if (cal.windows <= 0) return "";
+  std::string out = "<h2>Forecast calibration</h2>\n";
+  out += "<p>" + std::to_string(cal.windows) + " window(s), horizon " +
+         std::to_string(cal.horizon) + ", " + std::to_string(cal.channels) +
+         " channel(s) &mdash; MSE " + FormatG(cal.mse) + ", MAE " +
+         FormatG(cal.mae) + ", empirical coverage " +
+         FormatG(cal.coverage80) + " @80% / " + FormatG(cal.coverage95) +
+         " @95%</p>\n";
+
+  Series mse_series;
+  mse_series.label = "mse";
+  for (size_t t = 0; t < cal.per_horizon_mse.size(); ++t) {
+    mse_series.points.emplace_back(static_cast<double>(t + 1),
+                                   cal.per_horizon_mse[t]);
+  }
+  out += RenderLineChart("calibration_mse",
+                         "Per-horizon-step MSE (error decay)", {mse_series});
+
+  std::vector<Series> coverage(2);
+  coverage[0].label = "coverage80";
+  coverage[1].label = "coverage95";
+  for (size_t t = 0; t < cal.per_horizon_coverage80.size(); ++t) {
+    coverage[0].points.emplace_back(static_cast<double>(t + 1),
+                                    cal.per_horizon_coverage80[t]);
+  }
+  for (size_t t = 0; t < cal.per_horizon_coverage95.size(); ++t) {
+    coverage[1].points.emplace_back(static_cast<double>(t + 1),
+                                    cal.per_horizon_coverage95[t]);
+  }
+  out += RenderLineChart("calibration_coverage",
+                         "Per-horizon quantile coverage (nominal 0.80/0.95)",
+                         coverage);
+  return out;
+}
+
 }  // namespace
 
 std::string RenderHtmlReport(const RunHistory& history) {
@@ -360,6 +409,8 @@ std::string RenderHtmlReport(const RunHistory& history) {
         return e.distill_attn_div;
       }));
 
+  out += RenderCalibrationSection(history);
+
   out += RenderEventTimeline(history);
 
   if (!history.epochs.empty()) {
@@ -399,17 +450,9 @@ std::string RenderHtmlReport(const RunHistory& history) {
 }
 
 Status WriteHtmlReport(const RunHistory& history, const std::string& path) {
-  const std::string html = RenderHtmlReport(history);
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    return Status::IoError("cannot open report file: " + path);
-  }
-  const size_t written = std::fwrite(html.data(), 1, html.size(), f);
-  const int close_rc = std::fclose(f);
-  if (written != html.size() || close_rc != 0) {
-    return Status::IoError("short write to report file: " + path);
-  }
-  return Status::Ok();
+  // Atomic (tmp + fsync + rename): the fail-fast abort path writes this
+  // report right before dying, so it must never publish a torn file.
+  return WriteFileAtomic(path, RenderHtmlReport(history));
 }
 
 Status MergeRunHistoryFromJsonl(const std::string& path, RunHistory* history) {
@@ -467,6 +510,20 @@ Status MergeRunHistoryFromJsonl(const std::string& path, RunHistory* history) {
       }
       history->events.push_back(std::move(e));
       history->anomalies = static_cast<int64_t>(history->events.size());
+    } else if (kind == "calibration") {
+      RunHistory::CalibrationSummary& cal = history->calibration;
+      cal.windows = static_cast<int64_t>(v.GetDouble("windows", 0.0));
+      cal.horizon = static_cast<int64_t>(v.GetDouble("horizon", 0.0));
+      cal.channels = static_cast<int64_t>(v.GetDouble("channels", 0.0));
+      cal.mse = v.GetDouble("mse", 0.0);
+      cal.mae = v.GetDouble("mae", 0.0);
+      cal.coverage80 = v.GetDouble(
+          "coverage80", std::numeric_limits<double>::quiet_NaN());
+      cal.coverage95 = v.GetDouble(
+          "coverage95", std::numeric_limits<double>::quiet_NaN());
+      cal.per_horizon_mse = DoubleArray(v, "per_horizon_mse");
+      cal.per_horizon_coverage80 = DoubleArray(v, "per_horizon_coverage80");
+      cal.per_horizon_coverage95 = DoubleArray(v, "per_horizon_coverage95");
     } else if (kind == "health_summary") {
       history->anomalies = static_cast<int64_t>(
           v.GetDouble("anomalies",

@@ -17,9 +17,9 @@ std::string RenderHtmlReport(const RunHistory& history);
 /// Renders `history` and writes it to `path` (overwrite).
 Status WriteHtmlReport(const RunHistory& history, const std::string& path);
 
-/// Folds a JSONL log into *history. Understands the four record kinds the
+/// Folds a JSONL log into *history. Understands the record kinds the
 /// observability layer emits ("step", "epoch", "health_event",
-/// "health_summary"); other kinds are ignored so the loader works on both
+/// "health_summary", "calibration"); other kinds are ignored so the loader works on both
 /// training logs and health event streams — call it once per file to merge
 /// several. Unparseable lines are skipped (a crash may not tear a line,
 /// but a partial copy might). Fails only when the file cannot be read.

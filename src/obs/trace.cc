@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <limits>
 
+#include "obs/flight_recorder.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
@@ -142,15 +143,8 @@ std::string Tracer::ChromeTraceJson() const {
 }
 
 Status Tracer::WriteChromeTrace(const std::string& path) const {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    return Status::IoError("cannot open trace output: " + path);
-  }
-  const std::string doc = ChromeTraceJson();
-  std::fputs(doc.c_str(), f);
-  std::fputc('\n', f);
-  std::fclose(f);
-  return Status::Ok();
+  // Atomic (tmp + fsync + rename): the atexit dump can race an abort.
+  return WriteFileAtomic(path, ChromeTraceJson() + "\n");
 }
 
 bool Tracer::DumpIfConfigured() const {
@@ -187,6 +181,9 @@ ScopedSpan::ScopedSpan(const char* name) {
   depth_ = ++ThreadDepth();
   if (sinks & internal::kProfilerSink) Profiler::Get().BeginSpan(name);
   start_us_ = Tracer::NowMicros();
+  if (sinks & internal::kFlightRecorderSink) {
+    FlightRecorder::Get().RecordSpanBegin(name, start_us_, depth_);
+  }
 }
 
 ScopedSpan::~ScopedSpan() {
@@ -197,6 +194,9 @@ ScopedSpan::~ScopedSpan() {
   if (sinks_ & internal::kProfilerSink) Profiler::Get().EndSpan(dur_us);
   if (sinks_ & internal::kTracerSink) {
     Tracer::Get().RecordSpan(name_, start_us_, dur_us, depth_);
+  }
+  if (sinks_ & internal::kFlightRecorderSink) {
+    FlightRecorder::Get().RecordSpanEnd(name_, end_us, depth_);
   }
 }
 

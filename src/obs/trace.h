@@ -14,13 +14,15 @@ namespace timekd::obs {
 
 namespace internal {
 
-/// Bitmask of the span sinks that are currently recording. Both sinks
-/// (the Chrome-trace Tracer and the hierarchical Profiler) fold into this
-/// ONE constinit atomic so a disabled TIMEKD_TRACE_SCOPE costs exactly one
-/// relaxed atomic load — adding the profiler did not add a second check to
-/// every instrumented hot path.
+/// Bitmask of the span sinks that are currently recording. All sinks
+/// (the Chrome-trace Tracer, the hierarchical Profiler, and the crash
+/// flight recorder of obs/flight_recorder.h) fold into this ONE constinit
+/// atomic so a disabled TIMEKD_TRACE_SCOPE costs exactly one relaxed
+/// atomic load — adding a sink never adds a second check to every
+/// instrumented hot path.
 inline constexpr uint32_t kTracerSink = 1u;
 inline constexpr uint32_t kProfilerSink = 2u;
+inline constexpr uint32_t kFlightRecorderSink = 4u;
 extern std::atomic<uint32_t> g_span_sinks;
 
 inline uint32_t SpanSinks() {

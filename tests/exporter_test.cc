@@ -1,0 +1,418 @@
+// Prometheus text-exposition contract of obs::MetricsExporter: a strict
+// stdlib-only parser round-trips every metric type the renderer emits
+// (counters, gauges incl. NaN/Inf, histograms with cumulative buckets and
+// quantile series), rejects malformed exposition, and a live TCP scrape of
+// the blocking endpoint returns a parseable page while another thread is
+// concurrently hammering the registry — the "scrape during a running eval"
+// production scenario.
+
+#include "obs/exporter.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace timekd::obs {
+namespace {
+
+// --- Minimal strict Prometheus text-format 0.0.4 parser (stdlib only) ------
+
+struct PromSample {
+  std::string name;
+  std::map<std::string, std::string> labels;
+  double value = 0.0;
+};
+
+struct PromPage {
+  std::map<std::string, std::string> types;  // metric family -> type
+  std::vector<PromSample> samples;
+};
+
+bool IsNameStart(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+         c == ':';
+}
+
+bool IsNameChar(char c) {
+  return IsNameStart(c) || (c >= '0' && c <= '9');
+}
+
+/// Parses a value token; NaN/+Inf/-Inf per the exposition format, else a
+/// full-consume strtod. Returns false on anything else.
+bool ParseValue(const std::string& token, double* out) {
+  if (token == "NaN") {
+    *out = std::nan("");
+    return true;
+  }
+  if (token == "+Inf" || token == "Inf") {
+    *out = std::numeric_limits<double>::infinity();
+    return true;
+  }
+  if (token == "-Inf") {
+    *out = -std::numeric_limits<double>::infinity();
+    return true;
+  }
+  if (token.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtod(token.c_str(), &end);
+  return end == token.c_str() + token.size();
+}
+
+/// Strict parse of one exposition page. On failure returns false and puts
+/// a line-anchored message into *error.
+bool ParsePromPage(const std::string& text, PromPage* page,
+                   std::string* error) {
+  if (text.empty() || text.back() != '\n') {
+    *error = "exposition must end with a newline";
+    return false;
+  }
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::string where = "line " + std::to_string(lineno) + ": ";
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      const std::string type_prefix = "# TYPE ";
+      if (line.rfind(type_prefix, 0) == 0) {
+        std::istringstream fields(line.substr(type_prefix.size()));
+        std::string name, type, extra;
+        fields >> name >> type;
+        if (name.empty() || type.empty() || (fields >> extra)) {
+          *error = where + "malformed TYPE line";
+          return false;
+        }
+        if (page->types.count(name) != 0) {
+          *error = where + "duplicate TYPE for " + name;
+          return false;
+        }
+        page->types[name] = type;
+      }
+      continue;  // other comments tolerated
+    }
+    PromSample sample;
+    size_t i = 0;
+    if (!IsNameStart(line[i])) {
+      *error = where + "bad metric name start";
+      return false;
+    }
+    while (i < line.size() && IsNameChar(line[i])) ++i;
+    sample.name = line.substr(0, i);
+    if (i < line.size() && line[i] == '{') {
+      ++i;
+      while (i < line.size() && line[i] != '}') {
+        size_t k = i;
+        while (k < line.size() && IsNameChar(line[k])) ++k;
+        if (k == i || k >= line.size() || line[k] != '=' ||
+            k + 1 >= line.size() || line[k + 1] != '"') {
+          *error = where + "malformed label";
+          return false;
+        }
+        const std::string key = line.substr(i, k - i);
+        size_t v = k + 2;
+        std::string value;
+        while (v < line.size() && line[v] != '"') {
+          if (line[v] == '\\') ++v;  // escaped char
+          if (v < line.size()) value += line[v];
+          ++v;
+        }
+        if (v >= line.size()) {
+          *error = where + "unterminated label value";
+          return false;
+        }
+        sample.labels[key] = value;
+        i = v + 1;
+        if (i < line.size() && line[i] == ',') ++i;
+      }
+      if (i >= line.size() || line[i] != '}') {
+        *error = where + "unterminated label set";
+        return false;
+      }
+      ++i;
+    }
+    if (i >= line.size() || line[i] != ' ') {
+      *error = where + "missing value separator";
+      return false;
+    }
+    const std::string rest = line.substr(i + 1);
+    if (rest.find(' ') != std::string::npos) {
+      // Timestamps are legal Prometheus but this renderer never emits
+      // them, so the strict parser treats a second token as malformed.
+      *error = where + "unexpected second token";
+      return false;
+    }
+    if (!ParseValue(rest, &sample.value)) {
+      *error = where + "bad value token '" + rest + "'";
+      return false;
+    }
+    page->samples.push_back(std::move(sample));
+  }
+  return true;
+}
+
+const PromSample* FindSample(const PromPage& page, const std::string& name,
+                             const std::string& label_key = "",
+                             const std::string& label_value = "") {
+  for (const PromSample& s : page.samples) {
+    if (s.name != name) continue;
+    if (!label_key.empty()) {
+      auto it = s.labels.find(label_key);
+      if (it == s.labels.end() || it->second != label_value) continue;
+    }
+    return &s;
+  }
+  return nullptr;
+}
+
+TEST(PrometheusNameTest, ManglingIsPureSlashSubstitution) {
+  EXPECT_EQ(PrometheusName("tensor/matmul_flops"),
+            "timekd_tensor_matmul_flops");
+  EXPECT_EQ(PrometheusName("health/verdict"), "timekd_health_verdict");
+  EXPECT_EQ(PrometheusName("a/b/c_d"), "timekd_a_b_c_d");
+}
+
+TEST(RenderPrometheusTextTest, CounterAndGaugeRoundTrip) {
+  MetricRegistry reg;
+  reg.GetCounter("eval/windows")->Increment(42);
+  reg.GetGauge("fit/lr")->Set(2.5e-3);
+
+  PromPage page;
+  std::string error;
+  ASSERT_TRUE(ParsePromPage(RenderPrometheusText(reg.Snapshot()), &page,
+                            &error))
+      << error;
+  EXPECT_EQ(page.types.at("timekd_eval_windows"), "counter");
+  EXPECT_EQ(page.types.at("timekd_fit_lr"), "gauge");
+  const PromSample* counter = FindSample(page, "timekd_eval_windows");
+  ASSERT_NE(counter, nullptr);
+  EXPECT_EQ(counter->value, 42.0);
+  const PromSample* gauge = FindSample(page, "timekd_fit_lr");
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_DOUBLE_EQ(gauge->value, 2.5e-3);
+}
+
+TEST(RenderPrometheusTextTest, NonFiniteGaugesUsePrometheusTokens) {
+  MetricRegistry reg;
+  reg.GetGauge("fit/nan")->Set(std::nan(""));
+  reg.GetGauge("fit/pinf")->Set(std::numeric_limits<double>::infinity());
+  reg.GetGauge("fit/ninf")->Set(-std::numeric_limits<double>::infinity());
+
+  const std::string text = RenderPrometheusText(reg.Snapshot());
+  EXPECT_NE(text.find("timekd_fit_nan NaN\n"), std::string::npos);
+  EXPECT_NE(text.find("timekd_fit_pinf +Inf\n"), std::string::npos);
+  EXPECT_NE(text.find("timekd_fit_ninf -Inf\n"), std::string::npos);
+
+  PromPage page;
+  std::string error;
+  ASSERT_TRUE(ParsePromPage(text, &page, &error)) << error;
+  EXPECT_TRUE(std::isnan(FindSample(page, "timekd_fit_nan")->value));
+  EXPECT_TRUE(std::isinf(FindSample(page, "timekd_fit_pinf")->value));
+}
+
+TEST(RenderPrometheusTextTest, HistogramRoundTripWithQuantiles) {
+  MetricRegistry reg;
+  Histogram* h = reg.GetHistogram("eval/latency", {0.1, 1.0, 10.0});
+  for (int i = 0; i < 50; ++i) h->Observe(0.05);   // first bucket
+  for (int i = 0; i < 40; ++i) h->Observe(0.5);    // second bucket
+  for (int i = 0; i < 10; ++i) h->Observe(100.0);  // overflow bucket
+
+  PromPage page;
+  std::string error;
+  ASSERT_TRUE(ParsePromPage(RenderPrometheusText(reg.Snapshot()), &page,
+                            &error))
+      << error;
+  EXPECT_EQ(page.types.at("timekd_eval_latency"), "histogram");
+  EXPECT_EQ(page.types.at("timekd_eval_latency_quantile"), "gauge");
+
+  // Buckets are cumulative and non-decreasing; the +Inf bucket equals
+  // _count (the renderer's internal-consistency guarantee).
+  const PromSample* b01 =
+      FindSample(page, "timekd_eval_latency_bucket", "le", "0.1");
+  const PromSample* b1 =
+      FindSample(page, "timekd_eval_latency_bucket", "le", "1");
+  const PromSample* binf =
+      FindSample(page, "timekd_eval_latency_bucket", "le", "+Inf");
+  const PromSample* count = FindSample(page, "timekd_eval_latency_count");
+  const PromSample* sum = FindSample(page, "timekd_eval_latency_sum");
+  ASSERT_NE(b01, nullptr);
+  ASSERT_NE(b1, nullptr);
+  ASSERT_NE(binf, nullptr);
+  ASSERT_NE(count, nullptr);
+  ASSERT_NE(sum, nullptr);
+  EXPECT_EQ(b01->value, 50.0);
+  EXPECT_EQ(b1->value, 90.0);
+  EXPECT_EQ(binf->value, 100.0);
+  EXPECT_EQ(count->value, binf->value);
+  EXPECT_NEAR(sum->value, 50 * 0.05 + 40 * 0.5 + 10 * 100.0, 1e-9);
+
+  const PromSample* p50 =
+      FindSample(page, "timekd_eval_latency_quantile", "quantile", "0.5");
+  const PromSample* p99 =
+      FindSample(page, "timekd_eval_latency_quantile", "quantile", "0.99");
+  ASSERT_NE(p50, nullptr);
+  ASSERT_NE(p99, nullptr);
+  EXPECT_GT(p99->value, p50->value);
+}
+
+TEST(PromParserTest, RejectsMalformedExposition) {
+  PromPage page;
+  std::string error;
+  // Not newline-terminated.
+  EXPECT_FALSE(ParsePromPage("timekd_x 1", &page, &error));
+  // Missing value.
+  EXPECT_FALSE(ParsePromPage("timekd_x\n", &page, &error));
+  // Garbage value token.
+  EXPECT_FALSE(ParsePromPage("timekd_x 1.2.3\n", &page, &error));
+  // Unterminated label value.
+  EXPECT_FALSE(ParsePromPage("timekd_x{le=\"0.1} 1\n", &page, &error));
+  // Bad name start.
+  EXPECT_FALSE(ParsePromPage("9timekd_x 1\n", &page, &error));
+  // Malformed TYPE line.
+  EXPECT_FALSE(ParsePromPage("# TYPE timekd_x\n", &page, &error));
+}
+
+TEST(MetricsExporterTest, StartRejectsInconsistentOptions) {
+  MetricsExporterOptions options;  // everything off
+  MetricsExporter exporter(options);
+  EXPECT_FALSE(exporter.Start().ok());
+
+  MetricsExporterOptions periodic;
+  periodic.export_every_ms = 10;  // but no snapshot_path
+  MetricsExporter exporter2(periodic);
+  EXPECT_FALSE(exporter2.Start().ok());
+}
+
+/// Scrapes 127.0.0.1:port once over a raw socket; returns the full HTTP
+/// response (headers + body), empty on failure.
+std::string ScrapeOnce(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const char request[] = "GET /metrics HTTP/1.0\r\n\r\n";
+  (void)!::write(fd, request, sizeof(request) - 1);
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(MetricsExporterTest, LiveScrapeDuringConcurrentRecording) {
+  GlobalMetrics().GetCounter("eval/windows")->Increment();
+
+  MetricsExporterOptions options;
+  options.port = 0;  // ephemeral
+  MetricsExporter exporter(options);
+  ASSERT_TRUE(exporter.Start().ok());
+  ASSERT_GT(exporter.bound_port(), 0);
+
+  // A stand-in for a running evaluation: hammer the registry (counters,
+  // gauges and a histogram) from another thread for the whole scrape.
+  std::atomic<bool> stop{false};
+  // The probe thread IS the scenario under test (registry writes racing a
+  // scrape), so the pool would defeat the point.
+  std::thread writer([&stop] {  // timekd-lint: allow(raw-thread)
+    Histogram* h =
+        GlobalMetrics().GetHistogram("eval/scrape_probe", {0.1, 1.0});
+    Gauge* g = GlobalMetrics().GetGauge("eval/scrape_gauge");
+    uint64_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      h->Observe(static_cast<double>(i % 3));
+      g->Set(static_cast<double>(i));
+      ++i;
+    }
+  });
+
+  std::string response;
+  for (int attempt = 0; attempt < 50 && response.empty(); ++attempt) {
+    response = ScrapeOnce(exporter.bound_port());
+  }
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+  ASSERT_FALSE(response.empty());
+
+  ASSERT_EQ(response.rfind("HTTP/1.0 200 OK", 0), 0u) << response;
+  EXPECT_NE(response.find("text/plain; version=0.0.4"), std::string::npos);
+  const size_t body_at = response.find("\r\n\r\n");
+  ASSERT_NE(body_at, std::string::npos);
+  const std::string body = response.substr(body_at + 4);
+
+  PromPage page;
+  std::string error;
+  ASSERT_TRUE(ParsePromPage(body, &page, &error)) << error;
+  EXPECT_NE(FindSample(page, "timekd_eval_windows"), nullptr);
+  // Histogram internal consistency held even under concurrent writes.
+  const PromSample* binf =
+      FindSample(page, "timekd_eval_scrape_probe_bucket", "le", "+Inf");
+  const PromSample* count =
+      FindSample(page, "timekd_eval_scrape_probe_count");
+  if (binf != nullptr && count != nullptr) {
+    EXPECT_EQ(binf->value, count->value);
+  }
+  EXPECT_GE(exporter.scrape_count(), 1u);
+
+  exporter.Stop();
+  EXPECT_FALSE(exporter.running());
+}
+
+TEST(MetricsExporterTest, PeriodicSnapshotWritesParseableJson) {
+  GlobalMetrics().GetCounter("eval/windows")->Increment();
+  const std::string path =
+      testing::TempDir() + "/exporter_snapshot_test.json";
+  std::remove(path.c_str());
+
+  MetricsExporterOptions options;
+  options.export_every_ms = 20;
+  options.snapshot_path = path;
+  MetricsExporter exporter(options);
+  ASSERT_TRUE(exporter.Start().ok());
+
+  // Wait (bounded) for at least one snapshot to appear.
+  std::string contents;
+  for (int attempt = 0; attempt < 200 && contents.empty(); ++attempt) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    std::ifstream in(path);
+    if (in.is_open()) {
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      contents = ss.str();
+    }
+  }
+  exporter.Stop();
+  ASSERT_FALSE(contents.empty()) << "no snapshot written to " << path;
+  StatusOr<JsonValue> parsed = JsonValue::Parse(contents);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue* counters = parsed.value().Find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_GE(counters->GetDouble("eval/windows", 0.0), 1.0);
+}
+
+}  // namespace
+}  // namespace timekd::obs

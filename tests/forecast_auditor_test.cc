@@ -1,0 +1,186 @@
+// ForecastAuditor contract: per-horizon error aggregation on hand-computed
+// windows, NaN coverage before warmup and convergence toward nominal after,
+// forecast/* gauge publishing, and the "calibration" JSONL record round-
+// tripping through MergeRunHistoryFromJsonl into the HTML report's
+// RunHistory.
+
+#include "core/forecast_auditor.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/health.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+
+namespace timekd::core {
+namespace {
+
+TEST(ForecastAuditorTest, InactiveUntilBeginRun) {
+  ForecastAuditor auditor;
+  EXPECT_FALSE(auditor.active());
+  auditor.BeginRun(/*horizon=*/4, /*channels=*/2);
+  EXPECT_TRUE(auditor.active());
+  const ForecastAuditor::Summary s = auditor.GetSummary();
+  EXPECT_EQ(s.windows, 0);
+  EXPECT_EQ(s.horizon, 4);
+  EXPECT_EQ(s.channels, 2);
+}
+
+TEST(ForecastAuditorTest, PerHorizonErrorsMatchHandComputation) {
+  ForecastAuditor auditor;
+  auditor.BeginRun(/*horizon=*/2, /*channels=*/2);
+  // Window layout is [t * channels + v]. Step 0 errors: +0.5, -0.5;
+  // step 1 errors: +1.0, -2.0.
+  const std::vector<float> pred = {1.5f, 0.5f, 3.0f, 0.0f};
+  const std::vector<float> truth = {1.0f, 1.0f, 2.0f, 2.0f};
+  auditor.ObserveWindow(pred.data(), truth.data());
+
+  const ForecastAuditor::Summary s = auditor.GetSummary();
+  EXPECT_EQ(s.windows, 1);
+  ASSERT_EQ(s.per_horizon_mse.size(), 2u);
+  ASSERT_EQ(s.per_horizon_mae.size(), 2u);
+  EXPECT_NEAR(s.per_horizon_mse[0], (0.25 + 0.25) / 2.0, 1e-6);
+  EXPECT_NEAR(s.per_horizon_mse[1], (1.0 + 4.0) / 2.0, 1e-6);
+  EXPECT_NEAR(s.per_horizon_mae[0], 0.5, 1e-6);
+  EXPECT_NEAR(s.per_horizon_mae[1], 1.5, 1e-6);
+  EXPECT_NEAR(s.mse, (0.25 + 0.25 + 1.0 + 4.0) / 4.0, 1e-6);
+  EXPECT_NEAR(s.mae, (0.5 + 0.5 + 1.0 + 2.0) / 4.0, 1e-6);
+}
+
+TEST(ForecastAuditorTest, CoverageIsNaNBeforeWarmup) {
+  ForecastAuditor auditor;
+  auditor.BeginRun(/*horizon=*/1, /*channels=*/1);
+  const float pred = 1.0f;
+  const float truth = 1.1f;
+  for (int64_t i = 0; i < ForecastAuditor::kCoverageWarmup - 1; ++i) {
+    auditor.ObserveWindow(&pred, &truth);
+  }
+  const ForecastAuditor::Summary s = auditor.GetSummary();
+  EXPECT_TRUE(std::isnan(s.coverage80));
+  EXPECT_TRUE(std::isnan(s.coverage95));
+  ASSERT_EQ(s.per_horizon_coverage95.size(), 1u);
+  EXPECT_TRUE(std::isnan(s.per_horizon_coverage95[0]));
+}
+
+TEST(ForecastAuditorTest, CoverageConvergesTowardNominalOnStationaryErrors) {
+  ForecastAuditor auditor;
+  auditor.BeginRun(/*horizon=*/1, /*channels=*/1);
+  // Deterministic pseudo-residuals from a fixed linear-congruential
+  // sequence (no std::random_device; determinism rule). Uniform-ish
+  // magnitudes in [0, 1): the empirical q80/q95 of past residuals should
+  // then cover ~80%/95% of future ones.
+  uint64_t state = 12345;
+  int64_t scored = 0;
+  const int64_t total = 4000;
+  for (int64_t i = 0; i < total; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    const double u =
+        static_cast<double>((state >> 33) & 0xFFFFFFFF) / 4294967296.0;
+    const float truth = 0.0f;
+    const float pred = static_cast<float>(u);  // |error| == u
+    auditor.ObserveWindow(&pred, &truth);
+    if (i >= ForecastAuditor::kCoverageWarmup) ++scored;
+  }
+  ASSERT_GT(scored, 1000);
+  const ForecastAuditor::Summary s = auditor.GetSummary();
+  EXPECT_FALSE(std::isnan(s.coverage80));
+  EXPECT_FALSE(std::isnan(s.coverage95));
+  // Bucketed quantile interpolation + finite sample: generous tolerance,
+  // but tight enough to catch an off-by-one-quantile or inverted test.
+  EXPECT_NEAR(s.coverage80, 0.80, 0.10);
+  EXPECT_NEAR(s.coverage95, 0.95, 0.05);
+  EXPECT_GT(s.coverage95, s.coverage80);
+}
+
+TEST(ForecastAuditorTest, BeginRunResetsState) {
+  ForecastAuditor auditor;
+  auditor.BeginRun(2, 1);
+  const std::vector<float> pred = {2.0f, 2.0f};
+  const std::vector<float> truth = {1.0f, 1.0f};
+  auditor.ObserveWindow(pred.data(), truth.data());
+  auditor.ObserveDivergence(0.9, 0.1);
+  EXPECT_EQ(auditor.GetSummary().windows, 1);
+
+  auditor.BeginRun(3, 4);
+  const ForecastAuditor::Summary s = auditor.GetSummary();
+  EXPECT_EQ(s.windows, 0);
+  EXPECT_EQ(s.horizon, 3);
+  EXPECT_EQ(s.channels, 4);
+  EXPECT_EQ(s.per_horizon_mse.size(), 3u);
+  EXPECT_NEAR(s.per_horizon_mse[0], 0.0, 1e-12);
+}
+
+TEST(ForecastAuditorTest, PublishesForecastGauges) {
+  ForecastAuditor auditor;
+  auditor.BeginRun(/*horizon=*/2, /*channels=*/1);
+  const std::vector<float> pred = {1.0f, 1.0f};
+  const std::vector<float> truth = {0.0f, 2.0f};
+  auditor.ObserveWindow(pred.data(), truth.data());
+  auditor.ObserveDivergence(/*cka=*/0.87, /*attn_div=*/0.05);
+  auditor.PublishGauges();
+
+  obs::MetricRegistry& reg = obs::GlobalMetrics();
+  EXPECT_EQ(reg.GetGauge("forecast/windows")->value(), 1.0);
+  EXPECT_EQ(reg.GetGauge("forecast/horizon")->value(), 2.0);
+  EXPECT_EQ(reg.GetGauge("forecast/channels")->value(), 1.0);
+  EXPECT_NEAR(reg.GetGauge("forecast/mse")->value(), 1.0, 1e-9);
+  EXPECT_NEAR(reg.GetGauge("forecast/mae")->value(), 1.0, 1e-9);
+  EXPECT_NEAR(reg.GetGauge("forecast/cka")->value(), 0.87, 1e-9);
+  EXPECT_NEAR(reg.GetGauge("forecast/attn_div")->value(), 0.05, 1e-9);
+}
+
+TEST(ForecastAuditorTest, CalibrationRecordRoundTripsThroughRunHistory) {
+  ForecastAuditor auditor;
+  auditor.BeginRun(/*horizon=*/2, /*channels=*/2);
+  const std::vector<float> pred = {1.5f, 0.5f, 3.0f, 0.0f};
+  const std::vector<float> truth = {1.0f, 1.0f, 2.0f, 2.0f};
+  auditor.ObserveWindow(pred.data(), truth.data());
+  auditor.ObserveDivergence(0.9, 0.2);
+
+  const std::string json = auditor.CalibrationRecordJson().ToString();
+  StatusOr<obs::JsonValue> parsed = obs::JsonValue::Parse(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n" << json;
+  EXPECT_EQ(parsed.value().GetString("kind", ""), "calibration");
+
+  // Round trip through the JSONL reader into the report's RunHistory.
+  const std::string path = testing::TempDir() + "/calibration_record.jsonl";
+  {
+    std::ofstream out(path);
+    out << json << "\n";
+  }
+  obs::RunHistory history;
+  ASSERT_TRUE(obs::MergeRunHistoryFromJsonl(path, &history).ok());
+  std::remove(path.c_str());
+
+  EXPECT_EQ(history.calibration.windows, 1);
+  EXPECT_EQ(history.calibration.horizon, 2);
+  EXPECT_EQ(history.calibration.channels, 2);
+  EXPECT_NEAR(history.calibration.mse, (0.25 + 0.25 + 1.0 + 4.0) / 4.0,
+              1e-6);
+  ASSERT_EQ(history.calibration.per_horizon_mse.size(), 2u);
+  EXPECT_NEAR(history.calibration.per_horizon_mse[1], 2.5, 1e-6);
+  // One window < warmup: coverage comes back NaN (serialized as a string
+  // token the reader maps back to NaN).
+  EXPECT_TRUE(std::isnan(history.calibration.coverage95));
+
+  // And the HTML report renders a calibration section for it.
+  history.title = "round trip";
+  const std::string html = obs::RenderHtmlReport(history);
+  EXPECT_NE(html.find("alibration"), std::string::npos);
+}
+
+TEST(ForecastAuditorTest, GlobalAuditorIsSingleton) {
+  ForecastAuditor& a = GlobalForecastAuditor();
+  ForecastAuditor& b = GlobalForecastAuditor();
+  EXPECT_EQ(&a, &b);
+}
+
+}  // namespace
+}  // namespace timekd::core

@@ -79,6 +79,20 @@ run_health() {
   ctest --preset "$preset" -R 'Health|Report|JsonlCrash' --output-on-failure
 }
 
+# Telemetry suite: the live Prometheus exporter (TCP scrape under a
+# concurrent registry writer), the crash flight recorder (SIGSEGV /
+# health-abort death tests proving a parseable dump), and the forecast
+# calibration observatory. Focused re-run for the same reason as run_health:
+# these guard crash-time artifacts and cross-thread scrape paths, which is
+# where the sanitizer presets diverge from the default build.
+run_telemetry() {
+  local preset="$1"
+  step "telemetry suite [$preset]"
+  ctest --preset "$preset" \
+    -R 'Exporter|FlightRecorder|ForecastAuditor|Prometheus|PromParser' \
+    --output-on-failure
+}
+
 # Perf-gate smoke: run the micro-kernel bench twice at the smoke profile
 # and require tools/perf_diff.py to pass the pair. This catches broken
 # BENCH artifact emission, schema drift the gate can't parse, and noise
@@ -141,16 +155,19 @@ run_config default
 run_determinism default
 run_equivalence default
 run_health default
+run_telemetry default
 run_perf_gate
 
 if [[ "$FAST" == "0" ]]; then
   run_config asan-ubsan
   run_equivalence asan-ubsan
   run_health asan-ubsan
+  run_telemetry asan-ubsan
   run_config tsan
   run_determinism tsan
   run_equivalence tsan
   run_health tsan
+  run_telemetry tsan
   run_tidy_gate
 fi
 

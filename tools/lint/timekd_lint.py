@@ -56,6 +56,13 @@ Rules (all stdlib-only, no third-party deps):
                     counts — the rule enforces that an explanation exists,
                     not its wording.) Escape: a documented
                     `timekd-lint: allow(atomic-order)`.
+  metric-name       Metric names registered via GetCounter/GetGauge/
+                    GetHistogram string literals in src/ and bench/ must be
+                    lowercase `[a-z0-9_]` segments joined by `/` with a
+                    registered first segment (METRIC_NAME_PREFIXES), so the
+                    Prometheus exporter's mangling stays a pure `/` -> `_`
+                    substitution and the exposition namespace never forks.
+                    Escape: a documented `timekd-lint: allow(metric-name)`.
   simd-fallback     Files using AVX intrinsics must gate them on
                     TIMEKD_SIMD_AVX2 (tensor/simd.h), and every
                     `<Name>Avx2` kernel needs a `<Name>Scalar` sibling in
@@ -543,6 +550,47 @@ def check_raw_clock(root, findings):
                             "timekd-lint: allow(raw-clock)"))
 
 
+# --- Rule: metric-name -----------------------------------------------------
+
+# Registration sites name metrics with string literals, so the scan runs on
+# raw lines (the comment/string stripper would blank the name). Names built
+# at runtime are out of scope — every current registration is a literal.
+METRIC_REG_RE = re.compile(r'\bGet(?:Counter|Gauge|Histogram)\s*\(\s*"([^"]*)"')
+METRIC_NAME_RE = re.compile(r"^[a-z0-9_]+(/[a-z0-9_]+)+$")
+# First path segment of every metric family; extend deliberately when a new
+# subsystem starts exporting (keeps dashboards from accreting typo'd
+# namespaces like "forcast/" next to "forecast/").
+METRIC_NAME_PREFIXES = frozenset({
+    "bench", "clm", "distill", "eval", "fit", "forecast", "health", "mem",
+    "nn", "obs", "optimizer", "tensor", "threadpool",
+})
+
+
+def check_metric_name(root, findings):
+    for rel in iter_files(root, ["src", "bench"], CXX_EXTENSIONS):
+        raw = read_lines(root, rel)
+        for idx, line in enumerate(raw):
+            for m in METRIC_REG_RE.finditer(line):
+                name = m.group(1)
+                if is_allowed("metric-name", raw, idx + 1):
+                    continue
+                if not METRIC_NAME_RE.match(name):
+                    findings.append(
+                        Finding("metric-name", rel, idx + 1,
+                                f'metric name "{name}" must be lowercase '
+                                "[a-z0-9_] segments joined by '/' (e.g. "
+                                '"obs/exporter_scrapes") so the Prometheus '
+                                "mangling stays a pure '/' -> '_' swap"))
+                elif name.split("/")[0] not in METRIC_NAME_PREFIXES:
+                    findings.append(
+                        Finding("metric-name", rel, idx + 1,
+                                f'metric prefix "{name.split("/")[0]}/" is '
+                                "not in METRIC_NAME_PREFIXES "
+                                "(tools/lint/timekd_lint.py); register the "
+                                "new namespace there or reuse an existing "
+                                "one"))
+
+
 # --- Rule: health-observer -------------------------------------------------
 
 # src/obs hosts the monitor itself; everywhere else a Fit(...TrainConfig...)
@@ -880,6 +928,20 @@ SELF_TEST_CASES = [
      "uint64_t F() {\n\n\n\n"
      "  // timekd-lint: allow(atomic-order)\n"
      "  return v.load(std::memory_order_relaxed);\n}\n", 0),
+    ("metric-name flags uppercase name", "metric-name",
+     'void F() {\n  obs::GlobalMetrics().GetCounter("Obs/Scrapes");\n}\n', 1),
+    ("metric-name flags single-segment name", "metric-name",
+     'void F() {\n  obs::GlobalMetrics().GetGauge("verdict");\n}\n', 1),
+    ("metric-name flags unregistered prefix", "metric-name",
+     'void F() {\n  reg.GetHistogram("forcast/mse", bounds);\n}\n', 1),
+    ("metric-name accepts registered lowercase path", "metric-name",
+     'void F() {\n  reg.GetCounter("obs/exporter_scrapes")->Increment();\n'
+     '  reg.GetGauge("forecast/coverage95")->Set(0.95);\n}\n', 0),
+    ("metric-name ignores non-literal names", "metric-name",
+     "void F(const std::string& name) {\n  reg.GetCounter(name);\n}\n", 0),
+    ("metric-name honors allow", "metric-name",
+     "void F() {\n  // legacy dashboard: timekd-lint: allow(metric-name)\n"
+     '  reg.GetGauge("Legacy/Name");\n}\n', 0),
     ("simd-fallback flags unguarded intrinsics", "simd-fallback",
      "inline void F(float* x) {\n"
      "  _mm256_storeu_ps(x, _mm256_setzero_ps());\n}\n", 1),
@@ -938,6 +1000,7 @@ RULES = {
     "test-determinism": check_test_determinism,
     "raw-thread": check_raw_thread,
     "raw-clock": check_raw_clock,
+    "metric-name": check_metric_name,
     "health-observer": check_health_observer,
     "lock-annotation": check_lock_annotation,
     "atomic-order": check_atomic_order,

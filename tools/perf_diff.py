@@ -29,7 +29,10 @@ for the same reason — it contextualizes a timing regression, it is not one.
 The training-health summary (health.anomalies, health.verdict — see
 obs/health.h) is likewise reported but never gated: a noisy run should be
 visible next to its timings, not fail the perf gate, and health has its own
-fail-fast path inside the trainer.
+fail-fast path inside the trainer. The forecast-calibration block
+(calibration.* — core::ForecastAuditor's windows/mse/mae/coverage scalars;
+per-horizon arrays stay artifact-only) follows the same rule: coverage
+drift is a modelling signal the observatory tracks, never a perf gate.
 
 Comparing artifacts from different experiments, bench profiles, or thread
 counts is a usage error (exit 2), not a regression — the numbers would be
@@ -113,6 +116,13 @@ def flatten_metrics(doc):
     for name, value in doc.get("health", {}).items():
         # No spec maps to health.* so these always render as "(ungated)".
         out[f"health.{name}"] = float(value)
+    for name, value in doc.get("calibration", {}).items():
+        # Forecast-calibration block (core::ForecastAuditor): report-only,
+        # like health.* — coverage drift is a modelling signal, not a perf
+        # regression. Arrays (per_horizon_*) and non-numeric entries stay in
+        # the artifact but out of the diff table.
+        if isinstance(value, (int, float)):
+            out[f"calibration.{name}"] = float(value)
     for name, kernel in doc.get("roofline", {}).get("kernels", {}).items():
         # Ungated context: how close each credited kernel sat to its
         # roofline ceiling (see src/obs/roofline.h).
@@ -289,6 +299,10 @@ def synthetic_artifact():
         "memory": {"tensor_peak_bytes": 64 << 20,
                    "rss_peak_bytes": 128 << 20},
         "health": {"anomalies": 0, "verdict": 0},
+        "calibration": {"windows": 128, "horizon": 24, "channels": 7,
+                        "mse": 0.31, "mae": 0.42, "coverage80": 0.79,
+                        "coverage95": 0.94,
+                        "per_horizon_mse": [0.2, 0.3, 0.4]},
         "metrics": {"counters": {}, "gauges": {}, "histograms": {}},
     }
 
@@ -349,6 +363,15 @@ def self_test():
     expect("health anomalies never gate", regs == [])
     expect("health anomalies are reported",
            any("health.anomalies" in line and "ungated" in line
+               for line in report))
+
+    drifted = copy.deepcopy(base)
+    drifted["calibration"]["coverage95"] = 0.50  # badly miscalibrated
+    drifted["calibration"]["mse"] = 3.1
+    report, regs = diff(base, drifted, specs)
+    expect("calibration drift never gates", regs == [])
+    expect("calibration drift is reported",
+           any("calibration.coverage95" in line and "ungated" in line
                for line in report))
 
     slow_kernel = copy.deepcopy(base)
