@@ -237,6 +237,10 @@ void BM_DisabledSpanOverhead(benchmark::State& state) {
   oi::SetSpanSink(oi::kFlightRecorderSink, false);
   for (auto _ : state) {
     TIMEKD_TRACE_SCOPE("bench/span_overhead_probe");
+    // With all sinks off the context stack is empty, so Capture() must be
+    // a thread-local read returning an invalid context — it shares the
+    // disabled-path budget this benchmark documents.
+    benchmark::DoNotOptimize(timekd::obs::TraceContext::Capture());
     benchmark::ClobberMemory();
   }
   oi::SetSpanSink(oi::kTracerSink, (saved_sinks & oi::kTracerSink) != 0);
@@ -246,6 +250,32 @@ void BM_DisabledSpanOverhead(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_DisabledSpanOverhead);
+
+// Cost of cross-thread context propagation with the profiler sink ON: one
+// Capture() plus a context-adopting span, i.e. what every pool shard pays
+// on top of a plain span (remote re-attribution mailbox included). Feeds
+// kernels.ctx_spans_per_sec in the BENCH artifact, gated by perf_diff's
+// kernels family (higher is better).
+void BM_ContextPropagationOverhead(benchmark::State& state) {
+  namespace oi = timekd::obs::internal;
+  const uint32_t saved_sinks = oi::SpanSinks();
+  oi::SetSpanSink(oi::kProfilerSink, true);
+  {
+    timekd::obs::ScopedSpan parent("bench/ctx_parent");
+    for (auto _ : state) {
+      const timekd::obs::TraceContext ctx =
+          timekd::obs::TraceContext::Capture();
+      timekd::obs::ScopedSpan span("bench/ctx_probe", &ctx);
+      benchmark::ClobberMemory();
+    }
+  }
+  oi::SetSpanSink(oi::kProfilerSink, (saved_sinks & oi::kProfilerSink) != 0);
+  timekd::obs::GlobalMetrics()
+      .GetCounter("obs/ctx_spans")
+      ->Increment(static_cast<uint64_t>(state.iterations()));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ContextPropagationOverhead);
 
 // Recorder-off probe feeding the kernels.recorder_off_spans_per_sec BENCH
 // rate (gated by perf_diff's kernels family): spans opened with ALL sinks
@@ -305,6 +335,12 @@ int main(int argc, char** argv) {
   // credits on. Enable("") aggregates without scheduling a file dump.
   if (!timekd::obs::Profiler::Get().enabled()) {
     timekd::obs::Profiler::Get().Enable("");
+  }
+  // Aggregate trace spans too (no file dump) so the BENCH artifact's
+  // critical_path block analyzes a real pooled-kernel trace: shard spans,
+  // flow edges, and the stall decomposition all come from this buffer.
+  if (!timekd::obs::Tracer::Get().enabled()) {
+    timekd::obs::Tracer::Get().Enable("");
   }
 
   std::vector<char*> args(argv, argv + argc);

@@ -1,6 +1,7 @@
 #include "cli/cli.h"
 
 #include <cmath>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <ostream>
@@ -13,7 +14,9 @@
 #include "data/window_dataset.h"
 #include "eval/metrics.h"
 #include "eval/roofline_report.h"
+#include "obs/critical_path.h"
 #include "obs/exporter.h"
+#include "obs/json.h"
 #include "obs/health.h"
 #include "obs/observer.h"
 #include "obs/profiler.h"
@@ -423,9 +426,67 @@ int CmdPerf(const Flags& flags, std::ostream& out) {
   return 0;
 }
 
+int CmdTrace(const Flags& flags, std::ostream& out) {
+  if (Status s = flags.Require({"in"}); !s.ok()) {
+    out << s.ToString() << "\n";
+    return 2;
+  }
+  const std::string in_path = flags.GetString("in", "");
+  std::ifstream in(in_path);
+  if (!in.good()) {
+    out << Status::IoError("cannot read trace file " + in_path).ToString()
+        << "\n";
+    return 1;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  obs::TraceAnalysis analysis;
+  if (Status s = obs::AnalyzeChromeTraceJson(ss.str(), &analysis); !s.ok()) {
+    out << s.ToString() << "\n";
+    return 1;
+  }
+  const auto sec = [](uint64_t us) {
+    return static_cast<double>(us) * 1e-6;
+  };
+  out << "trace: " << analysis.num_spans << " spans on "
+      << analysis.num_threads << " threads, " << analysis.num_jobs
+      << " pool jobs / " << analysis.num_shards << " shards\n";
+  out << "wall " << sec(analysis.wall_us) << "s | critical path "
+      << sec(analysis.critical_path_us) << "s | serial sum "
+      << sec(analysis.serial_sum_us) << "s\n";
+  out << "achievable speedup bound " << analysis.speedup_bound
+      << "x | average parallelism " << analysis.avg_parallelism << "x\n";
+  out << "stalls: serial " << sec(analysis.serial_us) << "s, parallel "
+      << sec(analysis.parallel_us) << "s, queue wait "
+      << sec(analysis.queue_stall_us) << "s, barrier wait "
+      << sec(analysis.barrier_stall_us) << "s\n";
+  size_t shown = 0;
+  for (const obs::CriticalSpan& c : analysis.critical_spans) {
+    if (++shown > 10) {
+      out << "  ... " << analysis.critical_spans.size() - 10
+          << " more hops\n";
+      break;
+    }
+    out << "  cp: " << c.name << " (tid " << c.tid << ") "
+        << sec(c.work_us) << "s\n";
+  }
+  if (flags.Has("out")) {
+    const std::string path = flags.GetString("out", "");
+    const std::string html = obs::RenderTraceAnalysisHtml(
+        analysis, flags.GetString("title", "TimeKD trace analysis"));
+    if (Status s = obs::WriteFileAtomic(path, html); !s.ok()) {
+      out << s.ToString() << "\n";
+      return 1;
+    }
+    out << "wrote trace analysis for " << in_path << " to " << path << "\n";
+  }
+  return 0;
+}
+
 void PrintUsage(std::ostream& out) {
   out << "usage: timekd_cli "
-         "<generate-data|train|evaluate|forecast|report|perf|serve-metrics> "
+         "<generate-data|train|evaluate|forecast|report|perf|trace|"
+         "serve-metrics> "
          "[--flag value ...]\n"
          "global flags: --profile-out FILE (hierarchical profile JSON at "
          "exit), --profile-stderr 1 (profile tree on stderr at exit), "
@@ -478,6 +539,7 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out) {
   if (command == "forecast") return CmdForecast(*flags, out);
   if (command == "report") return CmdReport(*flags, out);
   if (command == "perf") return CmdPerf(*flags, out);
+  if (command == "trace") return CmdTrace(*flags, out);
   if (command == "serve-metrics") return CmdServeMetrics(*flags, out);
   PrintUsage(out);
   return 2;

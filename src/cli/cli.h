@@ -22,6 +22,7 @@ namespace timekd::cli {
 ///   report        --in <jsonl> --out <html>
 ///                 [--health <jsonl>] [--title T]
 ///   perf          --in <BENCH_*.json> --out <html> [--title T]
+///   trace         --in <trace.json> [--out <html>] [--title T]
 ///   evaluate      --data <csv> --freq <minutes> --input <H> --horizon <M>
 ///                 --student <bin> [--llm-dim D] [--jsonl-out <jsonl>]
 ///   forecast      --data <csv> --freq <minutes> --input <H> --horizon <M>
@@ -46,7 +47,11 @@ namespace timekd::cli {
 /// from existing JSONL logs (training records via --in, optionally merging
 /// the health event stream via --health); `perf` renders a BENCH_*.json
 /// artifact (schema >= 2) into a self-contained roofline HTML page
-/// (eval/roofline_report.h); `serve-metrics` runs a standalone Prometheus
+/// (eval/roofline_report.h); `trace` analyzes a Chrome trace written by
+/// obs::Tracer::WriteChromeTrace — critical path, per-span slack, and the
+/// parallelism stall decomposition (obs/critical_path.h) — printing a text
+/// summary and optionally rendering the inline-SVG HTML report via --out;
+/// `serve-metrics` runs a standalone Prometheus
 /// scrape endpoint (obs/exporter.h) — --duration-ms bounds it for smoke
 /// tests, the default serves until killed. See docs/observability.md for
 /// the train-time health/telemetry flags and the artifact schemas.

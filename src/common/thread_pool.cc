@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <string>
 
 #include "common/env_config.h"
 #include "common/logging.h"
@@ -72,7 +73,13 @@ void ThreadPool::StartWorkers(int n) {
   }
   workers_.reserve(static_cast<size_t>(n - 1));
   for (int i = 0; i < n - 1; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] {
+      // Registered once per worker for the Chrome trace's "M" thread-name
+      // metadata; numbering restarts with the pool on Resize.
+      obs::Tracer::SetCurrentThreadName("pool/worker-" +
+                                        std::to_string(i + 1));
+      WorkerLoop();
+    });
   }
   static obs::Gauge* size_gauge =
       obs::GlobalMetrics().GetGauge("threadpool/num_threads");
@@ -149,7 +156,28 @@ void ThreadPool::DispatchJob(
   // this function and raw unique_lock on the native handle. TSan-covered
   // by the ThreadPoolStressTest cases in tests/thread_pool_test.cc.
   std::lock_guard<std::mutex> submit_lock(submit_mu_.native_handle());
+
+  // Capture the submitting span's context so worker shards can adopt it:
+  // shard spans get a job-derived name ("threadpool/shard:<parent>"), the
+  // Chrome trace gets an s/f flow edge per shard, and the profiler folds
+  // shard work back into the submitting span (obs/trace.h TraceContext).
+  // With all span sinks off Capture() sees an empty stack and all of this
+  // — interning included — is skipped.
+  obs::TraceContext ctx = obs::TraceContext::Capture();
+  const char* shard_name = "threadpool/shard";
+  if (ctx.valid()) {
+    shard_name = obs::InternSpanName(std::string("threadpool/shard:") +
+                                     ctx.name);
+    if (obs::Tracer::Get().enabled()) {
+      ctx.flow_id = obs::internal::NextSpanId();
+      obs::Tracer::Get().RecordFlowStart(ctx.flow_id, ctx.name,
+                                         obs::Tracer::NowMicros());
+    }
+  }
+
   std::unique_lock<std::mutex> lock(mu_.native_handle());
+  job_ctx_ = ctx;
+  job_shard_name_ = shard_name;
   fn_ = &fn;
   job_begin_ = begin;
   job_shard_size_ = base;
@@ -192,9 +220,17 @@ void ThreadPool::RunShards(std::unique_lock<std::mutex>& lock,
         job_begin_ + s * job_shard_size_ + extra;
     const int64_t shard_len =
         job_shard_size_ + (s < job_shard_rem_ ? 1 : 0);
+    // Copied under mu_: the interned name outlives the process and the
+    // context is a POD snapshot, so both stay valid across the unlock.
+    const char* shard_name = job_shard_name_;
+    const obs::TraceContext ctx = job_ctx_;
     lock.unlock();
     {
-      TIMEKD_TRACE_SCOPE("threadpool/shard");
+      // Workers adopt the submitting span's context (flow edge + remote
+      // re-attribution). The submitting thread's own helper shards open a
+      // plain span instead: they already sit inside the submitting span,
+      // so adoption would double-bill their work.
+      obs::ScopedSpan span(shard_name, is_worker ? &ctx : nullptr);
       t_in_parallel_region = true;
       (*fn)(s, shard_begin, shard_begin + shard_len);
       t_in_parallel_region = false;

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/thread_annotations.h"
+#include "obs/trace.h"
 
 namespace timekd {
 
@@ -37,9 +38,17 @@ namespace timekd {
 /// oversubscribed pools).
 ///
 /// Observability: `threadpool/tasks` counts shards executed on pool
-/// threads, `threadpool/jobs` counts dispatched ParallelFor calls,
+/// threads, `threadpool/jobs` counts dispatched ParallelFor calls, and
 /// `threadpool/queue_wait_us` records submit-to-first-worker-pickup
-/// latency, and each worker shard opens a "threadpool/shard" trace span.
+/// latency. Every dispatch captures the submitting span's
+/// obs::TraceContext; shard spans are named after the job
+/// ("threadpool/shard:<submitting span>"), worker-side shards adopt the
+/// context — carrying the submitting span's id, emitting Chrome s/f flow
+/// edges, and re-attributing their wall/FLOPs/traffic to the submitting
+/// span's profiler node (remote_* channels) — and workers register
+/// "pool/worker-N" thread names for the trace's M metadata events. This
+/// context-capturing submit path is the only sanctioned way to fan work
+/// out of an instrumented span (the timekd_lint `span-context` rule).
 class ThreadPool {
  public:
   /// Lazily constructed, intentionally leaked singleton (same lifetime
@@ -130,6 +139,13 @@ class ThreadPool {
   int64_t job_num_shards_ TIMEKD_GUARDED_BY(mu_) = 0;
   int64_t next_shard_ TIMEKD_GUARDED_BY(mu_) = 0;
   int64_t active_shards_ TIMEKD_GUARDED_BY(mu_) = 0;
+  /// Submitting span's context, adopted by worker shards; invalid when the
+  /// submitter had no open span (e.g. all sinks off).
+  obs::TraceContext job_ctx_ TIMEKD_GUARDED_BY(mu_);
+  /// Shard span name for the in-flight job: the static "threadpool/shard"
+  /// or an interned job-derived "threadpool/shard:<parent>" — either way a
+  /// process-lifetime pointer, safe to use after mu_ is dropped.
+  const char* job_shard_name_ TIMEKD_GUARDED_BY(mu_) = "threadpool/shard";
   uint64_t job_submit_us_ TIMEKD_GUARDED_BY(mu_) = 0;
   bool job_wait_recorded_ TIMEKD_GUARDED_BY(mu_) = false;
   bool shutdown_ TIMEKD_GUARDED_BY(mu_) = false;

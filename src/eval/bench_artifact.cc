@@ -8,6 +8,7 @@
 
 #include "common/env_config.h"
 #include "core/forecast_auditor.h"
+#include "obs/critical_path.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
@@ -212,6 +213,7 @@ Status WriteBenchArtifact(const std::string& experiment,
   // renders by the exporter.
   const uint64_t recorder_off = CounterOr0(snap, "obs/recorder_off_spans");
   const uint64_t renders = CounterOr0(snap, "obs/exporter_renders");
+  const uint64_t ctx_spans = CounterOr0(snap, "obs/ctx_spans");
   kernels
       .Set("recorder_off_spans_per_sec",
            wall_seconds > 0.0
@@ -219,6 +221,12 @@ Status WriteBenchArtifact(const std::string& experiment,
                : 0.0)
       .Set("exporter_renders_per_sec",
            wall_seconds > 0.0 ? static_cast<double>(renders) / wall_seconds
+                              : 0.0)
+      // Context-adopting spans (BM_ContextPropagationOverhead): the cost of
+      // capturing/adopting a TraceContext with sinks enabled, gated like the
+      // other kernels-family rates.
+      .Set("ctx_spans_per_sec",
+           wall_seconds > 0.0 ? static_cast<double>(ctx_spans) / wall_seconds
                               : 0.0);
 
   obs::JsonObject memory;
@@ -265,8 +273,16 @@ Status WriteBenchArtifact(const std::string& experiment,
         .SetRaw("per_horizon_coverage95", obs::JsonArray(cov_arr));
   }
 
+  // Parallelism summary (obs/critical_path.h) from the live trace buffer:
+  // wall vs. critical path vs. total work, stall decomposition, and the
+  // achievable speedup bound. All-zero with enabled:false when the tracer
+  // sink was off — the block is always present so perf_diff can report it
+  // unconditionally (ungated).
+  obs::TraceAnalysis trace_analysis;
+  const bool trace_ok = obs::AnalyzeCurrentTrace(&trace_analysis).ok();
+
   obs::JsonObject doc;
-  doc.Set("schema_version", 2)
+  doc.Set("schema_version", 3)
       .Set("experiment", experiment)
       .SetRaw("provenance", ProvenanceJson(profile.name))
       .Set("wall_seconds", wall_seconds)
@@ -274,6 +290,8 @@ Status WriteBenchArtifact(const std::string& experiment,
       .SetRaw("throughput", throughput.ToString())
       .SetRaw("kernels", kernels.ToString())
       .SetRaw("roofline", RooflineJson(snap))
+      .SetRaw("critical_path",
+              obs::CriticalPathJson(trace_analysis, trace_ok))
       .SetRaw("memory", memory.ToString())
       .SetRaw("health", health.ToString())
       .SetRaw("calibration", calibration.ToString())

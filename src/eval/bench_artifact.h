@@ -18,7 +18,7 @@ namespace timekd::eval {
 std::string ProvenanceJson(const std::string& profile_name);
 
 /// Writes the standardized `BENCH_<experiment>.json` perf artifact into
-/// $TIMEKD_BENCH_OUT_DIR (default: current directory). Schema version 2,
+/// $TIMEKD_BENCH_OUT_DIR (default: current directory). Schema version 3,
 /// field-by-field in docs/observability.md:
 ///   wall_seconds          process wall time
 ///   phases                top-level profiler spans (seconds, merged
@@ -27,8 +27,13 @@ std::string ProvenanceJson(const std::string& profile_name);
 ///   kernels               matmul/softmax/attention call+FLOP counters
 ///                         plus the telemetry-overhead rates
 ///                         (recorder_off_spans_per_sec,
-///                         exporter_renders_per_sec)
+///                         exporter_renders_per_sec, ctx_spans_per_sec)
 ///   roofline              machine calibration + per-kernel efficiency
+///   critical_path         parallelism summary from the live trace
+///                         (obs/critical_path.h): wall vs. critical path
+///                         vs. serial sum, stall decomposition, speedup
+///                         bound; enabled:false + zeros when the tracer
+///                         sink was off. Report-only in the perf gate.
 ///   memory                peak tensor bytes + VmHWM RSS
 ///   health                watchdog verdict/anomaly summary
 ///   calibration           forecast-calibration summary

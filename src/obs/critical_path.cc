@@ -1,0 +1,829 @@
+#include "obs/critical_path.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "obs/json.h"
+
+namespace timekd::obs {
+
+namespace {
+
+constexpr const char* kShardPrefix = "threadpool/shard";
+
+bool IsShardName(const std::string& name) {
+  return name.rfind(kShardPrefix, 0) == 0;
+}
+
+/// Working copy of one span with its reconstructed tree links.
+struct SpanRec {
+  const Tracer::Event* e = nullptr;
+  uint64_t end_us = 0;
+  int parent = -1;      // index into the span vector, -1 = thread root
+  int shard_root = -1;  // nearest enclosing flow-bound shard (may be self)
+  bool is_shard = false;
+  bool flow_bound = false;
+  int job = -1;
+};
+
+/// One reconstructed pool job: an "s" flow event plus its bound shards.
+struct Job {
+  uint64_t flow_id = 0;
+  uint64_t submit_ts = 0;
+  uint32_t submit_tid = 0;
+  int submit_span = -1;  // innermost span enclosing the submit point
+  std::vector<int> shards;
+  uint64_t join_ts = 0;          // max shard end (>= submit_ts)
+  uint64_t window_begin = 0;     // [submit, join] clipped to disjointness
+  uint64_t window_end = 0;
+  uint64_t first_shard_ts = 0;   // queue-wait / barrier-wait boundary
+};
+
+/// One exclusive (self-time) segment of a span; the DAG node. `work_us`
+/// is usually the segment length, except the submitting span's segments
+/// inside its job window, which are dispatch/barrier *wait* and carry 0.
+struct Segment {
+  int span = -1;
+  uint64_t begin_us = 0;
+  uint64_t end_us = 0;
+  uint64_t work_us = 0;
+};
+
+struct HalfOpen {
+  uint64_t begin = 0;
+  uint64_t end = 0;
+};
+
+/// Subtracts the (disjoint, sorted) child intervals from [begin, end).
+std::vector<HalfOpen> SelfIntervals(uint64_t begin, uint64_t end,
+                                    const std::vector<HalfOpen>& children) {
+  std::vector<HalfOpen> out;
+  uint64_t cursor = begin;
+  for (const HalfOpen& c : children) {
+    if (c.begin > cursor) out.push_back(HalfOpen{cursor, c.begin});
+    cursor = std::max(cursor, c.end);
+  }
+  if (cursor < end) out.push_back(HalfOpen{cursor, end});
+  return out;
+}
+
+std::string FmtDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+std::string HtmlEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string Us(uint64_t us) {
+  char buf[64];
+  if (us >= 1000000) {
+    std::snprintf(buf, sizeof(buf), "%.3f s", static_cast<double>(us) * 1e-6);
+  } else if (us >= 1000) {
+    std::snprintf(buf, sizeof(buf), "%.1f ms", static_cast<double>(us) * 1e-3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu us",
+                  static_cast<unsigned long long>(us));
+  }
+  return buf;
+}
+
+}  // namespace
+
+Status AnalyzeTraceEvents(const std::vector<Tracer::Event>& events,
+                          const std::vector<Tracer::FlowEvent>& flows,
+                          TraceAnalysis* out) {
+  *out = TraceAnalysis{};
+  if (events.empty()) {
+    return Status::InvalidArgument("trace contains no spans");
+  }
+
+  const size_t n = events.size();
+  std::vector<SpanRec> spans(n);
+  uint64_t min_ts = events[0].ts_us;
+  uint64_t max_end = 0;
+  std::map<uint32_t, std::vector<int>> by_tid;
+  for (size_t i = 0; i < n; ++i) {
+    SpanRec& s = spans[i];
+    s.e = &events[i];
+    s.end_us = events[i].ts_us + events[i].dur_us;
+    s.is_shard = IsShardName(events[i].name);
+    min_ts = std::min(min_ts, events[i].ts_us);
+    max_end = std::max(max_end, s.end_us);
+    by_tid[events[i].tid].push_back(static_cast<int>(i));
+  }
+  out->wall_us = max_end - min_ts;
+  out->num_spans = n;
+  out->num_threads = by_tid.size();
+
+  // Flow endpoints grouped per thread for the merged nesting sweep below.
+  std::map<uint32_t, std::vector<const Tracer::FlowEvent*>> flows_by_tid;
+  for (const Tracer::FlowEvent& f : flows) {
+    flows_by_tid[f.tid].push_back(&f);
+  }
+  std::map<uint64_t, Job> jobs_by_flow;
+  for (const Tracer::FlowEvent& f : flows) {
+    if (!f.finish) {
+      Job& job = jobs_by_flow[f.id];
+      job.flow_id = f.id;
+      job.submit_ts = f.ts_us;
+      job.submit_tid = f.tid;
+    }
+  }
+
+  // Per-thread containment sweep: reconstructs parent links, rejects
+  // partial overlaps, and binds each flow endpoint to the innermost span
+  // open at its timestamp (its "enclosing slice" in Chrome terms).
+  for (auto& [tid, idx] : by_tid) {
+    std::sort(idx.begin(), idx.end(), [&spans](int a, int b) {
+      if (spans[a].e->ts_us != spans[b].e->ts_us) {
+        return spans[a].e->ts_us < spans[b].e->ts_us;
+      }
+      if (spans[a].end_us != spans[b].end_us) {
+        return spans[a].end_us > spans[b].end_us;  // parent before child
+      }
+      return a < b;
+    });
+    std::vector<const Tracer::FlowEvent*>& fev = flows_by_tid[tid];
+    std::sort(fev.begin(), fev.end(),
+              [](const Tracer::FlowEvent* a, const Tracer::FlowEvent* b) {
+                return a->ts_us < b->ts_us;
+              });
+    std::vector<int> stack;
+    size_t fi = 0;
+    auto bind_flows_before = [&](uint64_t limit, bool inclusive) {
+      while (fi < fev.size() && (inclusive ? fev[fi]->ts_us <= limit
+                                           : fev[fi]->ts_us < limit)) {
+        const Tracer::FlowEvent& f = *fev[fi];
+        while (!stack.empty() && spans[stack.back()].end_us <= f.ts_us) {
+          stack.pop_back();
+        }
+        if (!stack.empty()) {
+          auto it = jobs_by_flow.find(f.id);
+          if (it != jobs_by_flow.end()) {
+            if (f.finish) {
+              spans[stack.back()].flow_bound = true;
+              it->second.shards.push_back(stack.back());
+            } else {
+              it->second.submit_span = stack.back();
+            }
+          }
+        }
+        ++fi;
+      }
+    };
+    for (int i : idx) {
+      // Flow events strictly before this span's start bind to the stack as
+      // it was; an event AT the start binds to this span, so push first.
+      bind_flows_before(spans[i].e->ts_us, /*inclusive=*/false);
+      while (!stack.empty() &&
+             spans[stack.back()].end_us <= spans[i].e->ts_us) {
+        stack.pop_back();
+      }
+      if (!stack.empty()) {
+        if (spans[stack.back()].end_us < spans[i].end_us) {
+          return Status::InvalidArgument(
+              "malformed trace: partially overlapping spans \"" +
+              spans[stack.back()].e->name + "\" and \"" + spans[i].e->name +
+              "\" on tid " + std::to_string(tid));
+        }
+        spans[i].parent = stack.back();
+      }
+      stack.push_back(i);
+      bind_flows_before(spans[i].e->ts_us, /*inclusive=*/true);
+    }
+    bind_flows_before(max_end + 1, /*inclusive=*/true);
+  }
+
+  // Nearest enclosing flow-bound shard (for cutting worker program-order
+  // chains at shard boundaries).
+  for (size_t i = 0; i < n; ++i) {
+    int cur = static_cast<int>(i);
+    while (cur != -1) {
+      if (spans[cur].flow_bound && spans[cur].is_shard) {
+        spans[i].shard_root = cur;
+        break;
+      }
+      cur = spans[cur].parent;
+    }
+    if (spans[i].is_shard) ++out->num_shards;
+  }
+
+  // Jobs sorted by submit time; helper shards (same name family, no flow
+  // edge — they ran inline on the submitting thread) join the most recent
+  // job; windows are clipped to stay disjoint so the stall decomposition
+  // partitions the wall exactly.
+  std::vector<Job> jobs;
+  for (auto& [id, job] : jobs_by_flow) {
+    if (!job.shards.empty() || job.submit_span != -1) jobs.push_back(job);
+  }
+  std::sort(jobs.begin(), jobs.end(),
+            [](const Job& a, const Job& b) {
+              return a.submit_ts < b.submit_ts;
+            });
+  for (size_t i = 0; i < n; ++i) {
+    if (!spans[i].is_shard || spans[i].flow_bound) continue;
+    int best = -1;
+    for (size_t j = 0; j < jobs.size(); ++j) {
+      if (jobs[j].submit_ts <= spans[i].e->ts_us) best = static_cast<int>(j);
+    }
+    if (best != -1) jobs[static_cast<size_t>(best)].shards.push_back(
+        static_cast<int>(i));
+  }
+  uint64_t prev_end = 0;
+  for (size_t j = 0; j < jobs.size(); ++j) {
+    Job& job = jobs[j];
+    if (job.shards.empty()) continue;
+    job.join_ts = job.submit_ts;
+    job.first_shard_ts = max_end;
+    for (int s : job.shards) {
+      job.join_ts = std::max(job.join_ts, spans[s].end_us);
+      job.first_shard_ts = std::min(job.first_shard_ts, spans[s].e->ts_us);
+      spans[s].job = static_cast<int>(j);
+    }
+    job.window_begin = std::max(job.submit_ts, prev_end);
+    job.window_end = std::max(job.join_ts, job.window_begin);
+    prev_end = job.window_end;
+    ++out->num_jobs;
+  }
+
+  // --- Stall decomposition + utilization timeline (one sweep) -----------
+  {
+    std::map<uint64_t, int64_t> delta;
+    delta[min_ts];  // anchor the sweep at the trace start
+    delta[max_end];
+    for (const SpanRec& s : spans) {
+      if (!s.is_shard) continue;
+      if (s.e->dur_us == 0) continue;
+      delta[s.e->ts_us] += 1;
+      delta[s.end_us] -= 1;
+    }
+    std::vector<const Job*> windows;
+    for (const Job& j : jobs) {
+      if (!j.shards.empty() && j.window_end > j.window_begin) {
+        windows.push_back(&j);
+        delta[j.window_begin];
+        delta[j.window_end];
+        delta[std::clamp(j.first_shard_ts, j.window_begin, j.window_end)];
+      }
+    }
+    size_t wi = 0;
+    int64_t k = 0;
+    uint64_t prev = min_ts;
+    for (const auto& [ts, d] : delta) {
+      if (ts > prev) {
+        const uint64_t dt = ts - prev;
+        const size_t kk = static_cast<size_t>(std::max<int64_t>(k, 0));
+        if (out->concurrency_us.size() <= kk) {
+          out->concurrency_us.resize(kk + 1, 0);
+        }
+        while (wi < windows.size() && windows[wi]->window_end <= prev) ++wi;
+        const bool in_window =
+            wi < windows.size() && windows[wi]->window_begin <= prev &&
+            prev < windows[wi]->window_end;
+        if (kk >= 1) {
+          out->concurrency_us[kk] += dt;
+          out->parallel_us += dt;
+        } else if (in_window) {
+          out->concurrency_us[0] += dt;
+          if (prev < windows[wi]->first_shard_ts) {
+            out->queue_stall_us += dt;
+          } else {
+            out->barrier_stall_us += dt;
+          }
+        } else {
+          out->serial_us += dt;
+        }
+      }
+      prev = ts;
+      k += d;
+    }
+  }
+
+  // --- Exclusive segments (DAG nodes) -----------------------------------
+  std::vector<Segment> segs;
+  std::map<uint32_t, std::vector<uint64_t>> cuts_by_tid;
+  for (const Job& j : jobs) {
+    if (j.shards.empty()) continue;
+    cuts_by_tid[j.submit_tid].push_back(j.submit_ts);
+    cuts_by_tid[j.submit_tid].push_back(j.join_ts);
+  }
+  std::vector<std::vector<HalfOpen>> child_ivs(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (spans[i].parent != -1) {
+      child_ivs[static_cast<size_t>(spans[i].parent)].push_back(
+          HalfOpen{spans[i].e->ts_us, spans[i].end_us});
+    }
+  }
+  // "Wait windows": the submitting span's self time inside its own job
+  // window is dispatch/barrier wait, not work — it stays a DAG node (the
+  // chain must pass through it) but contributes zero work, which is what
+  // keeps critical_path <= wall meaningful instead of degenerate.
+  std::vector<std::vector<HalfOpen>> wait_ivs(n);
+  for (const Job& j : jobs) {
+    if (j.shards.empty() || j.submit_span == -1) continue;
+    wait_ivs[static_cast<size_t>(j.submit_span)].push_back(
+        HalfOpen{j.submit_ts, j.join_ts});
+  }
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<HalfOpen>& children = child_ivs[i];
+    std::sort(children.begin(), children.end(),
+              [](const HalfOpen& a, const HalfOpen& b) {
+                return a.begin < b.begin;
+              });
+    const std::vector<HalfOpen> self =
+        SelfIntervals(spans[i].e->ts_us, spans[i].end_us, children);
+    const std::vector<uint64_t>& cuts = cuts_by_tid[spans[i].e->tid];
+    for (const HalfOpen& iv : self) {
+      std::vector<uint64_t> bounds{iv.begin};
+      for (uint64_t c : cuts) {
+        if (c > iv.begin && c < iv.end) bounds.push_back(c);
+      }
+      bounds.push_back(iv.end);
+      std::sort(bounds.begin(), bounds.end());
+      for (size_t b = 0; b + 1 < bounds.size(); ++b) {
+        if (bounds[b + 1] <= bounds[b]) continue;
+        Segment seg;
+        seg.span = static_cast<int>(i);
+        seg.begin_us = bounds[b];
+        seg.end_us = bounds[b + 1];
+        seg.work_us = seg.end_us - seg.begin_us;
+        for (const HalfOpen& w : wait_ivs[i]) {
+          if (seg.begin_us >= w.begin && seg.end_us <= w.end) {
+            seg.work_us = 0;
+            break;
+          }
+        }
+        segs.push_back(seg);
+      }
+    }
+  }
+  for (const Segment& s : segs) out->serial_sum_us += s.work_us;
+  out->avg_parallelism =
+      out->wall_us > 0 ? static_cast<double>(out->serial_sum_us) /
+                             static_cast<double>(out->wall_us)
+                       : 0.0;
+
+  // --- Longest-path DP over the segment DAG -----------------------------
+  std::sort(segs.begin(), segs.end(), [](const Segment& a, const Segment& b) {
+    if (a.begin_us != b.begin_us) return a.begin_us < b.begin_us;
+    return a.end_us < b.end_us;
+  });
+  std::map<uint32_t, std::vector<int>> segs_by_tid;
+  for (size_t i = 0; i < segs.size(); ++i) {
+    segs_by_tid[spans[static_cast<size_t>(segs[i].span)].e->tid].push_back(
+        static_cast<int>(i));
+  }
+  // First/last segment of every flow-bound shard tree.
+  std::map<int, int> shard_first_seg;
+  std::map<int, int> shard_last_seg;
+  for (size_t i = 0; i < segs.size(); ++i) {
+    const int root = spans[static_cast<size_t>(segs[i].span)].shard_root;
+    if (root == -1) continue;
+    auto [it, fresh] = shard_first_seg.try_emplace(root, static_cast<int>(i));
+    if (!fresh && segs[static_cast<size_t>(it->second)].begin_us >
+                      segs[i].begin_us) {
+      it->second = static_cast<int>(i);
+    }
+    auto [lt, lfresh] = shard_last_seg.try_emplace(root, static_cast<int>(i));
+    if (!lfresh &&
+        segs[static_cast<size_t>(lt->second)].end_us < segs[i].end_us) {
+      lt->second = static_cast<int>(i);
+    }
+  }
+  // Submit segment per job: the submitting span's segment ending exactly
+  // at (or latest before) the submit timestamp.
+  auto find_submit_seg = [&](const Job& j) {
+    int best = -1;
+    for (size_t i = 0; i < segs.size(); ++i) {
+      if (segs[i].span != j.submit_span) continue;
+      if (segs[i].end_us > j.submit_ts) continue;
+      if (best == -1 ||
+          segs[static_cast<size_t>(best)].end_us < segs[i].end_us) {
+        best = static_cast<int>(i);
+      }
+    }
+    return best;
+  };
+  // Join segment per job: first segment on the submitting thread at or
+  // after the join point (program order resumes there).
+  auto find_join_seg = [&](const Job& j) {
+    const std::vector<int>& lane = segs_by_tid[j.submit_tid];
+    for (int si : lane) {
+      if (segs[static_cast<size_t>(si)].begin_us >= j.join_ts) return si;
+    }
+    return -1;
+  };
+  std::vector<std::vector<int>> extra_preds(segs.size());
+  std::vector<bool> no_thread_pred(segs.size(), false);
+  for (const Job& j : jobs) {
+    if (j.shards.empty()) continue;
+    const int submit_seg = j.submit_span != -1 ? find_submit_seg(j) : -1;
+    const int join_seg = find_join_seg(j);
+    for (int s : j.shards) {
+      if (!spans[static_cast<size_t>(s)].flow_bound) continue;
+      auto fit = shard_first_seg.find(s);
+      if (fit != shard_first_seg.end()) {
+        no_thread_pred[static_cast<size_t>(fit->second)] = true;
+        if (submit_seg != -1) {
+          extra_preds[static_cast<size_t>(fit->second)].push_back(submit_seg);
+        }
+      }
+      auto lit = shard_last_seg.find(s);
+      if (lit != shard_last_seg.end() && join_seg != -1) {
+        extra_preds[static_cast<size_t>(join_seg)].push_back(lit->second);
+      }
+    }
+  }
+  std::vector<uint64_t> up(segs.size(), 0);
+  std::vector<int> best_pred(segs.size(), -1);
+  {
+    std::map<uint32_t, int> prev_on_tid;
+    for (size_t i = 0; i < segs.size(); ++i) {
+      const uint32_t tid = spans[static_cast<size_t>(segs[i].span)].e->tid;
+      uint64_t best = 0;
+      int pred = -1;
+      if (!no_thread_pred[i]) {
+        auto it = prev_on_tid.find(tid);
+        if (it != prev_on_tid.end()) {
+          best = up[static_cast<size_t>(it->second)];
+          pred = it->second;
+        }
+      }
+      for (int p : extra_preds[i]) {
+        if (up[static_cast<size_t>(p)] > best) {
+          best = up[static_cast<size_t>(p)];
+          pred = p;
+        }
+      }
+      up[i] = best + segs[i].work_us;
+      best_pred[i] = pred;
+      prev_on_tid[tid] = static_cast<int>(i);
+    }
+  }
+  size_t cp_end = 0;
+  for (size_t i = 0; i < segs.size(); ++i) {
+    if (up[i] > up[cp_end]) cp_end = i;
+  }
+  out->critical_path_us = segs.empty() ? 0 : up[cp_end];
+  out->speedup_bound =
+      out->critical_path_us > 0
+          ? static_cast<double>(out->serial_sum_us) /
+                static_cast<double>(out->critical_path_us)
+          : 0.0;
+
+  // Backward DP (longest work from each node to any sink) for slack.
+  std::vector<uint64_t> down(segs.size(), 0);
+  {
+    std::vector<std::vector<int>> succs(segs.size());
+    std::map<uint32_t, int> prev_on_tid;
+    for (size_t i = 0; i < segs.size(); ++i) {
+      const uint32_t tid = spans[static_cast<size_t>(segs[i].span)].e->tid;
+      if (!no_thread_pred[i]) {
+        auto it = prev_on_tid.find(tid);
+        if (it != prev_on_tid.end()) {
+          succs[static_cast<size_t>(it->second)].push_back(
+              static_cast<int>(i));
+        }
+      }
+      for (int p : extra_preds[i]) {
+        succs[static_cast<size_t>(p)].push_back(static_cast<int>(i));
+      }
+      prev_on_tid[tid] = static_cast<int>(i);
+    }
+    for (size_t i = segs.size(); i-- > 0;) {
+      uint64_t best = 0;
+      for (int s : succs[i]) best = std::max(best, down[static_cast<size_t>(s)]);
+      down[i] = best + segs[i].work_us;
+    }
+  }
+
+  // Critical path: walk back from the DP argmax, merging consecutive
+  // segments of the same span instance.
+  if (!segs.empty()) {
+    std::vector<int> path;
+    for (int cur = static_cast<int>(cp_end); cur != -1;
+         cur = best_pred[static_cast<size_t>(cur)]) {
+      path.push_back(cur);
+    }
+    std::reverse(path.begin(), path.end());
+    for (int si : path) {
+      const Segment& seg = segs[static_cast<size_t>(si)];
+      if (seg.work_us == 0) continue;
+      const SpanRec& sp = spans[static_cast<size_t>(seg.span)];
+      if (!out->critical_spans.empty() &&
+          out->critical_spans.back().name == sp.e->name &&
+          out->critical_spans.back().tid == sp.e->tid) {
+        out->critical_spans.back().work_us += seg.work_us;
+      } else {
+        out->critical_spans.push_back(CriticalSpan{
+            sp.e->name, sp.e->tid, seg.begin_us, seg.work_us});
+      }
+    }
+  }
+
+  // Per-name slack: smallest (critical_path - best path through any
+  // segment of any instance) over the name's instances.
+  {
+    std::map<std::string, SpanSlack> by_name;
+    std::vector<uint64_t> span_through(n, 0);
+    std::vector<bool> span_has_seg(n, false);
+    for (size_t i = 0; i < segs.size(); ++i) {
+      if (segs[i].work_us == 0) continue;
+      const uint64_t through = up[i] + down[i] - segs[i].work_us;
+      const size_t sp = static_cast<size_t>(segs[i].span);
+      span_through[sp] = std::max(span_through[sp], through);
+      span_has_seg[sp] = true;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      if (!span_has_seg[i]) continue;
+      const uint64_t slack =
+          out->critical_path_us > span_through[i]
+              ? out->critical_path_us - span_through[i]
+              : 0;
+      SpanSlack& agg = by_name[spans[i].e->name];
+      if (agg.count == 0) {
+        agg.name = spans[i].e->name;
+        agg.min_slack_us = slack;
+      }
+      agg.min_slack_us = std::min(agg.min_slack_us, slack);
+      agg.count += 1;
+      agg.total_us += spans[i].e->dur_us;
+    }
+    for (auto& [name, agg] : by_name) out->slack.push_back(agg);
+    std::sort(out->slack.begin(), out->slack.end(),
+              [](const SpanSlack& a, const SpanSlack& b) {
+                if (a.min_slack_us != b.min_slack_us) {
+                  return a.min_slack_us < b.min_slack_us;
+                }
+                return a.total_us > b.total_us;
+              });
+  }
+  return Status::Ok();
+}
+
+Status AnalyzeChromeTraceJson(const std::string& json, TraceAnalysis* out) {
+  StatusOr<JsonValue> parsed = JsonValue::Parse(json);
+  if (!parsed.ok()) {
+    return Status::InvalidArgument("malformed trace JSON: " +
+                                   parsed.status().message());
+  }
+  const JsonValue* trace_events = parsed->Find("traceEvents");
+  if (trace_events == nullptr || !trace_events->is_array()) {
+    return Status::InvalidArgument(
+        "malformed trace: missing \"traceEvents\" array");
+  }
+  std::vector<Tracer::Event> events;
+  std::vector<Tracer::FlowEvent> flows;
+  for (const JsonValue& ev : trace_events->AsArray()) {
+    if (!ev.is_object()) {
+      return Status::InvalidArgument("malformed trace: non-object event");
+    }
+    const std::string ph = ev.GetString("ph", "");
+    if (ph == "X") {
+      const double ts = ev.GetDouble("ts", -1.0);
+      const double dur = ev.GetDouble("dur", -1.0);
+      const double tid = ev.GetDouble("tid", -1.0);
+      const std::string name = ev.GetString("name", "");
+      if (name.empty() || ts < 0 || dur < 0 || tid < 0) {
+        return Status::InvalidArgument(
+            "malformed trace: X event missing name/ts/dur/tid");
+      }
+      Tracer::Event e;
+      e.name = name;
+      e.ts_us = static_cast<uint64_t>(ts);
+      e.dur_us = static_cast<uint64_t>(dur);
+      e.tid = static_cast<uint32_t>(tid);
+      const JsonValue* args = ev.Find("args");
+      if (args != nullptr) {
+        e.depth = static_cast<int>(args->GetDouble("depth", 0));
+        e.id = static_cast<uint64_t>(args->GetDouble("id", 0));
+        e.parent_id = static_cast<uint64_t>(args->GetDouble("parent_id", 0));
+      }
+      events.push_back(std::move(e));
+    } else if (ph == "s" || ph == "f") {
+      const double id = ev.GetDouble("id", -1.0);
+      const double ts = ev.GetDouble("ts", -1.0);
+      const double tid = ev.GetDouble("tid", -1.0);
+      if (id < 0 || ts < 0 || tid < 0) {
+        return Status::InvalidArgument(
+            "malformed trace: flow event missing id/ts/tid");
+      }
+      Tracer::FlowEvent f;
+      f.id = static_cast<uint64_t>(id);
+      f.name = ev.GetString("name", "");
+      f.ts_us = static_cast<uint64_t>(ts);
+      f.tid = static_cast<uint32_t>(tid);
+      f.finish = ph == "f";
+      flows.push_back(std::move(f));
+    }
+    // "M" metadata and anything else: ignored.
+  }
+  return AnalyzeTraceEvents(events, flows, out);
+}
+
+Status AnalyzeCurrentTrace(TraceAnalysis* out) {
+  const std::vector<Tracer::Event> events = Tracer::Get().Events();
+  if (events.empty()) {
+    return Status::FailedPrecondition(
+        "tracer has no recorded spans (enable the tracer sink first)");
+  }
+  return AnalyzeTraceEvents(events, Tracer::Get().FlowEvents(), out);
+}
+
+std::string CriticalPathJson(const TraceAnalysis& a, bool enabled) {
+  JsonObject obj;
+  obj.Set("enabled", enabled)
+      .Set("wall_us", a.wall_us)
+      .Set("critical_path_us", a.critical_path_us)
+      .Set("serial_sum_us", a.serial_sum_us)
+      .Set("speedup_bound", a.speedup_bound)
+      .Set("avg_parallelism", a.avg_parallelism)
+      .Set("serial_us", a.serial_us)
+      .Set("parallel_us", a.parallel_us)
+      .Set("queue_stall_us", a.queue_stall_us)
+      .Set("barrier_stall_us", a.barrier_stall_us)
+      .Set("num_jobs", a.num_jobs)
+      .Set("num_shards", a.num_shards)
+      .Set("num_spans", a.num_spans)
+      .Set("num_threads", a.num_threads);
+  return obj.ToString();
+}
+
+std::string RenderTraceAnalysisHtml(const TraceAnalysis& a,
+                                    const std::string& title) {
+  // Shared look with eval/roofline_report.cc and obs/report.cc: one
+  // self-contained page, inline SVG, no scripts.
+  constexpr const char* kCss =
+      "body{font-family:system-ui,sans-serif;margin:2em auto;max-width:60em;"
+      "padding:0 1em;color:#222}"
+      "h1{font-size:1.4em}h2{font-size:1.1em;margin-top:2em}"
+      "figure{margin:1.5em 0}svg{width:100%;height:auto;background:#fff;"
+      "border:1px solid #ddd}"
+      "figcaption{font-size:0.85em;color:#555;margin-top:0.3em}"
+      "text.tick{font-size:10px;fill:#555;font-family:monospace}"
+      "text.legend{font-size:11px;fill:#333}"
+      "table{border-collapse:collapse;margin:1em 0;font-size:13px}"
+      "td,th{border:1px solid #ccc;padding:3px 8px;text-align:right;"
+      "font-variant-numeric:tabular-nums}"
+      "td.l,th.l{text-align:left}"
+      ".provenance{color:#555;font-size:0.85em}"
+      ".empty{color:#777;font-style:italic}";
+
+  std::string html = "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">";
+  html += "<title>" + HtmlEscape(title) + "</title>";
+  html += "<style>" + std::string(kCss) + "</style></head>\n<body>\n";
+  html += "<h1>" + HtmlEscape(title) + "</h1>\n";
+
+  // Summary table.
+  html += "<h2>Summary</h2>\n<table>\n";
+  auto row = [&html](const std::string& k, const std::string& v) {
+    html += "<tr><td class=\"l\">" + k + "</td><td>" + v + "</td></tr>\n";
+  };
+  row("wall", Us(a.wall_us));
+  row("critical path (work)", Us(a.critical_path_us));
+  row("serial sum (total work)", Us(a.serial_sum_us));
+  row("achievable speedup bound", FmtDouble(a.speedup_bound) + "&times;");
+  row("average parallelism", FmtDouble(a.avg_parallelism) + "&times;");
+  row("pool jobs / shard spans",
+      std::to_string(a.num_jobs) + " / " + std::to_string(a.num_shards));
+  row("spans / threads",
+      std::to_string(a.num_spans) + " / " + std::to_string(a.num_threads));
+  html += "</table>\n";
+
+  // Stall decomposition: one horizontal stacked bar over the wall.
+  html += "<h2>Where the wall clock went</h2>\n<figure>\n";
+  html += "<svg viewBox=\"0 0 760 90\" role=\"img\">\n";
+  if (a.wall_us > 0) {
+    struct Part {
+      const char* label;
+      uint64_t us;
+      const char* color;
+    };
+    const Part parts[] = {
+        {"serial", a.serial_us, "#888"},
+        {"parallel", a.parallel_us, "#2a9d3f"},
+        {"queue wait", a.queue_stall_us, "#e0a800"},
+        {"barrier wait", a.barrier_stall_us, "#d64545"},
+    };
+    double x = 10;
+    const double width = 740;
+    double lx = 10;
+    for (const Part& p : parts) {
+      const double w =
+          width * static_cast<double>(p.us) / static_cast<double>(a.wall_us);
+      html += "<rect x=\"" + FmtDouble(x) + "\" y=\"14\" width=\"" +
+              FmtDouble(w) + "\" height=\"26\" fill=\"" + p.color +
+              "\"><title>" + std::string(p.label) + ": " + Us(p.us) +
+              "</title></rect>\n";
+      x += w;
+      const double pct = 100.0 * static_cast<double>(p.us) /
+                         static_cast<double>(a.wall_us);
+      html += "<rect x=\"" + FmtDouble(lx) + "\" y=\"58\" width=\"10\" "
+              "height=\"10\" fill=\"" + p.color + "\"/>\n";
+      html += "<text class=\"legend\" x=\"" + FmtDouble(lx + 14) +
+              "\" y=\"67\">" + std::string(p.label) + " " +
+              FmtDouble(pct) + "%</text>\n";
+      lx += 185;
+    }
+  }
+  html += "</svg>\n<figcaption>Exact partition of the trace wall time: "
+          "serial sections, &ge;1 pool shard running, submit-to-first-"
+          "shard queue wait, and barrier/straggler wait.</figcaption>\n"
+          "</figure>\n";
+
+  // Pool utilization timeline (concurrency histogram).
+  html += "<h2>Pool utilization</h2>\n";
+  if (a.concurrency_us.size() > 1) {
+    html += "<figure>\n<svg viewBox=\"0 0 760 180\" role=\"img\">\n";
+    uint64_t max_us = 1;
+    for (uint64_t v : a.concurrency_us) max_us = std::max(max_us, v);
+    const double bar_w =
+        720.0 / static_cast<double>(a.concurrency_us.size());
+    for (size_t k = 0; k < a.concurrency_us.size(); ++k) {
+      const double h = 140.0 * static_cast<double>(a.concurrency_us[k]) /
+                       static_cast<double>(max_us);
+      const double x = 30 + static_cast<double>(k) * bar_w;
+      html += "<rect x=\"" + FmtDouble(x + 2) + "\" y=\"" +
+              FmtDouble(150 - h) + "\" width=\"" + FmtDouble(bar_w - 4) +
+              "\" height=\"" + FmtDouble(h) +
+              "\" fill=\"#1f77b4\"><title>" + std::to_string(k) +
+              " shard(s): " + Us(a.concurrency_us[k]) +
+              "</title></rect>\n";
+      html += "<text class=\"tick\" x=\"" + FmtDouble(x + bar_w / 2) +
+              "\" y=\"165\" text-anchor=\"middle\">" + std::to_string(k) +
+              "</text>\n";
+    }
+    html += "</svg>\n<figcaption>Time spent at each shard concurrency "
+            "level inside pool-job windows (0 = stalled).</figcaption>\n"
+            "</figure>\n";
+  } else {
+    html += "<p class=\"empty\">no pool jobs in this trace</p>\n";
+  }
+
+  // Critical path table.
+  html += "<h2>Critical path</h2>\n";
+  if (!a.critical_spans.empty()) {
+    html += "<table>\n<tr><th class=\"l\">span</th><th>tid</th>"
+            "<th>start</th><th>work</th><th>% of path</th></tr>\n";
+    size_t shown = 0;
+    for (const CriticalSpan& c : a.critical_spans) {
+      if (++shown > 30) {
+        html += "<tr><td class=\"l\" colspan=\"5\">&hellip; " +
+                std::to_string(a.critical_spans.size() - 30) +
+                " more hops</td></tr>\n";
+        break;
+      }
+      const double pct =
+          a.critical_path_us > 0
+              ? 100.0 * static_cast<double>(c.work_us) /
+                    static_cast<double>(a.critical_path_us)
+              : 0.0;
+      html += "<tr><td class=\"l\">" + HtmlEscape(c.name) + "</td><td>" +
+              std::to_string(c.tid) + "</td><td>" + Us(c.ts_us) +
+              "</td><td>" + Us(c.work_us) + "</td><td>" + FmtDouble(pct) +
+              "%</td></tr>\n";
+    }
+    html += "</table>\n";
+  } else {
+    html += "<p class=\"empty\">empty trace</p>\n";
+  }
+
+  // Slack table.
+  html += "<h2>Per-span slack</h2>\n";
+  if (!a.slack.empty()) {
+    html += "<table>\n<tr><th class=\"l\">span</th><th>instances</th>"
+            "<th>total</th><th>min slack</th></tr>\n";
+    size_t shown = 0;
+    for (const SpanSlack& s : a.slack) {
+      if (++shown > 20) break;
+      html += "<tr><td class=\"l\">" + HtmlEscape(s.name) + "</td><td>" +
+              std::to_string(s.count) + "</td><td>" + Us(s.total_us) +
+              "</td><td>" + Us(s.min_slack_us) + "</td></tr>\n";
+    }
+    html += "</table>\n"
+            "<p class=\"provenance\">Slack 0 = on the critical path; a "
+            "span can grow by its slack without lengthening the run.</p>\n";
+  } else {
+    html += "<p class=\"empty\">no spans with exclusive work</p>\n";
+  }
+
+  html += "</body></html>\n";
+  return html;
+}
+
+}  // namespace timekd::obs

@@ -1,0 +1,114 @@
+#ifndef TIMEKD_OBS_CRITICAL_PATH_H_
+#define TIMEKD_OBS_CRITICAL_PATH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/trace.h"
+
+namespace timekd::obs {
+
+/// Cross-thread trace analysis: reconstructs the span DAG from Chrome
+/// trace events plus the pool's s/f flow edges (obs/trace.h) and answers
+/// the parallelism questions the flat timeline cannot — what is the
+/// critical path, where is the slack, and how much of the wall clock went
+/// to queueing vs. barrier waits vs. genuinely serial sections.
+///
+/// Dependency model (fork-join, matching common/thread_pool.h):
+///   * spans on one thread nest by containment; a thread's exclusive
+///     segments chain in program order,
+///   * a worker-side shard span (bound by an "f" flow event) depends on
+///     the submitting segment that ends at its job's "s" timestamp — not
+///     on whatever previously ran on that worker,
+///   * the submitting thread's first segment at/after a job's join point
+///     (the last shard end) depends on every shard of that job.
+/// The critical path is the maximum total *work* (span durations, waits
+/// excluded) along any chain, so critical_path_us <= wall_us always holds
+/// and serial_sum_us / critical_path_us bounds the achievable speedup.
+
+/// One hop of the critical path, in time order. `work_us` is the exclusive
+/// work the path spends inside this span before hopping to the next.
+struct CriticalSpan {
+  std::string name;
+  uint32_t tid = 0;
+  uint64_t ts_us = 0;
+  uint64_t work_us = 0;
+};
+
+/// Per-span-name slack summary. `min_slack_us` is the smallest slack over
+/// all instances of the name: 0 means some instance sits on the critical
+/// path; large values mean the span could grow by that much without
+/// lengthening the run.
+struct SpanSlack {
+  std::string name;
+  uint64_t count = 0;
+  uint64_t total_us = 0;
+  uint64_t min_slack_us = 0;
+};
+
+struct TraceAnalysis {
+  uint64_t wall_us = 0;           // last span end - first span start
+  uint64_t critical_path_us = 0;  // work along the longest dependency chain
+  uint64_t serial_sum_us = 0;     // total busy time (all threads, waits out)
+  double speedup_bound = 0.0;     // serial_sum / critical_path (Brent bound)
+  double avg_parallelism = 0.0;   // serial_sum / wall
+
+  // Stall decomposition: an exact partition of wall_us.
+  //   serial_us        outside every pool-job window
+  //   parallel_us      >= 1 shard span running
+  //   queue_stall_us   job submitted, no shard has started yet
+  //   barrier_stall_us job joined late: shards pending/straggling but none
+  //                    currently running (imbalance / tail latency)
+  uint64_t serial_us = 0;
+  uint64_t parallel_us = 0;
+  uint64_t queue_stall_us = 0;
+  uint64_t barrier_stall_us = 0;
+
+  uint64_t num_spans = 0;
+  uint64_t num_threads = 0;
+  uint64_t num_jobs = 0;    // flow-edge groups with at least one bound shard
+  uint64_t num_shards = 0;  // "threadpool/shard*" spans (workers + helpers)
+
+  std::vector<CriticalSpan> critical_spans;  // time order
+  std::vector<SpanSlack> slack;              // ascending min_slack_us
+  /// Pool utilization timeline: concurrency_us[k] = microseconds with
+  /// exactly k shard spans running concurrently. concurrency_us[0] is the
+  /// stalled portion of the job windows (= queue + barrier stalls).
+  std::vector<uint64_t> concurrency_us;
+};
+
+/// Core analysis over in-memory events. Rejects malformed traces
+/// (partially overlapping spans on one thread, no spans at all) with
+/// InvalidArgument.
+Status AnalyzeTraceEvents(const std::vector<Tracer::Event>& spans,
+                          const std::vector<Tracer::FlowEvent>& flows,
+                          TraceAnalysis* out);
+
+/// Parses a Chrome trace_event JSON document ({"traceEvents":[...]} as
+/// written by Tracer::WriteChromeTrace) and analyzes it. "M" metadata and
+/// unknown phases are ignored; "X" events missing name/ts/dur/tid are
+/// rejected as malformed.
+Status AnalyzeChromeTraceJson(const std::string& json, TraceAnalysis* out);
+
+/// Analyzes the live in-process Tracer buffer (FailedPrecondition when the
+/// tracer recorded nothing). Used by eval/bench_artifact.cc to embed the
+/// critical_path block.
+Status AnalyzeCurrentTrace(TraceAnalysis* out);
+
+/// Raw JSON object for the BENCH artifact's "critical_path" block; see
+/// docs/observability.md for the field table. `enabled` marks whether a
+/// trace was actually analyzed (false renders an all-zero placeholder so
+/// the block is always present).
+std::string CriticalPathJson(const TraceAnalysis& analysis, bool enabled);
+
+/// Self-contained inline-SVG HTML report (no scripts, PR 5/6 report
+/// style): summary, stall decomposition bar, pool utilization timeline,
+/// critical-path and slack tables.
+std::string RenderTraceAnalysisHtml(const TraceAnalysis& analysis,
+                                    const std::string& title);
+
+}  // namespace timekd::obs
+
+#endif  // TIMEKD_OBS_CRITICAL_PATH_H_

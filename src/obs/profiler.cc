@@ -22,6 +22,13 @@ struct Profiler::Node {
   uint64_t bytes = 0;
   uint64_t read_bytes = 0;
   uint64_t write_bytes = 0;
+  // Worker-shard work re-attributed to this (submitting) span; see the
+  // ProfileNode doc comment for the semantics.
+  uint64_t remote_count = 0;
+  uint64_t remote_us = 0;
+  uint64_t remote_flops = 0;
+  uint64_t remote_read_bytes = 0;
+  uint64_t remote_write_bytes = 0;
   std::map<std::string, std::unique_ptr<Node>> children;
 };
 
@@ -64,6 +71,11 @@ ProfileNode Profiler::Convert(const Profiler::Node& node) {
   out.bytes = node.bytes;
   out.read_bytes = node.read_bytes;
   out.write_bytes = node.write_bytes;
+  out.remote_count = node.remote_count;
+  out.remote_us = node.remote_us;
+  out.remote_flops = node.remote_flops;
+  out.remote_read_bytes = node.remote_read_bytes;
+  out.remote_write_bytes = node.remote_write_bytes;
   out.children = ConvertChildren(node.children);
   uint64_t child_us = 0;
   for (const ProfileNode& c : out.children) child_us += c.total_us;
@@ -90,13 +102,25 @@ std::string NodeJson(const ProfileNode& node, const MachineRoofline* machine) {
       .Set("bytes", node.bytes)
       .Set("read_bytes", node.read_bytes)
       .Set("write_bytes", node.write_bytes);
-  const uint64_t traffic = node.read_bytes + node.write_bytes;
-  if (node.flops > 0 || traffic > 0) {
-    obj.Set("ai", ArithmeticIntensity(node.flops, traffic));
+  if (node.remote_count > 0) {
+    obj.Set("remote_count", node.remote_count)
+        .Set("remote_us", node.remote_us)
+        .Set("remote_flops", node.remote_flops)
+        .Set("remote_read_bytes", node.remote_read_bytes)
+        .Set("remote_write_bytes", node.remote_write_bytes);
+  }
+  // Roofline classification over the *inclusive* channels: worker CPU time
+  // and worker-credited FLOPs/traffic fold in, so pooled kernels report a
+  // per-core achieved rate comparable to the calibrated single-core peak.
+  const uint64_t flops = node.flops + node.remote_flops;
+  const uint64_t traffic = node.read_bytes + node.write_bytes +
+                           node.remote_read_bytes + node.remote_write_bytes;
+  const uint64_t cpu_us = node.total_us + node.remote_us;
+  if (flops > 0 || traffic > 0) {
+    obj.Set("ai", ArithmeticIntensity(flops, traffic));
     if (machine != nullptr && machine->calibrated) {
       const RooflinePoint pt = ClassifyRoofline(
-          node.flops, traffic, static_cast<double>(node.total_us) * 1e-6,
-          *machine);
+          flops, traffic, static_cast<double>(cpu_us) * 1e-6, *machine);
       obj.Set("pct_of_peak", pt.pct_of_peak)
           .Set("bound", pt.memory_bound ? "memory" : "compute");
     }
@@ -123,16 +147,25 @@ void AppendTextNode(const ProfileNode& node, uint64_t wall_us, int depth,
                 static_cast<double>(node.flops) * 1e-9,
                 static_cast<double>(node.bytes) / (1024.0 * 1024.0));
   *out += line;
-  const uint64_t traffic = node.read_bytes + node.write_bytes;
-  if (node.flops > 0 || traffic > 0) {
+  if (node.remote_count > 0) {
+    std::snprintf(line, sizeof(line), "  remote %9.3fs/%llu",
+                  static_cast<double>(node.remote_us) * 1e-6,
+                  static_cast<unsigned long long>(node.remote_count));
+    *out += line;
+  }
+  // Same inclusive channels as NodeJson: see the comment there.
+  const uint64_t flops = node.flops + node.remote_flops;
+  const uint64_t traffic = node.read_bytes + node.write_bytes +
+                           node.remote_read_bytes + node.remote_write_bytes;
+  const uint64_t cpu_us = node.total_us + node.remote_us;
+  if (flops > 0 || traffic > 0) {
     std::snprintf(line, sizeof(line), "  rw-MiB %8.1f  ai %7.2f",
                   static_cast<double>(traffic) / (1024.0 * 1024.0),
-                  ArithmeticIntensity(node.flops, traffic));
+                  ArithmeticIntensity(flops, traffic));
     *out += line;
     if (machine != nullptr && machine->calibrated) {
       const RooflinePoint pt = ClassifyRoofline(
-          node.flops, traffic, static_cast<double>(node.total_us) * 1e-6,
-          *machine);
+          flops, traffic, static_cast<double>(cpu_us) * 1e-6, *machine);
       std::snprintf(line, sizeof(line), "  peak %5.1f%% (%s)",
                     100.0 * pt.pct_of_peak,
                     pt.memory_bound ? "mem" : "cpu");
@@ -211,6 +244,16 @@ void Profiler::Clear() {
     // matching EndSpan calls no-ops instead of use-after-free.
     ts->stack.clear();
   }
+  {
+    // Unclaimed remote credit belongs to spans whose nodes were just
+    // dropped; letting it linger would mis-attribute it to an unrelated
+    // future span that happens to reuse nothing (ids are unique) but
+    // would still leak map entries forever.
+    MutexLock rlock(remote_mu_);
+    pending_remote_.clear();
+    // relaxed: the mirror only gates a lock-skip fast path; see EndSpan.
+    pending_remote_size_.store(0, std::memory_order_relaxed);
+  }
 }
 
 Profiler::ThreadState& Profiler::LocalState() {
@@ -236,18 +279,68 @@ void Profiler::BeginSpan(const char* name) {
       internal::g_span_mem_read, internal::g_span_mem_write});
 }
 
-void Profiler::EndSpan(uint64_t dur_us) {
+void Profiler::EndSpan(uint64_t dur_us, uint64_t span_id,
+                       uint64_t remote_parent_id) {
   ThreadState& ts = LocalState();
-  MutexLock lock(ts.mu);
-  if (ts.stack.empty()) return;  // tree was Clear()ed while the span ran
-  const ThreadState::Frame frame = ts.stack.back();
-  ts.stack.pop_back();
-  frame.node->count += 1;
-  frame.node->total_us += dur_us;
-  frame.node->flops += internal::g_span_flops - frame.flops_base;
-  frame.node->bytes += internal::g_span_bytes - frame.bytes_base;
-  frame.node->read_bytes += internal::g_span_mem_read - frame.read_base;
-  frame.node->write_bytes += internal::g_span_mem_write - frame.write_base;
+  const uint64_t flops = internal::g_span_flops;
+  const uint64_t bytes = internal::g_span_bytes;
+  const uint64_t mem_read = internal::g_span_mem_read;
+  const uint64_t mem_write = internal::g_span_mem_write;
+  uint64_t d_flops = 0;
+  uint64_t d_read = 0;
+  uint64_t d_write = 0;
+  bool attributed = false;
+  {
+    MutexLock lock(ts.mu);
+    if (ts.stack.empty()) return;  // tree was Clear()ed while the span ran
+    const ThreadState::Frame frame = ts.stack.back();
+    ts.stack.pop_back();
+    attributed = true;
+    d_flops = flops - frame.flops_base;
+    d_read = mem_read - frame.read_base;
+    d_write = mem_write - frame.write_base;
+    frame.node->count += 1;
+    frame.node->total_us += dur_us;
+    frame.node->flops += d_flops;
+    frame.node->bytes += bytes - frame.bytes_base;
+    frame.node->read_bytes += d_read;
+    frame.node->write_bytes += d_write;
+    // Claim any remote work pool workers credited to this span while it
+    // was open. ParallelFor joins before returning, and the pool mutex
+    // hand-off orders each worker's credit before the submitter resumes,
+    // so a relaxed read of the size mirror cannot miss our entry — it
+    // exists only to keep the no-remote-work common case lock-free.
+    if (span_id != 0 &&
+        pending_remote_size_.load(std::memory_order_relaxed) != 0) {
+      MutexLock rlock(remote_mu_);
+      auto it = pending_remote_.find(span_id);
+      if (it != pending_remote_.end()) {
+        frame.node->remote_count += it->second.count;
+        frame.node->remote_us += it->second.us;
+        frame.node->remote_flops += it->second.flops;
+        frame.node->remote_read_bytes += it->second.read_bytes;
+        frame.node->remote_write_bytes += it->second.write_bytes;
+        pending_remote_.erase(it);
+        // relaxed: mirror maintenance under remote_mu_; see above.
+        pending_remote_size_.fetch_sub(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  // Worker-side shard span: route the same deltas to the submitting
+  // span's pending slot so its EndSpan folds them into remote_*.
+  if (attributed && remote_parent_id != 0) {
+    MutexLock rlock(remote_mu_);
+    RemoteWork& w = pending_remote_[remote_parent_id];
+    if (w.count == 0) {
+      // relaxed: mirror maintenance under remote_mu_; see claim above.
+      pending_remote_size_.fetch_add(1, std::memory_order_relaxed);
+    }
+    w.count += 1;
+    w.us += dur_us;
+    w.flops += d_flops;
+    w.read_bytes += d_read;
+    w.write_bytes += d_write;
+  }
 }
 
 ProfileSnapshot Profiler::Snapshot() const {
@@ -293,7 +386,9 @@ std::string Profiler::ToJson() const {
     threads.push_back(obj.ToString());
   }
   JsonObject doc;
-  doc.Set("schema_version", 2)
+  // v3: remote_* re-attribution channels (nonzero nodes only) and
+  // roofline classification over the inclusive cpu-time/FLOP channels.
+  doc.Set("schema_version", 3)
       .Set("process_wall_us", snap.process_wall_us)
       .SetRaw("threads", JsonArray(threads));
   return doc.ToString();

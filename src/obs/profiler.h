@@ -48,9 +48,20 @@ inline void AddSpanMemTraffic(uint64_t read_bytes, uint64_t write_bytes) {
 /// One aggregated call-tree node of a profile snapshot. Siblings with the
 /// same span name are merged; `self_us` excludes time spent in children.
 /// `flops`/`bytes` are inclusive of children and count work *issued* by
-/// the span's thread (kernels parallelized through the pool credit their
-/// whole cost to the submitting span, shard execution shows up under the
-/// workers' "threadpool/shard" spans with zero attributed flops).
+/// the span's thread.
+///
+/// Work parallelized through the thread pool comes back via the remote_*
+/// channels: each worker-side shard span adopts the submitting span's
+/// TraceContext (obs/trace.h) and, on close, folds its wall time and any
+/// FLOPs/traffic credited on the worker into the *submitting* span's node.
+/// remote_us is therefore CPU time spent on other threads on this span's
+/// behalf — it is NOT wall time and must never be added to total_us when
+/// summing a timeline (the shard intervals overlap the span's own
+/// interval). total_us/self_us keep their single-thread wall semantics
+/// untouched. Roofline %-of-peak divides (flops + remote_flops) by
+/// (total_us + remote_us), i.e. per-core achieved rate vs the calibrated
+/// single-core peak, which is what makes the number meaningful for pooled
+/// kernels.
 struct ProfileNode {
   std::string name;
   uint64_t count = 0;
@@ -60,6 +71,11 @@ struct ProfileNode {
   uint64_t bytes = 0;       // allocation bytes (AddSpanBytes)
   uint64_t read_bytes = 0;  // analytic memory traffic (AddSpanMemTraffic)
   uint64_t write_bytes = 0;
+  uint64_t remote_count = 0;  // worker shard spans folded into this node
+  uint64_t remote_us = 0;     // their summed wall (= worker CPU) time
+  uint64_t remote_flops = 0;  // FLOPs credited on workers on our behalf
+  uint64_t remote_read_bytes = 0;
+  uint64_t remote_write_bytes = 0;
   std::vector<ProfileNode> children;  // sorted by total_us, descending
 };
 
@@ -102,7 +118,8 @@ class Profiler {
 
   ProfileSnapshot Snapshot() const;
 
-  /// {"schema_version":2,"process_wall_us":...,"threads":[...]}.
+  /// {"schema_version":3,"process_wall_us":...,"threads":[...]}. Version 3
+  /// added the remote_* re-attribution fields (emitted only when nonzero).
   std::string ToJson() const;
   /// Human-readable tree, children sorted by total time descending.
   std::string ToText() const;
@@ -113,12 +130,28 @@ class Profiler {
   bool DumpIfConfigured() const;
 
   /// Internal: called by ScopedSpan on the profiler-enabled path only.
+  /// `span_id` is the closing span's own id (used to claim remote work
+  /// that pool workers credited to it); `remote_parent_id`, when nonzero,
+  /// marks the closing span as a worker-side shard and routes its
+  /// wall/FLOP/traffic deltas to that submitting span's pending-remote
+  /// slot as well.
   void BeginSpan(const char* name);
-  void EndSpan(uint64_t dur_us);
+  void EndSpan(uint64_t dur_us, uint64_t span_id, uint64_t remote_parent_id);
 
  private:
   struct Node;
   struct ThreadState;
+  /// Worker-shard work waiting for its submitting span to close. Keyed by
+  /// the submitting span's id; claimed (and erased) by that span's
+  /// EndSpan. ParallelFor joins before returning, so every shard's credit
+  /// lands before the submitting span can close.
+  struct RemoteWork {
+    uint64_t count = 0;
+    uint64_t us = 0;
+    uint64_t flops = 0;
+    uint64_t read_bytes = 0;
+    uint64_t write_bytes = 0;
+  };
 
   Profiler();
   ~Profiler();  // never runs (leaked singleton); defined for unique_ptr
@@ -133,6 +166,14 @@ class Profiler {
   std::string json_out_path_ TIMEKD_GUARDED_BY(mu_);
   bool stderr_tree_ TIMEKD_GUARDED_BY(mu_) = false;
   std::vector<std::unique_ptr<ThreadState>> threads_ TIMEKD_GUARDED_BY(mu_);
+  /// Cross-thread re-attribution mailbox. Leaf lock: taken after a
+  /// ThreadState::mu (claim path) or alone (credit path), never before
+  /// one. pending_remote_size_ mirrors the map size so the common case —
+  /// a span closing with no pending remote work anywhere — skips the lock.
+  mutable Mutex remote_mu_;
+  std::map<uint64_t, RemoteWork> pending_remote_
+      TIMEKD_GUARDED_BY(remote_mu_);
+  std::atomic<uint64_t> pending_remote_size_{0};
 };
 
 /// Peak resident set size (`VmHWM` from /proc/self/status) in bytes, or -1

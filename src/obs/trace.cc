@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
+#include <set>
 
 #include "obs/flight_recorder.h"
 #include "obs/json.h"
@@ -16,6 +17,15 @@ namespace internal {
 // Constant-initialized so the disabled-span fast path never waits on a
 // magic-static guard; Tracer/Profiler construction ORs their bits in.
 constinit std::atomic<uint32_t> g_span_sinks{0};
+
+uint64_t NextSpanId() {
+  // Constant-initialized for the same reason as g_span_sinks; 0 is
+  // reserved as the "no span" sentinel so ids start at 1.
+  constinit static std::atomic<uint64_t> next{1};
+  // relaxed: ids only need to be unique, not ordered across threads.
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
 }  // namespace internal
 
 namespace {
@@ -32,6 +42,14 @@ int& ThreadDepth() {
   return depth;
 }
 
+/// Open-span stack of the calling thread, mirrored by ScopedSpan on the
+/// enabled path only — with all sinks off it stays empty, which is what
+/// keeps TraceContext::Capture() free for uninstrumented runs.
+std::vector<TraceContext>& ContextStack() {
+  thread_local std::vector<TraceContext> stack;
+  return stack;
+}
+
 // The disabled-span fast path no longer touches the singletons, so
 // env-var-driven enabling (TIMEKD_TRACE_OUT / TIMEKD_PROFILE_OUT) must not
 // rely on the first span constructing them. Force both at load time.
@@ -43,9 +61,33 @@ int& ThreadDepth() {
 
 }  // namespace
 
+const char* InternSpanName(const std::string& name) {
+  // Leaked (process-lifetime) table: the flight recorder keeps raw name
+  // pointers in its signal-safe ring, so interned names must never move
+  // or die. std::set gives node stability; the guard is a plain static
+  // mutex because interning is off every per-span hot path (once per
+  // distinct name plus one lookup per pool job on the enabled path).
+  static Mutex* mu = new Mutex();                            // timekd-lint: allow(new-delete)
+  static std::set<std::string>* table = new std::set<std::string>();  // timekd-lint: allow(new-delete)
+  MutexLock lock(*mu);
+  return table->insert(name).first->c_str();
+}
+
+TraceContext TraceContext::Capture() {
+  const std::vector<TraceContext>& stack = ContextStack();
+  if (stack.empty()) return TraceContext{};
+  return stack.back();
+}
+
 Tracer::Tracer() {
   // Anchor the timestamp origin before any span can run.
   ProcessStart();
+  {
+    // The constructor runs on the first thread that touches observability
+    // (forced at load time by g_force_sink_init, i.e. the main thread).
+    MutexLock lock(mu_);
+    thread_names_[CurrentThreadId()] = "main";
+  }
   const char* path = std::getenv("TIMEKD_TRACE_OUT");
   if (path != nullptr && *path != '\0') {
     // Single-threaded construction (no other thread holds a reference
@@ -86,7 +128,9 @@ void Tracer::Disable() {
 void Tracer::Clear() {
   MutexLock lock(mu_);
   events_.clear();
+  flow_events_.clear();
   stats_.clear();
+  // thread_names_ survives Clear(): thread identity is not trace data.
 }
 
 std::map<std::string, Tracer::SpanStats> Tracer::AggregatedStats() const {
@@ -100,7 +144,7 @@ std::vector<Tracer::Event> Tracer::Events() const {
 }
 
 void Tracer::RecordSpan(const char* name, uint64_t ts_us, uint64_t dur_us,
-                        int depth) {
+                        int depth, uint64_t id, uint64_t parent_id) {
   MutexLock lock(mu_);
   SpanStats& s = stats_[name];
   const double d = static_cast<double>(dur_us);
@@ -114,17 +158,87 @@ void Tracer::RecordSpan(const char* name, uint64_t ts_us, uint64_t dur_us,
     dropped->Increment();
     return;
   }
-  events_.push_back(Event{name, ts_us, dur_us, CurrentThreadId(), depth});
+  events_.push_back(
+      Event{name, ts_us, dur_us, CurrentThreadId(), depth, id, parent_id});
+}
+
+std::vector<Tracer::FlowEvent> Tracer::FlowEvents() const {
+  MutexLock lock(mu_);
+  return flow_events_;
+}
+
+void Tracer::RecordFlowStart(uint64_t flow_id, const char* name,
+                             uint64_t ts_us) {
+  MutexLock lock(mu_);
+  if (flow_events_.size() >= max_events_) {
+    static Counter* dropped =
+        GlobalMetrics().GetCounter("obs/trace_events_dropped");
+    dropped->Increment();
+    return;
+  }
+  flow_events_.push_back(
+      FlowEvent{flow_id, name, ts_us, CurrentThreadId(), /*finish=*/false});
+}
+
+void Tracer::RecordFlowFinish(uint64_t flow_id, const char* name,
+                              uint64_t ts_us) {
+  MutexLock lock(mu_);
+  if (flow_events_.size() >= max_events_) {
+    static Counter* dropped =
+        GlobalMetrics().GetCounter("obs/trace_events_dropped");
+    dropped->Increment();
+    return;
+  }
+  flow_events_.push_back(
+      FlowEvent{flow_id, name, ts_us, CurrentThreadId(), /*finish=*/true});
+}
+
+void Tracer::SetCurrentThreadName(const std::string& name) {
+  Tracer& tracer = Get();
+  MutexLock lock(tracer.mu_);
+  tracer.thread_names_[CurrentThreadId()] = name;
+}
+
+std::map<uint32_t, std::string> Tracer::ThreadNames() const {
+  MutexLock lock(mu_);
+  return thread_names_;
 }
 
 std::string Tracer::ChromeTraceJson() const {
   std::vector<std::string> rendered;
   {
     MutexLock lock(mu_);
-    rendered.reserve(events_.size());
+    rendered.reserve(2 + thread_names_.size() + events_.size() +
+                     flow_events_.size());
+    // "M" metadata first: Perfetto applies process/thread names to every
+    // later event regardless of order, but leading with them keeps the
+    // file readable for humans too.
+    {
+      JsonObject args;
+      args.Set("name", "timekd");
+      JsonObject obj;
+      obj.Set("name", "process_name")
+          .Set("ph", "M")
+          .Set("pid", 1)
+          .SetRaw("args", args.ToString());
+      rendered.push_back(obj.ToString());
+    }
+    for (const auto& [tid, name] : thread_names_) {
+      JsonObject args;
+      args.Set("name", name);
+      JsonObject obj;
+      obj.Set("name", "thread_name")
+          .Set("ph", "M")
+          .Set("pid", 1)
+          .Set("tid", static_cast<int64_t>(tid))
+          .SetRaw("args", args.ToString());
+      rendered.push_back(obj.ToString());
+    }
     for (const Event& e : events_) {
       JsonObject args;
       args.Set("depth", e.depth);
+      if (e.id != 0) args.Set("id", e.id);
+      if (e.parent_id != 0) args.Set("parent_id", e.parent_id);
       JsonObject obj;
       obj.Set("name", e.name)
           .Set("ph", "X")
@@ -133,6 +247,21 @@ std::string Tracer::ChromeTraceJson() const {
           .Set("pid", 1)
           .Set("tid", static_cast<int64_t>(e.tid))
           .SetRaw("args", args.ToString());
+      rendered.push_back(obj.ToString());
+    }
+    // Flow edges: one "s" at job submit (bound to the submitting slice by
+    // its timestamp) and one "f" per worker shard; bp:"e" binds the finish
+    // to the *enclosing* slice, i.e. the shard span that starts at ts.
+    for (const FlowEvent& f : flow_events_) {
+      JsonObject obj;
+      obj.Set("name", f.name)
+          .Set("cat", "threadpool")
+          .Set("ph", f.finish ? "f" : "s");
+      if (f.finish) obj.Set("bp", "e");
+      obj.Set("id", f.id)
+          .Set("ts", f.ts_us)
+          .Set("pid", 1)
+          .Set("tid", static_cast<int64_t>(f.tid));
       rendered.push_back(obj.ToString());
     }
   }
@@ -173,14 +302,28 @@ uint32_t Tracer::CurrentThreadId() {
   return id;
 }
 
-ScopedSpan::ScopedSpan(const char* name) {
+ScopedSpan::ScopedSpan(const char* name, const TraceContext* parent) {
   const uint32_t sinks = internal::SpanSinks();
   if (sinks == 0) return;  // disabled: the one relaxed load, nothing else
   sinks_ = sinks;
   name_ = name;
   depth_ = ++ThreadDepth();
+  id_ = internal::NextSpanId();
+  std::vector<TraceContext>& stack = ContextStack();
+  if (parent != nullptr && parent->valid()) {
+    // Adopted cross-thread parent (pool shard span).
+    parent_span_id_ = parent->span_id;
+    remote_parent_id_ = parent->span_id;
+  } else if (!stack.empty()) {
+    parent_span_id_ = stack.back().span_id;  // local (same-thread) parent
+  }
+  stack.push_back(TraceContext{name, id_, 0, Tracer::CurrentThreadId()});
   if (sinks & internal::kProfilerSink) Profiler::Get().BeginSpan(name);
   start_us_ = Tracer::NowMicros();
+  if ((sinks & internal::kTracerSink) && parent != nullptr &&
+      parent->flow_id != 0) {
+    Tracer::Get().RecordFlowFinish(parent->flow_id, name, start_us_);
+  }
   if (sinks & internal::kFlightRecorderSink) {
     FlightRecorder::Get().RecordSpanBegin(name, start_us_, depth_);
   }
@@ -189,11 +332,15 @@ ScopedSpan::ScopedSpan(const char* name) {
 ScopedSpan::~ScopedSpan() {
   if (sinks_ == 0) return;
   --ThreadDepth();
+  ContextStack().pop_back();
   const uint64_t end_us = Tracer::NowMicros();
   const uint64_t dur_us = end_us - start_us_;
-  if (sinks_ & internal::kProfilerSink) Profiler::Get().EndSpan(dur_us);
+  if (sinks_ & internal::kProfilerSink) {
+    Profiler::Get().EndSpan(dur_us, id_, remote_parent_id_);
+  }
   if (sinks_ & internal::kTracerSink) {
-    Tracer::Get().RecordSpan(name_, start_us_, dur_us, depth_);
+    Tracer::Get().RecordSpan(name_, start_us_, dur_us, depth_, id_,
+                             parent_span_id_);
   }
   if (sinks_ & internal::kFlightRecorderSink) {
     FlightRecorder::Get().RecordSpanEnd(name_, end_us, depth_);

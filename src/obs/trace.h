@@ -41,7 +41,44 @@ inline void SetSpanSink(uint32_t bit, bool on) {
   }
 }
 
+/// Process-unique id generator shared by spans and Chrome flow edges.
+/// Only called on the enabled path (some sink on), never by the disabled
+/// fast path.
+uint64_t NextSpanId();
+
 }  // namespace internal
+
+/// Interns `name` into a leaked process-lifetime string table and returns
+/// a pointer that stays valid forever. Span names are `const char*` with
+/// static-string identity assumptions (the crash flight recorder keeps the
+/// raw pointer in its ring); dynamically composed names — e.g. the pool's
+/// job-derived "threadpool/shard:tensor/matmul" — must pass through here
+/// before being used as a span name. The table is bounded by the number of
+/// distinct names, which derives from static TIMEKD_TRACE_SCOPE literals.
+const char* InternSpanName(const std::string& name);
+
+/// Logical position in the span tree of one thread, captured so work
+/// submitted to the thread pool can be re-attributed to the span that
+/// issued it. Captured by `ThreadPool::ParallelFor*` at submit time and
+/// adopted by the worker-side shard spans: the shard's trace event carries
+/// `span_id` as its parent id, the Chrome trace gains an s/f flow edge
+/// under `flow_id`, and the profiler folds the shard's wall/FLOPs/traffic
+/// into the submitting span's node as remote_* channels (obs/profiler.h).
+///
+/// With every span sink disabled the context stack is empty and Capture()
+/// returns an invalid context without touching any atomic or clock.
+struct TraceContext {
+  const char* name = nullptr;  // innermost open span's name (static/interned)
+  uint64_t span_id = 0;        // its process-unique span id (0 = invalid)
+  uint64_t flow_id = 0;        // Chrome flow-edge id, assigned per pool job
+  uint32_t tid = 0;            // capturing thread (Tracer::CurrentThreadId)
+
+  bool valid() const { return span_id != 0; }
+
+  /// Innermost open span of the calling thread; invalid when no span is
+  /// open (in particular whenever all sinks are off).
+  static TraceContext Capture();
+};
 
 /// Process-wide scoped-span tracer.
 ///
@@ -80,14 +117,43 @@ class Tracer {
 
   struct Event {
     std::string name;
-    uint64_t ts_us = 0;   // microseconds since process start
-    uint64_t dur_us = 0;  // span duration
-    uint32_t tid = 0;     // small sequential thread id
-    int depth = 0;        // nesting depth at open (1 = top level)
+    uint64_t ts_us = 0;      // microseconds since process start
+    uint64_t dur_us = 0;     // span duration
+    uint32_t tid = 0;        // small sequential thread id
+    int depth = 0;           // nesting depth at open (1 = top level)
+    uint64_t id = 0;         // process-unique span id
+    uint64_t parent_id = 0;  // enclosing span's id; for pool shard spans
+                             // the *submitting* span's id (0 = none)
   };
   std::vector<Event> Events() const;
 
-  /// Chrome trace_event JSON (the {"traceEvents":[...]} object form).
+  /// One endpoint of a Chrome flow edge ("s" start / "f" finish). The pool
+  /// records a start on the submitting thread at dispatch and one finish
+  /// per worker-side shard span, all under the job's flow id, which is how
+  /// Perfetto draws the submit->shard causality arrows and how
+  /// obs/critical_path.h reconstructs the cross-thread span DAG.
+  struct FlowEvent {
+    uint64_t id = 0;
+    std::string name;   // submitting span's name (edge label)
+    uint64_t ts_us = 0;
+    uint32_t tid = 0;
+    bool finish = false;  // false = "s" (source), true = "f" (sink)
+  };
+  std::vector<FlowEvent> FlowEvents() const;
+  void RecordFlowStart(uint64_t flow_id, const char* name, uint64_t ts_us);
+  void RecordFlowFinish(uint64_t flow_id, const char* name, uint64_t ts_us);
+
+  /// Registers a human-readable name for the calling thread, emitted as a
+  /// Chrome "M" thread_name metadata event. The pool names its workers
+  /// "pool/worker-N"; the first thread is registered as "main". Cheap and
+  /// always recorded (bounded by the thread count), independent of the
+  /// sink state so late enabling still gets named threads.
+  static void SetCurrentThreadName(const std::string& name);
+  std::map<uint32_t, std::string> ThreadNames() const;
+
+  /// Chrome trace_event JSON (the {"traceEvents":[...]} object form):
+  /// "M" process/thread-name metadata events, "X" complete events (args:
+  /// depth, span id, parent id), and "s"/"f" flow edges.
   std::string ChromeTraceJson() const;
   Status WriteChromeTrace(const std::string& path) const;
 
@@ -105,7 +171,7 @@ class Tracer {
 
   /// Internal: called by ScopedSpan on scope exit.
   void RecordSpan(const char* name, uint64_t ts_us, uint64_t dur_us,
-                  int depth);
+                  int depth, uint64_t id, uint64_t parent_id);
 
  private:
   Tracer();
@@ -114,6 +180,8 @@ class Tracer {
   mutable Mutex mu_;
   std::string out_path_ TIMEKD_GUARDED_BY(mu_);
   std::vector<Event> events_ TIMEKD_GUARDED_BY(mu_);
+  std::vector<FlowEvent> flow_events_ TIMEKD_GUARDED_BY(mu_);
+  std::map<uint32_t, std::string> thread_names_ TIMEKD_GUARDED_BY(mu_);
   std::map<std::string, SpanStats> stats_ TIMEKD_GUARDED_BY(mu_);
   // Backstop against unbounded growth on very long runs; drops are counted
   // in the "obs/trace_events_dropped" metric. Set once at construction,
@@ -126,7 +194,16 @@ class Tracer {
 /// either sink's bookkeeping.
 class ScopedSpan {
  public:
-  explicit ScopedSpan(const char* name);
+  explicit ScopedSpan(const char* name) : ScopedSpan(name, nullptr) {}
+
+  /// Pool-worker form: opens a span that adopts `parent` — a TraceContext
+  /// captured on another thread at job-submit time. The span's trace event
+  /// records parent->span_id as its parent, a flow "f" edge is emitted
+  /// under parent->flow_id, and on close the span's wall/FLOPs/traffic are
+  /// credited to the submitting span's profiler node as remote work.
+  /// `parent` may be null or invalid (plain span); it is only read during
+  /// construction and destruction, so it must outlive the span.
+  ScopedSpan(const char* name, const TraceContext* parent);
   ~ScopedSpan();
 
   ScopedSpan(const ScopedSpan&) = delete;
@@ -137,6 +214,9 @@ class ScopedSpan {
   uint64_t start_us_ = 0;
   int depth_ = 0;
   uint32_t sinks_ = 0;
+  uint64_t id_ = 0;
+  uint64_t parent_span_id_ = 0;  // local or adopted parent (trace event)
+  uint64_t remote_parent_id_ = 0;  // nonzero only for adopted contexts
 };
 
 /// Monotonic stopwatch over the tracer's steady-clock origin. This is the

@@ -225,9 +225,11 @@ TEST(BenchArtifactTest, WriteBenchArtifactEmitsSchemaFields) {
   ss << in.rdbuf();
   const std::string json = ss.str();
   for (const char* key :
-       {"\"schema_version\":2", "\"experiment\":\"eval_test\"",
+       {"\"schema_version\":3", "\"experiment\":\"eval_test\"",
         "\"provenance\":", "\"wall_seconds\":", "\"phases\":",
-        "\"throughput\":", "\"kernels\":", "\"roofline\":", "\"memory\":",
+        "\"throughput\":", "\"kernels\":", "\"roofline\":",
+        "\"critical_path\":", "\"ctx_spans_per_sec\":",
+        "\"speedup_bound\":", "\"memory\":",
         "\"rss_peak_bytes\":", "\"metrics\":"}) {
     EXPECT_NE(json.find(key), std::string::npos) << key;
   }

@@ -602,7 +602,7 @@ TEST_F(ProfilerTest, JsonDumpIsWellFormedAndVersioned) {
   const std::string json = Profiler::Get().ToJson();
   JsonValidator v(json);
   EXPECT_TRUE(v.Valid()) << json;
-  EXPECT_NE(json.find("\"schema_version\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\":3"), std::string::npos);
   EXPECT_NE(json.find("\"process_wall_us\":"), std::string::npos);
   EXPECT_NE(json.find("phase/a"), std::string::npos);
 

@@ -93,6 +93,19 @@ run_telemetry() {
     --output-on-failure
 }
 
+# Causality suite: cross-thread TraceContext capture/adoption through the
+# pool, critical-path/slack analysis, and the stall decomposition. Focused
+# re-run because the concurrent-capture stress case is a TSan target and
+# the context hand-off (submit under the pool mutex, adopt on a worker) is
+# exactly the kind of cross-thread publication the sanitizer presets exist
+# to check.
+run_causality() {
+  local preset="$1"
+  step "causality suite [$preset]"
+  ctest --preset "$preset" -R 'CriticalPath|TraceContext|ThreadPool' \
+    --output-on-failure
+}
+
 # Perf-gate smoke: run the micro-kernel bench twice at the smoke profile
 # and require tools/perf_diff.py to pass the pair. This catches broken
 # BENCH artifact emission, schema drift the gate can't parse, and noise
@@ -156,6 +169,7 @@ run_determinism default
 run_equivalence default
 run_health default
 run_telemetry default
+run_causality default
 run_perf_gate
 
 if [[ "$FAST" == "0" ]]; then
@@ -163,11 +177,13 @@ if [[ "$FAST" == "0" ]]; then
   run_equivalence asan-ubsan
   run_health asan-ubsan
   run_telemetry asan-ubsan
+  run_causality asan-ubsan
   run_config tsan
   run_determinism tsan
   run_equivalence tsan
   run_health tsan
   run_telemetry tsan
+  run_causality tsan
   run_tidy_gate
 fi
 

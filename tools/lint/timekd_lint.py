@@ -70,6 +70,14 @@ Rules (all stdlib-only, no third-party deps):
                     kernel-equivalence suite compares against and that
                     non-AVX2 builds dispatch to. Escape: a documented
                     `timekd-lint: allow(simd-fallback)`.
+  span-context      No ParallelFor/ParallelForShards definitions outside
+                    src/common/thread_pool.*, and files that open trace
+                    spans and call ParallelFor* must include
+                    "common/thread_pool.h" directly: the pool's submit
+                    path is the single fan-out point that propagates
+                    obs::TraceContext (job-derived shard names, flow
+                    edges, remote re-attribution) to shard spans. Escape:
+                    a documented `timekd-lint: allow(span-context)`.
 
 Suppression: a finding on line N of a rule R is suppressed when line N or
 line N-1 contains `timekd-lint: allow(R)`. Use sparingly and document why.
@@ -809,6 +817,68 @@ def check_simd_fallback(root, findings):
                 "still link"))
 
 
+# --- Rule: span-context ----------------------------------------------------
+
+# Definition of a ParallelFor/ParallelForShards function (return type +
+# optionally qualified name + open paren). Calls look like
+# "pool.ParallelFor(" / "ParallelFor(0, n, ..." and do not match.
+SPAN_CONTEXT_DEF_RE = re.compile(
+    r"\b(?:void|auto|int|int64_t|Status)\s+(?:[\w:]+::)?"
+    r"ParallelFor(?:Shards)?\s*\(")
+SPAN_CONTEXT_CALL_RE = re.compile(r"\bParallelFor(?:Shards)?\s*\(")
+SPAN_CONTEXT_INCLUDE_RE = re.compile(r'#\s*include\s+"common/thread_pool\.h"')
+
+
+def check_span_context(root, findings):
+    """Fan-out must go through the context-propagating pool submit path.
+
+    Cross-thread trace causality (obs::TraceContext capture at submit,
+    adoption by shard spans, remote re-attribution in the profiler) lives
+    in ThreadPool::DispatchJob. Two obligations keep it the single fan-out
+    point:
+      1. No file outside src/common/thread_pool.* may DEFINE a function
+         named ParallelFor/ParallelForShards — a second primitive would
+         fan work out of instrumented spans without carrying the context,
+         and the flow edges / critical-path analysis silently lose those
+         shards.
+      2. A file that opens TIMEKD_TRACE_SCOPE spans and calls ParallelFor*
+         must include "common/thread_pool.h" directly, so the call
+         demonstrably resolves to the pool's context-capturing submit path
+         rather than some transitively-picked-up lookalike.
+    Escape: a documented `timekd-lint: allow(span-context)`.
+    """
+    for rel in iter_files(root, ["src", "bench"], CXX_EXTENSIONS):
+        if rel.startswith("src/common/thread_pool."):
+            continue
+        raw = read_lines(root, rel)
+        code = strip_comments_and_strings(raw)
+        # The include itself is a string; scan raw lines for it.
+        has_include = any(SPAN_CONTEXT_INCLUDE_RE.search(line) for line in raw)
+        has_trace_scope = any("TIMEKD_TRACE_SCOPE" in line for line in code)
+        call_flagged = False
+        for idx, line in enumerate(code):
+            if SPAN_CONTEXT_DEF_RE.search(line):
+                if is_allowed("span-context", raw, idx + 1):
+                    continue
+                findings.append(Finding(
+                    "span-context", rel, idx + 1,
+                    "ParallelFor/ParallelForShards defined outside "
+                    "src/common/thread_pool.*; the pool's submit path is "
+                    "the only fan-out point that propagates "
+                    "obs::TraceContext to shard spans"))
+            elif (has_trace_scope and not has_include and not call_flagged
+                  and SPAN_CONTEXT_CALL_RE.search(line)):
+                if is_allowed("span-context", raw, idx + 1):
+                    continue
+                call_flagged = True  # one finding per file is enough
+                findings.append(Finding(
+                    "span-context", rel, idx + 1,
+                    "traced file calls ParallelFor* without including "
+                    '"common/thread_pool.h"; include the pool header so '
+                    "the call resolves to the context-propagating submit "
+                    "path"))
+
+
 # --- Format mode -----------------------------------------------------------
 
 
@@ -965,6 +1035,26 @@ SELF_TEST_CASES = [
      "// one-off probe: timekd-lint: allow(simd-fallback)\n"
      "inline void FooAvx2(float* x) { _mm256_storeu_ps(x, v); }\n"
      "#endif\n", 0),
+    ("span-context flags rogue ParallelFor definition", "span-context",
+     "void ParallelFor(int64_t b, int64_t e, int64_t g, const F& fn) {\n"
+     "  for (int64_t i = b; i < e; ++i) fn(i, i + 1);\n}\n", 1),
+    ("span-context flags rogue ParallelForShards method", "span-context",
+     "void MyPool::ParallelForShards(int64_t b, int64_t e, int64_t g,\n"
+     "                               const F& fn) {}\n", 1),
+    ("span-context flags traced call without pool include", "span-context",
+     '#include "obs/trace.h"\n'
+     "void F() {\n  TIMEKD_TRACE_SCOPE(\"tensor/op\");\n"
+     "  ParallelFor(0, 128, 16, [](int64_t b, int64_t e) {});\n}\n", 1),
+    ("span-context accepts traced call with pool include", "span-context",
+     '#include "common/thread_pool.h"\n#include "obs/trace.h"\n'
+     "void F() {\n  TIMEKD_TRACE_SCOPE(\"tensor/op\");\n"
+     "  ParallelFor(0, 128, 16, [](int64_t b, int64_t e) {});\n}\n", 0),
+    ("span-context ignores untraced callers", "span-context",
+     "void F() {\n"
+     "  ParallelFor(0, 128, 16, [](int64_t b, int64_t e) {});\n}\n", 0),
+    ("span-context honors allow", "span-context",
+     "// test shim: timekd-lint: allow(span-context)\n"
+     "void ParallelFor(int64_t b, int64_t e) {}\n", 0),
 ]
 
 
@@ -1005,6 +1095,7 @@ RULES = {
     "lock-annotation": check_lock_annotation,
     "atomic-order": check_atomic_order,
     "simd-fallback": check_simd_fallback,
+    "span-context": check_span_context,
 }
 
 

@@ -33,6 +33,11 @@ fail-fast path inside the trainer. The forecast-calibration block
 (calibration.* — core::ForecastAuditor's windows/mse/mae/coverage scalars;
 per-horizon arrays stay artifact-only) follows the same rule: coverage
 drift is a modelling signal the observatory tracks, never a perf gate.
+The parallelism summary (critical_path.* — wall vs. critical path vs.
+serial sum, stall decomposition, achievable speedup bound; schema 3, see
+src/obs/critical_path.h) is reported ungated too: it explains WHERE a
+wall-clock regression came from (queue wait vs. barrier imbalance vs.
+serial sections), it is not itself a timing.
 
 Comparing artifacts from different experiments, bench profiles, or thread
 counts is a usage error (exit 2), not a regression — the numbers would be
@@ -61,7 +66,7 @@ import json
 import os
 import sys
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 
 class Spec:
@@ -123,6 +128,13 @@ def flatten_metrics(doc):
         # the artifact but out of the diff table.
         if isinstance(value, (int, float)):
             out[f"calibration.{name}"] = float(value)
+    for name, value in doc.get("critical_path", {}).items():
+        # Parallelism summary (obs/critical_path.h): report-only. No spec
+        # maps to critical_path.* so every entry renders as "(ungated)" —
+        # the stall decomposition explains a wall regression, it never is
+        # one. The enabled flag is skipped (bool, not a metric).
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            out[f"critical_path.{name}"] = float(value)
     for name, kernel in doc.get("roofline", {}).get("kernels", {}).items():
         # Ungated context: how close each credited kernel sat to its
         # roofline ceiling (see src/obs/roofline.h).
@@ -274,7 +286,7 @@ def run_against_history(candidate_path, history_dir, window, specs):
 
 def synthetic_artifact():
     return {
-        "schema_version": 2,
+        "schema_version": 3,
         "experiment": "selftest",
         "provenance": {"git_sha": "0" * 12, "bench_profile": "smoke",
                        "num_threads": 1, "hostname": "x", "compiler": "t"},
@@ -283,7 +295,16 @@ def synthetic_artifact():
         "throughput": {"steps_per_sec": 100.0, "tokens_per_sec": 0.0},
         "kernels": {"matmul_calls": 10, "matmul_flops": 1000,
                     "matmul_gflops_per_sec": 12.0,
-                    "fused_attention_gflops_per_sec": 5.0},
+                    "fused_attention_gflops_per_sec": 5.0,
+                    "ctx_spans_per_sec": 2.0e6},
+        "critical_path": {"enabled": True, "wall_us": 300000,
+                          "critical_path_us": 120000,
+                          "serial_sum_us": 280000, "speedup_bound": 2.33,
+                          "avg_parallelism": 0.93, "serial_us": 150000,
+                          "queue_stall_us": 10000,
+                          "barrier_stall_us": 20000, "parallel_us": 120000,
+                          "num_jobs": 4, "num_shards": 16, "num_spans": 40,
+                          "num_threads": 8},
         "roofline": {
             "machine": {"calibrated": True, "source": "probe",
                         "peak_flops_per_sec": 1e11,
@@ -379,6 +400,23 @@ def self_test():
     _, regs = diff(base, slow_kernel, specs)
     expect("kernel throughput drop regresses",
            regs == ["kernels.fused_attention_gflops_per_sec"])
+
+    slow_ctx = copy.deepcopy(base)
+    slow_ctx["kernels"]["ctx_spans_per_sec"] = 1.0e5  # 20x drop
+    _, regs = diff(base, slow_ctx, specs)
+    expect("context-propagation rate drop regresses",
+           regs == ["kernels.ctx_spans_per_sec"])
+
+    stalled = copy.deepcopy(base)
+    stalled["critical_path"]["barrier_stall_us"] = 200000
+    stalled["critical_path"]["speedup_bound"] = 1.01
+    report, regs = diff(base, stalled, specs)
+    expect("critical_path never gates", regs == [])
+    expect("critical_path is reported",
+           any("critical_path.barrier_stall_us" in line and "ungated" in line
+               for line in report))
+    expect("critical_path enabled flag stays out of the table",
+           not any("critical_path.enabled" in line for line in report))
 
     more_calls = copy.deepcopy(base)
     more_calls["kernels"]["matmul_calls"] = 9999

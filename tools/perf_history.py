@@ -239,7 +239,7 @@ def render_trends(history_dir, out_path, title="TimeKD perf history"):
 
 def _synthetic(wall, steps=100.0, profile="smoke"):
     return {
-        "schema_version": 2,
+        "schema_version": 3,
         "experiment": "selftest",
         "provenance": {"git_sha": "0" * 12, "bench_profile": profile,
                        "num_threads": 1},
